@@ -1,0 +1,129 @@
+"""NTT ablation — quantifying each optimization of Sections III-C/D.
+
+Not a paper table per se, but the paper's engineering claims:
+
+* packing + two-fold unrolling reduce memory ops / loop overhead by 50%
+  (Alg. 3 vs Alg. 4);
+* fusing the three encryption NTTs saves ~8.3% versus three runs.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.params import P1, P2
+from repro.cyclemodel.ntt_cycles import (
+    ntt_forward_alg3,
+    ntt_forward_packed,
+    ntt_forward_parallel3,
+    ntt_inverse_packed,
+)
+from repro.machine.machine import CortexM4
+
+
+def _polys(params, count):
+    rng = random.Random(7)
+    return [
+        [rng.randrange(params.q) for _ in range(params.n)]
+        for _ in range(count)
+    ]
+
+
+def _ablation_rows(params):
+    a, b, c = _polys(params, 3)
+    rows = []
+    _, alg3 = CortexM4().measure(ntt_forward_alg3, a, params)
+    rows.append([f"Alg. 3 reference [{params.name}]", alg3, 1.0])
+    _, packed = CortexM4().measure(ntt_forward_packed, a, params)
+    rows.append(
+        [f"Alg. 4 packed+unrolled [{params.name}]", packed, packed / alg3]
+    )
+    _, inv = CortexM4().measure(ntt_inverse_packed, a, params)
+    rows.append([f"Inverse packed [{params.name}]", inv, inv / alg3])
+    _, par3 = CortexM4().measure(ntt_forward_parallel3, a, b, c, params)
+    rows.append(
+        [
+            f"Parallel 3x fused [{params.name}]",
+            par3,
+            par3 / (3 * alg3),
+        ]
+    )
+    return rows, alg3, packed, par3
+
+
+def test_ntt_ablation_report(benchmark, paper_report):
+    all_rows = []
+
+    def run():
+        rows = []
+        for params in (P1, P2):
+            rows.extend(_ablation_rows(params)[0])
+        return rows
+
+    all_rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    table = render_table(
+        ["variant", "cycles", "vs Alg.3 (per transform)"],
+        all_rows,
+        title="NTT ablation (cycle model)",
+    )
+    paper_report("Ablation — NTT optimizations", table)
+
+
+@pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+def test_packing_saves(benchmark, params):
+    _, alg3, packed, par3 = benchmark.pedantic(
+        _ablation_rows, args=(params,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    assert packed < alg3
+    # The claimed savings target memory ops and loop overhead (about
+    # half the kernel): expect a 10-25% end-to-end gain.
+    assert 0.70 < packed / alg3 < 0.95
+    # Parallel saving vs three separate runs: 5-20% band around the
+    # paper's 8.3%.
+    saving = 1 - par3 / (3 * alg3)
+    assert 0.05 < saving < 0.20
+
+
+def test_memory_access_counting(benchmark, paper_report):
+    """Count raw loads/stores per kernel to exhibit the 50% claim
+    directly (the cost model's load/store categories)."""
+
+    class CountingMachine(CortexM4):
+        def __init__(self):
+            super().__init__()
+            self.loads = 0
+            self.stores = 0
+
+        def load(self, count=1):
+            self.loads += count
+            super().load(count)
+
+        def store(self, count=1):
+            self.stores += count
+            super().store(count)
+
+    (a,) = _polys(P1, 1)
+
+    def run():
+        m1 = CountingMachine()
+        ntt_forward_alg3(m1, a, P1)
+        m2 = CountingMachine()
+        ntt_forward_packed(m2, a, P1)
+        return m1, m2
+
+    m1, m2 = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    lines = [
+        f"Alg. 3 memory accesses: {m1.loads + m1.stores}",
+        f"Alg. 4 memory accesses: {m2.loads + m2.stores}",
+        (
+            "reduction: "
+            f"{1 - (m2.loads + m2.stores) / (m1.loads + m1.stores):.0%} "
+            "(paper claims 50% for the butterfly loop)"
+        ),
+    ]
+    paper_report("Ablation — memory access counts", "\n".join(lines))
+    # Butterfly traffic halves; bit-reversal and twiddle loads dilute
+    # the end-to-end number below the ideal 50%.
+    assert m2.loads + m2.stores < 0.70 * (m1.loads + m1.stores)

@@ -1,0 +1,52 @@
+"""Fig. 1 — probability-matrix structure and zero-word trimming."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.params import P1, P2
+from repro.sampler.pmat import ProbabilityMatrix
+
+
+def test_fig1_report(benchmark, paper_report):
+    figure = benchmark.pedantic(
+        experiments.fig1, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report("Fig. 1 — probability matrix storage", figure)
+    pmat = ProbabilityMatrix.for_params(P1)
+    # The figures the paper states for s = 11.31.
+    assert pmat.rows == 55
+    assert pmat.columns == 109
+    assert pmat.total_bits == 5995
+    assert pmat.total_words == 218
+    assert 170 <= pmat.stored_words <= 184  # paper: 180
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_matrix_construction(benchmark, name):
+    params = {"P1": P1, "P2": P2}[name]
+    pmat = benchmark.pedantic(
+        ProbabilityMatrix.for_sigma,
+        args=(params.sigma,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert pmat.columns == 109
+
+
+def test_trimming_savings_report(benchmark, paper_report):
+    pmat = benchmark.pedantic(
+        ProbabilityMatrix.for_params,
+        args=(P1,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    saved = pmat.total_words - pmat.stored_words
+    lines = [
+        f"words without trimming: {pmat.total_words} (paper: 218)",
+        f"words stored:           {pmat.stored_words} (paper: 180)",
+        f"zero words elided:      {saved} ({saved / pmat.total_words:.0%})",
+        f"flash for matrix:       {pmat.storage_bytes()} B",
+    ]
+    paper_report("Fig. 1 — zero-word trimming", "\n".join(lines))

@@ -1,0 +1,47 @@
+"""Fig. 2 — accumulated DDG termination probability per level."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.params import P1, P2
+from repro.sampler.ddg import level_profile, lut_failure_probability
+from repro.sampler.pmat import ProbabilityMatrix
+
+
+def test_fig2_report(benchmark, paper_report):
+    figure = benchmark.pedantic(
+        experiments.fig2, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report("Fig. 2 — DDG level termination probability", figure)
+    profile = level_profile(ProbabilityMatrix.for_params(P1))
+    acc = profile.accumulated_floats()
+    assert acc[7] == pytest.approx(0.9727, abs=5e-4)
+    assert acc[12] == pytest.approx(0.9987, abs=5e-4)
+
+
+def test_lut_design_points_report(benchmark, paper_report):
+    """Why LUT1 covers 8 levels and LUT2 five more (Section III-B5)."""
+    pmat = benchmark.pedantic(
+        ProbabilityMatrix.for_params,
+        args=(P1,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    lines = []
+    for levels in (4, 8, 13, 16):
+        fail = float(lut_failure_probability(pmat, levels))
+        lines.append(
+            f"P[walk survives {levels:2d} levels] = {fail:.4%}"
+        )
+    paper_report("Fig. 2 — LUT design points", "\n".join(lines))
+    assert float(lut_failure_probability(pmat, 8)) < 0.03
+    assert float(lut_failure_probability(pmat, 13)) < 0.0015
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_level_profile(benchmark, name):
+    params = {"P1": P1, "P2": P2}[name]
+    pmat = ProbabilityMatrix.for_params(params)
+    profile = benchmark(level_profile, pmat)
+    assert profile.internal_nodes[-1] == 0

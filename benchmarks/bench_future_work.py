@@ -1,0 +1,134 @@
+"""The paper's Section V future-work directions, modelled.
+
+* **Constant-time execution** — the full-scan CDT sampler versus Alg. 2:
+  leakage collapses to zero, cost rises ~30x; exactly the trade-off
+  that kept it out of the 2015 implementation.
+* **SIMD** — DSP-extension butterflies (SADD16/SSUB16/SEL + lane
+  multiplies) on the packed layout: ~20% off the Alg. 4 transform.
+"""
+
+import random
+
+from repro.analysis.leakage import leakage_report, profile_sampler
+from repro.analysis.tables import render_table
+from repro.core.params import P1, P2
+from repro.cyclemodel.ntt_cycles import ntt_forward_packed
+from repro.cyclemodel.ntt_simd import ntt_forward_simd, ntt_inverse_simd
+from repro.cyclemodel.sampler_cycles import CycleKnuthYaoSampler
+from repro.machine.machine import CortexM4
+from repro.sampler.constant_time import ConstantTimeCdtSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+def _knuth_yao_factory(seed=5, **config):
+    def factory():
+        machine = CortexM4()
+        sampler = CycleKnuthYaoSampler(
+            ProbabilityMatrix.for_params(P1),
+            P1.q,
+            machine,
+            PrngBitSource(Xorshift128(seed)),
+            **config,
+        )
+        return sampler, machine
+
+    return factory
+
+
+def _constant_time_factory(seed=5):
+    def factory():
+        machine = CortexM4()
+        sampler = ConstantTimeCdtSampler.for_params(
+            P1, PrngBitSource(Xorshift128(seed)), machine=machine
+        )
+        return sampler, machine
+
+    return factory
+
+
+def test_constant_time_leakage_report(benchmark, paper_report):
+    def run():
+        alg1 = profile_sampler(
+            "Knuth-Yao Alg. 1 (bit scan)",
+            _knuth_yao_factory(use_lut1=False, use_lut2=False),
+            P1.q,
+            samples=3000,
+        )
+        ky = profile_sampler(
+            "Knuth-Yao Alg. 2 (LUTs)", _knuth_yao_factory(), P1.q,
+            samples=3000,
+        )
+        ct = profile_sampler(
+            "constant-time CDT", _constant_time_factory(), P1.q,
+            samples=1500,
+        )
+        return alg1, ky, ct
+
+    alg1, ky, ct = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report(
+        "Future work — constant-time execution",
+        leakage_report([alg1, ky, ct]),
+    )
+    # Alg. 1 leaks hard: walk duration tracks the sampled magnitude.
+    assert alg1.magnitude_timing_spread() > 50.0
+    # Alg. 2's LUTs flatten the common path but it is not constant.
+    assert not ky.is_constant_time()
+    # The constant-time sampler is: identical cycles, always.
+    assert ct.is_constant_time()
+    assert ct.magnitude_correlation() == 0.0
+    # And the price is steep (the paper's reason to defer it).
+    assert ct.mean_cycles() > 10 * ky.mean_cycles()
+
+
+def test_simd_ntt_report(benchmark, paper_report):
+    def run():
+        rows = []
+        rng = random.Random(3)
+        for params in (P1, P2):
+            a = [rng.randrange(params.q) for _ in range(params.n)]
+            _, packed = CortexM4().measure(ntt_forward_packed, a, params)
+            _, simd = CortexM4().measure(ntt_forward_simd, a, params)
+            _, simd_inv = CortexM4().measure(ntt_inverse_simd, a, params)
+            rows.append(
+                [
+                    params.name,
+                    packed,
+                    simd,
+                    f"{1 - simd / packed:.1%}",
+                    simd_inv,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    table = render_table(
+        ["params", "Alg. 4 packed", "DSP-SIMD", "saving", "SIMD inverse"],
+        rows,
+        title="SIMD butterflies on the packed layout (cycle model)",
+    )
+    paper_report("Future work — SIMD NTT", table)
+    for row in rows:
+        assert row[2] < row[1]  # SIMD strictly cheaper
+
+
+def test_wallclock_constant_time_sampler(benchmark):
+    sampler = ConstantTimeCdtSampler.for_params(
+        P1, PrngBitSource(Xorshift128(7))
+    )
+    values = benchmark(sampler.sample_polynomial, 64)
+    assert len(values) == 64
+
+
+def test_wallclock_simd_ntt(benchmark):
+    rng = random.Random(4)
+    a = [rng.randrange(P1.q) for _ in range(P1.n)]
+
+    def run():
+        return ntt_forward_simd(CortexM4(), a, P1)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert len(result) == P1.n

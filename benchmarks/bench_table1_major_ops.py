@@ -1,0 +1,87 @@
+"""Table I — measured results of major operations.
+
+Regenerates every row of the paper's Table I from the cycle model (the
+values printed in the terminal summary) and wall-clocks the functional
+kernels with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.params import P1, P2
+from repro.ntt.optimized import ntt_forward_packed, ntt_inverse_packed
+from repro.ntt.parallel import ntt_forward_parallel3
+from repro.ntt.polymul import ntt_multiply
+from repro.ntt.reference import ntt_forward
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+PARAMS = {"P1": P1, "P2": P2}
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_ntt_forward(benchmark, random_polys, name):
+    params = PARAMS[name]
+    a = random_polys[name][0]
+    result = benchmark(ntt_forward, a, params)
+    assert len(result) == params.n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_ntt_forward_packed(benchmark, random_polys, name):
+    params = PARAMS[name]
+    a = random_polys[name][0]
+    result = benchmark(ntt_forward_packed, a, params)
+    assert result == ntt_forward(a, params)
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_ntt_inverse_packed(benchmark, random_polys, name):
+    params = PARAMS[name]
+    a = random_polys[name][0]
+    result = benchmark(ntt_inverse_packed, a, params)
+    assert len(result) == params.n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_parallel_ntt(benchmark, random_polys, name):
+    params = PARAMS[name]
+    a, b, c = random_polys[name]
+    A, B, C = benchmark(ntt_forward_parallel3, a, b, c, params)
+    assert len(A) == len(B) == len(C) == params.n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_knuth_yao_sampling(benchmark, name):
+    params = PARAMS[name]
+    sampler = LutKnuthYaoSampler(
+        ProbabilityMatrix.for_params(params),
+        params.q,
+        PrngBitSource(Xorshift128(1)),
+    )
+    poly = benchmark(sampler.sample_polynomial, params.n)
+    assert len(poly) == params.n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_ntt_multiplication(benchmark, random_polys, name):
+    params = PARAMS[name]
+    a, b, _ = random_polys[name]
+    result = benchmark(ntt_multiply, a, b, params, "packed")
+    assert len(result) == params.n
+
+
+def test_table1_cycle_model_report(benchmark, paper_report):
+    """Regenerate Table I (cycle model) and register it for printing."""
+    table = benchmark.pedantic(
+        experiments.table1, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report("Table I — major operations (cycle model vs paper)", table)
+    # Shape assertions: every measured value within 50% of the paper.
+    for params in (P1, P2):
+        result = experiments.measure_major_operations(params)
+        for op, measured in result.measured.items():
+            paper = result.paper[op]
+            assert 0.5 * paper < measured < 1.5 * paper, (params.name, op)

@@ -1,0 +1,79 @@
+"""Table II — scheme operations: cycles, flash tables, RAM.
+
+The RAM column reproduces the paper's numbers exactly (buffer + stack
+decomposition); cycle counts come from the full-scheme cycle models.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.params import P1, P2
+from repro import seeded_scheme
+
+PARAMS = {"P1": P1, "P2": P2}
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_keygen(benchmark, name):
+    scheme = seeded_scheme(PARAMS[name], seed=1, ntt="packed")
+    pair = benchmark(scheme.generate_keypair)
+    assert len(pair.public.a_hat) == PARAMS[name].n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_encrypt(benchmark, name):
+    params = PARAMS[name]
+    scheme = seeded_scheme(params, seed=2, ntt="packed")
+    pair = scheme.generate_keypair()
+    message = bytes(range(params.message_bytes))
+    ct = benchmark(scheme.encrypt, pair.public, message)
+    assert len(ct.c1_hat) == params.n
+
+
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_wallclock_decrypt(benchmark, name):
+    params = PARAMS[name]
+    scheme = seeded_scheme(params, seed=3, ntt="packed")
+    pair = scheme.generate_keypair()
+    message = bytes(range(params.message_bytes))
+    ct = scheme.encrypt(pair.public, message)
+    result = benchmark(scheme.decrypt, pair.private, ct)
+    assert result == message
+
+
+def test_table2_cycle_model_report(benchmark, paper_report):
+    table = benchmark.pedantic(
+        experiments.table2, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report("Table II — scheme operations (cycle model vs paper)", table)
+    for params in (P1, P2):
+        result = experiments.measure_scheme_operations(params)
+        # RAM must match the paper exactly; encryption cycles within 15%.
+        for op, (paper_cycles, _, paper_ram) in result.paper.items():
+            assert result.ram_bytes[op] == paper_ram, (params.name, op)
+        enc = result.cycles["Encryption"]
+        paper_enc = result.paper["Encryption"][0]
+        assert 0.85 * paper_enc < enc < 1.15 * paper_enc
+
+
+def test_table2_scaling_claims(benchmark, paper_report):
+    """The paper's prose claims around Table II."""
+    p1 = benchmark.pedantic(
+        experiments.measure_scheme_operations,
+        args=(P1,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    p2 = experiments.measure_scheme_operations(P2)
+    lines = []
+    for op in ("Key Generation", "Encryption", "Decryption"):
+        growth = p2.cycles[op] / p1.cycles[op] - 1
+        lines.append(f"{op}: P2/P1 growth {growth:+.0%} (paper: +117..126%)")
+        assert 0.5 < growth < 1.5
+    ratio = p1.cycles["Decryption"] / p1.cycles["Encryption"]
+    lines.append(
+        f"Decryption/Encryption [P1]: {ratio:.2f} (paper: 0.36)"
+    )
+    assert ratio < 0.5
+    paper_report("Table II — scaling claims", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Table III — building-block comparison against the literature."""
+
+from repro.analysis import experiments
+
+
+def test_table3_report(benchmark, paper_report):
+    table = benchmark.pedantic(
+        experiments.table3, rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_report("Table III — building blocks vs literature", table)
+
+
+def test_table3_headline_factors(benchmark, paper_report):
+    factors = benchmark.pedantic(
+        experiments.table3_headline_factors,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    lines = [
+        (
+            "our NTT (P2-size) vs Oder et al. [10] Cortex-M4F: "
+            f"{factors['ntt_vs_oder_p3']:.2f}x of their cycles "
+            "(paper: 0.58x, i.e. 72% faster)"
+        ),
+        (
+            "sampler speedup vs best prior software sampler: "
+            f"{factors['sampler_speedup_vs_best_software']:.1f}x "
+            "(paper: 7.6x)"
+        ),
+    ]
+    paper_report("Table III — headline factors", "\n".join(lines))
+    assert factors["ntt_vs_oder_p3"] < 0.75
+    assert factors["sampler_speedup_vs_best_software"] > 7.0

@@ -1,0 +1,92 @@
+"""Wall-clock benchmarks of the remaining functional stack.
+
+These are Python-speed regression benchmarks (never a paper claim): the
+schoolbook-vs-NTT crossover, serialization, and the statistical tooling.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.params import P1
+from repro.core.serialize import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+)
+from repro import seeded_scheme
+from repro.ntt.polymul import ntt_multiply, schoolbook_negacyclic
+
+
+def test_wallclock_schoolbook_p1(benchmark, random_polys):
+    a, b, _ = random_polys["P1"]
+    result = benchmark.pedantic(
+        schoolbook_negacyclic, args=(a, b, P1), rounds=2, iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(result) == P1.n
+
+
+def test_wallclock_ntt_multiply_p1(benchmark, random_polys):
+    a, b, _ = random_polys["P1"]
+    result = benchmark(ntt_multiply, a, b, P1, "packed")
+    assert len(result) == P1.n
+
+
+def test_ntt_vs_schoolbook_crossover_report(benchmark, paper_report):
+    """NTT multiplication beats schoolbook already at small n in
+    operation counts; show the modelled complexity ratio."""
+    import random
+
+    from repro.core.params import custom_parameter_set
+
+    def run():
+        rows = []
+        rng = random.Random(1)
+        for n, q in ((16, 97), (64, 257), (256, 7681)):
+            params = (
+                P1 if (n, q) == (256, 7681) else custom_parameter_set(n, q, 11.31)
+            )
+            # Count multiplication operations analytically: schoolbook
+            # n^2 vs NTT ~ 3 * (n/2) log n + n.
+            school_ops = n * n
+            import math
+
+            ntt_ops = 3 * (n // 2) * int(math.log2(n)) + n
+            rows.append([f"n={n}", school_ops, ntt_ops,
+                         round(school_ops / ntt_ops, 1)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    table = render_table(
+        ["ring size", "schoolbook mults", "NTT-path mults", "ratio"],
+        rows,
+        title="Multiplication operation counts",
+    )
+    paper_report("Wall-clock — schoolbook vs NTT operation counts", table)
+    assert rows[-1][3] > 10  # n=256: NTT wins by an order of magnitude
+
+
+def test_wallclock_serialization(benchmark):
+    scheme = seeded_scheme(P1, seed=44)
+    pair = scheme.generate_keypair()
+    ct = scheme.encrypt(pair.public, b"bench")
+
+    def roundtrip():
+        return deserialize_ciphertext(serialize_ciphertext(ct))
+
+    restored = benchmark(roundtrip)
+    assert restored.c1_hat == ct.c1_hat
+
+
+def test_wallclock_full_roundtrip(benchmark):
+    scheme = seeded_scheme(P1, seed=45, ntt="packed")
+    pair = scheme.generate_keypair()
+    message = bytes(range(32))
+
+    def roundtrip():
+        ct = scheme.encrypt(pair.public, message)
+        return scheme.decrypt(pair.private, ct)
+
+    result = benchmark.pedantic(
+        roundtrip, rounds=3, iterations=1, warmup_rounds=0
+    )
+    assert result == message

@@ -1,0 +1,64 @@
+"""Benchmark-suite plumbing.
+
+Each bench module does two things:
+
+* wall-clock benchmarks of the functional kernels via pytest-benchmark
+  (Python speed — NOT a paper claim, provided for regression tracking);
+* regeneration of the corresponding paper table/figure from the cycle
+  model, registered through the ``paper_report`` fixture and printed in
+  the terminal summary so ``pytest benchmarks/ --benchmark-only`` emits
+  every reproduced table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def paper_report():
+    """Register a rendered table for the end-of-run summary."""
+
+    def register(title: str, body: str) -> None:
+        _REPORTS.append((title, body))
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    seen = set()
+    for title, body in _REPORTS:
+        if title in seen:
+            continue
+        seen.add(title)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {title}")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return random.Random(0xBEEF)
+
+
+@pytest.fixture(scope="session")
+def random_polys(bench_rng) -> Dict[str, list]:
+    """One fixed random polynomial triple per parameter set."""
+    from repro.core.params import P1, P2
+
+    out = {}
+    for params in (P1, P2):
+        out[params.name] = [
+            [bench_rng.randrange(params.q) for _ in range(params.n)]
+            for _ in range(3)
+        ]
+    return out

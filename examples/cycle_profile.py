@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Per-phase cycle breakdown of the scheme on the Cortex-M4F model.
+
+Reproduces the paper's Table II measurements and shows where the cycles
+go inside each operation (sampling / NTT / pointwise / coding) — the
+breakdown the paper's optimizations target.
+
+    python examples/cycle_profile.py [P1|P2]
+"""
+
+import random
+import sys
+
+from repro.analysis.tables import render_table
+from repro.core.params import get_parameter_set
+from repro.cyclemodel.scheme_cycles import (
+    decrypt_cycles,
+    encrypt_cycles,
+    keygen_cycles,
+)
+from repro.machine.footprint import operation_footprints
+from repro.machine.machine import CortexM4
+from repro.trng.bitpool import BitPool
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+PAPER = {
+    ("P1", "Key Generation"): 116_772,
+    ("P1", "Encryption"): 121_166,
+    ("P1", "Decryption"): 43_324,
+    ("P2", "Key Generation"): 263_622,
+    ("P2", "Encryption"): 261_939,
+    ("P2", "Decryption"): 96_520,
+}
+
+
+def pooled_machine(seed):
+    machine = CortexM4()
+    pool = BitPool(
+        SimulatedTrng(Xorshift128(seed), machine=machine), machine=machine
+    )
+    return machine, pool
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "P1"
+    params = get_parameter_set(name)
+    print(f"cycle profile on the Cortex-M4F model: {params.describe()}\n")
+
+    machine, pool = pooled_machine(1)
+    pair, keygen = keygen_cycles(machine, params, pool)
+
+    rng = random.Random(42)
+    message = [rng.randrange(2) for _ in range(params.n)]
+    machine, pool = pooled_machine(2)
+    ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
+
+    machine = CortexM4()
+    decoded, decrypt = decrypt_cycles(machine, params, pair.private, ct)
+    assert decoded == message, "cycle-model roundtrip failed"
+
+    rows = []
+    for op in (keygen, encrypt, decrypt):
+        paper = PAPER[(params.name, op.operation)]
+        rows.append([op.operation, op.cycles, paper, op.cycles / paper])
+    print(
+        render_table(
+            ["operation", "modelled cycles", "paper cycles", "ratio"],
+            rows,
+            title="Table II reproduction",
+        )
+    )
+
+    print("\nper-phase breakdown:")
+    for op in (keygen, encrypt, decrypt):
+        total = op.cycles
+        print(f"  {op.operation}:")
+        for region, cycles in sorted(
+            op.regions.items(), key=lambda kv: -kv[1]
+        ):
+            print(
+                f"    {region:<10s} {cycles:>9,} cycles "
+                f"({cycles / total:5.1%})"
+            )
+
+    print("\nmemory footprint model:")
+    for fp in operation_footprints(params):
+        print(f"  {fp}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper from the cycle model.
+
+Equivalent to ``rlwe-repro tables``; takes ~1 minute because the cycle
+models execute every kernel at instruction granularity.
+
+    python examples/paper_tables.py [seed]
+"""
+
+import sys
+
+from repro.analysis.experiments import all_experiments
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2015
+    print(all_experiments(seed))
+
+
+if __name__ == "__main__":
+    main()

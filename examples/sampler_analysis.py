@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Deep-dive into the Knuth-Yao sampler: distribution quality, DDG-tree
+structure (Fig. 2), LUT behaviour, and the randomness budget.
+
+    python examples/sampler_analysis.py
+"""
+
+from repro.analysis.stats import (
+    centered,
+    chi_square_goodness_of_fit,
+    count_samples,
+    empirical_moments,
+)
+from repro.core.params import P1
+from repro.sampler.ddg import (
+    exact_output_distribution,
+    level_profile,
+    lut_failure_probability,
+)
+from repro.sampler.lut_sampler import LutKnuthYaoSampler, build_luts
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+SAMPLES = 50_000
+
+
+def main():
+    params = P1
+    pmat = ProbabilityMatrix.for_params(params)
+    print(f"parameter set {params.describe()}")
+    print(
+        f"probability matrix: {pmat.rows} rows x {pmat.columns} columns "
+        f"({pmat.total_bits} bits), {pmat.stored_words}/{pmat.total_words} "
+        f"words stored after zero-word trimming"
+    )
+
+    # --- DDG structure (Fig. 2) ----------------------------------------
+    profile = level_profile(pmat)
+    print(f"\nexpected DDG walk depth: {profile.expected_level():.2f} levels")
+    acc = profile.accumulated_floats()
+    for level in (4, 8, 13):
+        print(f"  P[terminated within {level:2d} levels] = {acc[level - 1]:.4%}")
+    print(
+        f"  LUT1 (8 levels) miss rate: "
+        f"{float(lut_failure_probability(pmat, 8)):.4%}"
+    )
+
+    # --- LUT construction ----------------------------------------------
+    luts = build_luts(pmat)
+    print(
+        f"\nLUT1: {luts.lut1_bytes} entries "
+        f"({luts.lut1_failure_entries} failure entries); "
+        f"LUT2: {luts.lut2_bytes} entries "
+        f"(max post-LUT1 distance d = {luts.max_failure_distance1})"
+    )
+
+    # --- Empirical sampling ----------------------------------------------
+    bits = PrngBitSource(Xorshift128(2718))
+    sampler = LutKnuthYaoSampler(pmat, params.q, bits)
+    values = sampler.sample_polynomial(SAMPLES)
+    signed = [centered(v, params.q) for v in values]
+    moments = empirical_moments(signed)
+    print(f"\n{SAMPLES} samples drawn:")
+    print(f"  mean      = {moments['mean']:+.4f} (target 0)")
+    print(
+        f"  variance  = {moments['variance']:.4f} "
+        f"(target sigma^2 = {params.sigma ** 2:.4f})"
+    )
+    print(
+        f"  LUT1/LUT2/scan hits: {sampler.lut1_hits}/"
+        f"{sampler.lut2_hits}/{sampler.scan_fallbacks}"
+    )
+    print(
+        f"  random bits per sample: "
+        f"{bits.bits_consumed / SAMPLES:.2f} "
+        "(8-bit index + sign + occasional extensions)"
+    )
+
+    # --- Exact goodness of fit -------------------------------------------
+    expected = exact_output_distribution(pmat, params.q)
+    result = chi_square_goodness_of_fit(count_samples(values), expected)
+    print(
+        f"\nchi-square against the exact DDG distribution: "
+        f"stat = {result.statistic:.1f}, dof = {result.degrees_of_freedom}, "
+        f"p = {result.p_value:.3f} "
+        f"({'PASS' if result.passed(0.001) else 'FAIL'})"
+    )
+
+    # --- Histogram ---------------------------------------------------------
+    print("\nsample histogram (|x| <= 12):")
+    counts = count_samples(signed)
+    peak = max(counts.values())
+    for x in range(-12, 13):
+        bar = "#" * int(46 * counts.get(x, 0) / peak)
+        print(f"  {x:+3d} |{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of *Efficient Software Implementation of
+Ring-LWE Encryption* (De Clercq, Sinha Roy, Vercauteren, Verbauwhede;
+DATE 2015).
+
+The package provides:
+
+* :mod:`repro.core` — the ring-LWE encryption scheme (KeyGen / Encrypt /
+  Decrypt) over the paper's parameter sets P1 and P2;
+* :mod:`repro.ntt` — negative-wrapped NTT kernels (reference Alg. 3,
+  packed/unrolled Alg. 4, fused parallel NTT) and polynomial products;
+* :mod:`repro.sampler` — the Knuth-Yao discrete Gaussian sampler with the
+  paper's full optimization stack, plus CDT and rejection baselines;
+* :mod:`repro.trng` — the simulated STM32F4 TRNG, the register bit pool,
+  and a NIST SP800-22 subset;
+* :mod:`repro.machine` — the Cortex-M4F instruction-cost model;
+* :mod:`repro.cyclemodel` — instruction-level twins of every kernel,
+  regenerating the paper's cycle-count tables;
+* :mod:`repro.baselines` — binary-field ECC and the ECIES estimate of
+  Table IV;
+* :mod:`repro.analysis` — the experiment drivers for every paper table
+  and figure.
+
+Quickstart::
+
+    from repro import P1, seeded_scheme
+
+    scheme = seeded_scheme(P1, seed=42)
+    keys = scheme.generate_keypair()
+    ct = scheme.encrypt(keys.public, b"post-quantum hello")
+    assert scheme.decrypt(keys.private, ct, length=18) == b"post-quantum hello"
+"""
+
+from repro.core.params import (
+    P1,
+    P2,
+    P3,
+    P4,
+    PARAMETER_SETS,
+    ParameterSet,
+    custom_parameter_set,
+    get_parameter_set,
+)
+from repro.core.scheme import (
+    Ciphertext,
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    RlweEncryptionScheme,
+)
+from repro.trng.bitsource import BitSource, PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "P1",
+    "P2",
+    "P3",
+    "P4",
+    "PARAMETER_SETS",
+    "ParameterSet",
+    "custom_parameter_set",
+    "get_parameter_set",
+    "Ciphertext",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "RlweEncryptionScheme",
+    "BitSource",
+    "PrngBitSource",
+    "QueueBitSource",
+    "Xorshift128",
+    "seeded_scheme",
+    "__version__",
+]
+
+
+def seeded_scheme(
+    params: ParameterSet, seed: int = 0, ntt: str = "reference"
+) -> RlweEncryptionScheme:
+    """A scheme instance with deterministic randomness (for tests/demos)."""
+    return RlweEncryptionScheme(
+        params, bits=PrngBitSource(Xorshift128(seed)), ntt=ntt
+    )

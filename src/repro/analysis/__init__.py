@@ -1,0 +1,39 @@
+"""Analysis: statistics, table rendering, and experiment drivers."""
+
+from repro.analysis.leakage import (
+    TimingProfile,
+    leakage_report,
+    profile_sampler,
+)
+from repro.analysis.security import (
+    SecurityEstimate,
+    estimate_security,
+    security_margin_ratio,
+)
+from repro.analysis.stats import (
+    ChiSquareResult,
+    chi_square_goodness_of_fit,
+    count_samples,
+    empirical_moments,
+    sampling_sigma_estimate,
+    total_variation_distance,
+)
+from repro.analysis.tables import ComparisonRow, render_comparison, render_table
+
+__all__ = [
+    "SecurityEstimate",
+    "estimate_security",
+    "security_margin_ratio",
+    "TimingProfile",
+    "leakage_report",
+    "profile_sampler",
+    "ChiSquareResult",
+    "chi_square_goodness_of_fit",
+    "count_samples",
+    "empirical_moments",
+    "sampling_sigma_estimate",
+    "total_variation_distance",
+    "ComparisonRow",
+    "render_comparison",
+    "render_table",
+]

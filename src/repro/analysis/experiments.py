@@ -1,0 +1,436 @@
+"""Experiment drivers: one function per paper table/figure.
+
+This module is the single source of truth for the reproduction numbers:
+the benchmark modules, the CLI (``rlwe-repro tables``) and the
+EXPERIMENTS.md generator all call these functions.  Every function
+returns structured data plus a rendered ASCII table that mirrors the
+paper's layout with measured-versus-paper columns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import literature
+from repro.analysis.tables import ComparisonRow, render_comparison, render_table
+from repro.baselines.ecies import (
+    ecies_encrypt_estimate,
+    point_multiplication_estimate,
+)
+from repro.core.params import P1, P2, ParameterSet
+from repro.cyclemodel.ntt_cycles import (
+    ntt_forward_alg3,
+    ntt_forward_packed,
+    ntt_forward_parallel3,
+    ntt_inverse_packed,
+)
+from repro.cyclemodel.polymul_cycles import ntt_multiply_cycles
+from repro.cyclemodel.sampler_cycles import CycleKnuthYaoSampler
+from repro.cyclemodel.scheme_cycles import (
+    decrypt_cycles,
+    encrypt_cycles,
+    keygen_cycles,
+)
+from repro.machine.footprint import operation_footprints
+from repro.machine.machine import CortexM4
+from repro.sampler.ddg import level_profile
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitpool import BitPool
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+_DEFAULT_SEED = 2015  # the paper's year; any fixed seed works
+
+
+def _machine_with_pool(seed: int) -> "tuple[CortexM4, BitPool]":
+    machine = CortexM4()
+    trng = SimulatedTrng(Xorshift128(seed), machine=machine)
+    return machine, BitPool(trng, machine=machine)
+
+
+def _random_poly(params: ParameterSet, rng: random.Random) -> List[int]:
+    return [rng.randrange(params.q) for _ in range(params.n)]
+
+
+# ----------------------------------------------------------------------
+# Table I: major operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MajorOperationResult:
+    params_name: str
+    measured: Dict[str, int]
+    paper: Dict[str, int]
+
+
+_TABLE1_CACHE: Dict[Tuple[str, int], MajorOperationResult] = {}
+
+
+def measure_major_operations(
+    params: ParameterSet, seed: int = _DEFAULT_SEED
+) -> MajorOperationResult:
+    """Cycle-model measurements for every Table I row."""
+    key = (params.name, seed)
+    if key in _TABLE1_CACHE:
+        return _TABLE1_CACHE[key]
+    rng = random.Random(seed)
+    a = _random_poly(params, rng)
+    b = _random_poly(params, rng)
+    c = _random_poly(params, rng)
+
+    machine = CortexM4()
+    _, fwd = machine.measure(ntt_forward_packed, a, params)
+
+    machine = CortexM4()
+    _, par3 = machine.measure(ntt_forward_parallel3, a, b, c, params)
+
+    machine = CortexM4()
+    _, inv = machine.measure(ntt_inverse_packed, a, params)
+
+    machine, pool = _machine_with_pool(seed)
+    sampler = CycleKnuthYaoSampler(
+        ProbabilityMatrix.for_params(params), params.q, machine, pool
+    )
+    start = machine.cycles
+    sampler.sample_polynomial(params.n)
+    sampling = machine.cycles - start
+
+    machine = CortexM4()
+    _, mult = machine.measure(ntt_multiply_cycles, a, b, params)
+
+    measured = {
+        "NTT transform": fwd,
+        "Parallel NTT transform": par3,
+        "Inverse NTT transform": inv,
+        "Knuth-Yao sampling": sampling,
+        "NTT multiplication": mult,
+    }
+    paper = {
+        op: literature.THIS_WORK_TABLE1[(op, params.name)]
+        for op in measured
+    }
+    result = MajorOperationResult(params.name, measured, paper)
+    _TABLE1_CACHE[key] = result
+    return result
+
+
+def table1(seed: int = _DEFAULT_SEED) -> str:
+    """Render the Table I reproduction for P1 and P2."""
+    rows: List[ComparisonRow] = []
+    for params in (P1, P2):
+        result = measure_major_operations(params, seed)
+        for op, measured in result.measured.items():
+            rows.append(
+                ComparisonRow(
+                    f"{op} [{params.name}]", measured, result.paper[op]
+                )
+            )
+    return render_comparison(
+        rows, title="Table I: measured results of major operations (cycles)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II: scheme operations + memory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemeOperationResult:
+    params_name: str
+    cycles: Dict[str, int]
+    regions: Dict[str, Dict[str, int]]
+    ram_bytes: Dict[str, int]
+    table_flash_bytes: Dict[str, int]
+    paper: Dict[str, "tuple[int, int, int]"]  # cycles, flash, ram
+
+
+_TABLE2_CACHE: Dict[Tuple[str, int], SchemeOperationResult] = {}
+
+
+def measure_scheme_operations(
+    params: ParameterSet, seed: int = _DEFAULT_SEED
+) -> SchemeOperationResult:
+    key = (params.name, seed)
+    if key in _TABLE2_CACHE:
+        return _TABLE2_CACHE[key]
+    rng = random.Random(seed)
+
+    machine, pool = _machine_with_pool(seed)
+    pair, keygen = keygen_cycles(machine, params, pool)
+
+    message = [rng.randrange(2) for _ in range(params.n)]
+    machine, pool = _machine_with_pool(seed + 1)
+    ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
+
+    machine = CortexM4()
+    decoded, decrypt = decrypt_cycles(machine, params, pair.private, ct)
+    if decoded != message:
+        raise AssertionError(
+            "cycle-model decryption failed to invert encryption"
+        )
+
+    footprints = {f.operation: f for f in operation_footprints(params)}
+    cycles = {
+        "Key Generation": keygen.cycles,
+        "Encryption": encrypt.cycles,
+        "Decryption": decrypt.cycles,
+    }
+    result = SchemeOperationResult(
+        params_name=params.name,
+        cycles=cycles,
+        regions={
+            "Key Generation": keygen.regions,
+            "Encryption": encrypt.regions,
+            "Decryption": decrypt.regions,
+        },
+        ram_bytes={
+            op: footprints[op].ram_bytes for op in cycles
+        },
+        table_flash_bytes={
+            op: footprints[op].table_flash_bytes for op in cycles
+        },
+        paper={
+            op: literature.THIS_WORK_TABLE2[(op, params.name)]
+            for op in cycles
+        },
+    )
+    _TABLE2_CACHE[key] = result
+    return result
+
+
+def table2(seed: int = _DEFAULT_SEED) -> str:
+    headers = [
+        "operation",
+        "cycles",
+        "paper cycles",
+        "RAM (B)",
+        "paper RAM",
+        "tables (B)",
+        "paper flash",
+    ]
+    rows: List[List[object]] = []
+    for params in (P1, P2):
+        result = measure_scheme_operations(params, seed)
+        for op in ("Key Generation", "Encryption", "Decryption"):
+            paper_cycles, paper_flash, paper_ram = result.paper[op]
+            rows.append(
+                [
+                    f"{op} [{params.name}]",
+                    result.cycles[op],
+                    paper_cycles,
+                    result.ram_bytes[op],
+                    paper_ram,
+                    result.table_flash_bytes[op],
+                    paper_flash,
+                ]
+            )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Table II: ring-LWE scheme operations "
+            "(paper flash is code size, not modelled; "
+            "'tables' is our constant-table footprint)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III: building-block comparison
+# ----------------------------------------------------------------------
+def table3(seed: int = _DEFAULT_SEED) -> str:
+    headers = ["operation", "platform", "source", "cycles", "params"]
+    rows: List[List[object]] = []
+    for lit in literature.TABLE3_LITERATURE:
+        rows.append(
+            [lit.operation, lit.platform, lit.source, lit.cycles, lit.parameter_set]
+        )
+    for params in (P1, P2):
+        result = measure_major_operations(params, seed)
+        rows.append(
+            [
+                "NTT transform",
+                "cycle model (this repro)",
+                "*",
+                result.measured["NTT transform"],
+                params.name,
+            ]
+        )
+        rows.append(
+            [
+                "NTT multiplication",
+                "cycle model (this repro)",
+                "*",
+                result.measured["NTT multiplication"],
+                params.name,
+            ]
+        )
+        rows.append(
+            [
+                "Gaussian sampling (per sample)",
+                "cycle model (this repro)",
+                "*",
+                round(result.measured["Knuth-Yao sampling"] / params.n, 1),
+                params.name,
+            ]
+        )
+    return render_table(
+        headers, rows, title="Table III: building-block comparison"
+    )
+
+
+def table3_headline_factors(seed: int = _DEFAULT_SEED) -> Dict[str, float]:
+    """The paper's headline comparison factors, recomputed.
+
+    * our NTT (P1) vs the Cortex-M4F NTT of [10] (paper: 27.5% fewer
+      cycles measured against its own 31,583 — here computed with the
+      cycle model's number);
+    * our sampler vs the fastest prior software sampler (paper: 7.6x).
+    """
+    result = measure_major_operations(P1, seed)
+    p2 = measure_major_operations(P2, seed)
+    oder_ntt = next(
+        r.cycles
+        for r in literature.TABLE3_LITERATURE
+        if r.source == "[10]" and r.operation == "NTT transform"
+    )
+    fastest_sampler = min(
+        r.cycles
+        for r in literature.TABLE3_LITERATURE
+        if r.operation == "Gaussian sampling"
+    )
+    per_sample = result.measured["Knuth-Yao sampling"] / P1.n
+    return {
+        # [10] measures P3 (n=512): compare with our P2-sized transform.
+        "ntt_vs_oder_p3": p2.measured["NTT transform"] / oder_ntt,
+        "sampler_speedup_vs_best_software": fastest_sampler / per_sample,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table IV: full-scheme comparison
+# ----------------------------------------------------------------------
+def table4(seed: int = _DEFAULT_SEED) -> str:
+    headers = ["platform", "source", "key gen", "encrypt", "decrypt", "params"]
+    rows: List[List[object]] = []
+    by_key: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+    for lit in literature.TABLE4_LITERATURE:
+        key = (lit.platform, lit.source, lit.parameter_set)
+        by_key.setdefault(key, {})[lit.operation] = lit.cycles
+    for (platform, source, pset), ops in by_key.items():
+        rows.append(
+            [
+                platform,
+                source,
+                ops.get("Key generation"),
+                ops.get("Encryption"),
+                ops.get("Decryption"),
+                pset,
+            ]
+        )
+    for params in (P1, P2):
+        result = measure_scheme_operations(params, seed)
+        rows.append(
+            [
+                "cycle model (this repro)",
+                "*",
+                result.cycles["Key Generation"],
+                result.cycles["Encryption"],
+                result.cycles["Decryption"],
+                params.name,
+            ]
+        )
+    est = point_multiplication_estimate()
+    rows.append(
+        [
+            f"ECIES-233 estimate ({est.curve_name} ladder)",
+            "[19]+model",
+            None,
+            ecies_encrypt_estimate(),
+            est.cycles,
+            "233-bit",
+        ]
+    )
+    return render_table(
+        headers, rows, title="Table IV: ring-LWE encryption scheme comparison"
+    )
+
+
+def table4_headline_factors(seed: int = _DEFAULT_SEED) -> Dict[str, float]:
+    """Speedup factors the paper's abstract claims, recomputed."""
+    result = measure_scheme_operations(P1, seed)
+    arm7 = {
+        r.operation: r.cycles
+        for r in literature.TABLE4_LITERATURE
+        if r.platform == "ARM7TDMI"
+    }
+    return {
+        "encrypt_vs_arm7tdmi": arm7["Encryption"] / result.cycles["Encryption"],
+        "decrypt_vs_arm7tdmi": arm7["Decryption"] / result.cycles["Decryption"],
+        "ecies_vs_encrypt": ecies_encrypt_estimate()
+        / result.cycles["Encryption"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: probability-matrix structure
+# ----------------------------------------------------------------------
+def fig1(params: ParameterSet = P1) -> str:
+    pmat = ProbabilityMatrix.for_params(params)
+    zero_words = pmat.total_words - pmat.stored_words
+    rows = [
+        ComparisonRow("matrix rows", pmat.rows, 55 if params is P1 else None),
+        ComparisonRow("matrix columns", pmat.columns, 109 if params is P1 else None),
+        ComparisonRow("matrix bits", pmat.total_bits, 5995 if params is P1 else None),
+        ComparisonRow("column words (total)", pmat.total_words, 218 if params is P1 else None),
+        ComparisonRow("column words stored", pmat.stored_words, 180 if params is P1 else None),
+        ComparisonRow("zero words elided", zero_words, 38 if params is P1 else None),
+    ]
+    corner = pmat.render_corner(rows=12, cols=14)
+    return (
+        render_comparison(
+            rows,
+            title=f"Fig. 1: probability matrix storage [{params.name}]",
+        )
+        + "\n\nmatrix corner (rows 0-11, columns 0-13):\n"
+        + corner
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: DDG level termination probabilities
+# ----------------------------------------------------------------------
+def fig2(params: ParameterSet = P1, max_level: int = 13) -> str:
+    pmat = ProbabilityMatrix.for_params(params)
+    profile = level_profile(pmat)
+    accumulated = profile.accumulated_floats()
+    headers = ["level", "P[terminated within level]"]
+    rows = [[L + 1, accumulated[L]] for L in range(max_level)]
+    paper_anchor = (
+        "paper anchors: 97.27% within 8 levels, 99.87% within 13 levels"
+        if params is P1
+        else ""
+    )
+    bars = []
+    for L in range(2, max_level):
+        width = int(accumulated[L] * 60)
+        bars.append(f"level {L + 1:2d} |{'#' * width}{' ' * (60 - width)}| {accumulated[L]:.4%}")
+    return (
+        render_table(headers, rows, title=f"Fig. 2: accumulated termination probability [{params.name}]")
+        + ("\n" + paper_anchor if paper_anchor else "")
+        + "\n\n"
+        + "\n".join(bars)
+    )
+
+
+def all_experiments(seed: int = _DEFAULT_SEED) -> str:
+    """Every table and figure, concatenated (the CLI's `tables` output)."""
+    parts = [
+        table1(seed),
+        table2(seed),
+        table3(seed),
+        table4(seed),
+        fig1(),
+        fig2(),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,110 @@
+"""Coarse LWE security estimates for the paper's parameter labels.
+
+The paper labels P1 "medium-term" and P2 "long-term" security, citing
+the parameter selection of Goettert et al. (CHES 2012), which in turn
+rests on the Lindner-Peikert (CT-RSA 2011) analysis.  This module
+implements that analysis' *distinguishing attack* estimate so the labels
+are backed by a number rather than folklore:
+
+1. distinguishing LWE with advantage ``eps`` needs a dual-lattice vector
+   of length ``L = (q / s) * sqrt(ln(1/eps) / pi)`` where
+   ``s = sigma * sqrt(2*pi)``;
+2. BKZ with root-Hermite factor ``delta`` reaches, at the optimal
+   sub-dimension, a vector of length ``2^(2 * sqrt(n log2 q log2 delta))``
+   in the relevant q-ary lattice family, so the attack needs
+   ``log2(delta) = (log2 L)^2 / (4 n log2 q)``;
+3. Lindner-Peikert's BKZ runtime extrapolation:
+   ``log2(seconds) = 1.8 / log2(delta) - 110``.
+
+This is a *2011-era model* — kept deliberately, because it is the model
+the paper's parameters were chosen under.  Modern estimators (core-SVP
+etc.) assign these parameter sets lower security; that gap is a property
+of the field's progress, not of the reproduction, and is noted in the
+README's security notes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import ParameterSet
+
+#: Distinguishing advantage the estimate targets (LP11 use 2^-64 ranges).
+DEFAULT_ADVANTAGE = 2.0**-64
+
+#: Clock assumed when converting seconds to operations (2.3 GHz, LP11).
+_LOG2_OPS_PER_SECOND = math.log2(2.3e9)
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Output of the Lindner-Peikert distinguishing-attack model."""
+
+    params_name: str
+    advantage: float
+    required_vector_length: float
+    log2_delta: float
+    log2_seconds: float
+
+    @property
+    def delta(self) -> float:
+        """Root-Hermite factor the attacker's BKZ must reach."""
+        return 2.0**self.log2_delta
+
+    @property
+    def bit_security(self) -> float:
+        """Estimated log2 of attack operations (seconds * clock)."""
+        return self.log2_seconds + _LOG2_OPS_PER_SECOND
+
+    def __str__(self) -> str:
+        return (
+            f"{self.params_name}: delta = {self.delta:.5f}, "
+            f"~2^{self.bit_security:.0f} operations "
+            f"(LP11 distinguishing model, eps = {self.advantage:.1e})"
+        )
+
+
+def required_vector_length(
+    params: ParameterSet, advantage: float = DEFAULT_ADVANTAGE
+) -> float:
+    """Length of the dual vector that distinguishes with ``advantage``."""
+    if not 0 < advantage < 1:
+        raise ValueError("advantage must be in (0, 1)")
+    return (params.q / params.s) * math.sqrt(
+        math.log(1.0 / advantage) / math.pi
+    )
+
+
+def required_log2_delta(
+    params: ParameterSet, advantage: float = DEFAULT_ADVANTAGE
+) -> float:
+    """Root-Hermite factor (log2) needed to reach that length."""
+    length = required_vector_length(params, advantage)
+    log2_length = math.log2(length)
+    return (log2_length**2) / (4.0 * params.n * math.log2(params.q))
+
+
+def estimate_security(
+    params: ParameterSet, advantage: float = DEFAULT_ADVANTAGE
+) -> SecurityEstimate:
+    """Full LP11 distinguishing-attack estimate for ``params``."""
+    log2_delta = required_log2_delta(params, advantage)
+    log2_seconds = 1.8 / log2_delta - 110.0
+    return SecurityEstimate(
+        params_name=params.name,
+        advantage=advantage,
+        required_vector_length=required_vector_length(params, advantage),
+        log2_delta=log2_delta,
+        log2_seconds=log2_seconds,
+    )
+
+
+def security_margin_ratio(
+    a: ParameterSet, b: ParameterSet, advantage: float = DEFAULT_ADVANTAGE
+) -> float:
+    """How much harder ``b`` is than ``a`` (ratio of bit securities)."""
+    return (
+        estimate_security(b, advantage).bit_security
+        / estimate_security(a, advantage).bit_security
+    )

@@ -1,0 +1,116 @@
+"""Statistical verification helpers for the sampler test-suite.
+
+The sampler correctness story has two layers: *exact* verification via
+the DDG analysis (:mod:`repro.sampler.ddg`) and *statistical*
+verification that the concrete samplers, driven by the simulated TRNG,
+actually realise that distribution.  This module provides the latter:
+chi-square goodness of fit against exact expected probabilities,
+empirical moments, and total-variation distance between empirical counts
+and a reference distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence
+
+from scipy.stats import chi2
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    def passed(self, alpha: float = 0.001) -> bool:
+        return self.p_value >= alpha
+
+
+def chi_square_goodness_of_fit(
+    observed: Mapping[int, int],
+    expected_probabilities: Mapping[int, Fraction],
+    min_expected: float = 5.0,
+) -> ChiSquareResult:
+    """Chi-square test of observed counts against exact probabilities.
+
+    Cells with expected count below ``min_expected`` are pooled into a
+    single tail cell (standard practice for sparse tails).
+    """
+    total = sum(observed.values())
+    if total == 0:
+        raise ValueError("no observations")
+    cells = []
+    pooled_observed = 0
+    pooled_expected = 0.0
+    for value, prob in expected_probabilities.items():
+        expected = float(prob) * total
+        got = observed.get(value, 0)
+        if expected < min_expected:
+            pooled_observed += got
+            pooled_expected += expected
+        else:
+            cells.append((got, expected))
+    # Any observation outside the expected support joins the pooled cell.
+    support = set(expected_probabilities)
+    pooled_observed += sum(
+        count for value, count in observed.items() if value not in support
+    )
+    if pooled_expected > 0:
+        cells.append((pooled_observed, pooled_expected))
+    elif pooled_observed:
+        raise ValueError(
+            "observations outside the expected support with zero "
+            "expected mass"
+        )
+    if len(cells) < 2:
+        raise ValueError("too few cells for a chi-square test")
+    statistic = sum((o - e) ** 2 / e for o, e in cells)
+    dof = len(cells) - 1
+    p_value = float(chi2.sf(statistic, dof))
+    return ChiSquareResult(statistic, dof, p_value)
+
+
+def empirical_moments(samples: Sequence[int]) -> Dict[str, float]:
+    """Mean and (population) variance of integer samples."""
+    if not samples:
+        raise ValueError("no samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / n
+    return {"mean": mean, "variance": variance}
+
+
+def count_samples(samples: Iterable[int]) -> Dict[int, int]:
+    return dict(Counter(samples))
+
+
+def total_variation_distance(
+    observed: Mapping[int, int],
+    expected_probabilities: Mapping[int, Fraction],
+) -> float:
+    """TV distance between empirical frequencies and exact probabilities."""
+    total = sum(observed.values())
+    if total == 0:
+        raise ValueError("no observations")
+    support = set(observed) | set(expected_probabilities)
+    distance = 0.0
+    for value in support:
+        empirical = observed.get(value, 0) / total
+        expected = float(expected_probabilities.get(value, Fraction(0)))
+        distance += abs(empirical - expected)
+    return distance / 2.0
+
+
+def centered(value: int, q: int) -> int:
+    """Map a mod-q representative to the centered range (-q/2, q/2]."""
+    return value if value <= q // 2 else value - q
+
+
+def sampling_sigma_estimate(samples: Sequence[int], q: int) -> float:
+    """Estimated sigma of mod-q Gaussian samples."""
+    cs = [centered(s, q) for s in samples]
+    return math.sqrt(empirical_moments(cs)["variance"])

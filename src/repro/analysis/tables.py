@@ -1,0 +1,105 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every bench prints its reproduction in the layout of the corresponding
+paper table, with a "paper" column next to the "measured" column and the
+ratio between them, so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a boxed ASCII table with right-aligned numbers."""
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "+".join("-" * (w + 2) for w in widths)
+    rule = f"+{rule}+"
+    lines.append(rule)
+    lines.append(
+        "| "
+        + " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+        + " |"
+    )
+    lines.append(rule)
+    for original, row in zip(rows, cells):
+        rendered = []
+        for i, cell in enumerate(row):
+            if isinstance(original[i], (int, float)) and not isinstance(
+                original[i], bool
+            ):
+                rendered.append(cell.rjust(widths[i]))
+            else:
+                rendered.append(cell.ljust(widths[i]))
+        lines.append("| " + " | ".join(rendered) + " |")
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One measured-versus-paper entry."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def as_row(self) -> List[object]:
+        measured = (
+            int(self.measured)
+            if float(self.measured).is_integer()
+            else self.measured
+        )
+        paper = self.paper
+        if paper is not None and float(paper).is_integer():
+            paper = int(paper)
+        return [self.label, measured, paper, self.ratio]
+
+
+def render_comparison(
+    rows: Sequence[ComparisonRow], title: Optional[str] = None
+) -> str:
+    """Render measured-vs-paper rows with the ratio column."""
+    return render_table(
+        ["quantity", "measured", "paper", "measured/paper"],
+        [row.as_row() for row in rows],
+        title=title,
+    )

@@ -1,0 +1,28 @@
+"""Comparison baselines: binary-field ECC and the ECIES estimate."""
+
+from repro.baselines.ecc import BinaryCurve, curve_k233, curve_tiny
+from repro.baselines.ecies import (
+    M0PLUS_GF233,
+    FieldCostModel,
+    PointMultEstimate,
+    ecies_decrypt_estimate,
+    ecies_encrypt_estimate,
+    point_multiplication_estimate,
+)
+from repro.baselines.gf2m import FIELD_5, FIELD_8, FIELD_233, BinaryField
+
+__all__ = [
+    "BinaryCurve",
+    "curve_k233",
+    "curve_tiny",
+    "BinaryField",
+    "FIELD_5",
+    "FIELD_8",
+    "FIELD_233",
+    "FieldCostModel",
+    "M0PLUS_GF233",
+    "PointMultEstimate",
+    "point_multiplication_estimate",
+    "ecies_encrypt_estimate",
+    "ecies_decrypt_estimate",
+]

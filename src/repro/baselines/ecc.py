@@ -1,0 +1,259 @@
+"""Binary-field elliptic curves for the ECIES comparison (Table IV).
+
+Implements short Weierstrass curves ``y^2 + xy = x^3 + a*x^2 + b`` over
+GF(2^m) with:
+
+* the affine group law (addition, doubling, negation, scalar
+  multiplication by double-and-add);
+* the Lopez-Dahab x-only Montgomery ladder — the standard constant-time
+  point-multiplication algorithm on binary curves (and the one the
+  Cortex-M0+ implementation in [19] uses), with per-operation field-op
+  counting so :mod:`repro.baselines.ecies` can estimate cycle costs;
+* point construction from an x-coordinate via the half-trace solver.
+
+The instance used by the benches is NIST K-233 (a = 0, b = 1 over
+x^233 + x^74 + 1), matching the 233-bit security point of the paper's
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines.gf2m import FIELD_5, FIELD_233, BinaryField
+
+#: The point at infinity (group identity).
+INFINITY: "Optional[tuple[int, int]]" = None
+Point = Optional[Tuple[int, int]]
+
+
+class FieldOpCounter:
+    """Tallies field operations for the cycle-cost estimate."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {
+            "mul": 0,
+            "square": 0,
+            "add": 0,
+            "inverse": 0,
+        }
+
+    def record(self, op: str, count: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + count
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class BinaryCurve:
+    """y^2 + xy = x^3 + a*x^2 + b over a binary field."""
+
+    name: str
+    fld: BinaryField
+    a: int
+    b: int
+    counter: FieldOpCounter = field(default_factory=FieldOpCounter)
+
+    def __post_init__(self) -> None:
+        if self.b == 0:
+            raise ValueError("b = 0 gives a singular curve")
+        self.fld._check(self.a, self.b)
+
+    # ------------------------------------------------------------------
+    # Counted field helpers
+    # ------------------------------------------------------------------
+    def _mul(self, x: int, y: int) -> int:
+        self.counter.record("mul")
+        return self.fld.mul(x, y)
+
+    def _sq(self, x: int) -> int:
+        self.counter.record("square")
+        return self.fld.square(x)
+
+    def _add(self, x: int, y: int) -> int:
+        self.counter.record("add")
+        return self.fld.add(x, y)
+
+    def _inv(self, x: int) -> int:
+        self.counter.record("inverse")
+        return self.fld.inverse(x)
+
+    # ------------------------------------------------------------------
+    # Point predicates and affine group law
+    # ------------------------------------------------------------------
+    def is_on_curve(self, point: Point) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        if not (self.fld.is_element(x) and self.fld.is_element(y)):
+            return False
+        f = self.fld
+        lhs = f.add(f.square(y), f.mul(x, y))
+        rhs = f.add(
+            f.add(f.mul(f.square(x), x), f.mul(self.a, f.square(x))), self.b
+        )
+        return lhs == rhs
+
+    def negate(self, point: Point) -> Point:
+        if point is None:
+            return None
+        x, y = point
+        return (x, self.fld.add(x, y))
+
+    def add(self, p: Point, q: Point) -> Point:
+        """Affine addition covering all cases."""
+        if p is None:
+            return q
+        if q is None:
+            return p
+        x1, y1 = p
+        x2, y2 = q
+        if x1 == x2:
+            if self.fld.add(y1, y2) == x1:  # q == -p (or x1 == 0 doubling)
+                return None
+            return self.double(p)
+        lam = self._mul(self._add(y1, y2), self._inv(self._add(x1, x2)))
+        x3 = self._add(
+            self._add(self._add(self._sq(lam), lam), self._add(x1, x2)),
+            self.a,
+        )
+        y3 = self._add(
+            self._add(self._mul(lam, self._add(x1, x3)), x3), y1
+        )
+        return (x3, y3)
+
+    def double(self, p: Point) -> Point:
+        if p is None:
+            return None
+        x1, y1 = p
+        if x1 == 0:
+            # 2P = infinity when x = 0 (P is its own negative).
+            return None
+        lam = self._add(x1, self._mul(y1, self._inv(x1)))
+        x3 = self._add(self._add(self._sq(lam), lam), self.a)
+        y3 = self._add(self._sq(x1), self._mul(self._add(lam, 1), x3))
+        return (x3, y3)
+
+    def scalar_multiply(self, k: int, p: Point) -> Point:
+        """Left-to-right double-and-add (the non-ladder reference)."""
+        if k < 0:
+            return self.scalar_multiply(-k, self.negate(p))
+        result: Point = None
+        addend = p
+        for bit_index in range(k.bit_length() - 1, -1, -1):
+            result = self.double(result)
+            if (k >> bit_index) & 1:
+                result = self.add(result, addend)
+        return result
+
+    # ------------------------------------------------------------------
+    # Lopez-Dahab x-only Montgomery ladder
+    # ------------------------------------------------------------------
+    def montgomery_ladder_x(self, k: int, x_p: int) -> Optional[int]:
+        """x-coordinate of k*P given x(P), via the Lopez-Dahab ladder.
+
+        Returns None when k*P is the point at infinity.  This is the
+        operation whose cost dominates ECIES on constrained devices.
+        """
+        if k < 0:
+            raise ValueError("ladder expects a non-negative scalar")
+        if k == 0:
+            return None
+        if x_p == 0:
+            # A point with x = 0 is its own negative: 2P = infinity.
+            return x_p if k % 2 else None
+        if k == 1:
+            return x_p
+        f = self.fld
+        # R0 = P, R1 = 2P in (X, Z) coordinates.
+        X1, Z1 = x_p, 1
+        X2 = self._add(self._sq(self._sq(x_p)), self.b)  # x_p^4 + b
+        Z2 = self._sq(x_p)
+        for bit_index in range(k.bit_length() - 2, -1, -1):
+            bit = (k >> bit_index) & 1
+            if bit:
+                X1, Z1, X2, Z2 = X2, Z2, X1, Z1
+            # Differential addition: R_other = R0 + R1 (difference P).
+            t = self._mul(X1, Z2)
+            u = self._mul(X2, Z1)
+            Z_add = self._sq(self._add(t, u))
+            X_add = self._add(self._mul(x_p, Z_add), self._mul(t, u))
+            # Doubling of R0.
+            x_sq = self._sq(X1)
+            z_sq = self._sq(Z1)
+            Z_dbl = self._mul(x_sq, z_sq)
+            X_dbl = self._add(self._sq(x_sq), self._mul(self.b, self._sq(z_sq)))
+            X1, Z1 = X_dbl, Z_dbl
+            X2, Z2 = X_add, Z_add
+            if bit:
+                X1, Z1, X2, Z2 = X2, Z2, X1, Z1
+        if Z1 == 0:
+            return None
+        return self._mul(X1, self._inv(Z1))
+
+    # ------------------------------------------------------------------
+    # Point construction
+    # ------------------------------------------------------------------
+    def solve_quadratic(self, c: int) -> Optional[int]:
+        """Solve z^2 + z = c via the half-trace (odd m only).
+
+        Returns a solution or None when Tr(c) = 1 (no solution).
+        """
+        f = self.fld
+        if f.m % 2 == 0:
+            raise NotImplementedError("half-trace requires odd m")
+        if f.trace(c) != 0:
+            return None
+        # Half-trace H(c) = sum_{i=0}^{(m-1)/2} c^(2^(2i)).
+        acc = c
+        term = c
+        for _ in range((f.m - 1) // 2):
+            term = f.square(f.square(term))
+            acc = f.add(acc, term)
+        return acc
+
+    def point_from_x(self, x: int) -> Optional[Point]:
+        """Lift an x-coordinate to a curve point, if one exists."""
+        f = self.fld
+        if x == 0:
+            # y^2 = b: y = sqrt(b) = b^(2^(m-1)).
+            y = f.pow(self.b, 1 << (f.m - 1))
+            return (0, y)
+        rhs = f.add(
+            f.add(f.mul(f.square(x), x), f.mul(self.a, f.square(x))), self.b
+        )
+        c = f.mul(rhs, f.inverse(f.square(x)))
+        z = self.solve_quadratic(c)
+        if z is None:
+            return None
+        return (x, f.mul(x, z))
+
+    def find_point(self, start_x: int = 1) -> Point:
+        """First curve point with x >= start_x (deterministic)."""
+        x = start_x
+        while True:
+            point = self.point_from_x(x)
+            if point is not None:
+                return point
+            x += 1
+
+    def enumerate_points(self) -> List[Point]:
+        """All points including infinity (tiny fields only)."""
+        points: List[Point] = [None]
+        for x in self.fld.elements():
+            for y in self.fld.elements():
+                if self.is_on_curve((x, y)):
+                    points.append((x, y))
+        return points
+
+
+def curve_k233() -> BinaryCurve:
+    """NIST K-233: y^2 + xy = x^3 + 1 over GF(2^233)."""
+    return BinaryCurve("K-233", FIELD_233, a=0, b=1)
+
+
+def curve_tiny() -> BinaryCurve:
+    """A small test curve over GF(2^5) for exhaustive checks."""
+    return BinaryCurve("tiny-5", FIELD_5, a=1, b=1)

@@ -1,0 +1,127 @@
+"""ECIES cycle estimate for the Table IV comparison.
+
+The paper compares its scheme against ECIES at 233-bit (medium-term)
+security by costing the dominant operations: two point multiplications
+per encryption, using the 2,761,640-cycle Cortex-M0+ point
+multiplication of [19].  We rebuild that estimate from the ground up:
+
+1. run the actual Lopez-Dahab ladder of
+   :mod:`repro.baselines.ecc` on K-233 and *count* field operations;
+2. price each operation with a per-word cost model of GF(2^233)
+   arithmetic on a 32-bit MCU (shift-and-xor comb multiplication, table
+   squaring, Itoh-Tsujii inversion);
+3. multiply and compare with the literature constant.
+
+The default per-operation prices are calibrated so the model lands on
+[19]'s measured total (within <1%) given our exact operation counts —
+i.e. the *counts* are measured, the *prices* carry the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.ecc import BinaryCurve, curve_k233
+
+#: Literature constants (paper Section IV-B).
+POINT_MULT_CYCLES_M0PLUS = 2_761_640  # [19], 233-bit, Cortex-M0+
+ECIES_ENCRYPT_CYCLES_PAPER = 5_523_280  # two point multiplications
+
+
+@dataclass(frozen=True)
+class FieldCostModel:
+    """Cycle prices for GF(2^m) operations on a small 32-bit MCU.
+
+    Defaults model GF(2^233) on the Cortex-M0+: an 8-word comb
+    multiplication (~1750 cycles), table-driven squaring (~220), XOR
+    addition (~30), and Itoh-Tsujii inversion (10 multiplications plus
+    m-1 squarings).  ``ladder_overhead`` covers the per-iteration loop,
+    swap and pointer work of the Montgomery ladder.
+    """
+
+    name: str = "GF(2^233) on Cortex-M0+"
+    mul: int = 1750
+    square: int = 220
+    add: int = 30
+    ladder_overhead: int = 100
+
+    @property
+    def inverse(self) -> int:
+        """Itoh-Tsujii: ~10 multiplications + 232 squarings for m = 233."""
+        return 10 * self.mul + 232 * self.square
+
+    def price(self, counts: Dict[str, int], iterations: int) -> int:
+        """Total cycles for an operation-count profile."""
+        return (
+            counts.get("mul", 0) * self.mul
+            + counts.get("square", 0) * self.square
+            + counts.get("add", 0) * self.add
+            + counts.get("inverse", 0) * self.inverse
+            + iterations * self.ladder_overhead
+        )
+
+
+M0PLUS_GF233 = FieldCostModel()
+
+
+@dataclass(frozen=True)
+class PointMultEstimate:
+    """Modelled point-multiplication cost with its inputs."""
+
+    curve_name: str
+    scalar_bits: int
+    field_ops: Dict[str, int]
+    cycles: int
+    literature_cycles: int
+
+    @property
+    def relative_error(self) -> float:
+        return (self.cycles - self.literature_cycles) / self.literature_cycles
+
+
+def point_multiplication_estimate(
+    curve: BinaryCurve = None,
+    cost_model: FieldCostModel = M0PLUS_GF233,
+    scalar: int = None,
+) -> PointMultEstimate:
+    """Run the ladder, count field ops, and price them.
+
+    The default scalar is a fixed full-width (233-bit) value so the
+    estimate is deterministic; ladder cost is scalar-independent apart
+    from bit-length anyway (that is the point of a ladder).
+    """
+    if curve is None:
+        curve = curve_k233()
+    if scalar is None:
+        # A fixed full-width scalar: alternating bits below a leading 1.
+        scalar = (1 << 232) | int("55" * 29, 16) & ((1 << 232) - 1)
+    base = curve.find_point()
+    curve.counter.counts = {k: 0 for k in curve.counter.counts}
+    result_x = curve.montgomery_ladder_x(scalar, base[0])
+    if result_x is None:  # pragma: no cover - full-width scalar, K-233
+        raise ArithmeticError("unexpected infinity during estimate")
+    counts = dict(curve.counter.counts)
+    iterations = scalar.bit_length() - 1
+    cycles = cost_model.price(counts, iterations)
+    return PointMultEstimate(
+        curve_name=curve.name,
+        scalar_bits=scalar.bit_length(),
+        field_ops=counts,
+        cycles=cycles,
+        literature_cycles=POINT_MULT_CYCLES_M0PLUS,
+    )
+
+
+def ecies_encrypt_estimate(
+    cost_model: FieldCostModel = M0PLUS_GF233,
+) -> int:
+    """ECIES encryption ~ two point multiplications (paper Section IV-B)."""
+    return 2 * point_multiplication_estimate(cost_model=cost_model).cycles
+
+
+def ecies_decrypt_estimate(
+    cost_model: FieldCostModel = M0PLUS_GF233,
+) -> int:
+    """ECIES decryption ~ one point multiplication."""
+    return point_multiplication_estimate(cost_model=cost_model).cycles

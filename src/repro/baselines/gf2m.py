@@ -1,0 +1,157 @@
+"""Binary field arithmetic GF(2^m) for the ECC comparison baseline.
+
+Table IV compares the ring-LWE scheme against an ECIES estimate built on
+a 233-bit binary-curve point multiplication [19].  Rather than carrying
+that comparison as a bare constant, this package implements the actual
+substrate: polynomial-basis GF(2^m) arithmetic with sparse reduction
+trinomials/pentanomials, including the standardised field of K-233/B-233
+(x^233 + x^74 + 1).
+
+Field elements are Python integers whose bits are polynomial
+coefficients over GF(2).  Multiplication is carry-less (XOR-shift), and
+inversion uses the binary extended Euclidean algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class BinaryField:
+    """GF(2^m) with reduction polynomial given by its exponent list."""
+
+    m: int
+    reduction_exponents: Tuple[int, ...]  # e.g. (233, 74, 0)
+
+    def __post_init__(self) -> None:
+        exps = sorted(self.reduction_exponents, reverse=True)
+        if exps[0] != self.m or exps[-1] != 0:
+            raise ValueError(
+                "reduction polynomial must have degree m and constant term 1"
+            )
+        if len(set(exps)) != len(exps):
+            raise ValueError("repeated exponent in reduction polynomial")
+
+    @property
+    def modulus(self) -> int:
+        value = 0
+        for e in self.reduction_exponents:
+            value |= 1 << e
+        return value
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, 2^m."""
+        return 1 << self.m
+
+    # ------------------------------------------------------------------
+    # Element arithmetic
+    # ------------------------------------------------------------------
+    def is_element(self, a: int) -> bool:
+        return 0 <= a < (1 << self.m)
+
+    def _check(self, *elements: int) -> None:
+        for a in elements:
+            if not self.is_element(a):
+                raise ValueError(f"{a:#x} is not a GF(2^{self.m}) element")
+
+    def add(self, a: int, b: int) -> int:
+        """Addition = XOR (characteristic 2)."""
+        self._check(a, b)
+        return a ^ b
+
+    def reduce(self, a: int) -> int:
+        """Reduce an unreduced carry-less product modulo the field poly."""
+        modulus = self.modulus
+        while a.bit_length() > self.m:
+            shift = a.bit_length() - self.m - 1
+            a ^= modulus << shift
+        return a
+
+    def clmul(self, a: int, b: int) -> int:
+        """Carry-less (polynomial) multiplication, unreduced."""
+        result = 0
+        while b:
+            low = b & -b
+            result ^= a * low  # times a power of two: a plain shift
+            b ^= low
+        return result
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a, b)
+        return self.reduce(self.clmul(a, b))
+
+    def square(self, a: int) -> int:
+        """Squaring is linear in GF(2^m): spread the bits and reduce."""
+        self._check(a)
+        result = 0
+        bit = 0
+        while a:
+            if a & 1:
+                result |= 1 << (2 * bit)
+            a >>= 1
+            bit += 1
+        return self.reduce(result)
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via the binary extended Euclid."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        u, v = a, self.modulus
+        g1, g2 = 1, 0
+        while u != 1:
+            j = u.bit_length() - v.bit_length()
+            if j < 0:
+                u, v = v, u
+                g1, g2 = g2, g1
+                j = -j
+            u ^= v << j
+            g1 ^= g2 << j
+        return self.reduce(g1)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inverse(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Square-and-multiply exponentiation."""
+        self._check(a)
+        if exponent < 0:
+            a = self.inverse(a)
+            exponent = -exponent
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.square(base)
+            exponent >>= 1
+        return result
+
+    def trace(self, a: int) -> int:
+        """Field trace Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1))."""
+        self._check(a)
+        acc = a
+        term = a
+        for _ in range(self.m - 1):
+            term = self.square(term)
+            acc ^= term
+        if acc not in (0, 1):  # pragma: no cover - algebra guarantees
+            raise ArithmeticError("trace must be 0 or 1")
+        return acc
+
+    def elements(self) -> Iterable[int]:
+        """All field elements (only sensible for tiny test fields)."""
+        if self.m > 16:
+            raise ValueError("refusing to enumerate a large field")
+        return range(1 << self.m)
+
+
+#: NIST K-233 / B-233 field: x^233 + x^74 + 1.
+FIELD_233 = BinaryField(233, (233, 74, 0))
+
+#: Small fields for exhaustive testing.
+FIELD_5 = BinaryField(5, (5, 2, 0))
+FIELD_8 = BinaryField(8, (8, 4, 3, 1, 0))  # the AES field

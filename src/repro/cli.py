@@ -1,0 +1,225 @@
+"""Command-line interface: ``rlwe-repro`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``tables``
+    Regenerate every paper table and figure from the cycle models.
+``keygen`` / ``encrypt`` / ``decrypt``
+    File-based encryption round trip using the functional scheme.
+``sample``
+    Draw discrete Gaussian samples and print summary statistics.
+``profile``
+    Per-phase cycle breakdown of one encryption/decryption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__, get_parameter_set, seeded_scheme
+from repro.core import serialize
+from repro.machine.machine import CortexM4
+from repro.trng.bitpool import BitPool
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rlwe-repro",
+        description=(
+            "Reproduction of 'Efficient Software Implementation of "
+            "Ring-LWE Encryption' (DATE 2015)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables/figures")
+    tables.add_argument("--seed", type=int, default=2015)
+    tables.add_argument(
+        "--only",
+        choices=["1", "2", "3", "4", "fig1", "fig2"],
+        help="render a single table/figure",
+    )
+
+    keygen = sub.add_parser("keygen", help="generate a key pair")
+    keygen.add_argument("--params", default="P1", help="P1 or P2")
+    keygen.add_argument("--seed", type=int, default=None)
+    keygen.add_argument("--public", required=True, help="public key output")
+    keygen.add_argument("--private", required=True, help="private key output")
+
+    encrypt = sub.add_parser("encrypt", help="encrypt a small message")
+    encrypt.add_argument("--public", required=True)
+    encrypt.add_argument("--in", dest="infile", required=True)
+    encrypt.add_argument("--out", required=True)
+    encrypt.add_argument("--seed", type=int, default=None)
+
+    decrypt = sub.add_parser("decrypt", help="decrypt a ciphertext")
+    decrypt.add_argument("--private", required=True)
+    decrypt.add_argument("--in", dest="infile", required=True)
+    decrypt.add_argument("--out", required=True)
+    decrypt.add_argument("--length", type=int, default=None)
+
+    sample = sub.add_parser("sample", help="draw Gaussian samples")
+    sample.add_argument("--params", default="P1")
+    sample.add_argument("--count", type=int, default=10000)
+    sample.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser("profile", help="cycle breakdown of one enc/dec")
+    profile.add_argument("--params", default="P1")
+    profile.add_argument("--seed", type=int, default=2015)
+    return parser
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments
+
+    if args.only is None:
+        print(experiments.all_experiments(args.seed))
+        return 0
+    renderers = {
+        "1": lambda: experiments.table1(args.seed),
+        "2": lambda: experiments.table2(args.seed),
+        "3": lambda: experiments.table3(args.seed),
+        "4": lambda: experiments.table4(args.seed),
+        "fig1": experiments.fig1,
+        "fig2": experiments.fig2,
+    }
+    print(renderers[args.only]())
+    return 0
+
+
+def _scheme(params_name: str, seed: Optional[int]):
+    params = get_parameter_set(params_name)
+    return seeded_scheme(params, seed if seed is not None else 0)
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    scheme = _scheme(args.params, args.seed)
+    pair = scheme.generate_keypair()
+    pub, prv = serialize.serialize_keypair(pair)
+    with open(args.public, "wb") as f:
+        f.write(pub)
+    with open(args.private, "wb") as f:
+        f.write(prv)
+    print(
+        f"wrote {len(pub)}-byte public key and {len(prv)}-byte private key "
+        f"[{scheme.params.name}]"
+    )
+    return 0
+
+
+def _cmd_encrypt(args: argparse.Namespace) -> int:
+    with open(args.public, "rb") as f:
+        public = serialize.deserialize_public_key(f.read())
+    with open(args.infile, "rb") as f:
+        message = f.read()
+    scheme = _scheme(public.params.name, args.seed)
+    capacity = scheme.params.message_bytes
+    if len(message) > capacity:
+        print(
+            f"error: message is {len(message)} bytes; one "
+            f"{scheme.params.name} ciphertext carries at most {capacity}",
+            file=sys.stderr,
+        )
+        return 1
+    ct = scheme.encrypt(public, message)
+    data = serialize.serialize_ciphertext(ct)
+    with open(args.out, "wb") as f:
+        f.write(data)
+    print(f"wrote {len(data)}-byte ciphertext [{scheme.params.name}]")
+    return 0
+
+
+def _cmd_decrypt(args: argparse.Namespace) -> int:
+    with open(args.private, "rb") as f:
+        private = serialize.deserialize_private_key(f.read())
+    with open(args.infile, "rb") as f:
+        ct = serialize.deserialize_ciphertext(f.read())
+    scheme = _scheme(private.params.name, None)
+    message = scheme.decrypt(private, ct, length=args.length)
+    with open(args.out, "wb") as f:
+        f.write(message)
+    print(f"wrote {len(message)} plaintext bytes")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import empirical_moments, centered
+    from repro.sampler.lut_sampler import LutKnuthYaoSampler
+    from repro.sampler.pmat import ProbabilityMatrix
+    from repro.trng.bitsource import PrngBitSource
+
+    params = get_parameter_set(args.params)
+    sampler = LutKnuthYaoSampler(
+        ProbabilityMatrix.for_params(params),
+        params.q,
+        PrngBitSource(Xorshift128(args.seed)),
+    )
+    samples = [
+        centered(sampler.sample(), params.q) for _ in range(args.count)
+    ]
+    moments = empirical_moments(samples)
+    print(f"{args.count} samples from X_sigma [{params.name}]")
+    print(f"  target sigma^2   = {params.sigma ** 2:.4f}")
+    print(f"  observed mean    = {moments['mean']:+.4f}")
+    print(f"  observed var     = {moments['variance']:.4f}")
+    print(
+        f"  LUT1/LUT2/scan   = {sampler.lut1_hits}/"
+        f"{sampler.lut2_hits}/{sampler.scan_fallbacks}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.cyclemodel.scheme_cycles import (
+        decrypt_cycles,
+        encrypt_cycles,
+        keygen_cycles,
+    )
+
+    params = get_parameter_set(args.params)
+    rng = random.Random(args.seed)
+
+    machine = CortexM4()
+    pool = BitPool(SimulatedTrng(Xorshift128(args.seed), machine=machine), machine=machine)
+    pair, keygen = keygen_cycles(machine, params, pool)
+    print(keygen)
+
+    message = [rng.randrange(2) for _ in range(params.n)]
+    machine = CortexM4()
+    pool = BitPool(SimulatedTrng(Xorshift128(args.seed + 1), machine=machine), machine=machine)
+    ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
+    print(encrypt)
+
+    machine = CortexM4()
+    decoded, decrypt = decrypt_cycles(machine, params, pair.private, ct)
+    print(decrypt)
+    print("roundtrip:", "OK" if decoded == message else "FAILED")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "keygen": _cmd_keygen,
+    "encrypt": _cmd_encrypt,
+    "decrypt": _cmd_decrypt,
+    "sample": _cmd_sample,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

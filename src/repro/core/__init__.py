@@ -1,0 +1,60 @@
+"""Core ring-LWE encryption scheme (paper Section II-A)."""
+
+from repro.core.cca import (
+    CcaEncapsulation,
+    CcaRejection,
+    CcaSharedSecret,
+    FujisakiOkamotoKem,
+)
+from repro.core.kem import (
+    Encapsulation,
+    EncapsulationError,
+    RlweKem,
+    SharedSecret,
+    exchange_session_key,
+)
+from repro.core.params import (
+    P1,
+    P2,
+    P3,
+    P4,
+    PARAMETER_SETS,
+    ParameterSet,
+    custom_parameter_set,
+    get_parameter_set,
+)
+from repro.core.ring import Domain, RingElement
+from repro.core.scheme import (
+    Ciphertext,
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    RlweEncryptionScheme,
+)
+
+__all__ = [
+    "Domain",
+    "RingElement",
+    "FujisakiOkamotoKem",
+    "CcaEncapsulation",
+    "CcaRejection",
+    "CcaSharedSecret",
+    "RlweKem",
+    "Encapsulation",
+    "EncapsulationError",
+    "SharedSecret",
+    "exchange_session_key",
+    "P1",
+    "P2",
+    "P3",
+    "P4",
+    "PARAMETER_SETS",
+    "ParameterSet",
+    "custom_parameter_set",
+    "get_parameter_set",
+    "Ciphertext",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "RlweEncryptionScheme",
+]

@@ -1,0 +1,153 @@
+"""Fujisaki-Okamoto-style CCA-secure KEM over the paper's scheme.
+
+The paper's encryption (like every textbook LPR variant) is only
+CPA-secure: an active attacker who can observe decryption behaviour of
+chosen ciphertexts can mount reaction attacks.  The standard hardening —
+the route Kyber and NewHope-CCA later took — is the Fujisaki-Okamoto
+transform:
+
+* **Encapsulation**: pick a random message ``m``; derive *all*
+  encryption randomness deterministically as ``G(m, pk)``; send
+  ``c = Enc(pk, m; G(m, pk))``; output the session key ``K = H(m, c)``.
+* **Decapsulation**: recover ``m' = Dec(sk, c)``, *re-encrypt* it with
+  the same derived randomness, and reject unless the re-encryption
+  reproduces ``c`` exactly.  Any tampering with ``c`` is caught because
+  the attacker cannot produce a matching (message, randomness) pair.
+
+The deterministic re-encryption is exact here because every consumer of
+randomness in the scheme (the three Gaussian samplings) runs on the
+:class:`repro.trng.drbg.HashDrbgBitSource` seeded from ``G``.
+
+Caveat kept honest: implicit in FO is that decryption is correct; the
+scheme's ~1% decryption-failure rate (legacy parameters) surfaces as a
+rejection, so callers retry exactly as with the plain KEM.  (Modern
+schemes pick failure rates < 2^-128 so this cannot be exploited;
+quantifying the gap is part of this reproduction's failure analysis.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.core import encoding
+from repro.core.params import ParameterSet
+from repro.core.scheme import (
+    Ciphertext,
+    PrivateKey,
+    PublicKey,
+    RlweEncryptionScheme,
+)
+from repro.trng.bitsource import BitSource
+from repro.trng.drbg import HashDrbgBitSource
+
+#: Random message bytes transported per encapsulation.
+MESSAGE_BYTES = 32
+
+
+class CcaRejection(Exception):
+    """Decapsulation rejected the ciphertext (tampering or failure)."""
+
+
+@dataclass(frozen=True)
+class CcaEncapsulation:
+    ciphertext: Ciphertext
+
+
+@dataclass(frozen=True)
+class CcaSharedSecret:
+    key: bytes
+
+
+def _public_key_digest(public: PublicKey) -> bytes:
+    h = hashlib.sha256()
+    h.update(public.params.name.encode())
+    for c in public.a_hat:
+        h.update(c.to_bytes(2, "little"))
+    for c in public.p_hat:
+        h.update(c.to_bytes(2, "little"))
+    return h.digest()
+
+
+def _randomness_seed(message: bytes, public: PublicKey) -> bytes:
+    """G(m, pk): the seed of the deterministic encryption randomness."""
+    return hashlib.sha256(
+        b"fo-G|" + message + _public_key_digest(public)
+    ).digest()
+
+
+def _ciphertext_digest(ct: Ciphertext) -> bytes:
+    h = hashlib.sha256()
+    for c in ct.c1_hat:
+        h.update(c.to_bytes(2, "little"))
+    for c in ct.c2_hat:
+        h.update(c.to_bytes(2, "little"))
+    return h.digest()
+
+
+def _session_key(message: bytes, ct: Ciphertext) -> bytes:
+    """H(m, c): the final shared secret."""
+    return hashlib.sha256(
+        b"fo-H|" + message + _ciphertext_digest(ct)
+    ).digest()
+
+
+def _deterministic_encrypt(
+    params: ParameterSet, public: PublicKey, message: bytes
+) -> Ciphertext:
+    """Enc(pk, m; G(m, pk)) — all sampler bits from the DRBG."""
+    drbg = HashDrbgBitSource(_randomness_seed(message, public))
+    scheme = RlweEncryptionScheme(params, bits=drbg)
+    return scheme.encrypt_polynomial(
+        public, encoding.encode_bytes(message, params)
+    )
+
+
+class FujisakiOkamotoKem:
+    """CCA-secure KEM via re-encryption checking.
+
+    ``entropy`` supplies only the *message* randomness at encapsulation
+    time; everything else is derived.
+    """
+
+    def __init__(self, params: ParameterSet, entropy: BitSource):
+        if params.message_bytes < MESSAGE_BYTES:
+            raise ValueError(
+                f"{params.name} cannot carry a {MESSAGE_BYTES}-byte message"
+            )
+        self.params = params
+        self.entropy = entropy
+
+    def encapsulate(
+        self, public: PublicKey
+    ) -> "tuple[CcaEncapsulation, CcaSharedSecret]":
+        message = bytes(
+            self.entropy.bits(8) for _ in range(MESSAGE_BYTES)
+        )
+        ciphertext = _deterministic_encrypt(self.params, public, message)
+        return (
+            CcaEncapsulation(ciphertext),
+            CcaSharedSecret(_session_key(message, ciphertext)),
+        )
+
+    def decapsulate(
+        self,
+        private: PrivateKey,
+        public: PublicKey,
+        encapsulation: CcaEncapsulation,
+    ) -> CcaSharedSecret:
+        ct = encapsulation.ciphertext
+        scheme = RlweEncryptionScheme(self.params)  # decryption needs no RNG
+        recovered = scheme.decrypt(private, ct, length=MESSAGE_BYTES)
+        # Re-encrypt deterministically and compare bit for bit.
+        reencrypted = _deterministic_encrypt(self.params, public, recovered)
+        same = hmac.compare_digest(
+            _ciphertext_digest(reencrypted), _ciphertext_digest(ct)
+        )
+        if not same:
+            raise CcaRejection(
+                "re-encryption mismatch: tampered ciphertext or "
+                "decryption failure"
+            )
+        return CcaSharedSecret(_session_key(recovered, ct))

@@ -1,0 +1,99 @@
+"""Message encoding for the ring-LWE encryption scheme.
+
+The scheme encrypts one message bit per polynomial coefficient.  The
+encoder maps bit 1 to ``floor(q/2)`` and bit 0 to 0; after decryption the
+recovered coefficient equals the encoding plus a small Gaussian-derived
+error term, so the decoder declares a 1 whenever the coefficient lies in
+the window ``(q/4, 3q/4]`` — the threshold decoder of Section II-A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.params import ParameterSet
+
+
+def bits_from_bytes(data: bytes) -> List[int]:
+    """Expand bytes into bits, LSB-first within each byte."""
+    out: List[int] = []
+    for byte in data:
+        for i in range(8):
+            out.append((byte >> i) & 1)
+    return out
+
+
+def bytes_from_bits(bits: Sequence[int]) -> bytes:
+    """Inverse of :func:`bits_from_bytes`; length must be a multiple of 8."""
+    if len(bits) % 8:
+        raise ValueError("bit count must be a multiple of 8")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for j in range(8):
+            bit = bits[i + j]
+            if bit not in (0, 1):
+                raise ValueError(f"non-bit value {bit!r} at index {i + j}")
+            byte |= bit << j
+        out.append(byte)
+    return bytes(out)
+
+
+def encode_bits(bits: Sequence[int], params: ParameterSet) -> List[int]:
+    """Encode a bit vector (length <= n) into a message polynomial.
+
+    Shorter messages are zero-padded to n coefficients.
+    """
+    if len(bits) > params.n:
+        raise ValueError(
+            f"message of {len(bits)} bits exceeds n = {params.n}"
+        )
+    half = params.half_q
+    poly = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"non-bit value {bit!r} in message")
+        poly.append(half if bit else 0)
+    poly.extend([0] * (params.n - len(bits)))
+    return poly
+
+
+def decode_bits(poly: Sequence[int], params: ParameterSet) -> List[int]:
+    """Threshold-decode a noisy message polynomial back to bits.
+
+    A coefficient decodes to 1 when its distance to ``floor(q/2)`` is
+    smaller than its distance to 0 (equivalently, it lies in
+    (q/4, 3q/4]).
+    """
+    if len(poly) != params.n:
+        raise ValueError(f"expected {params.n} coefficients")
+    q = params.q
+    lo = q // 4
+    hi = 3 * q // 4
+    bits = []
+    for c in poly:
+        c %= q
+        bits.append(1 if lo < c <= hi else 0)
+    return bits
+
+
+def encode_bytes(message: bytes, params: ParameterSet) -> List[int]:
+    """Encode up to ``params.message_bytes`` bytes into a polynomial."""
+    if len(message) > params.message_bytes:
+        raise ValueError(
+            f"message of {len(message)} bytes exceeds the "
+            f"{params.message_bytes}-byte capacity of {params.name}"
+        )
+    return encode_bits(bits_from_bytes(message), params)
+
+
+def decode_bytes(
+    poly: Sequence[int], params: ParameterSet, length: int = None
+) -> bytes:
+    """Decode a polynomial to bytes; ``length`` trims zero padding."""
+    data = bytes_from_bits(decode_bits(poly, params))
+    if length is not None:
+        if length > len(data):
+            raise ValueError("requested length exceeds capacity")
+        data = data[:length]
+    return data

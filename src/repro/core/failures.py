@@ -1,0 +1,78 @@
+"""Analytic decryption-failure estimates.
+
+After decryption the decoder sees ``mbar + r1*e1 + r2*e2 + e3`` per
+coefficient; a message bit flips when the combined error magnitude
+reaches q/4.  Each of the two product terms is a sum of n products of
+independent discrete Gaussians (negacyclic convolution coefficients), so
+by the central limit theorem the combined error per coefficient is
+approximately normal with variance
+
+    var = 2 * n * sigma^4 + sigma^2 .
+
+These estimates are used by the tests (the observed failure rate of the
+real scheme must match) and quoted in EXPERIMENTS.md; at P1 the
+per-message failure rate is ~1%, an accepted property of these legacy
+parameter sets (later schemes add reconciliation/encoding to suppress
+it — see the README's security notes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import ParameterSet
+
+
+@dataclass(frozen=True)
+class FailureEstimate:
+    """Gaussian-approximation failure probabilities for one parameter set."""
+
+    params_name: str
+    error_stddev: float
+    threshold: int
+    per_coefficient: float
+    per_message: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.params_name}: error sigma = {self.error_stddev:.1f}, "
+            f"threshold q/4 = {self.threshold}, "
+            f"P[coefficient flips] = {self.per_coefficient:.3e}, "
+            f"P[message corrupted] = {self.per_message:.3e}"
+        )
+
+
+def error_variance(params: ParameterSet) -> float:
+    """Variance of one decrypted-error coefficient.
+
+    Two negacyclic products of Gaussian polynomials contribute
+    ``n * sigma^4`` each (a sum of n independent products of two
+    independent Gaussians, each product having variance sigma^4), and the
+    additive term e3 contributes sigma^2.
+    """
+    sigma2 = params.sigma**2
+    return 2.0 * params.n * sigma2 * sigma2 + sigma2
+
+
+def per_coefficient_failure(params: ParameterSet) -> float:
+    """P[|error coefficient| >= q/4] under the normal approximation."""
+    stddev = math.sqrt(error_variance(params))
+    threshold = params.quarter_q
+    return math.erfc(threshold / (stddev * math.sqrt(2.0)))
+
+
+def per_message_failure(params: ParameterSet) -> float:
+    """P[at least one of the n coefficients flips]."""
+    p = per_coefficient_failure(params)
+    return 1.0 - (1.0 - p) ** params.n
+
+
+def estimate(params: ParameterSet) -> FailureEstimate:
+    return FailureEstimate(
+        params_name=params.name,
+        error_stddev=math.sqrt(error_variance(params)),
+        threshold=params.quarter_q,
+        per_coefficient=per_coefficient_failure(params),
+        per_message=per_message_failure(params),
+    )

@@ -1,0 +1,142 @@
+"""A key-encapsulation mechanism on top of the encryption scheme.
+
+The paper's scheme encrypts raw bits and (like all LPR-style schemes of
+its generation) is used in practice to transport a symmetric key — the
+pattern ECIES follows on the other side of Table IV.  This module builds
+that usage out: encapsulate a fresh 256-bit shared secret under a
+ring-LWE public key, derive the session key with SHA-256, and detect
+(the overwhelmingly common case of) decryption failures through a key
+confirmation tag.
+
+This is the CPA-secure primitive the paper implies, *not* a
+Fujisaki-Okamoto CCA transform; see the README's security notes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.scheme import (
+    Ciphertext,
+    PrivateKey,
+    PublicKey,
+    RlweEncryptionScheme,
+)
+
+#: Bytes of raw secret transported inside one ciphertext block.
+SECRET_BYTES = 32
+#: Bytes of the key-confirmation tag.
+TAG_BYTES = 16
+
+
+class EncapsulationError(Exception):
+    """Raised when decapsulation cannot recover a consistent secret."""
+
+
+@dataclass(frozen=True)
+class Encapsulation:
+    """Wire object: the ciphertext plus the key-confirmation tag."""
+
+    ciphertext: Ciphertext
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class SharedSecret:
+    """The derived session key."""
+
+    key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key) != 32:
+            raise ValueError("session keys are 32 bytes")
+
+
+def _derive(secret: bytes, public: PublicKey) -> "tuple[bytes, bytes]":
+    """KDF: bind the raw secret to the recipient key; split key / tag.
+
+    Returns (session_key, confirmation_tag).
+    """
+    binding = hashlib.sha256()
+    binding.update(b"rlwe-repro-kem-v1")
+    binding.update(public.params.name.encode())
+    for coefficient in public.p_hat:
+        binding.update(coefficient.to_bytes(2, "little"))
+    material = hashlib.sha256(secret + binding.digest()).digest()
+    tag = hmac.new(material, b"confirm", hashlib.sha256).digest()[:TAG_BYTES]
+    return material, tag
+
+
+class RlweKem:
+    """Encapsulate/decapsulate 256-bit secrets under ring-LWE keys."""
+
+    def __init__(self, scheme: RlweEncryptionScheme):
+        if scheme.params.message_bytes < SECRET_BYTES:
+            raise ValueError(
+                f"{scheme.params.name} carries only "
+                f"{scheme.params.message_bytes} bytes per ciphertext; "
+                f"the KEM needs {SECRET_BYTES}"
+            )
+        self.scheme = scheme
+
+    def _random_secret(self) -> bytes:
+        bits = self.scheme.bits
+        return bytes(bits.bits(8) for _ in range(SECRET_BYTES))
+
+    def encapsulate(
+        self, public: PublicKey
+    ) -> "tuple[Encapsulation, SharedSecret]":
+        """Generate and transport a fresh shared secret."""
+        secret = self._random_secret()
+        ciphertext = self.scheme.encrypt(public, secret)
+        key, tag = _derive(secret, public)
+        return Encapsulation(ciphertext, tag), SharedSecret(key)
+
+    def decapsulate(
+        self,
+        private: PrivateKey,
+        public: PublicKey,
+        encapsulation: Encapsulation,
+    ) -> SharedSecret:
+        """Recover the shared secret; raises on corrupted transport.
+
+        A ring-LWE decryption failure (~1% at these legacy parameters)
+        garbles the recovered secret; the confirmation tag turns that
+        silent corruption into an explicit :class:`EncapsulationError`
+        so callers can re-encapsulate.
+        """
+        secret = self.scheme.decrypt(
+            private, encapsulation.ciphertext, length=SECRET_BYTES
+        )
+        key, tag = _derive(secret, public)
+        if not hmac.compare_digest(tag, encapsulation.tag):
+            raise EncapsulationError(
+                "key confirmation failed (decryption failure or "
+                "tampered encapsulation)"
+            )
+        return SharedSecret(key)
+
+
+def exchange_session_key(
+    kem: RlweKem,
+    private: PrivateKey,
+    public: PublicKey,
+    max_attempts: int = 4,
+) -> Optional[SharedSecret]:
+    """Encapsulate/decapsulate with retry on decryption failure.
+
+    Returns the agreed secret, or None if every attempt failed (the
+    probability of which is negligible: ~(1%)^max_attempts).
+    """
+    for _ in range(max_attempts):
+        encapsulation, sender_secret = kem.encapsulate(public)
+        try:
+            receiver_secret = kem.decapsulate(private, public, encapsulation)
+        except EncapsulationError:
+            continue
+        if receiver_secret.key == sender_secret.key:
+            return receiver_secret
+    return None

@@ -1,0 +1,233 @@
+"""Object-oriented view of the ring Rq = Z_q[x] / (x^n + 1).
+
+The scheme code works on bare coefficient lists (mirroring the embedded
+implementation); this module offers the ergonomic layer a library user
+expects: a :class:`RingElement` with operator overloading, explicit
+domain tracking (coefficient domain versus NTT domain), and conversions
+that refuse to mix domains silently.
+
+    >>> from repro.core.params import P1
+    >>> from repro.core.ring import RingElement
+    >>> x = RingElement.monomial(P1, 1)
+    >>> (x * x).degree()
+    2
+    >>> (x ** P1.n).coefficients[0] == P1.q - 1   # x^n = -1
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.params import ParameterSet
+from repro.ntt import optimized, reference
+from repro.ntt.polymul import schoolbook_negacyclic
+
+
+class Domain(Enum):
+    """Which representation the coefficient vector is in."""
+
+    COEFFICIENT = "coefficient"
+    NTT = "ntt"
+
+
+@dataclass(frozen=True)
+class RingElement:
+    """An immutable element of Rq with domain tracking."""
+
+    params: ParameterSet
+    coefficients: "tuple[int, ...]"
+    domain: Domain = Domain.COEFFICIENT
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) != self.params.n:
+            raise ValueError(
+                f"need {self.params.n} coefficients, "
+                f"got {len(self.coefficients)}"
+            )
+        if any(not 0 <= c < self.params.q for c in self.coefficients):
+            raise ValueError("coefficients must lie in [0, q)")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coefficients(
+        cls,
+        params: ParameterSet,
+        values: Iterable[int],
+        domain: Domain = Domain.COEFFICIENT,
+    ) -> "RingElement":
+        q = params.q
+        return cls(params, tuple(v % q for v in values), domain)
+
+    @classmethod
+    def zero(cls, params: ParameterSet) -> "RingElement":
+        return cls(params, (0,) * params.n)
+
+    @classmethod
+    def one(cls, params: ParameterSet) -> "RingElement":
+        return cls(params, (1,) + (0,) * (params.n - 1))
+
+    @classmethod
+    def monomial(
+        cls, params: ParameterSet, degree: int, coefficient: int = 1
+    ) -> "RingElement":
+        """c * x^degree, with x^n = -1 reduction applied."""
+        q = params.q
+        n = params.n
+        coefficient %= q
+        # x^(n + k) = -x^k.
+        wraps, degree = divmod(degree, n)
+        if wraps % 2:
+            coefficient = (-coefficient) % q
+        values = [0] * n
+        values[degree] = coefficient
+        return cls(params, tuple(values))
+
+    # ------------------------------------------------------------------
+    # Domain conversions
+    # ------------------------------------------------------------------
+    def to_ntt(self, implementation: str = "reference") -> "RingElement":
+        """Forward negacyclic NTT; no-op guard against double transform."""
+        if self.domain is Domain.NTT:
+            raise ValueError("element is already in the NTT domain")
+        forward = (
+            optimized.ntt_forward_packed
+            if implementation == "packed"
+            else reference.ntt_forward
+        )
+        return RingElement(
+            self.params,
+            tuple(forward(list(self.coefficients), self.params)),
+            Domain.NTT,
+        )
+
+    def from_ntt(self, implementation: str = "reference") -> "RingElement":
+        if self.domain is Domain.COEFFICIENT:
+            raise ValueError("element is not in the NTT domain")
+        inverse = (
+            optimized.ntt_inverse_packed
+            if implementation == "packed"
+            else reference.ntt_inverse
+        )
+        return RingElement(
+            self.params,
+            tuple(inverse(list(self.coefficients), self.params)),
+            Domain.COEFFICIENT,
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RingElement") -> None:
+        if self.params is not other.params:
+            raise ValueError("elements belong to different rings")
+        if self.domain is not other.domain:
+            raise ValueError(
+                "cannot mix coefficient-domain and NTT-domain elements"
+            )
+
+    def __add__(self, other: "RingElement") -> "RingElement":
+        self._check_compatible(other)
+        q = self.params.q
+        return RingElement(
+            self.params,
+            tuple(
+                (a + b) % q
+                for a, b in zip(self.coefficients, other.coefficients)
+            ),
+            self.domain,
+        )
+
+    def __sub__(self, other: "RingElement") -> "RingElement":
+        self._check_compatible(other)
+        q = self.params.q
+        return RingElement(
+            self.params,
+            tuple(
+                (a - b) % q
+                for a, b in zip(self.coefficients, other.coefficients)
+            ),
+            self.domain,
+        )
+
+    def __neg__(self) -> "RingElement":
+        q = self.params.q
+        return RingElement(
+            self.params,
+            tuple((-a) % q for a in self.coefficients),
+            self.domain,
+        )
+
+    def __mul__(
+        self, other: Union["RingElement", int]
+    ) -> "RingElement":
+        if isinstance(other, int):
+            q = self.params.q
+            scalar = other % q
+            return RingElement(
+                self.params,
+                tuple(a * scalar % q for a in self.coefficients),
+                self.domain,
+            )
+        self._check_compatible(other)
+        q = self.params.q
+        if self.domain is Domain.NTT:
+            values = tuple(
+                a * b % q
+                for a, b in zip(self.coefficients, other.coefficients)
+            )
+            return RingElement(self.params, values, Domain.NTT)
+        product = schoolbook_negacyclic(
+            list(self.coefficients), list(other.coefficients), self.params
+        )
+        return RingElement(self.params, tuple(product), Domain.COEFFICIENT)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "RingElement":
+        if exponent < 0:
+            raise ValueError("negative powers are not supported")
+        result = RingElement.one(self.params)
+        if self.domain is Domain.NTT:
+            result = result.to_ntt()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            exponent >>= 1
+            if exponent:
+                base = base * base
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def degree(self) -> int:
+        """Largest index with a nonzero coefficient (-1 for zero)."""
+        for i in range(self.params.n - 1, -1, -1):
+            if self.coefficients[i]:
+                return i
+        return -1
+
+    def is_zero(self) -> bool:
+        return all(c == 0 for c in self.coefficients)
+
+    def centered(self) -> List[int]:
+        """Coefficients mapped to (-q/2, q/2]."""
+        q = self.params.q
+        return [c if c <= q // 2 else c - q for c in self.coefficients]
+
+    def infinity_norm(self) -> int:
+        """Max |coefficient| over the centered representation."""
+        return max((abs(c) for c in self.centered()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(str(c) for c in self.coefficients[:4])
+        return (
+            f"RingElement({self.params.name}, [{head}, ...], "
+            f"{self.domain.value})"
+        )

@@ -1,0 +1,213 @@
+"""The ring-LWE public-key encryption scheme (Section II-A).
+
+This is the LPR encryption scheme in the NTT-optimised formulation of Roy
+et al. (CHES 2014) that the paper implements: keys and ciphertexts live in
+the NTT domain, which minimises the number of NTT operations per
+encryption (three forward transforms) and decryption (one inverse
+transform).
+
+    KeyGen(a_hat):  r1, r2 <- X_sigma
+                    r1_hat = NTT(r1);  r2_hat = NTT(r2)
+                    p_hat  = r1_hat - a_hat * r2_hat        (pointwise)
+                    public key (a_hat, p_hat), private key r2_hat
+
+    Encrypt(a_hat, p_hat, m):
+                    e1, e2, e3 <- X_sigma;  mbar = encode(m)
+                    e1_hat = NTT(e1);  e2_hat = NTT(e2)
+                    c1_hat = a_hat * e1_hat + e2_hat
+                    c2_hat = p_hat * e1_hat + NTT(e3 + mbar)
+
+    Decrypt(c1_hat, c2_hat, r2_hat):
+                    m' = INTT(c1_hat * r2_hat + c2_hat);  decode(m')
+
+Correctness: in the polynomial domain the decoder sees
+``r1*e1 + r2*e2 + e3 + mbar`` — four small terms around the encoded
+message; each coefficient decodes correctly unless the combined error
+exceeds q/4 (failure probability analysed in
+:mod:`repro.core.failures`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core import encoding
+from repro.core.params import ParameterSet
+from repro.ntt.polymul import (
+    ntt_implementation,
+    pointwise_add,
+    pointwise_multiply,
+    pointwise_subtract,
+)
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource, PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """NTT-domain public key (a_hat, p_hat)."""
+
+    params: ParameterSet
+    a_hat: "tuple[int, ...]"
+    p_hat: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """NTT-domain private key r2_hat."""
+
+    params: ParameterSet
+    r2_hat: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    private: PrivateKey
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """NTT-domain ciphertext (c1_hat, c2_hat)."""
+
+    params: ParameterSet
+    c1_hat: "tuple[int, ...]"
+    c2_hat: "tuple[int, ...]"
+
+
+class RlweEncryptionScheme:
+    """The paper's encryption scheme over one parameter set.
+
+    Parameters
+    ----------
+    params:
+        One of :data:`repro.core.params.P1` / :data:`~repro.core.params.P2`
+        (or a custom NTT-friendly set).
+    bits:
+        Randomness source; defaults to a fresh xorshift-backed source.
+        Pass a seeded source for reproducible keys/ciphertexts.
+    ntt:
+        Kernel pair name (``"reference"`` or ``"packed"``); both are
+        bit-identical, so this only matters for speed.
+    """
+
+    def __init__(
+        self,
+        params: ParameterSet,
+        bits: Optional[BitSource] = None,
+        ntt: str = "reference",
+    ):
+        self.params = params
+        if bits is None:
+            bits = PrngBitSource(Xorshift128())
+        self.bits = bits
+        self._forward, self._inverse = ntt_implementation(ntt)
+        self._sampler = LutKnuthYaoSampler(
+            ProbabilityMatrix.for_params(params), params.q, bits
+        )
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def sample_error_polynomial(self) -> List[int]:
+        """One error polynomial from X_sigma (coefficients in [0, q))."""
+        return self._sampler.sample_polynomial(self.params.n)
+
+    def random_public_polynomial(self) -> List[int]:
+        """A uniform a_hat (the scheme's global polynomial), NTT domain.
+
+        The polynomial a is uniform in Rq, and the NTT is a bijection on
+        Rq, so a_hat may be drawn uniformly directly — standard practice.
+        """
+        q = self.params.q
+        coeff_bits = self.params.coefficient_bits
+        out = []
+        while len(out) < self.params.n:
+            candidate = self.bits.bits(coeff_bits)
+            if candidate < q:  # rejection keeps the distribution uniform
+                out.append(candidate)
+        return out
+
+    # ------------------------------------------------------------------
+    # Scheme operations
+    # ------------------------------------------------------------------
+    def generate_keypair(
+        self, a_hat: Optional[Sequence[int]] = None
+    ) -> KeyPair:
+        """KeyGen(a_hat); draws a fresh a_hat when none is supplied."""
+        params = self.params
+        if a_hat is None:
+            a_hat = self.random_public_polynomial()
+        elif len(a_hat) != params.n:
+            raise ValueError(f"a_hat must have {params.n} coefficients")
+        r1 = self.sample_error_polynomial()
+        r2 = self.sample_error_polynomial()
+        r1_hat = self._forward(r1, params)
+        r2_hat = self._forward(r2, params)
+        p_hat = pointwise_subtract(
+            r1_hat, pointwise_multiply(a_hat, r2_hat, params), params
+        )
+        return KeyPair(
+            public=PublicKey(params, tuple(a_hat), tuple(p_hat)),
+            private=PrivateKey(params, tuple(r2_hat)),
+        )
+
+    def encrypt_polynomial(
+        self, public: PublicKey, message_poly: Sequence[int]
+    ) -> Ciphertext:
+        """Encrypt an already-encoded message polynomial."""
+        params = self.params
+        if public.params is not params:
+            raise ValueError("public key belongs to a different parameter set")
+        if len(message_poly) != params.n:
+            raise ValueError(f"message polynomial must have {params.n} coefficients")
+        e1 = self.sample_error_polynomial()
+        e2 = self.sample_error_polynomial()
+        e3 = self.sample_error_polynomial()
+        e3_plus_m = pointwise_add(e3, message_poly, params)
+        e1_hat = self._forward(e1, params)
+        e2_hat = self._forward(e2, params)
+        e3m_hat = self._forward(e3_plus_m, params)
+        c1_hat = pointwise_add(
+            pointwise_multiply(public.a_hat, e1_hat, params), e2_hat, params
+        )
+        c2_hat = pointwise_add(
+            pointwise_multiply(public.p_hat, e1_hat, params), e3m_hat, params
+        )
+        return Ciphertext(params, tuple(c1_hat), tuple(c2_hat))
+
+    def decrypt_polynomial(
+        self, private: PrivateKey, ciphertext: Ciphertext
+    ) -> List[int]:
+        """Decrypt to the noisy message polynomial (before thresholding)."""
+        params = self.params
+        if private.params is not params or ciphertext.params is not params:
+            raise ValueError("key/ciphertext parameter set mismatch")
+        combined = pointwise_add(
+            pointwise_multiply(ciphertext.c1_hat, private.r2_hat, params),
+            ciphertext.c2_hat,
+            params,
+        )
+        return self._inverse(combined, params)
+
+    # ------------------------------------------------------------------
+    # Byte-level convenience API
+    # ------------------------------------------------------------------
+    def encrypt(self, public: PublicKey, message: bytes) -> Ciphertext:
+        """Encrypt up to ``params.message_bytes`` bytes."""
+        return self.encrypt_polynomial(
+            public, encoding.encode_bytes(message, self.params)
+        )
+
+    def decrypt(
+        self,
+        private: PrivateKey,
+        ciphertext: Ciphertext,
+        length: Optional[int] = None,
+    ) -> bytes:
+        """Decrypt and threshold-decode to bytes."""
+        noisy = self.decrypt_polynomial(private, ciphertext)
+        return encoding.decode_bytes(noisy, self.params, length)

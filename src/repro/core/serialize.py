@@ -1,0 +1,145 @@
+"""Wire formats for keys and ciphertexts.
+
+Coefficients in [0, q) need only 13 bits (q = 7681) or 14 bits
+(q = 12289), so polynomials are bit-packed rather than stored as
+halfwords: a P1 polynomial costs 416 bytes on the wire instead of 512.
+Objects carry a small header identifying the parameter set so that
+deserialisation is self-describing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.core.params import ParameterSet, get_parameter_set
+from repro.core.scheme import Ciphertext, KeyPair, PrivateKey, PublicKey
+
+_MAGIC = b"RLWE"
+_VERSION = 1
+
+_KIND_PUBLIC = 1
+_KIND_PRIVATE = 2
+_KIND_CIPHERTEXT = 3
+
+
+def pack_coefficients(coefficients: Sequence[int], q: int) -> bytes:
+    """Bit-pack coefficients in [0, q) at ceil(log2 q) bits each."""
+    width = (q - 1).bit_length()
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for c in coefficients:
+        if not 0 <= c < q:
+            raise ValueError(f"coefficient {c} out of [0, {q})")
+        acc |= c << acc_bits
+        acc_bits += width
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_coefficients(data: bytes, count: int, q: int) -> List[int]:
+    """Inverse of :func:`pack_coefficients`."""
+    width = (q - 1).bit_length()
+    needed = (count * width + 7) // 8
+    if len(data) < needed:
+        raise ValueError(f"need {needed} bytes, got {len(data)}")
+    acc = 0
+    acc_bits = 0
+    cursor = 0
+    out = []
+    mask = (1 << width) - 1
+    for _ in range(count):
+        while acc_bits < width:
+            acc |= data[cursor] << acc_bits
+            cursor += 1
+            acc_bits += 8
+        value = acc & mask
+        if value >= q:
+            raise ValueError(f"decoded coefficient {value} >= q = {q}")
+        out.append(value)
+        acc >>= width
+        acc_bits -= width
+    return out
+
+
+def polynomial_wire_bytes(params: ParameterSet) -> int:
+    """Serialized size of one polynomial."""
+    return (params.n * params.coefficient_bits + 7) // 8
+
+
+def _header(kind: int, params: ParameterSet) -> bytes:
+    name = params.name.encode()
+    return _MAGIC + struct.pack("<BBB", _VERSION, kind, len(name)) + name
+
+
+def _parse_header(data: bytes, expect_kind: int) -> Tuple[ParameterSet, int]:
+    if data[:4] != _MAGIC:
+        raise ValueError("bad magic: not a repro-serialized object")
+    version, kind, name_len = struct.unpack_from("<BBB", data, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    if kind != expect_kind:
+        raise ValueError(f"object kind {kind} != expected {expect_kind}")
+    offset = 7 + name_len
+    params = get_parameter_set(data[7:offset].decode())
+    return params, offset
+
+
+def serialize_public_key(key: PublicKey) -> bytes:
+    body = pack_coefficients(key.a_hat, key.params.q)
+    body += pack_coefficients(key.p_hat, key.params.q)
+    return _header(_KIND_PUBLIC, key.params) + body
+
+
+def deserialize_public_key(data: bytes) -> PublicKey:
+    params, offset = _parse_header(data, _KIND_PUBLIC)
+    size = polynomial_wire_bytes(params)
+    a_hat = unpack_coefficients(data[offset : offset + size], params.n, params.q)
+    p_hat = unpack_coefficients(
+        data[offset + size : offset + 2 * size], params.n, params.q
+    )
+    return PublicKey(params, tuple(a_hat), tuple(p_hat))
+
+
+def serialize_private_key(key: PrivateKey) -> bytes:
+    return _header(_KIND_PRIVATE, key.params) + pack_coefficients(
+        key.r2_hat, key.params.q
+    )
+
+
+def deserialize_private_key(data: bytes) -> PrivateKey:
+    params, offset = _parse_header(data, _KIND_PRIVATE)
+    size = polynomial_wire_bytes(params)
+    r2_hat = unpack_coefficients(
+        data[offset : offset + size], params.n, params.q
+    )
+    return PrivateKey(params, tuple(r2_hat))
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    body = pack_coefficients(ct.c1_hat, ct.params.q)
+    body += pack_coefficients(ct.c2_hat, ct.params.q)
+    return _header(_KIND_CIPHERTEXT, ct.params) + body
+
+
+def deserialize_ciphertext(data: bytes) -> Ciphertext:
+    params, offset = _parse_header(data, _KIND_CIPHERTEXT)
+    size = polynomial_wire_bytes(params)
+    c1 = unpack_coefficients(data[offset : offset + size], params.n, params.q)
+    c2 = unpack_coefficients(
+        data[offset + size : offset + 2 * size], params.n, params.q
+    )
+    return Ciphertext(params, tuple(c1), tuple(c2))
+
+
+def serialize_keypair(pair: KeyPair) -> "tuple[bytes, bytes]":
+    """Convenience: (public bytes, private bytes)."""
+    return serialize_public_key(pair.public), serialize_private_key(
+        pair.private
+    )

@@ -1,0 +1,44 @@
+"""Instruction-level cycle models of every kernel (Tables I and II)."""
+
+from repro.cyclemodel.ntt_cycles import (
+    bit_reverse_cycles,
+    ntt_forward_alg3,
+    ntt_forward_packed,
+    ntt_forward_parallel3,
+    ntt_inverse_packed,
+    pointwise_add_cycles,
+    pointwise_multiply_cycles,
+    pointwise_subtract_cycles,
+)
+from repro.cyclemodel.ntt_simd import ntt_forward_simd, ntt_inverse_simd
+from repro.cyclemodel.polymul_cycles import ntt_multiply_cycles
+from repro.cyclemodel.sampler_cycles import (
+    CycleKnuthYaoSampler,
+    sample_polynomial_cycles,
+)
+from repro.cyclemodel.scheme_cycles import (
+    OperationCycles,
+    decrypt_cycles,
+    encrypt_cycles,
+    keygen_cycles,
+)
+
+__all__ = [
+    "bit_reverse_cycles",
+    "ntt_forward_alg3",
+    "ntt_forward_packed",
+    "ntt_forward_parallel3",
+    "ntt_inverse_packed",
+    "pointwise_add_cycles",
+    "pointwise_multiply_cycles",
+    "pointwise_subtract_cycles",
+    "ntt_forward_simd",
+    "ntt_inverse_simd",
+    "ntt_multiply_cycles",
+    "CycleKnuthYaoSampler",
+    "sample_polynomial_cycles",
+    "OperationCycles",
+    "keygen_cycles",
+    "encrypt_cycles",
+    "decrypt_cycles",
+]

@@ -1,0 +1,323 @@
+"""Instruction-level cycle models of the paper's NTT kernels.
+
+Each kernel executes the real transform (outputs are tested bit-identical
+to the functional kernels in :mod:`repro.ntt`) while charging a
+:class:`repro.machine.machine.CortexM4` for every instruction an assembly
+implementation would retire:
+
+* ``ntt_forward_alg3`` — Alg. 3 with halfword coefficient storage: one
+  memory access per coefficient operand, twiddles maintained by the
+  ``w <- w * wm`` recurrence;
+* ``ntt_forward_packed`` / ``ntt_inverse_packed`` — the Alg. 4
+  optimization: packed 32-bit words (two coefficients per access),
+  two-fold unrolled inner loop, LUT-resident twiddles;
+* ``ntt_forward_parallel3`` — Section III-D's fused three-polynomial NTT:
+  the loop machinery and twiddle recurrence are charged once per
+  iteration instead of three times, and only one base pointer is kept
+  (the other two coefficient sets sit n/2 words away, paper trick).
+
+The bit-reversal permutation uses the M4's ``rbit`` instruction and is
+charged per swap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.params import ParameterSet
+from repro.machine.machine import CortexM4
+from repro.machine.reduce import BarrettReducer
+from repro.ntt.bitrev import bit_reverse_table
+from repro.ntt.roots import ntt_tables
+
+
+def bit_reverse_cycles(
+    machine: CortexM4, values: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Swap-based bit-reversal with rbit addressing.
+
+    Per index: rbit + shift + compare + (not-)taken branch; per actual
+    swap: two loads and two stores (halfword pairs).
+    """
+    n = params.n
+    table = bit_reverse_table(n)
+    out = list(values)
+    for i in range(n):
+        j = table[i]
+        machine.alu(3)  # rbit; lsr to the index width; cmp i, j
+        if i < j:
+            machine.branch(taken=False)
+            machine.load(2)
+            machine.store(2)
+            out[i], out[j] = out[j], out[i]
+        else:
+            machine.branch(taken=True)  # skip the swap body
+        machine.alu(2)  # index increment + bound check
+        machine.branch(taken=i + 1 < n)
+    return out
+
+
+def ntt_forward_alg3(
+    machine: CortexM4, a: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Alg. 3: reference negative-wrapped forward NTT, halfword storage."""
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [c % q for c in a], params)
+    for stage in tables.forward_stages:
+        m, wm = stage.m, stage.wm
+        machine.load(2)  # fetch (wm, w0) from the primitive-root LUT
+        w = stage.w0
+        half = m // 2
+        for j in range(half):
+            for k in range(0, params.n, m):
+                lo = j + k
+                hi = lo + half
+                machine.alu(2)  # two pointer calculations (non-consecutive)
+                machine.load()  # A[hi] (halfword)
+                t = reducer.mul_mod(machine, w, A[hi])
+                machine.load()  # A[lo]
+                u = A[lo]
+                A[lo] = reducer.add_mod(machine, u, t)
+                A[hi] = reducer.sub_mod(machine, u, t)
+                machine.store(2)
+                machine.alu(2)  # k += m; bounds check
+                machine.branch(taken=k + m < params.n)
+            w = reducer.mul_mod(machine, w, wm)
+            machine.alu(2)  # j++; bounds check
+            machine.branch(taken=j + 1 < half)
+        machine.alu(2)  # stage bookkeeping (m <<= 1, l update)
+        machine.branch(taken=m < params.n)
+    machine.ret()
+    return A
+
+
+def _packed_stage_cycles(
+    machine: CortexM4,
+    A: List[int],
+    m: int,
+    twiddles: Sequence[int],
+    params: ParameterSet,
+    reducer: BarrettReducer,
+) -> None:
+    """One packed butterfly stage (shared by forward and inverse)."""
+    n = params.n
+    half = m // 2
+    if half == 1:
+        # Adjacent butterflies: one packed load holds both operands.
+        machine.load()  # twiddle (single for the whole stage)
+        w = twiddles[0]
+        for word in range(n // 2):
+            machine.alu()  # pointer
+            machine.load()  # packed word: both operands
+            u, t = A[2 * word], A[2 * word + 1]
+            machine.alu(2)  # unpack (uxth / lsr)
+            t = reducer.mul_mod(machine, w, t)
+            s = reducer.add_mod(machine, u, t)
+            d = reducer.sub_mod(machine, u, t)
+            machine.alu(2)  # pack
+            machine.store()  # packed word back
+            A[2 * word], A[2 * word + 1] = s, d
+            machine.alu(2)  # index; bound
+            machine.branch(taken=word + 1 < n // 2)
+        return
+    for j in range(0, half, 2):
+        machine.alu()  # twiddle pointer
+        machine.load()  # one 32-bit access yields both LUT twiddles
+        w0, w1 = twiddles[j], twiddles[j + 1]
+        machine.alu()  # split halves
+        for k in range(0, n, m):
+            lo = j + k
+            hi = lo + half
+            machine.alu(2)  # two pointer calculations
+            machine.load(2)  # two packed words: four coefficients
+            u0, u1 = A[lo], A[lo + 1]
+            t0, t1 = A[hi], A[hi + 1]
+            machine.alu(4)  # unpack both words
+            t0 = reducer.mul_mod(machine, w0, t0)
+            t1 = reducer.mul_mod(machine, w1, t1)
+            s0 = reducer.add_mod(machine, u0, t0)
+            s1 = reducer.add_mod(machine, u1, t1)
+            d0 = reducer.sub_mod(machine, u0, t0)
+            d1 = reducer.sub_mod(machine, u1, t1)
+            machine.alu(4)  # pack both result words
+            machine.store(2)
+            A[lo], A[lo + 1] = s0, s1
+            A[hi], A[hi + 1] = d0, d1
+            machine.alu(2)  # k += m; bound (one update per TWO butterflies)
+            machine.branch(taken=k + m < n)
+        machine.alu(2)  # j += 2; bound
+        machine.branch(taken=j + 2 < half)
+
+
+def ntt_forward_packed(
+    machine: CortexM4, a: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Alg. 4: packed, two-fold-unrolled forward NTT with LUT twiddles."""
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [c % q for c in a], params)
+    for stage_index, stage in enumerate(tables.forward_stages):
+        _packed_stage_cycles(
+            machine,
+            A,
+            stage.m,
+            tables.forward_twiddles[stage_index],
+            params,
+            reducer,
+        )
+        machine.alu(2)  # stage bookkeeping
+        machine.branch(taken=stage.m < params.n)
+    machine.ret()
+    return A
+
+
+def ntt_inverse_packed(
+    machine: CortexM4, a_hat: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Packed inverse NTT: cyclic inverse stages + n^-1 psi^-j scaling."""
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [c % q for c in a_hat], params)
+    for stage_index, stage in enumerate(tables.inverse_stages):
+        _packed_stage_cycles(
+            machine,
+            A,
+            stage.m,
+            tables.inverse_twiddles[stage_index],
+            params,
+            reducer,
+        )
+        machine.alu(2)
+        machine.branch(taken=stage.m < params.n)
+    # Final scaling pass, packed: one load/store per coefficient pair.
+    scale = tables.final_scale
+    for word in range(params.n // 2):
+        machine.alu()  # pointer
+        machine.load(2)  # packed coefficients + packed scale constants
+        machine.alu(2)  # unpack
+        lo = reducer.mul_mod(machine, A[2 * word], scale[2 * word])
+        hi = reducer.mul_mod(machine, A[2 * word + 1], scale[2 * word + 1])
+        machine.alu(2)  # pack
+        machine.store()
+        A[2 * word], A[2 * word + 1] = lo, hi
+        machine.alu(2)
+        machine.branch(taken=word + 1 < params.n // 2)
+    machine.ret()
+    return A
+
+
+def ntt_forward_parallel3(
+    machine: CortexM4,
+    a: Sequence[int],
+    b: Sequence[int],
+    c: Sequence[int],
+    params: ParameterSet,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Fused three-polynomial forward NTT (Section III-D).
+
+    The three coefficient sets are stored contiguously, so one base
+    pointer plus fixed offsets addresses all of them; the loop overhead
+    and twiddle recurrence are charged once per iteration for all three
+    butterflies.
+    """
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [x % q for x in a], params)
+    B = bit_reverse_cycles(machine, [x % q for x in b], params)
+    C = bit_reverse_cycles(machine, [x % q for x in c], params)
+    for stage in tables.forward_stages:
+        m, wm = stage.m, stage.wm
+        machine.load(2)  # (wm, w0) pair from the LUT
+        w = stage.w0
+        half = m // 2
+        for j in range(half):
+            for k in range(0, params.n, m):
+                lo = j + k
+                hi = lo + half
+                # One pointer pair computed; the second and third sets
+                # are reached by fixed offsets from the same registers.
+                machine.alu(2)
+                for poly in (A, B, C):
+                    machine.load(2)
+                    t = reducer.mul_mod(machine, w, poly[hi])
+                    u = poly[lo]
+                    poly[lo] = reducer.add_mod(machine, u, t)
+                    poly[hi] = reducer.sub_mod(machine, u, t)
+                    machine.store(2)
+                    machine.alu()  # offset step to the next set
+                machine.alu(2)  # k update + bound (once for all three)
+                machine.branch(taken=k + m < params.n)
+            w = reducer.mul_mod(machine, w, wm)
+            machine.alu(2)
+            machine.branch(taken=j + 1 < half)
+        machine.alu(2)
+        machine.branch(taken=m < params.n)
+    machine.ret()
+    return A, B, C
+
+
+def pointwise_multiply_cycles(
+    machine: CortexM4,
+    a: Sequence[int],
+    b: Sequence[int],
+    params: ParameterSet,
+) -> List[int]:
+    """Coefficient-wise product with per-element load/store accounting."""
+    q = params.q
+    reducer = BarrettReducer(q)
+    out = []
+    for i in range(params.n):
+        machine.alu()  # pointer
+        machine.load(2)
+        out.append(reducer.mul_mod(machine, a[i] % q, b[i] % q))
+        machine.store()
+        machine.alu(2)
+        machine.branch(taken=i + 1 < params.n)
+    return out
+
+
+def pointwise_add_cycles(
+    machine: CortexM4,
+    a: Sequence[int],
+    b: Sequence[int],
+    params: ParameterSet,
+) -> List[int]:
+    q = params.q
+    reducer = BarrettReducer(q)
+    out = []
+    for i in range(params.n):
+        machine.alu()
+        machine.load(2)
+        out.append(reducer.add_mod(machine, a[i] % q, b[i] % q))
+        machine.store()
+        machine.alu(2)
+        machine.branch(taken=i + 1 < params.n)
+    return out
+
+
+def pointwise_subtract_cycles(
+    machine: CortexM4,
+    a: Sequence[int],
+    b: Sequence[int],
+    params: ParameterSet,
+) -> List[int]:
+    q = params.q
+    reducer = BarrettReducer(q)
+    out = []
+    for i in range(params.n):
+        machine.alu()
+        machine.load(2)
+        out.append(reducer.sub_mod(machine, a[i] % q, b[i] % q))
+        machine.store()
+        machine.alu(2)
+        machine.branch(taken=i + 1 < params.n)
+    return out

@@ -1,0 +1,219 @@
+"""SIMD NTT — modelling the paper's future-work direction.
+
+Section V: "For future work we plan to create an efficient
+implementation for a Single Instruction Multiple Data (SIMD)
+processor."  The Cortex-M4F itself already has the ARMv7E-M DSP
+extension (the paper's Section III-A notes its "16-bit SIMD
+arithmetic"), which the packed layout of Alg. 4 is one small step away
+from exploiting:
+
+* ``SADD16``/``SSUB16`` add/subtract both packed halfword coefficients
+  in one cycle;
+* the modular correction of both lanes costs one packed compare-style
+  subtract plus one ``SEL`` (lane select via the GE flags) — three
+  cycles for *two* modular additions instead of six scalar ones;
+* ``SMULBB``/``SMULTB`` multiply a halfword lane without explicit
+  unpacking, removing the unpack/pack ALU work around every butterfly.
+
+This module implements that kernel against the cost model, bit-identical
+to the scalar transforms (asserted by tests), and quantifies the gain in
+``benchmarks/bench_future_work.py``.  The reduction after each lane
+multiply remains scalar Barrett (products exceed 16 bits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.params import ParameterSet
+from repro.cyclemodel.ntt_cycles import bit_reverse_cycles
+from repro.machine.machine import CortexM4
+from repro.machine.reduce import BarrettReducer
+from repro.ntt.roots import ntt_tables
+
+
+def _packed_mod_add(
+    machine: CortexM4, reducer: BarrettReducer, a0: int, a1: int,
+    b0: int, b1: int,
+) -> "tuple[int, int]":
+    """Two modular additions in one SIMD lane operation.
+
+    SADD16 (1) computes both raw sums; USUB16 against packed (q, q)
+    sets the GE flags per lane (1); SEL picks sum or sum - q per lane
+    (1).  Three cycles total for both lanes.
+    """
+    machine.alu(3)
+    q = reducer.q
+    s0 = a0 + b0
+    s1 = a1 + b1
+    return (s0 - q if s0 >= q else s0, s1 - q if s1 >= q else s1)
+
+
+def _packed_mod_sub(
+    machine: CortexM4, reducer: BarrettReducer, a0: int, a1: int,
+    b0: int, b1: int,
+) -> "tuple[int, int]":
+    """Two modular subtractions: SSUB16 + SADD16(q) + SEL = 3 cycles."""
+    machine.alu(3)
+    q = reducer.q
+    d0 = a0 - b0
+    d1 = a1 - b1
+    return (d0 + q if d0 < 0 else d0, d1 + q if d1 < 0 else d1)
+
+
+def _lane_mul_mod(
+    machine: CortexM4, reducer: BarrettReducer, w: int, lane: int
+) -> int:
+    """SMULBB/SMULTB lane multiply (no unpack) + scalar Barrett."""
+    machine.mul()  # smulbb/smultb
+    return reducer.reduce(machine, w * lane)
+
+
+def ntt_forward_simd(
+    machine: CortexM4, a: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Forward negacyclic NTT with DSP-SIMD butterflies.
+
+    Bit-identical to :func:`repro.ntt.reference.ntt_forward`.
+    """
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [c % q for c in a], params)
+    n = params.n
+    for stage_index, stage in enumerate(tables.forward_stages):
+        twiddles = tables.forward_twiddles[stage_index]
+        m = stage.m
+        half = m // 2
+        if half == 1:
+            machine.load()
+            w = twiddles[0]
+            for word in range(n // 2):
+                machine.alu()  # pointer
+                machine.load()  # packed operand pair
+                u, t = A[2 * word], A[2 * word + 1]
+                t = _lane_mul_mod(machine, reducer, w, t)
+                # One lane add + one lane sub, but scalar here (the two
+                # results go to the same word): 2 ALU + selects.
+                machine.alu(4)
+                s = u + t
+                s = s - q if s >= q else s
+                d = u - t
+                d = d + q if d < 0 else d
+                machine.store()
+                A[2 * word], A[2 * word + 1] = s, d
+                machine.alu(2)
+                machine.branch(taken=word + 1 < n // 2)
+            machine.alu(2)
+            machine.branch(taken=m < n)
+            continue
+        for j in range(0, half, 2):
+            machine.alu()
+            machine.load()  # both twiddles in one packed constant
+            w0, w1 = twiddles[j], twiddles[j + 1]
+            for k in range(0, n, m):
+                lo = j + k
+                hi = lo + half
+                machine.alu(2)  # two pointers
+                machine.load(2)  # two packed words, four coefficients
+                u0, u1 = A[lo], A[lo + 1]
+                t0, t1 = A[hi], A[hi + 1]
+                # Lane multiplies read halfwords directly (no unpack).
+                t0 = _lane_mul_mod(machine, reducer, w0, t0)
+                t1 = _lane_mul_mod(machine, reducer, w1, t1)
+                machine.alu(2)  # re-pack the reduced products (pkhbt)
+                s0, s1 = _packed_mod_add(
+                    machine, reducer, u0, u1, t0, t1
+                )
+                d0, d1 = _packed_mod_sub(
+                    machine, reducer, u0, u1, t0, t1
+                )
+                machine.store(2)
+                A[lo], A[lo + 1] = s0, s1
+                A[hi], A[hi + 1] = d0, d1
+                machine.alu(2)
+                machine.branch(taken=k + m < n)
+            machine.alu(2)
+            machine.branch(taken=j + 2 < half)
+        machine.alu(2)
+        machine.branch(taken=m < n)
+    machine.ret()
+    return A
+
+
+def ntt_inverse_simd(
+    machine: CortexM4, a_hat: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Inverse transform with the same SIMD butterfly treatment."""
+    q = params.q
+    reducer = BarrettReducer(q)
+    tables = ntt_tables(params)
+    machine.call()
+    A = bit_reverse_cycles(machine, [c % q for c in a_hat], params)
+    n = params.n
+    for stage_index, stage in enumerate(tables.inverse_stages):
+        twiddles = tables.inverse_twiddles[stage_index]
+        m = stage.m
+        half = m // 2
+        if half == 1:
+            machine.load()
+            w = twiddles[0]
+            for word in range(n // 2):
+                machine.alu()
+                machine.load()
+                u, t = A[2 * word], A[2 * word + 1]
+                t = _lane_mul_mod(machine, reducer, w, t)
+                machine.alu(4)
+                s = u + t
+                s = s - q if s >= q else s
+                d = u - t
+                d = d + q if d < 0 else d
+                machine.store()
+                A[2 * word], A[2 * word + 1] = s, d
+                machine.alu(2)
+                machine.branch(taken=word + 1 < n // 2)
+            machine.alu(2)
+            machine.branch(taken=m < n)
+            continue
+        for j in range(0, half, 2):
+            machine.alu()
+            machine.load()
+            w0, w1 = twiddles[j], twiddles[j + 1]
+            for k in range(0, n, m):
+                lo = j + k
+                hi = lo + half
+                machine.alu(2)
+                machine.load(2)
+                u0, u1 = A[lo], A[lo + 1]
+                t0, t1 = A[hi], A[hi + 1]
+                t0 = _lane_mul_mod(machine, reducer, w0, t0)
+                t1 = _lane_mul_mod(machine, reducer, w1, t1)
+                machine.alu(2)
+                s0, s1 = _packed_mod_add(machine, reducer, u0, u1, t0, t1)
+                d0, d1 = _packed_mod_sub(machine, reducer, u0, u1, t0, t1)
+                machine.store(2)
+                A[lo], A[lo + 1] = s0, s1
+                A[hi], A[hi + 1] = d0, d1
+                machine.alu(2)
+                machine.branch(taken=k + m < n)
+            machine.alu(2)
+            machine.branch(taken=j + 2 < half)
+        machine.alu(2)
+        machine.branch(taken=m < n)
+    # Final scaling with lane multiplies.
+    scale = tables.final_scale
+    for word in range(n // 2):
+        machine.alu()
+        machine.load(2)
+        lo = _lane_mul_mod(machine, reducer, A[2 * word], scale[2 * word])
+        hi = _lane_mul_mod(
+            machine, reducer, A[2 * word + 1], scale[2 * word + 1]
+        )
+        machine.alu()  # re-pack
+        machine.store()
+        A[2 * word], A[2 * word + 1] = lo, hi
+        machine.alu(2)
+        machine.branch(taken=word + 1 < n // 2)
+    machine.ret()
+    return A

@@ -1,0 +1,35 @@
+"""Cycle model of the full NTT multiplication (Table I's last row).
+
+"NTT multiplication" in the paper is the complete negacyclic product:
+two packed forward transforms, one coefficient-wise multiplication, and
+one packed inverse transform.  The result is bit-identical to
+:func:`repro.ntt.polymul.ntt_multiply`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.params import ParameterSet
+from repro.cyclemodel.ntt_cycles import (
+    ntt_forward_packed,
+    ntt_inverse_packed,
+    pointwise_multiply_cycles,
+)
+from repro.machine.machine import CortexM4
+
+
+def ntt_multiply_cycles(
+    machine: CortexM4,
+    a: Sequence[int],
+    b: Sequence[int],
+    params: ParameterSet,
+) -> List[int]:
+    """Negacyclic product with full instruction accounting."""
+    with machine.region("ntt_forward"):
+        a_hat = ntt_forward_packed(machine, a, params)
+        b_hat = ntt_forward_packed(machine, b, params)
+    with machine.region("pointwise"):
+        c_hat = pointwise_multiply_cycles(machine, a_hat, b_hat, params)
+    with machine.region("ntt_inverse"):
+        return ntt_inverse_packed(machine, c_hat, params)

@@ -1,0 +1,269 @@
+"""Instruction-level cycle model of the Knuth-Yao samplers (Alg. 1/2).
+
+The model reproduces the paper's entire optimization stack, each step
+individually switchable so the ablation bench can quantify it:
+
+* ``scan="bitwise"`` — the naive inner loop of Alg. 1: every matrix bit
+  is extracted, subtracted and checked (the paper's "at least 8 cycles"
+  per row);
+* ``scan="clz"`` — Section III-B4's proposal: ``clz`` jumps straight to
+  the next set bit, so zero bits cost nothing;
+* ``skip_zero_words`` — Section III-B3: all-zero column words are not
+  stored and never touched;
+* ``use_hamming_weights`` — the alternative of Roy et al. [6] that
+  Section III-B4 contrasts with the clz proposal: per-column Hamming
+  weights let the walk skip any column that cannot contain its terminal
+  node (``d >= weight`` implies no termination; subtract and move on);
+* ``use_lut1`` / ``use_lut2`` — Section III-B5: the 256-entry and
+  224-entry lookup tables replacing levels 1-8 and 9-13.
+
+Randomness flows through any :class:`repro.trng.bitsource.BitSource`; in
+cycle-accounted runs that is a :class:`repro.trng.bitpool.BitPool` wired
+to the same machine, so TRNG stalls and the sentinel bookkeeping are
+included exactly as in Section III-E.
+
+Outputs are bit-exact with the functional samplers given the same bit
+stream (asserted by tests/test_cyclemodel_sampler.py).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.params import ParameterSet
+from repro.machine.machine import CortexM4
+from repro.sampler.lut_sampler import (
+    FAILURE_FLAG,
+    LUT1_LEVELS,
+    LUT2_LEVELS,
+    SamplerLuts,
+    build_luts,
+)
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource
+
+_WORD_BITS = 32
+
+
+class CycleKnuthYaoSampler:
+    """Cycle-accounted Knuth-Yao sampler with switchable optimizations."""
+
+    def __init__(
+        self,
+        pmat: ProbabilityMatrix,
+        q: int,
+        machine: CortexM4,
+        bits: BitSource,
+        scan: str = "clz",
+        skip_zero_words: bool = True,
+        use_hamming_weights: bool = False,
+        use_lut1: bool = True,
+        use_lut2: bool = True,
+    ):
+        if scan not in ("bitwise", "clz"):
+            raise ValueError(f"unknown scan mode {scan!r}")
+        if use_lut2 and not use_lut1:
+            raise ValueError("LUT2 requires LUT1")
+        self.pmat = pmat
+        self.q = q
+        self.machine = machine
+        self.bits = bits
+        self.scan = scan
+        self.skip_zero_words = skip_zero_words
+        self.use_hamming_weights = use_hamming_weights
+        self.use_lut1 = use_lut1
+        self.use_lut2 = use_lut2
+        self.columns_skipped = 0
+        self.luts: Optional[SamplerLuts] = (
+            build_luts(pmat) if use_lut1 else None
+        )
+        self.samples_drawn = 0
+        self.lut1_hits = 0
+        self.lut2_hits = 0
+        self.scan_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Column scanning
+    # ------------------------------------------------------------------
+    def _scan_column(self, col: int, d: int) -> "tuple[Optional[int], int]":
+        """Scan one column from MAXROW down to row 0.
+
+        Returns (row, -1) when the terminal node is found, else (None, d).
+        """
+        machine = self.machine
+        pmat = self.pmat
+        words = pmat.column_words[col]
+        for word_index in range(pmat.words_per_column - 1, -1, -1):
+            word = words[word_index]
+            if self.skip_zero_words:
+                # The stored matrix records how many words each column
+                # keeps; skipping an absent word is one bound check.
+                machine.alu()
+                if word == 0:
+                    machine.branch(taken=True)
+                    continue
+                machine.branch(taken=False)
+            machine.alu()  # word pointer
+            machine.load()  # fetch the column word
+            if self.scan == "clz":
+                row, d = self._scan_word_clz(word_index, word, d)
+            else:
+                row, d = self._scan_word_bitwise(word_index, word, d)
+            if row is not None:
+                return row, -1
+            machine.alu()  # word-loop bookkeeping
+            machine.branch(taken=word_index > 0)
+        return None, d
+
+    def _scan_word_clz(
+        self, word_index: int, word: int, d: int
+    ) -> "tuple[Optional[int], int]":
+        """Visit only the set bits, high row to low, via clz."""
+        machine = self.machine
+        register = word
+        while register:
+            zeros = machine.clz(register)
+            position = 31 - zeros
+            machine.alu(2)  # shift the processed zeros out; clear the bit
+            register &= (1 << position) - 1
+            d -= 1
+            machine.alu()  # subtract
+            machine.branch(taken=d < 0)
+            if d < 0:
+                return word_index * _WORD_BITS + position, -1
+        machine.alu()  # final register == 0 test
+        return None, d
+
+    def _scan_word_bitwise(
+        self, word_index: int, word: int, d: int
+    ) -> "tuple[Optional[int], int]":
+        """The naive loop: touch every row bit individually.
+
+        Charged at the paper's observed floor of ~8 cycles per row
+        iteration: extract (2 ALU), subtract + sign check (2 ALU), row
+        index update + bound check (2 ALU), loop branch.
+        """
+        machine = self.machine
+        pmat = self.pmat
+        top = min(_WORD_BITS - 1, pmat.rows - 1 - word_index * _WORD_BITS)
+        for bit_pos in range(top, -1, -1):
+            machine.alu(6)
+            machine.branch(taken=bit_pos > 0)
+            if (word >> bit_pos) & 1:
+                d -= 1
+                if d < 0:
+                    return word_index * _WORD_BITS + bit_pos, -1
+        return None, d
+
+    # ------------------------------------------------------------------
+    # Walk + sign
+    # ------------------------------------------------------------------
+    def _bit_scan_walk(
+        self, start_column: int, start_distance: int
+    ) -> Optional[int]:
+        machine = self.machine
+        d = start_distance
+        for col in range(start_column, self.pmat.columns):
+            bit = self.bits.bit()
+            machine.alu(2)  # d = 2d + bit
+            d = 2 * d + bit
+            if self.use_hamming_weights:
+                weight = self.pmat.hamming_weights[col]
+                machine.load()  # fetch the stored column weight
+                machine.alu()  # compare d against it
+                machine.branch(taken=d >= weight)
+                if d >= weight:
+                    # No terminal node in this level: consume the whole
+                    # column arithmetically and move on ([6]'s method).
+                    d -= weight
+                    machine.alu()
+                    self.columns_skipped += 1
+                    machine.alu()
+                    machine.branch(taken=col + 1 < self.pmat.columns)
+                    continue
+            row, d = self._scan_column(col, d)
+            if row is not None:
+                return row
+            machine.alu()  # column loop bookkeeping
+            machine.branch(taken=col + 1 < self.pmat.columns)
+        return None
+
+    def _apply_sign(self, row: int) -> int:
+        machine = self.machine
+        sign = self.bits.bit()
+        machine.alu()  # test
+        machine.branch(taken=bool(sign))
+        if sign:
+            machine.alu()  # rsb row, q
+            return (self.q - row) % self.q
+        return row
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def sample(self) -> int:
+        """One sample in [0, q) under the configured optimization set."""
+        machine = self.machine
+        machine.call()
+        try:
+            self.samples_drawn += 1
+            if not self.use_lut1:
+                row = self._bit_scan_walk(0, 0)
+                if row is None:
+                    return 0
+                self.scan_fallbacks += 1
+                return self._apply_sign(row)
+
+            index = self.bits.bits(LUT1_LEVELS)
+            machine.load()  # LUT1 byte
+            entry = self.luts.lut1[index]
+            machine.alu()  # msb test
+            machine.branch(taken=bool(entry & FAILURE_FLAG))
+            if not entry & FAILURE_FLAG:
+                self.lut1_hits += 1
+                return self._apply_sign(entry)
+            d = entry & ~FAILURE_FLAG & 0xFF
+            machine.alu()  # clear flag
+
+            start_column = LUT1_LEVELS
+            if self.use_lut2 and self.luts.lut2:
+                r5 = self.bits.bits(LUT2_LEVELS)
+                machine.alu()  # build the d-major index
+                machine.load()  # LUT2 byte
+                entry = self.luts.lut2[d * (1 << LUT2_LEVELS) + r5]
+                machine.alu()
+                machine.branch(taken=bool(entry & FAILURE_FLAG))
+                if not entry & FAILURE_FLAG:
+                    self.lut2_hits += 1
+                    return self._apply_sign(entry)
+                d = entry & ~FAILURE_FLAG & 0xFF
+                machine.alu()
+                start_column = LUT1_LEVELS + LUT2_LEVELS
+
+            self.scan_fallbacks += 1
+            row = self._bit_scan_walk(start_column, d)
+            if row is None:
+                return 0
+            return self._apply_sign(row)
+        finally:
+            machine.ret()
+
+    def sample_polynomial(self, n: int) -> List[int]:
+        return [self.sample() for _ in range(n)]
+
+
+def sample_polynomial_cycles(
+    params: ParameterSet,
+    machine: CortexM4,
+    bits: BitSource,
+    n: Optional[int] = None,
+    **options,
+) -> "tuple[List[int], int]":
+    """Draw one error polynomial; returns (coefficients, cycles)."""
+    sampler = CycleKnuthYaoSampler(
+        ProbabilityMatrix.for_params(params), params.q, machine, bits,
+        **options,
+    )
+    start = machine.cycles
+    poly = sampler.sample_polynomial(n if n is not None else params.n)
+    return poly, machine.cycles - start

@@ -1,0 +1,26 @@
+"""Cortex-M4F instruction-cost model (the hardware substitution)."""
+
+from repro.machine.costs import CORTEX_M0PLUS, CORTEX_M4F, CostTable
+from repro.machine.footprint import (
+    Footprint,
+    decryption_footprint,
+    encryption_footprint,
+    keygen_footprint,
+    operation_footprints,
+)
+from repro.machine.machine import CortexM4, NullMachine
+from repro.machine.reduce import BarrettReducer
+
+__all__ = [
+    "CORTEX_M4F",
+    "CORTEX_M0PLUS",
+    "CostTable",
+    "CortexM4",
+    "NullMachine",
+    "BarrettReducer",
+    "Footprint",
+    "keygen_footprint",
+    "encryption_footprint",
+    "decryption_footprint",
+    "operation_footprints",
+]

@@ -1,0 +1,169 @@
+"""Cycle-accounting machine model for the Cortex-M4F substitution.
+
+A :class:`CortexM4` instance is threaded through every kernel in
+:mod:`repro.cyclemodel`.  The kernel performs its real computation in
+Python and, alongside each step, charges the instruction categories an
+assembly implementation would execute.  ``machine.cycles`` at the end is
+the modelled cycle count — the reproduction's stand-in for the paper's
+``DWT_CYCCNT`` measurements.
+
+The :meth:`CortexM4.region` context manager mirrors how the paper brackets
+routines with cycle-counter reads, and keeps per-routine tallies so one
+modelled encryption can report its NTT/sampling/arithmetic breakdown.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.machine.costs import CORTEX_M4F, CostTable
+
+_MASK32 = 0xFFFFFFFF
+
+
+class CortexM4:
+    """Instruction-category cycle counter with a small helper ALU."""
+
+    def __init__(self, costs: CostTable = CORTEX_M4F):
+        self.costs = costs
+        self._cycles = 0
+        self._region_totals: Dict[str, int] = {}
+        self._region_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Counter
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Modelled cycles elapsed since construction or :meth:`reset`."""
+        return self._cycles
+
+    def reset(self) -> None:
+        self._cycles = 0
+        self._region_totals.clear()
+        self._region_stack.clear()
+
+    def tick(self, cycles: int) -> None:
+        """Charge an explicit number of cycles (e.g. a peripheral stall)."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self._cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Instruction categories
+    # ------------------------------------------------------------------
+    def alu(self, count: int = 1) -> None:
+        """add/sub/shift/logic/mov/cmp — ``count`` of them."""
+        self._cycles += self.costs.alu * count
+
+    def mul(self, count: int = 1) -> None:
+        """32-bit multiply (mul/mla/umull) — single cycle on the M4F."""
+        self._cycles += self.costs.mul * count
+
+    def div(self, dividend: int, divisor: int) -> int:
+        """Hardware divide; returns the quotient, charges 2-12 cycles."""
+        self._cycles += self.costs.div(dividend, divisor)
+        if divisor == 0:
+            return 0  # M4 returns 0 on divide-by-zero (DIV_0_TRP clear)
+        return dividend // divisor
+
+    def load(self, count: int = 1) -> None:
+        """Memory read (word or halfword — same cost, per the paper)."""
+        self._cycles += self.costs.load * count
+
+    def store(self, count: int = 1) -> None:
+        self._cycles += self.costs.store * count
+
+    def branch(self, taken: bool = True) -> None:
+        self._cycles += (
+            self.costs.branch_taken if taken else self.costs.branch_not_taken
+        )
+
+    def call(self) -> None:
+        self._cycles += self.costs.call
+
+    def ret(self) -> None:
+        self._cycles += self.costs.ret
+
+    def clz(self, value: int) -> int:
+        """Count leading zeros of a 32-bit value; charges one cycle."""
+        if not 0 <= value <= _MASK32:
+            raise ValueError(f"clz operand {value:#x} not a 32-bit value")
+        self._cycles += self.costs.clz
+        return 32 - value.bit_length()
+
+    # ------------------------------------------------------------------
+    # Region profiling
+    # ------------------------------------------------------------------
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Attribute the cycles of a ``with`` block to ``name``.
+
+        Regions nest; a nested region's cycles also count toward its
+        enclosing regions (matching how bracketed DWT reads behave).
+        """
+        self._region_stack.append(name)
+        start = self._cycles
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+            elapsed = self._cycles - start
+            self._region_totals[name] = (
+                self._region_totals.get(name, 0) + elapsed
+            )
+
+    def region_cycles(self, name: str) -> int:
+        return self._region_totals.get(name, 0)
+
+    @property
+    def regions(self) -> Dict[str, int]:
+        return dict(self._region_totals)
+
+    # ------------------------------------------------------------------
+    # Measurement helper
+    # ------------------------------------------------------------------
+    def measure(self, fn, *args, **kwargs):
+        """Run ``fn(self, *args)`` and return (result, cycles_elapsed)."""
+        start = self._cycles
+        result = fn(self, *args, **kwargs)
+        return result, self._cycles - start
+
+
+class NullMachine(CortexM4):
+    """A machine whose charges are all free — lets cycle-model kernels be
+    reused as plain functional kernels in tests without cost bookkeeping
+    overhead mattering semantically."""
+
+    def tick(self, cycles: int) -> None:  # noqa: D102 - trivially free
+        pass
+
+    def alu(self, count: int = 1) -> None:
+        pass
+
+    def mul(self, count: int = 1) -> None:
+        pass
+
+    def load(self, count: int = 1) -> None:
+        pass
+
+    def store(self, count: int = 1) -> None:
+        pass
+
+    def branch(self, taken: bool = True) -> None:
+        pass
+
+    def call(self) -> None:
+        pass
+
+    def ret(self) -> None:
+        pass
+
+    def div(self, dividend: int, divisor: int) -> int:
+        return dividend // divisor if divisor else 0
+
+    def clz(self, value: int) -> int:
+        if not 0 <= value <= _MASK32:
+            raise ValueError(f"clz operand {value:#x} not a 32-bit value")
+        return 32 - value.bit_length()

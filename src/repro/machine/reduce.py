@@ -1,0 +1,71 @@
+"""Modular arithmetic primitives with instruction-level cost accounting.
+
+The NTT inner loop performs one twiddle multiply plus a modular reduction
+per butterfly operand, and modular add/sub for the butterfly outputs.  On
+the Cortex-M4F the standard implementation is Barrett reduction:
+
+    t = (value * K) >> 32          ; umull (1 cy) + register pick (free)
+    r = value - t * q              ; mls (1 cy)
+    if r >= q: r -= q              ; cmp (1 cy) + conditional sub (1 cy)
+
+with K = floor(2^32 / q) kept in a register.  These helpers execute the
+real arithmetic and charge the corresponding categories, so the cycle
+models stay bit-exact *and* cost-faithful.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import CortexM4
+from repro.ntt.modmath import barrett_constant
+
+
+class BarrettReducer:
+    """Barrett reduction mod q for 32-bit inputs, with cost accounting."""
+
+    def __init__(self, q: int, width: int = 32):
+        self.q = q
+        self.width = width
+        self.constant = barrett_constant(q, width)
+
+    def reduce(self, machine: CortexM4, value: int) -> int:
+        """Reduce ``value`` (< 2^width) modulo q."""
+        if not 0 <= value < (1 << self.width):
+            raise ValueError(f"value {value} out of Barrett input range")
+        t = (value * self.constant) >> self.width
+        machine.mul()  # umull rlo, rhi, value, K  (rhi is t)
+        r = value - t * self.q
+        machine.mul()  # mls r, t, q, value
+        machine.alu()  # cmp r, q
+        if r >= self.q:
+            machine.alu()  # conditional sub (IT + sub, charged as one ALU)
+            r -= self.q
+        if not 0 <= r < self.q:  # pragma: no cover - Barrett bound proof
+            raise ArithmeticError(
+                f"Barrett reduction out of range: {value} -> {r}"
+            )
+        return r
+
+    def mul_mod(self, machine: CortexM4, a: int, b: int) -> int:
+        """a * b mod q: one multiply feeding one Barrett reduction."""
+        machine.mul()  # mul a, b
+        return self.reduce(machine, a * b)
+
+    def add_mod(self, machine: CortexM4, a: int, b: int) -> int:
+        """a + b mod q for operands already in [0, q)."""
+        r = a + b
+        machine.alu()  # add
+        machine.alu()  # cmp
+        if r >= self.q:
+            machine.alu()  # conditional sub
+            r -= self.q
+        return r
+
+    def sub_mod(self, machine: CortexM4, a: int, b: int) -> int:
+        """a - b mod q for operands already in [0, q)."""
+        r = a - b
+        machine.alu()  # sub
+        machine.alu()  # cmp against zero (flags come free, keep symmetric)
+        if r < 0:
+            machine.alu()  # conditional add q
+            r += self.q
+        return r

@@ -1,0 +1,149 @@
+"""Modular arithmetic helpers for NTT-friendly prime moduli.
+
+The ring-LWE parameter sets in the paper use primes q with q = 1 mod 2n so
+that the 2n-th roots of unity needed by the negative-wrapped (negacyclic)
+NTT exist in Z_q.  This module provides the number theory required to find
+those roots and the constants used by the Barrett reduction modelled in
+:mod:`repro.machine.reduce`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def modpow(base: int, exponent: int, modulus: int) -> int:
+    """Return ``base**exponent mod modulus`` (non-negative result)."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return pow(base % modulus, exponent, modulus)
+
+
+def modinv(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises ``ValueError`` when the inverse does not exist.
+    """
+    value %= modulus
+    if value == 0:
+        raise ValueError("0 has no modular inverse")
+    g, x = _extended_gcd(value, modulus)
+    if g != 1:
+        raise ValueError(f"{value} is not invertible modulo {modulus}")
+    return x % modulus
+
+
+def _extended_gcd(a: int, b: int) -> "tuple[int, int]":
+    """Return ``(gcd(a, b), x)`` with ``a*x = gcd(a, b) mod b``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+    return old_r, old_x
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are sufficient for all n < 3.3e24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def prime_factors(n: int) -> List[int]:
+    """Return the sorted distinct prime factors of ``n`` (trial division)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    factors = []
+    p = 2
+    while p * p <= n:
+        if n % p == 0:
+            factors.append(p)
+            while n % p == 0:
+                n //= p
+        p += 1 if p == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def find_generator(q: int) -> int:
+    """Return the smallest generator of the multiplicative group of Z_q.
+
+    ``q`` must be prime.  A generator g satisfies g^((q-1)/p) != 1 for every
+    prime factor p of q - 1.
+    """
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime")
+    if q == 2:
+        return 1
+    group_order = q - 1
+    factors = prime_factors(group_order)
+    for candidate in range(2, q):
+        if all(pow(candidate, group_order // p, q) != 1 for p in factors):
+            return candidate
+    raise ArithmeticError(f"no generator found for Z_{q}")  # pragma: no cover
+
+
+def root_of_unity(order: int, q: int) -> int:
+    """Return a primitive ``order``-th root of unity in Z_q.
+
+    Requires ``order`` to divide ``q - 1``.  The returned root w satisfies
+    w^order = 1 and w^(order/p) != 1 for every prime p dividing ``order``.
+    """
+    if order <= 0:
+        raise ValueError("order must be positive")
+    if (q - 1) % order != 0:
+        raise ValueError(f"{order} does not divide q-1 = {q - 1}")
+    g = find_generator(q)
+    w = pow(g, (q - 1) // order, q)
+    if not is_primitive_root_of_unity(w, order, q):  # pragma: no cover
+        raise ArithmeticError("generator construction failed")
+    return w
+
+
+def is_primitive_root_of_unity(w: int, order: int, q: int) -> bool:
+    """Check that ``w`` is a *primitive* ``order``-th root of unity mod q."""
+    if pow(w, order, q) != 1:
+        return False
+    return all(pow(w, order // p, q) != 1 for p in prime_factors(order))
+
+
+def barrett_constant(q: int, width: int = 32) -> int:
+    """Return floor(2**width / q), the constant used by Barrett reduction.
+
+    With products bounded by (q-1)**2 < 2**width, a single multiply-shift
+    by this constant brings a value into [0, 2q), after which one
+    conditional subtraction completes the reduction.  This mirrors what a
+    Cortex-M4 implementation stores in a register for the NTT inner loop.
+    """
+    if q <= 0:
+        raise ValueError("q must be positive")
+    if (q - 1) ** 2 >= 1 << width:
+        raise ValueError(f"q = {q} too large for Barrett width {width}")
+    return (1 << width) // q
+
+
+def bit_length_of_coefficients(q: int) -> int:
+    """Number of bits needed to store one coefficient in [0, q)."""
+    return (q - 1).bit_length()

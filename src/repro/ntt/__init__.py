@@ -1,0 +1,35 @@
+"""Negative-wrapped NTT kernels and polynomial arithmetic."""
+
+from repro.ntt.optimized import ntt_forward_packed, ntt_inverse_packed
+from repro.ntt.parallel import ntt_forward_parallel3
+from repro.ntt.polymul import (
+    ntt_multiply,
+    pointwise_add,
+    pointwise_multiply,
+    pointwise_subtract,
+    schoolbook_negacyclic,
+)
+from repro.ntt.reference import (
+    negacyclic_dft,
+    negacyclic_idft,
+    ntt_forward,
+    ntt_inverse,
+)
+from repro.ntt.roots import NttTables, ntt_tables
+
+__all__ = [
+    "ntt_forward",
+    "ntt_inverse",
+    "negacyclic_dft",
+    "negacyclic_idft",
+    "ntt_forward_packed",
+    "ntt_inverse_packed",
+    "ntt_forward_parallel3",
+    "ntt_multiply",
+    "pointwise_add",
+    "pointwise_multiply",
+    "pointwise_subtract",
+    "schoolbook_negacyclic",
+    "NttTables",
+    "ntt_tables",
+]

@@ -1,0 +1,48 @@
+"""Bit-reversal permutation used by the iterative NTT algorithms.
+
+Alg. 3 and Alg. 4 of the paper both start with ``A <- BitReverse(a)``: the
+decimation-in-time butterflies then produce output in natural order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def bit_reverse_index(index: int, bits: int) -> int:
+    """Return ``index`` with its lowest ``bits`` bits reversed."""
+    if index < 0 or index >= (1 << bits):
+        raise ValueError(f"index {index} out of range for {bits} bits")
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (index & 1)
+        index >>= 1
+    return result
+
+
+def bit_reverse_table(n: int) -> List[int]:
+    """Return the full bit-reversal permutation for a power-of-two ``n``."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"n = {n} is not a power of two")
+    bits = n.bit_length() - 1
+    return [bit_reverse_index(i, bits) for i in range(n)]
+
+
+def bit_reverse_copy(values: Sequence[int]) -> List[int]:
+    """Return a new list with ``values`` permuted into bit-reversed order."""
+    table = bit_reverse_table(len(values))
+    return [values[table[i]] for i in range(len(values))]
+
+
+def bit_reverse_inplace(values: List[int]) -> None:
+    """Permute ``values`` into bit-reversed order in place (swap-based).
+
+    This is the memory-access pattern an embedded implementation uses:
+    each pair (i, rev(i)) with i < rev(i) is swapped exactly once.
+    """
+    n = len(values)
+    table = bit_reverse_table(n)
+    for i in range(n):
+        j = table[i]
+        if i < j:
+            values[i], values[j] = values[j], values[i]

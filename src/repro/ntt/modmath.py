@@ -1,0 +1,30 @@
+"""Re-export of :mod:`repro.modmath` under its historical location.
+
+The number-theory helpers live at the package top level so that
+:mod:`repro.core.params` can use them without importing the ``ntt``
+package (which itself depends on the parameter sets).
+"""
+
+from repro.modmath import (
+    barrett_constant,
+    bit_length_of_coefficients,
+    find_generator,
+    is_prime,
+    is_primitive_root_of_unity,
+    modinv,
+    modpow,
+    prime_factors,
+    root_of_unity,
+)
+
+__all__ = [
+    "barrett_constant",
+    "bit_length_of_coefficients",
+    "find_generator",
+    "is_prime",
+    "is_primitive_root_of_unity",
+    "modinv",
+    "modpow",
+    "prime_factors",
+    "root_of_unity",
+]

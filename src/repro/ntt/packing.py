@@ -1,0 +1,53 @@
+"""Coefficient packing: two halfword coefficients per 32-bit word.
+
+Section III-C of the paper observes that on the Cortex-M4F a memory access
+costs 2 cycles whether it loads a halfword or a full word, so storing one
+13/14-bit coefficient per halfword wastes half of every access.  The
+optimized NTT therefore keeps two coefficients in each 32-bit word:
+
+    word = coeff[2*i]  |  coeff[2*i + 1] << 16
+
+These helpers implement that layout and are shared by the functional
+optimized NTT (:mod:`repro.ntt.optimized`) and its cycle-model twin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+HALF_MASK = 0xFFFF
+WORD_MASK = 0xFFFFFFFF
+
+
+def pack_pair(lo: int, hi: int) -> int:
+    """Pack two coefficients into one 32-bit word (lo in bits 0..15)."""
+    if not (0 <= lo <= HALF_MASK and 0 <= hi <= HALF_MASK):
+        raise ValueError(f"coefficients ({lo}, {hi}) exceed halfword range")
+    return lo | (hi << 16)
+
+
+def unpack_pair(word: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_pair`."""
+    if not 0 <= word <= WORD_MASK:
+        raise ValueError(f"word {word:#x} out of 32-bit range")
+    return word & HALF_MASK, word >> 16
+
+
+def pack_polynomial(coefficients: Sequence[int]) -> List[int]:
+    """Pack an even-length coefficient list into n/2 words."""
+    if len(coefficients) % 2:
+        raise ValueError("coefficient count must be even")
+    return [
+        pack_pair(coefficients[i], coefficients[i + 1])
+        for i in range(0, len(coefficients), 2)
+    ]
+
+
+def unpack_polynomial(words: Sequence[int]) -> List[int]:
+    """Inverse of :func:`pack_polynomial`."""
+    out: List[int] = []
+    for word in words:
+        lo, hi = unpack_pair(word)
+        out.append(lo)
+        out.append(hi)
+    return out

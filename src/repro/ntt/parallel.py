@@ -1,0 +1,59 @@
+"""Fused forward NTT over three polynomials ("Parallel NTT").
+
+During encryption three forward NTTs run back to back (on e1, e2 and
+e3 + m-bar).  Section III-D of the paper fuses them into one loop nest so
+the loop overhead and the ``w <- w * wm`` twiddle recurrence are paid once
+instead of three times, an 8.3% saving on the Cortex-M4F.  The paper also
+stores the three coefficient sets contiguously, n/2 words apart, so a
+single base pointer addresses all three; the cycle model accounts for that
+addressing trick, while this functional version simply carries the three
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.params import ParameterSet
+from repro.ntt.bitrev import bit_reverse_copy
+from repro.ntt.roots import ntt_tables
+
+Triple = Tuple[List[int], List[int], List[int]]
+
+
+def ntt_forward_parallel3(
+    a: Sequence[int],
+    b: Sequence[int],
+    c: Sequence[int],
+    params: ParameterSet,
+) -> Triple:
+    """Forward NTT of three polynomials inside one fused loop nest.
+
+    Bit-identical to applying :func:`repro.ntt.reference.ntt_forward`
+    to each input separately.
+    """
+    for poly in (a, b, c):
+        if len(poly) != params.n:
+            raise ValueError(
+                f"expected {params.n} coefficients, got {len(poly)}"
+            )
+    q = params.q
+    tables = ntt_tables(params)
+    A = bit_reverse_copy([x % q for x in a])
+    B = bit_reverse_copy([x % q for x in b])
+    C = bit_reverse_copy([x % q for x in c])
+    for stage in tables.forward_stages:
+        m, wm = stage.m, stage.wm
+        w = stage.w0
+        half = m // 2
+        for j in range(half):
+            for k in range(0, params.n, m):
+                lo = j + k
+                hi = lo + half
+                for poly in (A, B, C):
+                    t = w * poly[hi] % q
+                    u = poly[lo]
+                    poly[lo] = (u + t) % q
+                    poly[hi] = (u - t) % q
+            w = w * wm % q
+    return A, B, C

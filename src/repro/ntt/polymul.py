@@ -1,0 +1,105 @@
+"""Polynomial multiplication in Rq = Z_q[x] / (x^n + 1).
+
+``ntt_multiply`` is the paper's fast path: two forward NTTs, a
+coefficient-wise product, and one inverse NTT ("NTT multiplication" in
+Table I).  ``schoolbook_negacyclic`` is the quadratic-time baseline the
+test-suite uses as an oracle, and also serves as the naive comparator in
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.core.params import ParameterSet
+from repro.ntt import optimized, reference
+
+ForwardFn = Callable[[Sequence[int], ParameterSet], List[int]]
+InverseFn = Callable[[Sequence[int], ParameterSet], List[int]]
+
+_IMPLEMENTATIONS = {
+    "reference": (reference.ntt_forward, reference.ntt_inverse),
+    "packed": (optimized.ntt_forward_packed, optimized.ntt_inverse_packed),
+}
+
+
+def pointwise_multiply(
+    a_hat: Sequence[int], b_hat: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Coefficient-wise product of two NTT-domain polynomials."""
+    if len(a_hat) != len(b_hat):
+        raise ValueError("operand lengths differ")
+    q = params.q
+    return [x * y % q for x, y in zip(a_hat, b_hat)]
+
+
+def pointwise_add(
+    a: Sequence[int], b: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Coefficient-wise sum modulo q (domain-agnostic: NTT is linear)."""
+    if len(a) != len(b):
+        raise ValueError("operand lengths differ")
+    q = params.q
+    return [(x + y) % q for x, y in zip(a, b)]
+
+
+def pointwise_subtract(
+    a: Sequence[int], b: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Coefficient-wise difference modulo q."""
+    if len(a) != len(b):
+        raise ValueError("operand lengths differ")
+    q = params.q
+    return [(x - y) % q for x, y in zip(a, b)]
+
+
+def ntt_multiply(
+    a: Sequence[int],
+    b: Sequence[int],
+    params: ParameterSet,
+    implementation: str = "reference",
+) -> List[int]:
+    """Negacyclic product a * b mod (x^n + 1, q) via the NTT.
+
+    ``implementation`` selects the kernel pair: ``"reference"`` (Alg. 3)
+    or ``"packed"`` (the Alg. 4 optimization).
+    """
+    forward, inverse = ntt_implementation(implementation)
+    a_hat = forward(a, params)
+    b_hat = forward(b, params)
+    return inverse(pointwise_multiply(a_hat, b_hat, params), params)
+
+
+def ntt_implementation(name: str) -> "tuple[ForwardFn, InverseFn]":
+    """Return the (forward, inverse) kernel pair registered as ``name``."""
+    if name not in _IMPLEMENTATIONS:
+        raise KeyError(
+            f"unknown NTT implementation {name!r}; "
+            f"choose from {sorted(_IMPLEMENTATIONS)}"
+        )
+    return _IMPLEMENTATIONS[name]
+
+
+def schoolbook_negacyclic(
+    a: Sequence[int], b: Sequence[int], params: ParameterSet
+) -> List[int]:
+    """Quadratic-time negacyclic product: the correctness oracle.
+
+    Computes c_k = sum_{i+j=k} a_i b_j - sum_{i+j=k+n} a_i b_j mod q,
+    i.e. ordinary polynomial multiplication reduced by x^n = -1.
+    """
+    n, q = params.n, params.q
+    if len(a) != n or len(b) != n:
+        raise ValueError(f"operands must have {n} coefficients")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k < n:
+                out[k] = (out[k] + term) % q
+            else:
+                out[k - n] = (out[k - n] - term) % q
+    return out

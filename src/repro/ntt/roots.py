@@ -1,0 +1,143 @@
+"""Precomputed twiddle-factor tables for the negative-wrapped NTT.
+
+The paper avoids computing twiddle factors on the fly by storing
+"precomputed twiddle factors, and inverse twiddle factors in a lookup
+table" (Section III-C).  This module builds those tables once per
+parameter set and caches them.
+
+Conventions
+-----------
+The forward transform implemented by Alg. 3 / Alg. 4 is the
+decimation-in-time Cooley-Tukey NTT on bit-reversed input where the stage
+of (sub-transform) size ``m`` uses the twiddles
+
+    w_(2m)^(2j+1) = psi^((2j+1) * n/m),   j = 0 .. m/2-1
+
+i.e. the classical cyclic stage twiddles ``w_m^j`` shifted by the half
+power ``sqrt(w_m) = psi^(n/m)``.  That half-power shift is exactly what
+absorbs the ``psi^j`` pre-scaling of the negative-wrapped convolution into
+the transform (Roy et al., CHES 2014).  The inverse transform is the plain
+cyclic inverse NTT (stage twiddles ``w_m^-j``) followed by multiplication
+with ``n^-1 * psi^-j``, which this module also precomputes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.params import ParameterSet
+from repro.ntt.modmath import modinv
+
+
+@dataclass(frozen=True)
+class StageRoots:
+    """Roots driving one butterfly stage of sub-transform size ``m``.
+
+    ``wm`` is the per-iteration twiddle multiplier (order-m root) and
+    ``w0`` the initial twiddle.  The forward negacyclic transform uses
+    ``w0 = sqrt(wm) = psi^(n/m)``; the cyclic inverse uses ``w0 = 1``.
+    """
+
+    m: int
+    wm: int
+    w0: int
+
+
+@dataclass(frozen=True)
+class NttTables:
+    """All precomputed constants for one parameter set.
+
+    Attributes mirror what an embedded implementation keeps in flash:
+
+    * ``forward_stages`` / ``inverse_stages``: the (wm, w0) register pairs
+      Alg. 3/4 load per stage from the ``primitive_root`` lookup table.
+    * ``forward_twiddles`` / ``inverse_twiddles``: fully unrolled per-stage
+      twiddle lists (stage s, butterfly j), used by the LUT-driven
+      optimized kernels so the ``w <- w * wm`` dependency chain disappears.
+    * ``final_scale``: ``n^-1 * psi^-j mod q`` for j = 0..n-1, applied
+      after the cyclic inverse stages to complete the negacyclic INTT.
+    """
+
+    params: ParameterSet
+    forward_stages: Tuple[StageRoots, ...]
+    inverse_stages: Tuple[StageRoots, ...]
+    forward_twiddles: Tuple[Tuple[int, ...], ...]
+    inverse_twiddles: Tuple[Tuple[int, ...], ...]
+    final_scale: Tuple[int, ...]
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.forward_stages)
+
+    def flash_bytes(self) -> int:
+        """Bytes of constant storage, coefficients stored as halfwords."""
+        per_coeff = self.params.coefficient_bytes
+        twiddles = sum(len(t) for t in self.forward_twiddles)
+        twiddles += sum(len(t) for t in self.inverse_twiddles)
+        return per_coeff * (twiddles + len(self.final_scale))
+
+
+_TABLE_CACHE: Dict[Tuple[int, int], NttTables] = {}
+
+
+def ntt_tables(params: ParameterSet) -> NttTables:
+    """Return (cached) twiddle tables for ``params``."""
+    key = (params.n, params.q)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = _build_tables(params)
+    return _TABLE_CACHE[key]
+
+
+def _build_tables(params: ParameterSet) -> NttTables:
+    if not params.ntt_friendly:
+        raise ValueError(f"{params.name} is not NTT-friendly")
+    n, q = params.n, params.q
+    psi = params.psi
+    omega = params.omega
+    omega_inv = params.omega_inverse
+
+    forward_stages: List[StageRoots] = []
+    inverse_stages: List[StageRoots] = []
+    forward_twiddles: List[Tuple[int, ...]] = []
+    inverse_twiddles: List[Tuple[int, ...]] = []
+
+    m = 2
+    while m <= n:
+        exponent = n // m
+        wm = pow(omega, exponent, q)
+        w0 = pow(psi, exponent, q)  # sqrt(wm) in the negacyclic sense
+        forward_stages.append(StageRoots(m=m, wm=wm, w0=w0))
+
+        wm_inv = pow(omega_inv, exponent, q)
+        inverse_stages.append(StageRoots(m=m, wm=wm_inv, w0=1))
+
+        fwd_stage = []
+        inv_stage = []
+        w = w0
+        wi = 1
+        for _ in range(m // 2):
+            fwd_stage.append(w)
+            inv_stage.append(wi)
+            w = w * wm % q
+            wi = wi * wm_inv % q
+        forward_twiddles.append(tuple(fwd_stage))
+        inverse_twiddles.append(tuple(inv_stage))
+        m *= 2
+
+    n_inv = modinv(n, q)
+    psi_inv = params.psi_inverse
+    scale = []
+    acc = n_inv
+    for _ in range(n):
+        scale.append(acc)
+        acc = acc * psi_inv % q
+
+    return NttTables(
+        params=params,
+        forward_stages=tuple(forward_stages),
+        inverse_stages=tuple(inverse_stages),
+        forward_twiddles=tuple(forward_twiddles),
+        inverse_twiddles=tuple(inverse_twiddles),
+        final_scale=tuple(scale),
+    )

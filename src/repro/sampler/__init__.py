@@ -1,0 +1,23 @@
+"""Discrete Gaussian samplers (paper Sections II-B, III-B)."""
+
+from repro.sampler.cdt import CdtSampler
+from repro.sampler.constant_time import ConstantTimeCdtSampler
+from repro.sampler.distribution import DiscreteGaussian, HalfGaussianTable
+from repro.sampler.knuth_yao import KnuthYaoSampler
+from repro.sampler.lut_sampler import LutKnuthYaoSampler, SamplerLuts, build_luts
+from repro.sampler.pmat import ProbabilityMatrix, paper_tail
+from repro.sampler.rejection import RejectionSampler
+
+__all__ = [
+    "CdtSampler",
+    "ConstantTimeCdtSampler",
+    "DiscreteGaussian",
+    "HalfGaussianTable",
+    "KnuthYaoSampler",
+    "LutKnuthYaoSampler",
+    "SamplerLuts",
+    "build_luts",
+    "ProbabilityMatrix",
+    "paper_tail",
+    "RejectionSampler",
+]

@@ -1,0 +1,77 @@
+"""Inversion (CDT) sampler — the classical baseline to Knuth-Yao.
+
+Section II-B lists inversion sampling among the standard methods.  The
+cumulative distribution table (CDT) sampler draws a uniform fixed-point
+value and binary-searches the cumulative table of the half-distribution,
+then applies a sign bit — the same output distribution as Knuth-Yao over
+the same fixed-point table, which the tests assert exactly.
+
+Cost profile (why the paper prefers Knuth-Yao on the M4): the CDT draws a
+full `precision`-bit uniform value per sample (109 bits here versus
+Knuth-Yao's ~10) and performs log2(tail) wide comparisons, but needs no
+bit-scanning.  Both appear in the sampler ablation bench.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List
+
+from repro.core.params import ParameterSet
+from repro.sampler.distribution import HalfGaussianTable
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource
+
+
+class CdtSampler:
+    """Cumulative-distribution-table (inversion) Gaussian sampler."""
+
+    def __init__(self, table: HalfGaussianTable, q: int, bits: BitSource):
+        if q <= 2 * table.tail:
+            raise ValueError("q too small for the table's tail")
+        self.table = table
+        self.q = q
+        self.bits = bits
+        # cdt[x] = sum of probabilities of magnitudes 0..x (exclusive
+        # prefix shifted by one for bisect semantics).
+        cumulative: List[int] = []
+        acc = 0
+        for p in table.probabilities:
+            acc += p
+            cumulative.append(acc)
+        self._cdt = cumulative
+
+    @classmethod
+    def for_params(
+        cls, params: ParameterSet, bits: BitSource
+    ) -> "CdtSampler":
+        pmat = ProbabilityMatrix.for_params(params)
+        return cls(pmat.table, params.q, bits)
+
+    @property
+    def precision(self) -> int:
+        return self.table.precision
+
+    def sample_magnitude(self) -> int:
+        """Binary-search the CDT with a fresh `precision`-bit uniform."""
+        u = self.bits.bits(self.precision)
+        # Find the first row whose cumulative mass exceeds u.
+        return bisect_right(self._cdt, u)
+
+    def sample(self) -> int:
+        """One sample in [0, q): magnitude then sign bit."""
+        row = self.sample_magnitude()
+        if self.bits.bit():
+            return (self.q - row) % self.q
+        return row
+
+    def sample_centered(self) -> int:
+        value = self.sample()
+        return value if value <= self.q // 2 else value - self.q
+
+    def sample_polynomial(self, n: int) -> List[int]:
+        return [self.sample() for _ in range(n)]
+
+    def table_bytes(self) -> int:
+        """Flash bytes for the CDT (each entry is `precision` bits)."""
+        return len(self._cdt) * ((self.precision + 7) // 8)

@@ -1,0 +1,124 @@
+"""Exact analysis of the discrete distribution generating (DDG) tree.
+
+The Knuth-Yao walk consumes one random bit per tree level; level ``L``
+(1-based, i.e. matrix column ``L - 1``) terminates the walk with
+probability ``hamming_weight(column) * 2^-L``, and each one-bit of the
+column receives exactly ``2^-L`` of probability mass for its row.  That
+simple structure makes three exact computations possible without any
+random sampling; the test-suite and the Fig. 2 bench rely on all three:
+
+* the per-level and accumulated termination probabilities (Fig. 2);
+* the exact output distribution of the sampler (it must equal the
+  fixed-point table probabilities row by row);
+* the exact internal-node counts, which certify that the tree is
+  well-formed (never more terminals than walk states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List
+
+from repro.sampler.pmat import ProbabilityMatrix
+
+
+@dataclass(frozen=True)
+class DdgLevelProfile:
+    """Per-level termination behaviour of the DDG tree."""
+
+    termination: "tuple[Fraction, ...]"  # Pr[walk ends at level L], 1-based
+    internal_nodes: "tuple[int, ...]"  # internal nodes after level L
+
+    @property
+    def levels(self) -> int:
+        return len(self.termination)
+
+    def accumulated(self) -> List[Fraction]:
+        """Pr[walk ends within the first L levels] for L = 1..levels."""
+        out: List[Fraction] = []
+        total = Fraction(0)
+        for p in self.termination:
+            total += p
+            out.append(total)
+        return out
+
+    def accumulated_floats(self) -> List[float]:
+        return [float(p) for p in self.accumulated()]
+
+    def expected_level(self) -> float:
+        """Mean number of tree levels (random bits) per walk."""
+        return float(
+            sum((L + 1) * p for L, p in enumerate(self.termination))
+        )
+
+
+def level_profile(pmat: ProbabilityMatrix) -> DdgLevelProfile:
+    """Exact termination probabilities and internal-node counts."""
+    termination: List[Fraction] = []
+    internal: List[int] = []
+    nodes = 1  # the root is the single internal node before level 1
+    for col in range(pmat.columns):
+        weight = pmat.hamming_weights[col]
+        nodes = 2 * nodes - weight
+        if nodes < 0:
+            raise ValueError(
+                f"malformed DDG tree: column {col} has more terminals "
+                f"than walk states"
+            )
+        termination.append(Fraction(weight, 1 << (col + 1)))
+        internal.append(nodes)
+    return DdgLevelProfile(
+        termination=tuple(termination), internal_nodes=tuple(internal)
+    )
+
+
+def exact_magnitude_distribution(
+    pmat: ProbabilityMatrix,
+) -> Dict[int, Fraction]:
+    """Exact Pr[walk returns row r] = sum_c Pmat[r][c] * 2^-(c+1).
+
+    Equals ``pmat.table.probability(r)`` when the tree is complete; the
+    test-suite asserts exactly that.
+    """
+    out: Dict[int, Fraction] = {}
+    for row in range(pmat.rows):
+        prob = Fraction(0)
+        for col in range(pmat.columns):
+            if pmat.bit(row, col):
+                prob += Fraction(1, 1 << (col + 1))
+        out[row] = prob
+    return out
+
+
+def exact_output_distribution(
+    pmat: ProbabilityMatrix, q: int
+) -> Dict[int, Fraction]:
+    """Exact distribution of the *signed, mod-q* sampler output.
+
+    The sign bit maps row r to r or (q - r) mod q with probability 1/2
+    each; both signs of row 0 map to 0.
+    """
+    magnitudes = exact_magnitude_distribution(pmat)
+    out: Dict[int, Fraction] = {}
+    for row, prob in magnitudes.items():
+        if prob == 0:
+            continue
+        if row == 0:
+            out[0] = out.get(0, Fraction(0)) + prob
+        else:
+            out[row] = out.get(row, Fraction(0)) + prob / 2
+            neg = (q - row) % q
+            out[neg] = out.get(neg, Fraction(0)) + prob / 2
+    return out
+
+
+def lut_failure_probability(pmat: ProbabilityMatrix, levels: int) -> Fraction:
+    """Exact Pr[the walk survives the first ``levels`` levels].
+
+    For s = 11.31 and levels = 8 the paper quotes 1 - 97.27% = 2.73%.
+    """
+    survived = Fraction(1)
+    for col in range(min(levels, pmat.columns)):
+        survived -= Fraction(pmat.hamming_weights[col], 1 << (col + 1))
+    return survived

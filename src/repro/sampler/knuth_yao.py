@@ -1,0 +1,91 @@
+"""Knuth-Yao discrete Gaussian sampler — Alg. 1 of the paper.
+
+The sampler performs a random walk down the DDG tree, constructed
+on-the-fly from the probability matrix: one random bit per level extends
+the distance counter ``d``; scanning the level's column subtracts each
+matrix bit from ``d``; the walk terminates at the row where ``d`` drops to
+-1.  A final random bit selects the sign, with negative samples returned
+as ``q - row`` because the encryption scheme works modulo q.
+
+The functional implementation here is bit-exact: feeding it the same bit
+stream as the cycle-model sampler or the LUT sampler must reproduce the
+same outputs (see tests/test_lut_sampler.py for the precise invariant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.params import ParameterSet
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource
+
+
+class KnuthYaoSampler:
+    """Alg. 1: bit-scanning Knuth-Yao sampler over a probability matrix."""
+
+    def __init__(
+        self,
+        pmat: ProbabilityMatrix,
+        q: int,
+        bits: BitSource,
+    ):
+        if q <= 2 * pmat.table.tail:
+            raise ValueError(
+                "q too small: signed samples would wrap into each other"
+            )
+        self.pmat = pmat
+        self.q = q
+        self.bits = bits
+
+    @classmethod
+    def for_params(
+        cls, params: ParameterSet, bits: BitSource
+    ) -> "KnuthYaoSampler":
+        return cls(ProbabilityMatrix.for_params(params), params.q, bits)
+
+    # ------------------------------------------------------------------
+    # Core walk
+    # ------------------------------------------------------------------
+    def sample_magnitude(
+        self, start_column: int = 0, start_distance: int = 0
+    ) -> Optional[int]:
+        """Run the DDG walk; return the row, or None if the matrix is
+        exhausted (cannot happen for a complete tree, kept for fidelity
+        with Alg. 1's final ``return 0``).
+
+        ``start_column``/``start_distance`` allow the LUT sampler to
+        resume the walk after a failed table lookup.
+        """
+        pmat = self.pmat
+        d = start_distance
+        for col in range(start_column, pmat.columns):
+            d = 2 * d + self.bits.bit()
+            for row in range(pmat.rows - 1, -1, -1):
+                d -= pmat.bit(row, col)
+                if d == -1:
+                    return row
+        return None
+
+    def _apply_sign(self, row: int) -> int:
+        """Consume the sign bit; map row to row or (q - row) mod q."""
+        if self.bits.bit():
+            return (self.q - row) % self.q
+        return row
+
+    def sample(self) -> int:
+        """One sample in [0, q) — Alg. 1 including the sign bit."""
+        row = self.sample_magnitude()
+        if row is None:
+            # Alg. 1 line 11: walk fell off the matrix; return 0.
+            return 0
+        return self._apply_sign(row)
+
+    def sample_centered(self) -> int:
+        """One sample as a signed integer in [-tail, tail]."""
+        value = self.sample()
+        return value if value <= self.q // 2 else value - self.q
+
+    def sample_polynomial(self, n: int) -> List[int]:
+        """n independent samples in [0, q) — one error polynomial."""
+        return [self.sample() for _ in range(n)]

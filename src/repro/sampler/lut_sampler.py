@@ -1,0 +1,172 @@
+"""LUT-accelerated Knuth-Yao sampler — Alg. 2 of the paper.
+
+For s = 11.31 the DDG walk terminates within the first 8 levels with
+probability 97.27% and within 13 levels with 99.87% (Fig. 2).  Alg. 2
+exploits this: a 256-entry lookup table (LUT1) resolves the first 8
+levels with a single table access, and a second table (LUT2) resolves
+levels 9-13 after a LUT1 miss.  Only on the remaining ~0.13% of samples
+does the expensive bit-scanning loop of Alg. 1 run, starting at level 14.
+
+Table construction (Section III-B5): LUT1 entry ``i`` is the result of
+running Alg. 1's first 8 levels with the bits of ``i`` (LSB-first) as the
+random walk; a clear MSB flags success and the low bits carry the sampled
+row, a set MSB flags failure and the low bits carry the walk's distance
+``d``.  All LUT1 failures for s = 11.31 leave ``d`` in 0..6, so LUT2 needs
+only 7 x 32 = 224 entries, indexed by (d, 5 fresh random bits).  The paper
+says the LUT2 index "consists of a 5-bit random number concatenated with
+the 3-bit distance d" without fixing the layout; we store d-major
+(``index = d * 32 + r5``) so the live entries are contiguous — a
+documented, distribution-neutral choice (DESIGN.md section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.params import ParameterSet
+from repro.sampler.knuth_yao import KnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource
+
+#: MSB flag marking a lookup failure in a table entry.
+FAILURE_FLAG = 0x80
+#: Levels resolved by LUT1 / LUT2 in the paper.
+LUT1_LEVELS = 8
+LUT2_LEVELS = 5
+
+
+def _walk(
+    pmat: ProbabilityMatrix,
+    bits_value: int,
+    levels: int,
+    start_column: int,
+    start_distance: int,
+) -> Tuple[Optional[int], int]:
+    """Run ``levels`` DDG levels fed by the bits of ``bits_value``
+    (LSB-first).  Returns (row, -) on termination or (None, d) on survival.
+    """
+    d = start_distance
+    for level in range(levels):
+        col = start_column + level
+        d = 2 * d + ((bits_value >> level) & 1)
+        for row in range(pmat.rows - 1, -1, -1):
+            d -= pmat.bit(row, col)
+            if d == -1:
+                return row, -1
+    return None, d
+
+
+@dataclass(frozen=True)
+class SamplerLuts:
+    """The two lookup tables plus their construction statistics."""
+
+    lut1: Tuple[int, ...]
+    lut2: Tuple[int, ...]
+    max_failure_distance1: int  # max d over LUT1 failures (paper: 6)
+    max_failure_distance2: int  # max d over LUT2 failures (paper: <= 15)
+
+    @property
+    def lut1_bytes(self) -> int:
+        return len(self.lut1)
+
+    @property
+    def lut2_bytes(self) -> int:
+        return len(self.lut2)
+
+    @property
+    def lut1_failure_entries(self) -> int:
+        return sum(1 for e in self.lut1 if e & FAILURE_FLAG)
+
+
+def build_luts(pmat: ProbabilityMatrix) -> SamplerLuts:
+    """Construct LUT1 and LUT2 from the probability matrix."""
+    lut1: List[int] = []
+    max_d1 = -1
+    for index in range(1 << LUT1_LEVELS):
+        row, d = _walk(pmat, index, LUT1_LEVELS, 0, 0)
+        if row is not None:
+            if row & FAILURE_FLAG:
+                raise ValueError(
+                    f"row {row} collides with the failure flag; "
+                    f"tail too large for 7-bit LUT entries"
+                )
+            lut1.append(row)
+        else:
+            if d > 0x7F:
+                raise ValueError(f"failure distance {d} exceeds 7 bits")
+            lut1.append(FAILURE_FLAG | d)
+            max_d1 = max(max_d1, d)
+
+    lut2: List[int] = []
+    max_d2 = -1
+    if max_d1 >= 0:
+        for d0 in range(max_d1 + 1):
+            for r5 in range(1 << LUT2_LEVELS):
+                row, d = _walk(pmat, r5, LUT2_LEVELS, LUT1_LEVELS, d0)
+                if row is not None:
+                    if row & FAILURE_FLAG:
+                        raise ValueError(
+                            f"row {row} collides with the failure flag"
+                        )
+                    lut2.append(row)
+                else:
+                    if d > 0x7F:
+                        raise ValueError(
+                            f"failure distance {d} exceeds 7 bits"
+                        )
+                    lut2.append(FAILURE_FLAG | d)
+                    max_d2 = max(max_d2, d)
+    return SamplerLuts(
+        lut1=tuple(lut1),
+        lut2=tuple(lut2),
+        max_failure_distance1=max_d1,
+        max_failure_distance2=max_d2,
+    )
+
+
+class LutKnuthYaoSampler(KnuthYaoSampler):
+    """Alg. 2: Knuth-Yao sampling with one or two lookup tables."""
+
+    def __init__(
+        self,
+        pmat: ProbabilityMatrix,
+        q: int,
+        bits: BitSource,
+        use_lut2: bool = True,
+    ):
+        super().__init__(pmat, q, bits)
+        self.luts = build_luts(pmat)
+        self.use_lut2 = use_lut2 and bool(self.luts.lut2)
+        # Consumption statistics for the ablation benches.
+        self.lut1_hits = 0
+        self.lut2_hits = 0
+        self.scan_fallbacks = 0
+
+    def sample(self) -> int:
+        """One sample in [0, q) — Alg. 2 with the LUT2 extension."""
+        index = self.bits.bits(LUT1_LEVELS)
+        entry = self.luts.lut1[index]
+        if not entry & FAILURE_FLAG:
+            self.lut1_hits += 1
+            return self._apply_sign(entry)
+        d = entry & ~FAILURE_FLAG & 0xFF
+
+        if self.use_lut2:
+            r5 = self.bits.bits(LUT2_LEVELS)
+            entry = self.luts.lut2[d * (1 << LUT2_LEVELS) + r5]
+            if not entry & FAILURE_FLAG:
+                self.lut2_hits += 1
+                return self._apply_sign(entry)
+            d = entry & ~FAILURE_FLAG & 0xFF
+            start_column = LUT1_LEVELS + LUT2_LEVELS
+        else:
+            start_column = LUT1_LEVELS
+
+        self.scan_fallbacks += 1
+        row = self.sample_magnitude(
+            start_column=start_column, start_distance=d
+        )
+        if row is None:
+            return 0
+        return self._apply_sign(row)

@@ -1,0 +1,31 @@
+"""Simulated TRNG, register bit pool, and randomness validation."""
+
+from repro.trng.bitpool import BitPool
+from repro.trng.drbg import HashDrbgBitSource
+from repro.trng.bitsource import (
+    BitSource,
+    PrngBitSource,
+    QueueBitSource,
+    RandomnessExhausted,
+)
+from repro.trng.trng import (
+    DEFAULT_CYCLES_PER_WORD,
+    PESSIMISTIC_CYCLES_PER_WORD,
+    SimulatedTrng,
+    core_cycles_per_word,
+)
+from repro.trng.xorshift import Xorshift128
+
+__all__ = [
+    "BitPool",
+    "HashDrbgBitSource",
+    "BitSource",
+    "PrngBitSource",
+    "QueueBitSource",
+    "RandomnessExhausted",
+    "SimulatedTrng",
+    "DEFAULT_CYCLES_PER_WORD",
+    "PESSIMISTIC_CYCLES_PER_WORD",
+    "core_cycles_per_word",
+    "Xorshift128",
+]

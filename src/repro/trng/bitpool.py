@@ -1,0 +1,104 @@
+"""The paper's register bit-pool with the `clz` sentinel trick.
+
+Section III-E: random bits are kept in a register and shifted out as they
+are consumed.  Rather than spending a second register on a fresh-bit
+counter, the implementation sets the *most significant bit of every fresh
+word to one* as a sentinel; ``clz`` on the register then reveals how many
+bits have been consumed, and when the register collapses to exactly 1
+(only the sentinel left) a new word is fetched from the TRNG.  The cost is
+one sacrificed random bit per word — 31 usable bits per 32-bit fetch.
+
+When a multi-bit request (e.g. Alg. 2's 8-bit LUT index) finds fewer fresh
+bits than needed, the remaining fresh bits are discarded and a whole new
+word is fetched — the simple policy a register implementation uses, and
+harmless for the distribution since the discarded bits are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.machine import CortexM4
+from repro.trng.bitsource import BitSource
+from repro.trng.trng import SimulatedTrng
+
+_SENTINEL = 1 << 31
+_MASK31 = _SENTINEL - 1
+
+
+class BitPool(BitSource):
+    """Register-resident pool of TRNG bits with sentinel bookkeeping."""
+
+    def __init__(
+        self, trng: SimulatedTrng, machine: Optional[CortexM4] = None
+    ):
+        super().__init__()
+        self.trng = trng
+        self.machine = machine if machine is not None else trng.machine
+        self._register = 1  # "empty": only the sentinel remains
+        self.refills = 0
+        self.discarded_bits = 0
+
+    # ------------------------------------------------------------------
+    # Register mechanics
+    # ------------------------------------------------------------------
+    @property
+    def fresh_bits(self) -> int:
+        """Fresh bits left in the register (via the clz identity)."""
+        return self._register.bit_length() - 1
+
+    def _refill(self) -> None:
+        word = self.trng.read_word()
+        # Force the MSB to one: bit 31 becomes the sentinel.
+        self._register = word | _SENTINEL
+        self.refills += 1
+        if self.machine is not None:
+            self.machine.alu()  # orr register, word, #0x80000000
+
+    def _charge_check(self) -> None:
+        """Cost of the emptiness check before each extraction.
+
+        An implementation compares the register against 1 (or uses the
+        flags from the preceding shift); charge one ALU plus the
+        (mostly not-taken) refill branch.
+        """
+        if self.machine is not None:
+            self.machine.alu()
+            self.machine.branch(taken=self._register == 1)
+
+    def _next_bit(self) -> int:
+        self._charge_check()
+        if self._register == 1:
+            self._refill()
+        value = self._register & 1
+        self._register >>= 1
+        if self.machine is not None:
+            self.machine.alu(2)  # and rbit, r, #1 ; lsr r, r, #1
+        return value
+
+    def bits(self, count: int) -> int:
+        """Extract ``count`` bits at once (first-consumed bit at LSB).
+
+        Uses the ``clz`` sentinel to detect a shortfall; on shortfall the
+        stale fresh bits are discarded and a new word fetched.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > 31:
+            raise ValueError("the register pool serves at most 31 bits")
+        if count == 0:
+            return 0
+        if self.machine is not None:
+            # clz to count consumed bits, subtract, compare with count.
+            self.machine.clz(self._register)
+            self.machine.alu(2)
+            self.machine.branch(taken=self.fresh_bits < count)
+        if self.fresh_bits < count:
+            self.discarded_bits += self.fresh_bits
+            self._refill()
+        value = self._register & ((1 << count) - 1)
+        self._register >>= count
+        if self.machine is not None:
+            self.machine.alu(2)  # ubfx / and+lsr
+        self.bits_consumed += count
+        return value

@@ -1,0 +1,101 @@
+"""Bit sources feeding the Knuth-Yao samplers.
+
+Alg. 1/2 consume random bits one at a time, LSB-first out of a 32-bit
+register (``r & 1`` then ``r >>= 1``).  Every consumer in this package is
+written against the :class:`BitSource` interface so tests can feed exact
+bit strings (:class:`QueueBitSource`) while production sampling draws from
+the simulated TRNG (:class:`PrngBitSource`, or the cycle-model
+:class:`repro.trng.bitpool.BitPool`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+from repro.trng.xorshift import Xorshift128
+
+
+class RandomnessExhausted(Exception):
+    """Raised when a finite bit source runs out of bits."""
+
+
+class BitSource(ABC):
+    """Source of random bits with consumption accounting."""
+
+    def __init__(self) -> None:
+        self.bits_consumed = 0
+
+    @abstractmethod
+    def _next_bit(self) -> int:
+        """Return the next raw bit (0 or 1)."""
+
+    def bit(self) -> int:
+        """Return the next bit and account for it."""
+        value = self._next_bit()
+        if value not in (0, 1):
+            raise ValueError(f"bit source produced non-bit {value!r}")
+        self.bits_consumed += 1
+        return value
+
+    def bits(self, count: int) -> int:
+        """Return ``count`` bits as an integer, first-consumed bit at LSB.
+
+        This matches the register semantics of Alg. 2: ``index = r & 255``
+        takes the low 8 bits, whose LSB is the next bit the shift-out
+        ``r >>= 1`` would have produced.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        value = 0
+        for position in range(count):
+            value |= self.bit() << position
+        return value
+
+
+class QueueBitSource(BitSource):
+    """Deterministic bit source over an explicit bit sequence (testing)."""
+
+    def __init__(self, bits: Iterable[int]):
+        super().__init__()
+        self._queue: List[int] = list(bits)
+        self._cursor = 0
+
+    @classmethod
+    def from_integer(cls, value: int, width: int) -> "QueueBitSource":
+        """Bits of ``value`` LSB-first, ``width`` of them (Alg. 2 index)."""
+        return cls((value >> i) & 1 for i in range(width))
+
+    @property
+    def remaining(self) -> int:
+        return len(self._queue) - self._cursor
+
+    def _next_bit(self) -> int:
+        if self._cursor >= len(self._queue):
+            raise RandomnessExhausted(
+                f"queue exhausted after {self._cursor} bits"
+            )
+        value = self._queue[self._cursor]
+        self._cursor += 1
+        return value
+
+
+class PrngBitSource(BitSource):
+    """Bit source over 32-bit PRNG words, shifted out LSB-first."""
+
+    def __init__(self, prng: Xorshift128):
+        super().__init__()
+        self._prng = prng
+        self._register = 0
+        self._available = 0
+        self.words_fetched = 0
+
+    def _next_bit(self) -> int:
+        if self._available == 0:
+            self._register = self._prng.next_u32()
+            self._available = 32
+            self.words_fetched += 1
+        value = self._register & 1
+        self._register >>= 1
+        self._available -= 1
+        return value

@@ -1,0 +1,49 @@
+"""Hash-based deterministic random bit generator.
+
+The Fujisaki-Okamoto transform (:mod:`repro.core.cca`) needs encryption
+to be a *deterministic function of the message and public key*: the
+decryptor re-encrypts the recovered message and compares ciphertexts.
+That requires replaying the Gaussian sampling bit-for-bit, which this
+DRBG provides: a SHA-256 counter-mode generator seeded from the FO
+derivation, exposed through the standard :class:`BitSource` interface so
+every sampler in the package can run on it unchanged.
+
+(Not an SP800-90A implementation — a compact hash-counter construction
+that is deterministic, domain-separated, and collision-resistant in the
+seed, which is all the transform requires.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.trng.bitsource import BitSource
+
+
+class HashDrbgBitSource(BitSource):
+    """SHA-256 counter-mode bit source, LSB-first within each byte."""
+
+    def __init__(self, seed: bytes, domain: bytes = b"repro-drbg-v1"):
+        super().__init__()
+        if not seed:
+            raise ValueError("seed must be non-empty")
+        self._key = hashlib.sha256(domain + b"|" + seed).digest()
+        self._counter = 0
+        self._buffer = b""
+        self._bit_index = 0
+
+    def _refill(self) -> None:
+        block = hashlib.sha256(
+            self._key + self._counter.to_bytes(8, "little")
+        ).digest()
+        self._counter += 1
+        self._buffer = block
+        self._bit_index = 0
+
+    def _next_bit(self) -> int:
+        if self._bit_index >= len(self._buffer) * 8:
+            self._refill()
+        byte = self._buffer[self._bit_index >> 3]
+        bit = (byte >> (self._bit_index & 7)) & 1
+        self._bit_index += 1
+        return bit

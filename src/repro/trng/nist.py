@@ -1,0 +1,240 @@
+"""A subset of the NIST SP800-22 statistical test suite.
+
+The paper validates its TRNG by citing ST's AN4230 application note, which
+runs the NIST SP800-22 suite.  This module implements six of the suite's
+tests — enough to catch constant, biased, periodic, and over-regular
+streams — and is used both to validate the xorshift substitution and in
+the TRNG test-suite's negative controls.
+
+Each test returns a :class:`TestResult` with the test statistic and
+p-value; a stream passes at significance ``alpha`` (NIST uses 0.01) when
+``p_value >= alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from scipy.special import erfc, gammaincc
+
+
+@dataclass(frozen=True)
+class TestResult:
+    name: str
+    statistic: float
+    p_value: float
+
+    def passed(self, alpha: float = 0.01) -> bool:
+        return self.p_value >= alpha
+
+
+def _as_bits(bits: Sequence[int]) -> List[int]:
+    out = list(bits)
+    if any(b not in (0, 1) for b in out):
+        raise ValueError("bit stream must contain only 0/1")
+    if not out:
+        raise ValueError("bit stream is empty")
+    return out
+
+
+def monobit(bits: Sequence[int]) -> TestResult:
+    """Frequency (monobit) test: #ones ~ #zeros."""
+    b = _as_bits(bits)
+    s = sum(2 * x - 1 for x in b)
+    statistic = abs(s) / math.sqrt(len(b))
+    p = erfc(statistic / math.sqrt(2.0))
+    return TestResult("monobit", statistic, float(p))
+
+
+def block_frequency(bits: Sequence[int], block: int = 128) -> TestResult:
+    """Frequency within non-overlapping blocks."""
+    b = _as_bits(bits)
+    blocks = len(b) // block
+    if blocks < 1:
+        raise ValueError("stream shorter than one block")
+    chi = 0.0
+    for i in range(blocks):
+        ones = sum(b[i * block : (i + 1) * block])
+        pi = ones / block
+        chi += (pi - 0.5) ** 2
+    chi *= 4.0 * block
+    p = gammaincc(blocks / 2.0, chi / 2.0)
+    return TestResult("block_frequency", chi, float(p))
+
+
+def runs(bits: Sequence[int]) -> TestResult:
+    """Runs test: number of maximal same-bit runs."""
+    b = _as_bits(bits)
+    n = len(b)
+    pi = sum(b) / n
+    # Prerequisite of SP800-22: monobit must not fail catastrophically.
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(n):
+        return TestResult("runs", math.inf, 0.0)
+    v = 1 + sum(1 for i in range(n - 1) if b[i] != b[i + 1])
+    num = abs(v - 2.0 * n * pi * (1 - pi))
+    den = 2.0 * math.sqrt(2.0 * n) * pi * (1 - pi)
+    statistic = num / den
+    p = erfc(statistic / math.sqrt(2.0))
+    return TestResult("runs", statistic, float(p))
+
+
+_LONGEST_RUN_PI = (0.2148, 0.3672, 0.2305, 0.1875)  # M=8, K=3 table
+
+
+def longest_run_of_ones(bits: Sequence[int]) -> TestResult:
+    """Longest run of ones in 8-bit blocks (SP800-22 table for M=8)."""
+    b = _as_bits(bits)
+    block = 8
+    blocks = len(b) // block
+    if blocks < 16:
+        raise ValueError("need at least 128 bits")
+    counts = [0, 0, 0, 0]  # longest run <=1, 2, 3, >=4
+    for i in range(blocks):
+        longest = current = 0
+        for bit in b[i * block : (i + 1) * block]:
+            current = current + 1 if bit else 0
+            longest = max(longest, current)
+        counts[min(max(longest - 1, 0), 3)] += 1
+    chi = sum(
+        (counts[k] - blocks * _LONGEST_RUN_PI[k]) ** 2
+        / (blocks * _LONGEST_RUN_PI[k])
+        for k in range(4)
+    )
+    p = gammaincc(3 / 2.0, chi / 2.0)
+    return TestResult("longest_run_of_ones", chi, float(p))
+
+
+def cumulative_sums(bits: Sequence[int]) -> TestResult:
+    """Cumulative sums (forward) test."""
+    b = _as_bits(bits)
+    n = len(b)
+    acc = 0
+    z = 0
+    for bit in b:
+        acc += 2 * bit - 1
+        z = max(z, abs(acc))
+    if z == 0:
+        return TestResult("cumulative_sums", 0.0, 0.0)
+    total = 0.0
+    from scipy.stats import norm
+
+    for k in range((-n // z + 1) // 4, (n // z - 1) // 4 + 1):
+        total += norm.cdf((4 * k + 1) * z / math.sqrt(n)) - norm.cdf(
+            (4 * k - 1) * z / math.sqrt(n)
+        )
+    for k in range((-n // z - 3) // 4, (n // z - 1) // 4 + 1):
+        total -= norm.cdf((4 * k + 3) * z / math.sqrt(n)) - norm.cdf(
+            (4 * k + 1) * z / math.sqrt(n)
+        )
+    p = 1.0 - total
+    return TestResult("cumulative_sums", float(z), float(min(max(p, 0.0), 1.0)))
+
+
+def approximate_entropy(bits: Sequence[int], m: int = 2) -> TestResult:
+    """Approximate entropy test comparing m and m+1 block statistics."""
+    b = _as_bits(bits)
+    n = len(b)
+
+    def phi(block_len: int) -> float:
+        if block_len == 0:
+            return 0.0
+        padded = b + b[: block_len - 1]
+        counts: Dict[int, int] = {}
+        for i in range(n):
+            value = 0
+            for j in range(block_len):
+                value = (value << 1) | padded[i + j]
+            counts[value] = counts.get(value, 0) + 1
+        return sum(c * math.log(c / n) for c in counts.values()) / n
+
+    ap_en = phi(m) - phi(m + 1)
+    chi = 2.0 * n * (math.log(2.0) - ap_en)
+    p = gammaincc(2 ** (m - 1), chi / 2.0)
+    return TestResult("approximate_entropy", chi, float(p))
+
+
+def serial(bits: Sequence[int], m: int = 3) -> TestResult:
+    """Serial test: uniformity of overlapping m-bit patterns."""
+    b = _as_bits(bits)
+    n = len(b)
+    if n < 16:
+        raise ValueError("stream too short for the serial test")
+
+    def psi_sq(block_len: int) -> float:
+        if block_len <= 0:
+            return 0.0
+        padded = b + b[: block_len - 1]
+        counts: Dict[int, int] = {}
+        for i in range(n):
+            value = 0
+            for j in range(block_len):
+                value = (value << 1) | padded[i + j]
+            counts[value] = counts.get(value, 0) + 1
+        return (
+            (1 << block_len) / n * sum(c * c for c in counts.values()) - n
+        )
+
+    d1 = psi_sq(m) - psi_sq(m - 1)
+    d2 = psi_sq(m) - 2 * psi_sq(m - 1) + psi_sq(m - 2)
+    p1 = gammaincc(2 ** (m - 2), d1 / 2.0)
+    p2 = gammaincc(2 ** (m - 3), d2 / 2.0)
+    # Report the worse of the two sub-statistics (NIST reports both).
+    if p2 < p1:
+        return TestResult("serial", d2, float(p2))
+    return TestResult("serial", d1, float(p1))
+
+
+def spectral(bits: Sequence[int]) -> TestResult:
+    """Discrete Fourier transform (spectral) test: hidden periodicity."""
+    import numpy as np
+
+    b = _as_bits(bits)
+    n = len(b)
+    if n < 128:
+        raise ValueError("stream too short for the spectral test")
+    x = np.array(b, dtype=float) * 2.0 - 1.0
+    magnitudes = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    expected_below = 0.95 * n / 2.0
+    observed_below = float(np.count_nonzero(magnitudes < threshold))
+    d = (observed_below - expected_below) / math.sqrt(
+        n * 0.95 * 0.05 / 4.0
+    )
+    p = erfc(abs(d) / math.sqrt(2.0))
+    return TestResult("spectral", float(d), float(p))
+
+
+#: The suite in run order.
+ALL_TESTS: "tuple[Callable[[Sequence[int]], TestResult], ...]" = (
+    monobit,
+    block_frequency,
+    runs,
+    longest_run_of_ones,
+    cumulative_sums,
+    approximate_entropy,
+    serial,
+    spectral,
+)
+
+
+def run_suite(
+    bits: Sequence[int], alpha: float = 0.01
+) -> Dict[str, TestResult]:
+    """Run every test; returns results keyed by test name."""
+    b = _as_bits(bits)
+    return {t.__name__: t(b) for t in ALL_TESTS}
+
+
+def suite_passes(bits: Sequence[int], alpha: float = 0.01) -> bool:
+    return all(r.passed(alpha) for r in run_suite(bits, alpha).values())
+
+
+def bits_from_bytes(data: bytes) -> List[int]:
+    """Expand bytes into bits, LSB-first per byte (word-shift order)."""
+    out: List[int] = []
+    for byte in data:
+        for i in range(8):
+            out.append((byte >> i) & 1)
+    return out

@@ -1,0 +1,93 @@
+"""Model of the STM32F4 hardware true random number generator.
+
+Section III-E of the paper: the TRNG runs from a 48 MHz clock and delivers
+a fresh 32-bit word every 40 TRNG-clock cycles while the core runs at
+168 MHz — i.e. one word every 140 core cycles.  A read polls the status
+register and then reads the data register; if software consumes words
+faster than the generation cadence, it stalls until the next word is
+ready.  The entropy itself is substituted by the deterministic
+:class:`repro.trng.xorshift.Xorshift128` generator (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.machine import CortexM4
+from repro.trng.xorshift import Xorshift128
+
+#: Core and TRNG clock frequencies of the paper's STM32F407 setup.
+CORE_HZ = 168_000_000
+TRNG_HZ = 48_000_000
+#: TRNG-clock cycles per fresh 32-bit word (STM32F4 reference manual).
+TRNG_CYCLES_PER_WORD = 40
+
+#: Default word cadence in *core* cycles.  The paper's Section III-E
+#: describes the TRNG as effectively rate-matched — "other computations
+#: while waiting 12 cycles between each random number request" — and its
+#: measured 28.5 cycles/sample is only reachable if fresh words arrive
+#: about every 40 core cycles.  We therefore default to the datasheet's
+#: 40-cycle figure read against the core clock, as the paper does.
+DEFAULT_CYCLES_PER_WORD = 40
+#: The conservative alternative: 40 cycles of the 48 MHz PLL48 clock
+#: translated to 168 MHz core cycles.  Selecting this shows how a
+#: strictly supply-limited TRNG would add ~20 stall cycles per Gaussian
+#: sample (explored in the sampler ablation bench).
+PESSIMISTIC_CYCLES_PER_WORD = 140
+
+
+def core_cycles_per_word(
+    core_hz: int = CORE_HZ,
+    trng_hz: int = TRNG_HZ,
+    trng_cycles: int = TRNG_CYCLES_PER_WORD,
+) -> int:
+    """Core cycles between fresh TRNG words under the PLL48 reading."""
+    return (trng_cycles * core_hz + trng_hz - 1) // trng_hz
+
+
+class SimulatedTrng:
+    """Rate-limited 32-bit random word source with stall accounting.
+
+    When constructed with a machine, every :meth:`read_word` charges the
+    status poll + data-register loads, and stalls the machine if the
+    request arrives before the generation cadence has produced a fresh
+    word.  Without a machine it is a plain deterministic word source.
+    """
+
+    def __init__(
+        self,
+        prng: Optional[Xorshift128] = None,
+        machine: Optional[CortexM4] = None,
+        cycles_per_word: Optional[int] = None,
+    ):
+        self._prng = prng if prng is not None else Xorshift128()
+        self.machine = machine
+        self.cycles_per_word = (
+            cycles_per_word
+            if cycles_per_word is not None
+            else DEFAULT_CYCLES_PER_WORD
+        )
+        self.words_read = 0
+        self.stall_cycles = 0
+        self._next_ready = 0  # machine cycle at which a fresh word exists
+
+    def read_word(self) -> int:
+        """Read one 32-bit word (status poll + data read, maybe a stall)."""
+        machine = self.machine
+        if machine is not None:
+            machine.load()  # RNG->SR status poll
+            if machine.cycles < self._next_ready:
+                stall = self._next_ready - machine.cycles
+                self.stall_cycles += stall
+                machine.tick(stall)
+            machine.load()  # RNG->DR data read
+            self._next_ready = machine.cycles + self.cycles_per_word
+        self.words_read += 1
+        return self._prng.next_u32()
+
+    def random_bytes(self, count: int) -> bytes:
+        """Convenience: ``count`` bytes via successive word reads."""
+        out = bytearray()
+        while len(out) < count:
+            out += self.read_word().to_bytes(4, "little")
+        return bytes(out[:count])

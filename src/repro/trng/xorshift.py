@@ -1,0 +1,62 @@
+"""Deterministic 32-bit PRNG used as the simulated entropy source.
+
+The paper uses the STM32F407's hardware TRNG.  For a reproducible software
+model we substitute Marsaglia's xorshift128 generator: it is fast, has a
+2^128 - 1 period, passes the small NIST SP800-22 subset implemented in
+:mod:`repro.trng.nist`, and — crucially for testing — is deterministic
+under a seed.  (It is of course not cryptographically secure; the point of
+the substitution is to reproduce *consumption patterns and statistics*,
+not to provide security.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _splitmix32(state: int) -> "tuple[int, int]":
+    """One step of a splitmix-style seed expander; returns (state, output)."""
+    state = (state + 0x9E3779B9) & _MASK32
+    z = state
+    z = ((z ^ (z >> 16)) * 0x85EBCA6B) & _MASK32
+    z = ((z ^ (z >> 13)) * 0xC2B2AE35) & _MASK32
+    z ^= z >> 16
+    return state, z
+
+
+class Xorshift128:
+    """Marsaglia xorshift128: 32-bit outputs, period 2^128 - 1."""
+
+    def __init__(self, seed: int = 0x12345678):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        state = seed & _MASK32
+        words = []
+        # Expand the seed into four nonzero state words.
+        while len(words) < 4:
+            state, word = _splitmix32(state)
+            if word:
+                words.append(word)
+        self._x, self._y, self._z, self._w = words
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit output."""
+        t = (self._x ^ ((self._x << 11) & _MASK32)) & _MASK32
+        self._x, self._y, self._z = self._y, self._z, self._w
+        self._w = (self._w ^ (self._w >> 19)) ^ (t ^ (t >> 8))
+        self._w &= _MASK32
+        return self._w
+
+    def words(self, count: int) -> Iterator[int]:
+        """Yield ``count`` successive 32-bit outputs."""
+        for _ in range(count):
+            yield self.next_u32()
+
+    def bytes(self, count: int) -> bytes:
+        """Return ``count`` pseudo-random bytes (little-endian words)."""
+        out = bytearray()
+        while len(out) < count:
+            out += self.next_u32().to_bytes(4, "little")
+        return bytes(out[:count])

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test-suite.
+
+``small_params`` (n=16, q=97) keeps quadratic oracles and exhaustive
+enumerations fast; the paper's P1/P2 sets are exercised by the targeted
+tests that need them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import P1, P2, custom_parameter_set
+
+SMALL = custom_parameter_set(16, 97, 11.31, name="small-16-97")
+MEDIUM = custom_parameter_set(64, 257, 11.31, name="medium-64-257")
+
+
+@pytest.fixture
+def small_params():
+    return SMALL
+
+
+@pytest.fixture
+def medium_params():
+    return MEDIUM
+
+
+@pytest.fixture(params=["small", "P1", "P2"], ids=["n16", "P1", "P2"])
+def any_params(request):
+    return {"small": SMALL, "P1": P1, "P2": P2}[request.param]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_polynomial(params, rng):
+    return [rng.randrange(params.q) for _ in range(params.n)]
+
+
+@pytest.fixture
+def poly_factory(rng):
+    def factory(params):
+        return random_polynomial(params, rng)
+
+    return factory

@@ -1,0 +1,94 @@
+"""Register bit pool with the clz sentinel (Section III-E)."""
+
+import pytest
+
+from repro.machine.machine import CortexM4
+from repro.trng.bitpool import BitPool
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+
+def make_pool(seed=5, machine=None):
+    trng = SimulatedTrng(Xorshift128(seed), machine=machine)
+    return BitPool(trng, machine=machine), trng
+
+
+class TestBitDelivery:
+    def test_31_bits_per_word_in_order(self):
+        pool, _ = make_pool(seed=5)
+        ref = Xorshift128(5)
+        expected = []
+        for _ in range(4):
+            word = ref.next_u32()
+            expected.extend((word >> i) & 1 for i in range(31))
+        got = [pool.bit() for _ in range(4 * 31)]
+        assert got == expected
+        assert pool.refills == 4
+
+    def test_sentinel_never_leaks(self):
+        # Bit 31 of each word is the sentinel: with a PRNG word whose
+        # MSB is 0 the pool must still deliver only the low 31 bits.
+        pool, _ = make_pool(seed=7)
+        for _ in range(310):
+            assert pool.bit() in (0, 1)
+        assert pool.refills == 10
+
+    def test_fresh_bits_bookkeeping(self):
+        pool, _ = make_pool()
+        assert pool.fresh_bits == 0  # empty register
+        pool.bit()
+        assert pool.fresh_bits == 30
+        pool.bits(10)
+        assert pool.fresh_bits == 20
+
+
+class TestMultiBitExtraction:
+    def test_bits_match_bit_sequence(self):
+        pool_a, _ = make_pool(seed=9)
+        pool_b, _ = make_pool(seed=9)
+        value = pool_a.bits(12)
+        expected = 0
+        for i in range(12):
+            expected |= pool_b.bit() << i
+        assert value == expected
+
+    def test_shortfall_discards_and_refills(self):
+        pool, _ = make_pool(seed=3)
+        pool.bits(25)  # 6 fresh bits left
+        assert pool.fresh_bits == 6
+        value = pool.bits(8)  # needs 8: discard 6, refill
+        assert 0 <= value < 256
+        assert pool.discarded_bits == 6
+        assert pool.refills == 2
+
+    def test_limits(self):
+        pool, _ = make_pool()
+        with pytest.raises(ValueError):
+            pool.bits(32)  # only 31 usable bits per word
+        with pytest.raises(ValueError):
+            pool.bits(-1)
+        assert pool.bits(0) == 0
+
+    def test_consumption_counter(self):
+        pool, _ = make_pool()
+        pool.bits(8)
+        pool.bit()
+        assert pool.bits_consumed == 9
+
+
+class TestCycleAccounting:
+    def test_machine_charged(self):
+        machine = CortexM4()
+        pool, _ = make_pool(seed=1, machine=machine)
+        pool.bits(8)
+        assert machine.cycles > 0
+
+    def test_refill_costs_more_than_hit(self):
+        machine = CortexM4()
+        pool, trng = make_pool(seed=1, machine=machine)
+        pool.bits(8)  # includes a refill
+        refill_cost = machine.cycles
+        start = machine.cycles
+        pool.bits(8)  # register still has 23 fresh bits
+        hit_cost = machine.cycles - start
+        assert refill_cost > hit_cost

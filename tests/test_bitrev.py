@@ -1,0 +1,63 @@
+"""Tests for the bit-reversal permutation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt.bitrev import (
+    bit_reverse_copy,
+    bit_reverse_index,
+    bit_reverse_inplace,
+    bit_reverse_table,
+)
+
+
+class TestBitReverseIndex:
+    def test_known_values(self):
+        assert bit_reverse_index(0b001, 3) == 0b100
+        assert bit_reverse_index(0b110, 3) == 0b011
+        assert bit_reverse_index(1, 8) == 128
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse_index(8, 3)
+        with pytest.raises(ValueError):
+            bit_reverse_index(-1, 3)
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=100)
+    def test_involution(self, bits, data):
+        index = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        assert bit_reverse_index(bit_reverse_index(index, bits), bits) == index
+
+
+class TestBitReverseTable:
+    @pytest.mark.parametrize("n", [2, 4, 16, 256, 512])
+    def test_is_permutation(self, n):
+        table = bit_reverse_table(n)
+        assert sorted(table) == list(range(n))
+
+    @pytest.mark.parametrize("n", [0, 3, 6, 100])
+    def test_rejects_non_power_of_two(self, n):
+        with pytest.raises(ValueError):
+            bit_reverse_table(n)
+
+    def test_table_matches_index(self):
+        table = bit_reverse_table(16)
+        assert all(table[i] == bit_reverse_index(i, 4) for i in range(16))
+
+
+class TestBitReverseCopy:
+    def test_known_permutation_n8(self):
+        assert bit_reverse_copy(list(range(8))) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    @pytest.mark.parametrize("n", [4, 64, 256])
+    def test_copy_is_involution(self, n):
+        values = list(range(n))
+        assert bit_reverse_copy(bit_reverse_copy(values)) == values
+
+    def test_inplace_matches_copy(self):
+        values = list(range(128))
+        expected = bit_reverse_copy(values)
+        bit_reverse_inplace(values)
+        assert values == expected

@@ -1,0 +1,81 @@
+"""BitSource implementations and the LSB-first convention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trng.bitsource import (
+    PrngBitSource,
+    QueueBitSource,
+    RandomnessExhausted,
+)
+from repro.trng.xorshift import Xorshift128
+
+
+class TestQueueBitSource:
+    def test_delivers_in_order(self):
+        src = QueueBitSource([1, 0, 1, 1])
+        assert [src.bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_exhaustion_raises(self):
+        src = QueueBitSource([1])
+        src.bit()
+        with pytest.raises(RandomnessExhausted):
+            src.bit()
+
+    def test_from_integer_lsb_first(self):
+        src = QueueBitSource.from_integer(0b1101, 4)
+        assert [src.bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_remaining(self):
+        src = QueueBitSource([0, 1, 0])
+        src.bit()
+        assert src.remaining == 2
+
+    def test_non_bit_rejected(self):
+        src = QueueBitSource([2])
+        with pytest.raises(ValueError):
+            src.bit()
+
+
+class TestBitsAggregation:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=100)
+    def test_bits_roundtrip(self, value):
+        src = QueueBitSource.from_integer(value, 16)
+        assert src.bits(16) == value
+
+    def test_bits_zero_count(self):
+        src = QueueBitSource([1, 0])
+        assert src.bits(0) == 0
+        assert src.bits_consumed == 0
+
+    def test_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueueBitSource([]).bits(-1)
+
+    def test_consumption_counter(self):
+        src = QueueBitSource([1] * 20)
+        src.bits(8)
+        src.bit()
+        assert src.bits_consumed == 9
+
+
+class TestPrngBitSource:
+    def test_matches_word_stream_lsb_first(self):
+        src = PrngBitSource(Xorshift128(9))
+        ref = Xorshift128(9)
+        expected = []
+        for _ in range(3):
+            word = ref.next_u32()
+            expected.extend((word >> i) & 1 for i in range(32))
+        assert [src.bit() for _ in range(96)] == expected
+        assert src.words_fetched == 3
+
+    def test_bits_spanning_word_boundary(self):
+        src = PrngBitSource(Xorshift128(10))
+        ref = Xorshift128(10)
+        w0, w1 = ref.next_u32(), ref.next_u32()
+        combined = w0 | (w1 << 32)
+        src.bits(30)
+        assert src.bits(8) == (combined >> 30) & 0xFF

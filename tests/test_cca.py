@@ -1,0 +1,156 @@
+"""Fujisaki-Okamoto CCA transform and its DRBG."""
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.core.cca import (
+    CcaEncapsulation,
+    CcaRejection,
+    FujisakiOkamotoKem,
+    _deterministic_encrypt,
+    _randomness_seed,
+)
+from repro.core.params import custom_parameter_set
+from repro.core.scheme import Ciphertext
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.drbg import HashDrbgBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(params=[P1, P2], ids=["P1", "P2"])
+def setup(request):
+    params = request.param
+    scheme = seeded_scheme(params, seed=71)
+    keys = scheme.generate_keypair()
+    kem = FujisakiOkamotoKem(params, PrngBitSource(Xorshift128(72)))
+    return params, keys, kem
+
+
+class TestDrbg:
+    def test_deterministic(self):
+        a = HashDrbgBitSource(b"seed")
+        b = HashDrbgBitSource(b"seed")
+        assert [a.bit() for _ in range(200)] == [
+            b.bit() for _ in range(200)
+        ]
+
+    def test_seed_sensitivity(self):
+        a = HashDrbgBitSource(b"seed-a")
+        b = HashDrbgBitSource(b"seed-b")
+        assert [a.bit() for _ in range(64)] != [b.bit() for _ in range(64)]
+
+    def test_domain_separation(self):
+        a = HashDrbgBitSource(b"seed", domain=b"d1")
+        b = HashDrbgBitSource(b"seed", domain=b"d2")
+        assert a.bits(64) != b.bits(64)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            HashDrbgBitSource(b"")
+
+    def test_statistical_sanity(self):
+        from repro.trng.nist import monobit, runs
+
+        drbg = HashDrbgBitSource(b"statistical")
+        bits = [drbg.bit() for _ in range(8192)]
+        assert monobit(bits).passed()
+        assert runs(bits).passed()
+
+
+class TestDeterministicEncryption:
+    def test_same_message_same_ciphertext(self, setup):
+        params, keys, _ = setup
+        m = bytes(range(32))
+        a = _deterministic_encrypt(params, keys.public, m)
+        b = _deterministic_encrypt(params, keys.public, m)
+        assert a.c1_hat == b.c1_hat and a.c2_hat == b.c2_hat
+
+    def test_different_message_different_ciphertext(self, setup):
+        params, keys, _ = setup
+        a = _deterministic_encrypt(params, keys.public, b"\x00" * 32)
+        b = _deterministic_encrypt(params, keys.public, b"\x01" * 32)
+        assert a.c1_hat != b.c1_hat
+
+    def test_randomness_bound_to_public_key(self, setup):
+        params, keys, _ = setup
+        other = seeded_scheme(params, seed=99).generate_keypair()
+        m = b"\x42" * 32
+        assert _randomness_seed(m, keys.public) != _randomness_seed(
+            m, other.public
+        )
+
+
+class TestKemRoundTrip:
+    def test_agreement(self, setup):
+        _, keys, kem = setup
+        encapsulation, sender = kem.encapsulate(keys.public)
+        receiver = kem.decapsulate(keys.private, keys.public, encapsulation)
+        assert sender.key == receiver.key
+
+    def test_fresh_keys(self, setup):
+        _, keys, kem = setup
+        _, a = kem.encapsulate(keys.public)
+        _, b = kem.encapsulate(keys.public)
+        assert a.key != b.key
+
+
+class TestCcaRejection:
+    def test_flipped_coefficient_rejected(self, setup):
+        params, keys, kem = setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        ct = encapsulation.ciphertext
+        tampered = Ciphertext(
+            params,
+            ((ct.c1_hat[0] + 1) % params.q,) + ct.c1_hat[1:],
+            ct.c2_hat,
+        )
+        with pytest.raises(CcaRejection):
+            kem.decapsulate(
+                keys.private, keys.public, CcaEncapsulation(tampered)
+            )
+
+    def test_swapped_halves_rejected(self, setup):
+        params, keys, kem = setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        ct = encapsulation.ciphertext
+        swapped = Ciphertext(params, ct.c2_hat, ct.c1_hat)
+        with pytest.raises(CcaRejection):
+            kem.decapsulate(
+                keys.private, keys.public, CcaEncapsulation(swapped)
+            )
+
+    def test_wrong_key_rejected(self, setup):
+        params, keys, kem = setup
+        other = seeded_scheme(params, seed=123).generate_keypair()
+        encapsulation, _ = kem.encapsulate(keys.public)
+        with pytest.raises(CcaRejection):
+            kem.decapsulate(
+                other.private, keys.public, encapsulation
+            )
+
+    def test_reaction_attack_surface_closed(self, setup):
+        """Many small perturbations: every one must be rejected, never
+        silently accepted with a different key (the CPA scheme's
+        reaction-attack surface)."""
+        params, keys, kem = setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        ct = encapsulation.ciphertext
+        q = params.q
+        for index in (0, 1, params.n - 1):
+            for delta in (1, q // 4):
+                c2 = list(ct.c2_hat)
+                c2[index] = (c2[index] + delta) % q
+                tampered = Ciphertext(params, ct.c1_hat, tuple(c2))
+                with pytest.raises(CcaRejection):
+                    kem.decapsulate(
+                        keys.private,
+                        keys.public,
+                        CcaEncapsulation(tampered),
+                    )
+
+
+class TestValidation:
+    def test_small_ring_rejected(self):
+        tiny = custom_parameter_set(64, 7681, 11.31)
+        with pytest.raises(ValueError):
+            FujisakiOkamotoKem(tiny, PrngBitSource(Xorshift128(1)))

@@ -1,0 +1,79 @@
+"""CDT (inversion) sampler: identical distribution over the same table."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import P1
+from repro.sampler.cdt import CdtSampler
+from repro.sampler.distribution import DiscreteGaussian
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(scope="module")
+def toy_table():
+    return DiscreteGaussian(sigma=1.2).half_table(precision=10, tail=6)
+
+
+class TestExactDistribution:
+    def test_exhaustive_magnitudes(self, toy_table):
+        """Enumerate every uniform draw: the CDT must return magnitude x
+        exactly probabilities[x] times out of 2^precision."""
+        precision = toy_table.precision
+        counts = {}
+        for u in range(1 << precision):
+            bits = QueueBitSource.from_integer(u, precision)
+            sampler = CdtSampler(toy_table, 97, bits)
+            row = sampler.sample_magnitude()
+            counts[row] = counts.get(row, 0) + 1
+        for x, p in enumerate(toy_table.probabilities):
+            assert counts.get(x, 0) == p, x
+
+    def test_matches_knuth_yao_distribution(self, toy_table):
+        """CDT and Knuth-Yao realise the same table, hence the same
+        exact distribution."""
+        pm = ProbabilityMatrix.from_table(toy_table)
+        from repro.sampler.ddg import exact_magnitude_distribution
+
+        ky = exact_magnitude_distribution(pm)
+        scale = 1 << toy_table.precision
+        for x, p in enumerate(toy_table.probabilities):
+            assert ky[x] == Fraction(p, scale)
+
+
+class TestSampling:
+    def test_range(self):
+        sampler = CdtSampler.for_params(P1, PrngBitSource(Xorshift128(1)))
+        for _ in range(1500):
+            assert 0 <= sampler.sample() < P1.q
+
+    def test_variance(self):
+        sampler = CdtSampler.for_params(P1, PrngBitSource(Xorshift128(2)))
+        values = [sampler.sample_centered() for _ in range(15000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert var == pytest.approx(P1.sigma**2, rel=0.06)
+
+    def test_polynomial(self):
+        sampler = CdtSampler.for_params(P1, PrngBitSource(Xorshift128(3)))
+        assert len(sampler.sample_polynomial(64)) == 64
+
+    def test_bits_per_sample(self, toy_table):
+        bits = PrngBitSource(Xorshift128(4))
+        sampler = CdtSampler(toy_table, 97, bits)
+        sampler.sample()
+        # One full-precision uniform plus a sign bit.
+        assert bits.bits_consumed == toy_table.precision + 1
+
+
+class TestStorage:
+    def test_table_bytes(self, toy_table):
+        sampler = CdtSampler(toy_table, 97, QueueBitSource([]))
+        # 7 entries at ceil(10/8) = 2 bytes.
+        assert sampler.table_bytes() == 7 * 2
+
+    def test_q_validation(self, toy_table):
+        with pytest.raises(ValueError):
+            CdtSampler(toy_table, 12, QueueBitSource([]))

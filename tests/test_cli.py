@@ -1,0 +1,83 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "rlwe-repro" in capsys.readouterr().out
+
+
+class TestSampleCommand:
+    def test_prints_statistics(self, capsys):
+        assert main(["sample", "--count", "2000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "observed var" in out
+        assert "LUT1/LUT2/scan" in out
+
+    def test_p2(self, capsys):
+        assert main(["sample", "--params", "P2", "--count", "500"]) == 0
+        assert "P2" in capsys.readouterr().out
+
+
+class TestFileWorkflow:
+    def test_keygen_encrypt_decrypt(self, tmp_path, capsys):
+        pub = tmp_path / "pub.bin"
+        prv = tmp_path / "prv.bin"
+        msg = tmp_path / "msg.txt"
+        ct = tmp_path / "ct.bin"
+        out = tmp_path / "out.txt"
+        msg.write_bytes(b"attack at dawn")
+
+        assert main(
+            ["keygen", "--public", str(pub), "--private", str(prv),
+             "--seed", "11"]
+        ) == 0
+        assert main(
+            ["encrypt", "--public", str(pub), "--in", str(msg),
+             "--out", str(ct), "--seed", "12"]
+        ) == 0
+        assert main(
+            ["decrypt", "--private", str(prv), "--in", str(ct),
+             "--out", str(out), "--length", "14"]
+        ) == 0
+        assert out.read_bytes() == b"attack at dawn"
+
+    def test_oversized_message_fails(self, tmp_path, capsys):
+        pub = tmp_path / "pub.bin"
+        prv = tmp_path / "prv.bin"
+        msg = tmp_path / "msg.txt"
+        msg.write_bytes(b"x" * 100)
+        main(["keygen", "--public", str(pub), "--private", str(prv)])
+        rc = main(
+            ["encrypt", "--public", str(pub), "--in", str(msg),
+             "--out", str(tmp_path / "ct.bin")]
+        )
+        assert rc == 1
+        assert "at most" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_roundtrip(self, capsys):
+        assert main(["profile", "--params", "P1"]) == 0
+        out = capsys.readouterr().out
+        assert "Encryption [P1]" in out
+        assert "roundtrip: OK" in out
+
+
+class TestTablesCommand:
+    def test_single_figure(self, capsys):
+        assert main(["tables", "--only", "fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["tables", "--only", "fig1"]) == 0
+        assert "probability matrix" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Constant-time CDT sampler: distribution equality and timing."""
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.machine.machine import CortexM4
+from repro.sampler.constant_time import ConstantTimeCdtSampler
+from repro.sampler.distribution import DiscreteGaussian
+from repro.trng.bitsource import PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+class TestDistribution:
+    def test_exhaustive_magnitudes(self):
+        """Full-scan CDT realises the fixed-point table exactly."""
+        table = DiscreteGaussian(sigma=1.2).half_table(precision=10, tail=6)
+        counts = {}
+        for u in range(1 << 10):
+            bits = QueueBitSource.from_integer(u, 10)
+            sampler = ConstantTimeCdtSampler(table, 97, bits)
+            row = sampler.sample_magnitude()
+            counts[row] = counts.get(row, 0) + 1
+        for x, p in enumerate(table.probabilities):
+            assert counts.get(x, 0) == p, x
+
+    def test_matches_variable_time_cdt(self):
+        """Same table, same uniform draw => same magnitude as the
+        binary-search CDT."""
+        from repro.sampler.cdt import CdtSampler
+
+        table = DiscreteGaussian(sigma=1.5).half_table(precision=12, tail=8)
+        for u in range(0, 1 << 12, 7):
+            ct = ConstantTimeCdtSampler(
+                table, 97, QueueBitSource.from_integer(u, 12)
+            )
+            vt = CdtSampler(table, 97, QueueBitSource.from_integer(u, 12))
+            assert ct.sample_magnitude() == vt.sample_magnitude()
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_moments(self, params):
+        sampler = ConstantTimeCdtSampler.for_params(
+            params, PrngBitSource(Xorshift128(3))
+        )
+        values = [sampler.sample_centered() for _ in range(12000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert abs(mean) < 0.2
+        assert var == pytest.approx(params.sigma**2, rel=0.06)
+
+
+class TestConstantTimeProperty:
+    def test_cycle_count_identical_across_samples(self):
+        machine = CortexM4()
+        sampler = ConstantTimeCdtSampler.for_params(
+            P1, PrngBitSource(Xorshift128(5)), machine=machine
+        )
+        costs = []
+        for _ in range(200):
+            before = machine.cycles
+            sampler.sample()
+            costs.append(machine.cycles - before)
+        assert len(set(costs)) == 1, "cycle count varied across samples"
+
+    def test_cost_independent_of_magnitude(self):
+        """Force extreme uniforms (smallest/largest magnitudes): cost
+        must not move."""
+        table_costs = []
+        for u_bits in (0, (1 << 109) - 1):
+            machine = CortexM4()
+            bits = QueueBitSource.from_integer(u_bits << 1, 110)
+            sampler = ConstantTimeCdtSampler.for_params(
+                P1, bits, machine=machine
+            )
+            sampler.sample()
+            table_costs.append(machine.cycles)
+        assert table_costs[0] == table_costs[1]
+
+    def test_fixed_randomness_budget(self):
+        bits = PrngBitSource(Xorshift128(6))
+        sampler = ConstantTimeCdtSampler.for_params(P1, bits)
+        sampler.sample()
+        first = bits.bits_consumed
+        sampler.sample()
+        assert bits.bits_consumed == 2 * first
+        assert first == sampler.bits_per_sample()
+
+    def test_much_more_expensive_than_knuth_yao(self):
+        """The trade-off that kept constant time out of the paper."""
+        from repro.cyclemodel.sampler_cycles import CycleKnuthYaoSampler
+        from repro.sampler.pmat import ProbabilityMatrix
+
+        machine_ct = CortexM4()
+        ct = ConstantTimeCdtSampler.for_params(
+            P1, PrngBitSource(Xorshift128(7)), machine=machine_ct
+        )
+        ct.sample_polynomial(100)
+
+        machine_ky = CortexM4()
+        ky = CycleKnuthYaoSampler(
+            ProbabilityMatrix.for_params(P1),
+            P1.q,
+            machine_ky,
+            PrngBitSource(Xorshift128(7)),
+        )
+        ky.sample_polynomial(100)
+        assert machine_ct.cycles > 10 * machine_ky.cycles
+
+
+class TestValidation:
+    def test_q_too_small(self):
+        table = DiscreteGaussian(sigma=10.0).half_table(precision=16, tail=60)
+        with pytest.raises(ValueError):
+            ConstantTimeCdtSampler(table, 100, QueueBitSource([]))

@@ -1,0 +1,182 @@
+"""Cycle-model Knuth-Yao sampler: exactness and the optimization ladder."""
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.cyclemodel.sampler_cycles import (
+    CycleKnuthYaoSampler,
+    sample_polynomial_cycles,
+)
+from repro.machine.machine import CortexM4
+from repro.sampler.knuth_yao import KnuthYaoSampler
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitpool import BitPool
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(scope="module")
+def pmat():
+    return ProbabilityMatrix.for_params(P1)
+
+
+def cycle_sampler(pmat, seed=0, machine=None, **options):
+    machine = machine if machine is not None else CortexM4()
+    return (
+        CycleKnuthYaoSampler(
+            pmat, P1.q, machine, PrngBitSource(Xorshift128(seed)), **options
+        ),
+        machine,
+    )
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("scan", ["bitwise", "clz"])
+    @pytest.mark.parametrize("skip", [False, True])
+    def test_plain_walk_matches_alg1(self, pmat, scan, skip):
+        for seed in range(60):
+            ref = KnuthYaoSampler(pmat, P1.q, PrngBitSource(Xorshift128(seed)))
+            model, _ = cycle_sampler(
+                pmat, seed, scan=scan, skip_zero_words=skip,
+                use_lut1=False, use_lut2=False,
+            )
+            assert model.sample() == ref.sample()
+
+    def test_hamming_weight_mode_matches_alg1(self, pmat):
+        """[6]'s column-skipping is a pure cost optimization: same
+        outputs as the plain walk for every stream."""
+        for seed in range(60):
+            ref = KnuthYaoSampler(pmat, P1.q, PrngBitSource(Xorshift128(seed)))
+            model, _ = cycle_sampler(
+                pmat, seed, use_hamming_weights=True,
+                use_lut1=False, use_lut2=False,
+            )
+            assert model.sample() == ref.sample()
+
+    def test_lut_path_matches_alg2_sequence(self, pmat):
+        """With identical streams the cycle model must replicate the
+        functional LUT sampler sample-for-sample (same bit consumption
+        order), not just per-sample."""
+        ref = LutKnuthYaoSampler(pmat, P1.q, PrngBitSource(Xorshift128(77)))
+        model, _ = cycle_sampler(pmat, 77)
+        assert model.sample_polynomial(500) == ref.sample_polynomial(500)
+
+    def test_lut1_only_matches_functional(self, pmat):
+        ref = LutKnuthYaoSampler(
+            pmat, P1.q, PrngBitSource(Xorshift128(78)), use_lut2=False
+        )
+        model, _ = cycle_sampler(pmat, 78, use_lut2=False)
+        assert model.sample_polynomial(500) == ref.sample_polynomial(500)
+
+
+class TestOptimizationLadder:
+    """Each optimization of Section III-B must strictly pay off."""
+
+    @pytest.fixture(scope="class")
+    def ladder(self, pmat):
+        configs = {
+            "bitwise": dict(
+                scan="bitwise", skip_zero_words=False,
+                use_lut1=False, use_lut2=False,
+            ),
+            "trimmed": dict(
+                scan="bitwise", skip_zero_words=True,
+                use_lut1=False, use_lut2=False,
+            ),
+            "clz": dict(
+                scan="clz", skip_zero_words=True,
+                use_lut1=False, use_lut2=False,
+            ),
+            "hamming": dict(
+                scan="bitwise", skip_zero_words=True,
+                use_hamming_weights=True,
+                use_lut1=False, use_lut2=False,
+            ),
+            "lut1": dict(
+                scan="clz", skip_zero_words=True,
+                use_lut1=True, use_lut2=False,
+            ),
+            "lut2": dict(
+                scan="clz", skip_zero_words=True,
+                use_lut1=True, use_lut2=True,
+            ),
+        }
+        costs = {}
+        for name, cfg in configs.items():
+            sampler, machine = cycle_sampler(pmat, seed=5, **cfg)
+            sampler.sample_polynomial(512)
+            costs[name] = machine.cycles / 512
+        return costs
+
+    def test_zero_word_trimming_pays(self, ladder):
+        assert ladder["trimmed"] < ladder["bitwise"] / 2
+
+    def test_clz_scanning_pays(self, ladder):
+        assert ladder["clz"] < ladder["trimmed"] / 3
+
+    def test_hamming_weights_pay_but_less_than_clz(self, ladder):
+        """Both column-skipping strategies beat the naive scan; the
+        paper's clz proposal beats [6]'s Hamming weights when each is
+        applied alone (clz skips zero *bits* everywhere, weights skip
+        whole columns only)."""
+        assert ladder["hamming"] < ladder["trimmed"]
+        assert ladder["clz"] < ladder["hamming"]
+
+    def test_lut1_pays(self, ladder):
+        assert ladder["lut1"] < ladder["clz"] / 2
+
+    def test_lut2_refines_lut1(self, ladder):
+        assert ladder["lut2"] <= ladder["lut1"]
+
+    def test_full_config_near_paper(self, ladder):
+        # Paper: 28.5 cycles/sample including TRNG accesses; without the
+        # bit-pool machinery the pure-PRNG figure sits lower.
+        assert 10 < ladder["lut2"] < 40
+
+
+class TestWithBitPool:
+    @pytest.mark.parametrize(
+        "params,paper", [(P1, 7294), (P2, 14604)], ids=["P1", "P2"]
+    )
+    def test_table1_sampling_row(self, params, paper):
+        machine = CortexM4()
+        pool = BitPool(
+            SimulatedTrng(Xorshift128(1), machine=machine), machine=machine
+        )
+        _, cycles = sample_polynomial_cycles(params, machine, pool)
+        assert 0.7 * paper < cycles < 1.3 * paper
+
+    def test_per_sample_rate_stable_across_params(self):
+        rates = []
+        for params in (P1, P2):
+            machine = CortexM4()
+            pool = BitPool(
+                SimulatedTrng(Xorshift128(2), machine=machine),
+                machine=machine,
+            )
+            _, cycles = sample_polynomial_cycles(params, machine, pool)
+            rates.append(cycles / params.n)
+        # Paper: 28.5 cycles/sample "for both parameter sets".
+        assert abs(rates[0] - rates[1]) < 2.0
+
+
+class TestConfiguration:
+    def test_lut2_requires_lut1(self, pmat):
+        with pytest.raises(ValueError):
+            cycle_sampler(pmat, 0, use_lut1=False, use_lut2=True)
+
+    def test_unknown_scan_mode(self, pmat):
+        with pytest.raises(ValueError):
+            cycle_sampler(pmat, 0, scan="simd")
+
+    def test_hit_counters(self, pmat):
+        sampler, _ = cycle_sampler(pmat, 3)
+        n = 2000
+        sampler.sample_polynomial(n)
+        assert sampler.samples_drawn == n
+        assert (
+            sampler.lut1_hits + sampler.lut2_hits + sampler.scan_fallbacks
+            == n
+        )

@@ -1,0 +1,128 @@
+"""Full-scheme cycle models: correctness, shape, and region breakdown."""
+
+import random
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.cyclemodel.scheme_cycles import (
+    decrypt_cycles,
+    encrypt_cycles,
+    keygen_cycles,
+)
+from repro.machine.machine import CortexM4
+from repro.trng.bitpool import BitPool
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+
+def pooled_machine(seed):
+    machine = CortexM4()
+    pool = BitPool(
+        SimulatedTrng(Xorshift128(seed), machine=machine), machine=machine
+    )
+    return machine, pool
+
+
+@pytest.fixture(scope="module", params=[P1, P2], ids=["P1", "P2"])
+def roundtrip(request):
+    params = request.param
+    rng = random.Random(99)
+    machine, pool = pooled_machine(1)
+    pair, keygen = keygen_cycles(machine, params, pool)
+    message = [rng.randrange(2) for _ in range(params.n)]
+    machine, pool = pooled_machine(2)
+    ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
+    machine = CortexM4()
+    decoded, decrypt = decrypt_cycles(machine, params, pair.private, ct)
+    return params, message, decoded, keygen, encrypt, decrypt
+
+
+class TestCorrectness:
+    def test_roundtrip_through_cycle_models(self, roundtrip):
+        _, message, decoded, *_ = roundtrip
+        assert decoded == message
+
+    def test_matches_functional_scheme(self):
+        """Same bit stream => same keys and ciphertext as the functional
+        scheme (the cycle model is a true twin, not a re-implementation
+        with different semantics)."""
+        from repro.core.scheme import RlweEncryptionScheme
+
+        params = P1
+        seed = 31337
+        functional = RlweEncryptionScheme(
+            params, bits=PrngBitSource(Xorshift128(seed))
+        )
+        pair_f = functional.generate_keypair()
+
+        machine = CortexM4()
+        pair_m, _ = keygen_cycles(
+            machine, params, PrngBitSource(Xorshift128(seed))
+        )
+        assert pair_m.public.a_hat == pair_f.public.a_hat
+        assert pair_m.public.p_hat == pair_f.public.p_hat
+        assert pair_m.private.r2_hat == pair_f.private.r2_hat
+
+
+class TestPaperShape:
+    def test_cycles_within_table2_band(self, roundtrip):
+        params, _, _, keygen, encrypt, decrypt = roundtrip
+        paper = {
+            "P1": (116772, 121166, 43324),
+            "P2": (263622, 261939, 96520),
+        }[params.name]
+        # Encryption and decryption land within 15% of the paper;
+        # keygen sits lower because the paper's own keygen exceeds the
+        # sum of its parts (see EXPERIMENTS.md).
+        assert 0.85 * paper[1] < encrypt.cycles < 1.15 * paper[1]
+        assert 0.75 * paper[2] < decrypt.cycles < 1.15 * paper[2]
+        assert 0.55 * paper[0] < keygen.cycles < 1.15 * paper[0]
+
+    def test_decryption_much_cheaper_than_encryption(self, roundtrip):
+        # Paper: "Decryption requires 35% fewer cycles than encryption"
+        # (i.e. ~1/2.8 of it).
+        _, _, _, _, encrypt, decrypt = roundtrip
+        assert 2.3 < encrypt.cycles / decrypt.cycles < 3.5
+
+    def test_p2_roughly_doubles_p1(self):
+        results = {}
+        for params in (P1, P2):
+            machine, pool = pooled_machine(3)
+            pair, kg = keygen_cycles(machine, params, pool)
+            results[params.name] = kg.cycles
+        assert 2.0 < results["P2"] / results["P1"] < 2.4
+
+
+class TestRegions:
+    def test_encrypt_region_breakdown(self, roundtrip):
+        *_, encrypt, _ = roundtrip
+        assert set(encrypt.regions) >= {"sampling", "ntt", "pointwise", "encode"}
+        # The NTTs dominate encryption.
+        assert encrypt.regions["ntt"] > encrypt.cycles * 0.5
+
+    def test_decrypt_region_breakdown(self, roundtrip):
+        *_, decrypt = roundtrip
+        assert set(decrypt.regions) >= {"ntt", "pointwise", "decode"}
+        assert decrypt.regions["ntt"] > decrypt.regions["pointwise"]
+
+    def test_operation_cycles_str(self, roundtrip):
+        *_, encrypt, _ = roundtrip
+        text = str(encrypt)
+        assert "Encryption" in text and "cycles" in text
+
+
+class TestKeygenOptions:
+    def test_supplied_a_hat_skips_uniform_generation(self):
+        rng = random.Random(5)
+        a_hat = [rng.randrange(P1.q) for _ in range(P1.n)]
+        machine, pool = pooled_machine(4)
+        pair, kg = keygen_cycles(machine, P1, pool, a_hat=a_hat)
+        assert "uniform" not in kg.regions
+        assert pair.public.a_hat == tuple(a_hat)
+
+    def test_wrong_a_hat_length(self):
+        machine, pool = pooled_machine(5)
+        with pytest.raises(ValueError):
+            keygen_cycles(machine, P1, pool, a_hat=[0] * 8)

@@ -1,0 +1,113 @@
+"""Exact DDG-tree analysis: the sampler's distribution proofs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import P1
+from repro.sampler.ddg import (
+    exact_magnitude_distribution,
+    exact_output_distribution,
+    level_profile,
+    lut_failure_probability,
+)
+from repro.sampler.distribution import DiscreteGaussian
+from repro.sampler.pmat import ProbabilityMatrix
+
+
+@pytest.fixture(scope="module")
+def pmat():
+    return ProbabilityMatrix.for_params(P1)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    # Small, exactly-summing table for cheap exhaustive checks.
+    return ProbabilityMatrix.from_table(
+        DiscreteGaussian(sigma=1.2).half_table(precision=12, tail=6)
+    )
+
+
+class TestLevelProfile:
+    def test_termination_sums_to_one(self, pmat):
+        profile = level_profile(pmat)
+        assert sum(profile.termination) == Fraction(1)
+
+    def test_tree_completes(self, pmat):
+        profile = level_profile(pmat)
+        assert profile.internal_nodes[-1] == 0
+
+    def test_internal_nodes_never_negative(self, pmat):
+        profile = level_profile(pmat)
+        assert all(n >= 0 for n in profile.internal_nodes)
+
+    def test_fig2_anchors(self, pmat):
+        acc = level_profile(pmat).accumulated_floats()
+        assert acc[7] == pytest.approx(0.9727, abs=5e-4)  # level 8
+        assert acc[12] == pytest.approx(0.9987, abs=5e-4)  # level 13
+
+    def test_expected_level_small(self, pmat):
+        # The paper's efficiency rests on the walk being ~4-5 levels.
+        expected = level_profile(pmat).expected_level()
+        assert 4.0 < expected < 5.0
+
+    def test_toy_profile(self, toy):
+        profile = level_profile(toy)
+        assert sum(profile.termination) == Fraction(1)
+        assert profile.internal_nodes[-1] == 0
+
+
+class TestExactDistributions:
+    def test_magnitude_distribution_equals_table(self, pmat):
+        dist = exact_magnitude_distribution(pmat)
+        for row in range(pmat.rows):
+            assert dist[row] == pmat.table.probability(row)
+
+    def test_output_distribution_sums_to_one(self, toy):
+        out = exact_output_distribution(toy, q=97)
+        assert sum(out.values()) == Fraction(1)
+
+    def test_output_distribution_signs(self, toy):
+        out = exact_output_distribution(toy, q=97)
+        for row in range(1, toy.rows):
+            prob = toy.table.probability(row)
+            if prob == 0:
+                continue
+            assert out[row] == prob / 2
+            assert out[97 - row] == prob / 2
+
+    def test_output_distribution_zero_not_halved(self, toy):
+        out = exact_output_distribution(toy, q=97)
+        assert out[0] == toy.table.probability(0)
+
+
+class TestLutFailureProbability:
+    def test_paper_level8_value(self, pmat):
+        # 1 - 97.27% = 2.73% of walks survive 8 levels.
+        assert float(lut_failure_probability(pmat, 8)) == pytest.approx(
+            0.0273, abs=5e-4
+        )
+
+    def test_monotone_in_levels(self, pmat):
+        probs = [lut_failure_probability(pmat, L) for L in range(1, 20)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_zero_levels_means_certain_failure(self, pmat):
+        assert lut_failure_probability(pmat, 0) == Fraction(1)
+
+    def test_all_levels_means_no_failure(self, pmat):
+        assert lut_failure_probability(pmat, pmat.columns) == Fraction(0)
+
+
+class TestMalformedTree:
+    def test_overweight_column_detected(self):
+        # Force a table whose first column claims more terminals than
+        # the single walk state available: probabilities >= 1/2 twice.
+        from repro.sampler.distribution import HalfGaussianTable
+
+        bad = HalfGaussianTable(
+            sigma=1.0, precision=4, probabilities=(8, 8, 8)
+        )
+        pm = ProbabilityMatrix.from_table(bad)
+        with pytest.raises(ValueError):
+            level_profile(pm)

@@ -1,0 +1,128 @@
+"""High-precision discrete Gaussian distribution tests."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import P1, P2
+from repro.sampler.distribution import DiscreteGaussian, HalfGaussianTable
+
+
+class TestConstruction:
+    def test_sigma_or_s_required(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussian()
+        with pytest.raises(ValueError):
+            DiscreteGaussian(sigma=1.0, s=1.0)
+
+    def test_s_conversion(self):
+        g = DiscreteGaussian(s=11.31)
+        assert g.sigma == pytest.approx(11.31 / math.sqrt(2 * math.pi))
+        assert g.s == pytest.approx(11.31)
+
+    def test_positive_sigma_required(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussian(sigma=-1.0)
+
+
+class TestDensity:
+    def test_rho_at_zero(self):
+        assert DiscreteGaussian(sigma=3.0).rho(0) == 1.0
+
+    def test_rho_symmetry_and_decay(self):
+        g = DiscreteGaussian(sigma=3.0)
+        assert g.rho(5) == g.rho(-5)
+        assert g.rho(5) > g.rho(6)
+
+    def test_pmf_normalised(self):
+        g = DiscreteGaussian(sigma=4.5)
+        total = sum(g.pmf(x) for x in range(-80, 81))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_matches_continuous_shape(self):
+        g = DiscreteGaussian(sigma=4.5)
+        # For sigma >> 1 the discrete pmf is close to the density.
+        expected = math.exp(-1 / (2 * 4.5**2)) * g.pmf(0)
+        assert g.pmf(1) == pytest.approx(expected, rel=1e-12)
+
+
+class TestBounds:
+    def test_paper_tail_regime(self):
+        g = DiscreteGaussian(s=11.31)
+        z = g.tail_bound(2.0**-92)
+        # The analytic bound lands near 11.2 sigma ~ 50.
+        assert 45 <= z <= 55
+
+    def test_tail_bound_monotone_in_epsilon(self):
+        g = DiscreteGaussian(s=11.31)
+        assert g.tail_bound(2.0**-100) >= g.tail_bound(2.0**-50)
+
+    def test_tail_bound_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussian(sigma=3.0).tail_bound(0.0)
+
+    def test_precision_bound(self):
+        # 55 rows at 2^-90 needs ceil(log2(55/2^-90)) = 96 bits.
+        assert DiscreteGaussian.precision_bound(54, 2.0**-90) == 96
+
+    def test_precision_bound_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussian.precision_bound(10, 1.5)
+
+
+class TestHalfTable:
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_sums_to_unity(self, params):
+        g = DiscreteGaussian(sigma=params.sigma)
+        table = g.half_table(precision=109, tail=54)
+        assert sum(table.probabilities) == 1 << 109
+
+    def test_monotone_decreasing(self):
+        table = DiscreteGaussian(s=11.31).half_table(64, 30)
+        # t_0 is halved relative to the doubled nonzero entries, so
+        # monotonicity starts at x = 1.
+        probs = table.probabilities
+        assert all(probs[x] >= probs[x + 1] for x in range(1, 30))
+
+    def test_zero_entry_is_half_of_doubled_ratio(self):
+        g = DiscreteGaussian(s=11.31)
+        table = g.half_table(80, 40)
+        # t_1 / t_0 should be ~ 2 * rho(1)/rho(0).
+        ratio = table.probabilities[1] / table.probabilities[0]
+        assert ratio == pytest.approx(2 * g.rho(1), rel=1e-6)
+
+    def test_signed_probability(self):
+        table = DiscreteGaussian(s=11.31).half_table(40, 20)
+        assert table.signed_probability(0) == table.probability(0)
+        assert table.signed_probability(3) == table.probability(3) / 2
+        assert table.signed_probability(-3) == table.probability(3) / 2
+        assert table.signed_probability(25) == Fraction(0)
+
+    def test_statistical_distance_small(self):
+        # The true distance is ~2^-90 by construction; the measurement
+        # here compares against a float-precision reference pmf, so the
+        # observable floor is ~1e-16.
+        table = DiscreteGaussian(s=11.31).half_table(109, 54)
+        assert table.statistical_distance() < 1e-14
+
+    def test_validation(self):
+        g = DiscreteGaussian(sigma=3.0)
+        with pytest.raises(ValueError):
+            g.half_table(0, 10)
+        with pytest.raises(ValueError):
+            g.half_table(10, 0)
+
+    @given(st.integers(min_value=8, max_value=48))
+    @settings(max_examples=10, deadline=None)
+    def test_any_precision_sums_to_unity(self, precision):
+        table = DiscreteGaussian(sigma=2.0).half_table(precision, 20)
+        assert sum(table.probabilities) == 1 << precision
+
+
+class TestMoments:
+    def test_variance_close_to_sigma_squared(self):
+        g = DiscreteGaussian(sigma=4.5)
+        assert g.moments()["variance"] == pytest.approx(4.5**2, rel=1e-3)

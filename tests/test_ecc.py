@@ -1,0 +1,146 @@
+"""Binary elliptic curves: group laws and the Montgomery ladder."""
+
+import random
+
+import pytest
+
+from repro.baselines.ecc import BinaryCurve, curve_k233, curve_tiny
+from repro.baselines.gf2m import FIELD_5
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return curve_tiny()
+
+
+@pytest.fixture(scope="module")
+def tiny_points(tiny):
+    return tiny.enumerate_points()
+
+
+@pytest.fixture(scope="module")
+def k233():
+    return curve_k233()
+
+
+class TestTinyCurveExhaustive:
+    def test_point_count_hasse_bound(self, tiny_points):
+        # |#E - 33| <= 2*sqrt(32) ~ 11.3
+        assert abs(len(tiny_points) - 33) <= 11
+
+    def test_closure_and_commutativity(self, tiny, tiny_points):
+        for p in tiny_points:
+            for q in tiny_points:
+                r = tiny.add(p, q)
+                assert tiny.is_on_curve(r)
+                assert r == tiny.add(q, p)
+
+    def test_identity_and_inverse(self, tiny, tiny_points):
+        for p in tiny_points:
+            assert tiny.add(p, None) == p
+            assert tiny.add(p, tiny.negate(p)) is None
+
+    def test_associativity_sampled(self, tiny, tiny_points):
+        rng = random.Random(0)
+        for _ in range(300):
+            p, q, r = (rng.choice(tiny_points) for _ in range(3))
+            assert tiny.add(tiny.add(p, q), r) == tiny.add(p, tiny.add(q, r))
+
+    def test_doubling_consistent_with_addition(self, tiny, tiny_points):
+        for p in tiny_points:
+            assert tiny.double(p) == tiny.add(p, p) or (
+                p is not None
+                and p[0] == 0
+                and tiny.double(p) is None
+            )
+
+    def test_scalar_multiples_stay_on_curve(self, tiny, tiny_points):
+        for p in tiny_points[1:6]:
+            for k in range(40):
+                assert tiny.is_on_curve(tiny.scalar_multiply(k, p))
+
+    def test_ladder_matches_double_and_add(self, tiny, tiny_points):
+        for p in tiny_points:
+            if p is None:
+                continue
+            for k in range(34):
+                ref = tiny.scalar_multiply(k, p)
+                lx = tiny.montgomery_ladder_x(k, p[0])
+                if ref is None:
+                    assert lx is None
+                else:
+                    assert lx == ref[0]
+
+    def test_negative_scalar(self, tiny, tiny_points):
+        p = tiny_points[1]
+        assert tiny.scalar_multiply(-3, p) == tiny.negate(
+            tiny.scalar_multiply(3, p)
+        )
+
+
+class TestPointConstruction:
+    def test_point_from_x_on_curve(self, tiny):
+        for x in FIELD_5.elements():
+            p = tiny.point_from_x(x)
+            if p is not None:
+                assert tiny.is_on_curve(p)
+
+    def test_find_point(self, k233):
+        p = k233.find_point()
+        assert k233.is_on_curve(p)
+
+    def test_solve_quadratic(self, k233):
+        f = k233.fld
+        for c in (5, 12345, 999999):
+            z = k233.solve_quadratic(c)
+            if z is not None:
+                assert f.add(f.square(z), z) == c
+
+
+class TestK233:
+    def test_curve_equation_parameters(self, k233):
+        assert k233.a == 0 and k233.b == 1
+        assert k233.fld.m == 233
+
+    def test_ladder_matches_double_and_add(self, k233):
+        rng = random.Random(1)
+        g = k233.find_point()
+        for bits in (10, 64, 233):
+            k = rng.getrandbits(bits) | 1
+            ref = k233.scalar_multiply(k, g)
+            lx = k233.montgomery_ladder_x(k, g[0])
+            assert ref is not None and lx == ref[0]
+
+    def test_distributivity(self, k233):
+        rng = random.Random(2)
+        g = k233.find_point()
+        a, b = rng.getrandbits(48), rng.getrandbits(48)
+        assert k233.add(
+            k233.scalar_multiply(a, g), k233.scalar_multiply(b, g)
+        ) == k233.scalar_multiply(a + b, g)
+
+    def test_ladder_edge_cases(self, k233):
+        g = k233.find_point()
+        assert k233.montgomery_ladder_x(0, g[0]) is None
+        assert k233.montgomery_ladder_x(1, g[0]) == g[0]
+        two_g = k233.double(g)
+        assert k233.montgomery_ladder_x(2, g[0]) == two_g[0]
+
+    def test_op_counter_tracks(self, k233):
+        k233.counter.counts = {k: 0 for k in k233.counter.counts}
+        k233.montgomery_ladder_x(0xFFFF, k233.find_point()[0])
+        counts = k233.counter.counts
+        # 15 ladder iterations at 6 muls + 5 squares each, plus setup
+        # and the final inversion-based normalisation.
+        assert counts["mul"] >= 15 * 6
+        assert counts["inverse"] == 1
+
+
+class TestValidation:
+    def test_singular_curve_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryCurve("bad", FIELD_5, a=1, b=0)
+
+    def test_negative_ladder_scalar(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.montgomery_ladder_x(-1, 1)

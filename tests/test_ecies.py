@@ -1,0 +1,74 @@
+"""ECIES cost estimate: calibration against the literature constant."""
+
+import pytest
+
+from repro.baselines.ecies import (
+    ECIES_ENCRYPT_CYCLES_PAPER,
+    M0PLUS_GF233,
+    POINT_MULT_CYCLES_M0PLUS,
+    FieldCostModel,
+    ecies_decrypt_estimate,
+    ecies_encrypt_estimate,
+    point_multiplication_estimate,
+)
+
+
+class TestPointMultEstimate:
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return point_multiplication_estimate()
+
+    def test_matches_literature_within_5pct(self, estimate):
+        assert abs(estimate.relative_error) < 0.05
+
+    def test_field_op_profile(self, estimate):
+        # 232 ladder iterations at 6 muls + 5 squares, plus setup and
+        # the final normalisation.
+        assert estimate.field_ops["mul"] == pytest.approx(
+            232 * 6, rel=0.02
+        )
+        assert estimate.field_ops["square"] == pytest.approx(
+            232 * 5, rel=0.02
+        )
+        assert estimate.field_ops["inverse"] == 1
+
+    def test_full_width_scalar(self, estimate):
+        assert estimate.scalar_bits == 233
+        assert estimate.curve_name == "K-233"
+
+    def test_deterministic(self):
+        a = point_multiplication_estimate()
+        b = point_multiplication_estimate()
+        assert a.cycles == b.cycles
+
+
+class TestEciesEstimates:
+    def test_encrypt_is_two_point_mults(self):
+        single = point_multiplication_estimate().cycles
+        assert ecies_encrypt_estimate() == 2 * single
+
+    def test_decrypt_is_one_point_mult(self):
+        assert ecies_decrypt_estimate() == point_multiplication_estimate().cycles
+
+    def test_paper_comparison_preserved(self):
+        # Paper: ECIES encryption ~ 5,523,280 cycles, more than one
+        # order of magnitude above the ring-LWE encryption.
+        ours = ecies_encrypt_estimate()
+        assert abs(ours - ECIES_ENCRYPT_CYCLES_PAPER) / ECIES_ENCRYPT_CYCLES_PAPER < 0.05
+        assert ours > 10 * 121_166
+
+
+class TestCostModel:
+    def test_inverse_is_itoh_tsujii(self):
+        model = FieldCostModel()
+        assert model.inverse == 10 * model.mul + 232 * model.square
+
+    def test_price_accounts_all_ops(self):
+        model = FieldCostModel(mul=100, square=10, add=1, ladder_overhead=5)
+        counts = {"mul": 2, "square": 3, "add": 4, "inverse": 0}
+        assert model.price(counts, iterations=10) == 200 + 30 + 4 + 50
+
+    def test_literature_constants(self):
+        assert POINT_MULT_CYCLES_M0PLUS == 2_761_640
+        assert ECIES_ENCRYPT_CYCLES_PAPER == 2 * POINT_MULT_CYCLES_M0PLUS
+        assert M0PLUS_GF233.mul > M0PLUS_GF233.square

@@ -1,0 +1,99 @@
+"""Message encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    bits_from_bytes,
+    bytes_from_bits,
+    decode_bits,
+    decode_bytes,
+    encode_bits,
+    encode_bytes,
+)
+from repro.core.params import P1
+from tests.conftest import SMALL
+
+
+class TestBitByteConversion:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_roundtrip(self, data):
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+    def test_lsb_first(self):
+        assert bits_from_bytes(b"\x03") == [1, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_partial_byte_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_from_bits([1, 0, 1])
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_from_bits([0, 1, 2, 0, 0, 0, 0, 0])
+
+
+class TestThresholdCoding:
+    def test_encode_values(self):
+        poly = encode_bits([1, 0, 1], SMALL)
+        assert poly[:3] == [SMALL.half_q, 0, SMALL.half_q]
+        assert poly[3:] == [0] * (SMALL.n - 3)
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=SMALL.n))
+    @settings(max_examples=100)
+    def test_noiseless_roundtrip(self, bits):
+        poly = encode_bits(bits, SMALL)
+        decoded = decode_bits(poly, SMALL)
+        assert decoded[: len(bits)] == bits
+        assert all(b == 0 for b in decoded[len(bits):])
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=SMALL.n, max_size=SMALL.n),
+        st.lists(
+            st.integers(-(SMALL.q // 4) + 1, SMALL.q // 4 - 1),
+            min_size=SMALL.n,
+            max_size=SMALL.n,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_decoding_tolerates_noise_below_q4(self, bits, noise):
+        q = SMALL.q
+        poly = encode_bits(bits, SMALL)
+        noisy = [(c + e) % q for c, e in zip(poly, noise)]
+        assert decode_bits(noisy, SMALL) == bits
+
+    def test_noise_at_threshold_flips(self):
+        q = SMALL.q
+        poly = encode_bits([0], SMALL)
+        poly[0] = q // 4 + 1  # just past the threshold
+        assert decode_bits(poly, SMALL)[0] == 1
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ValueError):
+            encode_bits([0] * (SMALL.n + 1), SMALL)
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            encode_bits([2], SMALL)
+
+    def test_decode_length_check(self):
+        with pytest.raises(ValueError):
+            decode_bits([0] * 4, SMALL)
+
+
+class TestByteApi:
+    @given(st.binary(min_size=0, max_size=P1.message_bytes))
+    @settings(max_examples=50)
+    def test_byte_roundtrip(self, message):
+        poly = encode_bytes(message, P1)
+        assert decode_bytes(poly, P1, length=len(message)) == message
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            encode_bytes(b"x" * (P1.message_bytes + 1), P1)
+
+    def test_decode_length_validation(self):
+        poly = encode_bytes(b"hi", P1)
+        with pytest.raises(ValueError):
+            decode_bytes(poly, P1, length=P1.message_bytes + 1)

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "secure_channel.py",
+    "sampler_analysis.py",
+    "kem_handshake.py",
+]
+SLOW_EXAMPLES = [
+    "cycle_profile.py",
+    "parameter_exploration.py",
+]
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_examples(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+
+
+def test_quickstart_reports_roundtrip():
+    result = run_example("quickstart.py")
+    assert result.stdout.count("roundtrip OK") == 2
+
+
+def test_cycle_profile_p2():
+    result = run_example("cycle_profile.py", "P2")
+    assert result.returncode == 0, result.stderr
+    assert "P2" in result.stdout
+    assert "Table II reproduction" in result.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "paper_tables.py"} <= present
+    assert len(present) >= 5

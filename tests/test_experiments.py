@@ -1,0 +1,102 @@
+"""Experiment drivers: every table/figure regenerates with the right shape."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.params import P1, P2
+
+
+@pytest.fixture(scope="module")
+def major_p1():
+    return experiments.measure_major_operations(P1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def scheme_p1():
+    return experiments.measure_scheme_operations(P1, seed=1)
+
+
+class TestTable1:
+    def test_all_rows_present(self, major_p1):
+        assert set(major_p1.measured) == set(major_p1.paper)
+        assert len(major_p1.measured) == 5
+
+    def test_within_paper_band(self, major_p1):
+        for op, measured in major_p1.measured.items():
+            paper = major_p1.paper[op]
+            assert 0.5 * paper < measured < 1.5 * paper, op
+
+    def test_parallel_beats_three_transforms(self, major_p1):
+        assert (
+            major_p1.measured["Parallel NTT transform"]
+            < 3 * major_p1.measured["NTT transform"]
+        )
+
+    def test_cached(self):
+        a = experiments.measure_major_operations(P1, seed=1)
+        b = experiments.measure_major_operations(P1, seed=1)
+        assert a is b
+
+    def test_render(self):
+        text = experiments.table1(seed=1)
+        assert "Table I" in text
+        assert "NTT multiplication [P2]" in text
+
+
+class TestTable2:
+    def test_operations_present(self, scheme_p1):
+        assert set(scheme_p1.cycles) == {
+            "Key Generation",
+            "Encryption",
+            "Decryption",
+        }
+
+    def test_ram_matches_paper_exactly(self, scheme_p1):
+        for op, (braces, flash, ram) in scheme_p1.paper.items():
+            assert scheme_p1.ram_bytes[op] == ram
+
+    def test_encryption_within_band(self, scheme_p1):
+        paper_cycles = scheme_p1.paper["Encryption"][0]
+        assert 0.85 * paper_cycles < scheme_p1.cycles["Encryption"] < 1.15 * paper_cycles
+
+    def test_render(self):
+        text = experiments.table2(seed=1)
+        assert "Table II" in text and "Decryption [P2]" in text
+
+
+class TestTables3And4:
+    def test_table3_includes_literature_and_ours(self):
+        text = experiments.table3(seed=1)
+        assert "[10]" in text and "cycle model (this repro)" in text
+
+    def test_table3_headline_factors(self):
+        factors = experiments.table3_headline_factors(seed=1)
+        # our P2-sized NTT beats [10]'s by >2x on the cycle model
+        assert factors["ntt_vs_oder_p3"] < 0.75
+        # sampler at least 7x faster than the best prior software sampler
+        assert factors["sampler_speedup_vs_best_software"] > 7.0
+
+    def test_table4_headline_factors(self):
+        factors = experiments.table4_headline_factors(seed=1)
+        assert factors["encrypt_vs_arm7tdmi"] > 7.0  # paper: 7.25
+        assert factors["decrypt_vs_arm7tdmi"] > 5.0  # paper: 5.22
+        assert factors["ecies_vs_encrypt"] > 10.0  # "order of magnitude"
+
+    def test_table4_render(self):
+        text = experiments.table4(seed=1)
+        assert "ECIES" in text and "ARM7TDMI" in text
+
+
+class TestFigures:
+    def test_fig1_reproduces_matrix_shape(self):
+        text = experiments.fig1()
+        assert "55" in text and "109" in text and "5,995" in text
+
+    def test_fig2_anchors(self):
+        text = experiments.fig2()
+        assert "97.2" in text  # level-8 anchor
+        assert "99.8" in text  # level-13 anchor
+
+    def test_fig2_other_params(self):
+        text = experiments.fig2(P2)
+        assert "P2" in text

@@ -1,0 +1,88 @@
+"""Analytic decryption-failure estimates versus observed behaviour."""
+
+import math
+
+import pytest
+
+from repro import seeded_scheme
+from repro.core.failures import (
+    error_variance,
+    estimate,
+    per_coefficient_failure,
+    per_message_failure,
+)
+from repro.core.params import P1, P2
+
+
+class TestAnalyticEstimates:
+    def test_error_variance_formula(self):
+        sigma2 = P1.sigma**2
+        assert error_variance(P1) == pytest.approx(
+            2 * 256 * sigma2**2 + sigma2
+        )
+
+    def test_p1_failure_regime(self):
+        # Known property of these legacy parameters: ~1e-5 per
+        # coefficient, ~1% per message.
+        p_coeff = per_coefficient_failure(P1)
+        assert 1e-6 < p_coeff < 1e-4
+        p_msg = per_message_failure(P1)
+        assert 1e-3 < p_msg < 3e-2
+
+    def test_p2_comparable_rate(self):
+        # P2 doubles n but also raises q; rates stay in the same decade.
+        ratio = per_coefficient_failure(P2) / per_coefficient_failure(P1)
+        assert 0.05 < ratio < 20
+
+    def test_message_failure_union_bound(self):
+        p = per_coefficient_failure(P1)
+        assert per_message_failure(P1) <= P1.n * p
+        assert per_message_failure(P1) == pytest.approx(
+            1 - (1 - p) ** P1.n
+        )
+
+    def test_estimate_dataclass(self):
+        est = estimate(P1)
+        assert est.params_name == "P1"
+        assert est.threshold == 1920
+        assert est.error_stddev == pytest.approx(
+            math.sqrt(error_variance(P1))
+        )
+        assert "P1" in str(est)
+
+
+class TestObservedNoise:
+    def test_decrypted_noise_matches_predicted_stddev(self):
+        """Measure actual error coefficients from real decryptions and
+        compare with the analytic standard deviation."""
+        scheme = seeded_scheme(P1, seed=77)
+        keys = scheme.generate_keypair()
+        zero_message = [0] * P1.n
+        observed = []
+        for _ in range(6):
+            ct = scheme.encrypt_polynomial(keys.public, zero_message)
+            noisy = scheme.decrypt_polynomial(keys.private, ct)
+            q = P1.q
+            observed.extend(c if c <= q // 2 else c - q for c in noisy)
+        var = sum(c * c for c in observed) / len(observed)
+        predicted = error_variance(P1)
+        # r1/r2 are fixed per key, so per-key variance wobbles; allow a
+        # generous band around the ensemble prediction.
+        assert 0.5 * predicted < var < 2.0 * predicted
+
+    def test_noise_rarely_crosses_threshold(self):
+        scheme = seeded_scheme(P1, seed=78)
+        keys = scheme.generate_keypair()
+        crossings = 0
+        total = 0
+        for _ in range(8):
+            ct = scheme.encrypt_polynomial(keys.public, [0] * P1.n)
+            noisy = scheme.decrypt_polynomial(keys.private, ct)
+            q = P1.q
+            crossings += sum(
+                1
+                for c in noisy
+                if min(c, q - c) >= P1.quarter_q
+            )
+            total += P1.n
+        assert crossings / total < 1e-2

@@ -1,0 +1,78 @@
+"""Memory-footprint model: Table II RAM decomposition."""
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.machine.footprint import (
+    decryption_footprint,
+    encryption_footprint,
+    keygen_footprint,
+    ntt_table_bytes,
+    operation_footprints,
+    polynomial_buffer_bytes,
+    sampler_table_bytes,
+)
+
+
+class TestTableIIRamReproduction:
+    """The model reproduces all six paper RAM figures exactly."""
+
+    @pytest.mark.parametrize(
+        "params,expected", [(P1, 1596), (P2, 3132)], ids=["P1", "P2"]
+    )
+    def test_keygen_ram(self, params, expected):
+        assert keygen_footprint(params).ram_bytes == expected
+
+    @pytest.mark.parametrize(
+        "params,expected", [(P1, 3128), (P2, 6200)], ids=["P1", "P2"]
+    )
+    def test_encryption_ram(self, params, expected):
+        assert encryption_footprint(params).ram_bytes == expected
+
+    @pytest.mark.parametrize(
+        "params,expected", [(P1, 2100), (P2, 4148)], ids=["P1", "P2"]
+    )
+    def test_decryption_ram(self, params, expected):
+        assert decryption_footprint(params).ram_bytes == expected
+
+
+class TestBuffers:
+    def test_polynomial_buffer_bytes(self):
+        assert polynomial_buffer_bytes(P1, 1) == 512
+        assert polynomial_buffer_bytes(P2, 6) == 6144
+
+    def test_ram_doubles_with_n(self):
+        # The paper: "RAM requirement increases by approx. 100%".
+        for op in (keygen_footprint, encryption_footprint, decryption_footprint):
+            ratio = op(P2).ram_bytes / op(P1).ram_bytes
+            assert 1.9 < ratio < 2.1
+
+
+class TestFlashTables:
+    def test_sampler_tables_nonzero(self):
+        assert sampler_table_bytes(P1) > 0
+        # Same 109-column matrix size class: P2 slightly larger (59 rows).
+        assert sampler_table_bytes(P2) >= sampler_table_bytes(P1)
+
+    def test_ntt_tables_scale_with_n(self):
+        assert ntt_table_bytes(P2) == pytest.approx(
+            2 * ntt_table_bytes(P1), rel=0.01
+        )
+
+    def test_decryption_needs_no_sampler_tables(self):
+        dec = decryption_footprint(P1)
+        assert dec.table_flash_bytes == ntt_table_bytes(P1)
+
+
+class TestAggregation:
+    def test_operation_footprints_order(self):
+        ops = operation_footprints(P1)
+        assert [f.operation for f in ops] == [
+            "Key Generation",
+            "Encryption",
+            "Decryption",
+        ]
+
+    def test_str_contains_numbers(self):
+        text = str(encryption_footprint(P1))
+        assert "3128" in text or "3,128" in text

@@ -1,0 +1,131 @@
+"""GF(2^m) binary-field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gf2m import FIELD_5, FIELD_8, FIELD_233, BinaryField
+
+element5 = st.integers(min_value=0, max_value=(1 << 5) - 1)
+element233 = st.integers(min_value=0, max_value=(1 << 233) - 1)
+
+
+class TestConstruction:
+    def test_modulus_value(self):
+        assert FIELD_233.modulus == (1 << 233) | (1 << 74) | 1
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            BinaryField(8, (7, 2, 0))  # degree != m
+        with pytest.raises(ValueError):
+            BinaryField(8, (8, 2))  # missing constant term
+        with pytest.raises(ValueError):
+            BinaryField(8, (8, 2, 2, 0))  # repeated exponent
+
+    def test_order(self):
+        assert FIELD_5.order == 32
+
+
+class TestFieldAxiomsExhaustive:
+    """GF(2^5) is small enough to check everything."""
+
+    def test_addition_is_xor_group(self):
+        f = FIELD_5
+        for a in f.elements():
+            assert f.add(a, a) == 0
+            assert f.add(a, 0) == a
+
+    def test_multiplication_associative_and_commutative(self):
+        f = FIELD_5
+        elements = list(f.elements())
+        for a in elements[::3]:
+            for b in elements[::3]:
+                assert f.mul(a, b) == f.mul(b, a)
+                for c in elements[::7]:
+                    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    def test_distributivity(self):
+        f = FIELD_5
+        elements = list(f.elements())
+        for a in elements[::2]:
+            for b in elements[::3]:
+                for c in elements[::5]:
+                    assert f.mul(a, f.add(b, c)) == f.add(
+                        f.mul(a, b), f.mul(a, c)
+                    )
+
+    def test_every_nonzero_invertible(self):
+        f = FIELD_5
+        for a in range(1, 32):
+            assert f.mul(a, f.inverse(a)) == 1
+
+    def test_square_matches_self_multiplication(self):
+        f = FIELD_5
+        for a in f.elements():
+            assert f.square(a) == f.mul(a, a)
+
+    def test_frobenius_is_additive(self):
+        f = FIELD_5
+        for a in f.elements():
+            for b in list(f.elements())[::3]:
+                assert f.square(f.add(a, b)) == f.add(
+                    f.square(a), f.square(b)
+                )
+
+    def test_trace_is_additive_and_balanced(self):
+        f = FIELD_5
+        traces = [f.trace(a) for a in f.elements()]
+        assert all(t in (0, 1) for t in traces)
+        assert sum(traces) == 16  # exactly half the elements
+
+    def test_multiplicative_order_divides_31(self):
+        f = FIELD_5
+        for a in (2, 3, 7):
+            assert f.pow(a, 31) == 1
+
+
+class TestAesFieldKnownValues:
+    def test_known_aes_product(self):
+        # {0x53} * {0xCA} = {0x01} in the AES field.
+        assert FIELD_8.mul(0x53, 0xCA) == 0x01
+
+    def test_known_aes_inverse(self):
+        assert FIELD_8.inverse(0x53) == 0xCA
+
+
+class TestField233:
+    @given(element233, element233)
+    @settings(max_examples=30, deadline=None)
+    def test_commutativity(self, a, b):
+        assert FIELD_233.mul(a, b) == FIELD_233.mul(b, a)
+
+    @given(element233)
+    @settings(max_examples=30, deadline=None)
+    def test_square_consistent(self, a):
+        assert FIELD_233.square(a) == FIELD_233.mul(a, a)
+
+    @given(element233.filter(lambda a: a != 0))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse(self, a):
+        assert FIELD_233.mul(a, FIELD_233.inverse(a)) == 1
+
+    def test_fermat(self):
+        # a^(2^233) = a for any a.
+        a = 0x1234567890ABCDEF
+        assert FIELD_233.pow(a, 1 << 233) == a
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD_233.inverse(0)
+
+    def test_element_range_checked(self):
+        with pytest.raises(ValueError):
+            FIELD_233.mul(1 << 233, 1)
+
+    def test_large_field_enumeration_refused(self):
+        with pytest.raises(ValueError):
+            list(FIELD_233.elements())
+
+    def test_division(self):
+        a, b = 12345, 67890
+        assert FIELD_233.mul(FIELD_233.div(a, b), b) == a

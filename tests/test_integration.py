@@ -1,0 +1,153 @@
+"""Cross-module integration tests: the full stack working together."""
+
+import random
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.core import serialize
+from repro.cyclemodel.scheme_cycles import (
+    decrypt_cycles,
+    encrypt_cycles,
+    keygen_cycles,
+)
+from repro.machine.machine import CortexM4
+from repro.trng.bitpool import BitPool
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.trng import SimulatedTrng
+from repro.trng.xorshift import Xorshift128
+
+
+class TestTwoPartyExchange:
+    """Alice publishes a key; Bob encrypts; Alice decrypts — through
+    serialization, as separate scheme instances."""
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_full_exchange(self, params):
+        alice = seeded_scheme(params, seed=1)
+        keys = alice.generate_keypair()
+        published = serialize.serialize_public_key(keys.public)
+
+        bob = seeded_scheme(params, seed=2)
+        bob_view = serialize.deserialize_public_key(published)
+        secret = b"the eagle lands at midnight"[: params.message_bytes]
+        wire = serialize.serialize_ciphertext(bob.encrypt(bob_view, secret))
+
+        received = serialize.deserialize_ciphertext(wire)
+        assert alice.decrypt(keys.private, received, length=len(secret)) == secret
+
+
+class TestCycleModelVsFunctionalStack:
+    def test_ciphertexts_interchangeable(self):
+        """A ciphertext produced by the cycle-model encryptor decrypts
+        under the functional scheme and vice versa."""
+        params = P1
+        functional = seeded_scheme(params, seed=3)
+        keys = functional.generate_keypair()
+
+        rng = random.Random(4)
+        message_bits = [rng.randrange(2) for _ in range(params.n)]
+
+        machine = CortexM4()
+        pool = BitPool(
+            SimulatedTrng(Xorshift128(5), machine=machine), machine=machine
+        )
+        ct_model, _ = encrypt_cycles(
+            machine, params, keys.public, message_bits, pool
+        )
+        noisy = functional.decrypt_polynomial(keys.private, ct_model)
+        from repro.core.encoding import decode_bits
+
+        assert decode_bits(noisy, params) == message_bits
+
+        # And the reverse: functional ciphertext through the model.
+        from repro.core.encoding import encode_bits
+
+        ct_func = functional.encrypt_polynomial(
+            keys.public, encode_bits(message_bits, params)
+        )
+        machine = CortexM4()
+        decoded, _ = decrypt_cycles(machine, params, keys.private, ct_func)
+        assert decoded == message_bits
+
+
+class TestKeyReuseAcrossOperations:
+    def test_one_key_many_cycle_measurements(self):
+        params = P1
+        machine = CortexM4()
+        pool = BitPool(
+            SimulatedTrng(Xorshift128(6), machine=machine), machine=machine
+        )
+        pair, _ = keygen_cycles(machine, params, pool)
+        rng = random.Random(7)
+        for trial in range(3):
+            message = [rng.randrange(2) for _ in range(params.n)]
+            m2 = CortexM4()
+            pool2 = BitPool(
+                SimulatedTrng(Xorshift128(10 + trial), machine=m2),
+                machine=m2,
+            )
+            ct, enc = encrypt_cycles(m2, params, pair.public, message, pool2)
+            m3 = CortexM4()
+            decoded, dec = decrypt_cycles(m3, params, pair.private, ct)
+            assert decoded == message
+            assert enc.cycles > dec.cycles
+
+
+class TestHomomorphicAdditivity:
+    def test_ciphertext_addition_decrypts_to_xor_when_noise_allows(self):
+        """LPR ciphertexts are additively homomorphic: adding two
+        encryptions of m1, m2 yields an encryption of m1 XOR m2 (the
+        encodings add mod q, and half+half wraps to ~0)."""
+        params = P2  # larger q gives more noise headroom
+        scheme = seeded_scheme(params, seed=8)
+        keys = scheme.generate_keypair()
+        m1 = bytes([0b10101010] * params.message_bytes)
+        m2 = bytes([0b11001100] * params.message_bytes)
+        ct1 = scheme.encrypt(keys.public, m1)
+        ct2 = scheme.encrypt(keys.public, m2)
+        q = params.q
+        summed_c1 = tuple((a + b) % q for a, b in zip(ct1.c1_hat, ct2.c1_hat))
+        summed_c2 = tuple((a + b) % q for a, b in zip(ct1.c2_hat, ct2.c2_hat))
+        from repro.core.scheme import Ciphertext
+
+        summed = Ciphertext(params, summed_c1, summed_c2)
+        expected = bytes(a ^ b for a, b in zip(m1, m2))
+        # Adding ciphertexts doubles the noise variance (~2.9 sigma of
+        # headroom at P2), so a couple of bit flips per 512 are expected
+        # — the homomorphism shows up as near-perfect XOR recovery.
+        decrypted = scheme.decrypt(keys.private, summed)
+        flips = sum(
+            bin(a ^ b).count("1") for a, b in zip(decrypted, expected)
+        )
+        assert flips <= 10  # expectation ~2 of 512 bits
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.cyclemodel
+        import repro.machine
+        import repro.ntt
+        import repro.sampler
+        import repro.trng
+
+        for module in (
+            repro.ntt,
+            repro.sampler,
+            repro.trng,
+            repro.machine,
+            repro.cyclemodel,
+            repro.baselines,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,112 @@
+"""The KEM layer."""
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.core.kem import (
+    SECRET_BYTES,
+    Encapsulation,
+    EncapsulationError,
+    RlweKem,
+    SharedSecret,
+    exchange_session_key,
+)
+from repro.core.params import custom_parameter_set
+from repro.core.scheme import RlweEncryptionScheme
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(params=[P1, P2], ids=["P1", "P2"])
+def kem_setup(request):
+    scheme = seeded_scheme(request.param, seed=9001)
+    kem = RlweKem(scheme)
+    keys = scheme.generate_keypair()
+    return kem, keys
+
+
+class TestEncapsulation:
+    def test_shared_secret_agreement(self, kem_setup):
+        kem, keys = kem_setup
+        encapsulation, sender = kem.encapsulate(keys.public)
+        receiver = kem.decapsulate(keys.private, keys.public, encapsulation)
+        assert sender.key == receiver.key
+        assert len(sender.key) == 32
+
+    def test_fresh_secret_per_encapsulation(self, kem_setup):
+        kem, keys = kem_setup
+        _, first = kem.encapsulate(keys.public)
+        _, second = kem.encapsulate(keys.public)
+        assert first.key != second.key
+
+    def test_tag_length(self, kem_setup):
+        kem, keys = kem_setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        assert len(encapsulation.tag) == 16
+
+
+class TestTamperDetection:
+    def test_flipped_tag_rejected(self, kem_setup):
+        kem, keys = kem_setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        bad_tag = bytes([encapsulation.tag[0] ^ 1]) + encapsulation.tag[1:]
+        tampered = Encapsulation(encapsulation.ciphertext, bad_tag)
+        with pytest.raises(EncapsulationError):
+            kem.decapsulate(keys.private, keys.public, tampered)
+
+    def test_corrupted_ciphertext_rejected(self, kem_setup):
+        kem, keys = kem_setup
+        encapsulation, _ = kem.encapsulate(keys.public)
+        ct = encapsulation.ciphertext
+        q = ct.params.q
+        corrupted_c1 = (ct.c1_hat[0] + q // 2,) + ct.c1_hat[1:]
+        from repro.core.scheme import Ciphertext
+
+        tampered = Encapsulation(
+            Ciphertext(ct.params, tuple(c % q for c in corrupted_c1), ct.c2_hat),
+            encapsulation.tag,
+        )
+        with pytest.raises(EncapsulationError):
+            kem.decapsulate(keys.private, keys.public, tampered)
+
+    def test_wrong_private_key_rejected(self, kem_setup):
+        kem, keys = kem_setup
+        other = kem.scheme.generate_keypair()
+        encapsulation, _ = kem.encapsulate(keys.public)
+        with pytest.raises(EncapsulationError):
+            kem.decapsulate(other.private, keys.public, encapsulation)
+
+
+class TestKeyBinding:
+    def test_secret_bound_to_recipient_key(self, kem_setup):
+        """The KDF binds the session key to p_hat: the same raw secret
+        under a different public key derives a different session key."""
+        kem, keys = kem_setup
+        from repro.core.kem import _derive
+
+        key_a, _ = _derive(b"\x00" * SECRET_BYTES, keys.public)
+        other = kem.scheme.generate_keypair()
+        key_b, _ = _derive(b"\x00" * SECRET_BYTES, other.public)
+        assert key_a != key_b
+
+
+class TestExchangeHelper:
+    def test_exchange_succeeds(self, kem_setup):
+        kem, keys = kem_setup
+        secret = exchange_session_key(kem, keys.private, keys.public)
+        assert secret is not None
+        assert len(secret.key) == 32
+
+
+class TestValidation:
+    def test_small_ring_rejected(self):
+        tiny = custom_parameter_set(64, 7681, 11.31)
+        scheme = RlweEncryptionScheme(
+            tiny, bits=PrngBitSource(Xorshift128(1))
+        )
+        with pytest.raises(ValueError):
+            RlweKem(scheme)  # 64 bits < 32-byte secret
+
+    def test_shared_secret_length_check(self):
+        with pytest.raises(ValueError):
+            SharedSecret(b"short")

@@ -1,0 +1,120 @@
+"""Alg. 1 Knuth-Yao sampler: exact distribution and walk semantics."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.sampler.ddg import exact_output_distribution
+from repro.sampler.distribution import DiscreteGaussian
+from repro.sampler.knuth_yao import KnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+TOY_Q = 97
+
+
+@pytest.fixture(scope="module")
+def toy_pmat():
+    # precision 11 keeps exhaustive enumeration to 2^12 streams.
+    return ProbabilityMatrix.from_table(
+        DiscreteGaussian(sigma=1.2).half_table(precision=11, tail=6)
+    )
+
+
+class TestExhaustiveDistribution:
+    """Enumerate every bit stream: the empirical distribution of Alg. 1
+    must match the exact DDG output distribution *exactly*."""
+
+    def test_full_enumeration(self, toy_pmat):
+        precision = toy_pmat.columns
+        weights = Counter()
+        # A walk plus sign never consumes more than precision + 1 bits.
+        width = precision + 1
+        for stream in range(1 << width):
+            bits = QueueBitSource.from_integer(stream, width)
+            sampler = KnuthYaoSampler(toy_pmat, TOY_Q, bits)
+            value = sampler.sample()
+            # Weight each outcome by the probability of the *consumed*
+            # prefix: group streams sharing a prefix.
+            weights[value] += 1
+        total = 1 << width
+        empirical = {
+            v: Fraction(c, total) for v, c in weights.items()
+        }
+        exact = exact_output_distribution(toy_pmat, TOY_Q)
+        for value, prob in exact.items():
+            assert empirical.get(value, Fraction(0)) == prob, value
+        assert sum(empirical.values()) == 1
+
+
+class TestWalkSemantics:
+    def test_deterministic_given_stream(self, toy_pmat):
+        bits1 = QueueBitSource.from_integer(0b1011011010, 12)
+        bits2 = QueueBitSource.from_integer(0b1011011010, 12)
+        s1 = KnuthYaoSampler(toy_pmat, TOY_Q, bits1)
+        s2 = KnuthYaoSampler(toy_pmat, TOY_Q, bits2)
+        assert s1.sample() == s2.sample()
+
+    def test_sign_bit_consumed_after_magnitude(self, toy_pmat):
+        # Flip exactly the post-termination sign bit: the two streams
+        # must return opposite values (mod q).
+        for seed in range(40):
+            probe_bits = PrngBitSource(Xorshift128(seed))
+            probe = KnuthYaoSampler(toy_pmat, TOY_Q, probe_bits)
+            probe.sample_magnitude()
+            walk_bits = probe_bits.bits_consumed  # bits before the sign
+            reference = PrngBitSource(Xorshift128(seed))
+            prefix = [reference.bit() for _ in range(walk_bits)]
+            pos = QueueBitSource(prefix + [0])
+            neg = QueueBitSource(prefix + [1])
+            s_pos = KnuthYaoSampler(toy_pmat, TOY_Q, pos).sample()
+            s_neg = KnuthYaoSampler(toy_pmat, TOY_Q, neg).sample()
+            assert (s_pos + s_neg) % TOY_Q == 0
+
+    def test_sample_magnitude_resume(self, toy_pmat):
+        # Resuming at a later column with explicit distance is the hook
+        # the LUT sampler uses; resumed walks must stay within range.
+        bits = PrngBitSource(Xorshift128(3))
+        sampler = KnuthYaoSampler(toy_pmat, TOY_Q, bits)
+        for _ in range(50):
+            row = sampler.sample_magnitude(start_column=3, start_distance=2)
+            assert row is None or 0 <= row < toy_pmat.rows
+
+
+class TestRangeAndMoments:
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_samples_in_range(self, params):
+        sampler = KnuthYaoSampler.for_params(
+            params, PrngBitSource(Xorshift128(5))
+        )
+        tail = sampler.pmat.table.tail
+        for _ in range(2000):
+            value = sampler.sample()
+            assert 0 <= value < params.q
+            centered = value if value <= params.q // 2 else value - params.q
+            assert abs(centered) <= tail
+
+    def test_sample_centered_range(self):
+        sampler = KnuthYaoSampler.for_params(P1, PrngBitSource(Xorshift128(6)))
+        values = [sampler.sample_centered() for _ in range(2000)]
+        assert any(v < 0 for v in values) and any(v > 0 for v in values)
+
+    def test_variance_close_to_target(self):
+        sampler = KnuthYaoSampler.for_params(P1, PrngBitSource(Xorshift128(7)))
+        values = [sampler.sample_centered() for _ in range(20000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert var == pytest.approx(P1.sigma**2, rel=0.05)
+
+    def test_sample_polynomial_length(self):
+        sampler = KnuthYaoSampler.for_params(P1, PrngBitSource(Xorshift128(8)))
+        assert len(sampler.sample_polynomial(P1.n)) == P1.n
+
+
+class TestValidation:
+    def test_q_too_small_rejected(self, toy_pmat):
+        with pytest.raises(ValueError):
+            KnuthYaoSampler(toy_pmat, 12, QueueBitSource([]))

@@ -1,0 +1,75 @@
+"""Literature constants: internal consistency with the paper's claims."""
+
+from repro.analysis import literature
+
+
+class TestTableConstants:
+    def test_this_work_table1_complete(self):
+        ops = {
+            "NTT transform",
+            "Parallel NTT transform",
+            "Inverse NTT transform",
+            "Knuth-Yao sampling",
+            "NTT multiplication",
+        }
+        for op in ops:
+            for params in ("P1", "P2"):
+                assert (op, params) in literature.THIS_WORK_TABLE1
+
+    def test_table2_shape(self):
+        for key, value in literature.THIS_WORK_TABLE2.items():
+            assert len(value) == 3  # cycles, flash, ram
+
+    def test_filters(self):
+        ntt_rows = literature.table3_rows("NTT transform")
+        assert all(r.operation == "NTT transform" for r in ntt_rows)
+        assert len(literature.table3_rows()) == len(
+            literature.TABLE3_LITERATURE
+        )
+        enc_rows = literature.table4_rows("Encryption")
+        assert all(r.operation == "Encryption" for r in enc_rows)
+
+
+class TestPaperClaimsInternallyConsistent:
+    """Verify the paper's own headline arithmetic from its tables."""
+
+    def test_factor_7_25_encryption(self):
+        arm7_enc = next(
+            r.cycles
+            for r in literature.TABLE4_LITERATURE
+            if r.platform == "ARM7TDMI" and r.operation == "Encryption"
+        )
+        ours = literature.THIS_WORK_TABLE4[("Encryption", "P1")]
+        assert 7.2 < arm7_enc / ours < 7.3  # the paper's "7.25"
+
+    def test_factor_5_22_decryption(self):
+        arm7_dec = next(
+            r.cycles
+            for r in literature.TABLE4_LITERATURE
+            if r.platform == "ARM7TDMI" and r.operation == "Decryption"
+        )
+        ours = literature.THIS_WORK_TABLE4[("Decryption", "P1")]
+        assert 5.2 < arm7_dec / ours < 5.3
+
+    def test_sampler_factor_7_6(self):
+        fastest = min(
+            r.cycles
+            for r in literature.TABLE3_LITERATURE
+            if r.operation == "Gaussian sampling"
+        )
+        ours = literature.THIS_WORK_TABLE3[("Gaussian sampling", "P1")]
+        assert 7.5 < fastest / ours < 7.8  # the paper's "7.6x"
+
+    def test_ntt_vs_oder(self):
+        oder = next(
+            r.cycles
+            for r in literature.TABLE3_LITERATURE
+            if r.source == "[10]" and r.operation == "NTT transform"
+        )
+        ours_p2 = literature.THIS_WORK_TABLE3[("NTT transform", "P2")]
+        # Paper: "27.5% less cycles than [10]" and "72% faster".
+        assert (oder - ours_p2) / oder > 0.27
+
+    def test_ecies_order_of_magnitude(self):
+        enc = literature.THIS_WORK_TABLE4[("Encryption", "P1")]
+        assert literature.ECIES_ENCRYPT_ESTIMATE / enc > 10

@@ -1,0 +1,137 @@
+"""Alg. 2 LUT sampler: table construction and equivalence with Alg. 1."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.sampler.ddg import lut_failure_probability
+from repro.sampler.knuth_yao import KnuthYaoSampler
+from repro.sampler.lut_sampler import (
+    FAILURE_FLAG,
+    LUT1_LEVELS,
+    LUT2_LEVELS,
+    LutKnuthYaoSampler,
+    _walk,
+    build_luts,
+)
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(scope="module")
+def pmat():
+    return ProbabilityMatrix.for_params(P1)
+
+
+@pytest.fixture(scope="module")
+def luts(pmat):
+    return build_luts(pmat)
+
+
+class TestLutConstruction:
+    def test_lut1_size(self, luts):
+        assert len(luts.lut1) == 256
+
+    def test_lut2_size_paper(self, luts):
+        # d after a LUT1 failure ranges over 0..6 -> 7 * 32 = 224 entries.
+        assert luts.max_failure_distance1 == 6
+        assert len(luts.lut2) == 224
+
+    def test_lut1_entries_match_direct_walk(self, pmat, luts):
+        for index in range(256):
+            row, d = _walk(pmat, index, LUT1_LEVELS, 0, 0)
+            entry = luts.lut1[index]
+            if row is not None:
+                assert entry == row
+            else:
+                assert entry == (FAILURE_FLAG | d)
+
+    def test_lut2_entries_match_direct_walk(self, pmat, luts):
+        for d0 in range(luts.max_failure_distance1 + 1):
+            for r5 in range(32):
+                row, d = _walk(pmat, r5, LUT2_LEVELS, LUT1_LEVELS, d0)
+                entry = luts.lut2[d0 * 32 + r5]
+                if row is not None:
+                    assert entry == row
+                else:
+                    assert entry == (FAILURE_FLAG | d)
+
+    def test_lut1_failure_rate_matches_exact(self, pmat, luts):
+        exact = lut_failure_probability(pmat, LUT1_LEVELS)
+        assert Fraction(luts.lut1_failure_entries, 256) == exact
+
+    def test_p2_luts_also_build(self):
+        luts2 = build_luts(ProbabilityMatrix.for_params(P2))
+        assert len(luts2.lut1) == 256
+        assert luts2.max_failure_distance1 >= 0
+
+
+class TestEquivalenceWithAlg1:
+    """For any shared bit stream the LUT sampler returns the same
+    magnitude as Alg. 1 (the sign bit is consumed at a different stream
+    offset on the fast path, so only magnitudes align in general; on the
+    scan-fallback path even the sign must agree)."""
+
+    @pytest.mark.parametrize("seed", range(300))
+    def test_magnitude_equivalence(self, pmat, seed):
+        ref = KnuthYaoSampler(pmat, P1.q, PrngBitSource(Xorshift128(seed)))
+        lut = LutKnuthYaoSampler(pmat, P1.q, PrngBitSource(Xorshift128(seed)))
+        q = P1.q
+        a, b = ref.sample(), lut.sample()
+        mag = lambda v: v if v <= q // 2 else q - v  # noqa: E731
+        assert mag(a) == mag(b)
+
+    def test_sign_equivalence_on_fallback(self, pmat):
+        # Find streams that miss both LUTs; there the full value must
+        # agree because the bit offsets re-align after 13 levels.
+        found = 0
+        seed = 0
+        q = P1.q
+        while found < 5 and seed < 30000:
+            probe = LutKnuthYaoSampler(
+                pmat, q, PrngBitSource(Xorshift128(seed))
+            )
+            value = probe.sample()
+            if probe.scan_fallbacks:
+                ref = KnuthYaoSampler(
+                    pmat, q, PrngBitSource(Xorshift128(seed))
+                )
+                assert ref.sample() == value
+                found += 1
+            seed += 1
+        assert found == 5, "not enough fallback streams found"
+
+
+class TestHitCounters:
+    def test_hit_rates_match_fig2(self, pmat):
+        sampler = LutKnuthYaoSampler(
+            pmat, P1.q, PrngBitSource(Xorshift128(11))
+        )
+        n = 30000
+        sampler.sample_polynomial(n)
+        lut1_rate = sampler.lut1_hits / n
+        assert lut1_rate == pytest.approx(0.9727, abs=0.005)
+        fallback_rate = sampler.scan_fallbacks / n
+        assert fallback_rate == pytest.approx(0.0013, abs=0.002)
+
+    def test_lut2_disabled_falls_back_to_scan(self, pmat):
+        sampler = LutKnuthYaoSampler(
+            pmat, P1.q, PrngBitSource(Xorshift128(12)), use_lut2=False
+        )
+        sampler.sample_polynomial(5000)
+        assert sampler.lut2_hits == 0
+        assert sampler.scan_fallbacks > 0
+
+
+class TestDistribution:
+    def test_variance(self, pmat):
+        sampler = LutKnuthYaoSampler(
+            pmat, P1.q, PrngBitSource(Xorshift128(13))
+        )
+        values = [sampler.sample_centered() for _ in range(20000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert var == pytest.approx(P1.sigma**2, rel=0.05)
+        assert abs(mean) < 0.15

@@ -1,0 +1,149 @@
+"""Cortex-M4 machine model: charging, regions, clz, divide."""
+
+import pytest
+
+from repro.machine.costs import CORTEX_M0PLUS, CORTEX_M4F
+from repro.machine.machine import CortexM4, NullMachine
+
+
+class TestCharging:
+    def test_alu_and_mul_single_cycle(self):
+        m = CortexM4()
+        m.alu()
+        m.mul()
+        assert m.cycles == 2
+
+    def test_counts(self):
+        m = CortexM4()
+        m.alu(5)
+        m.load(2)
+        m.store(3)
+        assert m.cycles == 5 + 4 + 6
+
+    def test_branch_costs(self):
+        m = CortexM4()
+        m.branch(taken=True)
+        taken = m.cycles
+        m.branch(taken=False)
+        assert taken == CORTEX_M4F.branch_taken
+        assert m.cycles - taken == CORTEX_M4F.branch_not_taken
+
+    def test_call_ret(self):
+        m = CortexM4()
+        m.call()
+        m.ret()
+        assert m.cycles == CORTEX_M4F.call + CORTEX_M4F.ret
+
+    def test_tick_and_reset(self):
+        m = CortexM4()
+        m.tick(100)
+        assert m.cycles == 100
+        m.reset()
+        assert m.cycles == 0
+        with pytest.raises(ValueError):
+            m.tick(-1)
+
+
+class TestClz:
+    def test_values(self):
+        m = CortexM4()
+        assert m.clz(0) == 32
+        assert m.clz(1) == 31
+        assert m.clz(1 << 31) == 0
+        assert m.clz(0xFFFF) == 16
+
+    def test_cost(self):
+        m = CortexM4()
+        m.clz(5)
+        assert m.cycles == CORTEX_M4F.clz
+
+    def test_range_check(self):
+        m = CortexM4()
+        with pytest.raises(ValueError):
+            m.clz(1 << 32)
+        with pytest.raises(ValueError):
+            m.clz(-1)
+
+
+class TestDivide:
+    def test_quotient_correct(self):
+        m = CortexM4()
+        assert m.div(100, 7) == 14
+
+    def test_cost_range(self):
+        for dividend, divisor in ((1, 1), (2**31, 1), (7681, 3), (0, 5)):
+            m = CortexM4()
+            m.div(dividend, divisor)
+            assert CORTEX_M4F.div_min <= m.cycles <= CORTEX_M4F.div_max
+
+    def test_wide_quotients_cost_more(self):
+        assert CORTEX_M4F.div(2**31, 1) > CORTEX_M4F.div(8, 7)
+
+    def test_divide_by_zero_returns_zero(self):
+        m = CortexM4()
+        assert m.div(5, 0) == 0  # M4 semantics with DIV_0_TRP clear
+
+
+class TestRegions:
+    def test_region_accumulates(self):
+        m = CortexM4()
+        with m.region("ntt"):
+            m.alu(10)
+        with m.region("ntt"):
+            m.alu(5)
+        assert m.region_cycles("ntt") == 15
+
+    def test_nested_regions(self):
+        m = CortexM4()
+        with m.region("outer"):
+            m.alu(2)
+            with m.region("inner"):
+                m.alu(3)
+        assert m.region_cycles("inner") == 3
+        assert m.region_cycles("outer") == 5
+
+    def test_regions_dict(self):
+        m = CortexM4()
+        with m.region("a"):
+            m.alu()
+        assert m.regions == {"a": 1}
+
+    def test_measure_helper(self):
+        m = CortexM4()
+
+        def kernel(machine, x):
+            machine.alu(x)
+            return x * 2
+
+        result, cycles = m.measure(kernel, 7)
+        assert result == 14 and cycles == 7
+
+
+class TestNullMachine:
+    def test_charges_nothing(self):
+        m = NullMachine()
+        m.alu(100)
+        m.load(5)
+        m.branch()
+        m.tick(50)
+        m.call()
+        m.ret()
+        assert m.cycles == 0
+
+    def test_semantics_preserved(self):
+        m = NullMachine()
+        assert m.clz(1) == 31
+        assert m.div(10, 3) == 3
+        assert m.div(10, 0) == 0
+
+
+class TestCostTables:
+    def test_m0plus_differs(self):
+        assert CORTEX_M0PLUS.mul > CORTEX_M4F.mul
+        assert CORTEX_M0PLUS.clz > CORTEX_M4F.clz  # emulated, no clz insn
+
+    def test_paper_facts_encoded(self):
+        # Section III-A/III-C facts the model is built on.
+        assert CORTEX_M4F.mul == 1
+        assert CORTEX_M4F.load == 2
+        assert CORTEX_M4F.div_min == 2 and CORTEX_M4F.div_max == 12

@@ -1,0 +1,147 @@
+"""Unit and property tests for repro.modmath."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modmath import (
+    barrett_constant,
+    bit_length_of_coefficients,
+    find_generator,
+    is_prime,
+    is_primitive_root_of_unity,
+    modinv,
+    modpow,
+    prime_factors,
+    root_of_unity,
+)
+
+PRIMES = [2, 3, 5, 7, 97, 257, 7681, 12289, 65537]
+COMPOSITES = [1, 4, 6, 9, 15, 91, 7680, 12288, 7681 * 12289]
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_primes_detected(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_prime(n)
+
+    def test_zero_and_negative(self):
+        assert not is_prime(0)
+        assert not is_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=200)
+    def test_matches_trial_division(self, n):
+        naive = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == naive
+
+
+class TestFactorisation:
+    def test_known_factorisations(self):
+        assert prime_factors(7680) == [2, 3, 5]
+        assert prime_factors(12288) == [2, 3]
+        assert prime_factors(97) == [97]
+        assert prime_factors(1) == []
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+    @given(st.integers(min_value=2, max_value=50_000))
+    @settings(max_examples=100)
+    def test_factors_divide_and_are_prime(self, n):
+        for p in prime_factors(n):
+            assert n % p == 0
+            assert is_prime(p)
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("q", [97, 7681, 12289])
+    def test_inverse_roundtrip(self, q):
+        for value in (1, 2, 3, q - 1, q // 2):
+            assert value * modinv(value, q) % q == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ValueError):
+            modinv(0, 7681)
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modinv(6, 12)
+
+    @given(st.integers(min_value=1, max_value=7680))
+    @settings(max_examples=100)
+    def test_inverse_property_mod_7681(self, value):
+        assert value * modinv(value, 7681) % 7681 == 1
+
+
+class TestModPow:
+    def test_matches_builtin(self):
+        assert modpow(3, 100, 7681) == pow(3, 100, 7681)
+
+    def test_negative_base_normalised(self):
+        assert modpow(-1, 2, 97) == 1
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            modpow(2, 3, 0)
+
+
+class TestGeneratorsAndRoots:
+    @pytest.mark.parametrize("q", [7681, 12289, 97, 257])
+    def test_generator_has_full_order(self, q):
+        g = find_generator(q)
+        seen = set()
+        value = 1
+        # Spot-check with the defining property instead of enumerating.
+        for p in prime_factors(q - 1):
+            assert pow(g, (q - 1) // p, q) != 1
+        assert pow(g, q - 1, q) == 1
+        del seen, value
+
+    def test_generator_requires_prime(self):
+        with pytest.raises(ValueError):
+            find_generator(7680)
+
+    @pytest.mark.parametrize(
+        "order,q", [(512, 7681), (1024, 12289), (32, 97), (16, 17)]
+    )
+    def test_root_of_unity_is_primitive(self, order, q):
+        w = root_of_unity(order, q)
+        assert is_primitive_root_of_unity(w, order, q)
+        assert pow(w, order, q) == 1
+        assert pow(w, order // 2, q) == q - 1  # half power must be -1
+
+    def test_root_of_unity_divisibility_check(self):
+        with pytest.raises(ValueError):
+            root_of_unity(512, 12289 + 2)  # not prime, and 512 !| q-1
+        with pytest.raises(ValueError):
+            root_of_unity(7, 7681)
+
+    def test_nonprimitive_root_detected(self):
+        # 1 is an order-1 root, never a primitive order-4 root.
+        assert not is_primitive_root_of_unity(1, 4, 97)
+
+
+class TestBarrettConstant:
+    @pytest.mark.parametrize("q", [7681, 12289])
+    def test_value(self, q):
+        assert barrett_constant(q) == (1 << 32) // q
+
+    def test_rejects_oversized_modulus(self):
+        with pytest.raises(ValueError):
+            barrett_constant(1 << 17, width=32)  # (q-1)^2 >= 2^32
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            barrett_constant(0)
+
+
+class TestCoefficientBits:
+    @pytest.mark.parametrize("q,bits", [(7681, 13), (12289, 14), (97, 7)])
+    def test_widths(self, q, bits):
+        assert bit_length_of_coefficients(q) == bits

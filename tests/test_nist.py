@@ -1,0 +1,95 @@
+"""NIST SP800-22 subset: positive and negative controls."""
+
+import pytest
+
+from repro.trng.nist import (
+    ALL_TESTS,
+    approximate_entropy,
+    bits_from_bytes,
+    block_frequency,
+    cumulative_sums,
+    longest_run_of_ones,
+    monobit,
+    run_suite,
+    runs,
+    suite_passes,
+)
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return bits_from_bytes(Xorshift128(1234).bytes(4000))
+
+
+class TestPositiveControls:
+    def test_xorshift_passes_suite(self, good_bits):
+        results = run_suite(good_bits)
+        assert len(results) == len(ALL_TESTS)
+        for name, result in results.items():
+            assert result.passed(0.01), f"{name}: p={result.p_value}"
+
+    def test_multiple_seeds_pass(self):
+        for seed in (7, 99, 2024):
+            bits = bits_from_bytes(Xorshift128(seed).bytes(2000))
+            assert suite_passes(bits)
+
+
+class TestNegativeControls:
+    def test_constant_zero_fails(self):
+        assert not suite_passes([0] * 4096)
+
+    def test_constant_one_fails_monobit(self):
+        assert monobit([1] * 1000).p_value < 0.01
+
+    def test_alternating_fails_runs_style_tests(self):
+        bits = [0, 1] * 2048
+        # Perfectly alternating bits have ideal frequency but absurd
+        # run structure.
+        assert monobit(bits).passed()
+        assert not runs(bits).passed() or not approximate_entropy(bits).passed()
+
+    def test_biased_stream_fails(self):
+        import random
+
+        rng = random.Random(0)
+        bits = [1 if rng.random() < 0.6 else 0 for _ in range(4096)]
+        assert not monobit(bits).passed()
+
+    def test_blocky_stream_fails_block_frequency(self):
+        bits = ([0] * 128 + [1] * 128) * 8
+        assert not block_frequency(bits).passed()
+
+
+class TestIndividualTests:
+    def test_monobit_balanced(self):
+        assert monobit([0, 1] * 500).p_value == pytest.approx(1.0)
+
+    def test_longest_run_requires_length(self):
+        with pytest.raises(ValueError):
+            longest_run_of_ones([0, 1] * 8)
+
+    def test_block_frequency_requires_block(self):
+        with pytest.raises(ValueError):
+            block_frequency([0, 1], block=128)
+
+    def test_cumulative_sums_extremes(self):
+        # A straight run drifts maximally: tiny p-value.
+        assert cumulative_sums([1] * 1000).p_value < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            monobit([])
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            monobit([0, 2, 1])
+
+
+class TestBitsFromBytes:
+    def test_lsb_first(self):
+        assert bits_from_bytes(b"\x01") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits_from_bytes(b"\x80") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_length(self):
+        assert len(bits_from_bytes(b"abc")) == 24

@@ -1,0 +1,66 @@
+"""Packed/unrolled NTT must be bit-identical to Alg. 3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import P1, P2, custom_parameter_set
+from repro.ntt.optimized import ntt_forward_packed, ntt_inverse_packed
+from repro.ntt.reference import ntt_forward, ntt_inverse
+from tests.conftest import MEDIUM, SMALL
+
+
+def poly(params):
+    return st.lists(
+        st.integers(min_value=0, max_value=params.q - 1),
+        min_size=params.n,
+        max_size=params.n,
+    )
+
+
+class TestEquivalenceWithReference:
+    @given(poly(SMALL))
+    @settings(max_examples=50, deadline=None)
+    def test_forward_small(self, a):
+        assert ntt_forward_packed(a, SMALL) == ntt_forward(a, SMALL)
+
+    @given(poly(SMALL))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_small(self, a_hat):
+        assert ntt_inverse_packed(a_hat, SMALL) == ntt_inverse(a_hat, SMALL)
+
+    @given(poly(MEDIUM))
+    @settings(max_examples=15, deadline=None)
+    def test_forward_medium(self, a):
+        assert ntt_forward_packed(a, MEDIUM) == ntt_forward(a, MEDIUM)
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_paper_params(self, params, poly_factory):
+        a = poly_factory(params)
+        assert ntt_forward_packed(a, params) == ntt_forward(a, params)
+        assert ntt_inverse_packed(a, params) == ntt_inverse(a, params)
+
+
+class TestRoundTrip:
+    @given(poly(SMALL))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, a):
+        assert ntt_inverse_packed(ntt_forward_packed(a, SMALL), SMALL) == a
+
+
+class TestValidation:
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            ntt_forward_packed([0] * 8, SMALL)
+
+    def test_minimum_size(self):
+        tiny = custom_parameter_set(2, 13, 3.0)
+        with pytest.raises(ValueError):
+            ntt_forward_packed([0, 0], tiny)
+
+    def test_wide_coefficients_rejected(self):
+        # A modulus needing >16 bits cannot use the packed layout.
+        wide = custom_parameter_set(4, 786433, 3.0)  # 786432 = 2^18*3
+        assert wide.coefficient_bits > 16
+        with pytest.raises(ValueError):
+            ntt_forward_packed([0, 0, 0, 0], wide)

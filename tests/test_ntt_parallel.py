@@ -1,0 +1,49 @@
+"""Fused 3-polynomial NTT must equal three independent transforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import P1, P2
+from repro.ntt.parallel import ntt_forward_parallel3
+from repro.ntt.reference import ntt_forward
+from tests.conftest import SMALL
+
+
+def poly():
+    return st.lists(
+        st.integers(min_value=0, max_value=SMALL.q - 1),
+        min_size=SMALL.n,
+        max_size=SMALL.n,
+    )
+
+
+class TestParallelEquivalence:
+    @given(poly(), poly(), poly())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_three_separate(self, a, b, c):
+        A, B, C = ntt_forward_parallel3(a, b, c, SMALL)
+        assert A == ntt_forward(a, SMALL)
+        assert B == ntt_forward(b, SMALL)
+        assert C == ntt_forward(c, SMALL)
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_paper_params(self, params, poly_factory):
+        a, b, c = (poly_factory(params) for _ in range(3))
+        A, B, C = ntt_forward_parallel3(a, b, c, params)
+        assert A == ntt_forward(a, params)
+        assert B == ntt_forward(b, params)
+        assert C == ntt_forward(c, params)
+
+    def test_inputs_not_mutated(self):
+        a = [1] * SMALL.n
+        b = [2] * SMALL.n
+        c = [3] * SMALL.n
+        ntt_forward_parallel3(a, b, c, SMALL)
+        assert a == [1] * SMALL.n
+        assert b == [2] * SMALL.n
+        assert c == [3] * SMALL.n
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ntt_forward_parallel3([0] * 8, [0] * SMALL.n, [0] * SMALL.n, SMALL)

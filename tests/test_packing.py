@@ -1,0 +1,49 @@
+"""Coefficient packing helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt.packing import (
+    pack_pair,
+    pack_polynomial,
+    unpack_pair,
+    unpack_polynomial,
+)
+
+halfword = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestPairPacking:
+    @given(halfword, halfword)
+    @settings(max_examples=100)
+    def test_roundtrip(self, lo, hi):
+        assert unpack_pair(pack_pair(lo, hi)) == (lo, hi)
+
+    def test_layout(self):
+        # lo occupies bits 0..15 (the first halfword in memory).
+        assert pack_pair(0x1234, 0xABCD) == 0xABCD1234
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            pack_pair(0x10000, 0)
+        with pytest.raises(ValueError):
+            pack_pair(0, -1)
+        with pytest.raises(ValueError):
+            unpack_pair(1 << 32)
+        with pytest.raises(ValueError):
+            unpack_pair(-1)
+
+
+class TestPolynomialPacking:
+    @given(st.lists(halfword, min_size=2, max_size=64).filter(lambda l: len(l) % 2 == 0))
+    @settings(max_examples=100)
+    def test_roundtrip(self, coeffs):
+        assert unpack_polynomial(pack_polynomial(coeffs)) == coeffs
+
+    def test_word_count(self):
+        assert len(pack_polynomial([0] * 256)) == 128
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_polynomial([1, 2, 3])

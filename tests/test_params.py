@@ -1,0 +1,111 @@
+"""Tests for the parameter sets."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    P1,
+    P2,
+    P3,
+    P4,
+    PARAMETER_SETS,
+    ParameterSet,
+    custom_parameter_set,
+    get_parameter_set,
+)
+
+
+class TestPaperParameterSets:
+    def test_p1_values(self):
+        assert (P1.n, P1.q, P1.s) == (256, 7681, 11.31)
+        assert P1.security == "medium-term"
+
+    def test_p2_values(self):
+        assert (P2.n, P2.q, P2.s) == (512, 12289, 12.18)
+
+    def test_sigma_derivation(self):
+        assert P1.sigma == pytest.approx(11.31 / math.sqrt(2 * math.pi))
+        assert P2.sigma == pytest.approx(12.18 / math.sqrt(2 * math.pi))
+
+    def test_ntt_friendliness(self):
+        for p in (P1, P2, P3):
+            assert (p.q - 1) % (2 * p.n) == 0
+        assert not P4.ntt_friendly
+
+    def test_coefficient_bits(self):
+        assert P1.coefficient_bits == 13
+        assert P2.coefficient_bits == 14
+        assert P1.coefficient_bytes == 2
+
+    def test_message_capacity(self):
+        assert P1.message_bytes == 32
+        assert P2.message_bytes == 64
+
+
+class TestRoots:
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_psi_is_2nth_root(self, params):
+        assert pow(params.psi, 2 * params.n, params.q) == 1
+        assert pow(params.psi, params.n, params.q) == params.q - 1
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_omega_is_nth_root(self, params):
+        assert params.omega == params.psi**2 % params.q
+        assert pow(params.omega, params.n, params.q) == 1
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    def test_inverses(self, params):
+        q = params.q
+        assert params.psi * params.psi_inverse % q == 1
+        assert params.omega * params.omega_inverse % q == 1
+        assert params.n * params.n_inverse % q == 1
+
+
+class TestEncodingConstants:
+    def test_half_and_quarter(self):
+        assert P1.half_q == 3840
+        assert P1.quarter_q == 1920
+        assert P2.half_q == 6144
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSet("bad", 100, 7681, 11.31)
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSet("bad", 256, 7680, 11.31)
+
+    def test_wrong_congruence_rejected(self):
+        # 12289 = 1 mod 1024 but 257 is too small for n = 512... use a
+        # prime where q != 1 mod 2n: q = 7681 with n = 1024 (2048 !| 7680).
+        with pytest.raises(ValueError):
+            ParameterSet("bad", 1024, 7681, 11.31)
+
+    def test_small_q_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSet("bad", 16, 1, 11.31)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_parameter_set("p1") is P1
+        assert get_parameter_set("P2") is P2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_parameter_set("P9")
+
+    def test_registry_contents(self):
+        assert set(PARAMETER_SETS) == {"P1", "P2", "P3", "P4"}
+
+    def test_custom_set(self):
+        p = custom_parameter_set(16, 97, 3.0)
+        assert p.n == 16 and p.q == 97
+        assert p.name == "custom-16-97"
+
+    def test_describe_mentions_values(self):
+        text = P1.describe()
+        assert "256" in text and "7681" in text

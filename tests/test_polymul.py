@@ -1,0 +1,100 @@
+"""NTT-based polynomial multiplication against the schoolbook oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import P1, P2
+from repro.ntt.polymul import (
+    ntt_implementation,
+    ntt_multiply,
+    pointwise_add,
+    pointwise_multiply,
+    pointwise_subtract,
+    schoolbook_negacyclic,
+)
+from tests.conftest import SMALL
+
+
+def poly():
+    return st.lists(
+        st.integers(min_value=0, max_value=SMALL.q - 1),
+        min_size=SMALL.n,
+        max_size=SMALL.n,
+    )
+
+
+class TestSchoolbookOracle:
+    def test_multiply_by_one(self):
+        one = [1] + [0] * (SMALL.n - 1)
+        a = list(range(SMALL.n))
+        assert schoolbook_negacyclic(a, one, SMALL) == [
+            c % SMALL.q for c in a
+        ]
+
+    def test_x_times_x_to_n_minus_1_wraps_negatively(self):
+        # x * x^(n-1) = x^n = -1 in the ring.
+        x = [0, 1] + [0] * (SMALL.n - 2)
+        xn1 = [0] * (SMALL.n - 1) + [1]
+        expected = [(SMALL.q - 1)] + [0] * (SMALL.n - 1)
+        assert schoolbook_negacyclic(x, xn1, SMALL) == expected
+
+    @given(poly(), poly())
+    @settings(max_examples=25, deadline=None)
+    def test_commutativity(self, a, b):
+        assert schoolbook_negacyclic(a, b, SMALL) == schoolbook_negacyclic(
+            b, a, SMALL
+        )
+
+
+class TestNttMultiply:
+    @given(poly(), poly())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_schoolbook_reference_impl(self, a, b):
+        assert ntt_multiply(a, b, SMALL) == schoolbook_negacyclic(a, b, SMALL)
+
+    @given(poly(), poly())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_schoolbook_packed_impl(self, a, b):
+        assert ntt_multiply(a, b, SMALL, "packed") == schoolbook_negacyclic(
+            a, b, SMALL
+        )
+
+    @pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+    @pytest.mark.parametrize("impl", ["reference", "packed"])
+    def test_paper_params(self, params, impl, poly_factory):
+        a, b = poly_factory(params), poly_factory(params)
+        assert ntt_multiply(a, b, params, impl) == schoolbook_negacyclic(
+            a, b, params
+        )
+
+    def test_unknown_implementation(self):
+        with pytest.raises(KeyError):
+            ntt_implementation("simd")
+
+
+class TestPointwiseOps:
+    @given(poly(), poly())
+    @settings(max_examples=25, deadline=None)
+    def test_add_sub_inverse(self, a, b):
+        summed = pointwise_add(a, b, SMALL)
+        assert pointwise_subtract(summed, b, SMALL) == [
+            c % SMALL.q for c in a
+        ]
+
+    def test_multiply_values(self):
+        a = [2] * SMALL.n
+        b = [50] * SMALL.n
+        assert pointwise_multiply(a, b, SMALL) == [100 % SMALL.q] * SMALL.n
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pointwise_add([0] * 4, [0] * 8, SMALL)
+        with pytest.raises(ValueError):
+            pointwise_multiply([0] * 4, [0] * 8, SMALL)
+        with pytest.raises(ValueError):
+            pointwise_subtract([0] * 4, [0] * 8, SMALL)
+
+    def test_schoolbook_length_check(self):
+        with pytest.raises(ValueError):
+            schoolbook_negacyclic([0] * 4, [0] * SMALL.n, SMALL)

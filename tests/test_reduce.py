@@ -1,0 +1,79 @@
+"""Barrett reduction: bit-exactness and cost accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.machine import CortexM4, NullMachine
+from repro.machine.reduce import BarrettReducer
+
+MODULI = [7681, 12289, 97, 257]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("q", MODULI)
+    def test_boundary_values(self, q):
+        reducer = BarrettReducer(q)
+        m = NullMachine()
+        for value in (0, 1, q - 1, q, q + 1, 2 * q - 1, (q - 1) ** 2,
+                      (1 << 32) - 1):
+            assert reducer.reduce(m, value) == value % q
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=300)
+    def test_random_values_7681(self, value):
+        assert BarrettReducer(7681).reduce(NullMachine(), value) == value % 7681
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=300)
+    def test_random_values_12289(self, value):
+        assert (
+            BarrettReducer(12289).reduce(NullMachine(), value) == value % 12289
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(7681).reduce(NullMachine(), 1 << 32)
+
+
+class TestModularOps:
+    @pytest.mark.parametrize("q", [7681, 12289])
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_mul_add_sub(self, q, data):
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        reducer = BarrettReducer(q)
+        m = NullMachine()
+        assert reducer.mul_mod(m, a, b) == a * b % q
+        assert reducer.add_mod(m, a, b) == (a + b) % q
+        assert reducer.sub_mod(m, a, b) == (a - b) % q
+
+
+class TestCosts:
+    def test_reduce_cost_bounded(self):
+        reducer = BarrettReducer(7681)
+        m = CortexM4()
+        reducer.reduce(m, (7680) ** 2)
+        # umull + mls + cmp + (maybe) csub: 3..4 modelled cycles.
+        assert 3 <= m.cycles <= 4
+
+    def test_mul_mod_cost(self):
+        reducer = BarrettReducer(7681)
+        m = CortexM4()
+        reducer.mul_mod(m, 5000, 6000)
+        assert 4 <= m.cycles <= 5
+
+    def test_add_mod_cost(self):
+        reducer = BarrettReducer(7681)
+        m = CortexM4()
+        reducer.add_mod(m, 7000, 7000)  # wraps: conditional executes
+        wrap = m.cycles
+        m2 = CortexM4()
+        reducer.add_mod(m2, 1, 1)
+        assert wrap == m2.cycles + 1
+
+    def test_constant_matches_modmath(self):
+        from repro.modmath import barrett_constant
+
+        assert BarrettReducer(12289).constant == barrett_constant(12289)

@@ -1,0 +1,68 @@
+"""Rejection sampler baseline."""
+
+import pytest
+
+from repro.core.params import P1
+from repro.sampler.distribution import DiscreteGaussian
+from repro.sampler.rejection import RejectionSampler
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+@pytest.fixture
+def sampler():
+    return RejectionSampler.for_params(P1, PrngBitSource(Xorshift128(21)))
+
+
+class TestSampling:
+    def test_range(self, sampler):
+        for _ in range(1000):
+            value = sampler.sample()
+            assert 0 <= value < P1.q
+            centered = value if value <= P1.q // 2 else value - P1.q
+            assert abs(centered) <= sampler.tail
+
+    def test_moments(self, sampler):
+        values = [sampler.sample_centered() for _ in range(15000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert abs(mean) < 0.15
+        assert var == pytest.approx(P1.sigma**2, rel=0.06)
+
+    def test_polynomial(self, sampler):
+        assert len(sampler.sample_polynomial(32)) == 32
+
+
+class TestAcceptanceRate:
+    def test_observed_close_to_analytic(self, sampler):
+        sampler.sample_polynomial(3000)
+        observed = sampler.observed_acceptance_rate()
+        analytic = sampler.acceptance_probability
+        assert observed == pytest.approx(analytic, rel=0.1)
+
+    def test_rejection_is_wasteful(self, sampler):
+        """The motivation for Knuth-Yao: rejection from a uniform
+        proposal accepts well under a quarter of its trials here."""
+        sampler.sample_polynomial(2000)
+        assert sampler.observed_acceptance_rate() < 0.25
+
+    def test_trials_counted(self, sampler):
+        sampler.sample()
+        assert sampler.trials >= sampler.accepted >= 1
+
+
+class TestThresholds:
+    def test_threshold_zero_is_full_scale(self, sampler):
+        assert sampler._thresholds[0] == 1 << sampler.precision
+
+    def test_thresholds_decreasing(self, sampler):
+        t = sampler._thresholds
+        assert all(a >= b for a, b in zip(t, t[1:]))
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            RejectionSampler(
+                DiscreteGaussian(sigma=P1.sigma),
+                q=20,
+                bits=PrngBitSource(Xorshift128(0)),
+            )

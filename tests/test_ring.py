@@ -1,0 +1,167 @@
+"""RingElement: ring axioms, domain tracking, NTT homomorphism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import P1
+from repro.core.ring import Domain, RingElement
+from tests.conftest import SMALL
+
+
+def elements(params=SMALL):
+    return st.builds(
+        lambda values: RingElement.from_coefficients(params, values),
+        st.lists(
+            st.integers(min_value=0, max_value=params.q - 1),
+            min_size=params.n,
+            max_size=params.n,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_zero_and_one(self):
+        zero = RingElement.zero(SMALL)
+        one = RingElement.one(SMALL)
+        assert zero.is_zero()
+        assert one.degree() == 0
+        assert not one.is_zero()
+
+    def test_monomial_reduction(self):
+        # x^n = -1, x^(2n) = +1.
+        n, q = SMALL.n, SMALL.q
+        assert RingElement.monomial(SMALL, n).coefficients[0] == q - 1
+        assert RingElement.monomial(SMALL, 2 * n).coefficients[0] == 1
+        assert RingElement.monomial(SMALL, n + 3).coefficients[3] == q - 1
+
+    def test_coefficients_normalised(self):
+        e = RingElement.from_coefficients(SMALL, [-1] * SMALL.n)
+        assert all(c == SMALL.q - 1 for c in e.coefficients)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            RingElement(SMALL, (0,) * 4)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            RingElement(SMALL, (SMALL.q,) + (0,) * (SMALL.n - 1))
+
+
+class TestRingAxioms:
+    @given(elements(), elements(), elements())
+    @settings(max_examples=25, deadline=None)
+    def test_add_associative_commutative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+
+    @given(elements())
+    @settings(max_examples=25, deadline=None)
+    def test_additive_identity_inverse(self, a):
+        zero = RingElement.zero(SMALL)
+        assert a + zero == a
+        assert a + (-a) == zero
+
+    @given(elements(), elements())
+    @settings(max_examples=15, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(elements(), elements(), elements())
+    @settings(max_examples=10, deadline=None)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(elements())
+    @settings(max_examples=15, deadline=None)
+    def test_multiplicative_identity(self, a):
+        assert a * RingElement.one(SMALL) == a
+
+    @given(elements(), st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_multiplication(self, a, k):
+        q = SMALL.q
+        expected = RingElement.from_coefficients(
+            SMALL, [c * k % q for c in a.coefficients]
+        )
+        assert a * k == expected
+        assert k * a == expected
+
+    def test_power(self):
+        x = RingElement.monomial(SMALL, 1)
+        assert x**5 == RingElement.monomial(SMALL, 5)
+        assert x**0 == RingElement.one(SMALL)
+        with pytest.raises(ValueError):
+            x ** (-1)
+
+
+class TestNttHomomorphism:
+    @given(elements())
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip(self, a):
+        assert a.to_ntt().from_ntt() == a
+
+    @given(elements(), elements())
+    @settings(max_examples=10, deadline=None)
+    def test_multiplication_homomorphism(self, a, b):
+        assert (a * b) == (a.to_ntt() * b.to_ntt()).from_ntt()
+
+    @given(elements(), elements())
+    @settings(max_examples=10, deadline=None)
+    def test_addition_homomorphism(self, a, b):
+        assert (a + b).to_ntt() == a.to_ntt() + b.to_ntt()
+
+    def test_packed_backend(self):
+        a = RingElement.from_coefficients(P1, range(P1.n))
+        assert a.to_ntt("packed") == a.to_ntt("reference")
+        assert a.to_ntt().from_ntt("packed") == a
+
+
+class TestDomainSafety:
+    def test_double_transform_rejected(self):
+        a = RingElement.one(SMALL).to_ntt()
+        with pytest.raises(ValueError):
+            a.to_ntt()
+
+    def test_from_ntt_on_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            RingElement.one(SMALL).from_ntt()
+
+    def test_mixed_domain_arithmetic_rejected(self):
+        a = RingElement.one(SMALL)
+        b = RingElement.one(SMALL).to_ntt()
+        with pytest.raises(ValueError):
+            a + b
+        with pytest.raises(ValueError):
+            a * b
+
+    def test_cross_ring_rejected(self):
+        a = RingElement.one(SMALL)
+        b = RingElement.one(P1)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_ntt_domain_multiplication_is_pointwise(self):
+        a = RingElement.from_coefficients(SMALL, range(SMALL.n)).to_ntt()
+        b = RingElement.from_coefficients(SMALL, [2] * SMALL.n, Domain.NTT)
+        product = a * b
+        assert product.domain is Domain.NTT
+        q = SMALL.q
+        assert product.coefficients == tuple(
+            x * 2 % q for x in a.coefficients
+        )
+
+
+class TestInspection:
+    def test_degree(self):
+        assert RingElement.zero(SMALL).degree() == -1
+        assert RingElement.monomial(SMALL, 7).degree() == 7
+
+    def test_centered_and_norm(self):
+        q = SMALL.q
+        e = RingElement.from_coefficients(
+            SMALL, [q - 1, 1] + [0] * (SMALL.n - 2)
+        )
+        assert e.centered()[:2] == [-1, 1]
+        assert e.infinity_norm() == 1
+        assert RingElement.zero(SMALL).infinity_norm() == 0

@@ -1,0 +1,90 @@
+"""Tests for the twiddle-factor tables."""
+
+import pytest
+
+from repro.core.params import P1, P2
+from repro.ntt.roots import ntt_tables
+from tests.conftest import SMALL
+
+
+@pytest.fixture(params=[SMALL, P1, P2], ids=["n16", "P1", "P2"])
+def tables(request):
+    return ntt_tables(request.param)
+
+
+class TestStageStructure:
+    def test_stage_count_is_log2n(self, tables):
+        n = tables.params.n
+        assert tables.stage_count == n.bit_length() - 1
+        assert [s.m for s in tables.forward_stages] == [
+            2**k for k in range(1, n.bit_length())
+        ]
+
+    def test_stage_roots_orders(self, tables):
+        q = tables.params.q
+        for stage in tables.forward_stages:
+            # wm has order m; w0 = sqrt(wm) has order 2m.
+            assert pow(stage.wm, stage.m, q) == 1
+            assert pow(stage.w0, 2, q) == stage.wm
+            assert pow(stage.w0, stage.m, q) == q - 1
+
+    def test_inverse_stage_roots(self, tables):
+        q = tables.params.q
+        for fwd, inv in zip(tables.forward_stages, tables.inverse_stages):
+            assert fwd.wm * inv.wm % q == 1
+            assert inv.w0 == 1
+
+
+class TestTwiddleTables:
+    def test_forward_twiddles_are_odd_psi_powers(self, tables):
+        params = tables.params
+        q, psi, n = params.q, params.psi, params.n
+        for stage, twiddles in zip(
+            tables.forward_stages, tables.forward_twiddles
+        ):
+            exponent = n // stage.m
+            for j, w in enumerate(twiddles):
+                assert w == pow(psi, exponent * (2 * j + 1), q)
+
+    def test_twiddle_counts(self, tables):
+        # Sum over stages of m/2 twiddles = n - 1.
+        total = sum(len(t) for t in tables.forward_twiddles)
+        assert total == tables.params.n - 1
+
+    def test_inverse_twiddles_invert_cyclic_part(self, tables):
+        q = tables.params.q
+        for stage, twiddles in zip(
+            tables.inverse_stages, tables.inverse_twiddles
+        ):
+            for j, w in enumerate(twiddles):
+                assert w == pow(stage.wm, j, q)
+
+
+class TestFinalScale:
+    def test_final_scale_values(self, tables):
+        params = tables.params
+        q = params.q
+        n_inv = params.n_inverse
+        psi_inv = params.psi_inverse
+        for j, value in enumerate(tables.final_scale):
+            assert value == n_inv * pow(psi_inv, j, q) % q
+
+    def test_final_scale_length(self, tables):
+        assert len(tables.final_scale) == tables.params.n
+
+
+class TestCachingAndFootprint:
+    def test_tables_are_cached(self):
+        assert ntt_tables(P1) is ntt_tables(P1)
+
+    def test_flash_bytes_positive_and_scales(self):
+        assert ntt_tables(P2).flash_bytes() > ntt_tables(P1).flash_bytes()
+        # 2 bytes per halfword constant: 2*(n-1) twiddles + n scale values.
+        expected = 2 * (2 * (P1.n - 1) + P1.n)
+        assert ntt_tables(P1).flash_bytes() == expected
+
+    def test_non_ntt_friendly_rejected(self):
+        from repro.core.params import P4
+
+        with pytest.raises(ValueError):
+            ntt_tables(P4)

@@ -1,0 +1,78 @@
+"""LP11 security-estimate model."""
+
+import math
+
+import pytest
+
+from repro.analysis.security import (
+    estimate_security,
+    required_log2_delta,
+    required_vector_length,
+    security_margin_ratio,
+)
+from repro.core.params import P1, P2, custom_parameter_set
+
+
+class TestPaperLabels:
+    def test_p1_medium_term_regime(self):
+        """P1 lands around 100 bits under the LP11 model — the 2011-era
+        'medium-term' designation."""
+        est = estimate_security(P1)
+        assert 85 < est.bit_security < 130
+
+    def test_p2_long_term_regime(self):
+        est = estimate_security(P2)
+        assert est.bit_security > 200
+
+    def test_p2_much_stronger_than_p1(self):
+        assert security_margin_ratio(P1, P2) > 2.0
+
+    def test_delta_regime(self):
+        # Plausible BKZ root-Hermite factors sit in (1.004, 1.013).
+        for params in (P1, P2):
+            est = estimate_security(params)
+            assert 1.003 < est.delta < 1.013
+
+
+class TestModelStructure:
+    def test_vector_length_formula(self):
+        length = required_vector_length(P1, advantage=2.0**-64)
+        expected = (P1.q / P1.s) * math.sqrt(64 * math.log(2) / math.pi)
+        assert length == pytest.approx(expected)
+
+    def test_smaller_advantage_needs_longer_vector(self):
+        assert required_vector_length(P1, 2.0**-80) > required_vector_length(
+            P1, 2.0**-40
+        )
+
+    def test_larger_dimension_helps_defender(self):
+        # Same q and s, doubled n: harder for the attacker.
+        big = custom_parameter_set(512, 12289, 12.18)
+        small = custom_parameter_set(256, 12289, 12.18)
+        assert required_log2_delta(big) < required_log2_delta(small)
+
+    def test_wider_noise_helps_defender(self):
+        narrow = custom_parameter_set(256, 7681, 8.0)
+        wide = custom_parameter_set(256, 7681, 16.0)
+        assert (
+            estimate_security(wide).bit_security
+            > estimate_security(narrow).bit_security
+        )
+
+    def test_larger_modulus_helps_attacker(self):
+        # At fixed n and s, a larger q makes LWE easier.
+        small_q = custom_parameter_set(256, 7681, 11.31)
+        big_q = custom_parameter_set(256, 40961, 11.31)  # 40960 = 2^13*5
+        assert (
+            estimate_security(big_q).bit_security
+            < estimate_security(small_q).bit_security
+        )
+
+    def test_advantage_validation(self):
+        with pytest.raises(ValueError):
+            required_vector_length(P1, 0.0)
+        with pytest.raises(ValueError):
+            required_vector_length(P1, 1.5)
+
+    def test_str_mentions_operations(self):
+        assert "operations" in str(estimate_security(P1))

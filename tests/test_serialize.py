@@ -1,0 +1,129 @@
+"""Wire formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import seeded_scheme
+from repro.core.params import P1, P2
+from repro.core.serialize import (
+    deserialize_ciphertext,
+    deserialize_private_key,
+    deserialize_public_key,
+    pack_coefficients,
+    polynomial_wire_bytes,
+    serialize_ciphertext,
+    serialize_keypair,
+    serialize_private_key,
+    serialize_public_key,
+    unpack_coefficients,
+)
+
+
+class TestCoefficientPacking:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=7680),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_13bit(self, coeffs):
+        packed = pack_coefficients(coeffs, 7681)
+        assert unpack_coefficients(packed, len(coeffs), 7681) == coeffs
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=12288),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_14bit(self, coeffs):
+        packed = pack_coefficients(coeffs, 12289)
+        assert unpack_coefficients(packed, len(coeffs), 12289) == coeffs
+
+    def test_density(self):
+        # 256 coefficients at 13 bits = 416 bytes, not 512.
+        packed = pack_coefficients([0] * 256, 7681)
+        assert len(packed) == 416
+        assert polynomial_wire_bytes(P1) == 416
+        assert polynomial_wire_bytes(P2) == 896
+
+    def test_out_of_range_coefficient(self):
+        with pytest.raises(ValueError):
+            pack_coefficients([7681], 7681)
+
+    def test_truncated_data(self):
+        with pytest.raises(ValueError):
+            unpack_coefficients(b"\x00", 10, 7681)
+
+    def test_oversized_decoded_value_detected(self):
+        # All-ones bits decode to 8191 >= q: must be rejected.
+        with pytest.raises(ValueError):
+            unpack_coefficients(b"\xff\xff", 1, 7681)
+
+
+@pytest.fixture(params=[P1, P2], ids=["P1", "P2"])
+def keypair_and_ct(request):
+    scheme = seeded_scheme(request.param, seed=500)
+    pair = scheme.generate_keypair()
+    ct = scheme.encrypt(pair.public, b"serialization test")
+    return scheme, pair, ct
+
+
+class TestObjectRoundTrips:
+    def test_public_key(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = serialize_public_key(pair.public)
+        restored = deserialize_public_key(data)
+        assert restored.a_hat == pair.public.a_hat
+        assert restored.p_hat == pair.public.p_hat
+        assert restored.params is pair.public.params
+
+    def test_private_key(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        restored = deserialize_private_key(serialize_private_key(pair.private))
+        assert restored.r2_hat == pair.private.r2_hat
+
+    def test_ciphertext(self, keypair_and_ct):
+        _, _, ct = keypair_and_ct
+        restored = deserialize_ciphertext(serialize_ciphertext(ct))
+        assert restored.c1_hat == ct.c1_hat
+        assert restored.c2_hat == ct.c2_hat
+
+    def test_decrypt_after_roundtrip(self, keypair_and_ct):
+        scheme, pair, ct = keypair_and_ct
+        prv = deserialize_private_key(serialize_private_key(pair.private))
+        ct2 = deserialize_ciphertext(serialize_ciphertext(ct))
+        assert scheme.decrypt(prv, ct2, length=18) == b"serialization test"
+
+    def test_keypair_helper(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        pub, prv = serialize_keypair(pair)
+        assert deserialize_public_key(pub).a_hat == pair.public.a_hat
+        assert deserialize_private_key(prv).r2_hat == pair.private.r2_hat
+
+
+class TestHeaderValidation:
+    def test_bad_magic(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = bytearray(serialize_public_key(pair.public))
+        data[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            deserialize_public_key(bytes(data))
+
+    def test_kind_mismatch(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = serialize_public_key(pair.public)
+        with pytest.raises(ValueError):
+            deserialize_private_key(data)
+
+    def test_version_check(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = bytearray(serialize_public_key(pair.public))
+        data[4] = 99  # version byte
+        with pytest.raises(ValueError):
+            deserialize_public_key(bytes(data))

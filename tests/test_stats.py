@@ -1,0 +1,127 @@
+"""Statistical verification helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.stats import (
+    centered,
+    chi_square_goodness_of_fit,
+    count_samples,
+    empirical_moments,
+    sampling_sigma_estimate,
+    total_variation_distance,
+)
+
+
+class TestChiSquare:
+    def test_fair_coin_passes(self):
+        observed = {0: 5020, 1: 4980}
+        expected = {0: Fraction(1, 2), 1: Fraction(1, 2)}
+        result = chi_square_goodness_of_fit(observed, expected)
+        assert result.passed()
+        assert result.degrees_of_freedom == 1
+
+    def test_biased_coin_fails(self):
+        observed = {0: 7000, 1: 3000}
+        expected = {0: Fraction(1, 2), 1: Fraction(1, 2)}
+        assert not chi_square_goodness_of_fit(observed, expected).passed()
+
+    def test_sparse_tail_pooling(self):
+        expected = {
+            0: Fraction(9, 10),
+            1: Fraction(9, 100),
+            2: Fraction(9, 1000),
+            3: Fraction(1, 1000),
+        }
+        observed = {0: 903, 1: 88, 2: 8, 3: 1}
+        result = chi_square_goodness_of_fit(observed, expected)
+        assert result.passed()
+
+    def test_outside_support_pooled(self):
+        # A sparse tail cell exists, so the out-of-support observation
+        # joins the pooled cell instead of raising.
+        expected = {
+            0: Fraction(989, 1000),
+            1: Fraction(1, 100),
+            2: Fraction(1, 1000),
+        }
+        observed = {0: 989, 1: 9, 2: 1, 77: 1}
+        result = chi_square_goodness_of_fit(observed, expected)
+        assert result.statistic >= 0
+
+    def test_outside_support_without_pool_rejected(self):
+        expected = {0: Fraction(99, 100), 1: Fraction(1, 100)}
+        observed = {0: 990, 1: 9, 77: 1}
+        with pytest.raises(ValueError):
+            chi_square_goodness_of_fit(observed, expected)
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_goodness_of_fit({}, {0: Fraction(1)})
+
+    def test_single_cell_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_goodness_of_fit({0: 100}, {0: Fraction(1)})
+
+
+class TestMoments:
+    def test_known_values(self):
+        m = empirical_moments([1, 2, 3, 4])
+        assert m["mean"] == 2.5
+        assert m["variance"] == 1.25
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_moments([])
+
+
+class TestHelpers:
+    def test_count_samples(self):
+        assert count_samples([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_centered(self):
+        assert centered(0, 97) == 0
+        assert centered(48, 97) == 48
+        assert centered(49, 97) == -48
+        assert centered(96, 97) == -1
+
+    def test_sigma_estimate(self):
+        samples = [0, 1, 96, 2, 95] * 200  # +-1, +-2 around 0 mod 97
+        sigma = sampling_sigma_estimate(samples, 97)
+        assert 1.0 < sigma < 2.0
+
+    def test_tv_distance_zero_for_exact(self):
+        observed = {0: 50, 1: 50}
+        expected = {0: Fraction(1, 2), 1: Fraction(1, 2)}
+        assert total_variation_distance(observed, expected) == 0
+
+    def test_tv_distance_disjoint_is_one(self):
+        assert total_variation_distance(
+            {0: 100}, {1: Fraction(1)}
+        ) == pytest.approx(1.0)
+
+    def test_tv_distance_empty_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance({}, {0: Fraction(1)})
+
+
+class TestSamplerIntegration:
+    def test_knuth_yao_passes_chi_square(self):
+        """The headline statistical test: 40k real samples against the
+        exact DDG distribution."""
+        from repro.core.params import P1
+        from repro.sampler.ddg import exact_output_distribution
+        from repro.sampler.lut_sampler import LutKnuthYaoSampler
+        from repro.sampler.pmat import ProbabilityMatrix
+        from repro.trng.bitsource import PrngBitSource
+        from repro.trng.xorshift import Xorshift128
+
+        pmat = ProbabilityMatrix.for_params(P1)
+        sampler = LutKnuthYaoSampler(
+            pmat, P1.q, PrngBitSource(Xorshift128(314))
+        )
+        observed = count_samples(sampler.sample_polynomial(40000))
+        expected = exact_output_distribution(pmat, P1.q)
+        result = chi_square_goodness_of_fit(observed, expected)
+        assert result.passed(alpha=0.001), result

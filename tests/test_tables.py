@@ -1,0 +1,58 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import ComparisonRow, render_comparison, render_table
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        text = render_table(["name", "value"], [["a", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name" in lines[1]
+        assert any("22" in line for line in lines)
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_thousands_separator(self):
+        text = render_table(["cycles"], [[121166]])
+        assert "121,166" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text
+
+    def test_float_formats(self):
+        text = render_table(["x"], [[0.1234], [3.14159], [12345.6]])
+        assert "0.1234" in text
+        assert "3.14" in text
+        assert "12,346" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_bool_rendering(self):
+        text = render_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestComparisonRows:
+    def test_ratio(self):
+        row = ComparisonRow("ntt", measured=30000, paper=31583)
+        assert row.ratio == pytest.approx(30000 / 31583)
+
+    def test_missing_paper_value(self):
+        row = ComparisonRow("x", measured=10)
+        assert row.ratio is None
+        assert row.as_row()[2] is None
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            [ComparisonRow("ntt", 30000, 31583)], title="t"
+        )
+        assert "measured/paper" in text
+        assert "31,583" in text

@@ -1,0 +1,77 @@
+"""Simulated STM32F4 TRNG: rate limiting and cycle accounting."""
+
+import pytest
+
+from repro.machine.machine import CortexM4
+from repro.trng.trng import (
+    DEFAULT_CYCLES_PER_WORD,
+    PESSIMISTIC_CYCLES_PER_WORD,
+    SimulatedTrng,
+    core_cycles_per_word,
+)
+from repro.trng.xorshift import Xorshift128
+
+
+class TestCadenceModel:
+    def test_core_cycles_per_word_paper_clocks(self):
+        # 40 cycles of a 48 MHz clock at a 168 MHz core = 140 cycles.
+        assert core_cycles_per_word() == 140
+        assert PESSIMISTIC_CYCLES_PER_WORD == 140
+        assert DEFAULT_CYCLES_PER_WORD == 40
+
+    def test_custom_clocks(self):
+        assert core_cycles_per_word(84_000_000, 48_000_000, 40) == 70
+
+
+class TestWordStream:
+    def test_words_match_prng(self):
+        trng = SimulatedTrng(Xorshift128(4))
+        ref = Xorshift128(4)
+        assert [trng.read_word() for _ in range(10)] == [
+            ref.next_u32() for _ in range(10)
+        ]
+        assert trng.words_read == 10
+
+    def test_random_bytes(self):
+        trng = SimulatedTrng(Xorshift128(4))
+        assert len(trng.random_bytes(9)) == 9
+
+    def test_default_prng(self):
+        trng = SimulatedTrng()
+        assert 0 <= trng.read_word() < (1 << 32)
+
+
+class TestStalls:
+    def test_back_to_back_reads_stall(self):
+        machine = CortexM4()
+        trng = SimulatedTrng(Xorshift128(1), machine=machine)
+        trng.read_word()
+        before = machine.cycles
+        trng.read_word()  # requested immediately: must wait for cadence
+        assert trng.stall_cycles > 0
+        assert machine.cycles - before >= trng.cycles_per_word
+
+    def test_slow_consumer_never_stalls(self):
+        machine = CortexM4()
+        trng = SimulatedTrng(
+            Xorshift128(1), machine=machine, cycles_per_word=10
+        )
+        for _ in range(5):
+            machine.tick(50)  # plenty of compute between requests
+            trng.read_word()
+        assert trng.stall_cycles == 0
+
+    def test_no_machine_no_stall_accounting(self):
+        trng = SimulatedTrng(Xorshift128(1))
+        for _ in range(5):
+            trng.read_word()
+        assert trng.stall_cycles == 0
+
+    def test_read_charges_two_loads(self):
+        machine = CortexM4()
+        trng = SimulatedTrng(
+            Xorshift128(1), machine=machine, cycles_per_word=0
+        )
+        trng.read_word()
+        # status poll + data read at 2 cycles each.
+        assert machine.cycles == 4
