@@ -1,0 +1,68 @@
+"""Backend/batch-size throughput benchmark with machine-readable output.
+
+Runs the same measurement as ``rlwe-repro bench-backends`` and writes
+``BENCH_backend_throughput.json`` so later PRs can track the perf
+trajectory of the compute backends.  Not collected by pytest (no
+``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_backend_throughput.py
+    PYTHONPATH=src python benchmarks/bench_backend_throughput.py \\
+        --params P1,P2 --batch-sizes 1,64,256 --out /tmp/bench.json
+
+The JSON records, per (parameter set, backend, batch size): encrypt and
+decrypt ms/message and messages/second, plus the speedup over the fixed
+baseline (pure-Python reference backend, one message per call — the
+repository's seed configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.backend.bench import render_report, run_throughput_bench
+
+DEFAULT_OUTPUT = "BENCH_backend_throughput.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="backend throughput benchmark (JSON-emitting)"
+    )
+    parser.add_argument("--params", default="P1")
+    parser.add_argument(
+        "--backends", default=None, help="default: all available"
+    )
+    parser.add_argument("--batch-sizes", default="1,16,64,256")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    report = run_throughput_bench(
+        params_names=[p.strip() for p in args.params.split(",") if p.strip()],
+        backends=(
+            [b.strip() for b in args.backends.split(",") if b.strip()]
+            if args.backends
+            else None
+        ),
+        batch_sizes=[
+            int(b) for b in args.batch_sizes.split(",") if b.strip()
+        ],
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    report["wall_seconds"] = time.time() - started
+
+    print(render_report(report))
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,9 +76,16 @@ __all__ = [
 
 
 def seeded_scheme(
-    params: ParameterSet, seed: int = 0, ntt: str = "reference"
+    params: ParameterSet,
+    seed: int = 0,
+    ntt: "str | None" = None,
+    backend=None,
 ) -> RlweEncryptionScheme:
-    """A scheme instance with deterministic randomness (for tests/demos)."""
+    """A scheme instance with deterministic randomness (for tests/demos).
+
+    ``backend`` (or the legacy ``ntt`` kernel name) selects the compute
+    backend; the default honours ``REPRO_BACKEND``.
+    """
     return RlweEncryptionScheme(
-        params, bits=PrngBitSource(Xorshift128(seed)), ntt=ntt
+        params, bits=PrngBitSource(Xorshift128(seed)), ntt=ntt, backend=backend
     )

@@ -1,0 +1,180 @@
+"""Compute-backend registry: one switch for every hot path.
+
+The scheme/KEM/CCA layers obtain their polynomial arithmetic through
+this registry instead of importing NTT kernels directly:
+
+    >>> from repro.backend import get_backend
+    >>> backend = get_backend("python-reference")
+    >>> backend.name
+    'python-reference'
+
+Registered backends
+-------------------
+``python-reference``
+    Pure-Python Alg. 3 kernels (always available; the default).
+``python-packed``
+    Pure-Python Alg. 4 packed/unrolled kernels (always available).
+``numpy``
+    Vectorized ``int64`` engine with 2-D batched transforms; requires
+    the optional NumPy dependency (``pip install repro-rlwe[numpy]``).
+
+The legacy kernel names ``"reference"`` and ``"packed"`` (the old
+``implementation=`` / ``ntt=`` strings) are accepted as aliases.
+
+Selection
+---------
+``get_backend(None)`` resolves the session default: the
+``REPRO_BACKEND`` environment variable when set (falling back to
+``python-reference`` with a warning if it names an unavailable
+backend), otherwise ``python-reference`` — i.e. with no configuration
+the package behaves exactly as it did before backends existed, NumPy
+installed or not.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.backend.base import PolyBackend
+from repro.backend.pure_python import PurePythonBackend
+from repro.numpy_support import have_numpy
+
+__all__ = [
+    "PolyBackend",
+    "PurePythonBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+]
+
+#: Environment variable naming the session-default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+#: The fallback default: today's behavior, no optional dependencies.
+DEFAULT_BACKEND = "python-reference"
+
+_ALIASES = {
+    "reference": "python-reference",
+    "packed": "python-packed",
+}
+
+
+class BackendUnavailable(KeyError):
+    """A known backend cannot run here (missing optional dependency)."""
+
+
+def _make_numpy_backend() -> PolyBackend:
+    from repro.backend.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+_FACTORIES: Dict[str, Callable[[], PolyBackend]] = {
+    "python-reference": lambda: PurePythonBackend("reference"),
+    "python-packed": lambda: PurePythonBackend("packed"),
+    "numpy": _make_numpy_backend,
+}
+_AVAILABILITY: Dict[str, Callable[[], bool]] = {
+    "numpy": have_numpy,
+}
+_INSTANCES: Dict[str, PolyBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], PolyBackend],
+    available: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+    if available is not None:
+        _AVAILABILITY[name] = available
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> List[str]:
+    """All registered backend names (available or not)."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of backend name -> currently usable."""
+    return {
+        name: _AVAILABILITY.get(name, lambda: True)()
+        for name in backend_names()
+    }
+
+
+def _canonical(name: str) -> str:
+    return _ALIASES.get(name, name)
+
+
+def get_backend(name: Optional[str] = None) -> PolyBackend:
+    """Return the (cached) backend instance registered as ``name``.
+
+    ``None`` resolves the session default (``REPRO_BACKEND`` or
+    ``python-reference``).  Raises :class:`KeyError` for unknown names
+    and :class:`BackendUnavailable` for known-but-unusable ones.
+    """
+    if name is None:
+        return _default_backend()
+    key = _canonical(name)
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {backend_names()}"
+        )
+    if not _AVAILABILITY.get(key, lambda: True)():
+        raise BackendUnavailable(
+            f"backend {key!r} is not available here "
+            "(install the optional dependency, e.g. "
+            "'pip install repro-rlwe[numpy]')"
+        )
+    # NumPy availability can change under REPRO_FORCE_NO_NUMPY, so only
+    # cache instances after a successful construction.
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]
+
+
+def _default_backend() -> PolyBackend:
+    requested = os.environ.get(BACKEND_ENV)
+    if requested:
+        try:
+            return get_backend(requested)
+        except BackendUnavailable:
+            warnings.warn(
+                f"{BACKEND_ENV}={requested!r} is not available; "
+                f"falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        except KeyError:
+            warnings.warn(
+                f"{BACKEND_ENV}={requested!r} is not a known backend "
+                f"({backend_names()}); falling back to "
+                f"{DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return get_backend(DEFAULT_BACKEND)
+
+
+def resolve_backend(
+    spec: Union[None, str, PolyBackend],
+) -> PolyBackend:
+    """Coerce ``None`` / a name / a backend object to a backend object."""
+    if spec is None:
+        return get_backend(None)
+    if isinstance(spec, PolyBackend):
+        return spec
+    if isinstance(spec, str):
+        return get_backend(spec)
+    raise TypeError(
+        f"backend must be None, a name, or a PolyBackend; got {spec!r}"
+    )

@@ -1,0 +1,159 @@
+"""The polynomial-arithmetic backend protocol.
+
+A :class:`PolyBackend` supplies every ring-arithmetic hot path the
+scheme layer needs — negacyclic NTTs, pointwise products/sums, and their
+2-D batched variants — behind one interface, so the same scheme code can
+run on the pure-Python kernels (Alg. 3 / Alg. 4 of the paper) or on a
+vectorized engine (:class:`repro.backend.numpy_backend.NumpyBackend`).
+
+Conventions
+-----------
+* Single-polynomial methods take/return flat coefficient sequences of
+  length ``params.n`` with entries in ``[0, q)``.
+* Batched methods operate on a *matrix*: backend-native storage of shape
+  ``(batch, n)``.  ``matrix()`` imports rows into native storage,
+  ``rows()`` exports back to ``List[List[int]]`` of Python ints, and
+  ``stack()`` concatenates matrices along the batch axis.  Native
+  matrices support Python slicing along the batch axis (both list-of-
+  lists and ``numpy.ndarray`` do), which is all the scheme layer uses.
+* The second operand of a batched pointwise op may be a single row,
+  which broadcasts across the batch — the scheme uses this to multiply
+  every ciphertext by the one public/private key polynomial.
+* All backends are bit-identical: for the same inputs every method
+  returns the same values on every backend.  The test-suite enforces
+  this property (``tests/test_backend_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.core.params import ParameterSet
+
+Row = Sequence[int]
+Matrix = Sequence[Sequence[int]]
+
+
+def is_single_row(operand) -> bool:
+    """True when ``operand`` is one polynomial rather than a matrix.
+
+    Works for flat lists/tuples of ints, 1-D NumPy arrays, and nested
+    rows; an empty operand counts as a (zero-length) matrix.
+    """
+    ndim = getattr(operand, "ndim", None)
+    if ndim is not None:
+        return ndim == 1
+    try:
+        first = operand[0]
+    except (IndexError, TypeError):
+        return False
+    return isinstance(first, int)
+
+
+class PolyBackend(ABC):
+    """Interface every polynomial-arithmetic engine implements."""
+
+    #: Registry name (``"python-reference"``, ``"numpy"``, ...).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Single-polynomial primitives
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def ntt_forward(self, a: Row, params: ParameterSet) -> List[int]:
+        """Forward negacyclic NTT of one polynomial."""
+
+    @abstractmethod
+    def ntt_inverse(self, a_hat: Row, params: ParameterSet) -> List[int]:
+        """Inverse negacyclic NTT of one polynomial."""
+
+    def pointwise_mul(
+        self, a: Row, b: Row, params: ParameterSet
+    ) -> List[int]:
+        q = params.q
+        if len(a) != len(b):
+            raise ValueError("operand lengths differ")
+        return [x * y % q for x, y in zip(a, b)]
+
+    def pointwise_add(
+        self, a: Row, b: Row, params: ParameterSet
+    ) -> List[int]:
+        q = params.q
+        if len(a) != len(b):
+            raise ValueError("operand lengths differ")
+        return [(x + y) % q for x, y in zip(a, b)]
+
+    def pointwise_sub(
+        self, a: Row, b: Row, params: ParameterSet
+    ) -> List[int]:
+        q = params.q
+        if len(a) != len(b):
+            raise ValueError("operand lengths differ")
+        return [(x - y) % q for x, y in zip(a, b)]
+
+    def ntt_multiply(
+        self, a: Row, b: Row, params: ParameterSet
+    ) -> List[int]:
+        """Negacyclic product via forward/pointwise/inverse."""
+        a_hat = self.ntt_forward(a, params)
+        b_hat = self.ntt_forward(b, params)
+        return self.ntt_inverse(
+            self.pointwise_mul(a_hat, b_hat, params), params
+        )
+
+    # ------------------------------------------------------------------
+    # Matrix plumbing
+    # ------------------------------------------------------------------
+    def matrix(self, rows: Matrix):
+        """Import rows into the backend's native (batch, n) storage."""
+        return [[int(c) for c in row] for row in rows]
+
+    def rows(self, matrix) -> List[List[int]]:
+        """Export a native matrix to nested lists of Python ints."""
+        return [[int(c) for c in row] for row in matrix]
+
+    def stack(self, matrices: Sequence) -> "list":
+        """Concatenate native matrices along the batch axis."""
+        out: List = []
+        for matrix in matrices:
+            out.extend(matrix)
+        return out
+
+    # ------------------------------------------------------------------
+    # Batched primitives (default: loop over the scalar kernels)
+    # ------------------------------------------------------------------
+    def ntt_forward_batch(self, matrix, params: ParameterSet):
+        return [self.ntt_forward(row, params) for row in matrix]
+
+    def ntt_inverse_batch(self, matrix, params: ParameterSet):
+        return [self.ntt_inverse(row, params) for row in matrix]
+
+    def _zip_rows(self, a, b):
+        if is_single_row(b):
+            return ((row, b) for row in a)
+        if len(a) != len(b):
+            raise ValueError("batch sizes differ")
+        return zip(a, b)
+
+    def pointwise_mul_batch(self, a, b, params: ParameterSet):
+        return [self.pointwise_mul(x, y, params) for x, y in self._zip_rows(a, b)]
+
+    def pointwise_add_batch(self, a, b, params: ParameterSet):
+        return [self.pointwise_add(x, y, params) for x, y in self._zip_rows(a, b)]
+
+    def pointwise_sub_batch(self, a, b, params: ParameterSet):
+        return [self.pointwise_sub(x, y, params) for x, y in self._zip_rows(a, b)]
+
+    def ntt_multiply_batch(self, a, b, params: ParameterSet):
+        hat_a = self.ntt_forward_batch(a, params)
+        if is_single_row(b):
+            hat_b = self.ntt_forward(b, params)
+        else:
+            hat_b = self.ntt_forward_batch(b, params)
+        return self.ntt_inverse_batch(
+            self.pointwise_mul_batch(hat_a, hat_b, params), params
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,163 @@
+"""Backend-throughput measurement used by the CLI and the bench script.
+
+Measures messages/second for encrypt (and decrypt) per backend and
+batch size, against the fixed baseline the repository started from: the
+pure-Python reference backend encrypting one message per call.  The
+result is a plain dict so callers can render it as a table
+(``rlwe-repro bench-backends``) or dump it as JSON
+(``benchmarks/bench_backend_throughput.py`` →
+``BENCH_backend_throughput.json``) to track the perf trajectory across
+PRs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__, seeded_scheme
+from repro.backend import available_backends, get_backend
+from repro.core.params import get_parameter_set
+from repro.numpy_support import get_numpy
+
+#: The baseline every speedup is quoted against.
+BASELINE_BACKEND = "python-reference"
+
+
+def _messages(params, count: int) -> List[bytes]:
+    size = min(32, params.message_bytes)
+    return [bytes([(i * 37 + j) % 256 for j in range(size)]) for i in range(count)]
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_throughput_bench(
+    params_names: Sequence[str] = ("P1",),
+    backends: Optional[Sequence[str]] = None,
+    batch_sizes: Sequence[int] = (1, 16, 64, 256),
+    repeats: int = 3,
+    seed: int = 2015,
+) -> Dict:
+    """Measure encrypt/decrypt throughput per backend and batch size."""
+    usable = available_backends()
+    if backends is None:
+        names = [name for name, ok in usable.items() if ok]
+    else:
+        names = list(backends)
+        unknown = [name for name in names if name not in usable]
+        if unknown:
+            raise KeyError(
+                f"unknown backend(s) {unknown}; "
+                f"choose from {sorted(usable)}"
+            )
+    skipped = [name for name in names if not usable.get(name, False)]
+    names = [name for name in names if usable.get(name, False)]
+
+    np = get_numpy()
+    report: Dict = {
+        "benchmark": "backend_throughput",
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "numpy": getattr(np, "__version__", None) if np else None,
+        "baseline_backend": BASELINE_BACKEND,
+        "skipped_backends": skipped,
+        "baseline": {},
+        "results": [],
+    }
+
+    for params_name in params_names:
+        params = get_parameter_set(params_name)
+        messages = _messages(params, max(batch_sizes))
+
+        # Baseline: one message per call on the pure-Python path.
+        scheme = seeded_scheme(params, seed, backend=BASELINE_BACKEND)
+        keypair = scheme.generate_keypair()
+        warm = scheme.encrypt(keypair.public, messages[0])
+        scheme.decrypt(keypair.private, warm)
+        single_s = _best_of(
+            repeats, lambda: scheme.encrypt(keypair.public, messages[0])
+        )
+        report["baseline"][params.name] = {
+            "backend": BASELINE_BACKEND,
+            "encrypt_ms_per_msg": single_s * 1e3,
+            "encrypt_msgs_per_sec": 1.0 / single_s,
+        }
+
+        for backend_name in names:
+            backend = get_backend(backend_name)
+            bscheme = seeded_scheme(params, seed, backend=backend)
+            bkeypair = bscheme.generate_keypair()
+            for batch in batch_sizes:
+                batch_messages = messages[:batch]
+                if batch == 1:
+                    encrypt = lambda: bscheme.encrypt(
+                        bkeypair.public, batch_messages[0]
+                    )
+                    ciphertexts = [encrypt()]
+                    decrypt = lambda: bscheme.decrypt(
+                        bkeypair.private, ciphertexts[0]
+                    )
+                else:
+                    encrypt = lambda: bscheme.encrypt_batch(
+                        bkeypair.public, batch_messages
+                    )
+                    ciphertexts = encrypt()
+                    decrypt = lambda: bscheme.decrypt_batch(
+                        bkeypair.private, ciphertexts
+                    )
+                encrypt_s = _best_of(repeats, encrypt)
+                decrypt_s = _best_of(repeats, decrypt)
+                per_msg = encrypt_s / batch
+                report["results"].append(
+                    {
+                        "params": params.name,
+                        "backend": backend_name,
+                        "batch_size": batch,
+                        "encrypt_ms_per_msg": per_msg * 1e3,
+                        "encrypt_msgs_per_sec": 1.0 / per_msg,
+                        "decrypt_ms_per_msg": decrypt_s / batch * 1e3,
+                        "decrypt_msgs_per_sec": batch / decrypt_s,
+                        "speedup_vs_single_python": single_s / per_msg,
+                    }
+                )
+    return report
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable table of a :func:`run_throughput_bench` result."""
+    lines = []
+    header = (
+        f"{'params':<7}{'backend':<19}{'batch':>6}"
+        f"{'enc msg/s':>12}{'dec msg/s':>12}{'speedup':>9}"
+    )
+    for params_name, base in report["baseline"].items():
+        lines.append(
+            f"baseline [{params_name}]: {base['backend']} single encrypt "
+            f"= {base['encrypt_ms_per_msg']:.2f} ms/msg "
+            f"({base['encrypt_msgs_per_sec']:.0f} msg/s)"
+        )
+    lines.append("")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in report["results"]:
+        lines.append(
+            f"{row['params']:<7}{row['backend']:<19}{row['batch_size']:>6}"
+            f"{row['encrypt_msgs_per_sec']:>12.0f}"
+            f"{row['decrypt_msgs_per_sec']:>12.0f}"
+            f"{row['speedup_vs_single_python']:>8.1f}x"
+        )
+    if report["skipped_backends"]:
+        lines.append("")
+        lines.append(
+            "skipped (unavailable): "
+            + ", ".join(report["skipped_backends"])
+        )
+    return "\n".join(lines)

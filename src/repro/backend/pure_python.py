@@ -1,0 +1,51 @@
+"""Pure-Python backends wrapping the paper's NTT kernels.
+
+Two variants, matching the two kernels the paper implements:
+
+* ``python-reference`` — Alg. 3, the plain iterative negative-wrapped
+  NTT (:mod:`repro.ntt.reference`);
+* ``python-packed`` — Alg. 4, the memory-efficient packed/unrolled
+  kernel (:mod:`repro.ntt.optimized`).
+
+Both are bit-identical; the packed variant exists to model the paper's
+memory-traffic optimization and is the faster of the two in CPython.
+Batched operations fall back to the base-class loops — these backends
+are the compatibility/fallback tier, not the throughput tier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.backend.base import PolyBackend
+from repro.core.params import ParameterSet
+from repro.ntt import optimized, reference
+
+
+class PurePythonBackend(PolyBackend):
+    """Scalar backend over the ``reference`` or ``packed`` kernels."""
+
+    def __init__(self, kernel: str = "reference"):
+        if kernel == "reference":
+            self._forward = reference.ntt_forward
+            self._inverse = reference.ntt_inverse
+        elif kernel == "packed":
+            self._forward = optimized.ntt_forward_packed
+            self._inverse = optimized.ntt_inverse_packed
+        else:
+            raise KeyError(
+                f"unknown pure-python kernel {kernel!r}; "
+                "choose 'reference' or 'packed'"
+            )
+        self.kernel = kernel
+        self.name = f"python-{kernel}"
+
+    def ntt_forward(
+        self, a: Sequence[int], params: ParameterSet
+    ) -> List[int]:
+        return self._forward(list(a), params)
+
+    def ntt_inverse(
+        self, a_hat: Sequence[int], params: ParameterSet
+    ) -> List[int]:
+        return self._inverse(list(a_hat), params)

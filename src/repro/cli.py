@@ -10,6 +10,12 @@ Subcommands
     Draw discrete Gaussian samples and print summary statistics.
 ``profile``
     Per-phase cycle breakdown of one encryption/decryption.
+``bench-backends``
+    Encrypt/decrypt throughput per compute backend and batch size.
+
+The file-based commands accept ``--backend`` (also settable session-wide
+via the ``REPRO_BACKEND`` environment variable) to pick the
+polynomial-arithmetic engine; all backends are bit-identical.
 """
 
 from __future__ import annotations
@@ -47,23 +53,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a single table/figure",
     )
 
+    def add_backend_flag(command_parser) -> None:
+        command_parser.add_argument(
+            "--backend",
+            default=None,
+            help=(
+                "compute backend (python-reference, python-packed, "
+                "numpy); default honours REPRO_BACKEND"
+            ),
+        )
+
     keygen = sub.add_parser("keygen", help="generate a key pair")
     keygen.add_argument("--params", default="P1", help="P1 or P2")
     keygen.add_argument("--seed", type=int, default=None)
     keygen.add_argument("--public", required=True, help="public key output")
     keygen.add_argument("--private", required=True, help="private key output")
+    add_backend_flag(keygen)
 
     encrypt = sub.add_parser("encrypt", help="encrypt a small message")
     encrypt.add_argument("--public", required=True)
     encrypt.add_argument("--in", dest="infile", required=True)
     encrypt.add_argument("--out", required=True)
     encrypt.add_argument("--seed", type=int, default=None)
+    add_backend_flag(encrypt)
 
     decrypt = sub.add_parser("decrypt", help="decrypt a ciphertext")
     decrypt.add_argument("--private", required=True)
     decrypt.add_argument("--in", dest="infile", required=True)
     decrypt.add_argument("--out", required=True)
     decrypt.add_argument("--length", type=int, default=None)
+    add_backend_flag(decrypt)
+
+    bench = sub.add_parser(
+        "bench-backends",
+        help="encrypt/decrypt throughput per backend and batch size",
+    )
+    bench.add_argument(
+        "--params",
+        default="P1",
+        help="comma-separated parameter sets (e.g. P1,P2)",
+    )
+    bench.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backends (default: all available)",
+    )
+    bench.add_argument(
+        "--batch-sizes",
+        default="1,16,64,256",
+        help="comma-separated batch sizes",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=2015)
+    bench.add_argument(
+        "--json", default=None, help="also write the report as JSON here"
+    )
 
     sample = sub.add_parser("sample", help="draw Gaussian samples")
     sample.add_argument("--params", default="P1")
@@ -94,13 +138,21 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
-def _scheme(params_name: str, seed: Optional[int]):
+def _scheme(
+    params_name: str, seed: Optional[int], backend: Optional[str] = None
+):
     params = get_parameter_set(params_name)
-    return seeded_scheme(params, seed if seed is not None else 0)
+    try:
+        return seeded_scheme(
+            params, seed if seed is not None else 0, backend=backend
+        )
+    except KeyError as exc:
+        # Unknown or unavailable backend: a clean CLI error, no traceback.
+        raise SystemExit(f"error: {exc.args[0]}")
 
 
 def _cmd_keygen(args: argparse.Namespace) -> int:
-    scheme = _scheme(args.params, args.seed)
+    scheme = _scheme(args.params, args.seed, args.backend)
     pair = scheme.generate_keypair()
     pub, prv = serialize.serialize_keypair(pair)
     with open(args.public, "wb") as f:
@@ -119,7 +171,7 @@ def _cmd_encrypt(args: argparse.Namespace) -> int:
         public = serialize.deserialize_public_key(f.read())
     with open(args.infile, "rb") as f:
         message = f.read()
-    scheme = _scheme(public.params.name, args.seed)
+    scheme = _scheme(public.params.name, args.seed, args.backend)
     capacity = scheme.params.message_bytes
     if len(message) > capacity:
         print(
@@ -141,7 +193,7 @@ def _cmd_decrypt(args: argparse.Namespace) -> int:
         private = serialize.deserialize_private_key(f.read())
     with open(args.infile, "rb") as f:
         ct = serialize.deserialize_ciphertext(f.read())
-    scheme = _scheme(private.params.name, None)
+    scheme = _scheme(private.params.name, None, args.backend)
     message = scheme.decrypt(private, ct, length=args.length)
     with open(args.out, "wb") as f:
         f.write(message)
@@ -206,6 +258,38 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_backends(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.backend.bench import render_report, run_throughput_bench
+
+    backends = (
+        [b.strip() for b in args.backends.split(",") if b.strip()]
+        if args.backends
+        else None
+    )
+    try:
+        report = run_throughput_bench(
+            params_names=[
+                p.strip() for p in args.params.split(",") if p.strip()
+            ],
+            backends=backends,
+            batch_sizes=[
+                int(b) for b in args.batch_sizes.split(",") if b.strip()
+            ],
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "keygen": _cmd_keygen,
@@ -213,6 +297,7 @@ _COMMANDS = {
     "decrypt": _cmd_decrypt,
     "sample": _cmd_sample,
     "profile": _cmd_profile,
+    "bench-backends": _cmd_bench_backends,
 }
 
 

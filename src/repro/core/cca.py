@@ -94,11 +94,18 @@ def _session_key(message: bytes, ct: Ciphertext) -> bytes:
 
 
 def _deterministic_encrypt(
-    params: ParameterSet, public: PublicKey, message: bytes
+    params: ParameterSet,
+    public: PublicKey,
+    message: bytes,
+    backend=None,
 ) -> Ciphertext:
-    """Enc(pk, m; G(m, pk)) — all sampler bits from the DRBG."""
+    """Enc(pk, m; G(m, pk)) — all sampler bits from the DRBG.
+
+    The backend only changes how fast the arithmetic runs, never its
+    result, so re-encryption checks agree across backends.
+    """
     drbg = HashDrbgBitSource(_randomness_seed(message, public))
-    scheme = RlweEncryptionScheme(params, bits=drbg)
+    scheme = RlweEncryptionScheme(params, bits=drbg, backend=backend)
     return scheme.encrypt_polynomial(
         public, encoding.encode_bytes(message, params)
     )
@@ -108,16 +115,21 @@ class FujisakiOkamotoKem:
     """CCA-secure KEM via re-encryption checking.
 
     ``entropy`` supplies only the *message* randomness at encapsulation
-    time; everything else is derived.
+    time; everything else is derived.  ``backend`` is a compute-backend
+    spec (name or :class:`repro.backend.PolyBackend`) threaded through
+    every internal encryption/decryption.
     """
 
-    def __init__(self, params: ParameterSet, entropy: BitSource):
+    def __init__(
+        self, params: ParameterSet, entropy: BitSource, backend=None
+    ):
         if params.message_bytes < MESSAGE_BYTES:
             raise ValueError(
                 f"{params.name} cannot carry a {MESSAGE_BYTES}-byte message"
             )
         self.params = params
         self.entropy = entropy
+        self.backend = backend
 
     def encapsulate(
         self, public: PublicKey
@@ -125,7 +137,9 @@ class FujisakiOkamotoKem:
         message = bytes(
             self.entropy.bits(8) for _ in range(MESSAGE_BYTES)
         )
-        ciphertext = _deterministic_encrypt(self.params, public, message)
+        ciphertext = _deterministic_encrypt(
+            self.params, public, message, backend=self.backend
+        )
         return (
             CcaEncapsulation(ciphertext),
             CcaSharedSecret(_session_key(message, ciphertext)),
@@ -138,10 +152,13 @@ class FujisakiOkamotoKem:
         encapsulation: CcaEncapsulation,
     ) -> CcaSharedSecret:
         ct = encapsulation.ciphertext
-        scheme = RlweEncryptionScheme(self.params)  # decryption needs no RNG
+        # Decryption needs no RNG.
+        scheme = RlweEncryptionScheme(self.params, backend=self.backend)
         recovered = scheme.decrypt(private, ct, length=MESSAGE_BYTES)
         # Re-encrypt deterministically and compare bit for bit.
-        reencrypted = _deterministic_encrypt(self.params, public, recovered)
+        reencrypted = _deterministic_encrypt(
+            self.params, public, recovered, backend=self.backend
+        )
         same = hmac.compare_digest(
             _ciphertext_digest(reencrypted), _ciphertext_digest(ct)
         )

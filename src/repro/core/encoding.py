@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.params import ParameterSet
+from repro.numpy_support import get_numpy
 
 
 def bits_from_bytes(data: bytes) -> List[int]:
@@ -85,6 +86,39 @@ def encode_bytes(message: bytes, params: ParameterSet) -> List[int]:
             f"{params.message_bytes}-byte capacity of {params.name}"
         )
     return encode_bits(bits_from_bytes(message), params)
+
+
+def encode_bytes_batch(
+    messages: Sequence[bytes], params: ParameterSet
+):
+    """Encode many byte messages into message polynomials at once.
+
+    Bit-identical to per-message :func:`encode_bytes`; returns a NumPy
+    ``(batch, n)`` ``int64`` array when NumPy is available, else a list
+    of coefficient lists.
+    """
+    capacity = params.message_bytes
+    for message in messages:
+        if len(message) > capacity:
+            raise ValueError(
+                f"message of {len(message)} bytes exceeds the "
+                f"{capacity}-byte capacity of {params.name}"
+            )
+    np = get_numpy()
+    if np is None:
+        return [encode_bytes(message, params) for message in messages]
+    batch = len(messages)
+    padded = bytearray(batch * capacity)
+    for i, message in enumerate(messages):
+        padded[i * capacity : i * capacity + len(message)] = message
+    bits = np.unpackbits(
+        np.frombuffer(bytes(padded), dtype=np.uint8).reshape(
+            batch, capacity
+        ),
+        axis=1,
+        bitorder="little",
+    )
+    return bits.astype(np.int64) * params.half_q
 
 
 def decode_bytes(

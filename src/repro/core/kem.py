@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.scheme import (
     Ciphertext,
@@ -94,6 +94,28 @@ class RlweKem:
         ciphertext = self.scheme.encrypt(public, secret)
         key, tag = _derive(secret, public)
         return Encapsulation(ciphertext, tag), SharedSecret(key)
+
+    def encapsulate_many(
+        self, public: PublicKey, count: int
+    ) -> "List[Tuple[Encapsulation, SharedSecret]]":
+        """Transport ``count`` fresh shared secrets in one batched call.
+
+        All raw secrets are drawn first (in order), then the whole batch
+        is encrypted through the scheme's batched path — the throughput
+        API for servers terminating many handshakes at once.  Uses the
+        block randomness order, so results differ from ``count``
+        sequential :meth:`encapsulate` calls under the same seed (but
+        are themselves deterministic and backend-independent).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        secrets = [self._random_secret() for _ in range(count)]
+        ciphertexts = self.scheme.encrypt_batch(public, secrets)
+        out: List[Tuple[Encapsulation, SharedSecret]] = []
+        for secret, ciphertext in zip(secrets, ciphertexts):
+            key, tag = _derive(secret, public)
+            out.append((Encapsulation(ciphertext, tag), SharedSecret(key)))
+        return out
 
     def decapsulate(
         self,

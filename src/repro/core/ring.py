@@ -22,7 +22,6 @@ from enum import Enum
 from typing import Iterable, List, Sequence, Union
 
 from repro.core.params import ParameterSet
-from repro.ntt import optimized, reference
 from repro.ntt.polymul import schoolbook_negacyclic
 
 
@@ -90,32 +89,36 @@ class RingElement:
     # ------------------------------------------------------------------
     # Domain conversions
     # ------------------------------------------------------------------
-    def to_ntt(self, implementation: str = "reference") -> "RingElement":
-        """Forward negacyclic NTT; no-op guard against double transform."""
+    def to_ntt(self, implementation=None) -> "RingElement":
+        """Forward negacyclic NTT; no-op guard against double transform.
+
+        ``implementation`` is a compute-backend spec: a registered name
+        (``"python-reference"``, ``"python-packed"``, ``"numpy"``), a
+        legacy kernel alias (``"reference"`` / ``"packed"``), or a
+        :class:`repro.backend.PolyBackend` instance.  ``None`` resolves
+        the session default (``REPRO_BACKEND`` or the pure-Python
+        reference kernels) — all backends are bit-identical.
+        """
+        from repro.backend import resolve_backend
+
         if self.domain is Domain.NTT:
             raise ValueError("element is already in the NTT domain")
-        forward = (
-            optimized.ntt_forward_packed
-            if implementation == "packed"
-            else reference.ntt_forward
-        )
+        backend = resolve_backend(implementation)
         return RingElement(
             self.params,
-            tuple(forward(list(self.coefficients), self.params)),
+            tuple(backend.ntt_forward(list(self.coefficients), self.params)),
             Domain.NTT,
         )
 
-    def from_ntt(self, implementation: str = "reference") -> "RingElement":
+    def from_ntt(self, implementation=None) -> "RingElement":
+        from repro.backend import resolve_backend
+
         if self.domain is Domain.COEFFICIENT:
             raise ValueError("element is not in the NTT domain")
-        inverse = (
-            optimized.ntt_inverse_packed
-            if implementation == "packed"
-            else reference.ntt_inverse
-        )
+        backend = resolve_backend(implementation)
         return RingElement(
             self.params,
-            tuple(inverse(list(self.coefficients), self.params)),
+            tuple(backend.ntt_inverse(list(self.coefficients), self.params)),
             Domain.COEFFICIENT,
         )
 
@@ -123,7 +126,9 @@ class RingElement:
     # Arithmetic
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "RingElement") -> None:
-        if self.params is not other.params:
+        # Compare by value: two equal-valued ParameterSet instances
+        # describe the same ring even when they are distinct objects.
+        if self.params != other.params:
             raise ValueError("elements belong to different rings")
         if self.domain is not other.domain:
             raise ValueError(

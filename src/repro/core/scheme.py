@@ -30,20 +30,17 @@ exceeds q/4 (failure probability analysed in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.backend import PolyBackend, resolve_backend
 from repro.core import encoding
 from repro.core.params import ParameterSet
-from repro.ntt.polymul import (
-    ntt_implementation,
-    pointwise_add,
-    pointwise_multiply,
-    pointwise_subtract,
-)
 from repro.sampler.lut_sampler import LutKnuthYaoSampler
 from repro.sampler.pmat import ProbabilityMatrix
 from repro.trng.bitsource import BitSource, PrngBitSource
 from repro.trng.xorshift import Xorshift128
+
+BackendSpec = Union[None, str, PolyBackend]
 
 
 @dataclass(frozen=True)
@@ -90,24 +87,43 @@ class RlweEncryptionScheme:
         Randomness source; defaults to a fresh xorshift-backed source.
         Pass a seeded source for reproducible keys/ciphertexts.
     ntt:
-        Kernel pair name (``"reference"`` or ``"packed"``); both are
-        bit-identical, so this only matters for speed.
+        Legacy kernel-pair spec (``"reference"`` or ``"packed"``); kept
+        for backwards compatibility and now resolved through the
+        compute-backend registry.
+    backend:
+        Compute-backend spec — a registered name
+        (``"python-reference"``, ``"python-packed"``, ``"numpy"``) or a
+        :class:`repro.backend.PolyBackend` instance.  Takes precedence
+        over ``ntt``.  When both are omitted the session default applies
+        (the ``REPRO_BACKEND`` environment variable, falling back to the
+        pure-Python reference kernels), so behavior without NumPy is
+        unchanged from the pre-backend code.
+
+    All backends are bit-identical, so the choice only matters for
+    speed.
     """
 
     def __init__(
         self,
         params: ParameterSet,
         bits: Optional[BitSource] = None,
-        ntt: str = "reference",
+        ntt: Optional[str] = None,
+        backend: BackendSpec = None,
     ):
         self.params = params
         if bits is None:
             bits = PrngBitSource(Xorshift128())
         self.bits = bits
-        self._forward, self._inverse = ntt_implementation(ntt)
+        self.backend = resolve_backend(backend if backend is not None else ntt)
         self._sampler = LutKnuthYaoSampler(
             ProbabilityMatrix.for_params(params), params.q, bits
         )
+
+    def _forward(self, poly: Sequence[int], params: ParameterSet) -> List[int]:
+        return self.backend.ntt_forward(poly, params)
+
+    def _inverse(self, poly: Sequence[int], params: ParameterSet) -> List[int]:
+        return self.backend.ntt_inverse(poly, params)
 
     # ------------------------------------------------------------------
     # Randomness
@@ -143,12 +159,13 @@ class RlweEncryptionScheme:
             a_hat = self.random_public_polynomial()
         elif len(a_hat) != params.n:
             raise ValueError(f"a_hat must have {params.n} coefficients")
+        be = self.backend
         r1 = self.sample_error_polynomial()
         r2 = self.sample_error_polynomial()
         r1_hat = self._forward(r1, params)
         r2_hat = self._forward(r2, params)
-        p_hat = pointwise_subtract(
-            r1_hat, pointwise_multiply(a_hat, r2_hat, params), params
+        p_hat = be.pointwise_sub(
+            r1_hat, be.pointwise_mul(list(a_hat), r2_hat, params), params
         )
         return KeyPair(
             public=PublicKey(params, tuple(a_hat), tuple(p_hat)),
@@ -160,22 +177,27 @@ class RlweEncryptionScheme:
     ) -> Ciphertext:
         """Encrypt an already-encoded message polynomial."""
         params = self.params
-        if public.params is not params:
+        if public.params != params:
             raise ValueError("public key belongs to a different parameter set")
         if len(message_poly) != params.n:
             raise ValueError(f"message polynomial must have {params.n} coefficients")
+        be = self.backend
         e1 = self.sample_error_polynomial()
         e2 = self.sample_error_polynomial()
         e3 = self.sample_error_polynomial()
-        e3_plus_m = pointwise_add(e3, message_poly, params)
+        e3_plus_m = be.pointwise_add(e3, list(message_poly), params)
         e1_hat = self._forward(e1, params)
         e2_hat = self._forward(e2, params)
         e3m_hat = self._forward(e3_plus_m, params)
-        c1_hat = pointwise_add(
-            pointwise_multiply(public.a_hat, e1_hat, params), e2_hat, params
+        c1_hat = be.pointwise_add(
+            be.pointwise_mul(list(public.a_hat), e1_hat, params),
+            e2_hat,
+            params,
         )
-        c2_hat = pointwise_add(
-            pointwise_multiply(public.p_hat, e1_hat, params), e3m_hat, params
+        c2_hat = be.pointwise_add(
+            be.pointwise_mul(list(public.p_hat), e1_hat, params),
+            e3m_hat,
+            params,
         )
         return Ciphertext(params, tuple(c1_hat), tuple(c2_hat))
 
@@ -184,11 +206,14 @@ class RlweEncryptionScheme:
     ) -> List[int]:
         """Decrypt to the noisy message polynomial (before thresholding)."""
         params = self.params
-        if private.params is not params or ciphertext.params is not params:
+        if private.params != params or ciphertext.params != params:
             raise ValueError("key/ciphertext parameter set mismatch")
-        combined = pointwise_add(
-            pointwise_multiply(ciphertext.c1_hat, private.r2_hat, params),
-            ciphertext.c2_hat,
+        be = self.backend
+        combined = be.pointwise_add(
+            be.pointwise_mul(
+                list(ciphertext.c1_hat), list(private.r2_hat), params
+            ),
+            list(ciphertext.c2_hat),
             params,
         )
         return self._inverse(combined, params)
@@ -211,3 +236,101 @@ class RlweEncryptionScheme:
         """Decrypt and threshold-decode to bytes."""
         noisy = self.decrypt_polynomial(private, ciphertext)
         return encoding.decode_bytes(noisy, self.params, length)
+
+    # ------------------------------------------------------------------
+    # Batched (throughput) API
+    # ------------------------------------------------------------------
+    #
+    # The batched entry points process many messages per call: error
+    # polynomials come from the phased block sampler
+    # (:meth:`repro.sampler.lut_sampler.LutKnuthYaoSampler.sample_block`)
+    # and all transforms/pointwise arithmetic run as one backend batch
+    # call, which the NumPy backend executes as 2-D array programs.
+    #
+    # Determinism: under a seeded bit source a batch is reproducible and
+    # backend-independent, but it consumes randomness in block order
+    # (all e1/e2/e3 of the whole batch first), so a batch of size B does
+    # NOT produce the same ciphertexts as B sequential ``encrypt`` calls
+    # with the same seed.
+
+    def encrypt_polynomial_batch(
+        self, public: PublicKey, message_polys: Sequence[Sequence[int]]
+    ) -> List[Ciphertext]:
+        """Encrypt a batch of already-encoded message polynomials."""
+        params = self.params
+        if public.params != params:
+            raise ValueError("public key belongs to a different parameter set")
+        batch = len(message_polys)
+        if batch == 0:
+            return []
+        for poly in message_polys:
+            if len(poly) != params.n:
+                raise ValueError(
+                    f"message polynomial must have {params.n} coefficients"
+                )
+        be = self.backend
+        errors = self._sampler.sample_polynomial_block(3 * batch, params.n)
+        e1, e2, e3 = errors[0::3], errors[1::3], errors[2::3]
+        e3_plus_m = be.pointwise_add_batch(
+            be.matrix(e3), be.matrix(message_polys), params
+        )
+        transformed = be.ntt_forward_batch(
+            be.stack([be.matrix(e1), be.matrix(e2), e3_plus_m]), params
+        )
+        e1_hat = transformed[:batch]
+        e2_hat = transformed[batch : 2 * batch]
+        e3m_hat = transformed[2 * batch :]
+        a_row = list(public.a_hat)
+        p_row = list(public.p_hat)
+        c1 = be.pointwise_add_batch(
+            be.pointwise_mul_batch(e1_hat, a_row, params), e2_hat, params
+        )
+        c2 = be.pointwise_add_batch(
+            be.pointwise_mul_batch(e1_hat, p_row, params), e3m_hat, params
+        )
+        return [
+            Ciphertext(params, tuple(row1), tuple(row2))
+            for row1, row2 in zip(be.rows(c1), be.rows(c2))
+        ]
+
+    def decrypt_polynomial_batch(
+        self, private: PrivateKey, ciphertexts: Sequence[Ciphertext]
+    ) -> List[List[int]]:
+        """Decrypt a batch to noisy message polynomials."""
+        params = self.params
+        if private.params != params:
+            raise ValueError("private key belongs to a different parameter set")
+        if not ciphertexts:
+            return []
+        for ct in ciphertexts:
+            if ct.params != params:
+                raise ValueError("ciphertext parameter set mismatch")
+        be = self.backend
+        c1 = be.matrix([ct.c1_hat for ct in ciphertexts])
+        c2 = be.matrix([ct.c2_hat for ct in ciphertexts])
+        combined = be.pointwise_add_batch(
+            be.pointwise_mul_batch(c1, list(private.r2_hat), params),
+            c2,
+            params,
+        )
+        return be.rows(be.ntt_inverse_batch(combined, params))
+
+    def encrypt_batch(
+        self, public: PublicKey, messages: Sequence[bytes]
+    ) -> List[Ciphertext]:
+        """Encrypt many byte messages (each up to ``message_bytes``)."""
+        return self.encrypt_polynomial_batch(
+            public, encoding.encode_bytes_batch(messages, self.params)
+        )
+
+    def decrypt_batch(
+        self,
+        private: PrivateKey,
+        ciphertexts: Sequence[Ciphertext],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        """Decrypt and threshold-decode a batch to bytes."""
+        return [
+            encoding.decode_bytes(noisy, self.params, length)
+            for noisy in self.decrypt_polynomial_batch(private, ciphertexts)
+        ]

@@ -5,6 +5,12 @@ coefficient-wise product, and one inverse NTT ("NTT multiplication" in
 Table I).  ``schoolbook_negacyclic`` is the quadratic-time baseline the
 test-suite uses as an oracle, and also serves as the naive comparator in
 the ablation benches.
+
+Kernel selection is delegated to the compute-backend registry
+(:mod:`repro.backend`): ``implementation`` accepts any registered
+backend name (``"python-reference"``, ``"python-packed"``, ``"numpy"``)
+or the legacy kernel aliases ``"reference"`` / ``"packed"``, as well as
+a :class:`repro.backend.PolyBackend` instance.
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ from repro.ntt import optimized, reference
 ForwardFn = Callable[[Sequence[int], ParameterSet], List[int]]
 InverseFn = Callable[[Sequence[int], ParameterSet], List[int]]
 
+#: The raw pure-Python kernel pairs (kept for callers that need bare
+#: functions, e.g. the cycle-model twins); new code should prefer
+#: :func:`repro.backend.get_backend`.
 _IMPLEMENTATIONS = {
     "reference": (reference.ntt_forward, reference.ntt_inverse),
     "packed": (optimized.ntt_forward_packed, optimized.ntt_inverse_packed),
@@ -57,21 +66,25 @@ def ntt_multiply(
     a: Sequence[int],
     b: Sequence[int],
     params: ParameterSet,
-    implementation: str = "reference",
+    implementation="reference",
 ) -> List[int]:
     """Negacyclic product a * b mod (x^n + 1, q) via the NTT.
 
-    ``implementation`` selects the kernel pair: ``"reference"`` (Alg. 3)
-    or ``"packed"`` (the Alg. 4 optimization).
+    ``implementation`` selects the compute backend: a registered backend
+    name, a legacy kernel alias (``"reference"`` / ``"packed"``), or a
+    :class:`~repro.backend.PolyBackend` instance.
     """
-    forward, inverse = ntt_implementation(implementation)
-    a_hat = forward(a, params)
-    b_hat = forward(b, params)
-    return inverse(pointwise_multiply(a_hat, b_hat, params), params)
+    from repro.backend import resolve_backend
+
+    return resolve_backend(implementation).ntt_multiply(a, b, params)
 
 
 def ntt_implementation(name: str) -> "tuple[ForwardFn, InverseFn]":
-    """Return the (forward, inverse) kernel pair registered as ``name``."""
+    """Return the raw pure-Python (forward, inverse) kernel pair.
+
+    Retained for callers that need bare kernel functions; backend-aware
+    code should use :func:`repro.backend.get_backend` instead.
+    """
     if name not in _IMPLEMENTATIONS:
         raise KeyError(
             f"unknown NTT implementation {name!r}; "

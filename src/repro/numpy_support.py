@@ -1,0 +1,69 @@
+"""Optional-NumPy shim used by the vectorized compute paths.
+
+NumPy is an *optional* dependency of this package (the ``[numpy]``
+extra): every vectorized code path — the :class:`repro.backend.NumpyBackend`,
+the block sampler fast path, the bulk bit-chunk extraction — asks this
+module for the ``numpy`` module and falls back to a pure-Python
+implementation when it is absent.  The fallbacks are bit-identical, only
+slower, so the package works (and its test-suite passes) on a bare
+interpreter.
+
+Setting ``REPRO_FORCE_NO_NUMPY=1`` in the environment makes
+:func:`get_numpy` pretend NumPy is not installed; the CI matrix and the
+fallback tests use this to exercise the pure-Python paths on machines
+that do have NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+#: Environment variable that force-disables NumPy when set to a
+#: non-empty value (used to test the fallback paths).
+FORCE_NO_NUMPY_ENV = "REPRO_FORCE_NO_NUMPY"
+
+_CACHE: Optional[Any] = None
+_PROBED = False
+
+
+def numpy_forced_off() -> bool:
+    """True when the environment pins the pure-Python fallback."""
+    return bool(os.environ.get(FORCE_NO_NUMPY_ENV))
+
+
+def get_numpy() -> Optional[Any]:
+    """Return the ``numpy`` module, or ``None`` when unavailable.
+
+    The import is attempted once and cached; the ``REPRO_FORCE_NO_NUMPY``
+    override is honoured on every call so tests can flip it at runtime.
+    """
+    global _CACHE, _PROBED
+    if numpy_forced_off():
+        return None
+    if not _PROBED:
+        try:
+            import numpy  # noqa: PLC0415 - optional dependency probe
+
+            _CACHE = numpy
+        except ImportError:  # pragma: no cover - exercised via env override
+            _CACHE = None
+        _PROBED = True
+    return _CACHE
+
+
+def have_numpy() -> bool:
+    """True when the vectorized paths can run."""
+    return get_numpy() is not None
+
+
+def require_numpy() -> Any:
+    """Return ``numpy`` or raise a helpful ImportError."""
+    np = get_numpy()
+    if np is None:
+        raise ImportError(
+            "NumPy is required for this code path; install it with "
+            "'pip install repro-rlwe[numpy]' (or unset "
+            f"{FORCE_NO_NUMPY_ENV})"
+        )
+    return np

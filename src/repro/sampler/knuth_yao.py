@@ -37,6 +37,8 @@ class KnuthYaoSampler:
         self.pmat = pmat
         self.q = q
         self.bits = bits
+        # Per-column set-row lists (descending), built on first walk.
+        self._set_rows_by_column = None
 
     @classmethod
     def for_params(
@@ -58,13 +60,26 @@ class KnuthYaoSampler:
         resume the walk after a failed table lookup.
         """
         pmat = self.pmat
+        if self._set_rows_by_column is None:
+            # Alg. 1 scans each column top-down (row n-1 .. 0) and stops
+            # at the (d+1)-th set bit; precomputing the descending list
+            # of set rows per column turns the O(rows) scan into one
+            # index while consuming the exact same random bits.
+            self._set_rows_by_column = [
+                tuple(
+                    row
+                    for row in range(pmat.rows - 1, -1, -1)
+                    if pmat.bit(row, col)
+                )
+                for col in range(pmat.columns)
+            ]
         d = start_distance
         for col in range(start_column, pmat.columns):
             d = 2 * d + self.bits.bit()
-            for row in range(pmat.rows - 1, -1, -1):
-                d -= pmat.bit(row, col)
-                if d == -1:
-                    return row
+            set_rows = self._set_rows_by_column[col]
+            if d < len(set_rows):
+                return set_rows[d]
+            d -= len(set_rows)
         return None
 
     def _apply_sign(self, row: int) -> int:

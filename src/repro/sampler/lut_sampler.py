@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.params import ParameterSet
+from repro.numpy_support import get_numpy
 from repro.sampler.knuth_yao import KnuthYaoSampler
 from repro.sampler.pmat import ProbabilityMatrix
 from repro.trng.bitsource import BitSource
@@ -77,6 +78,23 @@ class SamplerLuts:
     @property
     def lut1_failure_entries(self) -> int:
         return sum(1 for e in self.lut1 if e & FAILURE_FLAG)
+
+
+#: build_luts results per ProbabilityMatrix instance.  Table
+#: construction costs ~20 ms per parameter set and the matrices are
+#: themselves cached module-wide, so per-call scheme construction (the
+#: FO-KEM builds a scheme per encapsulation) must not rebuild them.
+#: Keyed by id(); the matrix is kept in the value to pin its identity.
+_LUT_CACHE: "dict[int, tuple[ProbabilityMatrix, SamplerLuts]]" = {}
+
+
+def cached_luts(pmat: ProbabilityMatrix) -> SamplerLuts:
+    """Return (and memoise) :func:`build_luts` for ``pmat``."""
+    entry = _LUT_CACHE.get(id(pmat))
+    if entry is None or entry[0] is not pmat:
+        entry = (pmat, build_luts(pmat))
+        _LUT_CACHE[id(pmat)] = entry
+    return entry[1]
 
 
 def build_luts(pmat: ProbabilityMatrix) -> SamplerLuts:
@@ -136,12 +154,14 @@ class LutKnuthYaoSampler(KnuthYaoSampler):
         use_lut2: bool = True,
     ):
         super().__init__(pmat, q, bits)
-        self.luts = build_luts(pmat)
+        self.luts = cached_luts(pmat)
         self.use_lut2 = use_lut2 and bool(self.luts.lut2)
         # Consumption statistics for the ablation benches.
         self.lut1_hits = 0
         self.lut2_hits = 0
         self.scan_fallbacks = 0
+        # Lazily-built NumPy views of the LUTs (block fast path).
+        self._np_luts = None
 
     def sample(self) -> int:
         """One sample in [0, q) — Alg. 2 with the LUT2 extension."""
@@ -170,3 +190,158 @@ class LutKnuthYaoSampler(KnuthYaoSampler):
         if row is None:
             return 0
         return self._apply_sign(row)
+
+    # ------------------------------------------------------------------
+    # Block sampling (throughput path)
+    # ------------------------------------------------------------------
+    #
+    # ``sample_block`` draws ``count`` samples with a *phased* bit
+    # consumption order that is amenable to vectorization:
+    #
+    #   1. one 8-bit LUT1 index per sample, all samples in order;
+    #   2. one 5-bit LUT2 index per LUT1 failure, failures in order;
+    #   3. the scalar DDG walk per LUT2 failure, failures in order;
+    #   4. one sign bit per resolved sample, samples in order
+    #      (a walk that falls off the matrix yields 0 with no sign bit,
+    #      mirroring Alg. 1 line 11).
+    #
+    # This differs from ``count`` sequential :meth:`sample` calls (which
+    # interleave the phases per sample), but the order is *fixed*: the
+    # scalar and NumPy implementations below consume identical bits and
+    # return identical samples, so batch APIs are deterministic under a
+    # seed regardless of whether NumPy is installed.
+
+    def sample_block(self, count: int):
+        """``count`` samples in [0, q) in the phased block order.
+
+        Returns a list, or a NumPy ``int64`` array when NumPy is
+        available (same values either way).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        np = get_numpy()
+        if np is None:
+            return self._sample_block_scalar(count)
+        return self._sample_block_numpy(np, count)
+
+    def sample_polynomial_block(self, count: int, n: int):
+        """``count`` error polynomials of ``n`` coefficients each.
+
+        Returns a ``(count, n)`` NumPy array or a list of lists.
+        """
+        flat = self.sample_block(count * n)
+        if hasattr(flat, "reshape"):
+            return flat.reshape(count, n)
+        return [flat[i * n : (i + 1) * n] for i in range(count)]
+
+    def _sample_block_scalar(self, count: int):
+        lut1, lut2 = self.luts.lut1, self.luts.lut2
+        q = self.q
+        rows = [0] * count
+        # Phase 1: LUT1.
+        indices = self.bits.bit_chunks(count, LUT1_LEVELS)
+        pending = []  # (sample index, distance d) after LUT1 failure
+        for i, index in enumerate(indices):
+            entry = lut1[index]
+            if entry & FAILURE_FLAG:
+                pending.append((i, entry & ~FAILURE_FLAG & 0xFF))
+            else:
+                rows[i] = entry
+        self.lut1_hits += count - len(pending)
+        # Phase 2: LUT2.
+        if self.use_lut2 and pending:
+            r5s = self.bits.bit_chunks(len(pending), LUT2_LEVELS)
+            still = []
+            for (i, d), r5 in zip(pending, r5s):
+                entry = lut2[d * (1 << LUT2_LEVELS) + r5]
+                if entry & FAILURE_FLAG:
+                    still.append((i, entry & ~FAILURE_FLAG & 0xFF))
+                else:
+                    rows[i] = entry
+            self.lut2_hits += len(pending) - len(still)
+            pending = still
+            start_column = LUT1_LEVELS + LUT2_LEVELS
+        else:
+            start_column = LUT1_LEVELS
+        # Phase 3: bit-scanning walk for the stragglers.
+        unresolved = set()
+        for i, d in pending:
+            self.scan_fallbacks += 1
+            row = self.sample_magnitude(
+                start_column=start_column, start_distance=d
+            )
+            if row is None:
+                unresolved.add(i)
+            else:
+                rows[i] = row
+        # Phase 4: sign bits for every resolved sample.
+        signs = self.bits.bit_chunks(count - len(unresolved), 1)
+        out = [0] * count
+        cursor = 0
+        for i in range(count):
+            if i in unresolved:
+                continue
+            row = rows[i]
+            out[i] = (q - row) % q if signs[cursor] else row
+            cursor += 1
+        return out
+
+    def _np_lut_arrays(self, np):
+        if self._np_luts is None:
+            self._np_luts = (
+                np.asarray(self.luts.lut1, dtype=np.int64),
+                np.asarray(self.luts.lut2 or (0,), dtype=np.int64),
+            )
+        return self._np_luts
+
+    def _sample_block_numpy(self, np, count: int):
+        lut1, lut2 = self._np_lut_arrays(np)
+        q = self.q
+        # Phase 1: LUT1.
+        indices = np.asarray(
+            self.bits.bit_chunk_array(count, LUT1_LEVELS), dtype=np.int64
+        )
+        entries = lut1[indices]
+        failed = (entries & FAILURE_FLAG) != 0
+        rows = np.where(failed, 0, entries)
+        pending_index = np.nonzero(failed)[0]
+        pending_d = entries[pending_index] & (~FAILURE_FLAG & 0xFF)
+        self.lut1_hits += int(count - pending_index.size)
+        # Phase 2: LUT2.
+        if self.use_lut2 and pending_index.size:
+            r5s = np.asarray(
+                self.bits.bit_chunk_array(
+                    int(pending_index.size), LUT2_LEVELS
+                ),
+                dtype=np.int64,
+            )
+            entries2 = lut2[pending_d * (1 << LUT2_LEVELS) + r5s]
+            failed2 = (entries2 & FAILURE_FLAG) != 0
+            resolved2 = pending_index[~failed2]
+            rows[resolved2] = entries2[~failed2]
+            self.lut2_hits += int(resolved2.size)
+            pending_d = entries2[failed2] & (~FAILURE_FLAG & 0xFF)
+            pending_index = pending_index[failed2]
+            start_column = LUT1_LEVELS + LUT2_LEVELS
+        else:
+            start_column = LUT1_LEVELS
+        # Phase 3: scalar walks for the stragglers.
+        unresolved_mask = np.zeros(count, dtype=bool)
+        for i, d in zip(pending_index.tolist(), pending_d.tolist()):
+            self.scan_fallbacks += 1
+            row = self.sample_magnitude(
+                start_column=start_column, start_distance=d
+            )
+            if row is None:
+                unresolved_mask[i] = True
+            else:
+                rows[i] = row
+        # Phase 4: sign bits for every resolved sample.
+        resolved_index = np.nonzero(~unresolved_mask)[0]
+        signs = np.asarray(
+            self.bits.bit_chunk_array(int(resolved_index.size), 1),
+            dtype=np.int64,
+        )
+        negate = resolved_index[signs == 1]
+        rows[negate] = (q - rows[negate]) % q
+        return rows

@@ -10,9 +10,11 @@ the simulated TRNG (:class:`PrngBitSource`, or the cycle-model
 
 from __future__ import annotations
 
+import struct
 from abc import ABC, abstractmethod
 from typing import Iterable, List
 
+from repro.numpy_support import get_numpy
 from repro.trng.xorshift import Xorshift128
 
 
@@ -51,6 +53,26 @@ class BitSource(ABC):
         for position in range(count):
             value |= self.bit() << position
         return value
+
+    def bit_chunks(self, count: int, width: int) -> List[int]:
+        """Return ``count`` draws of :meth:`bits`\\ ``(width)`` as a list.
+
+        The bit stream consumed is exactly the one ``count`` sequential
+        ``bits(width)`` calls would consume; subclasses may override this
+        with a bulk implementation but must preserve that equivalence
+        (the block sampler's cross-path determinism depends on it).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.bits(width) for _ in range(count)]
+
+    def bit_chunk_array(self, count: int, width: int):
+        """Like :meth:`bit_chunks` but may return a NumPy array.
+
+        Vectorized consumers call this to skip a list round-trip; the
+        default simply returns the list.
+        """
+        return self.bit_chunks(count, width)
 
 
 class QueueBitSource(BitSource):
@@ -99,3 +121,72 @@ class PrngBitSource(BitSource):
         self._register >>= 1
         self._available -= 1
         return value
+
+    # ------------------------------------------------------------------
+    # Bulk extraction
+    # ------------------------------------------------------------------
+    def _chunk_block(self, count: int, width: int):
+        """Vectorized chunk extraction; ``None`` falls back to scalar.
+
+        Consumes exactly the bit stream of ``count`` sequential
+        ``bits(width)`` calls: leftover register bits first, then fresh
+        PRNG words LSB-first, with the unused high bits of the final word
+        pushed back into the register.
+        """
+        np = get_numpy()
+        total = count * width
+        if np is None or count < 0 or width <= 0 or total < 512:
+            return None
+        prefix: List[int] = []
+        while self._available:
+            prefix.append(self._register & 1)
+            self._register >>= 1
+            self._available -= 1
+        word_count = (total - len(prefix) + 31) // 32
+        words = self._prng.next_words(word_count)
+        self.words_fetched += word_count
+        data = struct.pack(f"<{word_count}I", *words)
+        self.bits_consumed += total
+        if width == 8 and not prefix:
+            # Byte-aligned 8-bit chunks are exactly the stream's bytes.
+            raw = np.frombuffer(data, dtype=np.uint8)
+            leftover_bits = np.unpackbits(
+                raw[count:], bitorder="little"
+            ).tolist()
+            chunks = raw[:count].astype(np.int64)
+        else:
+            bits = np.unpackbits(
+                np.frombuffer(data, dtype=np.uint8), bitorder="little"
+            )
+            if prefix:
+                bits = np.concatenate(
+                    [np.asarray(prefix, dtype=np.uint8), bits]
+                )
+            leftover_bits = bits[total:].tolist()
+            packed = bits[:total].astype(np.int64).reshape(count, width)
+            if width == 1:
+                chunks = packed[:, 0]
+            else:
+                weights = np.left_shift(
+                    np.int64(1), np.arange(width, dtype=np.int64)
+                )
+                chunks = packed @ weights
+        # All leftover bits come from the last fetched word (< 32 of them).
+        register = 0
+        for position, bit in enumerate(leftover_bits):
+            register |= bit << position
+        self._register = register
+        self._available = len(leftover_bits)
+        return chunks
+
+    def bit_chunks(self, count: int, width: int) -> List[int]:
+        block = self._chunk_block(count, width)
+        if block is None:
+            return super().bit_chunks(count, width)
+        return block.tolist()
+
+    def bit_chunk_array(self, count: int, width: int):
+        block = self._chunk_block(count, width)
+        if block is None:
+            return super().bit_chunks(count, width)
+        return block

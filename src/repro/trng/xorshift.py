@@ -54,6 +54,27 @@ class Xorshift128:
         for _ in range(count):
             yield self.next_u32()
 
+    def next_words(self, count: int) -> "list[int]":
+        """Return ``count`` successive 32-bit outputs as a list.
+
+        Identical stream to ``count`` calls of :meth:`next_u32`; the loop
+        keeps the state in locals so bulk consumers (the block sampler's
+        bit supply) do not pay per-word attribute traffic.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        x, y, z, w = self._x, self._y, self._z, self._w
+        out = []
+        append = out.append
+        mask = _MASK32
+        for _ in range(count):
+            t = (x ^ ((x << 11) & mask)) & mask
+            x, y, z = y, z, w
+            w = ((w ^ (w >> 19)) ^ (t ^ (t >> 8))) & mask
+            append(w)
+        self._x, self._y, self._z, self._w = x, y, z, w
+        return out
+
     def bytes(self, count: int) -> bytes:
         """Return ``count`` pseudo-random bytes (little-endian words)."""
         out = bytearray()

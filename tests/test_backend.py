@@ -1,0 +1,145 @@
+"""Backend registry: lookup, aliases, env selection, graceful fallback."""
+
+import warnings
+
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV,
+    BackendUnavailable,
+    PolyBackend,
+    PurePythonBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.params import P1
+from repro.numpy_support import FORCE_NO_NUMPY_ENV, have_numpy
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        names = backend_names()
+        assert {"python-reference", "python-packed", "numpy"} <= set(names)
+
+    def test_pure_python_always_available(self):
+        usable = available_backends()
+        assert usable["python-reference"] is True
+        assert usable["python-packed"] is True
+
+    def test_instances_are_cached(self):
+        assert get_backend("python-reference") is get_backend(
+            "python-reference"
+        )
+
+    def test_legacy_aliases(self):
+        assert get_backend("reference") is get_backend("python-reference")
+        assert get_backend("packed") is get_backend("python-packed")
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("simd")
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            PurePythonBackend("simd")
+
+    def test_register_custom_backend(self):
+        class Probe(PurePythonBackend):
+            pass
+
+        register_backend("probe", lambda: Probe("reference"))
+        try:
+            assert isinstance(get_backend("probe"), Probe)
+            assert available_backends()["probe"] is True
+        finally:
+            from repro.backend import _FACTORIES, _INSTANCES
+
+            _FACTORIES.pop("probe", None)
+            _INSTANCES.pop("probe", None)
+
+
+class TestResolve:
+    def test_none_resolves_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == "python-reference"
+
+    def test_name_resolves(self):
+        assert resolve_backend("python-packed").name == "python-packed"
+
+    def test_instance_passes_through(self):
+        backend = PurePythonBackend("reference")
+        assert resolve_backend(backend) is backend
+
+    def test_bad_spec_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestEnvSelection:
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python-packed")
+        assert get_backend(None).name == "python-packed"
+
+    def test_unknown_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "no-such-engine")
+        with pytest.warns(RuntimeWarning, match="no-such-engine"):
+            assert get_backend(None).name == "python-reference"
+
+    def test_unavailable_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+        with pytest.warns(RuntimeWarning, match="not available"):
+            assert get_backend(None).name == "python-reference"
+
+
+class TestNumpyAvailability:
+    def test_forced_off_raises_backend_unavailable(self, monkeypatch):
+        monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+        with pytest.raises(BackendUnavailable):
+            get_backend("numpy")
+
+    def test_backend_unavailable_is_keyerror(self):
+        assert issubclass(BackendUnavailable, KeyError)
+
+    def test_scheme_default_ignores_numpy_presence(self, monkeypatch):
+        # The default stays pure-Python whether or not NumPy exists.
+        from repro import seeded_scheme
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert seeded_scheme(P1, 0).backend.name == "python-reference"
+
+
+@pytest.mark.skipif(not have_numpy(), reason="NumPy not installed")
+class TestNumpyBackendShape:
+    def test_single_roundtrip(self, poly_factory):
+        backend = get_backend("numpy")
+        poly = poly_factory(P1)
+        back = backend.ntt_inverse(backend.ntt_forward(poly, P1), P1)
+        assert back == poly
+        assert all(isinstance(c, int) for c in back)
+
+    def test_batch_shapes(self, poly_factory):
+        backend = get_backend("numpy")
+        rows = [poly_factory(P1) for _ in range(5)]
+        hat = backend.ntt_forward_batch(backend.matrix(rows), P1)
+        assert hat.shape == (5, P1.n)
+        back = backend.rows(backend.ntt_inverse_batch(hat, P1))
+        assert back == rows
+
+    def test_wrong_length_rejected(self):
+        backend = get_backend("numpy")
+        with pytest.raises(ValueError):
+            backend.ntt_forward([1, 2, 3], P1)
+
+    def test_pointwise_broadcast_row(self, poly_factory):
+        backend = get_backend("numpy")
+        rows = [poly_factory(P1) for _ in range(3)]
+        single = poly_factory(P1)
+        product = backend.rows(
+            backend.pointwise_mul_batch(backend.matrix(rows), single, P1)
+        )
+        expected = [backend.pointwise_mul(row, single, P1) for row in rows]
+        assert product == expected

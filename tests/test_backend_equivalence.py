@@ -1,0 +1,163 @@
+"""Cross-backend equivalence: every backend agrees bit-for-bit.
+
+The backend layer's core contract: ``python-reference``,
+``python-packed``, and ``numpy`` are interchangeable — same inputs,
+same outputs, everywhere.  These tests pin that on the NTT kernels
+(against each other and the schoolbook oracle), the batched transforms,
+and full scheme round trips across all NTT-friendly parameter sets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import seeded_scheme
+from repro.backend import available_backends, get_backend
+from repro.core.params import P1, P2
+from repro.ntt.polymul import ntt_multiply, schoolbook_negacyclic
+from tests.conftest import MEDIUM, SMALL
+
+ALL_PARAMS = [SMALL, MEDIUM, P1, P2]
+BACKENDS = [name for name, ok in available_backends().items() if ok]
+
+
+def backends():
+    return [get_backend(name) for name in BACKENDS]
+
+
+def random_poly(params, rng):
+    return [rng.randrange(params.q) for _ in range(params.n)]
+
+
+@pytest.mark.parametrize(
+    "params", ALL_PARAMS, ids=[p.name for p in ALL_PARAMS]
+)
+class TestNttEquivalence:
+    def test_forward_agrees(self, params):
+        rng = random.Random(0xA11CE)
+        reference = get_backend("python-reference")
+        for _ in range(5):
+            poly = random_poly(params, rng)
+            expected = reference.ntt_forward(poly, params)
+            for backend in backends():
+                assert backend.ntt_forward(poly, params) == expected, (
+                    backend.name
+                )
+
+    def test_inverse_agrees(self, params):
+        rng = random.Random(0xB0B)
+        reference = get_backend("python-reference")
+        for _ in range(5):
+            poly = random_poly(params, rng)
+            expected = reference.ntt_inverse(poly, params)
+            for backend in backends():
+                assert backend.ntt_inverse(poly, params) == expected, (
+                    backend.name
+                )
+
+    def test_forward_inverse_roundtrip(self, params):
+        rng = random.Random(0xC0DE)
+        poly = random_poly(params, rng)
+        for backend in backends():
+            assert (
+                backend.ntt_inverse(backend.ntt_forward(poly, params), params)
+                == poly
+            ), backend.name
+
+    def test_ntt_multiply_matches_schoolbook(self, params):
+        rng = random.Random(0xD00D)
+        a, b = random_poly(params, rng), random_poly(params, rng)
+        expected = schoolbook_negacyclic(a, b, params)
+        for backend in backends():
+            assert backend.ntt_multiply(a, b, params) == expected, (
+                backend.name
+            )
+        for name in BACKENDS:
+            assert ntt_multiply(a, b, params, implementation=name) == expected
+
+    def test_batched_transforms_match_singles(self, params):
+        rng = random.Random(0xFEED)
+        rows = [random_poly(params, rng) for _ in range(7)]
+        reference = get_backend("python-reference")
+        fwd_expected = [reference.ntt_forward(r, params) for r in rows]
+        inv_expected = [reference.ntt_inverse(r, params) for r in rows]
+        for backend in backends():
+            fwd = backend.rows(
+                backend.ntt_forward_batch(backend.matrix(rows), params)
+            )
+            inv = backend.rows(
+                backend.ntt_inverse_batch(backend.matrix(rows), params)
+            )
+            assert fwd == fwd_expected, backend.name
+            assert inv == inv_expected, backend.name
+
+    def test_batched_pointwise_match_singles(self, params):
+        rng = random.Random(0xACE)
+        lhs = [random_poly(params, rng) for _ in range(4)]
+        rhs = [random_poly(params, rng) for _ in range(4)]
+        reference = get_backend("python-reference")
+        for op, batch_op in (
+            ("pointwise_mul", "pointwise_mul_batch"),
+            ("pointwise_add", "pointwise_add_batch"),
+            ("pointwise_sub", "pointwise_sub_batch"),
+        ):
+            expected = [
+                getattr(reference, op)(a, b, params)
+                for a, b in zip(lhs, rhs)
+            ]
+            for backend in backends():
+                got = backend.rows(
+                    getattr(backend, batch_op)(
+                        backend.matrix(lhs), backend.matrix(rhs), params
+                    )
+                )
+                assert got == expected, (backend.name, op)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=SMALL.q - 1),
+        min_size=SMALL.n,
+        max_size=SMALL.n,
+    )
+)
+def test_property_forward_agrees_on_small_ring(values):
+    expected = get_backend("python-reference").ntt_forward(values, SMALL)
+    for backend in backends():
+        assert backend.ntt_forward(values, SMALL) == expected, backend.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_ntt_multiply_matches_oracle(seed):
+    rng = random.Random(seed)
+    a, b = random_poly(SMALL, rng), random_poly(SMALL, rng)
+    expected = schoolbook_negacyclic(a, b, SMALL)
+    for backend in backends():
+        assert backend.ntt_multiply(a, b, SMALL) == expected, backend.name
+
+
+@pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+def test_scheme_roundtrip_identical_across_backends(params):
+    """Keygen/encrypt/decrypt bit streams agree across all backends."""
+    outputs = {}
+    for name in BACKENDS:
+        scheme = seeded_scheme(params, seed=99, backend=name)
+        keypair = scheme.generate_keypair()
+        message = bytes(range(32))
+        ciphertext = scheme.encrypt(keypair.public, message)
+        plaintext = scheme.decrypt(keypair.private, ciphertext, length=32)
+        outputs[name] = (
+            keypair.public.a_hat,
+            keypair.public.p_hat,
+            keypair.private.r2_hat,
+            ciphertext.c1_hat,
+            ciphertext.c2_hat,
+            plaintext,
+        )
+    reference = outputs["python-reference"]
+    for name, got in outputs.items():
+        assert got == reference, name

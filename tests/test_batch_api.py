@@ -1,0 +1,201 @@
+"""Batched scheme/KEM APIs and the phased block sampler."""
+
+import pytest
+
+from repro import seeded_scheme
+from repro.backend import available_backends
+from repro.core import encoding
+from repro.core.kem import RlweKem
+from repro.core.params import P1, P2
+from repro.numpy_support import FORCE_NO_NUMPY_ENV
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+BACKENDS = [name for name, ok in available_backends().items() if ok]
+
+
+def messages(params, count):
+    size = min(32, params.message_bytes)
+    return [bytes([(i + j) % 256 for j in range(size)]) for i in range(count)]
+
+
+class TestEncryptBatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_roundtrip(self, backend):
+        scheme = seeded_scheme(P1, seed=0, backend=backend)
+        keypair = scheme.generate_keypair()
+        batch = messages(P1, 16)
+        ciphertexts = scheme.encrypt_batch(keypair.public, batch)
+        assert len(ciphertexts) == len(batch)
+        decrypted = scheme.decrypt_batch(
+            keypair.private, ciphertexts, length=32
+        )
+        # The scheme has a ~1% per-message decryption-failure rate at
+        # these legacy parameters; the seed above round-trips cleanly
+        # (failures are deterministic under a seed).
+        assert decrypted == batch
+
+    def test_batch_matches_across_backends(self):
+        outputs = {}
+        for backend in BACKENDS:
+            scheme = seeded_scheme(P2, seed=5, backend=backend)
+            keypair = scheme.generate_keypair()
+            ciphertexts = scheme.encrypt_batch(
+                keypair.public, messages(P2, 9)
+            )
+            outputs[backend] = [
+                (ct.c1_hat, ct.c2_hat) for ct in ciphertexts
+            ]
+        reference = outputs["python-reference"]
+        for backend, got in outputs.items():
+            assert got == reference, backend
+
+    def test_batch_matches_forced_no_numpy(self, monkeypatch):
+        def run():
+            scheme = seeded_scheme(P1, seed=13)
+            keypair = scheme.generate_keypair()
+            ciphertexts = scheme.encrypt_batch(
+                keypair.public, messages(P1, 8)
+            )
+            plain = scheme.decrypt_batch(keypair.private, ciphertexts)
+            return [(ct.c1_hat, ct.c2_hat) for ct in ciphertexts], plain
+
+        with_numpy = run()
+        monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+        without_numpy = run()
+        assert with_numpy == without_numpy
+
+    def test_empty_batch(self):
+        scheme = seeded_scheme(P1, seed=1)
+        keypair = scheme.generate_keypair()
+        assert scheme.encrypt_batch(keypair.public, []) == []
+        assert scheme.decrypt_batch(keypair.private, []) == []
+
+    def test_oversized_message_rejected(self):
+        scheme = seeded_scheme(P1, seed=1)
+        keypair = scheme.generate_keypair()
+        too_big = bytes(P1.message_bytes + 1)
+        with pytest.raises(ValueError, match="exceeds"):
+            scheme.encrypt_batch(keypair.public, [too_big])
+
+    def test_wrong_parameter_set_rejected(self):
+        scheme_p1 = seeded_scheme(P1, seed=1)
+        scheme_p2 = seeded_scheme(P2, seed=1)
+        keypair_p2 = scheme_p2.generate_keypair()
+        with pytest.raises(ValueError, match="parameter set"):
+            scheme_p1.encrypt_batch(keypair_p2.public, messages(P1, 2))
+
+    def test_decrypt_batch_mixed_params_rejected(self):
+        scheme_p1 = seeded_scheme(P1, seed=1)
+        scheme_p2 = seeded_scheme(P2, seed=1)
+        kp1 = scheme_p1.generate_keypair()
+        kp2 = scheme_p2.generate_keypair()
+        ct_p2 = scheme_p2.encrypt(kp2.public, b"x")
+        with pytest.raises(ValueError, match="parameter set"):
+            scheme_p1.decrypt_polynomial_batch(kp1.private, [ct_p2])
+
+
+class TestEncodeBatch:
+    def test_matches_single_encoder(self):
+        batch = messages(P1, 10) + [b"", b"\x01"]
+        encoded = encoding.encode_bytes_batch(batch, P1)
+        expected = [encoding.encode_bytes(m, P1) for m in batch]
+        assert [list(map(int, row)) for row in encoded] == expected
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            encoding.encode_bytes_batch([bytes(P1.message_bytes + 1)], P1)
+
+
+class TestKemBatch:
+    def test_encapsulate_many_roundtrip(self):
+        scheme = seeded_scheme(P1, seed=33)
+        kem = RlweKem(scheme)
+        keypair = scheme.generate_keypair()
+        results = kem.encapsulate_many(keypair.public, 12)
+        assert len(results) == 12
+        agreed = 0
+        for encapsulation, sender_secret in results:
+            try:
+                receiver = kem.decapsulate(
+                    keypair.private, keypair.public, encapsulation
+                )
+            except Exception:
+                continue
+            assert receiver.key == sender_secret.key
+            agreed += 1
+        # Decryption failures are ~1%/message; the overwhelming majority
+        # of a 12-message batch must agree.
+        assert agreed >= 10
+
+    def test_encapsulate_many_backend_independent(self):
+        outputs = {}
+        for backend in BACKENDS:
+            scheme = seeded_scheme(P1, seed=17, backend=backend)
+            kem = RlweKem(scheme)
+            keypair = scheme.generate_keypair()
+            outputs[backend] = [
+                (enc.ciphertext.c1_hat, enc.tag, secret.key)
+                for enc, secret in kem.encapsulate_many(keypair.public, 5)
+            ]
+        reference = outputs["python-reference"]
+        for backend, got in outputs.items():
+            assert got == reference, backend
+
+    def test_negative_count_rejected(self):
+        scheme = seeded_scheme(P1, seed=1)
+        kem = RlweKem(scheme)
+        keypair = scheme.generate_keypair()
+        with pytest.raises(ValueError):
+            kem.encapsulate_many(keypair.public, -1)
+
+
+class TestBlockSampler:
+    def make_sampler(self, seed):
+        return LutKnuthYaoSampler(
+            ProbabilityMatrix.for_params(P1),
+            P1.q,
+            PrngBitSource(Xorshift128(seed)),
+        )
+
+    def test_scalar_and_numpy_paths_identical(self, monkeypatch):
+        fast = self.make_sampler(8).sample_block(3000)
+        monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+        slow = self.make_sampler(8).sample_block(3000)
+        assert list(map(int, fast)) == slow
+
+    def test_statistics_counters(self):
+        sampler = self.make_sampler(4)
+        count = 5000
+        sampler.sample_block(count)
+        assert (
+            sampler.lut1_hits + sampler.lut2_hits + sampler.scan_fallbacks
+            == count
+        )
+        # Paper: LUT1 resolves ~97% of samples at these parameters.
+        assert sampler.lut1_hits > 0.9 * count
+
+    def test_values_in_range(self):
+        block = self.make_sampler(2).sample_block(2000)
+        assert all(0 <= int(v) < P1.q for v in block)
+
+    def test_distribution_moments(self):
+        block = self.make_sampler(6).sample_block(20000)
+        centered = [
+            int(v) if int(v) <= P1.q // 2 else int(v) - P1.q for v in block
+        ]
+        mean = sum(centered) / len(centered)
+        variance = sum((c - mean) ** 2 for c in centered) / len(centered)
+        assert abs(mean) < 0.15
+        assert abs(variance - P1.sigma**2) < 1.0
+
+    def test_polynomial_block_shape(self):
+        polys = self.make_sampler(3).sample_polynomial_block(5, P1.n)
+        assert len(polys) == 5
+        assert all(len(poly) == P1.n for poly in polys)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_sampler(1).sample_block(-1)

@@ -81,3 +81,59 @@ class TestTablesCommand:
     def test_fig1(self, capsys):
         assert main(["tables", "--only", "fig1"]) == 0
         assert "probability matrix" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_roundtrip_with_numpy_backend(self, tmp_path, capsys):
+        from repro.backend import available_backends
+
+        backend = (
+            "numpy" if available_backends()["numpy"] else "python-packed"
+        )
+        pub, prv = tmp_path / "pk", tmp_path / "sk"
+        msg, ct, out = tmp_path / "m", tmp_path / "c", tmp_path / "o"
+        msg.write_bytes(b"backend flag")
+        assert main(
+            ["keygen", "--public", str(pub), "--private", str(prv),
+             "--backend", backend]
+        ) == 0
+        assert main(
+            ["encrypt", "--public", str(pub), "--in", str(msg),
+             "--out", str(ct), "--backend", backend]
+        ) == 0
+        assert main(
+            ["decrypt", "--private", str(prv), "--in", str(ct),
+             "--out", str(out), "--length", "12", "--backend", backend]
+        ) == 0
+        assert out.read_bytes() == b"backend flag"
+
+    def test_backend_flag_changes_nothing(self, tmp_path):
+        """Backends are bit-identical: same seed, same ciphertext."""
+        files = {}
+        for backend in ("python-reference", "python-packed"):
+            pub = tmp_path / f"pk-{backend}"
+            prv = tmp_path / f"sk-{backend}"
+            main(["keygen", "--seed", "44", "--public", str(pub),
+                  "--private", str(prv), "--backend", backend])
+            files[backend] = (pub.read_bytes(), prv.read_bytes())
+        assert files["python-reference"] == files["python-packed"]
+
+
+class TestBenchBackendsCommand:
+    def test_smoke_and_json(self, tmp_path, capsys):
+        report_path = tmp_path / "bench.json"
+        assert main(
+            ["bench-backends", "--batch-sizes", "1,4", "--repeats", "1",
+             "--backends", "python-reference", "--json", str(report_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "baseline [P1]" in output
+        assert "python-reference" in output
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["benchmark"] == "backend_throughput"
+        assert {row["batch_size"] for row in report["results"]} == {1, 4}
+        for row in report["results"]:
+            assert row["encrypt_msgs_per_sec"] > 0
+            assert row["speedup_vs_single_python"] > 0

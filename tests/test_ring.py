@@ -165,3 +165,31 @@ class TestInspection:
         assert e.centered()[:2] == [-1, 1]
         assert e.infinity_norm() == 1
         assert RingElement.zero(SMALL).infinity_norm() == 0
+
+
+class TestParameterSetEquality:
+    def test_equal_valued_parameter_sets_are_compatible(self):
+        """Regression: _check_compatible compared params with `is`, so
+        two equal-valued ParameterSet instances wrongly raised."""
+        from repro.core.params import custom_parameter_set
+
+        clone = custom_parameter_set(
+            SMALL.n, SMALL.q, SMALL.s, name=SMALL.name
+        )
+        assert clone is not SMALL
+        a = RingElement.from_coefficients(SMALL, range(SMALL.n))
+        b = RingElement.from_coefficients(clone, [1] * SMALL.n)
+        total = a + b
+        assert total.coefficients == tuple(
+            (c + 1) % SMALL.q for c in range(SMALL.n)
+        )
+        assert (a * b).domain is Domain.COEFFICIENT
+
+    def test_different_rings_still_rejected(self):
+        from repro.core.params import custom_parameter_set
+
+        other = custom_parameter_set(SMALL.n, 193, SMALL.s)
+        a = RingElement.one(SMALL)
+        b = RingElement.one(other)
+        with pytest.raises(ValueError, match="different rings"):
+            a + b
