@@ -1,0 +1,257 @@
+"""Service-layer throughput benchmark with machine-readable output.
+
+Starts the micro-batching server in-process and drives it with the
+closed-loop load generator across a grid of coalescer batch windows and
+client concurrency levels, then writes ``BENCH_service_throughput.json``
+so later PRs can track the serving-path perf trajectory.  Not collected
+by pytest (no ``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \\
+        --ops encrypt --concurrency 8,32 --windows 1:0,32:2 --quick
+
+Per (op, window, concurrency) run the JSON records ops/s, p50/p90/p99
+latency, and the server-observed mean batch size; the ``speedups``
+section compares the best coalesced window against the window-1
+baseline (which serves through the scheme's single-message API — the
+server a repo without the coalescer would be) at each concurrency
+level.  The PR 2 acceptance bar is >= 5x at concurrency >= 32 on the
+NumPy backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro import __version__, get_parameter_set, seeded_scheme
+from repro.backend import available_backends
+from repro.numpy_support import get_numpy
+from repro.service.loadgen import run_load
+from repro.service.server import start_server
+
+DEFAULT_OUTPUT = "BENCH_service_throughput.json"
+
+
+def _parse_windows(spec: str) -> List[Tuple[int, float]]:
+    """``"1:0,32:2"`` -> [(1, 0.0), (32, 2.0)] (max_batch : max_wait_ms)."""
+    windows = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        batch_text, _, wait_text = part.partition(":")
+        windows.append((int(batch_text), float(wait_text or 0.0)))
+    return windows
+
+
+async def _run_grid(
+    params_name: str,
+    backend: str,
+    seed: int,
+    ops: Sequence[str],
+    windows: Sequence[Tuple[int, float]],
+    concurrency_levels: Sequence[int],
+    requests_factor: int,
+    min_requests: int,
+) -> List[Dict]:
+    results = []
+    for max_batch, max_wait_ms in windows:
+        for op in ops:
+            for concurrency in concurrency_levels:
+                # A fresh server per cell: batcher stats then describe
+                # exactly this run, and no warm cache bleeds between cells.
+                scheme = seeded_scheme(
+                    get_parameter_set(params_name), seed, backend=backend
+                )
+                server = await start_server(
+                    scheme,
+                    max_batch=max_batch,
+                    max_wait=max_wait_ms / 1e3,
+                )
+                requests = max(min_requests, concurrency * requests_factor)
+                try:
+                    load = await run_load(
+                        "127.0.0.1",
+                        server.port,
+                        op=op,
+                        concurrency=concurrency,
+                        requests=requests,
+                        message=bytes(range(32)),
+                    )
+                    # Non-batched ops (ping, get_public_key) have no
+                    # coalescer and report a zero batch size.
+                    stats = server.service.stats().get(
+                        op, {"mean_batch_size": 0.0}
+                    )
+                finally:
+                    await server.close()
+                row = {
+                    "op": op,
+                    "max_batch": max_batch,
+                    "max_wait_ms": max_wait_ms,
+                    "concurrency": concurrency,
+                    "requests": requests,
+                    "errors": load["errors"],
+                    "ops_per_sec": load["ops_per_sec"],
+                    "p50_ms": load["latency_ms"]["p50"],
+                    "p90_ms": load["latency_ms"]["p90"],
+                    "p99_ms": load["latency_ms"]["p99"],
+                    "mean_batch_size": stats["mean_batch_size"],
+                }
+                results.append(row)
+                print(
+                    f"  {op:<12} window {max_batch:>3} "
+                    f"(wait {max_wait_ms:g}ms)  conc {concurrency:>4}  "
+                    f"{row['ops_per_sec']:>8.0f} ops/s  "
+                    f"p50 {row['p50_ms']:>7.2f}ms  "
+                    f"p99 {row['p99_ms']:>7.2f}ms  "
+                    f"mean batch {row['mean_batch_size']:.1f}",
+                    flush=True,
+                )
+    return results
+
+
+def _speedups(results: List[Dict]) -> List[Dict]:
+    """Best coalesced window vs the window-1 baseline per (op, conc)."""
+    speedups = []
+    keys = sorted(
+        {(r["op"], r["concurrency"]) for r in results if r["max_batch"] == 1}
+    )
+    for op, concurrency in keys:
+        base = next(
+            r
+            for r in results
+            if r["op"] == op
+            and r["concurrency"] == concurrency
+            and r["max_batch"] == 1
+        )
+        coalesced = [
+            r
+            for r in results
+            if r["op"] == op
+            and r["concurrency"] == concurrency
+            and r["max_batch"] > 1
+        ]
+        if not coalesced or base["ops_per_sec"] <= 0:
+            continue
+        best = max(coalesced, key=lambda r: r["ops_per_sec"])
+        speedups.append(
+            {
+                "op": op,
+                "concurrency": concurrency,
+                "window1_ops_per_sec": base["ops_per_sec"],
+                "best_coalesced_ops_per_sec": best["ops_per_sec"],
+                "best_window": best["max_batch"],
+                "speedup": best["ops_per_sec"] / base["ops_per_sec"],
+            }
+        )
+    return speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="service throughput benchmark (JSON-emitting)"
+    )
+    parser.add_argument("--params", default="P1")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="default: numpy when available, else python-reference",
+    )
+    parser.add_argument("--ops", default="encrypt,encapsulate")
+    parser.add_argument(
+        "--windows",
+        default="1:0,16:1,64:4",
+        help="comma-separated max_batch:max_wait_ms pairs",
+    )
+    parser.add_argument("--concurrency", default="8,32,128")
+    parser.add_argument(
+        "--requests-factor",
+        type=int,
+        default=8,
+        help="requests per run = max(min-requests, concurrency * factor)",
+    )
+    parser.add_argument("--min-requests", type=int, default=64)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid for CI smoke (encrypt only, conc 8/32)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    backend = args.backend
+    if backend is None:
+        backend = (
+            "numpy"
+            if available_backends().get("numpy")
+            else "python-reference"
+        )
+    if args.quick:
+        ops = ["encrypt"]
+        windows = _parse_windows("1:0,32:2")
+        concurrency_levels = [8, 32]
+        requests_factor, min_requests = 4, 32
+    else:
+        ops = [op.strip() for op in args.ops.split(",") if op.strip()]
+        windows = _parse_windows(args.windows)
+        concurrency_levels = [
+            int(c) for c in args.concurrency.split(",") if c.strip()
+        ]
+        requests_factor, min_requests = args.requests_factor, args.min_requests
+
+    np = get_numpy()
+    print(
+        f"service throughput bench: {args.params} backend={backend} "
+        f"ops={','.join(ops)}",
+        flush=True,
+    )
+    started = time.time()
+    results = asyncio.run(
+        _run_grid(
+            args.params,
+            backend,
+            args.seed,
+            ops,
+            windows,
+            concurrency_levels,
+            requests_factor,
+            min_requests,
+        )
+    )
+    speedups = _speedups(results)
+    report = {
+        "benchmark": "service_throughput",
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "numpy": getattr(np, "__version__", None) if np else None,
+        "params": args.params,
+        "backend": backend,
+        "results": results,
+        "speedups": speedups,
+        "wall_seconds": time.time() - started,
+    }
+
+    print()
+    for row in speedups:
+        print(
+            f"{row['op']} @ conc {row['concurrency']}: "
+            f"window-1 {row['window1_ops_per_sec']:.0f} ops/s -> "
+            f"window-{row['best_window']} "
+            f"{row['best_coalesced_ops_per_sec']:.0f} ops/s "
+            f"= {row['speedup']:.1f}x"
+        )
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ Subcommands
     Per-phase cycle breakdown of one encryption/decryption.
 ``bench-backends``
     Encrypt/decrypt throughput per compute backend and batch size.
+``serve``
+    The micro-batching key-transport server (encrypt / decrypt /
+    encapsulate / decapsulate over length-prefixed frames).
+``loadgen``
+    Closed-/open-loop load generation against a running server.
 
 The file-based commands accept ``--backend`` (also settable session-wide
 via the ``REPRO_BACKEND`` environment variable) to pick the
@@ -109,6 +114,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write the report as JSON here"
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the micro-batching key-transport server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8470)
+    serve.add_argument("--params", default="P1", help="P1 or P2")
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="coalescer window size (1 disables batching)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="max milliseconds a partial window waits before flushing",
+    )
+    add_backend_flag(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running server and measure latency"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8470)
+    loadgen.add_argument(
+        "--op",
+        default="encapsulate",
+        choices=[
+            "ping",
+            "get_public_key",
+            "encrypt",
+            "decrypt",
+            "encapsulate",
+            "decapsulate",
+        ],
+    )
+    loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
+    loadgen.add_argument("--concurrency", type=int, default=32)
+    loadgen.add_argument("--requests", type=int, default=256)
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop offered ops/s"
+    )
+    loadgen.add_argument("--connections", type=int, default=1)
+    loadgen.add_argument(
+        "--message-bytes", type=int, default=32, help="encrypt payload size"
+    )
+    loadgen.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to retry the initial connection",
+    )
+    loadgen.add_argument(
+        "--json", default=None, help="also write the result as JSON here"
+    )
+
     sample = sub.add_parser("sample", help="draw Gaussian samples")
     sample.add_argument("--params", default="P1")
     sample.add_argument("--count", type=int, default=10000)
@@ -166,9 +229,20 @@ def _cmd_keygen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_wire_object(path: str, deserializer, what: str):
+    """Deserialize an untrusted file with a clean CLI error, no traceback."""
+    with open(path, "rb") as f:
+        data = f.read()
+    try:
+        return deserializer(data)
+    except ValueError as exc:
+        raise SystemExit(f"error: {path} is not a valid {what}: {exc}")
+
+
 def _cmd_encrypt(args: argparse.Namespace) -> int:
-    with open(args.public, "rb") as f:
-        public = serialize.deserialize_public_key(f.read())
+    public = _read_wire_object(
+        args.public, serialize.deserialize_public_key, "public key"
+    )
     with open(args.infile, "rb") as f:
         message = f.read()
     scheme = _scheme(public.params.name, args.seed, args.backend)
@@ -189,12 +263,18 @@ def _cmd_encrypt(args: argparse.Namespace) -> int:
 
 
 def _cmd_decrypt(args: argparse.Namespace) -> int:
-    with open(args.private, "rb") as f:
-        private = serialize.deserialize_private_key(f.read())
-    with open(args.infile, "rb") as f:
-        ct = serialize.deserialize_ciphertext(f.read())
+    private = _read_wire_object(
+        args.private, serialize.deserialize_private_key, "private key"
+    )
+    ct = _read_wire_object(
+        args.infile, serialize.deserialize_ciphertext, "ciphertext"
+    )
     scheme = _scheme(private.params.name, None, args.backend)
-    message = scheme.decrypt(private, ct, length=args.length)
+    try:
+        message = scheme.decrypt(private, ct, length=args.length)
+    except ValueError as exc:
+        # Out-of-range --length (negative or beyond capacity).
+        raise SystemExit(f"error: {exc}")
     with open(args.out, "wb") as f:
         f.write(message)
     print(f"wrote {len(message)} plaintext bytes")
@@ -290,6 +370,102 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import start_server
+
+    if args.max_batch < 1:
+        raise SystemExit("error: --max-batch must be >= 1")
+    if args.max_wait_ms < 0:
+        raise SystemExit("error: --max-wait-ms must be >= 0")
+    scheme = _scheme(args.params, args.seed, args.backend)
+
+    async def serve() -> None:
+        server = await start_server(
+            scheme,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1e3,
+        )
+        mode = (
+            "direct single-message path (batching off)"
+            if args.max_batch == 1
+            else f"max_batch={args.max_batch}, "
+            f"max_wait={args.max_wait_ms:g}ms"
+        )
+        print(
+            f"serving {scheme.params.name} on {args.host}:{server.port} "
+            f"[backend={scheme.backend.name}, {mode}]",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+            stats = server.service.stats()
+            busiest = max(stats.values(), key=lambda s: s["items"])
+            print(
+                f"shutdown: {server.connections_served} connection(s), "
+                f"{sum(s['items'] for s in stats.values())} request(s), "
+                f"busiest op mean batch "
+                f"{busiest['mean_batch_size']:.1f}",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import render_result, run_load
+    from repro.service.protocol import ServiceError
+
+    try:
+        result = asyncio.run(
+            run_load(
+                args.host,
+                args.port,
+                op=args.op,
+                mode=args.mode,
+                concurrency=args.concurrency,
+                requests=args.requests,
+                rate=args.rate,
+                connections=args.connections,
+                message=bytes(
+                    i % 256 for i in range(max(0, args.message_bytes))
+                ),
+                connect_timeout=args.connect_timeout,
+            )
+        )
+    except (OSError, ValueError, ServiceError) as exc:
+        # ServiceError surfaces when the op's fixture setup (e.g. the
+        # ciphertext a decrypt run replays) is rejected by the server.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_result(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(result, f, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if result["errors"] == 0 else 1
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "keygen": _cmd_keygen,
@@ -298,6 +474,8 @@ _COMMANDS = {
     "sample": _cmd_sample,
     "profile": _cmd_profile,
     "bench-backends": _cmd_bench_backends,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -9,7 +9,7 @@ the window ``(q/4, 3q/4]`` — the threshold decoder of Section II-A.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.params import ParameterSet
 from repro.numpy_support import get_numpy
@@ -122,11 +122,13 @@ def encode_bytes_batch(
 
 
 def decode_bytes(
-    poly: Sequence[int], params: ParameterSet, length: int = None
+    poly: Sequence[int], params: ParameterSet, length: Optional[int] = None
 ) -> bytes:
     """Decode a polynomial to bytes; ``length`` trims zero padding."""
     data = bytes_from_bits(decode_bits(poly, params))
     if length is not None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
         if length > len(data):
             raise ValueError("requested length exceeds capacity")
         data = data[:length]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.scheme import (
     Ciphertext,
@@ -115,6 +115,37 @@ class RlweKem:
         for secret, ciphertext in zip(secrets, ciphertexts):
             key, tag = _derive(secret, public)
             out.append((Encapsulation(ciphertext, tag), SharedSecret(key)))
+        return out
+
+    def decapsulate_many(
+        self,
+        private: PrivateKey,
+        public: PublicKey,
+        encapsulations: "Sequence[Encapsulation]",
+    ) -> "List[Optional[SharedSecret]]":
+        """Decapsulate a batch; failed entries come back as ``None``.
+
+        The decryption half runs through the scheme's batched path (one
+        backend batch call for the whole sequence); the per-item tag
+        check then turns decryption failures or tampering into ``None``
+        rather than an exception, so one bad encapsulation cannot mask
+        the rest of the batch — the shape a server terminating many
+        handshakes needs.
+        """
+        if not encapsulations:
+            return []
+        secrets = self.scheme.decrypt_batch(
+            private,
+            [e.ciphertext for e in encapsulations],
+            length=SECRET_BYTES,
+        )
+        out: List[Optional[SharedSecret]] = []
+        for secret, encapsulation in zip(secrets, encapsulations):
+            key, tag = _derive(secret, public)
+            if hmac.compare_digest(tag, encapsulation.tag):
+                out.append(SharedSecret(key))
+            else:
+                out.append(None)
         return out
 
     def decapsulate(

@@ -1,10 +1,26 @@
-"""Wire formats for keys and ciphertexts.
+"""Wire formats for keys, ciphertexts, and KEM encapsulations.
 
 Coefficients in [0, q) need only 13 bits (q = 7681) or 14 bits
 (q = 12289), so polynomials are bit-packed rather than stored as
 halfwords: a P1 polynomial costs 416 bytes on the wire instead of 512.
 Objects carry a small header identifying the parameter set so that
 deserialisation is self-describing.
+
+These functions are the trust boundary of the service layer
+(:mod:`repro.service`): every byte string a ``deserialize_*`` function
+sees may come from an untrusted network peer.  The contract is strict:
+
+* any malformed input — bad magic, truncated header, unknown parameter
+  set, truncated body, **surplus trailing bytes**, out-of-range
+  coefficients — raises :exc:`ValueError`, never ``struct.error`` /
+  ``KeyError`` / ``IndexError``;
+* a serialized object deserialises to an equal object (round-trip), and
+  deserialisation accepts *exactly* the bytes serialisation produced.
+
+Bit-packing runs through a vectorized NumPy fast path when NumPy is
+available (serialisation is the hot path of a batched server, where the
+polynomial arithmetic is already amortised); the pure-Python scalar
+path is bit-identical.
 """
 
 from __future__ import annotations
@@ -12,8 +28,10 @@ from __future__ import annotations
 import struct
 from typing import List, Sequence, Tuple
 
+from repro.core.kem import TAG_BYTES, Encapsulation
 from repro.core.params import ParameterSet, get_parameter_set
 from repro.core.scheme import Ciphertext, KeyPair, PrivateKey, PublicKey
+from repro.numpy_support import get_numpy
 
 _MAGIC = b"RLWE"
 _VERSION = 1
@@ -21,11 +39,15 @@ _VERSION = 1
 _KIND_PUBLIC = 1
 _KIND_PRIVATE = 2
 _KIND_CIPHERTEXT = 3
+_KIND_ENCAPSULATION = 4
 
 
-def pack_coefficients(coefficients: Sequence[int], q: int) -> bytes:
-    """Bit-pack coefficients in [0, q) at ceil(log2 q) bits each."""
-    width = (q - 1).bit_length()
+# ----------------------------------------------------------------------
+# Coefficient bit-packing
+# ----------------------------------------------------------------------
+def _pack_coefficients_scalar(
+    coefficients: Sequence[int], q: int, width: int
+) -> bytes:
     acc = 0
     acc_bits = 0
     out = bytearray()
@@ -43,12 +65,34 @@ def pack_coefficients(coefficients: Sequence[int], q: int) -> bytes:
     return bytes(out)
 
 
-def unpack_coefficients(data: bytes, count: int, q: int) -> List[int]:
-    """Inverse of :func:`pack_coefficients`."""
+def _pack_coefficients_numpy(
+    np, coefficients: Sequence[int], q: int, width: int
+) -> bytes:
+    arr = np.asarray(coefficients, dtype=np.int64)
+    if arr.size == 0:
+        return b""
+    bad = (arr < 0) | (arr >= q)
+    if bad.any():
+        offender = int(arr[bad][0])
+        raise ValueError(f"coefficient {offender} out of [0, {q})")
+    bits = (arr[:, None] >> np.arange(width, dtype=np.int64)) & 1
+    return np.packbits(
+        bits.astype(np.uint8).reshape(-1), bitorder="little"
+    ).tobytes()
+
+
+def pack_coefficients(coefficients: Sequence[int], q: int) -> bytes:
+    """Bit-pack coefficients in [0, q) at ceil(log2 q) bits each."""
     width = (q - 1).bit_length()
-    needed = (count * width + 7) // 8
-    if len(data) < needed:
-        raise ValueError(f"need {needed} bytes, got {len(data)}")
+    np = get_numpy()
+    if np is not None:
+        return _pack_coefficients_numpy(np, coefficients, q, width)
+    return _pack_coefficients_scalar(coefficients, q, width)
+
+
+def _unpack_coefficients_scalar(
+    data: bytes, count: int, q: int, width: int
+) -> List[int]:
     acc = 0
     acc_bits = 0
     cursor = 0
@@ -68,17 +112,50 @@ def unpack_coefficients(data: bytes, count: int, q: int) -> List[int]:
     return out
 
 
+def _unpack_coefficients_numpy(
+    np, data: bytes, count: int, q: int, width: int, needed: int
+) -> List[int]:
+    raw = np.frombuffer(data[:needed], dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little")[: count * width]
+    weights = np.int64(1) << np.arange(width, dtype=np.int64)
+    values = bits.reshape(count, width).astype(np.int64) @ weights
+    bad = values >= q
+    if bad.any():
+        offender = int(values[bad][0])
+        raise ValueError(f"decoded coefficient {offender} >= q = {q}")
+    return [int(v) for v in values]
+
+
+def unpack_coefficients(data: bytes, count: int, q: int) -> List[int]:
+    """Inverse of :func:`pack_coefficients`."""
+    width = (q - 1).bit_length()
+    needed = (count * width + 7) // 8
+    if len(data) < needed:
+        raise ValueError(f"need {needed} bytes, got {len(data)}")
+    np = get_numpy()
+    if np is not None:
+        return _unpack_coefficients_numpy(np, data, count, q, width, needed)
+    return _unpack_coefficients_scalar(data, count, q, width)
+
+
 def polynomial_wire_bytes(params: ParameterSet) -> int:
     """Serialized size of one polynomial."""
     return (params.n * params.coefficient_bits + 7) // 8
 
 
+# ----------------------------------------------------------------------
+# Headers
+# ----------------------------------------------------------------------
 def _header(kind: int, params: ParameterSet) -> bytes:
     name = params.name.encode()
     return _MAGIC + struct.pack("<BBB", _VERSION, kind, len(name)) + name
 
 
 def _parse_header(data: bytes, expect_kind: int) -> Tuple[ParameterSet, int]:
+    if len(data) < 7:
+        raise ValueError(
+            f"buffer of {len(data)} bytes is too short for a header"
+        )
     if data[:4] != _MAGIC:
         raise ValueError("bad magic: not a repro-serialized object")
     version, kind, name_len = struct.unpack_from("<BBB", data, 4)
@@ -87,10 +164,30 @@ def _parse_header(data: bytes, expect_kind: int) -> Tuple[ParameterSet, int]:
     if kind != expect_kind:
         raise ValueError(f"object kind {kind} != expected {expect_kind}")
     offset = 7 + name_len
-    params = get_parameter_set(data[7:offset].decode())
+    if len(data) < offset:
+        raise ValueError("truncated header: parameter-set name cut short")
+    try:
+        name = data[7:offset].decode("ascii")
+    except UnicodeDecodeError:
+        raise ValueError("parameter-set name is not ASCII") from None
+    try:
+        params = get_parameter_set(name)
+    except KeyError as exc:
+        raise ValueError(str(exc.args[0])) from None
     return params, offset
 
 
+def _check_exact_length(data: bytes, expected: int, what: str) -> None:
+    """Reject both truncated and trailing-garbage buffers."""
+    if len(data) != expected:
+        raise ValueError(
+            f"{what}: expected exactly {expected} bytes, got {len(data)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Wire objects
+# ----------------------------------------------------------------------
 def serialize_public_key(key: PublicKey) -> bytes:
     body = pack_coefficients(key.a_hat, key.params.q)
     body += pack_coefficients(key.p_hat, key.params.q)
@@ -100,6 +197,7 @@ def serialize_public_key(key: PublicKey) -> bytes:
 def deserialize_public_key(data: bytes) -> PublicKey:
     params, offset = _parse_header(data, _KIND_PUBLIC)
     size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + 2 * size, "public key")
     a_hat = unpack_coefficients(data[offset : offset + size], params.n, params.q)
     p_hat = unpack_coefficients(
         data[offset + size : offset + 2 * size], params.n, params.q
@@ -116,6 +214,7 @@ def serialize_private_key(key: PrivateKey) -> bytes:
 def deserialize_private_key(data: bytes) -> PrivateKey:
     params, offset = _parse_header(data, _KIND_PRIVATE)
     size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + size, "private key")
     r2_hat = unpack_coefficients(
         data[offset : offset + size], params.n, params.q
     )
@@ -131,11 +230,38 @@ def serialize_ciphertext(ct: Ciphertext) -> bytes:
 def deserialize_ciphertext(data: bytes) -> Ciphertext:
     params, offset = _parse_header(data, _KIND_CIPHERTEXT)
     size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + 2 * size, "ciphertext")
     c1 = unpack_coefficients(data[offset : offset + size], params.n, params.q)
     c2 = unpack_coefficients(
         data[offset + size : offset + 2 * size], params.n, params.q
     )
     return Ciphertext(params, tuple(c1), tuple(c2))
+
+
+def serialize_encapsulation(encapsulation: Encapsulation) -> bytes:
+    """Serialize a KEM encapsulation: ciphertext + confirmation tag."""
+    ct = encapsulation.ciphertext
+    if len(encapsulation.tag) != TAG_BYTES:
+        raise ValueError(
+            f"confirmation tag must be {TAG_BYTES} bytes, "
+            f"got {len(encapsulation.tag)}"
+        )
+    body = pack_coefficients(ct.c1_hat, ct.params.q)
+    body += pack_coefficients(ct.c2_hat, ct.params.q)
+    body += encapsulation.tag
+    return _header(_KIND_ENCAPSULATION, ct.params) + body
+
+
+def deserialize_encapsulation(data: bytes) -> Encapsulation:
+    params, offset = _parse_header(data, _KIND_ENCAPSULATION)
+    size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + 2 * size + TAG_BYTES, "encapsulation")
+    c1 = unpack_coefficients(data[offset : offset + size], params.n, params.q)
+    c2 = unpack_coefficients(
+        data[offset + size : offset + 2 * size], params.n, params.q
+    )
+    tag = data[offset + 2 * size :]
+    return Encapsulation(Ciphertext(params, tuple(c1), tuple(c2)), tag)
 
 
 def serialize_keypair(pair: KeyPair) -> "tuple[bytes, bytes]":

@@ -1,0 +1,35 @@
+"""The ring-LWE key-transport service layer.
+
+The paper's Table IV frames the scheme as the post-quantum replacement
+for ECIES key transport; this package is the serving side of that
+story.  It exposes the PR 1 batched throughput engine over a socket:
+
+* :mod:`repro.service.protocol` — length-prefixed binary framing with
+  multiplexed request ids, riding on the :mod:`repro.core.serialize`
+  wire objects;
+* :mod:`repro.service.coalescer` — the micro-batching request
+  coalescer that turns concurrent single requests into one batched
+  backend call (the inference-server pattern applied to lattice
+  crypto);
+* :mod:`repro.service.server` — the asyncio server
+  (``rlwe-repro serve``) exposing encrypt / decrypt / encapsulate /
+  decapsulate;
+* :mod:`repro.service.client` — the pipelining async client;
+* :mod:`repro.service.loadgen` — closed- and open-loop load
+  generation with latency percentiles (``rlwe-repro loadgen``).
+"""
+
+from repro.service.client import RlweServiceClient
+from repro.service.coalescer import MicroBatcher
+from repro.service.loadgen import run_load
+from repro.service.protocol import ServiceError
+from repro.service.server import RlweService, RlweServiceServer
+
+__all__ = [
+    "MicroBatcher",
+    "RlweService",
+    "RlweServiceClient",
+    "RlweServiceServer",
+    "ServiceError",
+    "run_load",
+]

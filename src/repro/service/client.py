@@ -1,0 +1,171 @@
+"""Pipelining async client for the key-transport service.
+
+One connection carries many in-flight requests: each request gets a
+fresh 32-bit id, responses are matched back by id, and a background
+reader task dispatches them — so ``asyncio.gather`` over many calls
+pipelines naturally and feeds the server's micro-batching coalescer.
+
+    client = await RlweServiceClient.connect("127.0.0.1", 8470)
+    keys = await asyncio.gather(*[client.encapsulate() for _ in range(64)])
+    await client.close()
+
+Non-OK responses raise :class:`~repro.service.protocol.ServiceError`
+with the wire status attached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.core.kem import SECRET_BYTES
+from repro.service import protocol
+from repro.service.protocol import (
+    OP_DECAPSULATE,
+    OP_DECRYPT,
+    OP_ENCAPSULATE,
+    OP_ENCRYPT,
+    OP_GET_PUBLIC_KEY,
+    OP_PING,
+    STATUS_OK,
+    Request,
+    ServiceError,
+)
+
+
+class RlweServiceClient:
+    """Multiplexed client over one framed connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 8470
+    ) -> "RlweServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "RlweServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    # ------------------------------------------------------------------
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await protocol.read_frame(self._reader)
+                if payload is None:
+                    self._fail_pending(
+                        ConnectionError("server closed the connection")
+                    )
+                    return
+                response = protocol.decode_response(payload)
+                future = self._pending.pop(response.request_id, None)
+                if future is None or future.done():
+                    continue  # cancelled or unsolicited; drop it
+                if response.status == STATUS_OK:
+                    future.set_result(response.body)
+                else:
+                    future.set_exception(
+                        ServiceError(
+                            response.status, response.body.decode(errors="replace")
+                        )
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - connection boundary
+            self._fail_pending(exc)
+
+    async def request(self, opcode: int, body: bytes = b"") -> bytes:
+        """Send one request and await its response body."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        if self._next_id == protocol.RESERVED_REQUEST_ID:
+            self._next_id = 0  # never allocate the server's error id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        protocol.write_frame(
+            self._writer,
+            protocol.encode_request(Request(request_id, opcode, body)),
+        )
+        await self._writer.drain()
+        try:
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def ping(self, payload: bytes = b"ping") -> bytes:
+        """Echo; raises on a dead or misbehaving server."""
+        return await self.request(OP_PING, payload)
+
+    async def get_public_key(self) -> bytes:
+        """The server's serialized public key."""
+        return await self.request(OP_GET_PUBLIC_KEY)
+
+    async def encrypt(self, message: bytes) -> bytes:
+        """Encrypt ``message`` under the server key; serialized ciphertext."""
+        return await self.request(OP_ENCRYPT, message)
+
+    async def decrypt(
+        self, ciphertext: bytes, length: Optional[int] = None
+    ) -> bytes:
+        """Decrypt a serialized ciphertext; ``length`` trims zero padding."""
+        data = await self.request(OP_DECRYPT, ciphertext)
+        if length is not None:
+            if length < 0:
+                raise ValueError(f"length must be non-negative, got {length}")
+            if length > len(data):
+                raise ValueError("requested length exceeds capacity")
+            data = data[:length]
+        return data
+
+    async def encapsulate(self) -> Tuple[bytes, bytes]:
+        """A fresh ``(session_key, serialized_encapsulation)`` pair."""
+        body = await self.request(OP_ENCAPSULATE)
+        if len(body) < SECRET_BYTES:
+            raise ValueError(
+                f"encapsulate response of {len(body)} bytes is shorter "
+                f"than the {SECRET_BYTES}-byte session key"
+            )
+        return body[:SECRET_BYTES], body[SECRET_BYTES:]
+
+    async def decapsulate(self, encapsulation: bytes) -> bytes:
+        """Recover the session key from a serialized encapsulation."""
+        return await self.request(OP_DECAPSULATE, encapsulation)

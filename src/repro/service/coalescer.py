@@ -1,0 +1,124 @@
+"""Micro-batching request coalescer.
+
+The PR 1 batched backend APIs (``encrypt_polynomial_batch``,
+``encapsulate_many``) reach ~14x the single-message throughput at batch
+64, but a server sees *single* requests.  :class:`MicroBatcher` bridges
+the two: concurrent ``submit`` calls queue into a window and flush
+through one batched backend call when either
+
+* the window holds ``max_batch`` items, or
+* ``max_wait`` seconds have passed since the first queued item —
+
+the classic inference-server trade of a bounded per-request latency
+penalty for batched throughput.  With ``max_batch=1`` every request
+flushes immediately, which is the unbatched baseline the benchmarks
+compare against.
+
+The flush function is synchronous and runs *on the event loop*: the
+work is GIL-bound NumPy/Python crypto, so a thread pool would add
+handoff latency without adding parallelism.  While a batch computes,
+new arrivals queue for the next window — which is exactly what keeps
+subsequent batches full under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+class MicroBatcher:
+    """Coalesce concurrent awaited items into batched flush calls.
+
+    Parameters
+    ----------
+    flush:
+        ``flush(items) -> results``, one result per item, in order.  A
+        result that is an :class:`Exception` instance is raised to that
+        item's waiter only; if ``flush`` itself raises, every waiter in
+        the batch gets the exception.
+    max_batch:
+        Flush as soon as the window holds this many items (>= 1).
+    max_wait:
+        Flush a partial window this many seconds after its first item
+        arrived.  ``0`` still yields to the event loop once, so
+        already-concurrent requests coalesce.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[List[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self._flush = flush
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._window: List[Tuple[Any, asyncio.Future]] = []
+        self._timer: "asyncio.TimerHandle | None" = None
+        #: Cumulative counters for benchmarks and the server's stats op.
+        self.stats: Dict[str, int] = {
+            "items": 0,
+            "flushes": 0,
+            "max_batch_seen": 0,
+        }
+
+    async def submit(self, item: Any) -> Any:
+        """Queue ``item`` and await its result from a batched flush."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._window.append((item, future))
+        if len(self._window) >= self.max_batch:
+            self.flush_pending()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_wait, self.flush_pending)
+        return await future
+
+    def flush_pending(self) -> None:
+        """Flush the current window immediately (idempotent when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._window:
+            return
+        window, self._window = self._window, []
+        items = [item for item, _ in window]
+        self.stats["items"] += len(items)
+        self.stats["flushes"] += 1
+        self.stats["max_batch_seen"] = max(
+            self.stats["max_batch_seen"], len(items)
+        )
+        try:
+            results = self._flush(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"flush returned {len(results)} results for "
+                    f"{len(items)} items"
+                )
+        except Exception as exc:
+            for _, future in window:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(window, results):
+            if future.done():
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average items per flush so far (0.0 before any flush)."""
+        flushes = self.stats["flushes"]
+        return self.stats["items"] / flushes if flushes else 0.0
+
+    def close(self) -> None:
+        """Cancel the pending timer and flush any queued items."""
+        self.flush_pending()

@@ -1,0 +1,196 @@
+"""Closed- and open-loop load generation for the service.
+
+Closed loop (``mode="closed"``): ``concurrency`` workers each issue
+their next request as soon as the previous one completes — the
+saturation-throughput measurement, and the regime where the coalescer's
+batches fill.  Open loop (``mode="open"``): requests fire at a fixed
+offered rate regardless of completions — the latency-under-load
+measurement, where a server slower than the offered rate shows
+unbounded queueing.
+
+Both modes record per-request latency and report ops/s plus
+mean/p50/p90/p99/max milliseconds, as a plain dict that the CLI renders
+and ``benchmarks/bench_service_throughput.py`` dumps to JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence
+
+from repro.service.client import RlweServiceClient
+from repro.service.protocol import ServiceError
+
+#: Operations the load generator can drive.
+LOADGEN_OPS = (
+    "ping",
+    "get_public_key",
+    "encrypt",
+    "decrypt",
+    "encapsulate",
+    "decapsulate",
+)
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = round(p / 100.0 * (len(sorted_values) - 1))
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
+
+
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(latencies)
+    to_ms = 1e3
+    return {
+        "mean": sum(ordered) / len(ordered) * to_ms,
+        "p50": percentile(ordered, 50) * to_ms,
+        "p90": percentile(ordered, 90) * to_ms,
+        "p99": percentile(ordered, 99) * to_ms,
+        "max": ordered[-1] * to_ms,
+    }
+
+
+async def connect_with_retry(
+    host: str, port: int, timeout: float = 0.0
+) -> RlweServiceClient:
+    """Connect, retrying for up to ``timeout`` seconds (0 = one try)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        try:
+            return await RlweServiceClient.connect(host, port)
+        except OSError:
+            if loop.time() >= deadline:
+                raise
+            await asyncio.sleep(0.1)
+
+
+async def _build_op(
+    clients: Sequence[RlweServiceClient], op: str, message: bytes
+) -> Callable[[RlweServiceClient], Awaitable]:
+    """Per-op callables; fixtures (ciphertext, encapsulation) made once."""
+    setup_client = clients[0]
+    if op == "ping":
+        return lambda c: c.ping()
+    if op == "get_public_key":
+        return lambda c: c.get_public_key()
+    if op == "encrypt":
+        return lambda c: c.encrypt(message)
+    if op == "decrypt":
+        ciphertext = await setup_client.encrypt(message)
+        return lambda c: c.decrypt(ciphertext)
+    if op == "encapsulate":
+        return lambda c: c.encapsulate()
+    if op == "decapsulate":
+        _, encapsulation = await setup_client.encapsulate()
+        return lambda c: c.decapsulate(encapsulation)
+    raise ValueError(f"unknown op {op!r}; choose from {LOADGEN_OPS}")
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    op: str = "encrypt",
+    mode: str = "closed",
+    concurrency: int = 8,
+    requests: int = 64,
+    rate: float = 100.0,
+    connections: int = 1,
+    message: bytes = b"",
+    connect_timeout: float = 0.0,
+) -> Dict:
+    """Drive the server and measure; returns the result dict."""
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if concurrency < 1 or requests < 1 or connections < 1:
+        raise ValueError("concurrency, requests, connections must be >= 1")
+    if mode == "open" and rate <= 0:
+        raise ValueError(f"open-loop rate must be positive, got {rate}")
+
+    clients = [
+        await connect_with_retry(host, port, connect_timeout)
+        for _ in range(connections)
+    ]
+    latencies: List[float] = []
+    errors = 0
+
+    async def _timed(op_fn, client) -> None:
+        nonlocal errors
+        start = time.perf_counter()
+        try:
+            await op_fn(client)
+        except (ServiceError, ConnectionError, OSError):
+            errors += 1
+        else:
+            latencies.append(time.perf_counter() - start)
+
+    try:
+        op_fn = await _build_op(clients, op, message)
+        wall_start = time.perf_counter()
+        if mode == "closed":
+            per_worker = [requests // concurrency] * concurrency
+            for i in range(requests % concurrency):
+                per_worker[i] += 1
+
+            async def worker(index: int) -> None:
+                client = clients[index % len(clients)]
+                for _ in range(per_worker[index]):
+                    await _timed(op_fn, client)
+
+            await asyncio.gather(*(worker(i) for i in range(concurrency)))
+        else:
+
+            async def fire(index: int) -> None:
+                await asyncio.sleep(index / rate)
+                await _timed(op_fn, clients[index % len(clients)])
+
+            await asyncio.gather(*(fire(i) for i in range(requests)))
+        wall = time.perf_counter() - wall_start
+    finally:
+        for client in clients:
+            await client.close()
+
+    completed = len(latencies)
+    result: Dict = {
+        "op": op,
+        "mode": mode,
+        "concurrency": concurrency,
+        "connections": connections,
+        "requests": requests,
+        "completed": completed,
+        "errors": errors,
+        "wall_seconds": wall,
+        "ops_per_sec": completed / wall if wall > 0 else 0.0,
+        "latency_ms": _latency_summary(latencies),
+    }
+    if mode == "open":
+        result["offered_rate"] = rate
+    return result
+
+
+def render_result(result: Dict) -> str:
+    """Human-readable summary of one :func:`run_load` result."""
+    latency = result["latency_ms"]
+    lines = [
+        f"{result['mode']}-loop {result['op']}: "
+        f"{result['completed']}/{result['requests']} ok, "
+        f"{result['errors']} errors in {result['wall_seconds']:.2f}s",
+        f"  throughput  {result['ops_per_sec']:>10.1f} ops/s"
+        + (
+            f"  (offered {result['offered_rate']:.1f}/s)"
+            if "offered_rate" in result
+            else ""
+        ),
+        f"  latency ms  mean {latency['mean']:.2f}  p50 {latency['p50']:.2f}"
+        f"  p90 {latency['p90']:.2f}  p99 {latency['p99']:.2f}"
+        f"  max {latency['max']:.2f}",
+        f"  concurrency {result['concurrency']} over "
+        f"{result['connections']} connection(s)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Length-prefixed binary framing for the key-transport service.
+
+Every message on the wire is one *frame*::
+
+    +----------------+---------------------------+
+    | length  (u32be)| payload (length bytes)    |
+    +----------------+---------------------------+
+
+A request payload is ``request_id (u32be) + opcode (u8) + body``; a
+response payload is ``request_id (u32be) + status (u8) + body``.  The
+request id is chosen by the client and echoed back verbatim, which lets
+a client pipeline many requests over one connection and match
+out-of-order responses — the property the server's micro-batching
+coalescer depends on for its batches.
+
+Bodies reuse the self-describing :mod:`repro.core.serialize` wire
+objects (public keys, ciphertexts, encapsulations); the framing layer
+itself never inspects them.  All parse failures raise
+:exc:`ValueError`, which the server maps to a ``BAD_REQUEST`` response
+instead of tearing down the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+#: Upper bound on one frame; the largest legitimate payload (a P4
+#: public key response) is under 10 KiB, so 1 MiB leaves headroom
+#: while bounding a hostile length prefix.
+MAX_FRAME_BYTES = 1 << 20
+
+# Opcodes ---------------------------------------------------------------
+OP_PING = 0
+OP_GET_PUBLIC_KEY = 1
+OP_ENCRYPT = 2
+OP_DECRYPT = 3
+OP_ENCAPSULATE = 4
+OP_DECAPSULATE = 5
+
+OPCODE_NAMES = {
+    OP_PING: "ping",
+    OP_GET_PUBLIC_KEY: "get_public_key",
+    OP_ENCRYPT: "encrypt",
+    OP_DECRYPT: "decrypt",
+    OP_ENCAPSULATE: "encapsulate",
+    OP_DECAPSULATE: "decapsulate",
+}
+
+# Response statuses -----------------------------------------------------
+STATUS_OK = 0
+STATUS_BAD_REQUEST = 1
+STATUS_DECAPSULATION_FAILED = 2
+STATUS_INTERNAL_ERROR = 3
+
+STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_BAD_REQUEST: "bad_request",
+    STATUS_DECAPSULATION_FAILED: "decapsulation_failed",
+    STATUS_INTERNAL_ERROR: "internal_error",
+}
+
+_LENGTH = struct.Struct("!I")
+_ENVELOPE = struct.Struct("!IB")  # request id + opcode/status
+
+#: Request id the server uses to address errors about frames whose own
+#: id could not be decoded.  Clients never allocate it.
+RESERVED_REQUEST_ID = 0xFFFFFFFF
+
+
+class ServiceError(Exception):
+    """A non-OK service response (or a request the server must reject).
+
+    Carries the wire ``status`` so the server can encode it and the
+    client can surface it.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+    @property
+    def status_name(self) -> str:
+        return STATUS_NAMES.get(self.status, f"status-{self.status}")
+
+
+@dataclass(frozen=True)
+class Request:
+    request_id: int
+    opcode: int
+    body: bytes
+
+
+@dataclass(frozen=True)
+class Response:
+    request_id: int
+    status: int
+    body: bytes
+
+
+def _encode_envelope(request_id: int, tag: int, body: bytes) -> bytes:
+    if not 0 <= request_id < 1 << 32:
+        raise ValueError(f"request id {request_id} out of u32 range")
+    if not 0 <= tag < 1 << 8:
+        raise ValueError(f"opcode/status {tag} out of u8 range")
+    payload_len = _ENVELOPE.size + len(body)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"payload of {payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return (
+        _LENGTH.pack(payload_len)
+        + _ENVELOPE.pack(request_id, tag)
+        + body
+    )
+
+
+def _decode_envelope(payload: bytes, what: str) -> "tuple[int, int, bytes]":
+    if len(payload) < _ENVELOPE.size:
+        raise ValueError(
+            f"{what} payload of {len(payload)} bytes is shorter than "
+            f"the {_ENVELOPE.size}-byte envelope"
+        )
+    request_id, tag = _ENVELOPE.unpack_from(payload)
+    return request_id, tag, payload[_ENVELOPE.size :]
+
+
+def encode_request(request: Request) -> bytes:
+    """One request as a full frame (length prefix included)."""
+    return _encode_envelope(request.request_id, request.opcode, request.body)
+
+
+def decode_request(payload: bytes) -> Request:
+    request_id, opcode, body = _decode_envelope(payload, "request")
+    return Request(request_id, opcode, body)
+
+
+def encode_response(response: Response) -> bytes:
+    """One response as a full frame (length prefix included)."""
+    return _encode_envelope(response.request_id, response.status, response.body)
+
+
+def decode_response(payload: bytes) -> Response:
+    request_id, status, body = _decode_envelope(payload, "response")
+    return Response(request_id, status, body)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame's payload; ``None`` on clean EOF between frames."""
+    prefix = await reader.read(_LENGTH.size)
+    if not prefix:
+        return None
+    while len(prefix) < _LENGTH.size:
+        more = await reader.read(_LENGTH.size - len(prefix))
+        if not more:
+            raise ValueError("connection closed mid length prefix")
+        prefix += more
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ValueError(
+            f"connection closed mid frame ({len(exc.partial)} of "
+            f"{length} bytes)"
+        ) from None
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Queue one already-encoded frame; the caller drains."""
+    writer.write(frame)

@@ -1,0 +1,398 @@
+"""The asyncio key-transport server (``rlwe-repro serve``).
+
+Two layers:
+
+* :class:`RlweService` — transport-agnostic application logic.  It owns
+  a scheme + keypair + KEM and one :class:`~repro.service.coalescer.MicroBatcher`
+  per batchable operation, so concurrent requests flush through the
+  PR 1 batched backend APIs.
+* :class:`RlweServiceServer` — the socket layer: accepts connections,
+  reads frames, and dispatches each request as its own task (responses
+  are matched by request id, so pipelined requests on one connection
+  coalesce into batches).
+
+Operations
+----------
+``ping``
+    Echo; liveness and framing check.
+``get_public_key``
+    The server's serialized public key.
+``encrypt``
+    Body: raw message bytes (up to ``params.message_bytes``).  The
+    server encrypts under *its own* public key and returns the
+    serialized ciphertext.
+``decrypt``
+    Body: a serialized ciphertext; returns the full decoded payload
+    (clients trim to their expected length).
+``encapsulate``
+    Empty body.  Returns ``32-byte session key || serialized
+    encapsulation``.  This models a key-distribution service handing a
+    fresh session key plus the transport blob to a trusted frontend;
+    see the README security notes — the CPA scheme itself is not a
+    secure channel.
+``decapsulate``
+    Body: a serialized encapsulation; returns the 32-byte session key
+    or a ``decapsulation_failed`` response when the confirmation tag
+    rejects it.
+
+Every parse failure of untrusted bytes surfaces as :exc:`ValueError`
+from the :mod:`repro.core.serialize` layer and maps to a
+``bad_request`` response — the connection survives malformed input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.core.kem import SECRET_BYTES, EncapsulationError, RlweKem
+from repro.core.scheme import KeyPair, RlweEncryptionScheme
+from repro.core import serialize
+from repro.service import protocol
+from repro.service.coalescer import MicroBatcher
+from repro.service.protocol import (
+    OP_DECAPSULATE,
+    OP_DECRYPT,
+    OP_ENCAPSULATE,
+    OP_ENCRYPT,
+    OP_GET_PUBLIC_KEY,
+    OP_PING,
+    STATUS_BAD_REQUEST,
+    STATUS_DECAPSULATION_FAILED,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    Request,
+    Response,
+    ServiceError,
+)
+
+
+class RlweService:
+    """Application logic: batched crypto behind per-op coalescers."""
+
+    def __init__(
+        self,
+        scheme: RlweEncryptionScheme,
+        keypair: Optional[KeyPair] = None,
+        *,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+    ):
+        self.scheme = scheme
+        self.keypair = keypair if keypair is not None else scheme.generate_keypair()
+        self.kem = (
+            RlweKem(scheme)
+            if scheme.params.message_bytes >= SECRET_BYTES
+            else None
+        )
+        #: With ``max_batch=1`` coalescing is off and every request runs
+        #: through the scheme's single-message API — the unbatched
+        #: baseline a server without a coalescer would be.  Any larger
+        #: window flushes through the PR 1 batched engine.
+        self.direct_path = max_batch == 1
+        self._public_key_bytes = serialize.serialize_public_key(
+            self.keypair.public
+        )
+        self.batchers: Dict[str, MicroBatcher] = {
+            "encrypt": MicroBatcher(
+                self._flush_encrypt, max_batch=max_batch, max_wait=max_wait
+            ),
+            "decrypt": MicroBatcher(
+                self._flush_decrypt, max_batch=max_batch, max_wait=max_wait
+            ),
+            "encapsulate": MicroBatcher(
+                self._flush_encapsulate, max_batch=max_batch, max_wait=max_wait
+            ),
+            "decapsulate": MicroBatcher(
+                self._flush_decapsulate, max_batch=max_batch, max_wait=max_wait
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Batched flush functions (run on the event loop, one per window)
+    # ------------------------------------------------------------------
+    def _flush_encrypt(self, messages: List[bytes]) -> List[bytes]:
+        if self.direct_path:
+            ciphertexts = [
+                self.scheme.encrypt(self.keypair.public, message)
+                for message in messages
+            ]
+        else:
+            ciphertexts = self.scheme.encrypt_batch(
+                self.keypair.public, messages
+            )
+        return [serialize.serialize_ciphertext(ct) for ct in ciphertexts]
+
+    def _flush_decrypt(self, ciphertexts: List) -> List[bytes]:
+        if self.direct_path:
+            return [
+                self.scheme.decrypt(self.keypair.private, ct)
+                for ct in ciphertexts
+            ]
+        return self.scheme.decrypt_batch(self.keypair.private, ciphertexts)
+
+    def _flush_encapsulate(self, items: List) -> List[bytes]:
+        if self.direct_path:
+            pairs = [
+                self.kem.encapsulate(self.keypair.public) for _ in items
+            ]
+        else:
+            pairs = self.kem.encapsulate_many(self.keypair.public, len(items))
+        return [
+            secret.key + serialize.serialize_encapsulation(encapsulation)
+            for encapsulation, secret in pairs
+        ]
+
+    def _flush_decapsulate(self, encapsulations: List) -> List:
+        if self.direct_path:
+            secrets = []
+            for encapsulation in encapsulations:
+                try:
+                    secrets.append(
+                        self.kem.decapsulate(
+                            self.keypair.private,
+                            self.keypair.public,
+                            encapsulation,
+                        )
+                    )
+                except EncapsulationError:
+                    secrets.append(None)
+        else:
+            secrets = self.kem.decapsulate_many(
+                self.keypair.private, self.keypair.public, encapsulations
+            )
+        return [
+            secret.key
+            if secret is not None
+            else ServiceError(
+                STATUS_DECAPSULATION_FAILED,
+                "key confirmation failed (decryption failure or "
+                "tampered encapsulation)",
+            )
+            for secret in secrets
+        ]
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _require_kem(self) -> RlweKem:
+        if self.kem is None:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                f"{self.scheme.params.name} carries "
+                f"{self.scheme.params.message_bytes} bytes per ciphertext; "
+                f"the KEM needs {SECRET_BYTES}",
+            )
+        return self.kem
+
+    async def dispatch(self, opcode: int, body: bytes) -> bytes:
+        """Execute one operation body-to-body; raises ServiceError."""
+        params = self.scheme.params
+        if opcode == OP_PING:
+            return body
+        if opcode == OP_GET_PUBLIC_KEY:
+            return self._public_key_bytes
+        if opcode == OP_ENCRYPT:
+            if len(body) > params.message_bytes:
+                raise ServiceError(
+                    STATUS_BAD_REQUEST,
+                    f"message of {len(body)} bytes exceeds the "
+                    f"{params.message_bytes}-byte capacity of {params.name}",
+                )
+            return await self.batchers["encrypt"].submit(body)
+        if opcode == OP_DECRYPT:
+            try:
+                ciphertext = serialize.deserialize_ciphertext(body)
+            except ValueError as exc:
+                raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+            if ciphertext.params != params:
+                raise ServiceError(
+                    STATUS_BAD_REQUEST,
+                    f"ciphertext is for {ciphertext.params.name}, "
+                    f"this server runs {params.name}",
+                )
+            return await self.batchers["decrypt"].submit(ciphertext)
+        if opcode == OP_ENCAPSULATE:
+            self._require_kem()
+            if body:
+                raise ServiceError(
+                    STATUS_BAD_REQUEST, "encapsulate takes an empty body"
+                )
+            return await self.batchers["encapsulate"].submit(None)
+        if opcode == OP_DECAPSULATE:
+            self._require_kem()
+            try:
+                encapsulation = serialize.deserialize_encapsulation(body)
+            except ValueError as exc:
+                raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+            if encapsulation.ciphertext.params != params:
+                raise ServiceError(
+                    STATUS_BAD_REQUEST,
+                    f"encapsulation is for "
+                    f"{encapsulation.ciphertext.params.name}, "
+                    f"this server runs {params.name}",
+                )
+            return await self.batchers["decapsulate"].submit(encapsulation)
+        raise ServiceError(STATUS_BAD_REQUEST, f"unknown opcode {opcode}")
+
+    async def handle(self, request: Request) -> Response:
+        """One request to one response; never raises."""
+        try:
+            body = await self.dispatch(request.opcode, request.body)
+            return Response(request.request_id, STATUS_OK, body)
+        except ServiceError as exc:
+            return Response(
+                request.request_id, exc.status, str(exc).encode()
+            )
+        except Exception as exc:  # noqa: BLE001 - boundary
+            return Response(
+                request.request_id,
+                STATUS_INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}".encode(),
+            )
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Coalescing counters per operation (for benchmarks/logging)."""
+        return {
+            name: dict(
+                batcher.stats, mean_batch_size=batcher.mean_batch_size
+            )
+            for name, batcher in self.batchers.items()
+        }
+
+
+class RlweServiceServer:
+    """Socket layer: frames in, per-request tasks, frames out."""
+
+    def __init__(
+        self,
+        service: RlweService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: "set[asyncio.Task]" = set()
+        self.connections_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, cancel in-flight requests, flush batchers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for batcher in self.service.batchers.values():
+            batcher.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "RlweServiceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        connection_tasks: "set[asyncio.Task]" = set()
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame(reader)
+                except ValueError:
+                    # Unframeable garbage: nothing to address a reply
+                    # to, so drop the connection.
+                    break
+                if payload is None:
+                    # Clean EOF (the client may have half-closed after
+                    # pipelining): finish in-flight requests so their
+                    # responses still go out before we close.
+                    if connection_tasks:
+                        await asyncio.gather(
+                            *connection_tasks, return_exceptions=True
+                        )
+                    break
+                try:
+                    request = protocol.decode_request(payload)
+                except ValueError as exc:
+                    protocol.write_frame(
+                        writer,
+                        protocol.encode_response(
+                            Response(
+                                protocol.RESERVED_REQUEST_ID,
+                                STATUS_BAD_REQUEST,
+                                str(exc).encode(),
+                            )
+                        ),
+                    )
+                    await writer.drain()
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_request(request, writer)
+                )
+                self._tasks.add(task)
+                connection_tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+                task.add_done_callback(connection_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Close without awaiting wait_closed(): the handler task must
+            # finish promptly so loop shutdown never cancels it mid-close.
+            writer.close()
+
+    async def _handle_request(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        response = await self.service.handle(request)
+        try:
+            protocol.write_frame(writer, protocol.encode_response(response))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_server(
+    scheme: RlweEncryptionScheme,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = 32,
+    max_wait: float = 0.002,
+    keypair: Optional[KeyPair] = None,
+) -> RlweServiceServer:
+    """Build and start a server in one call; caller closes it."""
+    service = RlweService(
+        scheme, keypair, max_batch=max_batch, max_wait=max_wait
+    )
+    server = RlweServiceServer(service, host=host, port=port)
+    await server.start()
+    return server

@@ -51,6 +51,33 @@ class TestFileWorkflow:
         ) == 0
         assert out.read_bytes() == b"attack at dawn"
 
+    def test_corrupt_ciphertext_is_clean_error(self, tmp_path):
+        pub = tmp_path / "pub.bin"
+        prv = tmp_path / "prv.bin"
+        msg = tmp_path / "msg.txt"
+        ct = tmp_path / "ct.bin"
+        msg.write_bytes(b"x")
+        main(["keygen", "--public", str(pub), "--private", str(prv)])
+        main(["encrypt", "--public", str(pub), "--in", str(msg),
+              "--out", str(ct)])
+        ct.write_bytes(ct.read_bytes() + b"JUNK")
+        with pytest.raises(SystemExit, match="not a valid ciphertext"):
+            main(["decrypt", "--private", str(prv), "--in", str(ct),
+                  "--out", str(tmp_path / "out")])
+
+    def test_negative_length_is_clean_error(self, tmp_path):
+        pub = tmp_path / "pub.bin"
+        prv = tmp_path / "prv.bin"
+        msg = tmp_path / "msg.txt"
+        ct = tmp_path / "ct.bin"
+        msg.write_bytes(b"x")
+        main(["keygen", "--public", str(pub), "--private", str(prv)])
+        main(["encrypt", "--public", str(pub), "--in", str(msg),
+              "--out", str(ct)])
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["decrypt", "--private", str(prv), "--in", str(ct),
+                  "--out", str(tmp_path / "out"), "--length", "-2"])
+
     def test_oversized_message_fails(self, tmp_path, capsys):
         pub = tmp_path / "pub.bin"
         prv = tmp_path / "prv.bin"

@@ -97,3 +97,12 @@ class TestByteApi:
         poly = encode_bytes(b"hi", P1)
         with pytest.raises(ValueError):
             decode_bytes(poly, P1, length=P1.message_bytes + 1)
+
+    def test_negative_length_rejected(self):
+        # Regression: length=-5 used to silently return a truncated
+        # message via Python's negative slicing.
+        poly = encode_bytes(b"hello world", P1)
+        with pytest.raises(ValueError):
+            decode_bytes(poly, P1, length=-5)
+        with pytest.raises(ValueError):
+            decode_bytes(poly, P1, length=-1)

@@ -107,6 +107,34 @@ class TestObjectRoundTrips:
         assert deserialize_private_key(prv).r2_hat == pair.private.r2_hat
 
 
+class TestStrictLengths:
+    """Regression: deserializers accepted trailing garbage."""
+
+    def test_ciphertext_trailing_garbage(self, keypair_and_ct):
+        _, _, ct = keypair_and_ct
+        data = serialize_ciphertext(ct)
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(data + b"JUNK")
+
+    def test_public_key_trailing_garbage(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = serialize_public_key(pair.public)
+        with pytest.raises(ValueError):
+            deserialize_public_key(data + b"\x00")
+
+    def test_private_key_trailing_garbage(self, keypair_and_ct):
+        _, pair, _ = keypair_and_ct
+        data = serialize_private_key(pair.private)
+        with pytest.raises(ValueError):
+            deserialize_private_key(data + b"\xff" * 3)
+
+    def test_truncated_body(self, keypair_and_ct):
+        _, _, ct = keypair_and_ct
+        data = serialize_ciphertext(ct)
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(data[:-1])
+
+
 class TestHeaderValidation:
     def test_bad_magic(self, keypair_and_ct):
         _, pair, _ = keypair_and_ct
@@ -127,3 +155,22 @@ class TestHeaderValidation:
         data[4] = 99  # version byte
         with pytest.raises(ValueError):
             deserialize_public_key(bytes(data))
+
+    def test_short_buffer_is_value_error(self):
+        # Regression: a 5-byte buffer used to escape as struct.error.
+        with pytest.raises(ValueError):
+            deserialize_public_key(b"RLWE\x01")
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(b"")
+
+    def test_unknown_parameter_set_is_value_error(self):
+        # Regression: an unknown name used to escape as KeyError from
+        # get_parameter_set.
+        header = b"RLWE" + bytes([1, 1, 2]) + b"ZZ"
+        with pytest.raises(ValueError):
+            deserialize_public_key(header)
+
+    def test_non_ascii_parameter_name_is_value_error(self):
+        header = b"RLWE" + bytes([1, 1, 2]) + b"\xff\xfe"
+        with pytest.raises(ValueError):
+            deserialize_public_key(header)

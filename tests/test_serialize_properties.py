@@ -1,0 +1,228 @@
+"""Serialization property tests: the wire-format trust boundary.
+
+Three families:
+
+* round-trips for all five wire kinds (public key, private key,
+  keypair helper, ciphertext, encapsulation) across P1–P4;
+* truncation/garbage fuzz — every strict prefix of a valid buffer and
+  every trailing-surplus extension must fail with ValueError, never any
+  other exception type (the service maps ValueError to bad_request
+  responses; anything else would crash a connection handler);
+* cross-path equivalence of the vectorized (NumPy) and scalar
+  bit-packing implementations.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kem import TAG_BYTES, Encapsulation
+from repro.core.params import P1, P2, P3, P4
+from repro.core.scheme import Ciphertext, KeyPair, PrivateKey, PublicKey
+from repro.core.serialize import (
+    _pack_coefficients_scalar,
+    _unpack_coefficients_scalar,
+    deserialize_ciphertext,
+    deserialize_encapsulation,
+    deserialize_private_key,
+    deserialize_public_key,
+    pack_coefficients,
+    polynomial_wire_bytes,
+    serialize_ciphertext,
+    serialize_encapsulation,
+    serialize_keypair,
+    serialize_private_key,
+    serialize_public_key,
+    unpack_coefficients,
+)
+
+ALL_PARAMS = [P1, P2, P3, P4]
+PARAM_IDS = [p.name for p in ALL_PARAMS]
+
+
+def _random_poly(params, rng):
+    return tuple(rng.randrange(params.q) for _ in range(params.n))
+
+
+@pytest.fixture(params=ALL_PARAMS, ids=PARAM_IDS)
+def wire_objects(request):
+    """One synthetic instance of every wire object for one param set."""
+    params = request.param
+    rng = random.Random(hash(params.name) & 0xFFFF)
+    public = PublicKey(params, _random_poly(params, rng), _random_poly(params, rng))
+    private = PrivateKey(params, _random_poly(params, rng))
+    ciphertext = Ciphertext(
+        params, _random_poly(params, rng), _random_poly(params, rng)
+    )
+    encapsulation = Encapsulation(ciphertext, bytes(range(TAG_BYTES)))
+    return params, public, private, ciphertext, encapsulation
+
+
+class TestRoundTripsAllParams:
+    def test_public_key(self, wire_objects):
+        _, public, _, _, _ = wire_objects
+        restored = deserialize_public_key(serialize_public_key(public))
+        assert restored == public
+
+    def test_private_key(self, wire_objects):
+        _, _, private, _, _ = wire_objects
+        restored = deserialize_private_key(serialize_private_key(private))
+        assert restored == private
+
+    def test_keypair_helper(self, wire_objects):
+        _, public, private, _, _ = wire_objects
+        pub_bytes, prv_bytes = serialize_keypair(KeyPair(public, private))
+        assert deserialize_public_key(pub_bytes) == public
+        assert deserialize_private_key(prv_bytes) == private
+
+    def test_ciphertext(self, wire_objects):
+        _, _, _, ciphertext, _ = wire_objects
+        restored = deserialize_ciphertext(serialize_ciphertext(ciphertext))
+        assert restored == ciphertext
+
+    def test_encapsulation(self, wire_objects):
+        _, _, _, _, encapsulation = wire_objects
+        restored = deserialize_encapsulation(
+            serialize_encapsulation(encapsulation)
+        )
+        assert restored.ciphertext == encapsulation.ciphertext
+        assert restored.tag == encapsulation.tag
+
+    def test_wire_sizes(self, wire_objects):
+        params, public, _, ciphertext, encapsulation = wire_objects
+        header = 7 + len(params.name)
+        size = polynomial_wire_bytes(params)
+        assert len(serialize_public_key(public)) == header + 2 * size
+        assert len(serialize_ciphertext(ciphertext)) == header + 2 * size
+        assert (
+            len(serialize_encapsulation(encapsulation))
+            == header + 2 * size + TAG_BYTES
+        )
+
+
+class TestTruncationFuzz:
+    """Every byte-offset prefix and every surplus must be a ValueError."""
+
+    def _assert_all_offsets_rejected(self, data, deserializer):
+        for cut in range(len(data)):
+            with pytest.raises(ValueError):
+                deserializer(data[:cut])
+        for surplus in (b"\x00", b"J", b"JUNK"):
+            with pytest.raises(ValueError):
+                deserializer(data + surplus)
+
+    def test_public_key(self, wire_objects):
+        _, public, _, _, _ = wire_objects
+        self._assert_all_offsets_rejected(
+            serialize_public_key(public), deserialize_public_key
+        )
+
+    def test_private_key(self, wire_objects):
+        _, _, private, _, _ = wire_objects
+        self._assert_all_offsets_rejected(
+            serialize_private_key(private), deserialize_private_key
+        )
+
+    def test_ciphertext(self, wire_objects):
+        _, _, _, ciphertext, _ = wire_objects
+        self._assert_all_offsets_rejected(
+            serialize_ciphertext(ciphertext), deserialize_ciphertext
+        )
+
+    def test_encapsulation(self, wire_objects):
+        _, _, _, _, encapsulation = wire_objects
+        self._assert_all_offsets_rejected(
+            serialize_encapsulation(encapsulation), deserialize_encapsulation
+        )
+
+    @given(garbage=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_escape_value_error(self, garbage):
+        for deserializer in (
+            deserialize_public_key,
+            deserialize_private_key,
+            deserialize_ciphertext,
+            deserialize_encapsulation,
+        ):
+            try:
+                deserializer(garbage)
+            except ValueError:
+                pass  # the only acceptable failure type
+
+    @given(garbage=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_header_prefixed_garbage_never_escapes_value_error(self, garbage):
+        for kind in (1, 2, 3, 4):
+            data = b"RLWE" + bytes([1, kind]) + garbage
+            for deserializer in (
+                deserialize_public_key,
+                deserialize_private_key,
+                deserialize_ciphertext,
+                deserialize_encapsulation,
+            ):
+                try:
+                    deserializer(data)
+                except ValueError:
+                    pass
+
+
+class TestPackingCrossPath:
+    """The NumPy and scalar bit-packing paths are bit-identical."""
+
+    @given(
+        coeffs=st.lists(
+            st.integers(min_value=0, max_value=12288), min_size=0, max_size=80
+        )
+    )
+    @settings(max_examples=150)
+    def test_pack_matches_scalar(self, coeffs):
+        q = 12289
+        width = (q - 1).bit_length()
+        assert pack_coefficients(coeffs, q) == _pack_coefficients_scalar(
+            coeffs, q, width
+        )
+
+    @given(
+        coeffs=st.lists(
+            st.integers(min_value=0, max_value=7680), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=150)
+    def test_unpack_matches_scalar(self, coeffs):
+        q = 7681
+        width = (q - 1).bit_length()
+        packed = _pack_coefficients_scalar(coeffs, q, width)
+        assert unpack_coefficients(packed, len(coeffs), q) == coeffs
+        assert (
+            _unpack_coefficients_scalar(packed, len(coeffs), q, width)
+            == coeffs
+        )
+
+    @pytest.mark.parametrize("params", ALL_PARAMS, ids=PARAM_IDS)
+    def test_full_polynomial_both_paths(self, params, monkeypatch):
+        from repro.numpy_support import FORCE_NO_NUMPY_ENV
+
+        rng = random.Random(99)
+        poly = _random_poly(params, rng)
+        vectorized = pack_coefficients(poly, params.q)
+        monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+        scalar = pack_coefficients(poly, params.q)
+        assert vectorized == scalar
+        assert (
+            unpack_coefficients(scalar, params.n, params.q) == list(poly)
+        )
+
+    def test_out_of_range_rejected_both_paths(self, monkeypatch):
+        from repro.numpy_support import FORCE_NO_NUMPY_ENV
+
+        for force_off in (False, True):
+            if force_off:
+                monkeypatch.setenv(FORCE_NO_NUMPY_ENV, "1")
+            with pytest.raises(ValueError):
+                pack_coefficients([7681], 7681)
+            with pytest.raises(ValueError):
+                pack_coefficients([-1], 7681)
+            with pytest.raises(ValueError):
+                unpack_coefficients(b"\xff\xff", 1, 7681)

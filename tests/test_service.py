@@ -1,0 +1,548 @@
+"""The service layer: framing, coalescer, server/client, loadgen.
+
+asyncio tests are driven through ``asyncio.run`` (no pytest-asyncio
+dependency).  End-to-end tests bind port 0 on loopback.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import P1, seeded_scheme
+from repro.core import serialize
+from repro.core.kem import SECRET_BYTES
+from repro.service import protocol
+from repro.service.client import RlweServiceClient
+from repro.service.coalescer import MicroBatcher
+from repro.service.loadgen import percentile, run_load
+from repro.service.protocol import (
+    STATUS_BAD_REQUEST,
+    STATUS_DECAPSULATION_FAILED,
+    STATUS_OK,
+    Request,
+    Response,
+    ServiceError,
+)
+from repro.service.server import start_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_request_roundtrip(self):
+        frame = protocol.encode_request(Request(7, protocol.OP_ENCRYPT, b"hi"))
+        assert protocol.decode_request(frame[4:]) == Request(
+            7, protocol.OP_ENCRYPT, b"hi"
+        )
+
+    def test_response_roundtrip(self):
+        frame = protocol.encode_response(Response(9, STATUS_OK, b"body"))
+        assert protocol.decode_response(frame[4:]) == Response(
+            9, STATUS_OK, b"body"
+        )
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.decode_request(b"\x00\x01")
+
+    def test_request_id_range_checked(self):
+        with pytest.raises(ValueError):
+            protocol.encode_request(Request(1 << 32, 0, b""))
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.encode_request(
+                Request(0, 0, b"\x00" * (protocol.MAX_FRAME_BYTES + 1))
+            )
+
+    def _reader_with(self, data: bytes, eof: bool = True):
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_read_frame_roundtrip(self):
+        async def scenario():
+            frame = protocol.encode_request(Request(3, protocol.OP_PING, b"x"))
+            reader = self._reader_with(frame)
+            payload = await protocol.read_frame(reader)
+            assert protocol.decode_request(payload) == Request(
+                3, protocol.OP_PING, b"x"
+            )
+            assert await protocol.read_frame(reader) is None  # clean EOF
+
+        run(scenario())
+
+    def test_read_frame_truncated_prefix(self):
+        async def scenario():
+            reader = self._reader_with(b"\x00\x00")
+            with pytest.raises(ValueError):
+                await protocol.read_frame(reader)
+
+        run(scenario())
+
+    def test_read_frame_truncated_body(self):
+        async def scenario():
+            reader = self._reader_with(b"\x00\x00\x00\x10abc")
+            with pytest.raises(ValueError):
+                await protocol.read_frame(reader)
+
+        run(scenario())
+
+    def test_read_frame_hostile_length(self):
+        async def scenario():
+            reader = self._reader_with(b"\xff\xff\xff\xff" + b"x" * 16)
+            with pytest.raises(ValueError):
+                await protocol.read_frame(reader)
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_flushes_at_max_batch(self):
+        batch_sizes = []
+
+        def flush(items):
+            batch_sizes.append(len(items))
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_wait=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8))
+            )
+            assert results == [i * 2 for i in range(8)]
+
+        run(scenario())
+        # Eight concurrent submits with a one-minute window: only the
+        # size trigger can have flushed them.
+        assert batch_sizes == [4, 4]
+
+    def test_flushes_on_timer(self):
+        batch_sizes = []
+
+        def flush(items):
+            batch_sizes.append(len(items))
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=1000, max_wait=0.01)
+            assert await batcher.submit("lone") == "lone"
+
+        run(scenario())
+        assert batch_sizes == [1]
+
+    def test_per_item_exceptions(self):
+        def flush(items):
+            return [
+                ValueError(f"bad {item}") if item % 2 else item
+                for item in items
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_wait=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(4)),
+                return_exceptions=True,
+            )
+            assert results[0] == 0 and results[2] == 2
+            assert isinstance(results[1], ValueError)
+            assert isinstance(results[3], ValueError)
+
+        run(scenario())
+
+    def test_flush_failure_fails_whole_batch(self):
+        def flush(items):
+            raise RuntimeError("backend down")
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_wait=60.0)
+            results = await asyncio.gather(
+                batcher.submit(1), batcher.submit(2), return_exceptions=True
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+
+        run(scenario())
+
+    def test_stats_and_mean(self):
+        def flush(items):
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=3, max_wait=0.005)
+            await asyncio.gather(*(batcher.submit(i) for i in range(7)))
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.stats["items"] == 7
+        assert batcher.stats["max_batch_seen"] == 3
+        assert batcher.mean_batch_size == pytest.approx(
+            7 / batcher.stats["flushes"]
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_wait=-1.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end server/client
+# ----------------------------------------------------------------------
+def _scheme():
+    return seeded_scheme(P1, seed=1234)
+
+
+class TestServerEndToEnd:
+    def test_full_operation_matrix(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.001)
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                # ping echoes
+                assert await client.ping(b"abc") == b"abc"
+                # public key round-trips through the serializer
+                public = serialize.deserialize_public_key(
+                    await client.get_public_key()
+                )
+                assert public.params is P1
+                # encrypt -> decrypt round trip
+                ct = await client.encrypt(b"service e2e")
+                assert await client.decrypt(ct, length=11) == b"service e2e"
+                # encapsulate -> decapsulate agree on the session key
+                key, encapsulation = await client.encapsulate()
+                assert len(key) == SECRET_BYTES
+                assert await client.decapsulate(encapsulation) == key
+            await server.close()
+
+        run(scenario())
+
+    def test_pipelined_requests_coalesce(self):
+        async def scenario():
+            server = await start_server(
+                _scheme(), max_batch=16, max_wait=0.02
+            )
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                messages = [bytes([i]) * 4 for i in range(16)]
+                cts = await asyncio.gather(
+                    *(client.encrypt(m) for m in messages)
+                )
+                plains = await asyncio.gather(
+                    *(client.decrypt(ct, length=4) for ct in cts)
+                )
+                assert plains == messages
+            stats = server.service.stats()
+            await server.close()
+            return stats
+
+        stats = run(scenario())
+        # 16 pipelined encrypts against a 16-wide window must have
+        # coalesced into far fewer flushes than requests.
+        assert stats["encrypt"]["items"] == 16
+        assert stats["encrypt"]["max_batch_seen"] > 1
+
+    def test_error_responses(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=4, max_wait=0.001)
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                # Oversized message
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.encrypt(b"x" * (P1.message_bytes + 1))
+                assert excinfo.value.status == STATUS_BAD_REQUEST
+                # Garbage ciphertext
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.decrypt(b"not a ciphertext")
+                assert excinfo.value.status == STATUS_BAD_REQUEST
+                # Trailing garbage on a valid ciphertext (the satellite
+                # bug, observed through the server)
+                ct = await client.encrypt(b"strict")
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.decrypt(ct + b"JUNK")
+                assert excinfo.value.status == STATUS_BAD_REQUEST
+                # Tampered encapsulation tag
+                key, encapsulation = await client.encapsulate()
+                tampered = encapsulation[:-1] + bytes(
+                    [encapsulation[-1] ^ 0xFF]
+                )
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.decapsulate(tampered)
+                assert excinfo.value.status == STATUS_DECAPSULATION_FAILED
+                # Unknown opcode
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.request(200, b"")
+                assert excinfo.value.status == STATUS_BAD_REQUEST
+                # The connection survived every error above
+                assert await client.ping() == b"ping"
+            await server.close()
+
+        run(scenario())
+
+    def test_direct_path_window_one(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=1)
+            assert server.service.direct_path
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                ct = await client.encrypt(b"direct")
+                assert await client.decrypt(ct, length=6) == b"direct"
+                key, encapsulation = await client.encapsulate()
+                assert await client.decapsulate(encapsulation) == key
+            await server.close()
+
+        run(scenario())
+
+    def test_half_close_still_delivers_pipelined_responses(self):
+        # Regression: the server used to close the writer on EOF while
+        # request tasks were still waiting on the coalescer window,
+        # silently dropping their responses.
+        async def scenario():
+            server = await start_server(
+                _scheme(), max_batch=64, max_wait=0.05
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            for request_id in range(3):
+                protocol.write_frame(
+                    writer,
+                    protocol.encode_request(
+                        Request(request_id, protocol.OP_ENCRYPT, b"pipelined")
+                    ),
+                )
+            await writer.drain()
+            writer.write_eof()  # half-close: no more requests, await replies
+            responses = {}
+            for _ in range(3):
+                payload = await asyncio.wait_for(
+                    protocol.read_frame(reader), timeout=30
+                )
+                assert payload is not None
+                response = protocol.decode_response(payload)
+                responses[response.request_id] = response
+            writer.close()
+            await server.close()
+            return responses
+
+        responses = run(scenario())
+        assert set(responses) == {0, 1, 2}
+        for response in responses.values():
+            assert response.status == STATUS_OK
+            assert serialize.deserialize_ciphertext(response.body)
+
+    def test_undecodable_frame_uses_reserved_id(self):
+        # Regression: the error reply used request id 0, colliding with
+        # a legitimate client's first request.
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=4, max_wait=0.001)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"\x00\x00\x00\x02ab")  # 2-byte payload: no envelope
+            await writer.drain()
+            payload = await asyncio.wait_for(
+                protocol.read_frame(reader), timeout=10
+            )
+            response = protocol.decode_response(payload)
+            writer.close()
+            await server.close()
+            return response
+
+        response = run(scenario())
+        assert response.request_id == protocol.RESERVED_REQUEST_ID
+        assert response.status == STATUS_BAD_REQUEST
+
+    def test_multiple_connections(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.005)
+            clients = [
+                await RlweServiceClient.connect("127.0.0.1", server.port)
+                for _ in range(3)
+            ]
+            try:
+                keys = await asyncio.gather(
+                    *(c.encapsulate() for c in clients)
+                )
+                decapsulated = await asyncio.gather(
+                    *(
+                        c.decapsulate(encapsulation)
+                        for c, (_, encapsulation) in zip(clients, keys)
+                    )
+                )
+                assert decapsulated == [key for key, _ in keys]
+            finally:
+                for c in clients:
+                    await c.close()
+            assert server.connections_served == 3
+            await server.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Loadgen
+# ----------------------------------------------------------------------
+class TestLoadgen:
+    def test_percentile(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.0, abs=1.0)
+        assert percentile(values, 99) == pytest.approx(99.0, abs=1.0)
+        assert percentile([], 50) == 0.0
+
+    def test_closed_loop_smoke(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.001)
+            result = await run_load(
+                "127.0.0.1",
+                server.port,
+                op="encrypt",
+                concurrency=8,
+                requests=24,
+                message=b"loadgen",
+            )
+            await server.close()
+            return result
+
+        result = run(scenario())
+        assert result["completed"] == 24
+        assert result["errors"] == 0
+        assert result["ops_per_sec"] > 0
+        assert result["latency_ms"]["p99"] >= result["latency_ms"]["p50"] > 0
+
+    def test_open_loop_smoke(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.001)
+            result = await run_load(
+                "127.0.0.1",
+                server.port,
+                op="ping",
+                mode="open",
+                rate=500.0,
+                concurrency=1,
+                requests=20,
+            )
+            await server.close()
+            return result
+
+        result = run(scenario())
+        assert result["completed"] == 20
+        assert result["offered_rate"] == 500.0
+
+    def test_decapsulate_op_and_connections(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.001)
+            result = await run_load(
+                "127.0.0.1",
+                server.port,
+                op="decapsulate",
+                concurrency=4,
+                requests=12,
+                connections=2,
+            )
+            await server.close()
+            return result
+
+        result = run(scenario())
+        assert result["completed"] == 12
+        assert result["errors"] == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            run(run_load("127.0.0.1", 1, mode="sideways"))
+        with pytest.raises(ValueError):
+            run(run_load("127.0.0.1", 1, concurrency=0))
+        with pytest.raises(ValueError):
+            run(run_load("127.0.0.1", 1, mode="open", rate=0.0))
+
+
+# ----------------------------------------------------------------------
+# CLI subprocess smoke (serve + loadgen + SIGTERM)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX signal handling"
+)
+class TestServeCli:
+    def test_serve_loadgen_sigterm(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--max-batch",
+                "8",
+                "--max-wait-ms",
+                "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = server.stdout.readline()
+            assert "serving P1 on" in banner
+            port = int(banner.split(":")[-1].split()[0])
+            json_path = tmp_path / "loadgen.json"
+            loadgen = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "loadgen",
+                    "--port",
+                    str(port),
+                    "--op",
+                    "encrypt",
+                    "--concurrency",
+                    "4",
+                    "--requests",
+                    "12",
+                    "--connect-timeout",
+                    "20",
+                    "--json",
+                    str(json_path),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert loadgen.returncode == 0, loadgen.stdout + loadgen.stderr
+            assert "ops/s" in loadgen.stdout
+            assert json_path.exists()
+            server.send_signal(signal.SIGTERM)
+            out, _ = server.communicate(timeout=30)
+            assert server.returncode == 0, out
+            assert "shutdown:" in out
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate(timeout=10)
