@@ -1,0 +1,273 @@
+"""Inline-vs-worker-pool scaling benchmark with machine-readable output.
+
+Starts the key-transport server in-process once per executor
+configuration (inline, then pool sizes from ``--workers``) and drives it
+with the closed-loop load generator, then writes
+``BENCH_pool_scaling.json`` so later PRs can track how the sharded
+executor scales.  Not collected by pytest (no ``test_`` prefix) — run
+it directly:
+
+    PYTHONPATH=src python benchmarks/bench_pool_scaling.py
+    PYTHONPATH=src python benchmarks/bench_pool_scaling.py \\
+        --ops encrypt --workers 1,2,4 --concurrency 32 --quick
+
+The pool executor's win is overlap: the event loop keeps accepting and
+coalescing while whole batches compute on worker processes.  That
+requires spare cores — the JSON records ``cpus`` (the scheduler-visible
+CPU count) next to every speedup, because on a single-core box the pool
+can only add IPC overhead, never parallelism.  The PR 3 acceptance bar
+(pool-4 encrypt >= 2x inline at concurrency 32, NumPy backend) is only
+meaningful where ``cpus`` >= 4; CI's pool-smoke job uploads this
+artifact from a multi-core runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__, get_parameter_set, seeded_scheme
+from repro.backend import available_backends
+from repro.numpy_support import get_numpy
+from repro.service.executor import pool_executor_for, serving_seed
+from repro.service.loadgen import run_load
+from repro.service.server import start_server
+
+DEFAULT_OUTPUT = "BENCH_pool_scaling.json"
+
+
+async def _run_one(
+    params_name: str,
+    backend: str,
+    seed: int,
+    op: str,
+    workers: Optional[int],
+    concurrency: int,
+    requests: int,
+    max_batch: int,
+    max_wait_ms: float,
+) -> Dict:
+    """One (executor, op, concurrency) cell on a fresh server."""
+    params = get_parameter_set(params_name)
+    # Keygen and serving draw from domain-separated streams (see
+    # repro.service.executor.serving_seed), matching the CLI.
+    keypair = seeded_scheme(
+        params, seed, backend=backend
+    ).generate_keypair()
+    scheme = seeded_scheme(
+        params, serving_seed(seed), backend=backend
+    )
+    executor = None
+    if workers is not None:
+        executor = pool_executor_for(
+            scheme,
+            keypair,
+            seed=serving_seed(seed),
+            workers=workers,
+            backend=backend,
+        )
+    server = await start_server(
+        scheme,
+        keypair=keypair,
+        executor=executor,
+        max_batch=max_batch,
+        max_wait=max_wait_ms / 1e3,
+    )
+    try:
+        load = await run_load(
+            "127.0.0.1",
+            server.port,
+            op=op,
+            concurrency=concurrency,
+            requests=requests,
+            message=bytes(range(32)),
+        )
+        stats = server.service.stats()
+    finally:
+        await server.close()
+    row = {
+        "executor": "inline" if workers is None else "pool",
+        "workers": 0 if workers is None else workers,
+        "op": op,
+        "concurrency": concurrency,
+        "requests": requests,
+        "errors": load["errors"],
+        "ops_per_sec": load["ops_per_sec"],
+        "p50_ms": load["latency_ms"]["p50"],
+        "p90_ms": load["latency_ms"]["p90"],
+        "p99_ms": load["latency_ms"]["p99"],
+        "mean_batch_size": stats["ops"][op]["mean_batch_size"],
+        "inflight_max": stats["ops"][op]["inflight_max"],
+    }
+    if workers is not None:
+        shards = stats["executor"]["shards"]
+        row["shard_items"] = [s["items"] for s in shards]
+        row["respawns"] = stats["executor"]["respawns"]
+    label = "inline" if workers is None else f"pool-{workers}"
+    print(
+        f"  {op:<12} {label:<8} conc {concurrency:>4}  "
+        f"{row['ops_per_sec']:>8.0f} ops/s  "
+        f"p50 {row['p50_ms']:>7.2f}ms  p99 {row['p99_ms']:>7.2f}ms  "
+        f"mean batch {row['mean_batch_size']:.1f}",
+        flush=True,
+    )
+    return row
+
+
+def _speedups(results: List[Dict]) -> List[Dict]:
+    """Every pool size vs the inline baseline per (op, concurrency)."""
+    speedups = []
+    for base in results:
+        if base["executor"] != "inline":
+            continue
+        for row in results:
+            if (
+                row["executor"] == "pool"
+                and row["op"] == base["op"]
+                and row["concurrency"] == base["concurrency"]
+                and base["ops_per_sec"] > 0
+            ):
+                speedups.append(
+                    {
+                        "op": row["op"],
+                        "concurrency": row["concurrency"],
+                        "workers": row["workers"],
+                        "inline_ops_per_sec": base["ops_per_sec"],
+                        "pool_ops_per_sec": row["ops_per_sec"],
+                        "speedup": row["ops_per_sec"]
+                        / base["ops_per_sec"],
+                    }
+                )
+    return speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="inline vs worker-pool scaling benchmark"
+    )
+    parser.add_argument("--params", default="P1")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="default: numpy when available, else python-reference",
+    )
+    parser.add_argument("--ops", default="encrypt")
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated pool sizes (inline always runs first)",
+    )
+    parser.add_argument("--concurrency", default="32")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--requests-factor",
+        type=int,
+        default=16,
+        help="requests per run = max(min-requests, concurrency * factor)",
+    )
+    parser.add_argument("--min-requests", type=int, default=128)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid for CI smoke (encrypt, pools 1/2, fewer requests)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    backend = args.backend
+    if backend is None:
+        backend = (
+            "numpy"
+            if available_backends().get("numpy")
+            else "python-reference"
+        )
+    ops = [op.strip() for op in args.ops.split(",") if op.strip()]
+    pool_sizes = [int(w) for w in args.workers.split(",") if w.strip()]
+    concurrency_levels = [
+        int(c) for c in args.concurrency.split(",") if c.strip()
+    ]
+    requests_factor, min_requests = args.requests_factor, args.min_requests
+    if args.quick:
+        ops = ["encrypt"]
+        pool_sizes = [1, 2]
+        concurrency_levels = [32]
+        requests_factor, min_requests = 6, 64
+
+    cpus = os.cpu_count() or 1
+    np = get_numpy()
+    print(
+        f"pool scaling bench: {args.params} backend={backend} "
+        f"ops={','.join(ops)} cpus={cpus}",
+        flush=True,
+    )
+    if cpus < max(pool_sizes, default=1):
+        print(
+            f"  note: only {cpus} CPU(s) visible; pool sizes beyond "
+            f"that measure IPC overhead, not scaling",
+            flush=True,
+        )
+
+    async def _grid() -> List[Dict]:
+        results = []
+        for op in ops:
+            for concurrency in concurrency_levels:
+                requests = max(
+                    min_requests, concurrency * requests_factor
+                )
+                for workers in [None] + pool_sizes:
+                    results.append(
+                        await _run_one(
+                            args.params,
+                            backend,
+                            args.seed,
+                            op,
+                            workers,
+                            concurrency,
+                            requests,
+                            args.max_batch,
+                            args.max_wait_ms,
+                        )
+                    )
+        return results
+
+    started = time.time()
+    results = asyncio.run(_grid())
+    speedups = _speedups(results)
+    report = {
+        "benchmark": "pool_scaling",
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "numpy": getattr(np, "__version__", None) if np else None,
+        "cpus": cpus,
+        "params": args.params,
+        "backend": backend,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "results": results,
+        "speedups": speedups,
+        "wall_seconds": time.time() - started,
+    }
+
+    print()
+    for row in speedups:
+        print(
+            f"{row['op']} @ conc {row['concurrency']}: "
+            f"inline {row['inline_ops_per_sec']:.0f} ops/s -> "
+            f"pool-{row['workers']} {row['pool_ops_per_sec']:.0f} ops/s "
+            f"= {row['speedup']:.2f}x"
+        )
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

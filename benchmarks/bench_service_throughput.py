@@ -85,7 +85,7 @@ async def _run_grid(
                     )
                     # Non-batched ops (ping, get_public_key) have no
                     # coalescer and report a zero batch size.
-                    stats = server.service.stats().get(
+                    stats = server.service.stats()["ops"].get(
                         op, {"mean_batch_size": 0.0}
                     )
                 finally:

@@ -15,8 +15,13 @@ Subcommands
 ``serve``
     The micro-batching key-transport server (encrypt / decrypt /
     encapsulate / decapsulate over length-prefixed frames).
+    ``--executor``/``--workers`` pick the execution engine: inline on
+    the event loop, or a sharded multi-process worker pool.
 ``loadgen``
     Closed-/open-loop load generation against a running server.
+``stats``
+    One-shot dump of a running server's per-op batch/latency and
+    executor-shard counters (the wire ``stats`` op).
 
 The file-based commands accept ``--backend`` (also settable session-wide
 via the ``REPRO_BACKEND`` environment variable) to pick the
@@ -133,7 +138,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="max milliseconds a partial window waits before flushing",
     )
+    serve.add_argument(
+        "--executor",
+        choices=["inline", "pool"],
+        default=None,
+        help=(
+            "execution engine: inline (batches compute on the event "
+            "loop) or pool (sharded across worker processes); default "
+            "inline, or pool when --workers is given"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the pool executor "
+            "(default: the CPU count)"
+        ),
+    )
     add_backend_flag(serve)
+
+    stats = sub.add_parser(
+        "stats", help="dump a running server's live counters"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8470)
+    stats.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to retry the connection",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="print raw JSON instead"
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running server and measure latency"
@@ -372,23 +411,58 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
     import signal
 
+    from repro.service.executor import pool_executor_for, serving_seed
     from repro.service.server import start_server
 
     if args.max_batch < 1:
         raise SystemExit("error: --max-batch must be >= 1")
     if args.max_wait_ms < 0:
         raise SystemExit("error: --max-wait-ms must be >= 0")
-    scheme = _scheme(args.params, args.seed, args.backend)
+    executor_kind = args.executor
+    if executor_kind is None:
+        executor_kind = "pool" if args.workers is not None else "inline"
+    if executor_kind == "inline" and args.workers is not None:
+        raise SystemExit("error: --workers requires --executor pool")
+    workers = args.workers
+    if executor_kind == "pool":
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise SystemExit("error: --workers must be >= 1")
+    # Keygen draws from stream --seed; serving noise (inline scheme and
+    # pool shard 0 alike) draws from the domain-separated
+    # serving_seed(--seed) stream.  Separate streams keep the public
+    # a_hat from leaking the serving stream's prefix, and starting the
+    # serving stream at position 0 is what lets a pool worker replay it
+    # — inline and pool(1) serving stay bit-identical per --seed.
+    base_seed = args.seed if args.seed is not None else 0
+    scheme = _scheme(args.params, serving_seed(base_seed), args.backend)
 
     async def serve() -> None:
+        keypair = _scheme(
+            args.params, base_seed, args.backend
+        ).generate_keypair()
+        executor = None
+        if executor_kind == "pool":
+            executor = pool_executor_for(
+                scheme,
+                keypair,
+                seed=serving_seed(base_seed),
+                workers=workers,
+                direct=args.max_batch == 1,
+                backend=args.backend,
+            )
         server = await start_server(
             scheme,
             host=args.host,
             port=args.port,
             max_batch=args.max_batch,
             max_wait=args.max_wait_ms / 1e3,
+            keypair=keypair,
+            executor=executor,
         )
         mode = (
             "direct single-message path (batching off)"
@@ -396,9 +470,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else f"max_batch={args.max_batch}, "
             f"max_wait={args.max_wait_ms:g}ms"
         )
+        engine = (
+            f"pool({workers} workers)"
+            if executor_kind == "pool"
+            else "inline"
+        )
         print(
             f"serving {scheme.params.name} on {args.host}:{server.port} "
-            f"[backend={scheme.backend.name}, {mode}]",
+            f"[backend={scheme.backend.name}, executor={engine}, {mode}]",
             flush=True,
         )
         stop = asyncio.Event()
@@ -413,10 +492,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             await server.close()
             stats = server.service.stats()
-            busiest = max(stats.values(), key=lambda s: s["items"])
+            ops = stats["ops"]
+            busiest = max(ops.values(), key=lambda s: s["items"])
             print(
                 f"shutdown: {server.connections_served} connection(s), "
-                f"{sum(s['items'] for s in stats.values())} request(s), "
+                f"{sum(s['items'] for s in ops.values())} request(s), "
                 f"busiest op mean batch "
                 f"{busiest['mean_batch_size']:.1f}",
                 flush=True,
@@ -426,6 +506,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
+    return 0
+
+
+def render_stats(stats: dict) -> str:
+    """Human-readable dump of the server's stats response."""
+    lines = ["per-op coalescing:"]
+    for name, op in stats.get("ops", {}).items():
+        lines.append(
+            f"  {name:<12} items {int(op['items']):>8}  "
+            f"flushes {int(op['flushes']):>6}  "
+            f"mean batch {op['mean_batch_size']:>6.1f}  "
+            f"mean flush {op['mean_flush_ms']:>7.2f}ms  "
+            f"max batch {int(op['max_batch_seen']):>4}"
+        )
+    executor = stats.get("executor", {})
+    kind = executor.get("kind", "?")
+    if kind == "pool":
+        lines.append(
+            f"executor: pool, {executor['alive']}/{executor['workers']} "
+            f"workers alive, {executor['respawns']} respawn(s)"
+        )
+        for shard in executor.get("shards", []):
+            state = "up" if shard["alive"] else "down"
+            lines.append(
+                f"  shard {shard['index']} [{state:>4}] "
+                f"pid {shard['pid']}  jobs {shard['jobs']:>6}  "
+                f"items {shard['items']:>8}  "
+                f"outstanding {shard['outstanding_items']:>4}"
+            )
+    else:
+        lines.append(
+            f"executor: {kind}, {executor.get('batches', 0)} batch(es), "
+            f"{executor.get('items', 0)} item(s)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import connect_with_retry
+    from repro.service.protocol import ServiceError
+
+    async def fetch() -> dict:
+        client = await connect_with_retry(
+            args.host, args.port, args.connect_timeout
+        )
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    try:
+        stats = asyncio.run(fetch())
+    except (OSError, ValueError, ConnectionError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(render_stats(stats))
     return 0
 
 
@@ -476,6 +618,7 @@ _COMMANDS = {
     "bench-backends": _cmd_bench_backends,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "stats": _cmd_stats,
 }
 
 

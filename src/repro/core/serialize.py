@@ -264,6 +264,35 @@ def deserialize_encapsulation(data: bytes) -> Encapsulation:
     return Encapsulation(Ciphertext(params, tuple(c1), tuple(c2)), tag)
 
 
+# ----------------------------------------------------------------------
+# Cheap header validation (service dispatch fast path)
+# ----------------------------------------------------------------------
+# The service layer validates untrusted bodies *twice*: once at dispatch
+# time (so a malformed request is rejected before it occupies a batch
+# slot) and once inside the execution engine that actually decodes it —
+# possibly in another process.  The dispatch-time check must be cheap,
+# so these peek functions verify the header and the exact wire length
+# without unpacking any coefficients.  They raise the same ValueError
+# messages as the full deserializers for every header/length defect;
+# only out-of-range-coefficient errors are deferred to the engine.
+
+
+def peek_ciphertext_params(data: bytes) -> ParameterSet:
+    """Header + exact-length check of a serialized ciphertext."""
+    params, offset = _parse_header(data, _KIND_CIPHERTEXT)
+    size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + 2 * size, "ciphertext")
+    return params
+
+
+def peek_encapsulation_params(data: bytes) -> ParameterSet:
+    """Header + exact-length check of a serialized encapsulation."""
+    params, offset = _parse_header(data, _KIND_ENCAPSULATION)
+    size = polynomial_wire_bytes(params)
+    _check_exact_length(data, offset + 2 * size + TAG_BYTES, "encapsulation")
+    return params
+
+
 def serialize_keypair(pair: KeyPair) -> "tuple[bytes, bytes]":
     """Convenience: (public bytes, private bytes)."""
     return serialize_public_key(pair.public), serialize_private_key(

@@ -11,9 +11,16 @@ story.  It exposes the PR 1 batched throughput engine over a socket:
   coalescer that turns concurrent single requests into one batched
   backend call (the inference-server pattern applied to lattice
   crypto);
+* :mod:`repro.service.executor` — the pluggable execution-engine
+  layer: :class:`~repro.service.executor.InlineExecutor` computes
+  batches on the event loop,
+  :class:`~repro.service.executor.WorkerPoolExecutor` shards them
+  across worker processes speaking the hardened wire format;
+* :mod:`repro.service.worker` — the worker-process entry point
+  (``python -m repro.service.worker``);
 * :mod:`repro.service.server` — the asyncio server
   (``rlwe-repro serve``) exposing encrypt / decrypt / encapsulate /
-  decapsulate;
+  decapsulate / stats;
 * :mod:`repro.service.client` — the pipelining async client;
 * :mod:`repro.service.loadgen` — closed- and open-loop load
   generation with latency percentiles (``rlwe-repro loadgen``).
@@ -21,15 +28,27 @@ story.  It exposes the PR 1 batched throughput engine over a socket:
 
 from repro.service.client import RlweServiceClient
 from repro.service.coalescer import MicroBatcher
+from repro.service.executor import (
+    Executor,
+    InlineExecutor,
+    OpRunner,
+    WorkerPoolExecutor,
+    pool_executor_for,
+)
 from repro.service.loadgen import run_load
 from repro.service.protocol import ServiceError
 from repro.service.server import RlweService, RlweServiceServer
 
 __all__ = [
+    "Executor",
+    "InlineExecutor",
     "MicroBatcher",
+    "OpRunner",
     "RlweService",
     "RlweServiceClient",
     "RlweServiceServer",
     "ServiceError",
+    "WorkerPoolExecutor",
+    "pool_executor_for",
     "run_load",
 ]

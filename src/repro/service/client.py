@@ -16,6 +16,7 @@ with the wire status attached.
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import Dict, Optional, Tuple
 
 from repro.core.kem import SECRET_BYTES
@@ -27,6 +28,7 @@ from repro.service.protocol import (
     OP_ENCRYPT,
     OP_GET_PUBLIC_KEY,
     OP_PING,
+    OP_STATS,
     STATUS_OK,
     Request,
     ServiceError,
@@ -169,3 +171,11 @@ class RlweServiceClient:
     async def decapsulate(self, encapsulation: bytes) -> bytes:
         """Recover the session key from a serialized encapsulation."""
         return await self.request(OP_DECAPSULATE, encapsulation)
+
+    async def stats(self) -> Dict:
+        """The server's live per-op batch and executor-shard counters."""
+        body = await self.request(OP_STATS)
+        try:
+            return json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed stats response: {exc}") from None

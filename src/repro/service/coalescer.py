@@ -14,17 +14,30 @@ penalty for batched throughput.  With ``max_batch=1`` every request
 flushes immediately, which is the unbatched baseline the benchmarks
 compare against.
 
-The flush function is synchronous and runs *on the event loop*: the
-work is GIL-bound NumPy/Python crypto, so a thread pool would add
-handoff latency without adding parallelism.  While a batch computes,
-new arrivals queue for the next window — which is exactly what keeps
-subsequent batches full under load.
+Where a flushed batch *runs* is the execution engine's business
+(:mod:`repro.service.executor`), not the coalescer's.  A synchronous
+flush function computes on the event loop — the
+:class:`~repro.service.executor.InlineExecutor` model, right for a
+single-process server where the crypto is GIL-bound anyway.  A flush
+function that returns an awaitable hands the batch to an engine that
+completes it elsewhere — the
+:class:`~repro.service.executor.WorkerPoolExecutor` model, where whole
+batches ship to worker processes and *overlapping windows stay in
+flight concurrently*: while one batch computes on a worker, the event
+loop keeps accepting, coalescing, and dispatching the next window to
+another worker.  Either way, new arrivals queue for the next window
+while a batch computes — which is exactly what keeps subsequent
+batches full under load.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
+import time
 from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+_Window = List[Tuple[Any, asyncio.Future]]
 
 
 class MicroBatcher:
@@ -33,10 +46,13 @@ class MicroBatcher:
     Parameters
     ----------
     flush:
-        ``flush(items) -> results``, one result per item, in order.  A
-        result that is an :class:`Exception` instance is raised to that
-        item's waiter only; if ``flush`` itself raises, every waiter in
-        the batch gets the exception.
+        ``flush(items) -> results`` or ``flush(items) -> awaitable of
+        results``, one result per item, in order.  A result that is an
+        :class:`Exception` instance is raised to that item's waiter
+        only; if ``flush`` itself raises (or the awaitable does), every
+        waiter in that batch gets the exception.  An awaitable flush
+        does not block the window: further batches flush while earlier
+        ones are still in flight.
     max_batch:
         Flush as soon as the window holds this many items (>= 1).
     max_wait:
@@ -59,13 +75,16 @@ class MicroBatcher:
         self._flush = flush
         self.max_batch = max_batch
         self.max_wait = max_wait
-        self._window: List[Tuple[Any, asyncio.Future]] = []
+        self._window: _Window = []
         self._timer: "asyncio.TimerHandle | None" = None
+        self._inflight: "set[asyncio.Task]" = set()
         #: Cumulative counters for benchmarks and the server's stats op.
-        self.stats: Dict[str, int] = {
+        self.stats: Dict[str, float] = {
             "items": 0,
             "flushes": 0,
             "max_batch_seen": 0,
+            "flush_seconds": 0.0,
+            "inflight_max": 0,
         }
 
     async def submit(self, item: Any) -> Any:
@@ -93,17 +112,52 @@ class MicroBatcher:
         self.stats["max_batch_seen"] = max(
             self.stats["max_batch_seen"], len(items)
         )
+        started = time.perf_counter()
         try:
-            results = self._flush(items)
-            if len(results) != len(items):
-                raise RuntimeError(
-                    f"flush returned {len(results)} results for "
-                    f"{len(items)} items"
-                )
+            outcome = self._flush(items)
         except Exception as exc:
-            for _, future in window:
-                if not future.done():
-                    future.set_exception(exc)
+            self.stats["flush_seconds"] += time.perf_counter() - started
+            self._fail(window, exc)
+            return
+        if inspect.isawaitable(outcome):
+            task = asyncio.ensure_future(
+                self._finish_async(window, outcome, started)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            self.stats["inflight_max"] = max(
+                self.stats["inflight_max"], len(self._inflight)
+            )
+        else:
+            self.stats["flush_seconds"] += time.perf_counter() - started
+            self._deliver(window, outcome)
+
+    async def _finish_async(
+        self, window: _Window, outcome, started: float
+    ) -> None:
+        try:
+            results = await outcome
+        except Exception as exc:
+            self._fail(window, exc)
+            return
+        finally:
+            self.stats["flush_seconds"] += time.perf_counter() - started
+        self._deliver(window, results)
+
+    def _fail(self, window: _Window, exc: Exception) -> None:
+        for _, future in window:
+            if not future.done():
+                future.set_exception(exc)
+
+    def _deliver(self, window: _Window, results: Sequence[Any]) -> None:
+        if len(results) != len(window):
+            self._fail(
+                window,
+                RuntimeError(
+                    f"flush returned {len(results)} results for "
+                    f"{len(window)} items"
+                ),
+            )
             return
         for (_, future), result in zip(window, results):
             if future.done():
@@ -119,6 +173,30 @@ class MicroBatcher:
         flushes = self.stats["flushes"]
         return self.stats["items"] / flushes if flushes else 0.0
 
+    @property
+    def mean_flush_ms(self) -> float:
+        """Average submit-to-completion milliseconds per flush."""
+        flushes = self.stats["flushes"]
+        return (
+            self.stats["flush_seconds"] / flushes * 1e3 if flushes else 0.0
+        )
+
+    @property
+    def inflight_flushes(self) -> int:
+        """Async flushes currently awaiting completion."""
+        return len(self._inflight)
+
+    async def drain(self) -> None:
+        """Wait until every in-flight async flush has completed."""
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight), return_exceptions=True
+            )
+
     def close(self) -> None:
-        """Cancel the pending timer and flush any queued items."""
+        """Cancel the pending timer and flush any queued items.
+
+        Async flushes started here keep running; awaiting
+        :meth:`drain` afterwards guarantees every waiter is resolved.
+        """
         self.flush_pending()

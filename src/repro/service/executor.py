@@ -1,0 +1,926 @@
+"""Pluggable execution engines for coalesced crypto batches.
+
+The service stack is three layers: the framing/socket layer accepts and
+multiplexes requests, the :class:`~repro.service.coalescer.MicroBatcher`
+coalesces them into batches, and an *execution engine* — this module —
+decides where a flushed batch actually computes:
+
+* :class:`InlineExecutor` runs the batch synchronously on the event
+  loop, exactly the single-process behavior the PR 2 server had.
+  Cheapest per batch, but the loop cannot accept new requests while
+  crypto computes, so throughput is capped at one core.
+* :class:`WorkerPoolExecutor` forks N worker processes
+  (``python -m repro.service.worker``), broadcasts the serialized
+  keypair / parameter set / backend to each at startup, and ships whole
+  coalesced batches to the least-loaded worker.  The event loop keeps
+  accepting and coalescing while crypto computes in parallel — the
+  Python-scale analogue of the paper's workload spread across parallel
+  hardware tiles.  A worker that dies mid-flight fails only its own
+  outstanding batches (each waiter gets a uniform
+  :class:`~repro.service.protocol.ServiceError`) and is respawned.
+
+Every IPC payload rides the PR 2 hardened wire format — length-prefixed
+frames whose bodies are :func:`~repro.service.protocol.encode_batch`
+containers of :mod:`repro.core.serialize` objects.  No pickle crosses a
+process boundary, so a compromised worker cannot feed the parent
+arbitrary object graphs, and the parent↔worker contract is exactly as
+strict as the public socket.
+
+Both engines share :class:`OpRunner`, the body-in/body-out compute core
+(deserialize → batched backend call → serialize, with per-item error
+capture), so inline and pooled execution are bit-identical for the same
+random streams: ``InlineExecutor`` and ``WorkerPoolExecutor(workers=1)``
+produce byte-equal wire responses for the same seeded requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import struct
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.kem import SECRET_BYTES, EncapsulationError, RlweKem
+from repro.core.scheme import KeyPair, RlweEncryptionScheme
+from repro.core import serialize
+from repro.service import protocol
+from repro.service.protocol import (
+    OP_DECAPSULATE,
+    OP_DECRYPT,
+    OP_ENCAPSULATE,
+    OP_ENCRYPT,
+    OP_WORKER_CONFIG,
+    STATUS_BAD_REQUEST,
+    STATUS_DECAPSULATION_FAILED,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    Request,
+    ServiceError,
+)
+
+#: One executor result: a response body, or the error to raise to that
+#: item's waiter.
+BatchResult = Union[bytes, ServiceError]
+
+_SEED = struct.Struct("!Q")
+_FLAG_DIRECT = 0x01
+
+#: Domain separator between key-generation and serving randomness.  A
+#: deployment seeded with S must not serve encryption/encapsulation
+#: noise from the same PRNG stream that drew the keypair: the public
+#: ``a_hat`` is a verbatim slice of that stream, so reusing it would
+#: hand an observer the serving stream's prefix.  Keygen uses stream S,
+#: serving (inline, and pool shard 0's first spawn) uses stream
+#: ``serving_seed(S)``.
+#:
+#: The simulated TRNG (:class:`repro.trng.xorshift.Xorshift128`) has a
+#: 32-bit seed space, so all seed arithmetic here is mod 2^32 — two
+#: seeds equal mod 2^32 are the same stream.  The wire config still
+#: carries a u64 field for a future wider-seeded entropy source.
+#: Derivations run through a non-linear finalizer (:func:`_mix32`), not
+#: a plain offset, so *related* base seeds (S and S+1, or one server's
+#: base equalling another's derived seed) do not land on each other's
+#: streams.  In a 32-bit space collisions can never be ruled out —
+#: only made non-adjacent; the real guarantee is per-pool (every spawn
+#: distinct), and the TRNG is an explicitly non-cryptographic
+#: simulation either way.
+SERVING_SEED_DELTA = 0x9E3779B9
+_SEED_MASK = 0xFFFFFFFF
+
+
+def _mix32(value: int) -> int:
+    """A 32-bit bijective finalizer (splitmix-style avalanche)."""
+    value &= _SEED_MASK
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & _SEED_MASK
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & _SEED_MASK
+    value ^= value >> 16
+    return value
+
+
+def serving_seed(seed: int) -> int:
+    """The serving-stream seed derived from a base (keygen) seed."""
+    return _mix32((seed + SERVING_SEED_DELTA) & _SEED_MASK)
+
+
+def require_kem(kem: Optional[RlweKem], params) -> RlweKem:
+    """The shared KEM-capability guard (dispatch and engine side)."""
+    if kem is None:
+        raise ServiceError(
+            STATUS_BAD_REQUEST,
+            f"{params.name} carries {params.message_bytes} bytes per "
+            f"ciphertext; the KEM needs {SECRET_BYTES}",
+        )
+    return kem
+
+
+class OpRunner:
+    """Body-in/body-out batched compute for one shard.
+
+    Owns one scheme + keypair + KEM and turns a list of raw request
+    bodies into per-item ``(status, body)`` results.  Deserialization
+    errors, parameter mismatches, and decapsulation failures are
+    captured per item so one bad body never poisons its batch.  With
+    ``direct=True`` every item runs through the single-message scheme
+    API (the unbatched baseline a ``max_batch=1`` server serves).
+    """
+
+    def __init__(
+        self,
+        scheme: RlweEncryptionScheme,
+        keypair: KeyPair,
+        *,
+        direct: bool = False,
+    ):
+        self.scheme = scheme
+        self.keypair = keypair
+        self.kem = (
+            RlweKem(scheme)
+            if scheme.params.message_bytes >= SECRET_BYTES
+            else None
+        )
+        self.direct = direct
+
+    def run(
+        self, opcode: int, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, bytes]]:
+        """Execute one batch; one ``(status, body)`` per input body."""
+        if opcode == OP_ENCRYPT:
+            return self._encrypt(bodies)
+        if opcode == OP_DECRYPT:
+            return self._decrypt(bodies)
+        if opcode == OP_ENCAPSULATE:
+            return self._encapsulate(bodies)
+        if opcode == OP_DECAPSULATE:
+            return self._decapsulate(bodies)
+        raise ValueError(f"opcode {opcode} is not a batchable operation")
+
+    # ------------------------------------------------------------------
+    def _encrypt(
+        self, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, bytes]]:
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        messages, slots = [], []
+        for index, body in enumerate(bodies):
+            if len(body) > params.message_bytes:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"message of {len(body)} bytes exceeds the "
+                    f"{params.message_bytes}-byte capacity of "
+                    f"{params.name}".encode(),
+                )
+            else:
+                messages.append(body)
+                slots.append(index)
+        if messages:
+            if self.direct:
+                ciphertexts = [
+                    self.scheme.encrypt(self.keypair.public, message)
+                    for message in messages
+                ]
+            else:
+                ciphertexts = self.scheme.encrypt_batch(
+                    self.keypair.public, messages
+                )
+            for index, ct in zip(slots, ciphertexts):
+                results[index] = (
+                    STATUS_OK,
+                    serialize.serialize_ciphertext(ct),
+                )
+        return results  # type: ignore[return-value]
+
+    def _decrypt(
+        self, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, bytes]]:
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        ciphertexts, slots = [], []
+        for index, body in enumerate(bodies):
+            try:
+                ct = serialize.deserialize_ciphertext(body)
+            except ValueError as exc:
+                results[index] = (STATUS_BAD_REQUEST, str(exc).encode())
+                continue
+            if ct.params != params:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"ciphertext is for {ct.params.name}, "
+                    f"this server runs {params.name}".encode(),
+                )
+                continue
+            ciphertexts.append(ct)
+            slots.append(index)
+        if ciphertexts:
+            if self.direct:
+                plains = [
+                    self.scheme.decrypt(self.keypair.private, ct)
+                    for ct in ciphertexts
+                ]
+            else:
+                plains = self.scheme.decrypt_batch(
+                    self.keypair.private, ciphertexts
+                )
+            for index, plain in zip(slots, plains):
+                results[index] = (STATUS_OK, plain)
+        return results  # type: ignore[return-value]
+
+    def _encapsulate(
+        self, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, bytes]]:
+        kem = self._require_kem()
+        if self.direct:
+            pairs = [
+                kem.encapsulate(self.keypair.public) for _ in bodies
+            ]
+        else:
+            pairs = kem.encapsulate_many(self.keypair.public, len(bodies))
+        return [
+            (
+                STATUS_OK,
+                secret.key
+                + serialize.serialize_encapsulation(encapsulation),
+            )
+            for encapsulation, secret in pairs
+        ]
+
+    def _decapsulate(
+        self, bodies: Sequence[bytes]
+    ) -> List[Tuple[int, bytes]]:
+        kem = self._require_kem()
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        encapsulations, slots = [], []
+        for index, body in enumerate(bodies):
+            try:
+                encapsulation = serialize.deserialize_encapsulation(body)
+            except ValueError as exc:
+                results[index] = (STATUS_BAD_REQUEST, str(exc).encode())
+                continue
+            if encapsulation.ciphertext.params != params:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"encapsulation is for "
+                    f"{encapsulation.ciphertext.params.name}, "
+                    f"this server runs {params.name}".encode(),
+                )
+                continue
+            encapsulations.append(encapsulation)
+            slots.append(index)
+        if encapsulations:
+            if self.direct:
+                secrets = []
+                for encapsulation in encapsulations:
+                    try:
+                        secrets.append(
+                            kem.decapsulate(
+                                self.keypair.private,
+                                self.keypair.public,
+                                encapsulation,
+                            )
+                        )
+                    except EncapsulationError:
+                        secrets.append(None)
+            else:
+                secrets = kem.decapsulate_many(
+                    self.keypair.private,
+                    self.keypair.public,
+                    encapsulations,
+                )
+            for index, secret in zip(slots, secrets):
+                if secret is None:
+                    results[index] = (
+                        STATUS_DECAPSULATION_FAILED,
+                        b"key confirmation failed (decryption failure "
+                        b"or tampered encapsulation)",
+                    )
+                else:
+                    results[index] = (STATUS_OK, secret.key)
+        return results  # type: ignore[return-value]
+
+    def _require_kem(self) -> RlweKem:
+        return require_kem(self.kem, self.scheme.params)
+
+
+def results_to_batch(
+    results: Sequence[Tuple[int, bytes]]
+) -> List[BatchResult]:
+    """``(status, body)`` pairs to MicroBatcher-ready per-item results."""
+    return [
+        body
+        if status == STATUS_OK
+        else ServiceError(status, body.decode(errors="replace"))
+        for status, body in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker config broadcast (wire-format encoded, no pickle)
+# ----------------------------------------------------------------------
+def encode_worker_config(
+    public_bytes: bytes,
+    private_bytes: bytes,
+    *,
+    seed: int,
+    backend: Optional[str],
+    direct: bool,
+) -> bytes:
+    """The startup broadcast: keypair + seed + backend + path flags."""
+    if not 0 <= seed < 1 << 64:
+        raise ValueError(f"seed {seed} out of u64 range")
+    return protocol.encode_batch(
+        [
+            _SEED.pack(seed),
+            (backend or "").encode(),
+            bytes([_FLAG_DIRECT if direct else 0]),
+            public_bytes,
+            private_bytes,
+        ]
+    )
+
+
+def decode_worker_config(payload: bytes) -> Dict:
+    """Strict inverse of :func:`encode_worker_config`."""
+    fields = protocol.decode_batch(payload)
+    if len(fields) != 5:
+        raise ValueError(
+            f"worker config carries {len(fields)} fields, expected 5"
+        )
+    seed_bytes, backend_bytes, flags, public_bytes, private_bytes = fields
+    if len(seed_bytes) != _SEED.size:
+        raise ValueError(f"seed field of {len(seed_bytes)} bytes != 8")
+    if len(flags) != 1:
+        raise ValueError(f"flags field of {len(flags)} bytes != 1")
+    public = serialize.deserialize_public_key(public_bytes)
+    private = serialize.deserialize_private_key(private_bytes)
+    if public.params != private.params:
+        raise ValueError(
+            f"keypair mixes {public.params.name} and {private.params.name}"
+        )
+    try:
+        backend = backend_bytes.decode("ascii")
+    except UnicodeDecodeError:
+        raise ValueError("backend name is not ASCII") from None
+    return {
+        "seed": _SEED.unpack(seed_bytes)[0],
+        "backend": backend or None,
+        "direct": bool(flags[0] & _FLAG_DIRECT),
+        "keypair": KeyPair(public, private),
+    }
+
+
+# ----------------------------------------------------------------------
+# Executor interface
+# ----------------------------------------------------------------------
+class Executor:
+    """Where a coalesced batch computes; see the module docstring."""
+
+    kind = "abstract"
+
+    async def start(self) -> None:
+        """Bring the engine up (spawn workers, broadcast config)."""
+
+    async def close(self) -> None:
+        """Tear the engine down; outstanding batches fail cleanly."""
+
+    async def run_batch(
+        self, opcode: int, bodies: Sequence[bytes]
+    ) -> List[BatchResult]:
+        """Execute one coalesced batch; one result per body, in order."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict:
+        """Engine counters for the server's stats op."""
+        raise NotImplementedError
+
+
+class InlineExecutor(Executor):
+    """Run batches synchronously on the event loop (PR 2 behavior)."""
+
+    kind = "inline"
+
+    def __init__(self, runner: OpRunner):
+        self.runner = runner
+        self._batches = 0
+        self._items = 0
+
+    async def run_batch(
+        self, opcode: int, bodies: Sequence[bytes]
+    ) -> List[BatchResult]:
+        self._batches += 1
+        self._items += len(bodies)
+        return results_to_batch(self.runner.run(opcode, bodies))
+
+    def stats(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "workers": 0,
+            "batches": self._batches,
+            "items": self._items,
+        }
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    def __init__(self, index: int, proc: asyncio.subprocess.Process):
+        self.index = index
+        self.proc = proc
+        #: Serializes write+drain on stdin: concurrent drain() calls on
+        #: one transport are not supported before Python 3.11.
+        self.write_lock = asyncio.Lock()
+        self.jobs: Dict[int, asyncio.Future] = {}
+        self.outstanding_items = 0
+        self.jobs_done = 0
+        self.items_done = 0
+        self.reader_task: Optional[asyncio.Task] = None
+        self.alive = True
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+
+class WorkerPoolExecutor(Executor):
+    """Shard coalesced batches across a pool of worker processes.
+
+    Parameters
+    ----------
+    public_bytes / private_bytes:
+        The serialized keypair broadcast to every worker at startup
+        (:func:`repro.core.serialize.serialize_keypair` output).  The
+        parameter set rides inside the keys' self-describing headers.
+    seed:
+        Base of the per-shard deterministic randomness streams.  Shard
+        ``i`` on its ``g``-th (re)spawn seeds
+        ``mix32(seed) ^ mix32(i + g*workers)`` — distinct for every
+        spawn of this pool, so two shards never draw identical "fresh"
+        KEM secrets and a respawned worker never replays the secrets
+        its predecessor already issued.  Shard 0's first spawn uses
+        ``seed`` unchanged, which is what lets ``workers=1`` replay the
+        exact stream an inline server with the same seed would consume.
+    backend:
+        Compute-backend name each worker resolves locally (``None``
+        honours the worker's ``REPRO_BACKEND`` environment).  Each
+        worker pins its own backend instance, so NTT/sampler tables are
+        precomputed once per shard and stay warm.
+    workers:
+        Pool size (>= 1).
+    direct:
+        Serve through the single-message scheme API (``max_batch=1``
+        servers).
+    respawn:
+        Replace a worker that dies; only its own in-flight batches fail.
+    spawn_timeout:
+        Seconds to wait for a worker to come up (or for a live worker to
+        appear when all shards died at once) before failing fast.
+    job_timeout:
+        Seconds a dispatched batch may take before the worker is
+        declared wedged, killed (which fails its in-flight batches and
+        triggers a respawn), and the batch erred — the fail-fast path
+        for a worker that is alive but stuck.  ``None`` disables it.
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        public_bytes: bytes,
+        private_bytes: bytes,
+        *,
+        seed: int = 0,
+        backend: Optional[str] = None,
+        workers: int = 2,
+        direct: bool = False,
+        respawn: bool = True,
+        spawn_timeout: float = 60.0,
+        job_timeout: Optional[float] = 120.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.job_timeout = job_timeout
+        self._public_bytes = public_bytes
+        self._private_bytes = private_bytes
+        self._seed = seed
+        self._backend = backend
+        self._direct = direct
+        self.workers = workers
+        self._spawn_counts = [0] * workers
+        self.respawn = respawn
+        self.spawn_timeout = spawn_timeout
+        self._pool: List[Optional[_Worker]] = [None] * workers
+        self._respawn_tasks: "set[asyncio.Task]" = set()
+        self._available = asyncio.Event()
+        self._next_job_id = 0
+        self._rr = 0
+        self._respawns = 0
+        self._closing = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        spawned = await asyncio.gather(
+            *(self._spawn(index) for index in range(self.workers)),
+            return_exceptions=True,
+        )
+        failures = [w for w in spawned if isinstance(w, BaseException)]
+        if failures:
+            # Reap the siblings that did come up before re-raising.
+            for worker in spawned:
+                if isinstance(worker, _Worker):
+                    if worker.reader_task is not None:
+                        worker.reader_task.cancel()
+                    worker.alive = False
+                    worker.proc.kill()
+                    await worker.proc.wait()
+            raise failures[0]
+        for index, worker in enumerate(spawned):
+            self._pool[index] = worker
+        self._available.set()
+
+    def _shard_config(self, index: int) -> bytes:
+        """The config broadcast for shard ``index``'s next spawn.
+
+        ``index + generation*workers`` is unique per (shard, spawn),
+        and ``_mix32`` is a bijection, so no two spawns of this pool
+        ever share a randomness stream; counter 0 keeps the base seed
+        verbatim for the inline-replay property.
+        """
+        generation = self._spawn_counts[index]
+        self._spawn_counts[index] += 1
+        counter = index + generation * self.workers
+        shard_seed = (
+            self._seed & _SEED_MASK
+            if counter == 0
+            else _mix32(self._seed) ^ _mix32(counter)
+        )
+        return encode_worker_config(
+            self._public_bytes,
+            self._private_bytes,
+            seed=shard_seed,
+            backend=self._backend,
+            direct=self._direct,
+        )
+
+    async def _spawn(self, index: int) -> _Worker:
+        config = self._shard_config(index)
+        env = dict(os.environ)
+        # The worker must import `repro` from wherever the parent did —
+        # source checkouts run with PYTHONPATH=src, installs resolve
+        # normally.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.service.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        worker = _Worker(index, proc)
+        try:
+            protocol.write_frame(
+                proc.stdin,
+                protocol.encode_request(
+                    Request(0, OP_WORKER_CONFIG, config),
+                    protocol.IPC_MAX_FRAME_BYTES,
+                ),
+            )
+            await proc.stdin.drain()
+            payload = await asyncio.wait_for(
+                protocol.read_frame(
+                    proc.stdout, protocol.IPC_MAX_FRAME_BYTES
+                ),
+                timeout=self.spawn_timeout,
+            )
+            if payload is None:
+                raise ServiceError(
+                    STATUS_INTERNAL_ERROR,
+                    f"worker {index} exited during config handshake",
+                )
+            response = protocol.decode_response(payload)
+            if response.status != STATUS_OK:
+                raise ServiceError(
+                    response.status,
+                    f"worker {index} rejected config: "
+                    f"{response.body.decode(errors='replace')}",
+                )
+        except BaseException:
+            # Including CancelledError: an abandoned handshake must not
+            # leave an orphan process parked on its config read.
+            proc.kill()
+            await proc.wait()
+            raise
+        worker.reader_task = asyncio.ensure_future(self._read_loop(worker))
+        return worker
+
+    async def close(self) -> None:
+        self._closing = True
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._respawn_tasks:
+            await asyncio.gather(
+                *self._respawn_tasks, return_exceptions=True
+            )
+        workers = [w for w in self._pool if w is not None]
+        self._pool = [None] * self.workers
+        for worker in workers:
+            worker.alive = False
+            self._fail_jobs(
+                worker,
+                ServiceError(
+                    STATUS_INTERNAL_ERROR, "executor is shutting down"
+                ),
+            )
+            if worker.proc.returncode is None:
+                try:
+                    worker.proc.stdin.close()  # workers exit on EOF
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+        for worker in workers:
+            try:
+                await asyncio.wait_for(worker.proc.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                worker.proc.kill()
+                await worker.proc.wait()
+            if worker.reader_task is not None:
+                worker.reader_task.cancel()
+                try:
+                    await worker.reader_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pick_worker(self) -> Optional[_Worker]:
+        """Least outstanding items; round-robin breaks ties."""
+        alive = [w for w in self._pool if w is not None and w.alive]
+        if not alive:
+            return None
+        self._rr += 1
+        return min(
+            (
+                alive[(self._rr + offset) % len(alive)]
+                for offset in range(len(alive))
+            ),
+            key=lambda w: w.outstanding_items,
+        )
+
+    async def run_batch(
+        self, opcode: int, bodies: Sequence[bytes]
+    ) -> List[BatchResult]:
+        if self._closing:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR, "executor is closed"
+            )
+        if not self._started:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR, "executor is not started"
+            )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.spawn_timeout
+        while True:
+            worker = self._pick_worker()
+            if worker is not None:
+                break
+            # Every shard is down; wait for a respawn to land.
+            if self._closing or loop.time() >= deadline:
+                raise ServiceError(
+                    STATUS_INTERNAL_ERROR,
+                    "no live workers in the pool",
+                )
+            self._available.clear()
+            try:
+                await asyncio.wait_for(
+                    self._available.wait(),
+                    timeout=max(0.0, deadline - loop.time()),
+                )
+            except asyncio.TimeoutError:
+                raise ServiceError(
+                    STATUS_INTERNAL_ERROR,
+                    "no live workers in the pool",
+                ) from None
+
+        job_id = self._next_job_id
+        self._next_job_id = (self._next_job_id + 1) & 0xFFFFFFFF
+        if self._next_job_id == protocol.RESERVED_REQUEST_ID:
+            self._next_job_id = 0
+        future = loop.create_future()
+        worker.jobs[job_id] = future
+        worker.outstanding_items += len(bodies)
+        try:
+            try:
+                async with worker.write_lock:
+                    protocol.write_frame(
+                        worker.proc.stdin,
+                        protocol.encode_request(
+                            Request(
+                                job_id,
+                                opcode,
+                                protocol.encode_batch(bodies),
+                            ),
+                            protocol.IPC_MAX_FRAME_BYTES,
+                        ),
+                    )
+                    await worker.proc.stdin.drain()
+            except (
+                BrokenPipeError,
+                ConnectionResetError,
+                RuntimeError,
+            ) as exc:
+                # The reader loop may already have failed this job's
+                # future (worker death races the drain); consume that
+                # exception so it never logs as unretrieved.
+                if future.cancelled():
+                    pass
+                elif future.done():
+                    future.exception()
+                else:
+                    future.cancel()
+                raise ServiceError(
+                    STATUS_INTERNAL_ERROR,
+                    f"worker {worker.index} (pid {worker.pid}) is "
+                    f"unreachable: {exc}",
+                ) from None
+            try:
+                response = await asyncio.wait_for(
+                    future, timeout=self.job_timeout
+                )
+            except asyncio.TimeoutError:
+                # Alive but wedged: kill it so supervision fails its
+                # other in-flight batches and respawns the shard.
+                if worker.proc.returncode is None:
+                    worker.proc.kill()
+                raise ServiceError(
+                    STATUS_INTERNAL_ERROR,
+                    f"worker {worker.index} (pid {worker.pid}) did not "
+                    f"answer within {self.job_timeout:g}s; killed and "
+                    f"respawning",
+                ) from None
+        finally:
+            worker.jobs.pop(job_id, None)
+            worker.outstanding_items -= len(bodies)
+        worker.jobs_done += 1
+        worker.items_done += len(bodies)
+        if response.status != STATUS_OK:
+            raise ServiceError(
+                response.status, response.body.decode(errors="replace")
+            )
+        results = protocol.decode_result_batch(response.body)
+        if len(results) != len(bodies):
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR,
+                f"worker {worker.index} returned {len(results)} results "
+                f"for {len(bodies)} items",
+            )
+        return results_to_batch(results)
+
+    # ------------------------------------------------------------------
+    # Worker supervision
+    # ------------------------------------------------------------------
+    async def _read_loop(self, worker: _Worker) -> None:
+        try:
+            while True:
+                payload = await protocol.read_frame(
+                    worker.proc.stdout, protocol.IPC_MAX_FRAME_BYTES
+                )
+                if payload is None:
+                    break
+                response = protocol.decode_response(payload)
+                future = worker.jobs.get(response.request_id)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - pipe boundary
+            pass
+        finally:
+            self._on_worker_exit(worker)
+
+    def _fail_jobs(self, worker: _Worker, exc: ServiceError) -> None:
+        jobs, worker.jobs = dict(worker.jobs), {}
+        for future in jobs.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    def _on_worker_exit(self, worker: _Worker) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        self._fail_jobs(
+            worker,
+            ServiceError(
+                STATUS_INTERNAL_ERROR,
+                f"worker {worker.index} (pid {worker.pid}) died "
+                f"mid-batch; the request was not completed",
+            ),
+        )
+        if self._closing or not self.respawn:
+            return
+        self._respawns += 1
+        task = asyncio.ensure_future(self._respawn(worker.index))
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, index: int) -> None:
+        old = self._pool[index]
+        self._pool[index] = None
+        if old is not None and old.proc.returncode is None:
+            old.proc.kill()
+            await old.proc.wait()
+        # Retry until the shard is back or the pool shuts down: a
+        # transient spawn failure (fork pressure, slow imports) must
+        # not permanently strand the slot.
+        attempt = 0
+        while not self._closing:
+            try:
+                replacement = await self._spawn(index)
+            except Exception as exc:  # noqa: BLE001 - keep the pool up
+                attempt += 1
+                print(
+                    f"worker {index} respawn attempt {attempt} "
+                    f"failed: {exc}",
+                    file=sys.stderr,
+                )
+                await asyncio.sleep(min(0.5 * attempt, 5.0))
+                continue
+            self._pool[index] = replacement
+            self._available.set()
+            return
+
+    # ------------------------------------------------------------------
+    def alive_workers(self) -> int:
+        return sum(
+            1 for w in self._pool if w is not None and w.alive
+        )
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Per-slot pids (``None`` while a slot respawns)."""
+        return [w.pid if w is not None else None for w in self._pool]
+
+    def stats(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "alive": self.alive_workers(),
+            "respawns": self._respawns,
+            "shards": [
+                {
+                    "index": index,
+                    "pid": worker.pid if worker is not None else None,
+                    "alive": bool(worker is not None and worker.alive),
+                    "jobs": worker.jobs_done if worker is not None else 0,
+                    "items": (
+                        worker.items_done if worker is not None else 0
+                    ),
+                    "outstanding_items": (
+                        worker.outstanding_items
+                        if worker is not None
+                        else 0
+                    ),
+                }
+                for index, worker in enumerate(self._pool)
+            ],
+        }
+
+
+def pool_executor_for(
+    scheme: RlweEncryptionScheme,
+    keypair: KeyPair,
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    direct: bool = False,
+    backend: Optional[str] = None,
+    respawn: bool = True,
+    job_timeout: Optional[float] = 120.0,
+) -> WorkerPoolExecutor:
+    """A :class:`WorkerPoolExecutor` broadcasting ``keypair``.
+
+    ``backend`` defaults to the scheme's own backend name so every
+    shard runs the engine the caller benchmarked.
+    """
+    public_bytes, private_bytes = serialize.serialize_keypair(keypair)
+    return WorkerPoolExecutor(
+        public_bytes,
+        private_bytes,
+        seed=seed,
+        backend=backend if backend is not None else scheme.backend.name,
+        workers=workers,
+        direct=direct,
+        respawn=respawn,
+        job_timeout=job_timeout,
+    )

@@ -27,10 +27,17 @@ import struct
 from dataclasses import dataclass
 from typing import Optional
 
-#: Upper bound on one frame; the largest legitimate payload (a P4
-#: public key response) is under 10 KiB, so 1 MiB leaves headroom
-#: while bounding a hostile length prefix.
+#: Upper bound on one public-socket frame; the largest legitimate
+#: payload there (a P4 public key response) is under 10 KiB, so 1 MiB
+#: leaves headroom while bounding a hostile length prefix.
 MAX_FRAME_BYTES = 1 << 20
+
+#: Upper bound on one worker-IPC frame.  The pipe between the server
+#: and its pool workers is a trusted channel carrying whole coalesced
+#: batches (batch containers of ciphertexts/encapsulations), so the
+#: cap only guards against corruption, not hostile peers: 64 MiB fits
+#: a 4096-wide window of P4 encapsulations with room to spare.
+IPC_MAX_FRAME_BYTES = 64 << 20
 
 # Opcodes ---------------------------------------------------------------
 OP_PING = 0
@@ -39,6 +46,12 @@ OP_ENCRYPT = 2
 OP_DECRYPT = 3
 OP_ENCAPSULATE = 4
 OP_DECAPSULATE = 5
+OP_STATS = 6
+
+#: Worker-IPC-only opcode: the first frame a pool worker receives,
+#: carrying the serialized keypair / seed / backend broadcast.  Never
+#: valid on the public socket.
+OP_WORKER_CONFIG = 0x40
 
 OPCODE_NAMES = {
     OP_PING: "ping",
@@ -47,6 +60,8 @@ OPCODE_NAMES = {
     OP_DECRYPT: "decrypt",
     OP_ENCAPSULATE: "encapsulate",
     OP_DECAPSULATE: "decapsulate",
+    OP_STATS: "stats",
+    OP_WORKER_CONFIG: "worker_config",
 }
 
 # Response statuses -----------------------------------------------------
@@ -100,16 +115,21 @@ class Response:
     body: bytes
 
 
-def _encode_envelope(request_id: int, tag: int, body: bytes) -> bytes:
+def _encode_envelope(
+    request_id: int,
+    tag: int,
+    body: bytes,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
     if not 0 <= request_id < 1 << 32:
         raise ValueError(f"request id {request_id} out of u32 range")
     if not 0 <= tag < 1 << 8:
         raise ValueError(f"opcode/status {tag} out of u8 range")
     payload_len = _ENVELOPE.size + len(body)
-    if payload_len > MAX_FRAME_BYTES:
+    if payload_len > max_frame:
         raise ValueError(
             f"payload of {payload_len} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte frame limit"
+            f"{max_frame}-byte frame limit"
         )
     return (
         _LENGTH.pack(payload_len)
@@ -128,9 +148,13 @@ def _decode_envelope(payload: bytes, what: str) -> "tuple[int, int, bytes]":
     return request_id, tag, payload[_ENVELOPE.size :]
 
 
-def encode_request(request: Request) -> bytes:
+def encode_request(
+    request: Request, max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
     """One request as a full frame (length prefix included)."""
-    return _encode_envelope(request.request_id, request.opcode, request.body)
+    return _encode_envelope(
+        request.request_id, request.opcode, request.body, max_frame
+    )
 
 
 def decode_request(payload: bytes) -> Request:
@@ -138,9 +162,13 @@ def decode_request(payload: bytes) -> Request:
     return Request(request_id, opcode, body)
 
 
-def encode_response(response: Response) -> bytes:
+def encode_response(
+    response: Response, max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
     """One response as a full frame (length prefix included)."""
-    return _encode_envelope(response.request_id, response.status, response.body)
+    return _encode_envelope(
+        response.request_id, response.status, response.body, max_frame
+    )
 
 
 def decode_response(payload: bytes) -> Response:
@@ -148,7 +176,9 @@ def decode_response(payload: bytes) -> Response:
     return Response(request_id, status, body)
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
     """Read one frame's payload; ``None`` on clean EOF between frames."""
     prefix = await reader.read(_LENGTH.size)
     if not prefix:
@@ -159,10 +189,10 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
             raise ValueError("connection closed mid length prefix")
         prefix += more
     (length,) = _LENGTH.unpack(prefix)
-    if length > MAX_FRAME_BYTES:
+    if length > max_frame:
         raise ValueError(
             f"frame of {length} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte limit"
+            f"{max_frame}-byte limit"
         )
     try:
         return await reader.readexactly(length)
@@ -176,3 +206,153 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
 def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
     """Queue one already-encoded frame; the caller drains."""
     writer.write(frame)
+
+
+# ----------------------------------------------------------------------
+# Batch containers (worker IPC)
+# ----------------------------------------------------------------------
+# The worker-pool executor ships whole coalesced batches between the
+# event-loop process and its workers.  A *batch container* packs many
+# bodies into one payload; a *result container* pairs each body with a
+# per-item status byte so one failed item never poisons its batch.
+# Both follow the serialize-layer contract: strict parsing, exact
+# length, ValueError on anything malformed — the IPC pipe carries the
+# same hardened encoding as the public socket, never pickle.
+
+_COUNT = struct.Struct("!I")
+_ITEM_LEN = struct.Struct("!I")
+_RESULT_HEAD = struct.Struct("!BI")  # status + length
+
+
+def encode_batch(
+    bodies: "Sequence[bytes]", max_frame: int = IPC_MAX_FRAME_BYTES
+) -> bytes:
+    """Pack request bodies into one batch-container payload."""
+    parts = [_COUNT.pack(len(bodies))]
+    for body in bodies:
+        parts.append(_ITEM_LEN.pack(len(body)))
+        parts.append(body)
+    payload = b"".join(parts)
+    if len(payload) > max_frame - _ENVELOPE.size:
+        raise ValueError(
+            f"batch container of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return payload
+
+
+def decode_batch(payload: bytes) -> "list[bytes]":
+    """Strict inverse of :func:`encode_batch`."""
+    if len(payload) < _COUNT.size:
+        raise ValueError(
+            f"batch container of {len(payload)} bytes is shorter than "
+            f"its {_COUNT.size}-byte count"
+        )
+    (count,) = _COUNT.unpack_from(payload)
+    cursor = _COUNT.size
+    bodies = []
+    for index in range(count):
+        if len(payload) - cursor < _ITEM_LEN.size:
+            raise ValueError(f"batch container truncated at item {index}")
+        (length,) = _ITEM_LEN.unpack_from(payload, cursor)
+        cursor += _ITEM_LEN.size
+        if len(payload) - cursor < length:
+            raise ValueError(
+                f"batch item {index} claims {length} bytes, "
+                f"{len(payload) - cursor} remain"
+            )
+        bodies.append(payload[cursor : cursor + length])
+        cursor += length
+    if cursor != len(payload):
+        raise ValueError(
+            f"batch container has {len(payload) - cursor} trailing bytes"
+        )
+    return bodies
+
+
+def encode_result_batch(
+    results: "Sequence[tuple[int, bytes]]",
+    max_frame: int = IPC_MAX_FRAME_BYTES,
+) -> bytes:
+    """Pack per-item ``(status, body)`` results into one payload."""
+    parts = [_COUNT.pack(len(results))]
+    for status, body in results:
+        if not 0 <= status < 1 << 8:
+            raise ValueError(f"status {status} out of u8 range")
+        parts.append(_RESULT_HEAD.pack(status, len(body)))
+        parts.append(body)
+    payload = b"".join(parts)
+    if len(payload) > max_frame - _ENVELOPE.size:
+        raise ValueError(
+            f"result container of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return payload
+
+
+def decode_result_batch(payload: bytes) -> "list[tuple[int, bytes]]":
+    """Strict inverse of :func:`encode_result_batch`."""
+    if len(payload) < _COUNT.size:
+        raise ValueError(
+            f"result container of {len(payload)} bytes is shorter than "
+            f"its {_COUNT.size}-byte count"
+        )
+    (count,) = _COUNT.unpack_from(payload)
+    cursor = _COUNT.size
+    results = []
+    for index in range(count):
+        if len(payload) - cursor < _RESULT_HEAD.size:
+            raise ValueError(f"result container truncated at item {index}")
+        status, length = _RESULT_HEAD.unpack_from(payload, cursor)
+        cursor += _RESULT_HEAD.size
+        if len(payload) - cursor < length:
+            raise ValueError(
+                f"result item {index} claims {length} bytes, "
+                f"{len(payload) - cursor} remain"
+            )
+        results.append((status, payload[cursor : cursor + length]))
+        cursor += length
+    if cursor != len(payload):
+        raise ValueError(
+            f"result container has {len(payload) - cursor} trailing bytes"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Blocking frame I/O (worker side of the IPC pipe)
+# ----------------------------------------------------------------------
+def read_frame_blocking(
+    stream, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """Synchronous :func:`read_frame` over a blocking binary stream."""
+    prefix = b""
+    while len(prefix) < _LENGTH.size:
+        chunk = stream.read(_LENGTH.size - len(prefix))
+        if not chunk:
+            if not prefix:
+                return None
+            raise ValueError("stream closed mid length prefix")
+        prefix += chunk
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_frame:
+        raise ValueError(
+            f"frame of {length} bytes exceeds the "
+            f"{max_frame}-byte limit"
+        )
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise ValueError(
+                f"stream closed mid frame ({len(payload)} of "
+                f"{length} bytes)"
+            )
+        payload += chunk
+    return payload
+
+
+def write_frame_blocking(stream, frame: bytes) -> None:
+    """Write one already-encoded frame and flush the stream."""
+    stream.write(frame)
+    stream.flush()

@@ -1,11 +1,14 @@
 """The asyncio key-transport server (``rlwe-repro serve``).
 
-Two layers:
+Three layers:
 
 * :class:`RlweService` — transport-agnostic application logic.  It owns
-  a scheme + keypair + KEM and one :class:`~repro.service.coalescer.MicroBatcher`
-  per batchable operation, so concurrent requests flush through the
-  PR 1 batched backend APIs.
+  a keypair and one :class:`~repro.service.coalescer.MicroBatcher` per
+  batchable operation, so concurrent requests flush through the PR 1
+  batched backend APIs.
+* an execution engine (:mod:`repro.service.executor`) — where a flushed
+  batch computes: inline on the event loop, or sharded across a pool of
+  worker processes that keep the loop free to accept and coalesce.
 * :class:`RlweServiceServer` — the socket layer: accepts connections,
   reads frames, and dispatches each request as its own task (responses
   are matched by request id, so pipelined requests on one connection
@@ -34,6 +37,10 @@ Operations
     Body: a serialized encapsulation; returns the 32-byte session key
     or a ``decapsulation_failed`` response when the confirmation tag
     rejects it.
+``stats``
+    Empty body.  Returns the server's live per-op batch/latency and
+    per-shard executor counters as a JSON object, so a running server
+    is inspectable without restarting it (``rlwe-repro stats``).
 
 Every parse failure of untrusted bytes surfaces as :exc:`ValueError`
 from the :mod:`repro.core.serialize` layer and maps to a
@@ -43,13 +50,20 @@ from the :mod:`repro.core.serialize` layer and maps to a
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import Dict, List, Optional
 
-from repro.core.kem import SECRET_BYTES, EncapsulationError, RlweKem
+from repro.core.kem import SECRET_BYTES, RlweKem
 from repro.core.scheme import KeyPair, RlweEncryptionScheme
 from repro.core import serialize
 from repro.service import protocol
 from repro.service.coalescer import MicroBatcher
+from repro.service.executor import (
+    Executor,
+    InlineExecutor,
+    OpRunner,
+    require_kem,
+)
 from repro.service.protocol import (
     OP_DECAPSULATE,
     OP_DECRYPT,
@@ -57,8 +71,8 @@ from repro.service.protocol import (
     OP_ENCRYPT,
     OP_GET_PUBLIC_KEY,
     OP_PING,
+    OP_STATS,
     STATUS_BAD_REQUEST,
-    STATUS_DECAPSULATION_FAILED,
     STATUS_INTERNAL_ERROR,
     STATUS_OK,
     Request,
@@ -66,9 +80,24 @@ from repro.service.protocol import (
     ServiceError,
 )
 
+#: Batchable operations, by wire name, in opcode order.
+BATCHED_OPS = {
+    "encrypt": OP_ENCRYPT,
+    "decrypt": OP_DECRYPT,
+    "encapsulate": OP_ENCAPSULATE,
+    "decapsulate": OP_DECAPSULATE,
+}
+
 
 class RlweService:
-    """Application logic: batched crypto behind per-op coalescers."""
+    """Application logic: batched crypto behind per-op coalescers.
+
+    Dispatch validates each untrusted body (cheap header/length peeks),
+    the per-op :class:`MicroBatcher` coalesces raw bodies into windows,
+    and the execution engine turns each flushed window into response
+    bodies.  With ``executor=None`` batches run inline on the event
+    loop — bit-identical to the pre-executor server.
+    """
 
     def __init__(
         self,
@@ -77,6 +106,7 @@ class RlweService:
         *,
         max_batch: int = 32,
         max_wait: float = 0.002,
+        executor: Optional[Executor] = None,
     ):
         self.scheme = scheme
         self.keypair = keypair if keypair is not None else scheme.generate_keypair()
@@ -90,100 +120,47 @@ class RlweService:
         #: baseline a server without a coalescer would be.  Any larger
         #: window flushes through the PR 1 batched engine.
         self.direct_path = max_batch == 1
+        if executor is None:
+            executor = InlineExecutor(
+                OpRunner(scheme, self.keypair, direct=self.direct_path)
+            )
+        self.executor = executor
         self._public_key_bytes = serialize.serialize_public_key(
             self.keypair.public
         )
+
+        def batcher(opcode: int) -> MicroBatcher:
+            async def flush(bodies: List[bytes]):
+                return await self.executor.run_batch(opcode, bodies)
+
+            return MicroBatcher(
+                flush, max_batch=max_batch, max_wait=max_wait
+            )
+
         self.batchers: Dict[str, MicroBatcher] = {
-            "encrypt": MicroBatcher(
-                self._flush_encrypt, max_batch=max_batch, max_wait=max_wait
-            ),
-            "decrypt": MicroBatcher(
-                self._flush_decrypt, max_batch=max_batch, max_wait=max_wait
-            ),
-            "encapsulate": MicroBatcher(
-                self._flush_encapsulate, max_batch=max_batch, max_wait=max_wait
-            ),
-            "decapsulate": MicroBatcher(
-                self._flush_decapsulate, max_batch=max_batch, max_wait=max_wait
-            ),
+            name: batcher(opcode) for name, opcode in BATCHED_OPS.items()
         }
 
     # ------------------------------------------------------------------
-    # Batched flush functions (run on the event loop, one per window)
+    # Lifecycle
     # ------------------------------------------------------------------
-    def _flush_encrypt(self, messages: List[bytes]) -> List[bytes]:
-        if self.direct_path:
-            ciphertexts = [
-                self.scheme.encrypt(self.keypair.public, message)
-                for message in messages
-            ]
-        else:
-            ciphertexts = self.scheme.encrypt_batch(
-                self.keypair.public, messages
-            )
-        return [serialize.serialize_ciphertext(ct) for ct in ciphertexts]
+    async def start(self) -> None:
+        """Bring the execution engine up (spawns pool workers)."""
+        await self.executor.start()
 
-    def _flush_decrypt(self, ciphertexts: List) -> List[bytes]:
-        if self.direct_path:
-            return [
-                self.scheme.decrypt(self.keypair.private, ct)
-                for ct in ciphertexts
-            ]
-        return self.scheme.decrypt_batch(self.keypair.private, ciphertexts)
-
-    def _flush_encapsulate(self, items: List) -> List[bytes]:
-        if self.direct_path:
-            pairs = [
-                self.kem.encapsulate(self.keypair.public) for _ in items
-            ]
-        else:
-            pairs = self.kem.encapsulate_many(self.keypair.public, len(items))
-        return [
-            secret.key + serialize.serialize_encapsulation(encapsulation)
-            for encapsulation, secret in pairs
-        ]
-
-    def _flush_decapsulate(self, encapsulations: List) -> List:
-        if self.direct_path:
-            secrets = []
-            for encapsulation in encapsulations:
-                try:
-                    secrets.append(
-                        self.kem.decapsulate(
-                            self.keypair.private,
-                            self.keypair.public,
-                            encapsulation,
-                        )
-                    )
-                except EncapsulationError:
-                    secrets.append(None)
-        else:
-            secrets = self.kem.decapsulate_many(
-                self.keypair.private, self.keypair.public, encapsulations
-            )
-        return [
-            secret.key
-            if secret is not None
-            else ServiceError(
-                STATUS_DECAPSULATION_FAILED,
-                "key confirmation failed (decryption failure or "
-                "tampered encapsulation)",
-            )
-            for secret in secrets
-        ]
+    async def aclose(self) -> None:
+        """Flush and drain every batcher, then close the engine."""
+        for batcher in self.batchers.values():
+            batcher.close()
+        for batcher in self.batchers.values():
+            await batcher.drain()
+        await self.executor.close()
 
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
     def _require_kem(self) -> RlweKem:
-        if self.kem is None:
-            raise ServiceError(
-                STATUS_BAD_REQUEST,
-                f"{self.scheme.params.name} carries "
-                f"{self.scheme.params.message_bytes} bytes per ciphertext; "
-                f"the KEM needs {SECRET_BYTES}",
-            )
-        return self.kem
+        return require_kem(self.kem, self.scheme.params)
 
     async def dispatch(self, opcode: int, body: bytes) -> bytes:
         """Execute one operation body-to-body; raises ServiceError."""
@@ -192,6 +169,12 @@ class RlweService:
             return body
         if opcode == OP_GET_PUBLIC_KEY:
             return self._public_key_bytes
+        if opcode == OP_STATS:
+            if body:
+                raise ServiceError(
+                    STATUS_BAD_REQUEST, "stats takes an empty body"
+                )
+            return json.dumps(self.stats()).encode()
         if opcode == OP_ENCRYPT:
             if len(body) > params.message_bytes:
                 raise ServiceError(
@@ -202,37 +185,36 @@ class RlweService:
             return await self.batchers["encrypt"].submit(body)
         if opcode == OP_DECRYPT:
             try:
-                ciphertext = serialize.deserialize_ciphertext(body)
+                ct_params = serialize.peek_ciphertext_params(body)
             except ValueError as exc:
                 raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
-            if ciphertext.params != params:
+            if ct_params != params:
                 raise ServiceError(
                     STATUS_BAD_REQUEST,
-                    f"ciphertext is for {ciphertext.params.name}, "
+                    f"ciphertext is for {ct_params.name}, "
                     f"this server runs {params.name}",
                 )
-            return await self.batchers["decrypt"].submit(ciphertext)
+            return await self.batchers["decrypt"].submit(body)
         if opcode == OP_ENCAPSULATE:
             self._require_kem()
             if body:
                 raise ServiceError(
                     STATUS_BAD_REQUEST, "encapsulate takes an empty body"
                 )
-            return await self.batchers["encapsulate"].submit(None)
+            return await self.batchers["encapsulate"].submit(b"")
         if opcode == OP_DECAPSULATE:
             self._require_kem()
             try:
-                encapsulation = serialize.deserialize_encapsulation(body)
+                cap_params = serialize.peek_encapsulation_params(body)
             except ValueError as exc:
                 raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
-            if encapsulation.ciphertext.params != params:
+            if cap_params != params:
                 raise ServiceError(
                     STATUS_BAD_REQUEST,
-                    f"encapsulation is for "
-                    f"{encapsulation.ciphertext.params.name}, "
+                    f"encapsulation is for {cap_params.name}, "
                     f"this server runs {params.name}",
                 )
-            return await self.batchers["decapsulate"].submit(encapsulation)
+            return await self.batchers["decapsulate"].submit(body)
         raise ServiceError(STATUS_BAD_REQUEST, f"unknown opcode {opcode}")
 
     async def handle(self, request: Request) -> Response:
@@ -251,13 +233,19 @@ class RlweService:
                 f"{type(exc).__name__}: {exc}".encode(),
             )
 
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """Coalescing counters per operation (for benchmarks/logging)."""
+    def stats(self) -> Dict:
+        """Per-op coalescing counters plus execution-engine counters."""
         return {
-            name: dict(
-                batcher.stats, mean_batch_size=batcher.mean_batch_size
-            )
-            for name, batcher in self.batchers.items()
+            "ops": {
+                name: dict(
+                    batcher.stats,
+                    mean_batch_size=batcher.mean_batch_size,
+                    mean_flush_ms=batcher.mean_flush_ms,
+                    inflight_flushes=batcher.inflight_flushes,
+                )
+                for name, batcher in self.batchers.items()
+            },
+            "executor": self.executor.stats(),
         }
 
 
@@ -278,6 +266,7 @@ class RlweServiceServer:
         self.connections_served = 0
 
     async def start(self) -> None:
+        await self.service.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
@@ -299,12 +288,11 @@ class RlweServiceServer:
         await self._server.serve_forever()
 
     async def close(self) -> None:
-        """Stop accepting, cancel in-flight requests, flush batchers."""
+        """Stop accepting, drain batchers, stop the engine and tasks."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for batcher in self.service.batchers.values():
-            batcher.close()
+        await self.service.aclose()
         for task in list(self._tasks):
             task.cancel()
         if self._tasks:
@@ -388,10 +376,15 @@ async def start_server(
     max_batch: int = 32,
     max_wait: float = 0.002,
     keypair: Optional[KeyPair] = None,
+    executor: Optional[Executor] = None,
 ) -> RlweServiceServer:
     """Build and start a server in one call; caller closes it."""
     service = RlweService(
-        scheme, keypair, max_batch=max_batch, max_wait=max_wait
+        scheme,
+        keypair,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        executor=executor,
     )
     server = RlweServiceServer(service, host=host, port=port)
     await server.start()

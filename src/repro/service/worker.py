@@ -1,0 +1,152 @@
+"""Worker-process entry point for the pool executor.
+
+``python -m repro.service.worker`` speaks the service wire protocol
+over stdin/stdout: length-prefixed frames whose bodies are
+:func:`~repro.service.protocol.encode_batch` containers.  The first
+frame must be an ``OP_WORKER_CONFIG`` request carrying the serialized
+keypair / seed / backend broadcast
+(:func:`~repro.service.executor.decode_worker_config`); every later
+frame is one coalesced batch, answered with an
+:func:`~repro.service.protocol.encode_result_batch` container of
+per-item ``(status, body)`` results.  No pickle ever crosses the pipe.
+
+The worker builds its own scheme + backend instance from the config, so
+each shard carries warm precomputed NTT/sampler tables and its own
+deterministic randomness stream — the natural home for future
+per-shard parameter-set multiplexing.
+
+A clean EOF on stdin is the shutdown signal (the parent closes our pipe
+on executor close); the worker drains nothing and exits 0.  ``OP_PING``
+batches echo their bodies — the shard health check.  Only when the
+``REPRO_WORKER_FAULT_HOOKS=1`` environment variable is set does a ping
+body of the form ``sleep:<seconds>`` additionally block the worker for
+that long first: the fault-injection hook the graceful-degradation
+tests use, inert in production.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core.scheme import RlweEncryptionScheme
+from repro.service import protocol
+from repro.service.executor import OpRunner, decode_worker_config
+from repro.service.protocol import (
+    OP_PING,
+    OP_WORKER_CONFIG,
+    STATUS_BAD_REQUEST,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    Response,
+)
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+def _runner_from_config(payload: bytes) -> "tuple[OpRunner, str]":
+    config = decode_worker_config(payload)
+    keypair = config["keypair"]
+    scheme = RlweEncryptionScheme(
+        keypair.public.params,
+        bits=PrngBitSource(Xorshift128(config["seed"])),
+        backend=config["backend"],
+    )
+    runner = OpRunner(scheme, keypair, direct=config["direct"])
+    return runner, scheme.backend.name
+
+
+_FAULT_HOOKS = os.environ.get("REPRO_WORKER_FAULT_HOOKS") == "1"
+
+
+def _ping_item(body: bytes) -> bytes:
+    if _FAULT_HOOKS and body.startswith(b"sleep:"):
+        time.sleep(float(body[len(b"sleep:") :]))
+    return body
+
+
+def run_worker(stdin, stdout) -> int:
+    """Serve batches until EOF; returns the process exit code."""
+    payload = protocol.read_frame_blocking(
+        stdin, protocol.IPC_MAX_FRAME_BYTES
+    )
+    if payload is None:
+        return 0
+    request = protocol.decode_request(payload)
+    if request.opcode != OP_WORKER_CONFIG:
+        protocol.write_frame_blocking(
+            stdout,
+            protocol.encode_response(
+                Response(
+                    request.request_id,
+                    STATUS_BAD_REQUEST,
+                    b"first frame must be a worker config",
+                )
+            ),
+        )
+        return 1
+    try:
+        runner, backend_name = _runner_from_config(request.body)
+    except (ValueError, KeyError) as exc:
+        protocol.write_frame_blocking(
+            stdout,
+            protocol.encode_response(
+                Response(
+                    request.request_id,
+                    STATUS_BAD_REQUEST,
+                    str(exc).encode(),
+                )
+            ),
+        )
+        return 1
+    protocol.write_frame_blocking(
+        stdout,
+        protocol.encode_response(
+            Response(request.request_id, STATUS_OK, backend_name.encode())
+        ),
+    )
+
+    while True:
+        payload = protocol.read_frame_blocking(
+            stdin, protocol.IPC_MAX_FRAME_BYTES
+        )
+        if payload is None:
+            return 0
+        # Batch boundary: one corrupt frame answers with an error (on
+        # the reserved id when its own id is unrecoverable) instead of
+        # crashing the shard.
+        request_id = protocol.RESERVED_REQUEST_ID
+        try:
+            request = protocol.decode_request(payload)
+            request_id = request.request_id
+            bodies = protocol.decode_batch(request.body)
+            if request.opcode == OP_PING:
+                results = [(STATUS_OK, _ping_item(body)) for body in bodies]
+            else:
+                results = runner.run(request.opcode, bodies)
+            body = protocol.encode_result_batch(results)
+            status = STATUS_OK
+        except Exception as exc:  # noqa: BLE001 - batch boundary
+            body = f"{type(exc).__name__}: {exc}".encode()
+            status = STATUS_INTERNAL_ERROR
+        protocol.write_frame_blocking(
+            stdout,
+            protocol.encode_response(
+                Response(request_id, status, body),
+                protocol.IPC_MAX_FRAME_BYTES,
+            ),
+        )
+
+
+def main() -> int:
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # Stray prints (ours or a dependency's) must never corrupt the
+    # framed stdout stream.
+    sys.stdout = sys.stderr
+    return run_worker(stdin, stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

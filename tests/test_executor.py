@@ -1,0 +1,532 @@
+"""The execution-engine layer: batch containers, OpRunner, worker pool.
+
+Covers the worker-IPC encodings (strict, pickle-free), the shared
+body-in/body-out compute core, inline-vs-pool bit-identity, sharding,
+and graceful degradation when a worker is killed mid-flight.
+
+asyncio tests run through ``asyncio.run`` (no pytest-asyncio).  Pool
+tests spawn real worker subprocesses; they are kept small because CI
+may offer a single core.
+"""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.core import serialize
+from repro.service import protocol
+from repro.service.client import RlweServiceClient
+from repro.service.executor import (
+    InlineExecutor,
+    OpRunner,
+    WorkerPoolExecutor,
+    decode_worker_config,
+    encode_worker_config,
+    pool_executor_for,
+)
+from repro.service.protocol import (
+    OP_DECRYPT,
+    OP_ENCAPSULATE,
+    OP_ENCRYPT,
+    OP_PING,
+    STATUS_BAD_REQUEST,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    ServiceError,
+)
+from repro.service.server import start_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _scheme(seed=1234):
+    return seeded_scheme(P1, seed=seed)
+
+
+def _keypair_and_scheme(key_seed=77, rng_seed=901):
+    """A keypair from its own scheme, plus a fresh serving scheme.
+
+    Keeping keygen off the serving scheme's randomness stream is what
+    lets a pool worker (which seeds its own stream with ``rng_seed``)
+    replay the inline server's stream exactly.
+    """
+    keypair = seeded_scheme(P1, seed=key_seed).generate_keypair()
+    return keypair, seeded_scheme(P1, seed=rng_seed)
+
+
+# ----------------------------------------------------------------------
+# Batch containers (worker IPC encodings)
+# ----------------------------------------------------------------------
+class TestBatchContainers:
+    def test_batch_roundtrip(self):
+        bodies = [b"", b"a", b"x" * 1000, bytes(range(256))]
+        assert protocol.decode_batch(protocol.encode_batch(bodies)) == bodies
+
+    def test_empty_batch_roundtrip(self):
+        assert protocol.decode_batch(protocol.encode_batch([])) == []
+
+    def test_batch_trailing_garbage_rejected(self):
+        payload = protocol.encode_batch([b"ok"])
+        with pytest.raises(ValueError):
+            protocol.decode_batch(payload + b"J")
+
+    def test_batch_truncation_rejected(self):
+        payload = protocol.encode_batch([b"hello", b"world"])
+        for cut in range(len(payload) - 1, 3, -1):
+            with pytest.raises(ValueError):
+                protocol.decode_batch(payload[:cut])
+
+    def test_batch_hostile_count_rejected(self):
+        # Count claims 100 items, payload carries none.
+        with pytest.raises(ValueError):
+            protocol.decode_batch(b"\x00\x00\x00\x64")
+
+    def test_batch_hostile_item_length_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.decode_batch(
+                b"\x00\x00\x00\x01" + b"\xff\xff\xff\xff" + b"xx"
+            )
+
+    def test_result_batch_roundtrip(self):
+        results = [
+            (STATUS_OK, b"body"),
+            (STATUS_BAD_REQUEST, b"oops"),
+            (STATUS_OK, b""),
+        ]
+        assert (
+            protocol.decode_result_batch(
+                protocol.encode_result_batch(results)
+            )
+            == results
+        )
+
+    def test_result_batch_status_range_checked(self):
+        with pytest.raises(ValueError):
+            protocol.encode_result_batch([(256, b"")])
+
+    def test_result_batch_trailing_garbage_rejected(self):
+        payload = protocol.encode_result_batch([(STATUS_OK, b"ok")])
+        with pytest.raises(ValueError):
+            protocol.decode_result_batch(payload + b"!")
+
+    def test_oversized_batch_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.encode_batch([b"x" * 2048], max_frame=1024)
+        with pytest.raises(ValueError):
+            protocol.encode_result_batch(
+                [(STATUS_OK, b"x" * 2048)], max_frame=1024
+            )
+
+    def test_ipc_frames_carry_large_batches(self):
+        # A full P4-sized coalesced window (way past the public socket's
+        # 1 MiB cap) must round-trip on the IPC limit.
+        bodies = [b"x" * 8300] * 256
+        payload = protocol.encode_batch(bodies)
+        assert len(payload) > protocol.MAX_FRAME_BYTES
+        frame = protocol.encode_request(
+            protocol.Request(1, OP_ENCRYPT, payload),
+            protocol.IPC_MAX_FRAME_BYTES,
+        )
+        with pytest.raises(ValueError):
+            protocol.encode_request(protocol.Request(1, OP_ENCRYPT, payload))
+        decoded = protocol.decode_request(frame[4:])
+        assert protocol.decode_batch(decoded.body) == bodies
+
+
+class TestWorkerConfig:
+    def test_roundtrip(self):
+        pair = _scheme().generate_keypair()
+        public_bytes, private_bytes = serialize.serialize_keypair(pair)
+        payload = encode_worker_config(
+            public_bytes,
+            private_bytes,
+            seed=42,
+            backend="python-reference",
+            direct=True,
+        )
+        config = decode_worker_config(payload)
+        assert config["seed"] == 42
+        assert config["backend"] == "python-reference"
+        assert config["direct"] is True
+        assert config["keypair"].public == pair.public
+        assert config["keypair"].private == pair.private
+
+    def test_default_backend_is_none(self):
+        pair = _scheme().generate_keypair()
+        public_bytes, private_bytes = serialize.serialize_keypair(pair)
+        payload = encode_worker_config(
+            public_bytes, private_bytes, seed=0, backend=None, direct=False
+        )
+        config = decode_worker_config(payload)
+        assert config["backend"] is None
+        assert config["direct"] is False
+
+    def test_mixed_parameter_sets_rejected(self):
+        p1 = seeded_scheme(P1, seed=1).generate_keypair()
+        p2 = seeded_scheme(P2, seed=1).generate_keypair()
+        public_bytes, _ = serialize.serialize_keypair(p1)
+        _, private_bytes = serialize.serialize_keypair(p2)
+        payload = encode_worker_config(
+            public_bytes, private_bytes, seed=0, backend=None, direct=False
+        )
+        with pytest.raises(ValueError):
+            decode_worker_config(payload)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            decode_worker_config(b"garbage")
+        with pytest.raises(ValueError):
+            decode_worker_config(protocol.encode_batch([b"one", b"two"]))
+
+    def test_serving_seed_domain_separated(self):
+        from repro.service.executor import _mix32, serving_seed
+
+        # Keygen stream S and serving stream serving_seed(S) must
+        # differ for every base we can cheaply sweep, land in the
+        # TRNG's 32-bit seed space, and be injective over the sweep.
+        seeds = list(range(4096)) + [2**31, 2**32 - 1]
+        derived = [serving_seed(s) for s in seeds]
+        assert all(0 <= d < 2**32 for d in derived)
+        assert all(d != (s & 0xFFFFFFFF) for s, d in zip(seeds, derived))
+        assert len(set(derived)) == len(seeds)
+        # Non-linear: related bases must not map to related streams
+        # (the defect a plain +delta would have).
+        assert serving_seed(1) - serving_seed(0) not in (-1, 0, 1)
+        # _mix32 is bijective on 32 bits (sampled), the property the
+        # per-shard derivation's uniqueness relies on.
+        sample = [_mix32(v) for v in range(8192)]
+        assert len(set(sample)) == 8192
+
+
+# ----------------------------------------------------------------------
+# Serialize-layer peek validators
+# ----------------------------------------------------------------------
+class TestPeekValidators:
+    def test_peek_matches_deserialize(self):
+        scheme = _scheme()
+        pair = scheme.generate_keypair()
+        ct = serialize.serialize_ciphertext(
+            scheme.encrypt(pair.public, b"peek")
+        )
+        assert serialize.peek_ciphertext_params(ct) is P1
+        # Trailing garbage and truncation rejected like the full parser
+        with pytest.raises(ValueError):
+            serialize.peek_ciphertext_params(ct + b"J")
+        with pytest.raises(ValueError):
+            serialize.peek_ciphertext_params(ct[:-1])
+        with pytest.raises(ValueError):
+            serialize.peek_ciphertext_params(b"not a ciphertext")
+
+    def test_peek_encapsulation(self):
+        from repro.core.kem import RlweKem
+
+        scheme = _scheme()
+        pair = scheme.generate_keypair()
+        cap, _ = RlweKem(scheme).encapsulate(pair.public)
+        data = serialize.serialize_encapsulation(cap)
+        assert serialize.peek_encapsulation_params(data) is P1
+        with pytest.raises(ValueError):
+            serialize.peek_encapsulation_params(data[:-1])
+        with pytest.raises(ValueError):
+            serialize.peek_encapsulation_params(data + b"x")
+
+
+# ----------------------------------------------------------------------
+# OpRunner (shared compute core)
+# ----------------------------------------------------------------------
+class TestOpRunner:
+    def test_bad_item_does_not_poison_batch(self):
+        scheme = _scheme()
+        pair = scheme.generate_keypair()
+        runner = OpRunner(scheme, pair)
+        good = serialize.serialize_ciphertext(
+            scheme.encrypt(pair.public, b"good")
+        )
+        results = runner.run(OP_DECRYPT, [good, b"garbage", good + b"!"])
+        assert results[0][0] == STATUS_OK
+        assert results[0][1].startswith(b"good")
+        assert results[1][0] == STATUS_BAD_REQUEST
+        assert results[2][0] == STATUS_BAD_REQUEST
+
+    def test_direct_and_batched_paths_agree(self):
+        # The two paths consume randomness differently (block sampler
+        # vs per-message sampling), so ciphertext bytes differ — but
+        # both must round-trip every message.
+        pair = seeded_scheme(P1, seed=5).generate_keypair()
+        batched = OpRunner(seeded_scheme(P1, seed=9), pair)
+        direct = OpRunner(seeded_scheme(P1, seed=9), pair, direct=True)
+        bodies = [bytes([i]) * 16 for i in range(4)]
+        for runner in (batched, direct):
+            cts = runner.run(OP_ENCRYPT, bodies)
+            assert all(status == STATUS_OK for status, _ in cts)
+            plains = runner.run(OP_DECRYPT, [body for _, body in cts])
+            assert [p[:16] for _, p in plains] == bodies
+
+    def test_unknown_opcode_rejected(self):
+        scheme = _scheme()
+        runner = OpRunner(scheme, scheme.generate_keypair())
+        with pytest.raises(ValueError):
+            runner.run(99, [b""])
+
+    def test_inline_executor_counts(self):
+        async def scenario():
+            scheme = _scheme()
+            executor = InlineExecutor(
+                OpRunner(scheme, scheme.generate_keypair())
+            )
+            results = await executor.run_batch(
+                OP_ENCRYPT, [b"a", b"b", b"c"]
+            )
+            assert len(results) == 3
+            assert all(isinstance(r, bytes) for r in results)
+            stats = executor.stats()
+            assert stats["kind"] == "inline"
+            assert stats["batches"] == 1 and stats["items"] == 3
+            # Oversized message surfaces as a per-item ServiceError
+            results = await executor.run_batch(
+                OP_ENCRYPT, [b"x" * (P1.message_bytes + 1)]
+            )
+            assert isinstance(results[0], ServiceError)
+            assert results[0].status == STATUS_BAD_REQUEST
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_pool_end_to_end_and_sharding(self):
+        async def scenario():
+            keypair, scheme = _keypair_and_scheme()
+            executor = pool_executor_for(
+                scheme, keypair, seed=901, workers=2
+            )
+            server = await start_server(
+                scheme,
+                keypair=keypair,
+                executor=executor,
+                max_batch=4,
+                max_wait=0.002,
+            )
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                messages = [bytes([i]) * 4 for i in range(12)]
+                cts = await asyncio.gather(
+                    *(client.encrypt(m) for m in messages)
+                )
+                plains = await asyncio.gather(
+                    *(client.decrypt(ct, length=4) for ct in cts)
+                )
+                assert plains == messages
+                key, cap = await client.encapsulate()
+                assert await client.decapsulate(cap) == key
+                stats = await client.stats()
+            await server.close()
+            return stats
+
+        stats = run(scenario())
+        executor = stats["executor"]
+        assert executor["kind"] == "pool"
+        assert executor["workers"] == 2
+        assert executor["respawns"] == 0
+        # 12 encrypts in 4-wide windows: batches really sharded across
+        # both workers.
+        assert sum(s["items"] for s in executor["shards"]) >= 25
+        assert all(s["alive"] for s in executor["shards"])
+
+    def test_pool_of_one_bit_identical_to_inline(self):
+        async def run_requests(use_pool):
+            keypair, scheme = _keypair_and_scheme()
+            executor = (
+                pool_executor_for(scheme, keypair, seed=901, workers=1)
+                if use_pool
+                else None
+            )
+            server = await start_server(
+                scheme,
+                keypair=keypair,
+                executor=executor,
+                max_batch=8,
+                max_wait=0.001,
+            )
+            wire_values = []
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                wire_values.append(await client.get_public_key())
+                # Serial requests: the flush order, and therefore the
+                # deterministic randomness stream, is identical run to
+                # run.
+                for i in range(5):
+                    ct = await client.encrypt(bytes([i]) * 8)
+                    wire_values.append(ct)
+                    wire_values.append(await client.decrypt(ct))
+                for _ in range(3):
+                    key, cap = await client.encapsulate()
+                    wire_values.append(key)
+                    wire_values.append(cap)
+                    try:
+                        wire_values.append(await client.decapsulate(cap))
+                    except ServiceError as exc:
+                        # A genuine CPA decryption failure must be
+                        # byte-identical too.
+                        wire_values.append((exc.status, str(exc)))
+            await server.close()
+            return wire_values
+
+        async def scenario():
+            inline = await run_requests(False)
+            pooled = await run_requests(True)
+            return inline, pooled
+
+        inline, pooled = run(scenario())
+        assert len(inline) == 20
+        assert inline == pooled
+
+    def test_worker_killed_mid_flight(self, monkeypatch):
+        # Workers inherit our environment; the sleep hook is inert
+        # unless this is set.
+        monkeypatch.setenv("REPRO_WORKER_FAULT_HOOKS", "1")
+
+        async def scenario():
+            keypair, scheme = _keypair_and_scheme()
+            executor = pool_executor_for(
+                scheme, keypair, seed=901, workers=2
+            )
+            await executor.start()
+            try:
+                # Batch 1 parks on one worker (the sleep hook keeps it
+                # mid-flight); batch 2 lands on the other.
+                stuck = asyncio.ensure_future(
+                    executor.run_batch(OP_PING, [b"sleep:30"])
+                )
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    busy = [
+                        s
+                        for s in executor.stats()["shards"]
+                        if s["outstanding_items"] > 0
+                    ]
+                    if busy:
+                        break
+                assert busy, "sleep batch never dispatched"
+                victim_pid = busy[0]["pid"]
+
+                os.kill(victim_pid, signal.SIGKILL)
+
+                # The killed worker's batch fails with a uniform
+                # ServiceError...
+                with pytest.raises(ServiceError) as excinfo:
+                    await stuck
+                assert excinfo.value.status == STATUS_INTERNAL_ERROR
+                assert "died" in str(excinfo.value)
+
+                # ...while the surviving worker keeps serving.
+                assert await executor.run_batch(OP_PING, [b"alive"]) == [
+                    b"alive"
+                ]
+
+                # The pool respawns the dead shard.
+                for _ in range(600):
+                    if executor.alive_workers() == 2:
+                        break
+                    await asyncio.sleep(0.05)
+                assert executor.alive_workers() == 2
+                assert executor.stats()["respawns"] == 1
+                assert victim_pid not in executor.worker_pids()
+
+                # Both shards (including the respawn) serve crypto.
+                results = await asyncio.gather(
+                    executor.run_batch(OP_ENCRYPT, [b"one"]),
+                    executor.run_batch(OP_ENCRYPT, [b"two"]),
+                )
+                for batch in results:
+                    assert isinstance(batch[0], bytes)
+            finally:
+                await executor.close()
+
+        run(scenario())
+
+    def test_shards_use_distinct_randomness_streams(self):
+        # Two sequential single-item batches land on different shards
+        # (round-robin tie-break).  If both shards replayed the same
+        # seed, two clients would receive identical "fresh" session
+        # keys — the streams must diverge per shard.
+        async def scenario():
+            keypair, scheme = _keypair_and_scheme()
+            executor = pool_executor_for(
+                scheme, keypair, seed=901, workers=2
+            )
+            await executor.start()
+            try:
+                first = await executor.run_batch(OP_ENCAPSULATE, [b""])
+                second = await executor.run_batch(OP_ENCAPSULATE, [b""])
+                assert isinstance(first[0], bytes)
+                assert isinstance(second[0], bytes)
+                assert first[0] != second[0]
+                shards = executor.stats()["shards"]
+                assert [s["items"] for s in shards] == [1, 1]
+            finally:
+                await executor.close()
+
+        run(scenario())
+
+    def test_wedged_worker_times_out_and_respawns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_FAULT_HOOKS", "1")
+
+        async def scenario():
+            keypair, scheme = _keypair_and_scheme()
+            executor = pool_executor_for(
+                scheme, keypair, seed=901, workers=1, job_timeout=0.5
+            )
+            await executor.start()
+            try:
+                wedged_pid = executor.worker_pids()[0]
+                # Alive but stuck far past the job timeout: the batch
+                # must err fast and the shard must be killed+respawned,
+                # not hang the caller.
+                with pytest.raises(ServiceError) as excinfo:
+                    await executor.run_batch(OP_PING, [b"sleep:60"])
+                assert "did not answer" in str(excinfo.value)
+                for _ in range(600):
+                    pids = executor.worker_pids()
+                    if (
+                        executor.alive_workers() == 1
+                        and pids[0] not in (None, wedged_pid)
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                assert executor.alive_workers() == 1
+                assert executor.worker_pids()[0] != wedged_pid
+                assert await executor.run_batch(OP_PING, [b"ok"]) == [
+                    b"ok"
+                ]
+            finally:
+                await executor.close()
+
+        run(scenario())
+
+    def test_closed_pool_rejects_batches(self):
+        async def scenario():
+            keypair, scheme = _keypair_and_scheme()
+            executor = pool_executor_for(
+                scheme, keypair, seed=901, workers=1
+            )
+            await executor.start()
+            await executor.close()
+            with pytest.raises(ServiceError):
+                await executor.run_batch(OP_PING, [b"late"])
+
+        run(scenario())
+
+    def test_workers_validated(self):
+        keypair, scheme = _keypair_and_scheme()
+        with pytest.raises(ValueError):
+            pool_executor_for(scheme, keypair, workers=0)

@@ -200,6 +200,117 @@ class TestMicroBatcher:
         with pytest.raises(ValueError):
             MicroBatcher(lambda items: items, max_wait=-1.0)
 
+    def test_max_wait_zero_still_coalesces_concurrent_requests(self):
+        batch_sizes = []
+
+        def flush(items):
+            batch_sizes.append(len(items))
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_wait=0.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8))
+            )
+            assert results == list(range(8))
+
+        run(scenario())
+        # max_wait=0 yields to the loop once before flushing, so the
+        # eight already-concurrent submits land in ONE window.
+        assert batch_sizes == [8]
+
+    def test_async_flush_per_item_exceptions(self):
+        async def flush(items):
+            await asyncio.sleep(0.001)
+            return [
+                ValueError(f"bad {item}") if item % 2 else item
+                for item in items
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_wait=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(4)),
+                return_exceptions=True,
+            )
+            assert results[0] == 0 and results[2] == 2
+            assert isinstance(results[1], ValueError)
+            assert isinstance(results[3], ValueError)
+            await batcher.drain()
+
+        run(scenario())
+
+    def test_async_flush_failure_fails_only_its_batch(self):
+        calls = []
+
+        async def flush(items):
+            calls.append(list(items))
+            if len(calls) == 1:
+                raise RuntimeError("shard down")
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_wait=60.0)
+            first = asyncio.gather(
+                batcher.submit("a"), batcher.submit("b"),
+                return_exceptions=True,
+            )
+            second = asyncio.gather(
+                batcher.submit("c"), batcher.submit("d"),
+                return_exceptions=True,
+            )
+            first_results = await first
+            second_results = await second
+            assert all(
+                isinstance(r, RuntimeError) for r in first_results
+            )
+            assert second_results == ["c", "d"]
+            await batcher.drain()
+
+        run(scenario())
+
+    def test_overlapping_async_windows_under_load(self):
+        inflight = {"now": 0, "max": 0}
+
+        async def flush(items):
+            inflight["now"] += 1
+            inflight["max"] = max(inflight["max"], inflight["now"])
+            await asyncio.sleep(0.02)
+            inflight["now"] -= 1
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_wait=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(16))
+            )
+            assert results == [i * 2 for i in range(16)]
+            await batcher.drain()
+            return batcher
+
+        batcher = run(scenario())
+        # Four full windows flushed while earlier ones were still
+        # sleeping: the loop kept coalescing, the flushes overlapped.
+        assert batcher.stats["flushes"] == 4
+        assert inflight["max"] >= 2
+        assert batcher.stats["inflight_max"] >= 2
+        assert batcher.inflight_flushes == 0
+
+    def test_drain_resolves_waiters_after_close(self):
+        async def flush(items):
+            await asyncio.sleep(0.01)
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_wait=60.0)
+            waiter = asyncio.ensure_future(batcher.submit("x"))
+            await asyncio.sleep(0)  # let the submit queue
+            batcher.close()  # flush the partial window now
+            await batcher.drain()
+            assert await waiter == "x"
+
+        run(scenario())
+
 
 # ----------------------------------------------------------------------
 # End-to-end server/client
@@ -256,8 +367,9 @@ class TestServerEndToEnd:
         stats = run(scenario())
         # 16 pipelined encrypts against a 16-wide window must have
         # coalesced into far fewer flushes than requests.
-        assert stats["encrypt"]["items"] == 16
-        assert stats["encrypt"]["max_batch_seen"] > 1
+        assert stats["ops"]["encrypt"]["items"] == 16
+        assert stats["ops"]["encrypt"]["max_batch_seen"] > 1
+        assert stats["executor"]["kind"] == "inline"
 
     def test_error_responses(self):
         async def scenario():
@@ -296,6 +408,29 @@ class TestServerEndToEnd:
             await server.close()
 
         run(scenario())
+
+    def test_stats_op_roundtrip(self):
+        async def scenario():
+            server = await start_server(_scheme(), max_batch=8, max_wait=0.001)
+            async with await RlweServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                await asyncio.gather(
+                    *(client.encrypt(b"stat") for _ in range(6))
+                )
+                stats = await client.stats()
+                # stats takes an empty body
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.request(protocol.OP_STATS, b"junk")
+                assert excinfo.value.status == STATUS_BAD_REQUEST
+            await server.close()
+            return stats
+
+        stats = run(scenario())
+        assert stats["ops"]["encrypt"]["items"] == 6
+        assert stats["ops"]["encrypt"]["mean_batch_size"] > 0
+        assert stats["ops"]["encrypt"]["mean_flush_ms"] >= 0
+        assert stats["executor"]["kind"] == "inline"
 
     def test_direct_path_window_one(self):
         async def scenario():
@@ -538,6 +673,25 @@ class TestServeCli:
             assert loadgen.returncode == 0, loadgen.stdout + loadgen.stderr
             assert "ops/s" in loadgen.stdout
             assert json_path.exists()
+            stats = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "stats",
+                    "--port",
+                    str(port),
+                    "--connect-timeout",
+                    "20",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert stats.returncode == 0, stats.stdout + stats.stderr
+            assert "per-op coalescing:" in stats.stdout
+            assert "executor: inline" in stats.stdout
             server.send_signal(signal.SIGTERM)
             out, _ = server.communicate(timeout=30)
             assert server.returncode == 0, out
