@@ -2,21 +2,66 @@
 """Key-encapsulation handshake: transporting a session key.
 
 The practical use of ring-LWE encryption (and the basis of the paper's
-ECIES comparison in Table IV): the responder publishes a key, the
-initiator encapsulates a fresh 256-bit secret under it, and both sides
-derive the same SHA-256 session key.  Decryption failures — a real
-property of these 2015-era parameters — surface as explicit
-confirmation-tag mismatches and are retried.
+ECIES comparison in Table IV): a key-owning session encapsulates a
+fresh 256-bit secret under its public key and recovers it on the other
+side.  Decryption failures — a real property of these 2015-era
+parameters — surface as the facade's typed
+:class:`repro.DecryptionError` and are retried, on every engine the
+session can run on.
 
-    python examples/kem_handshake.py
+    python examples/kem_handshake.py            # session facade
+    python examples/kem_handshake.py --legacy   # pre-facade KEM objects
 """
 
-from repro import P1, seeded_scheme
+import sys
+
+from repro import P1, DecryptionError, RlweSession, seeded_scheme
 from repro.core.failures import estimate
-from repro.core.kem import EncapsulationError, RlweKem
 
 
-def main():
+def main_session():
+    params = P1
+    print(f"handshake parameters: {params.describe()}")
+    print(f"analytic failure estimate: {estimate(params)}\n")
+
+    # One key-owning session plays the responder; the encapsulation
+    # bytes it hands out are what an initiator would send over the
+    # wire.  Swap "local" for "tcp://host:8470" and the same handshake
+    # terminates against a remote key-transport server.
+    with RlweSession.open("local", params=params, seed=31) as session:
+        attempts = 0
+        while True:
+            attempts += 1
+            initiator_key, encapsulation = session.encapsulate()
+            try:
+                responder_key = session.decapsulate(encapsulation)
+            except DecryptionError:
+                print(f"attempt {attempts}: decryption failure detected "
+                      f"by the confirmation tag; re-encapsulating")
+                continue
+            break
+
+        assert initiator_key == responder_key
+        print(f"handshake complete in {attempts} attempt(s) "
+              f"[engine={session.engine}]")
+        print(f"  shared session key: {initiator_key.hex()}")
+        print(f"  wire encapsulation: {len(encapsulation)} bytes "
+              f"(ciphertext + 16-byte confirmation tag)")
+
+    # The session key now drives any symmetric cipher; demonstrate a
+    # toy XOR keystream so the example is end-to-end.
+    message = b"session established"
+    keystream = (initiator_key * 2)[: len(message)]
+    sealed = bytes(m ^ k for m, k in zip(message, keystream))
+    opened = bytes(c ^ k for c, k in zip(sealed, keystream))
+    assert opened == message
+    print(f"\nsymmetric payload roundtrip under the session key: OK")
+
+
+def main_legacy():
+    """The pre-facade path: two parties with explicit KEM objects."""
+    from repro.core.kem import EncapsulationError, RlweKem
+
     params = P1
     print(f"handshake parameters: {params.describe()}")
     print(f"analytic failure estimate: {estimate(params)}\n")
@@ -48,17 +93,22 @@ def main():
     assert initiator_secret.key == responder_secret.key
     print(f"handshake complete in {attempts} attempt(s)")
     print(f"  shared session key: {initiator_secret.key.hex()}")
-    print(f"  ciphertext coefficients: 2 x {params.n}")
     print(f"  confirmation tag: {encapsulation.tag.hex()}")
 
-    # The session key now drives any symmetric cipher; demonstrate a
-    # toy XOR keystream so the example is end-to-end.
     message = b"session established"
     keystream = (initiator_secret.key * 2)[: len(message)]
     sealed = bytes(m ^ k for m, k in zip(message, keystream))
     opened = bytes(c ^ k for c, k in zip(sealed, keystream))
     assert opened == message
     print(f"\nsymmetric payload roundtrip under the session key: OK")
+
+
+def main(argv=None):
+    args = sys.argv[1:] if argv is None else argv
+    if "--legacy" in args:
+        main_legacy()
+    else:
+        main_session()
 
 
 if __name__ == "__main__":

@@ -1,41 +1,69 @@
 #!/usr/bin/env python3
 """Quickstart: key generation, encryption, decryption.
 
-Runs the paper's ring-LWE encryption scheme at both parameter sets and
-prints what happened at each step.
+Runs the paper's ring-LWE encryption scheme at both parameter sets
+through the unified :class:`repro.RlweSession` facade and prints what
+happened at each step.  The same code runs unchanged on a worker pool
+(``engine="pool:4"``) or against a remote server
+(``engine="tcp://host:8470"``).
 
-    python examples/quickstart.py
+    python examples/quickstart.py            # session facade (default)
+    python examples/quickstart.py --legacy   # pre-facade direct API
 """
 
-from repro import P1, P2, seeded_scheme
+import sys
+
+from repro import P1, P2, RlweSession, seeded_scheme
 
 
-def demo(params, seed):
+def demo(params, seed, engine="local"):
+    print(f"--- {params.describe()}")
+    with RlweSession.open(engine, params=params, seed=seed) as session:
+        # 1. Key generation happens at open: the private key stays
+        #    inside the engine; the public key is the session's handle.
+        public = session.keygen()
+        print(f"generated keys: n = {params.n} coefficients, "
+              f"q = {params.q} ({params.coefficient_bits}-bit) "
+              f"[engine={session.engine}]")
+
+        # 2. Encrypt one message block.  The facade's currency is the
+        #    self-describing wire format, ready for any transport.
+        message = b"quantum-safe greetings!"[: params.message_bytes]
+        ciphertext = session.encrypt(message)
+        print(f"encrypted {len(message)} bytes into a "
+              f"{len(ciphertext)}-byte wire ciphertext "
+              f"(2 x {params.n} NTT-domain coefficients)")
+
+        # 3. Decrypt and threshold-decode.
+        recovered = session.decrypt(ciphertext, length=len(message))
+        print(f"decrypted: {recovered!r}")
+        assert recovered == message, "roundtrip failed"
+        assert public.params == params
+        print("roundtrip OK\n")
+
+
+def legacy_demo(params, seed):
+    """The pre-facade path: direct scheme objects (still supported)."""
     print(f"--- {params.describe()}")
     scheme = seeded_scheme(params, seed=seed, ntt="packed")
-
-    # 1. Key generation: the private key r2_hat and public pair
-    #    (a_hat, p_hat) all live in the NTT domain.
     keys = scheme.generate_keypair()
     print(f"generated keys: n = {params.n} coefficients, "
           f"q = {params.q} ({params.coefficient_bits}-bit)")
-
-    # 2. Encrypt one message block (one bit per coefficient).
     message = b"quantum-safe greetings!"[: params.message_bytes]
     ciphertext = scheme.encrypt(keys.public, message)
     print(f"encrypted {len(message)} bytes into 2 x {params.n} "
           f"NTT-domain coefficients")
-
-    # 3. Decrypt and threshold-decode.
     recovered = scheme.decrypt(keys.private, ciphertext, length=len(message))
     print(f"decrypted: {recovered!r}")
     assert recovered == message, "roundtrip failed"
     print("roundtrip OK\n")
 
 
-def main():
+def main(argv=None):
+    args = sys.argv[1:] if argv is None else argv
+    runner = legacy_demo if "--legacy" in args else demo
     for seed, params in enumerate((P1, P2), start=1):
-        demo(params, seed)
+        runner(params, seed)
 
 
 if __name__ == "__main__":

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Two-party message exchange over a byte-level wire format.
+"""Two-party message exchange over a real wire, via the session facade.
 
-Alice publishes a serialized public key; Bob encrypts a session secret
-under it; Alice recovers it.  Demonstrates the serialization module and
-the multi-block chunking a real application needs for messages larger
-than one ciphertext (n bits).
+Alice runs an actual ``rlwe-repro`` key-transport server (in a
+background thread here; normally a separate process); Bob opens a
+:class:`repro.RlweSession` on the ``tcp://`` engine and never touches
+sockets, frames, or serialization — the same ``encrypt_many`` /
+``decrypt_many`` calls would run in-process on the ``local`` engine.
+Demonstrates the multi-block chunking a real application needs for
+messages larger than one ciphertext, batched through one call.
 
-    python examples/secure_channel.py
+    python examples/secure_channel.py            # session facade + TCP
+    python examples/secure_channel.py --legacy   # pre-facade serialize API
 """
 
-from repro import P1, seeded_scheme
+import asyncio
+import queue
+import sys
+import threading
+
+from repro import P1, RlweSession, seeded_scheme
 from repro.core import serialize
 
 
@@ -18,46 +27,117 @@ def chunk(data: bytes, size: int):
         yield data[offset : offset + size]
 
 
-def main():
+PLAINTEXT = (
+    b"Lattice-based encryption survives quantum adversaries; "
+    b"this 96-byte note needs three ciphertext blocks."
+)
+
+
+def alice_server(params, seed, handoff: "queue.Queue"):
+    """Alice's side: a real asyncio key-transport server."""
+    from repro.service.executor import serving_seed
+    from repro.service.server import start_server
+
+    async def serve():
+        keypair = seeded_scheme(params, seed=seed).generate_keypair()
+        scheme = seeded_scheme(params, seed=serving_seed(seed))
+        server = await start_server(scheme, port=0, keypair=keypair)
+        stop = asyncio.Event()
+        handoff.put((server.port, asyncio.get_running_loop(), stop))
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+
+    asyncio.run(serve())
+
+
+def main_session():
     params = P1
     print(f"channel parameters: {params.describe()}")
     print(f"payload capacity per ciphertext: {params.message_bytes} bytes")
 
-    # --- Alice's side -------------------------------------------------
+    # --- Alice publishes a server ------------------------------------
+    handoff: "queue.Queue" = queue.Queue()
+    thread = threading.Thread(
+        target=alice_server, args=(params, 100, handoff), daemon=True
+    )
+    thread.start()
+    port, loop, stop = handoff.get(timeout=30)
+    print(f"\nAlice serves her key on tcp://127.0.0.1:{port}")
+
+    try:
+        # --- Bob's side ----------------------------------------------
+        with RlweSession.open(f"tcp://127.0.0.1:{port}") as bob:
+            print(f"Bob opens a session [engine={bob.engine}, "
+                  f"params={bob.params.name}, "
+                  f"{len(bob.public_key_bytes)}-byte public key]")
+            blocks = list(chunk(PLAINTEXT, params.message_bytes))
+            wire_blocks = bob.encrypt_many(blocks)
+            total = sum(len(b) for b in wire_blocks)
+            print(
+                f"Bob sends {len(wire_blocks)} ciphertext blocks "
+                f"({total} bytes for {len(PLAINTEXT)} plaintext bytes, "
+                f"expansion {total / len(PLAINTEXT):.1f}x)"
+            )
+
+            # --- Alice decrypts (same facade, same engine) -----------
+            received = b""
+            remaining = len(PLAINTEXT)
+            for blob in wire_blocks:
+                length = min(params.message_bytes, remaining)
+                received += bob.decrypt(blob, length=length)
+                remaining -= length
+            print(f"\nAlice recovers: {received.decode()!r}")
+            assert received == PLAINTEXT
+            print("secure channel OK")
+    finally:
+        loop.call_soon_threadsafe(stop.set)
+        thread.join(timeout=30)
+
+
+def main_legacy():
+    """The pre-facade path: explicit serialize calls, no transport."""
+    params = P1
+    print(f"channel parameters: {params.describe()}")
+    print(f"payload capacity per ciphertext: {params.message_bytes} bytes")
+
     alice = seeded_scheme(params, seed=100, ntt="packed")
     alice_keys = alice.generate_keypair()
     published_key = serialize.serialize_public_key(alice_keys.public)
     print(f"\nAlice publishes a {len(published_key)}-byte public key")
 
-    # --- Bob's side ---------------------------------------------------
     bob = seeded_scheme(params, seed=200, ntt="packed")
     bob_view = serialize.deserialize_public_key(published_key)
-    plaintext = (
-        b"Lattice-based encryption survives quantum adversaries; "
-        b"this 96-byte note needs three ciphertext blocks."
-    )
     wire_blocks = []
-    for block in chunk(plaintext, params.message_bytes):
+    for block in chunk(PLAINTEXT, params.message_bytes):
         ct = bob.encrypt(bob_view, block)
         wire_blocks.append(serialize.serialize_ciphertext(ct))
     total = sum(len(b) for b in wire_blocks)
     print(
         f"Bob sends {len(wire_blocks)} ciphertext blocks "
-        f"({total} bytes for {len(plaintext)} plaintext bytes, "
-        f"expansion {total / len(plaintext):.1f}x)"
+        f"({total} bytes for {len(PLAINTEXT)} plaintext bytes, "
+        f"expansion {total / len(PLAINTEXT):.1f}x)"
     )
 
-    # --- Alice decrypts -----------------------------------------------
     received = b""
-    remaining = len(plaintext)
+    remaining = len(PLAINTEXT)
     for blob in wire_blocks:
         ct = serialize.deserialize_ciphertext(blob)
         length = min(params.message_bytes, remaining)
         received += alice.decrypt(alice_keys.private, ct, length=length)
         remaining -= length
     print(f"\nAlice recovers: {received.decode()!r}")
-    assert received == plaintext
+    assert received == PLAINTEXT
     print("secure channel OK")
+
+
+def main(argv=None):
+    args = sys.argv[1:] if argv is None else argv
+    if "--legacy" in args:
+        main_legacy()
+    else:
+        main_session()
 
 
 if __name__ == "__main__":

@@ -1,9 +1,15 @@
 """repro — reproduction of *Efficient Software Implementation of
 Ring-LWE Encryption* (De Clercq, Sinha Roy, Vercauteren, Verbauwhede;
-DATE 2015).
+DATE 2015), grown into a batched, multi-process, networked serving
+stack behind one facade.
 
 The package provides:
 
+* :mod:`repro.api` — the unified :class:`~repro.api.RlweSession`
+  facade: one transport-agnostic API (sync and async) over direct
+  in-process calls, a multi-process worker pool, and the remote
+  key-transport service, with one typed exception hierarchy and one
+  wire-format currency;
 * :mod:`repro.core` — the ring-LWE encryption scheme (KeyGen / Encrypt /
   Decrypt) over the paper's parameter sets P1 and P2;
 * :mod:`repro.ntt` — negative-wrapped NTT kernels (reference Alg. 3,
@@ -21,6 +27,17 @@ The package provides:
   and figure.
 
 Quickstart::
+
+    from repro import P1, RlweSession
+
+    with RlweSession.open("local", params=P1, seed=42) as session:
+        ct = session.encrypt(b"post-quantum hello")
+        assert session.decrypt(ct, length=18) == b"post-quantum hello"
+
+Swap ``"local"`` for ``"pool:4"`` or ``"tcp://host:8470"`` and the same
+code runs on a worker-process pool or against a remote ``rlwe-repro
+serve`` — same methods, same bytes, same exceptions.  The lower-level
+building blocks remain public::
 
     from repro import P1, seeded_scheme
 
@@ -72,7 +89,41 @@ __all__ = [
     "Xorshift128",
     "seeded_scheme",
     "__version__",
+    # Session facade (lazy — see __getattr__):
+    "RlweSession",
+    "AsyncRlweSession",
+    "RlweError",
+    "WireFormatError",
+    "CapacityError",
+    "DecryptionError",
+    "EngineUnavailableError",
+    "SessionClosedError",
+    "RemoteError",
 ]
+
+#: Facade names re-exported lazily so that ``import repro`` stays light
+#: (the api package pulls in asyncio and the whole service stack).
+_API_EXPORTS = frozenset(
+    [
+        "RlweSession",
+        "AsyncRlweSession",
+        "RlweError",
+        "WireFormatError",
+        "CapacityError",
+        "DecryptionError",
+        "EngineUnavailableError",
+        "SessionClosedError",
+        "RemoteError",
+    ]
+)
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        import repro.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 def seeded_scheme(

@@ -1,0 +1,59 @@
+"""The unified session facade over every execution engine.
+
+One API — :class:`RlweSession` (sync) / :class:`AsyncRlweSession`
+(async) — over three pluggable transports selected by an engine
+string:
+
+==================  ====================================================
+``"local"``         direct in-process batched scheme/KEM calls
+``"pool:N"``        a worker-process pool over the hardened IPC format
+``"tcp://h:p"``     a remote ``rlwe-repro serve`` over the wire protocol
+==================  ====================================================
+
+All transports share one byte-level currency (the
+:mod:`repro.core.serialize` wire format), one typed exception hierarchy
+(:mod:`repro.api.errors`), and — for a fixed seed — bit-identical
+results between ``local``, ``pool:1``, and a fresh same-seeded remote
+server.  This package is the layer future transports (caching,
+replication, new wire protocols) plug into.
+"""
+
+from repro.api.engine import EngineSpec, parse_engine
+from repro.api.errors import (
+    CapacityError,
+    DecryptionError,
+    EngineUnavailableError,
+    RemoteError,
+    RlweError,
+    SessionClosedError,
+    WireFormatError,
+    error_from_service,
+    error_from_status,
+)
+from repro.api.session import AsyncRlweSession, RlweSession
+from repro.api.transports import (
+    LocalTransport,
+    PoolTransport,
+    RemoteTransport,
+    Transport,
+)
+
+__all__ = [
+    "AsyncRlweSession",
+    "RlweSession",
+    "EngineSpec",
+    "parse_engine",
+    "Transport",
+    "LocalTransport",
+    "PoolTransport",
+    "RemoteTransport",
+    "RlweError",
+    "WireFormatError",
+    "CapacityError",
+    "DecryptionError",
+    "EngineUnavailableError",
+    "SessionClosedError",
+    "RemoteError",
+    "error_from_status",
+    "error_from_service",
+]

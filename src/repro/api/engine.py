@@ -1,0 +1,101 @@
+"""Engine strings: the one knob that picks where a session computes.
+
+The facade names execution engines with a single string so call sites
+(and CLI flags, and config files) never encode transport-specific
+wiring:
+
+``"local"``
+    Direct in-process calls through the batched scheme/KEM APIs.
+``"pool"`` / ``"pool:N"``
+    A :class:`~repro.service.executor.WorkerPoolExecutor` of N worker
+    processes (default: the CPU count), without any socket layer.
+``"tcp://host:port"``
+    A remote ``rlwe-repro serve`` instance over the wire protocol.
+
+:func:`parse_engine` turns a string into an :class:`EngineSpec`;
+anything unparseable raises
+:class:`~repro.api.errors.EngineUnavailableError` — the same error a
+dead engine raises, because to the caller "no such engine" and "engine
+gone" are the same condition: route elsewhere or fail.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.api.errors import EngineUnavailableError
+
+__all__ = ["EngineSpec", "parse_engine"]
+
+_REMOTE_PREFIX = "tcp://"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A parsed engine string."""
+
+    kind: str  # "local" | "pool" | "remote"
+    workers: int = 0
+    host: str = ""
+    port: int = 0
+
+    @property
+    def label(self) -> str:
+        """The canonical engine string for this spec."""
+        if self.kind == "local":
+            return "local"
+        if self.kind == "pool":
+            return f"pool:{self.workers}"
+        return f"{_REMOTE_PREFIX}{self.host}:{self.port}"
+
+
+def parse_engine(engine: str) -> EngineSpec:
+    """Parse ``local`` / ``pool[:N]`` / ``tcp://host:port``."""
+    if not isinstance(engine, str) or not engine.strip():
+        raise EngineUnavailableError(
+            f"engine must be 'local', 'pool[:N]', or 'tcp://host:port', "
+            f"got {engine!r}"
+        )
+    text = engine.strip()
+    if text == "local":
+        return EngineSpec("local")
+    if text == "pool" or text.startswith("pool:"):
+        if text == "pool":
+            workers = os.cpu_count() or 1
+        else:
+            suffix = text[len("pool:") :]
+            try:
+                workers = int(suffix)
+            except ValueError:
+                raise EngineUnavailableError(
+                    f"engine {engine!r}: worker count {suffix!r} "
+                    f"is not an integer"
+                ) from None
+            if workers < 1:
+                raise EngineUnavailableError(
+                    f"engine {engine!r}: worker count must be >= 1"
+                )
+        return EngineSpec("pool", workers=workers)
+    if text.startswith(_REMOTE_PREFIX):
+        rest = text[len(_REMOTE_PREFIX) :]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep or not host:
+            raise EngineUnavailableError(
+                f"engine {engine!r}: expected tcp://host:port"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise EngineUnavailableError(
+                f"engine {engine!r}: port {port_text!r} is not an integer"
+            ) from None
+        if not 0 < port < 1 << 16:
+            raise EngineUnavailableError(
+                f"engine {engine!r}: port {port} out of range"
+            )
+        return EngineSpec("remote", host=host, port=port)
+    raise EngineUnavailableError(
+        f"unknown engine {engine!r}: expected 'local', 'pool[:N]', "
+        f"or 'tcp://host:port'"
+    )

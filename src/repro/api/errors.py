@@ -1,0 +1,139 @@
+"""The facade's typed exception hierarchy, and the protocol-boundary map.
+
+Three PRs of growth left three error vocabularies: the core scheme and
+serialize layers raise :exc:`ValueError`, the KEM raises
+:exc:`~repro.core.kem.EncapsulationError`, and the service stack
+collapses everything into :class:`~repro.service.protocol.ServiceError`
+with a wire status plus a human-readable string.  A caller switching a
+session from in-process to the socket service had to rewrite every
+``except`` clause.
+
+This module is the single vocabulary the :class:`~repro.api.RlweSession`
+facade speaks, whatever transport is underneath:
+
+``RlweError``
+    Base class of everything the facade raises deliberately.
+``WireFormatError``
+    Malformed serialized bytes (bad magic, truncation, trailing
+    garbage, out-of-range coefficients, parameter-set mismatch).
+    Also a :exc:`ValueError`, so code written against the strict
+    ``serialize`` contract keeps working unchanged.
+``CapacityError``
+    A structurally valid request the parameter set cannot carry — an
+    oversized message, or the KEM on a parameter set whose blocks are
+    smaller than a session key.  Also a :exc:`ValueError`.
+``DecryptionError``
+    Decapsulation key-confirmation failure: a ring-LWE decryption
+    failure or a tampered encapsulation.  The remote service reports
+    this as a ``decapsulation_failed`` status; the local path as a
+    captured :exc:`~repro.core.kem.EncapsulationError`.  The facade
+    raises this one type on every transport.
+``EngineUnavailableError``
+    The engine cannot serve: unknown engine string, connection refused
+    or lost, dead worker pool, engine shut down.
+``SessionClosedError``
+    The session was used after ``close()``.
+``RemoteError``
+    An error the peer reported that fits no narrower class (the
+    catch-all for ``internal_error`` responses).
+
+The service wire protocol deliberately ships *uniform* error strings
+(one status byte + text), so the typed mapping happens here at the
+protocol boundary: :func:`error_from_status` classifies a wire status
+plus its message into the hierarchy above.  All three transports route
+their failures through it, which is what makes "the same bad input
+raises the same exception type on every transport" a structural
+property rather than a test-enforced coincidence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.service.protocol import (
+    STATUS_BAD_REQUEST,
+    STATUS_DECAPSULATION_FAILED,
+    STATUS_INTERNAL_ERROR,
+    ServiceError,
+)
+
+__all__ = [
+    "RlweError",
+    "WireFormatError",
+    "CapacityError",
+    "DecryptionError",
+    "EngineUnavailableError",
+    "SessionClosedError",
+    "RemoteError",
+    "error_from_status",
+    "error_from_service",
+]
+
+
+class RlweError(Exception):
+    """Base class of every error the RlweSession facade raises."""
+
+
+class WireFormatError(RlweError, ValueError):
+    """Malformed serialized bytes (or bytes for the wrong parameters)."""
+
+
+class CapacityError(RlweError, ValueError):
+    """A well-formed request the parameter set cannot carry."""
+
+
+class DecryptionError(RlweError):
+    """Key confirmation failed: decryption failure or tampering."""
+
+
+class EngineUnavailableError(RlweError):
+    """The execution engine cannot serve (bad spec, dead pool, no peer)."""
+
+
+class SessionClosedError(RlweError):
+    """The session was used after being closed."""
+
+
+class RemoteError(RlweError):
+    """A peer-reported error with no narrower classification."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+#: ``bad_request`` strings that mean "the parameter set cannot carry
+#: this", produced by the capacity checks in the server dispatch /
+#: OpRunner / KEM guard.  Everything else under ``bad_request`` is a
+#: parse failure from the strict serialize layer.
+_CAPACITY_MARKERS = ("capacity of", "the KEM needs")
+
+#: ``internal_error`` strings that mean "the engine is gone", produced
+#: by the worker-pool supervisor and executor lifecycle guards.
+_ENGINE_MARKERS = ("worker", "executor is", "no live workers")
+
+
+def error_from_status(status: int, message: str) -> RlweError:
+    """Classify one wire ``(status, message)`` pair into the hierarchy.
+
+    This is the protocol-boundary mapping: the service keeps its
+    uniform string-typed responses on the wire, and every transport
+    funnels non-OK results through here so callers see one exception
+    vocabulary regardless of where the batch computed.
+    """
+    if status == STATUS_DECAPSULATION_FAILED:
+        return DecryptionError(message)
+    if status == STATUS_BAD_REQUEST:
+        if any(marker in message for marker in _CAPACITY_MARKERS):
+            return CapacityError(message)
+        return WireFormatError(message)
+    if status == STATUS_INTERNAL_ERROR and any(
+        marker in message for marker in _ENGINE_MARKERS
+    ):
+        return EngineUnavailableError(message)
+    return RemoteError(message, status)
+
+
+def error_from_service(exc: ServiceError) -> RlweError:
+    """The typed equivalent of one :class:`ServiceError`."""
+    return error_from_status(exc.status, str(exc))

@@ -1,0 +1,529 @@
+"""The unified session facade: one API over local, pooled, remote.
+
+Before this layer the repo had three divergent ways to run the same
+operation — direct :class:`~repro.core.scheme.RlweEncryptionScheme` /
+:class:`~repro.core.kem.RlweKem` calls, the batched backend APIs, and
+the async service client — each with its own key types, error types,
+and batching semantics.  :class:`AsyncRlweSession` (and its synchronous
+twin :class:`RlweSession`) collapse them into one surface::
+
+    from repro import RlweSession
+
+    with RlweSession.open("local", params=P1, seed=7) as session:
+        ct = session.encrypt(b"hello")            # wire bytes
+        assert session.decrypt(ct, length=5) == b"hello"
+        key, cap = session.encapsulate()
+        assert session.decapsulate(cap) == key
+
+Swap ``"local"`` for ``"pool:4"`` or ``"tcp://host:8470"`` and nothing
+else changes: same methods, same byte-level currency, same typed
+exceptions (:mod:`repro.api.errors`).
+
+Currency
+--------
+Every ciphertext/encapsulation the facade accepts or returns is in the
+self-describing :mod:`repro.core.serialize` wire format — the one
+representation all three transports already share — so an object
+produced on any engine round-trips through every other.  Keys surface
+both ways: :attr:`public_key` (the rich object) and
+:attr:`public_key_bytes` (the wire form).
+
+Determinism
+-----------
+A session opened with ``seed=S`` on ``local`` or ``pool:1`` replays the
+exact randomness streams a fresh ``rlwe-repro serve --seed S`` consumes
+(keygen from stream ``S``, serving noise from the domain-separated
+``serving_seed(S)`` stream), and all transports compute scalar calls as
+windows of one and batch calls as one window — so for a fixed seed,
+``local``, ``pool:1``, and a fresh same-seeded ``tcp://`` session
+produce *bit-identical* serialized results, scalar and batched alike
+(for remote batches, up to the server's ``--max-batch`` window).
+Decrypt and decapsulate consume no randomness and are bit-identical on
+every engine and seed history.
+
+Sync and async
+--------------
+Both flavors share this module's async core.  The synchronous
+:class:`RlweSession` owns a private event-loop thread and forwards each
+call, so it works from plain scripts (and can drive the worker pool,
+which needs a live loop) without the caller touching asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api.engine import EngineSpec, parse_engine
+from repro.api.errors import (
+    CapacityError,
+    EngineUnavailableError,
+    SessionClosedError,
+)
+from repro.api.transports import (
+    LocalTransport,
+    PoolTransport,
+    RemoteTransport,
+    Transport,
+)
+from repro.core import serialize
+from repro.core.kem import SECRET_BYTES
+from repro.core.params import P1, ParameterSet
+from repro.core.scheme import PublicKey, RlweEncryptionScheme
+from repro.service.client import (
+    RlweServiceClient,
+    split_encapsulation,
+    trim_plaintext,
+)
+from repro.service.executor import OpRunner, pool_executor_for, serving_seed
+from repro.service.protocol import (
+    OP_DECAPSULATE,
+    OP_DECRYPT,
+    OP_ENCAPSULATE,
+    OP_ENCRYPT,
+)
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+__all__ = ["AsyncRlweSession", "RlweSession"]
+
+
+def _seeded_scheme(
+    params: ParameterSet, seed: int, backend
+) -> RlweEncryptionScheme:
+    return RlweEncryptionScheme(
+        params, bits=PrngBitSource(Xorshift128(seed)), backend=backend
+    )
+
+
+class AsyncRlweSession:
+    """One transport-agnostic crypto session; see the module docstring.
+
+    Build instances with :meth:`open`, not the constructor.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        params: ParameterSet,
+        public_key: PublicKey,
+        public_key_bytes: bytes,
+        engine: str,
+    ):
+        self._transport = transport
+        self._params = params
+        self._public_key = public_key
+        self._public_key_bytes = public_key_bytes
+        self._engine = engine
+        self._closed = False
+        self._op_items: Dict[str, int] = {
+            "encrypt": 0,
+            "decrypt": 0,
+            "encapsulate": 0,
+            "decapsulate": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open(
+        cls,
+        engine: str = "local",
+        *,
+        params: Optional[ParameterSet] = None,
+        seed: int = 0,
+        backend=None,
+    ) -> "AsyncRlweSession":
+        """Open a session on ``engine`` (``local``/``pool[:N]``/``tcp://``).
+
+        ``params``/``seed``/``backend`` configure local and pooled
+        engines (the session generates its keypair from stream ``seed``
+        and serves from the domain-separated ``serving_seed(seed)``
+        stream, exactly like ``rlwe-repro serve --seed``).  A remote
+        engine's parameters and keys belong to the server; ``params``
+        then acts as an assertion — a mismatch fails the open — and
+        ``seed``/``backend`` are ignored.
+        """
+        spec = parse_engine(engine)
+        if spec.kind == "remote":
+            return await cls._open_remote(spec, params)
+        if params is None:
+            params = P1
+        keypair = _seeded_scheme(params, seed, backend).generate_keypair()
+        serving = _seeded_scheme(params, serving_seed(seed), backend)
+        public_bytes = serialize.serialize_public_key(keypair.public)
+        if spec.kind == "local":
+            transport: Transport = LocalTransport(
+                OpRunner(serving, keypair, direct=False)
+            )
+        else:
+            executor = pool_executor_for(
+                serving,
+                keypair,
+                seed=serving_seed(seed),
+                workers=spec.workers,
+                direct=False,
+            )
+            transport = PoolTransport(executor, public_bytes)
+        try:
+            await transport.start()
+        except BaseException:
+            await transport.close()
+            raise
+        return cls(
+            transport, params, keypair.public, public_bytes, spec.label
+        )
+
+    @classmethod
+    async def _open_remote(
+        cls, spec: EngineSpec, params: Optional[ParameterSet]
+    ) -> "AsyncRlweSession":
+        try:
+            client = await RlweServiceClient.connect(spec.host, spec.port)
+        except OSError as exc:
+            raise EngineUnavailableError(
+                f"cannot connect to {spec.label}: {exc}"
+            ) from None
+        transport = RemoteTransport(client)
+        try:
+            public_bytes = await transport.fetch_public_key()
+            public = serialize.deserialize_public_key(public_bytes)
+            if params is not None and public.params != params:
+                raise EngineUnavailableError(
+                    f"{spec.label} serves {public.params.name}, "
+                    f"session requested {params.name}"
+                )
+        except BaseException:
+            await transport.close()
+            raise
+        return cls(
+            transport, public.params, public, public_bytes, spec.label
+        )
+
+    async def aclose(self) -> None:
+        """Close the session; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._transport.close()
+
+    async def __aenter__(self) -> "AsyncRlweSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """The canonical engine string this session runs on."""
+        return self._engine
+
+    @property
+    def params(self) -> ParameterSet:
+        return self._params
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The public key this session's operations are keyed to."""
+        return self._public_key
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        """The same key in the self-describing wire format."""
+        return self._public_key_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def keygen(self) -> PublicKey:
+        """The session's key material (one keypair per session).
+
+        Local and pooled engines generate it at :meth:`open` from the
+        seed; remote engines fetch the server's.  Sessions are
+        single-key by design — open a new session to rotate — so this
+        is idempotent rather than a fresh draw.
+        """
+        self._check_open()
+        return self._public_key
+
+    async def stats(self) -> Dict:
+        """Session op counters plus the engine's own counters."""
+        self._check_open()
+        return {
+            "engine": self._engine,
+            "ops": dict(self._op_items),
+            "transport": await self._transport.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Operations — scalar and batched forms of each
+    # ------------------------------------------------------------------
+    async def encrypt(self, message: bytes) -> bytes:
+        """Encrypt up to ``params.message_bytes``; wire-format ciphertext."""
+        body = self._check_message(message)
+        (ct,) = await self._run("encrypt", OP_ENCRYPT, [body])
+        return ct
+
+    async def encrypt_many(
+        self, messages: Iterable[bytes]
+    ) -> List[bytes]:
+        """Encrypt a batch in one engine call; one ciphertext each."""
+        bodies = [self._check_message(m) for m in messages]
+        if not bodies:
+            return []
+        return await self._run("encrypt", OP_ENCRYPT, bodies)
+
+    async def decrypt(
+        self, ciphertext: bytes, length: Optional[int] = None
+    ) -> bytes:
+        """Decrypt a wire-format ciphertext; ``length`` trims padding."""
+        (plain,) = await self._run(
+            "decrypt", OP_DECRYPT, [bytes(ciphertext)]
+        )
+        return trim_plaintext(plain, length)
+
+    async def decrypt_many(
+        self,
+        ciphertexts: Iterable[bytes],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        """Decrypt a batch of wire-format ciphertexts in one engine call."""
+        bodies = [bytes(ct) for ct in ciphertexts]
+        if not bodies:
+            return []
+        plains = await self._run("decrypt", OP_DECRYPT, bodies)
+        return [trim_plaintext(plain, length) for plain in plains]
+
+    async def encapsulate(self) -> Tuple[bytes, bytes]:
+        """A fresh ``(session_key, wire_encapsulation)`` pair."""
+        self._check_kem()
+        (body,) = await self._run("encapsulate", OP_ENCAPSULATE, [b""])
+        return split_encapsulation(body)
+
+    async def encapsulate_many(
+        self, count: int
+    ) -> List[Tuple[bytes, bytes]]:
+        """``count`` fresh key/encapsulation pairs in one engine call."""
+        self._check_kem()
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        bodies = await self._run(
+            "encapsulate", OP_ENCAPSULATE, [b""] * count
+        )
+        return [split_encapsulation(body) for body in bodies]
+
+    async def decapsulate(self, encapsulation: bytes) -> bytes:
+        """The 32-byte session key; :class:`DecryptionError` on failure."""
+        self._check_kem()
+        (key,) = await self._run(
+            "decapsulate", OP_DECAPSULATE, [bytes(encapsulation)]
+        )
+        return key
+
+    async def decapsulate_many(
+        self, encapsulations: Iterable[bytes]
+    ) -> List[bytes]:
+        """Decapsulate a batch; fails fast on the first bad item."""
+        self._check_kem()
+        bodies = [bytes(cap) for cap in encapsulations]
+        if not bodies:
+            return []
+        return await self._run("decapsulate", OP_DECAPSULATE, bodies)
+
+    # ------------------------------------------------------------------
+    async def _run(
+        self, name: str, opcode: int, bodies: List[bytes]
+    ) -> List[bytes]:
+        self._check_open()
+        self._op_items[name] += len(bodies)
+        return await self._transport.run(opcode, bodies)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"session on {self._engine} is closed"
+            )
+
+    def _check_message(self, message: bytes) -> bytes:
+        body = bytes(message)
+        capacity = self._params.message_bytes
+        if len(body) > capacity:
+            # Same wording as the server's capacity check, so local and
+            # remote callers see one error either way.
+            raise CapacityError(
+                f"message of {len(body)} bytes exceeds the "
+                f"{capacity}-byte capacity of {self._params.name}"
+            )
+        return body
+
+    def _check_kem(self) -> None:
+        if self._params.message_bytes < SECRET_BYTES:
+            raise CapacityError(
+                f"{self._params.name} carries "
+                f"{self._params.message_bytes} bytes per ciphertext; "
+                f"the KEM needs {SECRET_BYTES}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Synchronous flavor
+# ----------------------------------------------------------------------
+class _LoopRunner:
+    """A private event loop on a daemon thread; runs coroutines to completion."""
+
+    def __init__(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._main, name="rlwe-session-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def close(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+class RlweSession:
+    """Synchronous flavor of :class:`AsyncRlweSession` — same core.
+
+    Owns a private event-loop thread, so it drives every engine
+    (including the worker pool and remote connections, which need a
+    live loop) from plain synchronous code::
+
+        with RlweSession.open("pool:4", params=P1, seed=7) as session:
+            cts = session.encrypt_many([b"a", b"b", b"c"])
+    """
+
+    def __init__(self, inner: AsyncRlweSession, runner: _LoopRunner):
+        self._inner = inner
+        self._runner: Optional[_LoopRunner] = runner
+
+    @classmethod
+    def open(
+        cls,
+        engine: str = "local",
+        *,
+        params: Optional[ParameterSet] = None,
+        seed: int = 0,
+        backend=None,
+    ) -> "RlweSession":
+        """Synchronous :meth:`AsyncRlweSession.open`; same semantics."""
+        runner = _LoopRunner()
+        try:
+            inner = runner.run(
+                AsyncRlweSession.open(
+                    engine, params=params, seed=seed, backend=backend
+                )
+            )
+        except BaseException:
+            runner.close()
+            raise
+        return cls(inner, runner)
+
+    # ------------------------------------------------------------------
+    def _call(self, coro):
+        if self._runner is None:
+            coro.close()  # never awaited; silence the warning
+            raise SessionClosedError(
+                f"session on {self._inner.engine} is closed"
+            )
+        return self._runner.run(coro)
+
+    def close(self) -> None:
+        """Close the session and its loop thread; idempotent."""
+        if self._runner is None:
+            return
+        runner, self._runner = self._runner, None
+        try:
+            runner.run(self._inner.aclose())
+        finally:
+            runner.close()
+
+    def __enter__(self) -> "RlweSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        return self._inner.engine
+
+    @property
+    def params(self) -> ParameterSet:
+        return self._inner.params
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._inner.public_key
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        return self._inner.public_key_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._runner is None
+
+    def keygen(self) -> PublicKey:
+        if self._runner is None:
+            raise SessionClosedError(
+                f"session on {self._inner.engine} is closed"
+            )
+        return self._inner.keygen()
+
+    def stats(self) -> Dict:
+        return self._call(self._inner.stats())
+
+    def encrypt(self, message: bytes) -> bytes:
+        return self._call(self._inner.encrypt(message))
+
+    def encrypt_many(self, messages: Iterable[bytes]) -> List[bytes]:
+        return self._call(self._inner.encrypt_many(list(messages)))
+
+    def decrypt(
+        self, ciphertext: bytes, length: Optional[int] = None
+    ) -> bytes:
+        return self._call(self._inner.decrypt(ciphertext, length))
+
+    def decrypt_many(
+        self,
+        ciphertexts: Iterable[bytes],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        return self._call(
+            self._inner.decrypt_many(list(ciphertexts), length)
+        )
+
+    def encapsulate(self) -> Tuple[bytes, bytes]:
+        return self._call(self._inner.encapsulate())
+
+    def encapsulate_many(self, count: int) -> List[Tuple[bytes, bytes]]:
+        return self._call(self._inner.encapsulate_many(count))
+
+    def decapsulate(self, encapsulation: bytes) -> bytes:
+        return self._call(self._inner.decapsulate(encapsulation))
+
+    def decapsulate_many(
+        self, encapsulations: Iterable[bytes]
+    ) -> List[bytes]:
+        return self._call(
+            self._inner.decapsulate_many(list(encapsulations))
+        )

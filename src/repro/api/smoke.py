@@ -1,0 +1,253 @@
+"""Cross-transport equivalence checks (``rlwe-repro smoke``).
+
+Opens a fresh ``local`` reference session per target engine and
+verifies, against each engine in turn:
+
+* **key identity** — the engine's public key equals the reference's
+  (holds for any same-seeded engine, fresh or not: keygen draws from
+  its own stream before any serving traffic);
+* **randomized-op bit-identity** — scalar and batched ``encrypt`` /
+  ``encapsulate`` produce byte-equal wire objects.  Requires the target
+  to be replaying the same serving stream from position 0, so it runs
+  for ``local`` and ``pool:1`` always, and for ``tcp://`` engines only
+  with ``fresh_remote=True`` (a just-started server with the same
+  ``--seed``; batched identity additionally needs the batch to fit one
+  coalescer window, i.e. ``batch <= --max-batch`` and a generous
+  ``--max-wait-ms``);
+* **deterministic-op bit-identity** — ``decrypt`` / ``decapsulate`` of
+  fixtures encrypted under the shared public key, scalar and batched.
+  These consume no server randomness, so they must match on *every*
+  engine and seed history, including multi-worker pools;
+* **cross-transport round-trips** — ciphertexts made on one engine
+  decrypt on the other;
+* **exception parity** — a truncated ciphertext raises
+  :class:`~repro.api.errors.WireFormatError`, a tampered encapsulation
+  :class:`~repro.api.errors.DecryptionError`, and an oversized message
+  :class:`~repro.api.errors.CapacityError`, on every engine.
+
+This is the executable form of the facade's core invariant (the PR 3
+``inline == pool(1)`` bit-identity lifted one layer up) and what the CI
+``facade-smoke`` job runs against live servers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.api.engine import parse_engine
+from repro.api.errors import (
+    CapacityError,
+    DecryptionError,
+    EngineUnavailableError,
+    WireFormatError,
+)
+from repro.api.session import RlweSession, _seeded_scheme
+from repro.core import serialize
+from repro.core.kem import SECRET_BYTES, RlweKem
+from repro.core.params import get_parameter_set
+
+__all__ = ["run_smoke"]
+
+#: Seed offset for the fixture scheme (the "other party" that encrypts
+#: under the session key); any value off the session streams works.
+_FIXTURE_SEED_DELTA = 77001
+
+
+def _expects_identical_streams(engine: str, fresh_remote: bool) -> bool:
+    spec = parse_engine(engine)
+    if spec.kind == "local":
+        return True
+    if spec.kind == "pool":
+        # Shards > 0 run their own derived streams, so only a one-shard
+        # pool replays the reference stream.
+        return spec.workers == 1
+    return fresh_remote
+
+
+def _open_target(engine, params, seed, connect_timeout) -> RlweSession:
+    """Open the target session; retry remote engines while they boot.
+
+    Connecting and fetching the public key consume no serving
+    randomness, so retries never perturb the byte-identity checks.
+    """
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            return RlweSession.open(engine, params=params, seed=seed)
+        except EngineUnavailableError:
+            if (
+                parse_engine(engine).kind != "remote"
+                or time.monotonic() >= deadline
+            ):
+                raise
+            time.sleep(0.2)
+
+
+def _expect_raises(exc_type, fn, *args) -> Optional[str]:
+    try:
+        fn(*args)
+    except exc_type:
+        return None
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return f"raised {type(exc).__name__} instead of {exc_type.__name__}"
+    return f"raised nothing, expected {exc_type.__name__}"
+
+
+def run_smoke(
+    engines: Sequence[str],
+    *,
+    params_name: str = "P1",
+    seed: int = 7,
+    batch: int = 8,
+    fresh_remote: bool = False,
+    connect_timeout: float = 15.0,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Run the matrix; print one line per check; 0 iff everything passed."""
+    params = get_parameter_set(params_name)
+    has_kem = params.message_bytes >= SECRET_BYTES
+    message = b"facade smoke"[: params.message_bytes]
+    failures = 0
+
+    for engine in engines:
+        checks: List[Tuple[str, Optional[str]]] = []
+
+        def check(name: str, ok: bool, detail: str = "") -> None:
+            checks.append((name, None if ok else (detail or "mismatch")))
+
+        with RlweSession.open(
+            "local", params=params, seed=seed
+        ) as reference, _open_target(
+            engine, params, seed, connect_timeout
+        ) as target:
+            check(
+                "public-key identity",
+                target.public_key_bytes == reference.public_key_bytes,
+            )
+
+            # Randomized ops first: they must be the first serving-stream
+            # consumption on both sides to compare at stream position 0.
+            if _expects_identical_streams(engine, fresh_remote):
+                check(
+                    "scalar encrypt identity",
+                    target.encrypt(message) == reference.encrypt(message),
+                )
+                batch_messages = [
+                    bytes([i % 256]) * min(4, params.message_bytes)
+                    for i in range(batch)
+                ]
+                check(
+                    "batched encrypt identity",
+                    target.encrypt_many(batch_messages)
+                    == reference.encrypt_many(batch_messages),
+                )
+                if has_kem:
+                    check(
+                        "scalar encapsulate identity",
+                        target.encapsulate() == reference.encapsulate(),
+                    )
+                    check(
+                        "batched encapsulate identity",
+                        target.encapsulate_many(2)
+                        == reference.encapsulate_many(2),
+                    )
+
+            # Deterministic ops: fixtures from an independent stream,
+            # encrypted under the shared session key — identical on
+            # every engine regardless of freshness or shard count.
+            fixture = _seeded_scheme(
+                params, seed + _FIXTURE_SEED_DELTA, None
+            )
+            public = serialize.deserialize_public_key(
+                reference.public_key_bytes
+            )
+            fixture_cts = [
+                serialize.serialize_ciphertext(fixture.encrypt(public, m))
+                for m in (message, b"x", b"y" * min(8, params.message_bytes))
+            ]
+            check(
+                "scalar decrypt identity",
+                target.decrypt(fixture_cts[0], length=len(message))
+                == reference.decrypt(fixture_cts[0], length=len(message))
+                == message,
+            )
+            check(
+                "batched decrypt identity",
+                target.decrypt_many(fixture_cts)
+                == reference.decrypt_many(fixture_cts),
+            )
+            if has_kem:
+                kem = RlweKem(fixture)
+                encapsulation, secret = kem.encapsulate(public)
+                cap_bytes = serialize.serialize_encapsulation(encapsulation)
+                check(
+                    "decapsulate identity",
+                    target.decapsulate(cap_bytes)
+                    == reference.decapsulate(cap_bytes)
+                    == secret.key,
+                )
+
+            # Round-trips: wire objects cross transports freely.
+            check(
+                "reference->target roundtrip",
+                target.decrypt(
+                    reference.encrypt(message), length=len(message)
+                )
+                == message,
+            )
+            check(
+                "target->reference roundtrip",
+                reference.decrypt(
+                    target.encrypt(message), length=len(message)
+                )
+                == message,
+            )
+
+            # Exception parity: same typed error on every transport.
+            detail = _expect_raises(
+                WireFormatError, target.decrypt, fixture_cts[0][:-3]
+            )
+            check(
+                "truncated ciphertext -> WireFormatError",
+                detail is None,
+                detail or "",
+            )
+            detail = _expect_raises(
+                CapacityError,
+                target.encrypt,
+                b"z" * (params.message_bytes + 1),
+            )
+            check(
+                "oversized message -> CapacityError",
+                detail is None,
+                detail or "",
+            )
+            if has_kem:
+                tampered = cap_bytes[:-1] + bytes([cap_bytes[-1] ^ 1])
+                detail = _expect_raises(
+                    DecryptionError, target.decapsulate, tampered
+                )
+                check(
+                    "tampered encapsulation -> DecryptionError",
+                    detail is None,
+                    detail or "",
+                )
+
+        engine_failures = [name for name, err in checks if err is not None]
+        for name, err in checks:
+            status = "ok" if err is None else f"FAIL ({err})"
+            out(f"  [{engine}] {name}: {status}")
+        verdict = (
+            "PASS"
+            if not engine_failures
+            else f"FAIL ({len(engine_failures)} check(s))"
+        )
+        out(f"{engine}: {verdict}")
+        failures += len(engine_failures)
+
+    out(
+        f"smoke: {len(engines)} engine(s), "
+        f"{'all checks passed' if failures == 0 else f'{failures} failure(s)'}"
+    )
+    return 0 if failures == 0 else 1

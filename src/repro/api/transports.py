@@ -1,0 +1,218 @@
+"""The three transports behind the session facade.
+
+A *transport* executes opcode-addressed batches of request bodies —
+exactly the body-in/body-out contract the service stack already speaks
+— and normalizes every failure through
+:func:`repro.api.errors.error_from_status`.  The session layer above is
+transport-blind: it only ever sees wire-format byte strings and the
+typed exception hierarchy.
+
+* :class:`LocalTransport` — direct in-process calls through the shared
+  :class:`~repro.service.executor.OpRunner` compute core (the same code
+  an inline server runs, so local results are byte-identical to a
+  same-seeded server's).
+* :class:`PoolTransport` — a
+  :class:`~repro.service.executor.WorkerPoolExecutor` without the
+  socket layer: batches ship to worker processes over the hardened IPC
+  wire format, the caller's thread/loop stays free.
+* :class:`RemoteTransport` — a
+  :class:`~repro.service.client.RlweServiceClient` speaking the public
+  wire protocol to a running ``rlwe-repro serve``.  Batch items are
+  pipelined on one connection in index order, so a fresh same-seeded
+  server coalesces them into the same windows a local batch computes.
+
+Every transport yields results in request order and fails fast on the
+first non-OK item, mapped through the shared status classifier — which
+is what makes exception-type parity across transports structural.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Sequence
+
+from repro.api.errors import (
+    EngineUnavailableError,
+    error_from_service,
+    error_from_status,
+)
+from repro.core import serialize
+from repro.service.client import RlweServiceClient
+from repro.service.executor import OpRunner, WorkerPoolExecutor
+from repro.service.protocol import STATUS_OK, ServiceError
+
+__all__ = [
+    "Transport",
+    "LocalTransport",
+    "PoolTransport",
+    "RemoteTransport",
+]
+
+
+class Transport:
+    """Executes opcode-addressed body batches; see the module docstring."""
+
+    kind = "abstract"
+
+    async def start(self) -> None:
+        """Bring the transport up (spawn workers, nothing for local)."""
+
+    async def close(self) -> None:
+        """Tear the transport down; safe to call twice."""
+
+    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+        """Execute one batch; results in order, typed error on failure."""
+        raise NotImplementedError
+
+    async def fetch_public_key(self) -> bytes:
+        """The serialized public key this transport's ops are keyed to."""
+        raise NotImplementedError
+
+    async def stats(self) -> Dict:
+        """Engine-side counters."""
+        raise NotImplementedError
+
+
+def _raise_or_collect(
+    results: "Sequence[tuple[int, bytes]]",
+) -> List[bytes]:
+    """OK bodies in order; first non-OK item raises its typed error."""
+    out = []
+    for status, body in results:
+        if status != STATUS_OK:
+            raise error_from_status(status, body.decode(errors="replace"))
+        out.append(body)
+    return out
+
+
+class LocalTransport(Transport):
+    """Direct in-process execution through the shared OpRunner core."""
+
+    kind = "local"
+
+    def __init__(self, runner: OpRunner):
+        self.runner = runner
+        self._batches = 0
+        self._items = 0
+
+    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+        self._batches += 1
+        self._items += len(bodies)
+        try:
+            results = self.runner.run(opcode, bodies)
+        except ServiceError as exc:  # KEM-capability guard
+            raise error_from_service(exc) from None
+        return _raise_or_collect(results)
+
+    async def fetch_public_key(self) -> bytes:
+        return serialize.serialize_public_key(self.runner.keypair.public)
+
+    async def stats(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "batches": self._batches,
+            "items": self._items,
+        }
+
+
+class PoolTransport(Transport):
+    """A worker-pool executor without the socket layer on top."""
+
+    kind = "pool"
+
+    def __init__(self, executor: WorkerPoolExecutor, public_bytes: bytes):
+        self.executor = executor
+        self._public_bytes = public_bytes
+        self._closed = False
+
+    async def start(self) -> None:
+        try:
+            await self.executor.start()
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except OSError as exc:
+            raise EngineUnavailableError(
+                f"cannot spawn worker pool: {exc}"
+            ) from None
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        await self.executor.close()
+
+    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+        try:
+            results = await self.executor.run_batch(opcode, bodies)
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        out = []
+        for result in results:
+            if isinstance(result, ServiceError):
+                raise error_from_service(result) from None
+            out.append(result)
+        return out
+
+    async def fetch_public_key(self) -> bytes:
+        return self._public_bytes
+
+    async def stats(self) -> Dict:
+        return self.executor.stats()
+
+
+class RemoteTransport(Transport):
+    """A pipelining client on a running ``rlwe-repro serve`` instance."""
+
+    kind = "remote"
+
+    def __init__(self, client: RlweServiceClient):
+        self.client = client
+        self._closed = False
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        await self.client.close()
+
+    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+        # Pipelined, not sequential: all requests go out back-to-back on
+        # one connection so the server's coalescer can see them as one
+        # window.  ``return_exceptions`` keeps failure order stable —
+        # like the other transports, the *first* failing index raises.
+        results = await asyncio.gather(
+            *(self.client.request(opcode, body) for body in bodies),
+            return_exceptions=True,
+        )
+        out = []
+        for result in results:
+            if isinstance(result, ServiceError):
+                raise error_from_service(result) from None
+            if isinstance(result, (ConnectionError, OSError)):
+                raise EngineUnavailableError(
+                    f"connection to the service lost: {result}"
+                ) from None
+            if isinstance(result, BaseException):
+                raise result
+            out.append(result)
+        return out
+
+    async def fetch_public_key(self) -> bytes:
+        try:
+            return await self.client.get_public_key()
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"connection to the service lost: {exc}"
+            ) from None
+
+    async def stats(self) -> Dict:
+        try:
+            return await self.client.stats()
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"connection to the service lost: {exc}"
+            ) from None

@@ -15,13 +15,21 @@ Subcommands
 ``serve``
     The micro-batching key-transport server (encrypt / decrypt /
     encapsulate / decapsulate over length-prefixed frames).
-    ``--executor``/``--workers`` pick the execution engine: inline on
-    the event loop, or a sharded multi-process worker pool.
+    ``--engine local|pool[:N]`` picks the execution engine in the
+    facade's unified notation (the older ``--executor``/``--workers``
+    pair still works): inline on the event loop, or a sharded
+    multi-process worker pool.
 ``loadgen``
-    Closed-/open-loop load generation against a running server.
+    Closed-/open-loop load generation against a running server
+    (``--engine tcp://host:port`` or ``--host``/``--port``).
 ``stats``
     One-shot dump of a running server's per-op batch/latency and
     executor-shard counters (the wire ``stats`` op).
+``smoke``
+    The cross-transport equivalence check: opens
+    :class:`~repro.api.RlweSession` instances on each listed engine
+    and verifies byte-identity, round-trips, and exception-type parity
+    against a fresh local reference (the CI ``facade-smoke`` job).
 
 The file-based commands accept ``--backend`` (also settable session-wide
 via the ``REPRO_BACKEND`` environment variable) to pick the
@@ -139,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="max milliseconds a partial window waits before flushing",
     )
     serve.add_argument(
+        "--engine",
+        default=None,
+        help=(
+            "execution engine in the session-facade notation: 'local' "
+            "(inline on the event loop) or 'pool[:N]' (N worker "
+            "processes); replaces --executor/--workers"
+        ),
+    )
+    serve.add_argument(
         "--executor",
         choices=["inline", "pool"],
         default=None,
@@ -165,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--host", default="127.0.0.1")
     stats.add_argument("--port", type=int, default=8470)
     stats.add_argument(
+        "--engine",
+        default=None,
+        help="tcp://host:port of the server (overrides --host/--port)",
+    )
+    stats.add_argument(
         "--connect-timeout",
         type=float,
         default=5.0,
@@ -179,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--host", default="127.0.0.1")
     loadgen.add_argument("--port", type=int, default=8470)
+    loadgen.add_argument(
+        "--engine",
+        default=None,
+        help="tcp://host:port of the server (overrides --host/--port)",
+    )
     loadgen.add_argument(
         "--op",
         default="encapsulate",
@@ -209,6 +236,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--json", default=None, help="also write the result as JSON here"
+    )
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="cross-transport equivalence check of the session facade",
+    )
+    smoke.add_argument(
+        "--engines",
+        default="local,pool:1",
+        help=(
+            "comma-separated engine strings to verify against a fresh "
+            "local reference (local, pool[:N], tcp://host:port)"
+        ),
+    )
+    smoke.add_argument("--params", default="P1", help="parameter set")
+    smoke.add_argument("--seed", type=int, default=7)
+    smoke.add_argument(
+        "--batch", type=int, default=8, help="batched-op batch size"
+    )
+    smoke.add_argument(
+        "--fresh-remote",
+        action="store_true",
+        help=(
+            "tcp:// engines were just started with this --seed and have "
+            "served no traffic: also verify randomized-op byte-identity "
+            "(the server needs --max-batch >= --batch and a generous "
+            "--max-wait-ms for batched identity)"
+        ),
     )
 
     sample = sub.add_parser("sample", help="draw Gaussian samples")
@@ -421,12 +476,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("error: --max-batch must be >= 1")
     if args.max_wait_ms < 0:
         raise SystemExit("error: --max-wait-ms must be >= 0")
-    executor_kind = args.executor
-    if executor_kind is None:
-        executor_kind = "pool" if args.workers is not None else "inline"
-    if executor_kind == "inline" and args.workers is not None:
-        raise SystemExit("error: --workers requires --executor pool")
-    workers = args.workers
+    if args.engine is not None:
+        # The unified facade notation subsumes --executor/--workers.
+        if args.executor is not None or args.workers is not None:
+            raise SystemExit(
+                "error: --engine replaces --executor/--workers; "
+                "pass only one form"
+            )
+        from repro.api.engine import parse_engine
+        from repro.api.errors import EngineUnavailableError
+
+        try:
+            spec = parse_engine(args.engine)
+        except EngineUnavailableError as exc:
+            raise SystemExit(f"error: {exc}")
+        if spec.kind == "remote":
+            raise SystemExit(
+                "error: serve hosts an engine; tcp:// engines are "
+                "client-side (see loadgen/smoke)"
+            )
+        executor_kind = "inline" if spec.kind == "local" else "pool"
+        workers = spec.workers if spec.kind == "pool" else None
+    else:
+        executor_kind = args.executor
+        if executor_kind is None:
+            executor_kind = "pool" if args.workers is not None else "inline"
+        if executor_kind == "inline" and args.workers is not None:
+            raise SystemExit("error: --workers requires --executor pool")
+        workers = args.workers
     if executor_kind == "pool":
         if workers is None:
             workers = os.cpu_count() or 1
@@ -509,6 +586,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_endpoint(args: argparse.Namespace) -> "tuple[str, int]":
+    """``--engine tcp://host:port`` overrides ``--host``/``--port``."""
+    if getattr(args, "engine", None) is None:
+        return args.host, args.port
+    from repro.api.engine import parse_engine
+    from repro.api.errors import EngineUnavailableError
+
+    try:
+        spec = parse_engine(args.engine)
+    except EngineUnavailableError as exc:
+        raise SystemExit(f"error: {exc}")
+    if spec.kind != "remote":
+        raise SystemExit(
+            f"error: {args.engine!r} is not a server address; "
+            f"expected tcp://host:port"
+        )
+    return spec.host, spec.port
+
+
 def render_stats(stats: dict) -> str:
     """Human-readable dump of the server's stats response."""
     lines = ["per-op coalescing:"]
@@ -550,9 +646,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.service.loadgen import connect_with_retry
     from repro.service.protocol import ServiceError
 
+    host, port = _resolve_endpoint(args)
+
     async def fetch() -> dict:
         client = await connect_with_retry(
-            args.host, args.port, args.connect_timeout
+            host, port, args.connect_timeout
         )
         try:
             return await client.stats()
@@ -578,11 +676,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import render_result, run_load
     from repro.service.protocol import ServiceError
 
+    host, port = _resolve_endpoint(args)
     try:
         result = asyncio.run(
             run_load(
-                args.host,
-                args.port,
+                host,
+                port,
                 op=args.op,
                 mode=args.mode,
                 concurrency=args.concurrency,
@@ -608,6 +707,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result["errors"] == 0 else 1
 
 
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.api.errors import EngineUnavailableError, RlweError
+    from repro.api.smoke import run_smoke
+
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    if not engines:
+        raise SystemExit("error: --engines lists no engines")
+    if args.batch < 1:
+        raise SystemExit("error: --batch must be >= 1")
+    try:
+        return run_smoke(
+            engines,
+            params_name=args.params,
+            seed=args.seed,
+            batch=args.batch,
+            fresh_remote=args.fresh_remote,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    except (EngineUnavailableError, RlweError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "keygen": _cmd_keygen,
@@ -619,6 +741,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "stats": _cmd_stats,
+    "smoke": _cmd_smoke,
 }
 
 

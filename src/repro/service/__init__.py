@@ -21,9 +21,14 @@ story.  It exposes the PR 1 batched throughput engine over a socket:
 * :mod:`repro.service.server` — the asyncio server
   (``rlwe-repro serve``) exposing encrypt / decrypt / encapsulate /
   decapsulate / stats;
-* :mod:`repro.service.client` — the pipelining async client;
+* :mod:`repro.service.client` — the pipelining async client (context
+  manager in both sync and async flavors);
 * :mod:`repro.service.loadgen` — closed- and open-loop load
   generation with latency percentiles (``rlwe-repro loadgen``).
+
+Most callers should not program against this layer directly: the
+:mod:`repro.api` session facade wraps it (and the in-process engines)
+behind one transport-agnostic API with typed exceptions.
 """
 
 from repro.service.client import RlweServiceClient

@@ -9,8 +9,14 @@ pipelines naturally and feeds the server's micro-batching coalescer.
     keys = await asyncio.gather(*[client.encapsulate() for _ in range(64)])
     await client.close()
 
-Non-OK responses raise :class:`~repro.service.protocol.ServiceError`
-with the wire status attached.
+The client is also a context manager in both flavors: ``async with``
+gives the fully drained :meth:`~RlweServiceClient.close`, and a plain
+``with`` guarantees the socket drops on error paths via
+:meth:`~RlweServiceClient.close_nowait` even where awaiting is
+impossible.  Non-OK responses raise
+:class:`~repro.service.protocol.ServiceError` with the wire status
+attached; the :mod:`repro.api` facade maps those onto its typed
+exception hierarchy.
 """
 
 from __future__ import annotations
@@ -35,6 +41,36 @@ from repro.service.protocol import (
 )
 
 
+def trim_plaintext(data: bytes, length: Optional[int]) -> bytes:
+    """Validate and apply the caller-side ``length`` trim on a plaintext.
+
+    Shared by the raw client and the session facade so both enforce one
+    contract: ``None`` keeps the full decoded payload, anything else
+    must be within ``[0, len(data)]``.
+    """
+    if length is None:
+        return data
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if length > len(data):
+        raise ValueError("requested length exceeds capacity")
+    return data[:length]
+
+
+def split_encapsulation(body: bytes) -> Tuple[bytes, bytes]:
+    """Split a ``session_key || encapsulation`` response body.
+
+    The shared inverse of the server's encapsulate response layout;
+    raises :exc:`ValueError` on a body too short to carry the key.
+    """
+    if len(body) < SECRET_BYTES:
+        raise ValueError(
+            f"encapsulate response of {len(body)} bytes is shorter "
+            f"than the {SECRET_BYTES}-byte session key"
+        )
+    return body[:SECRET_BYTES], body[SECRET_BYTES:]
+
+
 class RlweServiceClient:
     """Multiplexed client over one framed connection."""
 
@@ -43,6 +79,7 @@ class RlweServiceClient:
     ):
         self._reader = reader
         self._writer = writer
+        self._loop = asyncio.get_running_loop()
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
@@ -53,7 +90,12 @@ class RlweServiceClient:
         cls, host: str = "127.0.0.1", port: int = 8470
     ) -> "RlweServiceClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        try:
+            return cls(reader, writer)
+        except BaseException:
+            # Construction failed after the socket opened: never leak it.
+            writer.close()
+            raise
 
     async def __aenter__(self) -> "RlweServiceClient":
         return self
@@ -61,21 +103,75 @@ class RlweServiceClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    def __enter__(self) -> "RlweServiceClient":
+        """Sync context manager: best-effort teardown without awaiting.
+
+        For callers that cannot ``await`` on the way out (a sync
+        ``with`` inside a coroutine, or cleanup after the loop has
+        finished).  ``__exit__`` runs :meth:`close_nowait`; prefer
+        ``async with`` where possible for the fully drained close.
+        """
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_nowait()
+
+    def close_nowait(self) -> None:
+        """Synchronous close: cancel the reader, drop the socket now.
+
+        Unlike :meth:`close` this does not await ``wait_closed`` — the
+        transport tears down when the loop next runs — but the socket is
+        closed and every pending request fails immediately, so an error
+        path can never strand an open connection.  If the client's loop
+        has already closed (cleanup after ``asyncio.run`` returned), the
+        underlying socket is closed directly instead, since a dead loop
+        will never run the transport's teardown.  Idempotent, and safe
+        to combine with a later :meth:`close`.
+
+        Must be called from the client's own loop thread or after that
+        loop has stopped; asyncio objects are not thread-safe, so
+        another thread racing a live loop must use
+        ``run_coroutine_threadsafe(client.close(), loop)`` instead.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop.is_closed():
+            # The transport can never finish closing on a dead loop;
+            # release the fd directly.  Cancelling may try to schedule
+            # on the closed loop — nothing will run anyway.
+            try:
+                self._reader_task.cancel()
+            except RuntimeError:
+                pass
+            sock = self._writer.transport.get_extra_info("socket")
+            if sock is not None:
+                sock.close()
+            return
+        try:
+            self._reader_task.cancel()
+        finally:
+            self._writer.close()
+            self._fail_pending(ConnectionError("client closed"))
+
     async def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        self._reader_task.cancel()
         try:
-            await self._reader_task
-        except (asyncio.CancelledError, Exception):  # noqa: BLE001
-            pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        self._fail_pending(ConnectionError("client closed"))
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        finally:
+            # The socket must close even if reader teardown misbehaves.
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._fail_pending(ConnectionError("client closed"))
 
     # ------------------------------------------------------------------
     def _fail_pending(self, exc: Exception) -> None:
@@ -149,24 +245,13 @@ class RlweServiceClient:
         self, ciphertext: bytes, length: Optional[int] = None
     ) -> bytes:
         """Decrypt a serialized ciphertext; ``length`` trims zero padding."""
-        data = await self.request(OP_DECRYPT, ciphertext)
-        if length is not None:
-            if length < 0:
-                raise ValueError(f"length must be non-negative, got {length}")
-            if length > len(data):
-                raise ValueError("requested length exceeds capacity")
-            data = data[:length]
-        return data
+        return trim_plaintext(
+            await self.request(OP_DECRYPT, ciphertext), length
+        )
 
     async def encapsulate(self) -> Tuple[bytes, bytes]:
         """A fresh ``(session_key, serialized_encapsulation)`` pair."""
-        body = await self.request(OP_ENCAPSULATE)
-        if len(body) < SECRET_BYTES:
-            raise ValueError(
-                f"encapsulate response of {len(body)} bytes is shorter "
-                f"than the {SECRET_BYTES}-byte session key"
-            )
-        return body[:SECRET_BYTES], body[SECRET_BYTES:]
+        return split_encapsulation(await self.request(OP_ENCAPSULATE))
 
     async def decapsulate(self, encapsulation: bytes) -> bytes:
         """Recover the session key from a serialized encapsulation."""

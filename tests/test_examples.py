@@ -18,6 +18,13 @@ SLOW_EXAMPLES = [
     "cycle_profile.py",
     "parameter_exploration.py",
 ]
+#: Examples migrated to the RlweSession facade; each keeps its
+#: pre-facade code path alive behind --legacy, and both must run.
+MIGRATED_EXAMPLES = [
+    "quickstart.py",
+    "secure_channel.py",
+    "kem_handshake.py",
+]
 
 
 def run_example(name, *args):
@@ -42,9 +49,25 @@ def test_slow_examples(name):
     assert result.returncode == 0, result.stderr
 
 
+@pytest.mark.parametrize("name", MIGRATED_EXAMPLES)
+def test_legacy_example_variants(name):
+    """The pre-facade API paths stay covered behind --legacy."""
+    result = run_example(name, "--legacy")
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
 def test_quickstart_reports_roundtrip():
     result = run_example("quickstart.py")
     assert result.stdout.count("roundtrip OK") == 2
+    assert "engine=local" in result.stdout
+
+
+def test_secure_channel_runs_over_tcp():
+    result = run_example("secure_channel.py")
+    assert result.returncode == 0, result.stderr
+    assert "tcp://127.0.0.1:" in result.stdout
+    assert "secure channel OK" in result.stdout
 
 
 def test_cycle_profile_p2():

@@ -1,0 +1,348 @@
+"""The RlweSession facade: engines, lifecycle, errors, sync/async parity.
+
+Transport-crossing behavior (the local/pool/tcp bit-identity matrix and
+exception parity) lives in ``test_facade_transports.py``; this module
+covers the facade's own contract on the cheap local engine.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import P1, P2, custom_parameter_set, seeded_scheme
+from repro.api import (
+    AsyncRlweSession,
+    CapacityError,
+    DecryptionError,
+    EngineUnavailableError,
+    RemoteError,
+    RlweError,
+    RlweSession,
+    SessionClosedError,
+    WireFormatError,
+    error_from_status,
+    parse_engine,
+)
+from repro.core import serialize
+from repro.core.kem import RlweKem
+from repro.service.protocol import (
+    STATUS_BAD_REQUEST,
+    STATUS_DECAPSULATION_FAILED,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+)
+
+
+# ----------------------------------------------------------------------
+# Engine strings
+# ----------------------------------------------------------------------
+class TestEngineParsing:
+    def test_local(self):
+        spec = parse_engine("local")
+        assert spec.kind == "local"
+        assert spec.label == "local"
+
+    def test_pool_with_count(self):
+        spec = parse_engine("pool:3")
+        assert (spec.kind, spec.workers) == ("pool", 3)
+        assert spec.label == "pool:3"
+
+    def test_pool_defaults_to_cpu_count(self):
+        assert parse_engine("pool").workers >= 1
+
+    def test_remote(self):
+        spec = parse_engine("tcp://example.org:8470")
+        assert (spec.kind, spec.host, spec.port) == (
+            "remote",
+            "example.org",
+            8470,
+        )
+        assert spec.label == "tcp://example.org:8470"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "  ",
+            "warp",
+            "pool:0",
+            "pool:-1",
+            "pool:two",
+            "tcp://",
+            "tcp://hostonly",
+            "tcp://host:notaport",
+            "tcp://host:0",
+            "tcp://host:70000",
+            "udp://host:1",
+        ],
+    )
+    def test_bad_engine_strings(self, bad):
+        with pytest.raises(EngineUnavailableError):
+            parse_engine(bad)
+
+    def test_open_with_bad_engine_string(self):
+        with pytest.raises(EngineUnavailableError):
+            RlweSession.open("warp-drive", params=P1)
+
+
+# ----------------------------------------------------------------------
+# Status -> typed exception classification
+# ----------------------------------------------------------------------
+class TestErrorClassification:
+    def test_decapsulation_failure(self):
+        exc = error_from_status(STATUS_DECAPSULATION_FAILED, "tag rejected")
+        assert isinstance(exc, DecryptionError)
+
+    def test_bad_request_parse_failure(self):
+        exc = error_from_status(STATUS_BAD_REQUEST, "bad magic b'XXXX'")
+        assert isinstance(exc, WireFormatError)
+        assert isinstance(exc, ValueError)  # serialize-layer compatible
+
+    def test_bad_request_capacity(self):
+        exc = error_from_status(
+            STATUS_BAD_REQUEST,
+            "message of 99 bytes exceeds the 32-byte capacity of P1",
+        )
+        assert isinstance(exc, CapacityError)
+
+    def test_bad_request_kem_capability(self):
+        exc = error_from_status(
+            STATUS_BAD_REQUEST,
+            "P3 carries 16 bytes per ciphertext; the KEM needs 32",
+        )
+        assert isinstance(exc, CapacityError)
+
+    def test_internal_engine_gone(self):
+        for message in (
+            "worker 0 (pid 7) died mid-batch; the request was not completed",
+            "no live workers in the pool",
+            "executor is shutting down",
+        ):
+            exc = error_from_status(STATUS_INTERNAL_ERROR, message)
+            assert isinstance(exc, EngineUnavailableError), message
+
+    def test_internal_catchall(self):
+        exc = error_from_status(STATUS_INTERNAL_ERROR, "TypeError: boom")
+        assert isinstance(exc, RemoteError)
+        assert exc.status == STATUS_INTERNAL_ERROR
+
+    def test_unknown_status(self):
+        exc = error_from_status(42, "martian response")
+        assert isinstance(exc, RemoteError)
+
+    def test_everything_is_rlwe_error(self):
+        for status, message in [
+            (STATUS_BAD_REQUEST, "x"),
+            (STATUS_DECAPSULATION_FAILED, "x"),
+            (STATUS_INTERNAL_ERROR, "x"),
+            (STATUS_OK + 99, "x"),
+        ]:
+            assert isinstance(error_from_status(status, message), RlweError)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_double_close_is_idempotent(self):
+        session = RlweSession.open("local", params=P1, seed=5)
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_use_after_close_raises(self):
+        session = RlweSession.open("local", params=P1, seed=5)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.encrypt(b"late")
+        with pytest.raises(SessionClosedError):
+            session.keygen()
+        with pytest.raises(SessionClosedError):
+            session.stats()
+
+    def test_context_manager(self):
+        with RlweSession.open("local", params=P1, seed=5) as session:
+            assert session.decrypt(session.encrypt(b"cm"), length=2) == b"cm"
+        assert session.closed
+
+    def test_async_lifecycle(self):
+        async def main():
+            async with await AsyncRlweSession.open(
+                "local", params=P1, seed=5
+            ) as session:
+                ct = await session.encrypt(b"hi")
+                assert await session.decrypt(ct, length=2) == b"hi"
+            assert session.closed
+            await session.aclose()  # double close
+            with pytest.raises(SessionClosedError):
+                await session.encrypt(b"late")
+
+        asyncio.run(main())
+
+    def test_remote_open_refused_connection(self):
+        # Port 1 on localhost is essentially never listening.
+        with pytest.raises(EngineUnavailableError):
+            RlweSession.open("tcp://127.0.0.1:1")
+
+
+# ----------------------------------------------------------------------
+# Local-engine operations
+# ----------------------------------------------------------------------
+class TestLocalOps:
+    def test_scalar_roundtrip_and_wire_currency(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            ct = session.encrypt(b"facade")
+            # The ciphertext is genuine wire format.
+            obj = serialize.deserialize_ciphertext(ct)
+            assert obj.params == P1
+            assert session.decrypt(ct, length=6) == b"facade"
+
+    def test_batch_roundtrip_and_empty_batches(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            messages = [bytes([i]) * 4 for i in range(5)]
+            cts = session.encrypt_many(messages)
+            assert session.decrypt_many(cts, length=4) == messages
+            assert session.encrypt_many([]) == []
+            assert session.decrypt_many([]) == []
+            assert session.encapsulate_many(0) == []
+            assert session.decapsulate_many([]) == []
+
+    def test_kem_roundtrip(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            key, cap = session.encapsulate()
+            assert len(key) == 32
+            assert session.decapsulate(cap) == key
+            pairs = session.encapsulate_many(3)
+            keys = session.decapsulate_many([cap for _, cap in pairs])
+            assert keys == [key for key, _ in pairs]
+
+    def test_capacity_error(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            with pytest.raises(CapacityError):
+                session.encrypt(b"z" * (P1.message_bytes + 1))
+            with pytest.raises(CapacityError):
+                session.encrypt_many([b"ok", b"z" * 999])
+
+    def test_kem_needs_capacity(self):
+        # A 128-coefficient set carries 16-byte blocks — smaller than a
+        # 32-byte session key, so the KEM capability check trips.
+        tiny = custom_parameter_set(128, 3329, 11.32)
+        assert tiny.message_bytes < 32
+        with RlweSession.open("local", params=tiny, seed=9) as session:
+            with pytest.raises(CapacityError):
+                session.encapsulate()
+            with pytest.raises(CapacityError):
+                session.decapsulate(b"\x00" * 64)
+
+    def test_wire_format_error(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            ct = session.encrypt(b"ok")
+            with pytest.raises(WireFormatError):
+                session.decrypt(ct[:-3])
+            with pytest.raises(WireFormatError):
+                session.decrypt(ct + b"trailing")
+
+    def test_params_mismatch_is_wire_format_error(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            other = seeded_scheme(P2, seed=1)
+            keys = other.generate_keypair()
+            foreign = serialize.serialize_ciphertext(
+                other.encrypt(keys.public, b"p2")
+            )
+            with pytest.raises(WireFormatError):
+                session.decrypt(foreign)
+
+    def test_decryption_error_on_tampered_encapsulation(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            _, cap = session.encapsulate()
+            tampered = cap[:-1] + bytes([cap[-1] ^ 1])
+            with pytest.raises(DecryptionError):
+                session.decapsulate(tampered)
+
+    def test_decrypt_length_validation(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            ct = session.encrypt(b"ok")
+            with pytest.raises(ValueError):
+                session.decrypt(ct, length=-1)
+            with pytest.raises(ValueError):
+                session.decrypt(ct, length=P1.message_bytes + 1)
+
+    def test_keygen_and_key_normalization(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            public = session.keygen()
+            assert public is session.public_key
+            assert (
+                serialize.deserialize_public_key(session.public_key_bytes)
+                == public
+            )
+            # External parties can encrypt to the session key.
+            other = seeded_scheme(P1, seed=1000)
+            ct = serialize.serialize_ciphertext(
+                other.encrypt(public, b"from outside")
+            )
+            assert session.decrypt(ct, length=12) == b"from outside"
+
+    def test_stats_shape(self):
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            session.encrypt_many([b"a", b"b"])
+            session.encapsulate()
+            stats = session.stats()
+            assert stats["engine"] == "local"
+            assert stats["ops"]["encrypt"] == 2
+            assert stats["ops"]["encapsulate"] == 1
+            assert stats["transport"]["kind"] == "local"
+            assert stats["transport"]["items"] == 3
+
+    def test_remote_decapsulation_keys_match_kem(self):
+        # The facade's decapsulate agrees with the raw KEM objects.
+        with RlweSession.open("local", params=P1, seed=9) as session:
+            fixture = seeded_scheme(P1, seed=4321)
+            kem = RlweKem(fixture)
+            cap, secret = kem.encapsulate(session.public_key)
+            assert (
+                session.decapsulate(serialize.serialize_encapsulation(cap))
+                == secret.key
+            )
+
+
+# ----------------------------------------------------------------------
+# Sync/async parity
+# ----------------------------------------------------------------------
+class TestSyncAsyncParity:
+    def test_same_bytes_from_both_flavors(self):
+        with RlweSession.open("local", params=P1, seed=77) as sync_session:
+            sync_ct = sync_session.encrypt(b"parity")
+            sync_batch = sync_session.encrypt_many([b"a", b"b"])
+            sync_key, sync_cap = sync_session.encapsulate()
+
+        async def async_run():
+            async with await AsyncRlweSession.open(
+                "local", params=P1, seed=77
+            ) as session:
+                ct = await session.encrypt(b"parity")
+                batch = await session.encrypt_many([b"a", b"b"])
+                key, cap = await session.encapsulate()
+                return ct, batch, key, cap
+
+        async_ct, async_batch, async_key, async_cap = asyncio.run(
+            async_run()
+        )
+        assert async_ct == sync_ct
+        assert async_batch == sync_batch
+        assert (async_key, async_cap) == (sync_key, sync_cap)
+
+    def test_sync_exceptions_match_async_types(self):
+        with RlweSession.open("local", params=P1, seed=77) as session:
+            ct = session.encrypt(b"x")
+            with pytest.raises(WireFormatError):
+                session.decrypt(ct[:-1])
+
+        async def async_raise():
+            async with await AsyncRlweSession.open(
+                "local", params=P1, seed=77
+            ) as session:
+                ct = await session.encrypt(b"x")
+                with pytest.raises(WireFormatError):
+                    await session.decrypt(ct[:-1])
+
+        asyncio.run(async_raise())

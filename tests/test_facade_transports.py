@@ -1,0 +1,285 @@
+"""Cross-transport behavior of the session facade.
+
+Pins the PR 4 acceptance invariant: for a fixed seed and parameter
+set, sessions over ``local``, ``pool:1``, and a fresh same-seeded
+``tcp://`` server produce bit-identical wire-serialized results
+(scalar and batched), wire objects round-trip across transports, and
+the same bad input raises the same typed exception on every transport.
+
+asyncio tests run through ``asyncio.run`` (no pytest-asyncio).  Pool
+and server tests spawn real subprocesses/sockets and are kept small.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.api import (
+    AsyncRlweSession,
+    DecryptionError,
+    RlweSession,
+    WireFormatError,
+)
+from repro.api.session import _seeded_scheme
+from repro.api.smoke import run_smoke
+from repro.core import serialize
+from repro.core.kem import RlweKem
+from repro.service.client import RlweServiceClient
+from repro.service.executor import serving_seed
+from repro.service.server import start_server
+
+SEED = 4207
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _start_seeded_server(params, seed, **kwargs):
+    """A server wired exactly like ``rlwe-repro serve --seed``."""
+    keypair = _seeded_scheme(params, seed, None).generate_keypair()
+    scheme = _seeded_scheme(params, serving_seed(seed), None)
+    return await start_server(
+        scheme, port=0, keypair=keypair, max_wait=0.05, **kwargs
+    )
+
+
+async def _open_matrix(params, seed, port, include_pool=True):
+    engines = ["local", f"tcp://127.0.0.1:{port}"]
+    if include_pool:
+        engines.insert(1, "pool:1")
+    return [
+        await AsyncRlweSession.open(engine, params=params, seed=seed)
+        for engine in engines
+    ]
+
+
+class TestCrossTransportBitIdentity:
+    """params x op x scalar/batch, all transports, one seed."""
+
+    @pytest.mark.parametrize(
+        "params,include_pool", [(P1, True), (P2, False)]
+    )
+    def test_matrix(self, params, include_pool):
+        async def main():
+            server = await _start_seeded_server(params, SEED)
+            sessions = []
+            try:
+                sessions = await _open_matrix(
+                    params, SEED, server.port, include_pool
+                )
+                # Key identity.
+                key_bytes = {s.public_key_bytes for s in sessions}
+                assert len(key_bytes) == 1
+                assert {s.params for s in sessions} == {params}
+
+                # Scalar encrypt: first serving-stream consumption.
+                message = b"matrix"[: params.message_bytes]
+                cts = [await s.encrypt(message) for s in sessions]
+                assert len(set(cts)) == 1
+
+                # Batched encrypt: one window everywhere.
+                batch = [bytes([i]) * 3 for i in range(6)]
+                batches = [await s.encrypt_many(batch) for s in sessions]
+                assert all(b == batches[0] for b in batches[1:])
+
+                # Scalar + batched encapsulate (key and wire bytes).
+                caps = [await s.encapsulate() for s in sessions]
+                assert len(set(caps)) == 1
+                many = [await s.encapsulate_many(2) for s in sessions]
+                assert all(m == many[0] for m in many[1:])
+
+                # Deterministic ops: fixtures from an independent party.
+                fixture = seeded_scheme(params, seed=SEED + 13)
+                public = sessions[0].public_key
+                f_cts = [
+                    serialize.serialize_ciphertext(
+                        fixture.encrypt(public, m)
+                    )
+                    for m in (message, b"a", b"bb")
+                ]
+                scalar_plains = [
+                    await s.decrypt(f_cts[0], length=len(message))
+                    for s in sessions
+                ]
+                assert set(scalar_plains) == {message}
+                batch_plains = [
+                    tuple(await s.decrypt_many(f_cts)) for s in sessions
+                ]
+                assert len(set(batch_plains)) == 1
+
+                kem = RlweKem(fixture)
+                cap, secret = kem.encapsulate(public)
+                cap_bytes = serialize.serialize_encapsulation(cap)
+                keys = [await s.decapsulate(cap_bytes) for s in sessions]
+                assert set(keys) == {secret.key}
+
+                # Round-trips: every transport's output decrypts on
+                # every other transport.
+                for producer in range(len(sessions)):
+                    for consumer in range(len(sessions)):
+                        assert (
+                            await sessions[consumer].decrypt(
+                                cts[producer], length=len(message)
+                            )
+                            == message
+                        )
+            finally:
+                for session in sessions:
+                    await session.aclose()
+                await server.close()
+
+        run(main())
+
+    def test_exception_type_parity(self):
+        """The same bad bytes raise the same type on all transports."""
+
+        async def main():
+            server = await _start_seeded_server(P1, SEED)
+            sessions = []
+            try:
+                sessions = await _open_matrix(P1, SEED, server.port)
+                fixture = seeded_scheme(P1, seed=SEED + 13)
+                public = sessions[0].public_key
+                good_ct = serialize.serialize_ciphertext(
+                    fixture.encrypt(public, b"ok")
+                )
+                kem = RlweKem(fixture)
+                cap, _ = kem.encapsulate(public)
+                cap_bytes = serialize.serialize_encapsulation(cap)
+                tampered = cap_bytes[:-1] + bytes([cap_bytes[-1] ^ 1])
+
+                for session in sessions:
+                    with pytest.raises(WireFormatError):
+                        await session.decrypt(good_ct[:-3])
+                    with pytest.raises(WireFormatError):
+                        await session.decrypt(good_ct + b"!")
+                    with pytest.raises(DecryptionError):
+                        await session.decapsulate(tampered)
+                    # The session survives its errors.
+                    assert (
+                        await session.decrypt(good_ct, length=2) == b"ok"
+                    )
+            finally:
+                for session in sessions:
+                    await session.aclose()
+                await server.close()
+
+        run(main())
+
+
+class TestSyncOverLiveServer:
+    def test_sync_session_against_threaded_server(self):
+        """The sync facade drives a real server from plain code."""
+        handoff = []
+        started = threading.Event()
+
+        def serve():
+            async def main():
+                server = await _start_seeded_server(P1, SEED)
+                stop = asyncio.Event()
+                handoff.append(
+                    (server.port, asyncio.get_running_loop(), stop)
+                )
+                started.set()
+                try:
+                    await stop.wait()
+                finally:
+                    await server.close()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        port, loop, stop = handoff[0]
+        try:
+            with RlweSession.open(
+                f"tcp://127.0.0.1:{port}"
+            ) as remote, RlweSession.open(
+                "local", params=P1, seed=SEED
+            ) as local:
+                assert remote.params == P1
+                assert remote.engine == f"tcp://127.0.0.1:{port}"
+                assert local.encrypt(b"sync") == remote.encrypt(b"sync")
+                stats = remote.stats()
+                assert stats["transport"]["executor"]["kind"] == "inline"
+        finally:
+            loop.call_soon_threadsafe(stop.set)
+            thread.join(timeout=30)
+
+    def test_smoke_harness_passes_locally(self):
+        lines = []
+        code = run_smoke(
+            ["local"], params_name="P1", seed=11, batch=3, out=lines.append
+        )
+        assert code == 0
+        assert any("PASS" in line for line in lines)
+
+
+class TestClientContextManagers:
+    """service.Client lifecycle support the RemoteTransport relies on."""
+
+    def test_async_with_closes_on_error(self):
+        async def main():
+            server = await _start_seeded_server(P1, SEED)
+            try:
+                with pytest.raises(RuntimeError):
+                    async with await RlweServiceClient.connect(
+                        "127.0.0.1", server.port
+                    ) as client:
+                        await client.ping()
+                        raise RuntimeError("boom")
+                # The context manager closed the client on the way out.
+                assert client._closed
+                with pytest.raises(ConnectionError):
+                    await client.ping()
+            finally:
+                await server.close()
+
+        run(main())
+
+    def test_sync_with_closes_socket(self):
+        async def main():
+            server = await _start_seeded_server(P1, SEED)
+            try:
+                client = await RlweServiceClient.connect(
+                    "127.0.0.1", server.port
+                )
+                with client:
+                    assert await client.ping() == b"ping"
+                assert client._closed
+                assert client._writer.is_closing()
+                with pytest.raises(ConnectionError):
+                    await client.ping()
+                await client.close()  # still safe after close_nowait
+            finally:
+                await server.close()
+
+        run(main())
+
+    def test_close_nowait_fails_pending(self):
+        async def main():
+            server = await _start_seeded_server(P1, SEED)
+            try:
+                client = await RlweServiceClient.connect(
+                    "127.0.0.1", server.port
+                )
+                pending = asyncio.ensure_future(client.encapsulate())
+                await asyncio.sleep(0)  # let the request go out
+                client.close_nowait()
+                with pytest.raises((ConnectionError, asyncio.CancelledError)):
+                    await pending
+            finally:
+                await server.close()
+
+        run(main())
+
+    def test_connect_refused_leaves_nothing_open(self):
+        async def main():
+            with pytest.raises(OSError):
+                await RlweServiceClient.connect("127.0.0.1", 1)
+
+        run(main())
