@@ -1,0 +1,434 @@
+"""Keystore routing benchmark (and the CI rotation smoke driver).
+
+Two modes:
+
+**Benchmark** (default) — starts in-process servers and measures
+closed-loop keyed-encrypt throughput as traffic spreads across hot
+keys: a default-key baseline (the single pre-keystore coalescer
+window), then round-robin traffic over 1/2/4/8 named keys (one
+coalescer window per key), plus an eviction-pressure cell where 8 keys
+thrash a 2-slot hot cache.  Writes ``BENCH_keystore_routing.json``.
+Not collected by pytest (no ``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_keystore_routing.py
+    PYTHONPATH=src python benchmarks/bench_keystore_routing.py --quick
+
+**Smoke** (``--smoke``) — drives a *running* server (the CI
+keystore-smoke job): create N keys, closed-loop load round-robin
+across all of them while a rotator advances one key every
+``--rotate-every`` seconds.  Stale-generation rejections are re-pinned
+and retried — the client-side rotation protocol — and the run fails if
+any operation is terminally dropped:
+
+    rlwe-repro serve --port 8470 --engine pool:2 &
+    PYTHONPATH=src python benchmarks/bench_keystore_routing.py \\
+        --smoke --engine tcp://127.0.0.1:8470 --keys 8 \\
+        --duration 6 --rotate-every 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro import __version__, get_parameter_set, seeded_scheme
+from repro.backend import available_backends
+from repro.service.loadgen import connect_with_retry, percentile
+from repro.service.protocol import (
+    STATUS_STALE_KEY_GENERATION,
+    ServiceError,
+)
+from repro.service.server import start_server
+
+DEFAULT_OUTPUT = "BENCH_keystore_routing.json"
+PAYLOAD = b"keystore-routing-payload"
+
+
+# ----------------------------------------------------------------------
+# Benchmark mode (in-process servers)
+# ----------------------------------------------------------------------
+async def _measure_cell(
+    params_name: str,
+    backend: str,
+    seed: int,
+    *,
+    keys: int,
+    hot_capacity: int,
+    concurrency: int,
+    requests: int,
+    max_batch: int,
+    max_wait_ms: float,
+) -> Dict:
+    """One cell: ops/s of keyed round-robin encrypt on a fresh server.
+
+    ``keys=0`` is the default-key baseline: the same traffic through
+    the unkeyed opcode, i.e. exactly one coalescer window.
+    """
+    scheme = seeded_scheme(
+        get_parameter_set(params_name), seed, backend=backend
+    )
+    server = await start_server(
+        scheme,
+        max_batch=max_batch,
+        max_wait=max_wait_ms / 1e3,
+        keystore_seed=seed,
+        hot_keys=hot_capacity,
+    )
+    try:
+        client = await connect_with_retry("127.0.0.1", server.port, 10.0)
+        try:
+            names = [f"bench-{i}" for i in range(keys)]
+            for name in names:
+                await client.create_key(name)
+
+            latencies: List[float] = []
+            errors = 0
+            counter = {"next": 0}
+
+            async def one() -> None:
+                nonlocal errors
+                index = counter["next"]
+                counter["next"] += 1
+                started = time.perf_counter()
+                try:
+                    if names:
+                        name = names[index % len(names)]
+                        await client.key_encrypt(name, 0, PAYLOAD)
+                    else:
+                        await client.encrypt(PAYLOAD)
+                except (ServiceError, ConnectionError, OSError):
+                    errors += 1
+                else:
+                    latencies.append(time.perf_counter() - started)
+
+            async def worker(count: int) -> None:
+                for _ in range(count):
+                    await one()
+
+            per_worker = [requests // concurrency] * concurrency
+            for i in range(requests % concurrency):
+                per_worker[i] += 1
+            wall_start = time.perf_counter()
+            await asyncio.gather(*(worker(n) for n in per_worker))
+            wall = time.perf_counter() - wall_start
+            stats = await client.stats()
+        finally:
+            await client.close()
+    finally:
+        await server.close()
+
+    ordered = sorted(latencies)
+    keystore = stats["keystore"]
+    row = {
+        "keys": keys,
+        "hot_capacity": hot_capacity,
+        "concurrency": concurrency,
+        "requests": requests,
+        "completed": len(latencies),
+        "errors": errors,
+        "ops_per_sec": len(latencies) / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(ordered, 50) * 1e3,
+        "p99_ms": percentile(ordered, 99) * 1e3,
+        "materializations": keystore["materializations"],
+        "evictions": keystore["evictions"],
+    }
+    if keys:
+        per_key = stats["keys"]
+        batches = [
+            per_key[name]["encrypt"]["mean_batch_size"]
+            for name in names
+            if name in per_key and "encrypt" in per_key[name]
+        ]
+        row["mean_batch_size"] = (
+            sum(batches) / len(batches) if batches else 0.0
+        )
+    else:
+        row["mean_batch_size"] = stats["ops"]["encrypt"][
+            "mean_batch_size"
+        ]
+    label = f"{keys} key(s)" if keys else "default key"
+    print(
+        f"  {label:<12} hot {hot_capacity:>2}  conc {concurrency:>3}  "
+        f"{row['ops_per_sec']:>8.0f} ops/s  "
+        f"p50 {row['p50_ms']:>7.2f}ms  p99 {row['p99_ms']:>7.2f}ms  "
+        f"mean batch {row['mean_batch_size']:.1f}  "
+        f"evictions {row['evictions']}",
+        flush=True,
+    )
+    return row
+
+
+async def _run_bench(args) -> Dict:
+    key_counts = [int(k) for k in args.keys_grid.split(",") if k.strip()]
+    results = []
+    print(
+        f"keystore routing: {args.params} on {args.backend}, "
+        f"concurrency {args.concurrency}, {args.requests} requests/cell"
+    )
+    # Baseline: the pre-keystore single window.
+    results.append(
+        await _measure_cell(
+            args.params,
+            args.backend,
+            args.seed,
+            keys=0,
+            hot_capacity=max(key_counts),
+            concurrency=args.concurrency,
+            requests=args.requests,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    )
+    # One window per key: the coalescer fragmentation cost.
+    for keys in key_counts:
+        results.append(
+            await _measure_cell(
+                args.params,
+                args.backend,
+                args.seed,
+                keys=keys,
+                hot_capacity=max(key_counts),
+                concurrency=args.concurrency,
+                requests=args.requests,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+            )
+        )
+    # Eviction pressure: many keys through a tiny hot cache.
+    thrash_keys = max(key_counts)
+    if thrash_keys >= 4:
+        results.append(
+            await _measure_cell(
+                args.params,
+                args.backend,
+                args.seed,
+                keys=thrash_keys,
+                hot_capacity=2,
+                concurrency=args.concurrency,
+                requests=args.requests,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+            )
+        )
+
+    baseline = results[0]["ops_per_sec"]
+    comparisons = [
+        {
+            "keys": row["keys"],
+            "hot_capacity": row["hot_capacity"],
+            "ops_per_sec": row["ops_per_sec"],
+            "vs_single_window": (
+                row["ops_per_sec"] / baseline if baseline > 0 else 0.0
+            ),
+        }
+        for row in results[1:]
+    ]
+    return {
+        "benchmark": "keystore_routing",
+        "version": __version__,
+        "params": args.params,
+        "backend": args.backend,
+        "cpus": os.cpu_count(),
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "seed": args.seed,
+        "results": results,
+        "comparisons": comparisons,
+    }
+
+
+# ----------------------------------------------------------------------
+# Smoke mode (a running server; the CI keystore-smoke job)
+# ----------------------------------------------------------------------
+async def _run_smoke(args) -> int:
+    host, port = args.host, args.port
+    if args.engine:
+        prefix = "tcp://"
+        if not args.engine.startswith(prefix):
+            raise SystemExit(
+                f"error: --engine must be tcp://host:port, "
+                f"got {args.engine!r}"
+            )
+        host, _, port_text = args.engine[len(prefix) :].rpartition(":")
+        port = int(port_text)
+
+    client = await connect_with_retry(host, port, args.connect_timeout)
+    try:
+        names = [f"smoke-{i}" for i in range(args.keys)]
+        for name in names:
+            await client.create_key(name)
+        generations = {name: 0 for name in names}
+        counters = {"ok": 0, "stale_retries": 0, "dropped": 0}
+        rotations = []
+        loop = asyncio.get_running_loop()
+        stop_at = loop.time() + args.duration
+
+        async def worker(index: int) -> None:
+            step = index
+            while loop.time() < stop_at:
+                name = names[step % len(names)]
+                step += 1
+                # Pin whatever generation we currently believe in; a
+                # stale rejection re-pins and retries — the op is
+                # *retried*, never dropped.
+                for _ in range(10):
+                    generation = generations[name]
+                    try:
+                        await client.key_encrypt(
+                            name, generation, PAYLOAD
+                        )
+                        counters["ok"] += 1
+                        break
+                    except ServiceError as exc:
+                        if (
+                            exc.status
+                            != STATUS_STALE_KEY_GENERATION
+                        ):
+                            counters["dropped"] += 1
+                            break
+                        counters["stale_retries"] += 1
+                        current, _ = await client.key_public_key(name)
+                        generations[name] = max(
+                            generations[name], current
+                        )
+                    except (ConnectionError, OSError):
+                        counters["dropped"] += 1
+                        break
+                else:
+                    counters["dropped"] += 1
+
+        async def rotator() -> None:
+            turn = 0
+            while loop.time() + args.rotate_every < stop_at:
+                await asyncio.sleep(args.rotate_every)
+                name = names[turn % len(names)]
+                turn += 1
+                info = await client.rotate_key(name)
+                generations[name] = max(
+                    generations[name], info["generation"]
+                )
+                rotations.append((name, info["generation"]))
+
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(worker(i) for i in range(args.concurrency)), rotator()
+        )
+        wall = time.perf_counter() - started
+
+        listing = await client.list_keys()
+        stats = await client.stats()
+    finally:
+        await client.close()
+
+    by_name = {info["name"]: info for info in listing}
+    print(
+        f"keystore smoke: {counters['ok']} ops ok "
+        f"({counters['ok'] / wall:.0f} ops/s), "
+        f"{len(rotations)} rotation(s), "
+        f"{counters['stale_retries']} stale retr{'y' if counters['stale_retries'] == 1 else 'ies'}, "
+        f"{counters['dropped']} dropped"
+    )
+    for name, generation in rotations:
+        observed = by_name[name]["generation"]
+        assert observed >= generation, (
+            f"{name} listed at generation {observed} < rotated "
+            f"{generation}"
+        )
+    print(
+        "generations after rotation:",
+        {
+            info["name"]: info["generation"]
+            for info in listing
+            if info["name"]
+        },
+    )
+    executor = stats.get("executor", {})
+    if executor.get("kind") == "pool":
+        print(
+            f"pool: {executor['alive']}/{executor['workers']} workers, "
+            f"{executor['key_installs']} key install(s), "
+            f"{executor['key_refetches']} refetch(es)"
+        )
+    if counters["ok"] == 0:
+        print("error: no operation completed", file=sys.stderr)
+        return 1
+    if len(rotations) == 0:
+        print("error: no rotation landed mid-load", file=sys.stderr)
+        return 1
+    if counters["dropped"]:
+        print(
+            f"error: {counters['dropped']} operation(s) dropped",
+            file=sys.stderr,
+        )
+        return 1
+    print("zero dropped ops — smoke OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="keystore routing benchmark / rotation smoke"
+    )
+    parser.add_argument("--params", default="P1")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="default: numpy when available, else python-reference",
+    )
+    parser.add_argument(
+        "--keys-grid",
+        default="1,2,4,8",
+        help="comma-separated named-key counts (bench mode)",
+    )
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid for CI (keys 1,4; fewer requests)",
+    )
+    # Smoke mode
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="drive a running server: rotate under load, fail on drops",
+    )
+    parser.add_argument("--engine", default=None)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8470)
+    parser.add_argument("--keys", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=6.0)
+    parser.add_argument("--rotate-every", type=float, default=1.0)
+    parser.add_argument("--connect-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return asyncio.run(_run_smoke(args))
+
+    if args.backend is None:
+        args.backend = (
+            "numpy"
+            if available_backends().get("numpy")
+            else "python-reference"
+        )
+    if args.quick:
+        args.keys_grid = "1,4"
+        args.requests = min(args.requests, 128)
+    report = asyncio.run(_run_bench(args))
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Multi-tenant keystore walkthrough: named keys, rotation, isolation.
+
+One server (or in-process engine) serves many tenants, each under its
+own named keypair with an independent lifecycle:
+
+1. create keys for three tenants and take pinned handles;
+2. serve per-tenant traffic — ciphertexts and KEM blobs never cross
+   tenants (the key-confirmation tag rejects them);
+3. rotate one tenant's key mid-stream and watch the stale pinned
+   handle fail with a *typed* error until it refreshes;
+4. retire a tenant and list what is left.
+
+Decryption failures — a real ~1% property of these 2015-era
+parameters, independent of the keystore — surface as
+:class:`repro.DecryptionError` and are retried, exactly like
+``kem_handshake.py``.
+
+The engine string is the only knob: run the same lifecycle on a worker
+pool or a live server.
+
+    python examples/multi_tenant.py                       # local engine
+    python examples/multi_tenant.py --engine pool:2       # worker pool
+    python examples/multi_tenant.py --engine tcp://host:8470
+"""
+
+import argparse
+import sys
+
+from repro import P1, RlweSession
+from repro.api import (
+    DecryptionError,
+    KeyNotFoundError,
+    StaleKeyGenerationError,
+)
+
+TENANTS = ("acme", "globex", "initech")
+
+
+def transport_secret(handle, attempts=5):
+    """One KEM handshake under ``handle``, retrying decryption failures."""
+    for attempt in range(1, attempts + 1):
+        session_key, encapsulation = handle.encapsulate()
+        try:
+            assert handle.decapsulate(encapsulation) == session_key
+            return session_key, encapsulation
+        except DecryptionError:
+            print(
+                f"attempt {attempt}: decryption failure detected "
+                f"(expected at ~1% per ciphertext); retrying"
+            )
+    raise SystemExit("error: persistent decryption failures")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        default="local",
+        help="local (default), pool[:N], or tcp://host:port",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args()
+
+    with RlweSession.open(
+        args.engine, params=P1, seed=args.seed
+    ) as session:
+        print(f"--- one {session.engine} engine, many tenants\n")
+
+        # 1. Each tenant gets a named key; handles pin a generation.
+        handles = {}
+        for tenant in TENANTS:
+            info = session.create_key(tenant)
+            handles[tenant] = session.key(tenant)
+            print(
+                f"created key {tenant!r} "
+                f"(generation {info.generation}, {info.params})"
+            )
+
+        # 2. Per-tenant traffic: same session, different keys.
+        print()
+        for tenant, handle in handles.items():
+            message = f"{tenant}: quarterly numbers".encode()
+            for _ in range(5):  # ~1% natural decryption failures
+                ciphertext = handle.encrypt(message)
+                recovered = handle.decrypt(
+                    ciphertext, length=len(message)
+                )
+                if recovered == message:
+                    break
+            assert recovered == message
+            print(
+                f"{tenant:<8} encrypt/decrypt roundtrip OK "
+                f"({len(ciphertext)}-byte wire ciphertext)"
+            )
+
+        # Tenant isolation: a KEM blob for acme is garbage to globex.
+        session_key, encapsulation = transport_secret(handles["acme"])
+        try:
+            handles["globex"].decapsulate(encapsulation)
+        except DecryptionError:
+            print(
+                "\nglobex cannot decapsulate acme's blob "
+                "(key confirmation rejects it) — tenants are isolated"
+            )
+
+        # 3. Rotation: the old pinned handle fails *typed*, then
+        #    refreshes onto the new generation.
+        stale_handle = handles["acme"]
+        info = session.rotate_key("acme")
+        print(
+            f"\nrotated {info.name!r} to generation {info.generation}"
+        )
+        try:
+            stale_handle.encrypt(b"after rotation")
+        except StaleKeyGenerationError as exc:
+            print(f"stale handle rejected: {exc}")
+        stale_handle.refresh()
+        for _ in range(5):
+            ciphertext = stale_handle.encrypt(b"fresh generation")
+            recovered = stale_handle.decrypt(ciphertext, length=16)
+            if recovered == b"fresh generation":
+                break
+        assert recovered == b"fresh generation"
+        print(
+            f"refreshed handle serves generation "
+            f"{stale_handle.generation} OK"
+        )
+
+        # 4. Retirement ends a tenant's service.
+        session.retire_key("initech")
+        try:
+            handles["initech"].encrypt(b"too late")
+        except KeyNotFoundError:
+            print("\nretired key 'initech' no longer serves")
+
+        print("\nfinal keystore state:")
+        for info in session.list_keys():
+            name = info.name if info.name else "(default)"
+            print(
+                f"  {name:<10} generation {info.generation}  "
+                f"{info.state}"
+            )
+    print("\nmulti-tenant lifecycle OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

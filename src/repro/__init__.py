@@ -92,12 +92,17 @@ __all__ = [
     # Session facade (lazy — see __getattr__):
     "RlweSession",
     "AsyncRlweSession",
+    "KeyHandle",
+    "AsyncKeyHandle",
+    "KeyInfo",
     "RlweError",
     "WireFormatError",
     "CapacityError",
     "DecryptionError",
     "EngineUnavailableError",
     "SessionClosedError",
+    "KeyNotFoundError",
+    "StaleKeyGenerationError",
     "RemoteError",
 ]
 
@@ -107,12 +112,17 @@ _API_EXPORTS = frozenset(
     [
         "RlweSession",
         "AsyncRlweSession",
+        "KeyHandle",
+        "AsyncKeyHandle",
+        "KeyInfo",
         "RlweError",
         "WireFormatError",
         "CapacityError",
         "DecryptionError",
         "EngineUnavailableError",
         "SessionClosedError",
+        "KeyNotFoundError",
+        "StaleKeyGenerationError",
         "RemoteError",
     ]
 )

@@ -23,24 +23,35 @@ from repro.api.errors import (
     CapacityError,
     DecryptionError,
     EngineUnavailableError,
+    KeyNotFoundError,
     RemoteError,
     RlweError,
     SessionClosedError,
+    StaleKeyGenerationError,
     WireFormatError,
     error_from_service,
     error_from_status,
 )
-from repro.api.session import AsyncRlweSession, RlweSession
+from repro.api.session import (
+    AsyncKeyHandle,
+    AsyncRlweSession,
+    KeyHandle,
+    RlweSession,
+)
 from repro.api.transports import (
     LocalTransport,
     PoolTransport,
     RemoteTransport,
     Transport,
 )
+from repro.keystore import KeyInfo
 
 __all__ = [
     "AsyncRlweSession",
     "RlweSession",
+    "AsyncKeyHandle",
+    "KeyHandle",
+    "KeyInfo",
     "EngineSpec",
     "parse_engine",
     "Transport",
@@ -53,6 +64,8 @@ __all__ = [
     "DecryptionError",
     "EngineUnavailableError",
     "SessionClosedError",
+    "KeyNotFoundError",
+    "StaleKeyGenerationError",
     "RemoteError",
     "error_from_status",
     "error_from_service",

@@ -33,6 +33,14 @@ facade speaks, whatever transport is underneath:
     or lost, dead worker pool, engine shut down.
 ``SessionClosedError``
     The session was used after ``close()``.
+``KeyNotFoundError``
+    A key-addressed request named a key that does not exist — never
+    created, retired, or a keystore with no default key.  Also a
+    :exc:`LookupError`, the builtin family for failed lookups.
+``StaleKeyGenerationError``
+    A key-addressed request pinned a generation its key has rotated
+    past.  The recovery is client-side: re-pin (``handle.refresh()``
+    on the facade) and retry under the current generation.
 ``RemoteError``
     An error the peer reported that fits no narrower class (the
     catch-all for ``internal_error`` responses).
@@ -54,6 +62,8 @@ from repro.service.protocol import (
     STATUS_BAD_REQUEST,
     STATUS_DECAPSULATION_FAILED,
     STATUS_INTERNAL_ERROR,
+    STATUS_KEY_NOT_FOUND,
+    STATUS_STALE_KEY_GENERATION,
     ServiceError,
 )
 
@@ -64,6 +74,8 @@ __all__ = [
     "DecryptionError",
     "EngineUnavailableError",
     "SessionClosedError",
+    "KeyNotFoundError",
+    "StaleKeyGenerationError",
     "RemoteError",
     "error_from_status",
     "error_from_service",
@@ -92,6 +104,14 @@ class EngineUnavailableError(RlweError):
 
 class SessionClosedError(RlweError):
     """The session was used after being closed."""
+
+
+class KeyNotFoundError(RlweError, LookupError):
+    """The named key does not exist (never created, or retired)."""
+
+
+class StaleKeyGenerationError(RlweError):
+    """The request pinned a generation its key has rotated past."""
 
 
 class RemoteError(RlweError):
@@ -123,6 +143,10 @@ def error_from_status(status: int, message: str) -> RlweError:
     """
     if status == STATUS_DECAPSULATION_FAILED:
         return DecryptionError(message)
+    if status == STATUS_KEY_NOT_FOUND:
+        return KeyNotFoundError(message)
+    if status == STATUS_STALE_KEY_GENERATION:
+        return StaleKeyGenerationError(message)
     if status == STATUS_BAD_REQUEST:
         if any(marker in message for marker in _CAPACITY_MARKERS):
             return CapacityError(message)

@@ -60,6 +60,7 @@ from repro.api.errors import (
     CapacityError,
     EngineUnavailableError,
     SessionClosedError,
+    WireFormatError,
 )
 from repro.api.transports import (
     LocalTransport,
@@ -71,6 +72,7 @@ from repro.core import serialize
 from repro.core.kem import SECRET_BYTES
 from repro.core.params import P1, ParameterSet
 from repro.core.scheme import PublicKey, RlweEncryptionScheme
+from repro.keystore import KeyInfo, KeyStore
 from repro.service.client import (
     RlweServiceClient,
     split_encapsulation,
@@ -78,15 +80,29 @@ from repro.service.client import (
 )
 from repro.service.executor import OpRunner, pool_executor_for, serving_seed
 from repro.service.protocol import (
+    GENERATION_CURRENT,
     OP_DECAPSULATE,
     OP_DECRYPT,
     OP_ENCAPSULATE,
     OP_ENCRYPT,
+    validate_key_name,
 )
 from repro.trng.bitsource import PrngBitSource
 from repro.trng.xorshift import Xorshift128
 
-__all__ = ["AsyncRlweSession", "RlweSession"]
+__all__ = [
+    "AsyncKeyHandle",
+    "AsyncRlweSession",
+    "KeyHandle",
+    "RlweSession",
+]
+
+#: Facade-default deadlines for remote engines (seconds).  The raw
+#: :class:`~repro.service.client.RlweServiceClient` defaults to no
+#: deadline; sessions default to finite ones so a wedged peer fails
+#: typed instead of hanging forever.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+DEFAULT_REQUEST_TIMEOUT = 120.0
 
 
 def _seeded_scheme(
@@ -135,28 +151,45 @@ class AsyncRlweSession:
         params: Optional[ParameterSet] = None,
         seed: int = 0,
         backend=None,
+        hot_keys: int = 8,
+        connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ) -> "AsyncRlweSession":
         """Open a session on ``engine`` (``local``/``pool[:N]``/``tcp://``).
 
         ``params``/``seed``/``backend`` configure local and pooled
         engines (the session generates its keypair from stream ``seed``
         and serves from the domain-separated ``serving_seed(seed)``
-        stream, exactly like ``rlwe-repro serve --seed``).  A remote
+        stream, exactly like ``rlwe-repro serve --seed``; named keys
+        derive from the same keystore tree a ``--seed seed`` server
+        uses, with ``hot_keys`` materialized keys resident).  A remote
         engine's parameters and keys belong to the server; ``params``
-        then acts as an assertion — a mismatch fails the open — and
-        ``seed``/``backend`` are ignored.
+        then acts as an assertion — a mismatch fails the open —
+        ``seed``/``backend``/``hot_keys`` are ignored, and
+        ``connect_timeout``/``request_timeout`` bound the TCP
+        handshake and each in-flight request (``None`` disables one).
         """
         spec = parse_engine(engine)
         if spec.kind == "remote":
-            return await cls._open_remote(spec, params)
+            return await cls._open_remote(
+                spec, params, connect_timeout, request_timeout
+            )
         if params is None:
             params = P1
         keypair = _seeded_scheme(params, seed, backend).generate_keypair()
         serving = _seeded_scheme(params, serving_seed(seed), backend)
         public_bytes = serialize.serialize_public_key(keypair.public)
+        keystore = KeyStore(
+            params,
+            seed=seed,
+            backend=backend,
+            hot_capacity=hot_keys,
+            default_keypair=keypair,
+        )
         if spec.kind == "local":
             transport: Transport = LocalTransport(
-                OpRunner(serving, keypair, direct=False)
+                OpRunner(serving, keypair, direct=False),
+                keystore=keystore,
             )
         else:
             executor = pool_executor_for(
@@ -166,7 +199,9 @@ class AsyncRlweSession:
                 workers=spec.workers,
                 direct=False,
             )
-            transport = PoolTransport(executor, public_bytes)
+            transport = PoolTransport(
+                executor, public_bytes, keystore=keystore
+            )
         try:
             await transport.start()
         except BaseException:
@@ -178,10 +213,19 @@ class AsyncRlweSession:
 
     @classmethod
     async def _open_remote(
-        cls, spec: EngineSpec, params: Optional[ParameterSet]
+        cls,
+        spec: EngineSpec,
+        params: Optional[ParameterSet],
+        connect_timeout: Optional[float],
+        request_timeout: Optional[float],
     ) -> "AsyncRlweSession":
         try:
-            client = await RlweServiceClient.connect(spec.host, spec.port)
+            client = await RlweServiceClient.connect(
+                spec.host,
+                spec.port,
+                connect_timeout=connect_timeout,
+                request_timeout=request_timeout,
+            )
         except OSError as exc:
             raise EngineUnavailableError(
                 f"cannot connect to {spec.label}: {exc}"
@@ -339,6 +383,81 @@ class AsyncRlweSession:
         return await self._run("decapsulate", OP_DECAPSULATE, bodies)
 
     # ------------------------------------------------------------------
+    # Named keys (the multi-tenant keystore)
+    # ------------------------------------------------------------------
+    def _checked_key_name(self, name: str) -> str:
+        # Validate before any transport round trip, so a bad name
+        # raises the same typed error on every engine.
+        try:
+            return validate_key_name(name)
+        except ValueError as exc:
+            raise WireFormatError(str(exc)) from None
+
+    async def create_key(self, name: str) -> KeyInfo:
+        """Create named key ``name`` on this session's engine."""
+        self._check_open()
+        return KeyInfo.from_dict(
+            await self._transport.key_admin(
+                "create", self._checked_key_name(name)
+            )
+        )
+
+    async def rotate_key(self, name: str) -> KeyInfo:
+        """Advance ``name`` to its next generation.
+
+        Handles still pinned to the old generation raise
+        :class:`~repro.api.errors.StaleKeyGenerationError` until
+        refreshed.
+        """
+        self._check_open()
+        return KeyInfo.from_dict(
+            await self._transport.key_admin(
+                "rotate", self._checked_key_name(name)
+            )
+        )
+
+    async def retire_key(self, name: str) -> KeyInfo:
+        """Retire ``name``; later use raises ``KeyNotFoundError``."""
+        self._check_open()
+        return KeyInfo.from_dict(
+            await self._transport.key_admin(
+                "retire", self._checked_key_name(name)
+            )
+        )
+
+    async def list_keys(self) -> List[KeyInfo]:
+        """Every key the engine holds (the default key listed first)."""
+        self._check_open()
+        return [
+            KeyInfo.from_dict(info)
+            for info in await self._transport.list_keys()
+        ]
+
+    async def key(self, name: str) -> "AsyncKeyHandle":
+        """A handle on named key ``name``, pinned to its current
+        generation; create the key first with :meth:`create_key`."""
+        self._check_open()
+        self._checked_key_name(name)
+        generation, public_bytes = await self._transport.fetch_key_public(
+            name, GENERATION_CURRENT
+        )
+        return AsyncKeyHandle(self, name, generation, public_bytes)
+
+    async def _run_keyed(
+        self,
+        op_name: str,
+        opcode: int,
+        key_name: str,
+        generation: int,
+        bodies: List[bytes],
+    ) -> List[bytes]:
+        self._check_open()
+        self._op_items[op_name] += len(bodies)
+        return await self._transport.run_keyed(
+            opcode, key_name, generation, bodies
+        )
+
+    # ------------------------------------------------------------------
     async def _run(
         self, name: str, opcode: int, bodies: List[bytes]
     ) -> List[bytes]:
@@ -371,6 +490,160 @@ class AsyncRlweSession:
                 f"{self._params.message_bytes} bytes per ciphertext; "
                 f"the KEM needs {SECRET_BYTES}"
             )
+
+
+# ----------------------------------------------------------------------
+# Key handles
+# ----------------------------------------------------------------------
+class AsyncKeyHandle:
+    """One named key at one pinned generation, with the session's ops.
+
+    Obtained via :meth:`AsyncRlweSession.key`.  Every operation is
+    pinned to the generation captured when the handle was created (or
+    last :meth:`refresh`\\ ed): after the key rotates — by this handle's
+    :meth:`rotate`, another session, or an operator on a shared server
+    — operations raise
+    :class:`~repro.api.errors.StaleKeyGenerationError` until the
+    handle re-pins.  That makes rotation *observable* instead of
+    silent: a tenant never keeps encrypting under a key it believes is
+    older than it is.
+    """
+
+    def __init__(
+        self,
+        session: AsyncRlweSession,
+        name: str,
+        generation: int,
+        public_key_bytes: bytes,
+    ):
+        self._session = session
+        self._name = name
+        self._generation = generation
+        self._public_key_bytes = public_key_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncKeyHandle {self._name!r}@{self._generation} "
+            f"on {self._session.engine}>"
+        )
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def generation(self) -> int:
+        """The generation this handle's operations are pinned to."""
+        return self._generation
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        """The pinned generation's public key (wire format)."""
+        return self._public_key_bytes
+
+    # ------------------------------------------------------------------
+    async def refresh(self) -> "AsyncKeyHandle":
+        """Re-pin to the key's current generation; returns ``self``."""
+        generation, public_bytes = (
+            await self._session._transport.fetch_key_public(
+                self._name, GENERATION_CURRENT
+            )
+        )
+        self._generation = generation
+        self._public_key_bytes = public_bytes
+        return self
+
+    async def rotate(self) -> "AsyncKeyHandle":
+        """Rotate the key and re-pin this handle to the new generation."""
+        await self._session.rotate_key(self._name)
+        return await self.refresh()
+
+    async def info(self) -> KeyInfo:
+        """The key's current metadata (not necessarily the pinned gen)."""
+        for info in await self._session.list_keys():
+            if info.name == self._name:
+                return info
+        # list/lookup race (e.g. the key was retired and the server
+        # prunes listings): surface it as the typed lookup failure.
+        from repro.api.errors import KeyNotFoundError
+
+        raise KeyNotFoundError(f"key {self._name!r} does not exist")
+
+    # ------------------------------------------------------------------
+    # Operations — the session surface, addressed to this key
+    # ------------------------------------------------------------------
+    async def encrypt(self, message: bytes) -> bytes:
+        body = self._session._check_message(message)
+        (ct,) = await self._run(OP_ENCRYPT, "encrypt", [body])
+        return ct
+
+    async def encrypt_many(
+        self, messages: Iterable[bytes]
+    ) -> List[bytes]:
+        bodies = [self._session._check_message(m) for m in messages]
+        if not bodies:
+            return []
+        return await self._run(OP_ENCRYPT, "encrypt", bodies)
+
+    async def decrypt(
+        self, ciphertext: bytes, length: Optional[int] = None
+    ) -> bytes:
+        (plain,) = await self._run(
+            OP_DECRYPT, "decrypt", [bytes(ciphertext)]
+        )
+        return trim_plaintext(plain, length)
+
+    async def decrypt_many(
+        self,
+        ciphertexts: Iterable[bytes],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        bodies = [bytes(ct) for ct in ciphertexts]
+        if not bodies:
+            return []
+        plains = await self._run(OP_DECRYPT, "decrypt", bodies)
+        return [trim_plaintext(plain, length) for plain in plains]
+
+    async def encapsulate(self) -> Tuple[bytes, bytes]:
+        self._session._check_kem()
+        (body,) = await self._run(OP_ENCAPSULATE, "encapsulate", [b""])
+        return split_encapsulation(body)
+
+    async def encapsulate_many(
+        self, count: int
+    ) -> List[Tuple[bytes, bytes]]:
+        self._session._check_kem()
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        bodies = await self._run(
+            OP_ENCAPSULATE, "encapsulate", [b""] * count
+        )
+        return [split_encapsulation(body) for body in bodies]
+
+    async def decapsulate(self, encapsulation: bytes) -> bytes:
+        self._session._check_kem()
+        (key,) = await self._run(
+            OP_DECAPSULATE, "decapsulate", [bytes(encapsulation)]
+        )
+        return key
+
+    async def decapsulate_many(
+        self, encapsulations: Iterable[bytes]
+    ) -> List[bytes]:
+        self._session._check_kem()
+        bodies = [bytes(cap) for cap in encapsulations]
+        if not bodies:
+            return []
+        return await self._run(OP_DECAPSULATE, "decapsulate", bodies)
+
+    async def _run(
+        self, opcode: int, op_name: str, bodies: List[bytes]
+    ) -> List[bytes]:
+        return await self._session._run_keyed(
+            op_name, opcode, self._name, self._generation, bodies
+        )
 
 
 # ----------------------------------------------------------------------
@@ -422,13 +695,22 @@ class RlweSession:
         params: Optional[ParameterSet] = None,
         seed: int = 0,
         backend=None,
+        hot_keys: int = 8,
+        connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ) -> "RlweSession":
         """Synchronous :meth:`AsyncRlweSession.open`; same semantics."""
         runner = _LoopRunner()
         try:
             inner = runner.run(
                 AsyncRlweSession.open(
-                    engine, params=params, seed=seed, backend=backend
+                    engine,
+                    params=params,
+                    seed=seed,
+                    backend=backend,
+                    hot_keys=hot_keys,
+                    connect_timeout=connect_timeout,
+                    request_timeout=request_timeout,
                 )
             )
         except BaseException:
@@ -525,5 +807,101 @@ class RlweSession:
         self, encapsulations: Iterable[bytes]
     ) -> List[bytes]:
         return self._call(
+            self._inner.decapsulate_many(list(encapsulations))
+        )
+
+    # ------------------------------------------------------------------
+    # Named keys
+    # ------------------------------------------------------------------
+    def create_key(self, name: str) -> KeyInfo:
+        return self._call(self._inner.create_key(name))
+
+    def rotate_key(self, name: str) -> KeyInfo:
+        return self._call(self._inner.rotate_key(name))
+
+    def retire_key(self, name: str) -> KeyInfo:
+        return self._call(self._inner.retire_key(name))
+
+    def list_keys(self) -> List[KeyInfo]:
+        return self._call(self._inner.list_keys())
+
+    def key(self, name: str) -> "KeyHandle":
+        """A synchronous handle on named key ``name``."""
+        return KeyHandle(self, self._call(self._inner.key(name)))
+
+
+class KeyHandle:
+    """Synchronous twin of :class:`AsyncKeyHandle` — same pinned core."""
+
+    def __init__(self, session: RlweSession, inner: AsyncKeyHandle):
+        self._session = session
+        self._inner = inner
+
+    def __repr__(self) -> str:
+        return (
+            f"<KeyHandle {self.name!r}@{self.generation} "
+            f"on {self._session.engine}>"
+        )
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def generation(self) -> int:
+        return self._inner.generation
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        return self._inner.public_key_bytes
+
+    def refresh(self) -> "KeyHandle":
+        self._session._call(self._inner.refresh())
+        return self
+
+    def rotate(self) -> "KeyHandle":
+        self._session._call(self._inner.rotate())
+        return self
+
+    def info(self) -> KeyInfo:
+        return self._session._call(self._inner.info())
+
+    def encrypt(self, message: bytes) -> bytes:
+        return self._session._call(self._inner.encrypt(message))
+
+    def encrypt_many(self, messages: Iterable[bytes]) -> List[bytes]:
+        return self._session._call(
+            self._inner.encrypt_many(list(messages))
+        )
+
+    def decrypt(
+        self, ciphertext: bytes, length: Optional[int] = None
+    ) -> bytes:
+        return self._session._call(
+            self._inner.decrypt(ciphertext, length)
+        )
+
+    def decrypt_many(
+        self,
+        ciphertexts: Iterable[bytes],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        return self._session._call(
+            self._inner.decrypt_many(list(ciphertexts), length)
+        )
+
+    def encapsulate(self) -> Tuple[bytes, bytes]:
+        return self._session._call(self._inner.encapsulate())
+
+    def encapsulate_many(self, count: int) -> List[Tuple[bytes, bytes]]:
+        return self._session._call(self._inner.encapsulate_many(count))
+
+    def decapsulate(self, encapsulation: bytes) -> bytes:
+        return self._session._call(self._inner.decapsulate(encapsulation))
+
+    def decapsulate_many(
+        self, encapsulations: Iterable[bytes]
+    ) -> List[bytes]:
+        return self._session._call(
             self._inner.decapsulate_many(list(encapsulations))
         )

@@ -29,7 +29,7 @@ is what makes exception-type parity across transports structural.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.errors import (
     EngineUnavailableError,
@@ -37,9 +37,16 @@ from repro.api.errors import (
     error_from_status,
 )
 from repro.core import serialize
+from repro.keystore import KeyStore
 from repro.service.client import RlweServiceClient
 from repro.service.executor import OpRunner, WorkerPoolExecutor
-from repro.service.protocol import STATUS_OK, ServiceError
+from repro.service.protocol import (
+    BASE_TO_KEYED,
+    GENERATION_CURRENT,
+    STATUS_OK,
+    ServiceError,
+    encode_key_ref,
+)
 
 __all__ = [
     "Transport",
@@ -48,9 +55,20 @@ __all__ = [
     "RemoteTransport",
 ]
 
+#: Key-admin actions a transport must support, by wire name.
+KEY_ADMIN_ACTIONS = ("create", "rotate", "retire")
+
 
 class Transport:
-    """Executes opcode-addressed body batches; see the module docstring."""
+    """Executes opcode-addressed body batches; see the module docstring.
+
+    The keystore surface mirrors the service wire ops: ``run_keyed``
+    executes one batch under one pinned ``(name, generation)``,
+    ``key_admin`` drives the create/rotate/retire lifecycle, and both
+    in-process transports own a real
+    :class:`~repro.keystore.KeyStore` while the remote transport
+    forwards to the server's.
+    """
 
     kind = "abstract"
 
@@ -64,6 +82,30 @@ class Transport:
         """Execute one batch; results in order, typed error on failure."""
         raise NotImplementedError
 
+    async def run_keyed(
+        self,
+        opcode: int,
+        name: str,
+        generation: int,
+        bodies: Sequence[bytes],
+    ) -> List[bytes]:
+        """Like :meth:`run`, under the named key's pinned generation."""
+        raise NotImplementedError
+
+    async def key_admin(self, action: str, name: str) -> Dict:
+        """``create`` / ``rotate`` / ``retire`` one key; its info dict."""
+        raise NotImplementedError
+
+    async def list_keys(self) -> List[Dict]:
+        """Every key slot's info dict (default first)."""
+        raise NotImplementedError
+
+    async def fetch_key_public(
+        self, name: str, generation: int = GENERATION_CURRENT
+    ) -> Tuple[int, bytes]:
+        """``(resolved generation, serialized public key)`` for a key."""
+        raise NotImplementedError
+
     async def fetch_public_key(self) -> bytes:
         """The serialized public key this transport's ops are keyed to."""
         raise NotImplementedError
@@ -71,6 +113,53 @@ class Transport:
     async def stats(self) -> Dict:
         """Engine-side counters."""
         raise NotImplementedError
+
+
+class _StoreAdmin:
+    """Shared key-admin/material logic for keystore-owning transports."""
+
+    keystore: Optional[KeyStore]
+
+    def _store(self) -> KeyStore:
+        if self.keystore is None:
+            raise EngineUnavailableError(
+                f"the {self.kind} transport was built without a keystore"
+            )
+        return self.keystore
+
+    async def key_admin(self, action: str, name: str) -> Dict:
+        store = self._store()
+        try:
+            if action == "create":
+                return store.create(name).to_dict()
+            if action == "rotate":
+                return store.rotate(name).to_dict()
+            if action == "retire":
+                return store.retire(name).to_dict()
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        raise ValueError(
+            f"unknown key action {action!r}; expected one of "
+            f"{KEY_ADMIN_ACTIONS}"
+        )
+
+    async def list_keys(self) -> List[Dict]:
+        return [info.to_dict() for info in self._store().list()]
+
+    async def fetch_key_public(
+        self, name: str, generation: int = GENERATION_CURRENT
+    ) -> Tuple[int, bytes]:
+        try:
+            material = self._store().materialize(name, generation)
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        return material.generation, material.public_bytes
+
+    def _materialize(self, name: str, generation: int):
+        try:
+            return self._store().materialize(name, generation)
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
 
 
 def _raise_or_collect(
@@ -85,13 +174,16 @@ def _raise_or_collect(
     return out
 
 
-class LocalTransport(Transport):
+class LocalTransport(_StoreAdmin, Transport):
     """Direct in-process execution through the shared OpRunner core."""
 
     kind = "local"
 
-    def __init__(self, runner: OpRunner):
+    def __init__(
+        self, runner: OpRunner, keystore: Optional[KeyStore] = None
+    ):
         self.runner = runner
+        self.keystore = keystore
         self._batches = 0
         self._items = 0
 
@@ -104,25 +196,52 @@ class LocalTransport(Transport):
             raise error_from_service(exc) from None
         return _raise_or_collect(results)
 
+    async def run_keyed(
+        self,
+        opcode: int,
+        name: str,
+        generation: int,
+        bodies: Sequence[bytes],
+    ) -> List[bytes]:
+        material = self._materialize(name, generation)
+        self._batches += 1
+        self._items += len(bodies)
+        try:
+            results = self.runner.run(
+                opcode, bodies, keypair=material.keypair
+            )
+        except ServiceError as exc:  # KEM-capability guard
+            raise error_from_service(exc) from None
+        return _raise_or_collect(results)
+
     async def fetch_public_key(self) -> bytes:
         return serialize.serialize_public_key(self.runner.keypair.public)
 
     async def stats(self) -> Dict:
-        return {
+        stats = {
             "kind": self.kind,
             "batches": self._batches,
             "items": self._items,
         }
+        if self.keystore is not None:
+            stats["keystore"] = self.keystore.stats()
+        return stats
 
 
-class PoolTransport(Transport):
+class PoolTransport(_StoreAdmin, Transport):
     """A worker-pool executor without the socket layer on top."""
 
     kind = "pool"
 
-    def __init__(self, executor: WorkerPoolExecutor, public_bytes: bytes):
+    def __init__(
+        self,
+        executor: WorkerPoolExecutor,
+        public_bytes: bytes,
+        keystore: Optional[KeyStore] = None,
+    ):
         self.executor = executor
         self._public_bytes = public_bytes
+        self.keystore = keystore
         self._closed = False
 
     async def start(self) -> None:
@@ -141,9 +260,11 @@ class PoolTransport(Transport):
         self._closed = True
         await self.executor.close()
 
-    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+    async def _run_batch(self, opcode, bodies, key=None) -> List[bytes]:
         try:
-            results = await self.executor.run_batch(opcode, bodies)
+            results = await self.executor.run_batch(
+                opcode, bodies, key=key
+            )
         except ServiceError as exc:
             raise error_from_service(exc) from None
         out = []
@@ -153,11 +274,27 @@ class PoolTransport(Transport):
             out.append(result)
         return out
 
+    async def run(self, opcode: int, bodies: Sequence[bytes]) -> List[bytes]:
+        return await self._run_batch(opcode, bodies)
+
+    async def run_keyed(
+        self,
+        opcode: int,
+        name: str,
+        generation: int,
+        bodies: Sequence[bytes],
+    ) -> List[bytes]:
+        material = self._materialize(name, generation)
+        return await self._run_batch(opcode, bodies, key=material)
+
     async def fetch_public_key(self) -> bytes:
         return self._public_bytes
 
     async def stats(self) -> Dict:
-        return self.executor.stats()
+        stats = self.executor.stats()
+        if self.keystore is not None:
+            stats["keystore"] = self.keystore.stats()
+        return stats
 
 
 class RemoteTransport(Transport):
@@ -196,6 +333,62 @@ class RemoteTransport(Transport):
                 raise result
             out.append(result)
         return out
+
+    async def run_keyed(
+        self,
+        opcode: int,
+        name: str,
+        generation: int,
+        bodies: Sequence[bytes],
+    ) -> List[bytes]:
+        ref = encode_key_ref(name, generation)
+        return await self.run(
+            BASE_TO_KEYED[opcode], [ref + body for body in bodies]
+        )
+
+    async def key_admin(self, action: str, name: str) -> Dict:
+        actions = {
+            "create": self.client.create_key,
+            "rotate": self.client.rotate_key,
+            "retire": self.client.retire_key,
+        }
+        try:
+            method = actions[action]
+        except KeyError:
+            raise ValueError(
+                f"unknown key action {action!r}; expected one of "
+                f"{KEY_ADMIN_ACTIONS}"
+            ) from None
+        try:
+            return await method(name)
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"connection to the service lost: {exc}"
+            ) from None
+
+    async def list_keys(self) -> List[Dict]:
+        try:
+            return await self.client.list_keys()
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"connection to the service lost: {exc}"
+            ) from None
+
+    async def fetch_key_public(
+        self, name: str, generation: int = GENERATION_CURRENT
+    ) -> Tuple[int, bytes]:
+        try:
+            return await self.client.key_public_key(name, generation)
+        except ServiceError as exc:
+            raise error_from_service(exc) from None
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"connection to the service lost: {exc}"
+            ) from None
 
     async def fetch_public_key(self) -> bytes:
         try:

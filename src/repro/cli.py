@@ -19,12 +19,19 @@ Subcommands
     facade's unified notation (the older ``--executor``/``--workers``
     pair still works): inline on the event loop, or a sharded
     multi-process worker pool.
+``keys``
+    Manage a running server's multi-tenant keystore:
+    ``keys create/rotate/retire <name>`` drive one named key's
+    lifecycle and ``keys list`` shows every slot with its generation
+    and state (``--json`` for machine-readable output).
 ``loadgen``
     Closed-/open-loop load generation against a running server
     (``--engine tcp://host:port`` or ``--host``/``--port``).
 ``stats``
-    One-shot dump of a running server's per-op batch/latency and
-    executor-shard counters (the wire ``stats`` op).
+    One-shot dump of a running server's per-op batch/latency counters
+    (default key plus per-key nesting), keystore counters, and
+    executor-shard counters (the wire ``stats`` op); ``--json`` prints
+    the raw JSON.
 ``smoke``
     The cross-transport equivalence check: opens
     :class:`~repro.api.RlweSession` instances on each listed engine
@@ -174,7 +181,54 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the CPU count)"
         ),
     )
+    serve.add_argument(
+        "--hot-keys",
+        type=int,
+        default=8,
+        help=(
+            "named keys kept materialized in the keystore's hot LRU "
+            "(evicted keys regenerate on demand from their derived "
+            "seeds)"
+        ),
+    )
     add_backend_flag(serve)
+
+    keys = sub.add_parser(
+        "keys",
+        help="manage a running server's named keys (multi-tenant keystore)",
+    )
+    keys_sub = keys.add_subparsers(dest="keys_command", required=True)
+
+    def add_endpoint_flags(command_parser) -> None:
+        command_parser.add_argument("--host", default="127.0.0.1")
+        command_parser.add_argument("--port", type=int, default=8470)
+        command_parser.add_argument(
+            "--engine",
+            default=None,
+            help="tcp://host:port of the server (overrides --host/--port)",
+        )
+        command_parser.add_argument(
+            "--connect-timeout",
+            type=float,
+            default=5.0,
+            help="seconds to retry the connection",
+        )
+        command_parser.add_argument(
+            "--json", action="store_true", help="print raw JSON instead"
+        )
+
+    for action, description in (
+        ("create", "create a named key at generation 0"),
+        ("rotate", "advance a named key to its next generation"),
+        ("retire", "retire a named key"),
+    ):
+        action_parser = keys_sub.add_parser(action, help=description)
+        action_parser.add_argument("name", help="the key name (tenant id)")
+        add_endpoint_flags(action_parser)
+    keys_list = keys_sub.add_parser(
+        "list", help="list every key slot with its generation and state"
+    )
+    add_endpoint_flags(keys_list)
 
     stats = sub.add_parser(
         "stats", help="dump a running server's live counters"
@@ -476,6 +530,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("error: --max-batch must be >= 1")
     if args.max_wait_ms < 0:
         raise SystemExit("error: --max-wait-ms must be >= 0")
+    if args.hot_keys < 1:
+        raise SystemExit("error: --hot-keys must be >= 1")
     if args.engine is not None:
         # The unified facade notation subsumes --executor/--workers.
         if args.executor is not None or args.workers is not None:
@@ -540,6 +596,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait=args.max_wait_ms / 1e3,
             keypair=keypair,
             executor=executor,
+            keystore_seed=base_seed,
+            hot_keys=args.hot_keys,
         )
         mode = (
             "direct single-message path (batching off)"
@@ -605,9 +663,27 @@ def _resolve_endpoint(args: argparse.Namespace) -> "tuple[str, int]":
     return spec.host, spec.port
 
 
+def _render_key_name(name: str) -> str:
+    """The default key's empty name, made visible."""
+    return name if name else "(default)"
+
+
+def render_key_list(keys: "list[dict]") -> str:
+    """Human-readable table of list_keys infos."""
+    lines = [f"{'NAME':<22} {'GEN':>5}  {'STATE':<8} {'PARAMS':<7} HOT"]
+    for info in keys:
+        lines.append(
+            f"{_render_key_name(info['name']):<22} "
+            f"{int(info['generation']):>5}  "
+            f"{info['state']:<8} {info['params']:<7} "
+            f"{'yes' if info['hot'] else 'no'}"
+        )
+    return "\n".join(lines)
+
+
 def render_stats(stats: dict) -> str:
     """Human-readable dump of the server's stats response."""
-    lines = ["per-op coalescing:"]
+    lines = ["per-op coalescing (default key):"]
     for name, op in stats.get("ops", {}).items():
         lines.append(
             f"  {name:<12} items {int(op['items']):>8}  "
@@ -615,6 +691,28 @@ def render_stats(stats: dict) -> str:
             f"mean batch {op['mean_batch_size']:>6.1f}  "
             f"mean flush {op['mean_flush_ms']:>7.2f}ms  "
             f"max batch {int(op['max_batch_seen']):>4}"
+        )
+    keys = stats.get("keys", {})
+    if keys:
+        lines.append("per-key coalescing:")
+        for key_name in sorted(keys):
+            for op_name, op in keys[key_name].items():
+                lines.append(
+                    f"  {_render_key_name(key_name):<20} "
+                    f"{op_name:<12} gen {int(op['generation']):>3}  "
+                    f"items {int(op['items']):>8}  "
+                    f"flushes {int(op['flushes']):>6}  "
+                    f"mean batch {op['mean_batch_size']:>6.1f}"
+                )
+    keystore = stats.get("keystore")
+    if keystore:
+        lines.append(
+            f"keystore: {keystore['keys']} named key(s) "
+            f"({keystore['active']} active), "
+            f"hot {keystore['hot']}/{keystore['hot_capacity']}, "
+            f"{keystore['materializations']} materialization(s), "
+            f"{keystore['evictions']} eviction(s), "
+            f"{keystore['rotated']} rotation(s)"
         )
     executor = stats.get("executor", {})
     kind = executor.get("kind", "?")
@@ -629,7 +727,8 @@ def render_stats(stats: dict) -> str:
                 f"  shard {shard['index']} [{state:>4}] "
                 f"pid {shard['pid']}  jobs {shard['jobs']:>6}  "
                 f"items {shard['items']:>8}  "
-                f"outstanding {shard['outstanding_items']:>4}"
+                f"outstanding {shard['outstanding_items']:>4}  "
+                f"keys {shard.get('cached_keys', 0):>3}"
             )
     else:
         lines.append(
@@ -666,6 +765,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(json.dumps(stats, indent=2))
     else:
         print(render_stats(stats))
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import connect_with_retry
+    from repro.service.protocol import ServiceError
+
+    host, port = _resolve_endpoint(args)
+
+    async def go():
+        client = await connect_with_retry(
+            host, port, args.connect_timeout
+        )
+        try:
+            if args.keys_command == "list":
+                return await client.list_keys()
+            action = {
+                "create": client.create_key,
+                "rotate": client.rotate_key,
+                "retire": client.retire_key,
+            }[args.keys_command]
+            return await action(args.name)
+        finally:
+            await client.close()
+
+    try:
+        result = asyncio.run(go())
+    except (OSError, ValueError, ConnectionError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result, indent=2))
+    elif args.keys_command == "list":
+        print(render_key_list(result))
+    else:
+        past = {
+            "create": "created",
+            "rotate": "rotated",
+            "retire": "retired",
+        }[args.keys_command]
+        print(
+            f"{past} key {result['name']!r} "
+            f"(generation {result['generation']}, {result['state']}, "
+            f"{result['params']})"
+        )
     return 0
 
 
@@ -739,6 +886,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "bench-backends": _cmd_bench_backends,
     "serve": _cmd_serve,
+    "keys": _cmd_keys,
     "loadgen": _cmd_loadgen,
     "stats": _cmd_stats,
     "smoke": _cmd_smoke,

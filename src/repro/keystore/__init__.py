@@ -1,0 +1,33 @@
+"""Multi-tenant keystore: named keypairs, rotation, per-key routing.
+
+The subsystem behind the service layer's key-addressed operations (and
+the session facade's ``session.key("tenant")`` handles):
+
+* :class:`KeyStore` — named slots with generation counters, a
+  create/rotate/retire/evict lifecycle, deterministic per-slot seed
+  derivation (:func:`key_seed`, domain-separated from the keygen and
+  serving streams), and an LRU of hot materialized keys;
+* :class:`KeyMaterial` — one generation's keypair in serving form
+  (NTT-domain keys plus their serialized wire bytes);
+* :class:`KeyInfo` — the metadata one slot reports over the wire.
+
+See :mod:`repro.keystore.store` for the full design notes.
+"""
+
+from repro.keystore.store import (
+    DEFAULT_KEY_NAME,
+    KEYSTORE_SEED_DELTA,
+    KeyInfo,
+    KeyMaterial,
+    KeyStore,
+    key_seed,
+)
+
+__all__ = [
+    "DEFAULT_KEY_NAME",
+    "KEYSTORE_SEED_DELTA",
+    "KeyInfo",
+    "KeyMaterial",
+    "KeyStore",
+    "key_seed",
+]

@@ -1,0 +1,436 @@
+"""The multi-tenant keystore: named keypairs with lifecycle.
+
+The service layer grew up single-key: one keypair chosen at server
+construction, shared by every client.  This module is the subsystem
+that turns it into a key-*distribution* service — many named keypairs,
+each with its own lifecycle, addressed per request:
+
+* **Named slots.**  Every key has a DNS-label-ish name (the tenant id)
+  and a **generation counter** that increments on rotation.  Requests
+  pin ``(name, generation)``; a request pinned to a generation the key
+  has rotated past fails with ``stale_key_generation`` instead of
+  silently computing under a key the client never saw.
+* **Deterministic derivation.**  A slot's keypair at generation ``g``
+  is a pure function of ``(base_seed, name, g)`` via
+  :func:`key_seed` — domain-separated from both the keygen stream
+  (``base_seed`` itself) and the serving stream
+  (:func:`~repro.service.executor.serving_seed`), so ``--seed S``
+  replay still holds: the default key and the serving noise are
+  bit-identical to a keystore-free server, and every named key is
+  reproducible regardless of creation order or traffic.
+* **Hot LRU.**  Key material (the NTT-domain keypair — keys live in
+  the NTT domain in this scheme, so the stored form *is* the
+  precomputed hot form — plus its serialized wire bytes) is cached for
+  the ``hot_capacity`` most recently used keys.  Evicted material
+  regenerates on demand from the derived seed; slot *metadata*
+  (name, generation, state) is tiny and never evicted.
+* **The default key.**  Slot name ``""`` holds the keypair the server
+  was constructed with — pinned hot forever, never rotated or retired,
+  and never drawing from any keystore stream — which is what keeps the
+  unnamed-key path bit-identical to the pre-keystore service.
+
+Failures speak the service vocabulary (:class:`ServiceError` with
+``key_not_found`` / ``stale_key_generation`` / ``bad_request``
+statuses); the :mod:`repro.api.errors` boundary maps them onto
+:class:`~repro.api.errors.KeyNotFoundError` /
+:class:`~repro.api.errors.StaleKeyGenerationError` for facade callers,
+the same protocol-boundary pattern every other service error follows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import serialize
+from repro.core.params import ParameterSet
+from repro.core.scheme import KeyPair, RlweEncryptionScheme
+from repro.service.executor import _SEED_MASK, _mix32
+from repro.service.protocol import (
+    GENERATION_CURRENT,
+    STATUS_BAD_REQUEST,
+    STATUS_KEY_NOT_FOUND,
+    STATUS_STALE_KEY_GENERATION,
+    ServiceError,
+    validate_key_name,
+)
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+__all__ = [
+    "DEFAULT_KEY_NAME",
+    "KeyInfo",
+    "KeyMaterial",
+    "KeyStore",
+    "key_seed",
+]
+
+#: The reserved name of the default (unnamed) key slot.
+DEFAULT_KEY_NAME = ""
+
+#: Domain separator for keystore-derived streams.  Distinct from
+#: :data:`~repro.service.executor.SERVING_SEED_DELTA` so a named key's
+#: stream never lands on the serving stream of the same base seed by
+#: construction (in the 32-bit simulated-TRNG space collisions can
+#: only be made non-adjacent, not impossible — same caveat as the
+#: per-shard derivation).
+KEYSTORE_SEED_DELTA = 0x85EBCA6B
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def _fnv1a32(data: bytes) -> int:
+    """FNV-1a: a stable, dependency-free 32-bit string hash."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _SEED_MASK
+    return value
+
+
+def key_seed(seed: int, name: str, generation: int) -> int:
+    """The randomness-stream seed for key ``name`` at ``generation``.
+
+    A pure function of its inputs, so a keystore seeded ``S`` yields
+    the same keypair for ``(name, g)`` no matter when the key was
+    created, how traffic interleaved, or whether the material was
+    evicted and regenerated in between.  Each input passes through the
+    non-linear :func:`~repro.service.executor._mix32` finalizer before
+    combining, so related names/generations/seeds do not land on
+    adjacent streams.
+    """
+    base = _mix32((seed + KEYSTORE_SEED_DELTA) & _SEED_MASK)
+    return _mix32(base ^ _mix32(_fnv1a32(name.encode("utf-8")) ^ _mix32(generation)))
+
+
+@dataclass(frozen=True)
+class KeyInfo:
+    """One slot's public metadata (what ``list_keys`` reports)."""
+
+    name: str
+    generation: int
+    state: str  # "active" | "retired"
+    params: str
+    hot: bool
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "generation": self.generation,
+            "state": self.state,
+            "params": self.params,
+            "hot": self.hot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "KeyInfo":
+        try:
+            return cls(
+                name=str(data["name"]),
+                generation=int(data["generation"]),
+                state=str(data["state"]),
+                params=str(data["params"]),
+                hot=bool(data["hot"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed key info: {exc}") from None
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """One generation's full key material, in hot (serving) form."""
+
+    name: str
+    generation: int
+    keypair: KeyPair
+    public_bytes: bytes
+    private_bytes: bytes
+
+
+class _Slot:
+    """Mutable per-name lifecycle state (metadata only, never evicted)."""
+
+    __slots__ = ("name", "generation", "state")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.generation = 0
+        self.state = "active"
+
+
+def _material_for(
+    name: str, generation: int, keypair: KeyPair
+) -> KeyMaterial:
+    public_bytes, private_bytes = serialize.serialize_keypair(keypair)
+    return KeyMaterial(
+        name=name,
+        generation=generation,
+        keypair=keypair,
+        public_bytes=public_bytes,
+        private_bytes=private_bytes,
+    )
+
+
+class KeyStore:
+    """Named keypairs with create/rotate/retire lifecycle and a hot LRU.
+
+    Parameters
+    ----------
+    params:
+        The parameter set every stored key uses (one keystore serves
+        one ring, like one server serves one ring).
+    seed:
+        Base seed of the derivation tree; see :func:`key_seed`.
+    backend:
+        Compute backend for key generation (``None`` honours the
+        session default, like the scheme constructor).
+    hot_capacity:
+        How many *named* keys keep materialized keypairs resident
+        (>= 1).  The default key is pinned outside this budget.
+    default_keypair:
+        The server's own keypair, installed as the reserved default
+        slot.  ``None`` builds a store with named slots only.
+    """
+
+    def __init__(
+        self,
+        params: ParameterSet,
+        *,
+        seed: int = 0,
+        backend=None,
+        hot_capacity: int = 8,
+        default_keypair: Optional[KeyPair] = None,
+    ):
+        if hot_capacity < 1:
+            raise ValueError(
+                f"hot_capacity must be >= 1, got {hot_capacity}"
+            )
+        self.params = params
+        self.seed = seed & _SEED_MASK
+        self.backend = backend
+        self.hot_capacity = hot_capacity
+        self._slots: "OrderedDict[str, _Slot]" = OrderedDict()
+        self._hot: "OrderedDict[str, KeyMaterial]" = OrderedDict()
+        self._default: Optional[KeyMaterial] = None
+        if default_keypair is not None:
+            if default_keypair.public.params != params:
+                raise ValueError(
+                    f"default keypair is for "
+                    f"{default_keypair.public.params.name}, "
+                    f"this keystore holds {params.name}"
+                )
+            self._default = _material_for(
+                DEFAULT_KEY_NAME, 0, default_keypair
+            )
+        self.stats_counters: Dict[str, int] = {
+            "created": 0,
+            "rotated": 0,
+            "retired": 0,
+            "materializations": 0,
+            "hot_hits": 0,
+            "evictions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _checked_name(self, name: str) -> str:
+        try:
+            return validate_key_name(name)
+        except ValueError as exc:
+            raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+
+    def _live_slot(self, name: str) -> _Slot:
+        slot = self._slots.get(name)
+        if slot is None:
+            raise ServiceError(
+                STATUS_KEY_NOT_FOUND, f"key {name!r} does not exist"
+            )
+        if slot.state != "active":
+            raise ServiceError(
+                STATUS_KEY_NOT_FOUND, f"key {name!r} is retired"
+            )
+        return slot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, name: str) -> KeyInfo:
+        """Create ``name`` at generation 0; error if it already exists."""
+        self._checked_name(name)
+        existing = self._slots.get(name)
+        if existing is not None:
+            state = (
+                "exists" if existing.state == "active" else "is retired"
+            )
+            raise ServiceError(
+                STATUS_BAD_REQUEST, f"key {name!r} already {state}"
+            )
+        self._slots[name] = _Slot(name)
+        self.stats_counters["created"] += 1
+        return self.info(name)
+
+    def rotate(self, name: str) -> KeyInfo:
+        """Advance ``name`` to the next generation (fresh keypair)."""
+        if name == DEFAULT_KEY_NAME:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                "the default key is the server's identity and cannot "
+                "be rotated; rotate a named key instead",
+            )
+        self._checked_name(name)
+        slot = self._live_slot(name)
+        slot.generation += 1
+        # The hot entry (if any) holds the superseded generation.
+        self._hot.pop(name, None)
+        self.stats_counters["rotated"] += 1
+        return self.info(name)
+
+    def retire(self, name: str) -> KeyInfo:
+        """Retire ``name``: requests fail with ``key_not_found``."""
+        if name == DEFAULT_KEY_NAME:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                "the default key is the server's identity and cannot "
+                "be retired",
+            )
+        self._checked_name(name)
+        slot = self._live_slot(name)
+        slot.state = "retired"
+        self._hot.pop(name, None)
+        self.stats_counters["retired"] += 1
+        return self.info(name)
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s hot material (metadata survives); was it hot?"""
+        return self._hot.pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def info(self, name: str) -> KeyInfo:
+        """Metadata for one slot (including the default, name ``""``)."""
+        if name == DEFAULT_KEY_NAME:
+            if self._default is None:
+                raise ServiceError(
+                    STATUS_KEY_NOT_FOUND, "this keystore has no default key"
+                )
+            return KeyInfo(
+                name=DEFAULT_KEY_NAME,
+                generation=0,
+                state="active",
+                params=self.params.name,
+                hot=True,
+            )
+        slot = self._slots.get(name)
+        if slot is None:
+            raise ServiceError(
+                STATUS_KEY_NOT_FOUND, f"key {name!r} does not exist"
+            )
+        return KeyInfo(
+            name=slot.name,
+            generation=slot.generation,
+            state=slot.state,
+            params=self.params.name,
+            hot=name in self._hot,
+        )
+
+    def list(self) -> List[KeyInfo]:
+        """Every slot, default first, then named slots in creation order."""
+        infos = []
+        if self._default is not None:
+            infos.append(self.info(DEFAULT_KEY_NAME))
+        infos.extend(self.info(name) for name in self._slots)
+        return infos
+
+    def __contains__(self, name: str) -> bool:
+        if name == DEFAULT_KEY_NAME:
+            return self._default is not None
+        return name in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots) + (1 if self._default is not None else 0)
+
+    # ------------------------------------------------------------------
+    # Material
+    # ------------------------------------------------------------------
+    def resolve_generation(self, name: str, generation: int) -> int:
+        """Map ``generation`` (or the CURRENT sentinel) to a concrete one.
+
+        Raises ``key_not_found`` for unknown/retired names and
+        ``stale_key_generation`` for any pinned generation that is not
+        the slot's current one.
+        """
+        if name == DEFAULT_KEY_NAME:
+            if self._default is None:
+                raise ServiceError(
+                    STATUS_KEY_NOT_FOUND, "this keystore has no default key"
+                )
+            current = 0
+        else:
+            current = self._live_slot(name).generation
+        if generation == GENERATION_CURRENT:
+            return current
+        if generation != current:
+            raise ServiceError(
+                STATUS_STALE_KEY_GENERATION,
+                f"key {name!r} is at generation {current}; the request "
+                f"pinned generation {generation}",
+            )
+        return generation
+
+    def _generate(self, name: str, generation: int) -> KeyMaterial:
+        scheme = RlweEncryptionScheme(
+            self.params,
+            bits=PrngBitSource(
+                Xorshift128(key_seed(self.seed, name, generation))
+            ),
+            backend=self.backend,
+        )
+        self.stats_counters["materializations"] += 1
+        return _material_for(name, generation, scheme.generate_keypair())
+
+    def materialize(
+        self, name: str, generation: int = GENERATION_CURRENT
+    ) -> KeyMaterial:
+        """Key material for ``(name, generation)``, via the hot LRU.
+
+        The staleness contract of :meth:`resolve_generation` applies;
+        a cache miss regenerates deterministically and may evict the
+        least recently used hot key.
+        """
+        resolved = self.resolve_generation(name, generation)
+        if name == DEFAULT_KEY_NAME:
+            return self._default  # type: ignore[return-value] - resolved above
+        material = self._hot.get(name)
+        if material is not None and material.generation == resolved:
+            self._hot.move_to_end(name)
+            self.stats_counters["hot_hits"] += 1
+            return material
+        material = self._generate(name, resolved)
+        self._hot[name] = material
+        self._hot.move_to_end(name)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+            self.stats_counters["evictions"] += 1
+        return material
+
+    def hot_names(self) -> List[str]:
+        """Named keys currently materialized, least recently used first."""
+        return list(self._hot)
+
+    def stats(self) -> Dict:
+        """Keystore counters for the server's stats op."""
+        active = sum(
+            1 for slot in self._slots.values() if slot.state == "active"
+        )
+        return dict(
+            self.stats_counters,
+            keys=len(self._slots),
+            active=active,
+            retired=len(self._slots) - active,
+            hot=len(self._hot),
+            hot_capacity=self.hot_capacity,
+            has_default=self._default is not None,
+        )

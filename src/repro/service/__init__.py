@@ -31,8 +31,8 @@ Most callers should not program against this layer directly: the
 behind one transport-agnostic API with typed exceptions.
 """
 
-from repro.service.client import RlweServiceClient
-from repro.service.coalescer import MicroBatcher
+from repro.service.client import DeadlineExceeded, RlweServiceClient
+from repro.service.coalescer import KeyedBatcherGroup, MicroBatcher
 from repro.service.executor import (
     Executor,
     InlineExecutor,
@@ -45,8 +45,10 @@ from repro.service.protocol import ServiceError
 from repro.service.server import RlweService, RlweServiceServer
 
 __all__ = [
+    "DeadlineExceeded",
     "Executor",
     "InlineExecutor",
+    "KeyedBatcherGroup",
     "MicroBatcher",
     "OpRunner",
     "RlweService",

@@ -23,22 +23,46 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+import struct
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.kem import SECRET_BYTES
 from repro.service import protocol
 from repro.service.protocol import (
+    GENERATION_CURRENT,
+    OP_CREATE_KEY,
     OP_DECAPSULATE,
     OP_DECRYPT,
     OP_ENCAPSULATE,
     OP_ENCRYPT,
     OP_GET_PUBLIC_KEY,
+    OP_KEY_DECAPSULATE,
+    OP_KEY_DECRYPT,
+    OP_KEY_ENCAPSULATE,
+    OP_KEY_ENCRYPT,
+    OP_KEY_GET_PUBLIC,
+    OP_LIST_KEYS,
     OP_PING,
+    OP_RETIRE_KEY,
+    OP_ROTATE_KEY,
     OP_STATS,
     STATUS_OK,
     Request,
     ServiceError,
 )
+
+_GENERATION = struct.Struct("!I")
+
+
+class DeadlineExceeded(ConnectionError):
+    """A client-side deadline fired before the peer answered.
+
+    A :class:`ConnectionError` subclass, so every existing
+    connection-loss handler (and the facade's
+    ``EngineUnavailableError`` mapping) treats a deadline the same as
+    a dead peer — which, to the caller, it is: the response may still
+    arrive later, but this request will never see it.
+    """
 
 
 def trim_plaintext(data: bytes, length: Optional[int]) -> bytes:
@@ -72,10 +96,21 @@ def split_encapsulation(body: bytes) -> Tuple[bytes, bytes]:
 
 
 class RlweServiceClient:
-    """Multiplexed client over one framed connection."""
+    """Multiplexed client over one framed connection.
+
+    ``request_timeout`` is the per-request deadline in seconds
+    (``None`` — the raw-layer default — waits forever; the session
+    facade passes a finite one).  A request that misses its deadline
+    raises :class:`DeadlineExceeded`; its late response, if any, is
+    dropped by the reader loop.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        request_timeout: Optional[float] = None,
     ):
         self._reader = reader
         self._writer = writer
@@ -83,15 +118,30 @@ class RlweServiceClient:
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
+        self.request_timeout = request_timeout
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 8470
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8470,
+        *,
+        connect_timeout: Optional[float] = None,
+        request_timeout: Optional[float] = None,
     ) -> "RlweServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        """Connect; ``connect_timeout`` bounds the TCP handshake."""
         try:
-            return cls(reader, writer)
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                f"connect to {host}:{port} timed out after "
+                f"{connect_timeout:g}s"
+            ) from None
+        try:
+            return cls(reader, writer, request_timeout=request_timeout)
         except BaseException:
             # Construction failed after the socket opened: never leak it.
             writer.close()
@@ -222,7 +272,13 @@ class RlweServiceClient:
         )
         await self._writer.drain()
         try:
-            return await future
+            return await asyncio.wait_for(future, self.request_timeout)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                f"{protocol.OPCODE_NAMES.get(opcode, opcode)} request "
+                f"{request_id} exceeded the {self.request_timeout:g}s "
+                f"deadline"
+            ) from None
         finally:
             self._pending.pop(request_id, None)
 
@@ -260,7 +316,110 @@ class RlweServiceClient:
     async def stats(self) -> Dict:
         """The server's live per-op batch and executor-shard counters."""
         body = await self.request(OP_STATS)
+        return self._json_body(body, "stats")
+
+    # ------------------------------------------------------------------
+    # Keystore operations (multi-tenant named keys)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json_body(body: bytes, what: str) -> Dict:
         try:
             return json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"malformed stats response: {exc}") from None
+            raise ValueError(f"malformed {what} response: {exc}") from None
+
+    async def create_key(self, name: str) -> Dict:
+        """Create named key ``name``; its key-info dict."""
+        return self._json_body(
+            await self.request(OP_CREATE_KEY, name.encode("utf-8")),
+            "create_key",
+        )
+
+    async def rotate_key(self, name: str) -> Dict:
+        """Rotate ``name`` to its next generation; the new key info."""
+        return self._json_body(
+            await self.request(OP_ROTATE_KEY, name.encode("utf-8")),
+            "rotate_key",
+        )
+
+    async def retire_key(self, name: str) -> Dict:
+        """Retire ``name``; later requests get ``key_not_found``."""
+        return self._json_body(
+            await self.request(OP_RETIRE_KEY, name.encode("utf-8")),
+            "retire_key",
+        )
+
+    async def list_keys(self) -> List[Dict]:
+        """Every key slot's info dict (default key first)."""
+        listing = self._json_body(
+            await self.request(OP_LIST_KEYS), "list_keys"
+        )
+        keys = listing.get("keys")
+        if not isinstance(keys, list):
+            raise ValueError("malformed list_keys response: no keys list")
+        return keys
+
+    async def key_public_key(
+        self, name: str, generation: int = GENERATION_CURRENT
+    ) -> Tuple[int, bytes]:
+        """``(generation, serialized public key)`` for one named key.
+
+        The default ``generation`` sentinel resolves to the current
+        one — this is how a client pins a generation before issuing
+        key-addressed crypto requests.
+        """
+        body = await self.request(
+            OP_KEY_GET_PUBLIC, protocol.encode_key_ref(name, generation)
+        )
+        if len(body) < _GENERATION.size:
+            raise ValueError(
+                f"key_get_public response of {len(body)} bytes is "
+                f"shorter than its generation header"
+            )
+        (resolved,) = _GENERATION.unpack_from(body)
+        return resolved, body[_GENERATION.size :]
+
+    async def key_encrypt(
+        self, name: str, generation: int, message: bytes
+    ) -> bytes:
+        """Encrypt under ``(name, generation)``; serialized ciphertext."""
+        return await self.request(
+            OP_KEY_ENCRYPT,
+            protocol.encode_key_ref(name, generation) + message,
+        )
+
+    async def key_decrypt(
+        self,
+        name: str,
+        generation: int,
+        ciphertext: bytes,
+        length: Optional[int] = None,
+    ) -> bytes:
+        """Decrypt under ``(name, generation)``."""
+        return trim_plaintext(
+            await self.request(
+                OP_KEY_DECRYPT,
+                protocol.encode_key_ref(name, generation) + ciphertext,
+            ),
+            length,
+        )
+
+    async def key_encapsulate(
+        self, name: str, generation: int
+    ) -> Tuple[bytes, bytes]:
+        """A fresh session key encapsulated to ``(name, generation)``."""
+        return split_encapsulation(
+            await self.request(
+                OP_KEY_ENCAPSULATE,
+                protocol.encode_key_ref(name, generation),
+            )
+        )
+
+    async def key_decapsulate(
+        self, name: str, generation: int, encapsulation: bytes
+    ) -> bytes:
+        """Recover a session key under ``(name, generation)``."""
+        return await self.request(
+            OP_KEY_DECAPSULATE,
+            protocol.encode_key_ref(name, generation) + encapsulation,
+        )

@@ -35,9 +35,12 @@ from __future__ import annotations
 import asyncio
 import inspect
 import time
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 _Window = List[Tuple[Any, asyncio.Future]]
+
+__all__ = ["MicroBatcher", "KeyedBatcherGroup"]
 
 
 class MicroBatcher:
@@ -200,3 +203,123 @@ class MicroBatcher:
         :meth:`drain` afterwards guarantees every waiter is resolved.
         """
         self.flush_pending()
+
+
+class KeyedBatcherGroup:
+    """One :class:`MicroBatcher` per key for a single operation.
+
+    The multi-tenant server batches *within* a key, never across keys:
+    items in one flushed window all compute under the same
+    ``(name, generation)``, so the window maps onto exactly one batched
+    backend call under one keypair.  Windows are keyed by
+    ``(name, generation)`` — a rotation does not disturb the old
+    generation's queued window (its flush fails with the stale-key
+    error when it resolves material), while new-generation arrivals
+    open a fresh window immediately.
+
+    Parameters
+    ----------
+    flush_factory:
+        ``flush_factory(name, generation) -> flush`` builds the flush
+        callable one key's batcher uses (same contract as
+        :class:`MicroBatcher`'s ``flush``).
+    max_batch / max_wait:
+        Shared window shape for every per-key batcher.
+    max_keys:
+        Upper bound on live per-key windows (>= 1).  A server can see
+        far more keys over its lifetime than are ever active at once;
+        beyond the bound the least recently used window is closed (its
+        queued items still flush and resolve normally) and recreated
+        on the key's next request, so idle keys cost nothing and the
+        ``stats`` response stays bounded.
+    """
+
+    def __init__(
+        self,
+        flush_factory: Callable[[str, int], Callable],
+        *,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        max_keys: int = 1024,
+    ):
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys}")
+        self._flush_factory = flush_factory
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.max_keys = max_keys
+        self._batchers: "OrderedDict[Tuple[str, int], MicroBatcher]" = (
+            OrderedDict()
+        )
+        #: Batchers closed by rotation/retire/LRU, kept only until
+        #: their in-flight flushes drain.
+        self._retiring: List[MicroBatcher] = []
+
+    def _retire(self, batcher: MicroBatcher) -> None:
+        batcher.close()
+        self._retiring.append(batcher)
+
+    def batcher(self, name: str, generation: int) -> MicroBatcher:
+        """The (lazily created) window for ``(name, generation)``.
+
+        Creating a new generation's window closes the superseded ones
+        for the same name: their queued items flush now (and fail with
+        the stale-generation error at material resolution) instead of
+        waiting out their timers.
+        """
+        key = (name, generation)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            stale = [
+                other
+                for other in self._batchers
+                if other[0] == name and other[1] != generation
+            ]
+            for other in stale:
+                self._retire(self._batchers.pop(other))
+            self._retiring = [
+                b for b in self._retiring if b.inflight_flushes
+            ]
+            batcher = MicroBatcher(
+                self._flush_factory(name, generation),
+                max_batch=self.max_batch,
+                max_wait=self.max_wait,
+            )
+            self._batchers[key] = batcher
+            while len(self._batchers) > self.max_keys:
+                # Oldest-first eviction; the entry just added is the
+                # newest, so it is never the one dropped.
+                _, evicted = self._batchers.popitem(last=False)
+                self._retire(evicted)
+        else:
+            self._batchers.move_to_end(key)
+        return batcher
+
+    def discard(self, name: str) -> None:
+        """Close every window for ``name`` (retire/evict path)."""
+        for key in [k for k in self._batchers if k[0] == name]:
+            retired = self._batchers.pop(key)
+            retired.close()
+            self._retiring.append(retired)
+
+    def stats_by_key(self) -> Dict[str, Dict[str, float]]:
+        """Live per-key counters, keyed by name (current windows only)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (name, generation), batcher in self._batchers.items():
+            out[name] = dict(
+                batcher.stats,
+                generation=generation,
+                mean_batch_size=batcher.mean_batch_size,
+                mean_flush_ms=batcher.mean_flush_ms,
+                inflight_flushes=batcher.inflight_flushes,
+            )
+        return out
+
+    def close(self) -> None:
+        for batcher in self._batchers.values():
+            batcher.close()
+
+    async def drain(self) -> None:
+        for batcher in list(self._batchers.values()) + self._retiring:
+            await batcher.drain()
+        self._retiring = []

@@ -125,6 +125,11 @@ class OpRunner:
     captured per item so one bad body never poisons its batch.  With
     ``direct=True`` every item runs through the single-message scheme
     API (the unbatched baseline a ``max_batch=1`` server serves).
+
+    ``self.keypair`` is the *default* key; a key-addressed batch passes
+    its own ``keypair`` override to :meth:`run`, sharing the scheme
+    (and so the serving randomness stream) with every other key on this
+    shard — the keystore owns key material, the runner only computes.
     """
 
     def __init__(
@@ -144,22 +149,27 @@ class OpRunner:
         self.direct = direct
 
     def run(
-        self, opcode: int, bodies: Sequence[bytes]
+        self,
+        opcode: int,
+        bodies: Sequence[bytes],
+        *,
+        keypair: Optional[KeyPair] = None,
     ) -> List[Tuple[int, bytes]]:
         """Execute one batch; one ``(status, body)`` per input body."""
+        pair = keypair if keypair is not None else self.keypair
         if opcode == OP_ENCRYPT:
-            return self._encrypt(bodies)
+            return self._encrypt(bodies, pair)
         if opcode == OP_DECRYPT:
-            return self._decrypt(bodies)
+            return self._decrypt(bodies, pair)
         if opcode == OP_ENCAPSULATE:
-            return self._encapsulate(bodies)
+            return self._encapsulate(bodies, pair)
         if opcode == OP_DECAPSULATE:
-            return self._decapsulate(bodies)
+            return self._decapsulate(bodies, pair)
         raise ValueError(f"opcode {opcode} is not a batchable operation")
 
     # ------------------------------------------------------------------
     def _encrypt(
-        self, bodies: Sequence[bytes]
+        self, bodies: Sequence[bytes], pair: KeyPair
     ) -> List[Tuple[int, bytes]]:
         params = self.scheme.params
         results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
@@ -178,12 +188,12 @@ class OpRunner:
         if messages:
             if self.direct:
                 ciphertexts = [
-                    self.scheme.encrypt(self.keypair.public, message)
+                    self.scheme.encrypt(pair.public, message)
                     for message in messages
                 ]
             else:
                 ciphertexts = self.scheme.encrypt_batch(
-                    self.keypair.public, messages
+                    pair.public, messages
                 )
             for index, ct in zip(slots, ciphertexts):
                 results[index] = (
@@ -193,7 +203,7 @@ class OpRunner:
         return results  # type: ignore[return-value]
 
     def _decrypt(
-        self, bodies: Sequence[bytes]
+        self, bodies: Sequence[bytes], pair: KeyPair
     ) -> List[Tuple[int, bytes]]:
         params = self.scheme.params
         results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
@@ -216,27 +226,25 @@ class OpRunner:
         if ciphertexts:
             if self.direct:
                 plains = [
-                    self.scheme.decrypt(self.keypair.private, ct)
+                    self.scheme.decrypt(pair.private, ct)
                     for ct in ciphertexts
                 ]
             else:
                 plains = self.scheme.decrypt_batch(
-                    self.keypair.private, ciphertexts
+                    pair.private, ciphertexts
                 )
             for index, plain in zip(slots, plains):
                 results[index] = (STATUS_OK, plain)
         return results  # type: ignore[return-value]
 
     def _encapsulate(
-        self, bodies: Sequence[bytes]
+        self, bodies: Sequence[bytes], pair: KeyPair
     ) -> List[Tuple[int, bytes]]:
         kem = self._require_kem()
         if self.direct:
-            pairs = [
-                kem.encapsulate(self.keypair.public) for _ in bodies
-            ]
+            pairs = [kem.encapsulate(pair.public) for _ in bodies]
         else:
-            pairs = kem.encapsulate_many(self.keypair.public, len(bodies))
+            pairs = kem.encapsulate_many(pair.public, len(bodies))
         return [
             (
                 STATUS_OK,
@@ -247,7 +255,7 @@ class OpRunner:
         ]
 
     def _decapsulate(
-        self, bodies: Sequence[bytes]
+        self, bodies: Sequence[bytes], pair: KeyPair
     ) -> List[Tuple[int, bytes]]:
         kem = self._require_kem()
         params = self.scheme.params
@@ -276,8 +284,8 @@ class OpRunner:
                     try:
                         secrets.append(
                             kem.decapsulate(
-                                self.keypair.private,
-                                self.keypair.public,
+                                pair.private,
+                                pair.public,
                                 encapsulation,
                             )
                         )
@@ -285,8 +293,8 @@ class OpRunner:
                         secrets.append(None)
             else:
                 secrets = kem.decapsulate_many(
-                    self.keypair.private,
-                    self.keypair.public,
+                    pair.private,
+                    pair.public,
                     encapsulations,
                 )
             for index, secret in zip(slots, secrets):
@@ -372,10 +380,61 @@ def decode_worker_config(payload: bytes) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Worker key install (wire-format encoded, no pickle)
+# ----------------------------------------------------------------------
+def encode_worker_key(
+    name: str,
+    generation: int,
+    public_bytes: bytes,
+    private_bytes: bytes,
+) -> bytes:
+    """One ``OP_WORKER_SET_KEY`` body: key ref + serialized keypair."""
+    return protocol.encode_batch(
+        [
+            protocol.encode_key_ref(name, generation),
+            public_bytes,
+            private_bytes,
+        ]
+    )
+
+
+def decode_worker_key(payload: bytes) -> "tuple[str, int, KeyPair]":
+    """Strict inverse of :func:`encode_worker_key`."""
+    fields = protocol.decode_batch(payload)
+    if len(fields) != 3:
+        raise ValueError(
+            f"worker key install carries {len(fields)} fields, expected 3"
+        )
+    ref_bytes, public_bytes, private_bytes = fields
+    name, generation, rest = protocol.decode_key_ref(ref_bytes)
+    if rest:
+        raise ValueError(
+            f"worker key ref has {len(rest)} trailing bytes"
+        )
+    if generation == protocol.GENERATION_CURRENT:
+        raise ValueError("worker key install must pin a concrete generation")
+    public = serialize.deserialize_public_key(public_bytes)
+    private = serialize.deserialize_private_key(private_bytes)
+    if public.params != private.params:
+        raise ValueError(
+            f"keypair mixes {public.params.name} and {private.params.name}"
+        )
+    return name, generation, KeyPair(public, private)
+
+
+# ----------------------------------------------------------------------
 # Executor interface
 # ----------------------------------------------------------------------
 class Executor:
-    """Where a coalesced batch computes; see the module docstring."""
+    """Where a coalesced batch computes; see the module docstring.
+
+    ``key`` on :meth:`run_batch` is the per-batch key context for
+    key-addressed operations: any object with ``name`` /
+    ``generation`` / ``keypair`` / ``public_bytes`` / ``private_bytes``
+    attributes (in practice a
+    :class:`~repro.keystore.KeyMaterial`).  ``None`` means the default
+    key — the engine's startup keypair, exactly the pre-keystore path.
+    """
 
     kind = "abstract"
 
@@ -386,7 +445,7 @@ class Executor:
         """Tear the engine down; outstanding batches fail cleanly."""
 
     async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes]
+        self, opcode: int, bodies: Sequence[bytes], key=None
     ) -> List[BatchResult]:
         """Execute one coalesced batch; one result per body, in order."""
         raise NotImplementedError
@@ -407,11 +466,14 @@ class InlineExecutor(Executor):
         self._items = 0
 
     async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes]
+        self, opcode: int, bodies: Sequence[bytes], key=None
     ) -> List[BatchResult]:
         self._batches += 1
         self._items += len(bodies)
-        return results_to_batch(self.runner.run(opcode, bodies))
+        keypair = key.keypair if key is not None else None
+        return results_to_batch(
+            self.runner.run(opcode, bodies, keypair=keypair)
+        )
 
     def stats(self) -> Dict:
         return {
@@ -437,6 +499,11 @@ class _Worker:
         self.items_done = 0
         self.reader_task: Optional[asyncio.Task] = None
         self.alive = True
+        #: Named keys this shard has pinned, name -> generation.  The
+        #: parent-side view of the worker's key cache; a respawned
+        #: worker starts empty, and a shard-side LRU eviction shows up
+        #: as a cache-miss response that triggers a reinstall.
+        self.key_generations: Dict[str, int] = {}
 
     @property
     def pid(self) -> int:
@@ -516,6 +583,8 @@ class WorkerPoolExecutor(Executor):
         self._next_job_id = 0
         self._rr = 0
         self._respawns = 0
+        self._key_installs = 0
+        self._key_refetches = 0
         self._closing = False
         self._started = False
 
@@ -679,23 +748,14 @@ class WorkerPoolExecutor(Executor):
             key=lambda w: w.outstanding_items,
         )
 
-    async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes]
-    ) -> List[BatchResult]:
-        if self._closing:
-            raise ServiceError(
-                STATUS_INTERNAL_ERROR, "executor is closed"
-            )
-        if not self._started:
-            raise ServiceError(
-                STATUS_INTERNAL_ERROR, "executor is not started"
-            )
+    async def _await_worker(self) -> _Worker:
+        """A live worker, waiting out a full-pool respawn if needed."""
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.spawn_timeout
         while True:
             worker = self._pick_worker()
             if worker is not None:
-                break
+                return worker
             # Every shard is down; wait for a respawn to land.
             if self._closing or loop.time() >= deadline:
                 raise ServiceError(
@@ -714,24 +774,25 @@ class WorkerPoolExecutor(Executor):
                     "no live workers in the pool",
                 ) from None
 
+    async def _dispatch(
+        self, worker: _Worker, opcode: int, body: bytes, items: int
+    ):
+        """One IPC job on ``worker``; returns the raw wire response."""
+        loop = asyncio.get_running_loop()
         job_id = self._next_job_id
         self._next_job_id = (self._next_job_id + 1) & 0xFFFFFFFF
         if self._next_job_id == protocol.RESERVED_REQUEST_ID:
             self._next_job_id = 0
         future = loop.create_future()
         worker.jobs[job_id] = future
-        worker.outstanding_items += len(bodies)
+        worker.outstanding_items += items
         try:
             try:
                 async with worker.write_lock:
                     protocol.write_frame(
                         worker.proc.stdin,
                         protocol.encode_request(
-                            Request(
-                                job_id,
-                                opcode,
-                                protocol.encode_batch(bodies),
-                            ),
+                            Request(job_id, opcode, body),
                             protocol.IPC_MAX_FRAME_BYTES,
                         ),
                     )
@@ -772,9 +833,78 @@ class WorkerPoolExecutor(Executor):
                 ) from None
         finally:
             worker.jobs.pop(job_id, None)
-            worker.outstanding_items -= len(bodies)
+            worker.outstanding_items -= items
         worker.jobs_done += 1
-        worker.items_done += len(bodies)
+        worker.items_done += items
+        return response
+
+    async def _install_key(self, worker: _Worker, key) -> None:
+        """Pin one named key generation in ``worker``'s cache."""
+        body = encode_worker_key(
+            key.name, key.generation, key.public_bytes, key.private_bytes
+        )
+        response = await self._dispatch(
+            worker, protocol.OP_WORKER_SET_KEY, body, 0
+        )
+        if response.status != STATUS_OK:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR,
+                f"worker {worker.index} rejected key "
+                f"{key.name!r}@{key.generation}: "
+                f"{response.body.decode(errors='replace')}",
+            )
+        worker.key_generations[key.name] = key.generation
+        self._key_installs += 1
+
+    async def run_batch(
+        self, opcode: int, bodies: Sequence[bytes], key=None
+    ) -> List[BatchResult]:
+        if self._closing:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR, "executor is closed"
+            )
+        if not self._started:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR, "executor is not started"
+            )
+        worker = await self._await_worker()
+        if key is None:
+            response = await self._dispatch(
+                worker, opcode, protocol.encode_batch(bodies), len(bodies)
+            )
+        else:
+            wire_opcode = protocol.BASE_TO_KEYED[opcode]
+            body = protocol.encode_key_ref(
+                key.name, key.generation
+            ) + protocol.encode_batch(bodies)
+            if worker.key_generations.get(key.name) != key.generation:
+                # Lazy pin: the shard gets the key on its first batch
+                # for it, not in a startup broadcast.
+                await self._install_key(worker, key)
+            response = await self._dispatch(
+                worker, wire_opcode, body, len(bodies)
+            )
+            if response.status == protocol.STATUS_KEY_NOT_FOUND:
+                # The shard's own LRU dropped the key (or a respawn
+                # raced our view of its cache): refetch once.
+                worker.key_generations.pop(key.name, None)
+                self._key_refetches += 1
+                await self._install_key(worker, key)
+                response = await self._dispatch(
+                    worker, wire_opcode, body, len(bodies)
+                )
+                if response.status == protocol.STATUS_KEY_NOT_FOUND:
+                    # Evicted again between reinstall and dispatch
+                    # (shard cache thrashing under more active keys
+                    # than it holds).  The key *exists* — report an
+                    # engine-side failure, never key_not_found.
+                    worker.key_generations.pop(key.name, None)
+                    raise ServiceError(
+                        STATUS_INTERNAL_ERROR,
+                        f"worker {worker.index} key cache is "
+                        f"thrashing: {key.name!r}@{key.generation} "
+                        f"evicted twice mid-batch",
+                    )
         if response.status != STATUS_OK:
             raise ServiceError(
                 response.status, response.body.decode(errors="replace")
@@ -877,6 +1007,8 @@ class WorkerPoolExecutor(Executor):
             "workers": self.workers,
             "alive": self.alive_workers(),
             "respawns": self._respawns,
+            "key_installs": self._key_installs,
+            "key_refetches": self._key_refetches,
             "shards": [
                 {
                     "index": index,
@@ -888,6 +1020,11 @@ class WorkerPoolExecutor(Executor):
                     ),
                     "outstanding_items": (
                         worker.outstanding_items
+                        if worker is not None
+                        else 0
+                    ),
+                    "cached_keys": (
+                        len(worker.key_generations)
                         if worker is not None
                         else 0
                     ),

@@ -48,10 +48,44 @@ OP_ENCAPSULATE = 4
 OP_DECAPSULATE = 5
 OP_STATS = 6
 
+# Keystore administration (multi-tenant named keys) ---------------------
+OP_CREATE_KEY = 16
+OP_ROTATE_KEY = 17
+OP_RETIRE_KEY = 18
+OP_LIST_KEYS = 19
+OP_KEY_GET_PUBLIC = 20
+
+#: Key-addressed crypto: the same four operations, with the body
+#: prefixed by a *key ref* (:func:`encode_key_ref`) naming which stored
+#: key — and which generation of it — the request is pinned to.  The
+#: unprefixed opcodes above keep addressing the server's default key
+#: bit-identically to their pre-keystore behavior.
+OP_KEY_ENCRYPT = 21
+OP_KEY_DECRYPT = 22
+OP_KEY_ENCAPSULATE = 23
+OP_KEY_DECAPSULATE = 24
+
+#: Keyed crypto opcode -> the base (default-key) opcode it wraps.
+KEYED_TO_BASE = {
+    OP_KEY_ENCRYPT: OP_ENCRYPT,
+    OP_KEY_DECRYPT: OP_DECRYPT,
+    OP_KEY_ENCAPSULATE: OP_ENCAPSULATE,
+    OP_KEY_DECAPSULATE: OP_DECAPSULATE,
+}
+
+#: Base crypto opcode -> its key-addressed form.
+BASE_TO_KEYED = {base: keyed for keyed, base in KEYED_TO_BASE.items()}
+
 #: Worker-IPC-only opcode: the first frame a pool worker receives,
 #: carrying the serialized keypair / seed / backend broadcast.  Never
 #: valid on the public socket.
 OP_WORKER_CONFIG = 0x40
+
+#: Worker-IPC-only opcode: install (or replace) one named key in the
+#: worker's key cache.  The pool executor sends it lazily — on the
+#: first keyed batch routed to a shard, or after the shard reports a
+#: cache miss — instead of broadcasting every key at startup.
+OP_WORKER_SET_KEY = 0x41
 
 OPCODE_NAMES = {
     OP_PING: "ping",
@@ -61,7 +95,17 @@ OPCODE_NAMES = {
     OP_ENCAPSULATE: "encapsulate",
     OP_DECAPSULATE: "decapsulate",
     OP_STATS: "stats",
+    OP_CREATE_KEY: "create_key",
+    OP_ROTATE_KEY: "rotate_key",
+    OP_RETIRE_KEY: "retire_key",
+    OP_LIST_KEYS: "list_keys",
+    OP_KEY_GET_PUBLIC: "key_get_public",
+    OP_KEY_ENCRYPT: "key_encrypt",
+    OP_KEY_DECRYPT: "key_decrypt",
+    OP_KEY_ENCAPSULATE: "key_encapsulate",
+    OP_KEY_DECAPSULATE: "key_decapsulate",
     OP_WORKER_CONFIG: "worker_config",
+    OP_WORKER_SET_KEY: "worker_set_key",
 }
 
 # Response statuses -----------------------------------------------------
@@ -69,12 +113,18 @@ STATUS_OK = 0
 STATUS_BAD_REQUEST = 1
 STATUS_DECAPSULATION_FAILED = 2
 STATUS_INTERNAL_ERROR = 3
+#: The named key does not exist (never created, or retired).
+STATUS_KEY_NOT_FOUND = 4
+#: The request pinned a generation the key has rotated past.
+STATUS_STALE_KEY_GENERATION = 5
 
 STATUS_NAMES = {
     STATUS_OK: "ok",
     STATUS_BAD_REQUEST: "bad_request",
     STATUS_DECAPSULATION_FAILED: "decapsulation_failed",
     STATUS_INTERNAL_ERROR: "internal_error",
+    STATUS_KEY_NOT_FOUND: "key_not_found",
+    STATUS_STALE_KEY_GENERATION: "stale_key_generation",
 }
 
 _LENGTH = struct.Struct("!I")
@@ -206,6 +256,111 @@ async def read_frame(
 def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
     """Queue one already-encoded frame; the caller drains."""
     writer.write(frame)
+
+
+# ----------------------------------------------------------------------
+# Key refs (multi-tenant key addressing)
+# ----------------------------------------------------------------------
+# A *key ref* pins one request to one named key at one generation::
+#
+#     +-----------+---------------------+------------------+
+#     | len (u8)  | name (len bytes)    | generation (u32) |
+#     +-----------+---------------------+------------------+
+#
+# It prefixes the body of every OP_KEY_* request, and addresses worker
+# cache installs on the IPC pipe.  Generation GENERATION_CURRENT is the
+# "whatever is current" sentinel, accepted only where documented
+# (key_get_public); crypto requests must pin a concrete generation so a
+# rotation racing the request fails *deterministically* with
+# ``stale_key_generation`` instead of silently computing under a key
+# the client never saw.
+
+#: Maximum key-name length on the wire (and in the keystore).
+MAX_KEY_NAME_BYTES = 64
+
+#: Generation sentinel meaning "resolve to the current generation".
+GENERATION_CURRENT = 0xFFFFFFFF
+
+_KEY_NAME_LEN = struct.Struct("!B")
+_KEY_GENERATION = struct.Struct("!I")
+
+#: Characters a key name may contain: DNS-label-ish, so names are safe
+#: in logs, CLIs, JSON, and filenames without escaping.
+_KEY_NAME_ALPHABET = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789._-"
+)
+
+
+def validate_key_name(name: str) -> str:
+    """Check one key name; returns it unchanged or raises ValueError.
+
+    The empty string is the *default* key's reserved name — it is never
+    valid on the wire (the default key is addressed by the unprefixed
+    opcodes), so it is rejected here alongside oversized and
+    out-of-alphabet names.
+    """
+    if not isinstance(name, str):
+        raise ValueError(f"key name must be a string, got {type(name).__name__}")
+    if not name:
+        raise ValueError("key name must not be empty")
+    encoded = name.encode("utf-8")
+    if len(encoded) > MAX_KEY_NAME_BYTES:
+        raise ValueError(
+            f"key name of {len(encoded)} bytes exceeds the "
+            f"{MAX_KEY_NAME_BYTES}-byte limit"
+        )
+    bad = set(name) - _KEY_NAME_ALPHABET
+    if bad:
+        raise ValueError(
+            f"key name {name!r} contains invalid character(s) "
+            f"{''.join(sorted(bad))!r}; allowed: letters, digits, '.', "
+            f"'_', '-'"
+        )
+    return name
+
+
+def encode_key_ref(name: str, generation: int) -> bytes:
+    """One key ref: ``len(u8) + name + generation(u32)``."""
+    validate_key_name(name)
+    if not 0 <= generation <= GENERATION_CURRENT:
+        raise ValueError(f"generation {generation} out of u32 range")
+    encoded = name.encode("utf-8")
+    return (
+        _KEY_NAME_LEN.pack(len(encoded))
+        + encoded
+        + _KEY_GENERATION.pack(generation)
+    )
+
+
+def decode_key_ref(data: bytes) -> "tuple[str, int, bytes]":
+    """Strict prefix parse: ``(name, generation, remainder)``.
+
+    The remainder is the key-addressed operation's own body; callers
+    that expect none must check it is empty.
+    """
+    if len(data) < _KEY_NAME_LEN.size:
+        raise ValueError("key ref is empty")
+    (name_len,) = _KEY_NAME_LEN.unpack_from(data)
+    cursor = _KEY_NAME_LEN.size
+    if len(data) - cursor < name_len:
+        raise ValueError(
+            f"key ref claims a {name_len}-byte name, "
+            f"{len(data) - cursor} bytes remain"
+        )
+    name_bytes = data[cursor : cursor + name_len]
+    cursor += name_len
+    try:
+        name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ValueError("key name is not valid UTF-8") from None
+    validate_key_name(name)
+    if len(data) - cursor < _KEY_GENERATION.size:
+        raise ValueError("key ref truncated before its generation")
+    (generation,) = _KEY_GENERATION.unpack_from(data, cursor)
+    cursor += _KEY_GENERATION.size
+    return name, generation, data[cursor:]
 
 
 # ----------------------------------------------------------------------

@@ -38,9 +38,27 @@ Operations
     or a ``decapsulation_failed`` response when the confirmation tag
     rejects it.
 ``stats``
-    Empty body.  Returns the server's live per-op batch/latency and
-    per-shard executor counters as a JSON object, so a running server
-    is inspectable without restarting it (``rlwe-repro stats``).
+    Empty body.  Returns the server's live per-op batch/latency
+    counters (default key under ``ops``, named keys nested per key
+    under ``keys``), keystore lifecycle counters, and per-shard
+    executor counters as a JSON object, so a running server is
+    inspectable without restarting it (``rlwe-repro stats``).
+
+Multi-tenant keys
+-----------------
+The server owns a :class:`~repro.keystore.KeyStore`: ``create_key`` /
+``rotate_key`` / ``retire_key`` / ``list_keys`` manage named keypairs
+(bodies are the raw UTF-8 key name; responses are JSON key infos), and
+the ``OP_KEY_*`` twins of the four crypto operations address one —
+their bodies carry a key ref (name + pinned generation) before the
+operation's normal payload, and ``key_get_public`` returns ``current
+generation (u32) || serialized public key``.  Requests pinned to a
+rotated-past generation fail with ``stale_key_generation``; unknown or
+retired names with ``key_not_found``.  Coalescing is per
+``(key, operation)`` — one flushed window computes under exactly one
+keypair — while the unprefixed opcodes keep serving the default key
+through the same batchers (and randomness streams) as before the
+keystore existed.
 
 Every parse failure of untrusted bytes surfaces as :exc:`ValueError`
 from the :mod:`repro.core.serialize` layer and maps to a
@@ -51,13 +69,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 from typing import Dict, List, Optional
+
+from typing import TYPE_CHECKING
 
 from repro.core.kem import SECRET_BYTES, RlweKem
 from repro.core.scheme import KeyPair, RlweEncryptionScheme
 from repro.core import serialize
 from repro.service import protocol
-from repro.service.coalescer import MicroBatcher
+
+if TYPE_CHECKING:  # runtime import is lazy; keystore imports service
+    from repro.keystore import KeyStore
+from repro.service.coalescer import KeyedBatcherGroup, MicroBatcher
 from repro.service.executor import (
     Executor,
     InlineExecutor,
@@ -65,12 +89,19 @@ from repro.service.executor import (
     require_kem,
 )
 from repro.service.protocol import (
+    GENERATION_CURRENT,
+    KEYED_TO_BASE,
+    OP_CREATE_KEY,
     OP_DECAPSULATE,
     OP_DECRYPT,
     OP_ENCAPSULATE,
     OP_ENCRYPT,
     OP_GET_PUBLIC_KEY,
+    OP_KEY_GET_PUBLIC,
+    OP_LIST_KEYS,
     OP_PING,
+    OP_RETIRE_KEY,
+    OP_ROTATE_KEY,
     OP_STATS,
     STATUS_BAD_REQUEST,
     STATUS_INTERNAL_ERROR,
@@ -87,6 +118,11 @@ BATCHED_OPS = {
     "encapsulate": OP_ENCAPSULATE,
     "decapsulate": OP_DECAPSULATE,
 }
+
+#: Opcode -> wire name for the batchable ops (keyed windows index).
+_OP_NAMES = {opcode: name for name, opcode in BATCHED_OPS.items()}
+
+_GENERATION = struct.Struct("!I")
 
 
 class RlweService:
@@ -107,6 +143,9 @@ class RlweService:
         max_batch: int = 32,
         max_wait: float = 0.002,
         executor: Optional[Executor] = None,
+        keystore: Optional[KeyStore] = None,
+        keystore_seed: int = 0,
+        hot_keys: int = 8,
     ):
         self.scheme = scheme
         self.keypair = keypair if keypair is not None else scheme.generate_keypair()
@@ -125,6 +164,21 @@ class RlweService:
                 OpRunner(scheme, self.keypair, direct=self.direct_path)
             )
         self.executor = executor
+        # Named keys derive from keystore_seed (the CLI's --seed), not
+        # the serving stream, and building the store draws no
+        # randomness — the default key path stays bit-identical to a
+        # keystore-free server.
+        if keystore is None:
+            from repro.keystore import KeyStore
+
+            keystore = KeyStore(
+                scheme.params,
+                seed=keystore_seed,
+                backend=scheme.backend,
+                hot_capacity=hot_keys,
+                default_keypair=self.keypair,
+            )
+        self.keystore = keystore
         self._public_key_bytes = serialize.serialize_public_key(
             self.keypair.public
         )
@@ -141,6 +195,37 @@ class RlweService:
             name: batcher(opcode) for name, opcode in BATCHED_OPS.items()
         }
 
+        # Live windows track active keys, not all keys ever served:
+        # idle windows LRU out well above the hot-material budget so
+        # neither memory nor the stats payload grows with lifetime
+        # tenant count.
+        window_cap = max(self.keystore.hot_capacity * 8, 64)
+
+        def keyed_group(opcode: int) -> KeyedBatcherGroup:
+            def make_flush(name: str, generation: int):
+                async def flush(bodies: List[bytes]):
+                    # Material resolves at flush time: a rotation that
+                    # landed while this window queued fails the whole
+                    # window with the stale-generation error.
+                    material = self.keystore.materialize(name, generation)
+                    return await self.executor.run_batch(
+                        opcode, bodies, key=material
+                    )
+
+                return flush
+
+            return KeyedBatcherGroup(
+                make_flush,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                max_keys=window_cap,
+            )
+
+        self.key_batchers: Dict[str, KeyedBatcherGroup] = {
+            name: keyed_group(opcode)
+            for name, opcode in BATCHED_OPS.items()
+        }
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -152,8 +237,12 @@ class RlweService:
         """Flush and drain every batcher, then close the engine."""
         for batcher in self.batchers.values():
             batcher.close()
+        for group in self.key_batchers.values():
+            group.close()
         for batcher in self.batchers.values():
             await batcher.drain()
+        for group in self.key_batchers.values():
+            await group.drain()
         await self.executor.close()
 
     # ------------------------------------------------------------------
@@ -162,9 +251,105 @@ class RlweService:
     def _require_kem(self) -> RlweKem:
         return require_kem(self.kem, self.scheme.params)
 
+    def _validate_encrypt(self, body: bytes) -> bytes:
+        params = self.scheme.params
+        if len(body) > params.message_bytes:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                f"message of {len(body)} bytes exceeds the "
+                f"{params.message_bytes}-byte capacity of {params.name}",
+            )
+        return body
+
+    def _validate_decrypt(self, body: bytes) -> bytes:
+        params = self.scheme.params
+        try:
+            ct_params = serialize.peek_ciphertext_params(body)
+        except ValueError as exc:
+            raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+        if ct_params != params:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                f"ciphertext is for {ct_params.name}, "
+                f"this server runs {params.name}",
+            )
+        return body
+
+    def _validate_encapsulate(self, body: bytes) -> bytes:
+        self._require_kem()
+        if body:
+            raise ServiceError(
+                STATUS_BAD_REQUEST, "encapsulate takes an empty body"
+            )
+        return b""
+
+    def _validate_decapsulate(self, body: bytes) -> bytes:
+        self._require_kem()
+        params = self.scheme.params
+        try:
+            cap_params = serialize.peek_encapsulation_params(body)
+        except ValueError as exc:
+            raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+        if cap_params != params:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                f"encapsulation is for {cap_params.name}, "
+                f"this server runs {params.name}",
+            )
+        return body
+
+    _VALIDATORS = {
+        "encrypt": _validate_encrypt,
+        "decrypt": _validate_decrypt,
+        "encapsulate": _validate_encapsulate,
+        "decapsulate": _validate_decapsulate,
+    }
+
+    def _decode_key_name(self, body: bytes) -> str:
+        """Admin-op bodies are the raw UTF-8 key name."""
+        try:
+            name = body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ServiceError(
+                STATUS_BAD_REQUEST, "key name is not valid UTF-8"
+            ) from None
+        try:
+            return protocol.validate_key_name(name)
+        except ValueError as exc:
+            raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+
+    def _discard_key_windows(self, name: str) -> None:
+        """Flush ``name``'s queued windows now (rotate/retire path).
+
+        Their flushes re-resolve material and fail with the typed
+        stale/not-found error immediately, instead of the queued items
+        waiting out their window timers to learn the key moved on.
+        """
+        for group in self.key_batchers.values():
+            group.discard(name)
+
+    async def _dispatch_keyed(self, opcode: int, body: bytes) -> bytes:
+        """One ``OP_KEY_*`` crypto request: key ref + op payload."""
+        try:
+            name, generation, payload = protocol.decode_key_ref(body)
+        except ValueError as exc:
+            raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
+        if generation == GENERATION_CURRENT:
+            raise ServiceError(
+                STATUS_BAD_REQUEST,
+                "key-addressed crypto requests must pin a concrete "
+                "generation (fetch one via key_get_public)",
+            )
+        # Fail unknown/retired/stale before queueing, so a bad ref
+        # never occupies a window.
+        self.keystore.resolve_generation(name, generation)
+        op_name = _OP_NAMES[KEYED_TO_BASE[opcode]]
+        payload = self._VALIDATORS[op_name](self, payload)
+        group = self.key_batchers[op_name]
+        return await group.batcher(name, generation).submit(payload)
+
     async def dispatch(self, opcode: int, body: bytes) -> bytes:
         """Execute one operation body-to-body; raises ServiceError."""
-        params = self.scheme.params
         if opcode == OP_PING:
             return body
         if opcode == OP_GET_PUBLIC_KEY:
@@ -176,45 +361,57 @@ class RlweService:
                 )
             return json.dumps(self.stats()).encode()
         if opcode == OP_ENCRYPT:
-            if len(body) > params.message_bytes:
-                raise ServiceError(
-                    STATUS_BAD_REQUEST,
-                    f"message of {len(body)} bytes exceeds the "
-                    f"{params.message_bytes}-byte capacity of {params.name}",
-                )
-            return await self.batchers["encrypt"].submit(body)
+            return await self.batchers["encrypt"].submit(
+                self._validate_encrypt(body)
+            )
         if opcode == OP_DECRYPT:
-            try:
-                ct_params = serialize.peek_ciphertext_params(body)
-            except ValueError as exc:
-                raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
-            if ct_params != params:
-                raise ServiceError(
-                    STATUS_BAD_REQUEST,
-                    f"ciphertext is for {ct_params.name}, "
-                    f"this server runs {params.name}",
-                )
-            return await self.batchers["decrypt"].submit(body)
+            return await self.batchers["decrypt"].submit(
+                self._validate_decrypt(body)
+            )
         if opcode == OP_ENCAPSULATE:
-            self._require_kem()
+            return await self.batchers["encapsulate"].submit(
+                self._validate_encapsulate(body)
+            )
+        if opcode == OP_DECAPSULATE:
+            return await self.batchers["decapsulate"].submit(
+                self._validate_decapsulate(body)
+            )
+        if opcode == OP_CREATE_KEY:
+            info = self.keystore.create(self._decode_key_name(body))
+            return json.dumps(info.to_dict()).encode()
+        if opcode == OP_ROTATE_KEY:
+            info = self.keystore.rotate(self._decode_key_name(body))
+            self._discard_key_windows(info.name)
+            return json.dumps(info.to_dict()).encode()
+        if opcode == OP_RETIRE_KEY:
+            info = self.keystore.retire(self._decode_key_name(body))
+            self._discard_key_windows(info.name)
+            return json.dumps(info.to_dict()).encode()
+        if opcode == OP_LIST_KEYS:
             if body:
                 raise ServiceError(
-                    STATUS_BAD_REQUEST, "encapsulate takes an empty body"
+                    STATUS_BAD_REQUEST, "list_keys takes an empty body"
                 )
-            return await self.batchers["encapsulate"].submit(b"")
-        if opcode == OP_DECAPSULATE:
-            self._require_kem()
+            return json.dumps(
+                {"keys": [info.to_dict() for info in self.keystore.list()]}
+            ).encode()
+        if opcode == OP_KEY_GET_PUBLIC:
             try:
-                cap_params = serialize.peek_encapsulation_params(body)
+                name, generation, rest = protocol.decode_key_ref(body)
             except ValueError as exc:
                 raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
-            if cap_params != params:
+            if rest:
                 raise ServiceError(
                     STATUS_BAD_REQUEST,
-                    f"encapsulation is for {cap_params.name}, "
-                    f"this server runs {params.name}",
+                    f"key_get_public has {len(rest)} trailing bytes",
                 )
-            return await self.batchers["decapsulate"].submit(body)
+            material = self.keystore.materialize(name, generation)
+            return (
+                _GENERATION.pack(material.generation)
+                + material.public_bytes
+            )
+        if opcode in KEYED_TO_BASE:
+            return await self._dispatch_keyed(opcode, body)
         raise ServiceError(STATUS_BAD_REQUEST, f"unknown opcode {opcode}")
 
     async def handle(self, request: Request) -> Response:
@@ -234,7 +431,17 @@ class RlweService:
             )
 
     def stats(self) -> Dict:
-        """Per-op coalescing counters plus execution-engine counters."""
+        """Per-op coalescing counters plus engine/keystore counters.
+
+        ``ops`` holds the default key's counters (the pre-keystore
+        shape, unchanged); ``keys`` nests per-op counters under each
+        named key with live windows; ``keystore`` reports lifecycle
+        and hot-cache counters.
+        """
+        keys: Dict[str, Dict[str, Dict]] = {}
+        for op_name, group in self.key_batchers.items():
+            for key_name, counters in group.stats_by_key().items():
+                keys.setdefault(key_name, {})[op_name] = counters
         return {
             "ops": {
                 name: dict(
@@ -245,6 +452,8 @@ class RlweService:
                 )
                 for name, batcher in self.batchers.items()
             },
+            "keys": keys,
+            "keystore": self.keystore.stats(),
             "executor": self.executor.stats(),
         }
 
@@ -377,6 +586,9 @@ async def start_server(
     max_wait: float = 0.002,
     keypair: Optional[KeyPair] = None,
     executor: Optional[Executor] = None,
+    keystore: Optional[KeyStore] = None,
+    keystore_seed: int = 0,
+    hot_keys: int = 8,
 ) -> RlweServiceServer:
     """Build and start a server in one call; caller closes it."""
     service = RlweService(
@@ -385,6 +597,9 @@ async def start_server(
         max_batch=max_batch,
         max_wait=max_wait,
         executor=executor,
+        keystore=keystore,
+        keystore_seed=keystore_seed,
+        hot_keys=hot_keys,
     )
     server = RlweServiceServer(service, host=host, port=port)
     await server.start()

@@ -15,13 +15,25 @@ each shard carries warm precomputed NTT/sampler tables and its own
 deterministic randomness stream — the natural home for future
 per-shard parameter-set multiplexing.
 
+Named keys (the multi-tenant keystore) reach the shard lazily: the
+startup config carries only the *default* keypair, and
+``OP_WORKER_SET_KEY`` frames install named keys into a bounded
+shard-local LRU as traffic for them arrives.  A key-addressed batch
+(``OP_KEY_*``: a key ref followed by the batch container) that names a
+key the shard has not pinned — never installed, LRU-evicted, or wiped
+by a respawn — answers ``key_not_found``, which the parent executor
+treats as a cache miss: it reinstalls the key and retries, so rotated
+keys propagate on demand instead of by broadcast.
+
 A clean EOF on stdin is the shutdown signal (the parent closes our pipe
 on executor close); the worker drains nothing and exits 0.  ``OP_PING``
 batches echo their bodies — the shard health check.  Only when the
 ``REPRO_WORKER_FAULT_HOOKS=1`` environment variable is set does a ping
 body of the form ``sleep:<seconds>`` additionally block the worker for
-that long first: the fault-injection hook the graceful-degradation
-tests use, inert in production.
+that long first (and one of the form ``drop-key:<name>`` evict that
+key from the shard cache): the fault-injection hooks the
+graceful-degradation and cache-miss-refetch tests use, inert in
+production.
 """
 
 from __future__ import annotations
@@ -29,20 +41,32 @@ from __future__ import annotations
 import os
 import sys
 import time
+from collections import OrderedDict
 
-from repro.core.scheme import RlweEncryptionScheme
+from repro.core.scheme import KeyPair, RlweEncryptionScheme
 from repro.service import protocol
-from repro.service.executor import OpRunner, decode_worker_config
+from repro.service.executor import (
+    OpRunner,
+    decode_worker_config,
+    decode_worker_key,
+)
 from repro.service.protocol import (
+    KEYED_TO_BASE,
     OP_PING,
     OP_WORKER_CONFIG,
+    OP_WORKER_SET_KEY,
     STATUS_BAD_REQUEST,
     STATUS_INTERNAL_ERROR,
+    STATUS_KEY_NOT_FOUND,
     STATUS_OK,
     Response,
 )
 from repro.trng.bitsource import PrngBitSource
 from repro.trng.xorshift import Xorshift128
+
+#: Named keys one shard keeps materialized; least recently used beyond
+#: this are dropped and refetched from the parent on the next batch.
+WORKER_KEY_CACHE_CAPACITY = 32
 
 
 def _runner_from_config(payload: bytes) -> "tuple[OpRunner, str]":
@@ -60,9 +84,35 @@ def _runner_from_config(payload: bytes) -> "tuple[OpRunner, str]":
 _FAULT_HOOKS = os.environ.get("REPRO_WORKER_FAULT_HOOKS") == "1"
 
 
-def _ping_item(body: bytes) -> bytes:
+class _KeyCache:
+    """The shard-local LRU of installed named keys."""
+
+    def __init__(self, capacity: int = WORKER_KEY_CACHE_CAPACITY):
+        self.capacity = capacity
+        self._keys: "OrderedDict[str, tuple[int, KeyPair]]" = OrderedDict()
+
+    def install(self, name: str, generation: int, pair: KeyPair) -> None:
+        self._keys[name] = (generation, pair)
+        self._keys.move_to_end(name)
+        while len(self._keys) > self.capacity:
+            self._keys.popitem(last=False)
+
+    def lookup(self, name: str, generation: int) -> "KeyPair | None":
+        entry = self._keys.get(name)
+        if entry is None or entry[0] != generation:
+            return None
+        self._keys.move_to_end(name)
+        return entry[1]
+
+    def drop(self, name: str) -> None:
+        self._keys.pop(name, None)
+
+
+def _ping_item(body: bytes, keys: _KeyCache) -> bytes:
     if _FAULT_HOOKS and body.startswith(b"sleep:"):
         time.sleep(float(body[len(b"sleep:") :]))
+    if _FAULT_HOOKS and body.startswith(b"drop-key:"):
+        keys.drop(body[len(b"drop-key:") :].decode(errors="replace"))
     return body
 
 
@@ -107,6 +157,7 @@ def run_worker(stdin, stdout) -> int:
         ),
     )
 
+    keys = _KeyCache()
     while True:
         payload = protocol.read_frame_blocking(
             stdin, protocol.IPC_MAX_FRAME_BYTES
@@ -120,13 +171,45 @@ def run_worker(stdin, stdout) -> int:
         try:
             request = protocol.decode_request(payload)
             request_id = request.request_id
-            bodies = protocol.decode_batch(request.body)
-            if request.opcode == OP_PING:
-                results = [(STATUS_OK, _ping_item(body)) for body in bodies]
+            if request.opcode == OP_WORKER_SET_KEY:
+                name, generation, pair = decode_worker_key(request.body)
+                keys.install(name, generation, pair)
+                body = b""
+                status = STATUS_OK
+            elif request.opcode in KEYED_TO_BASE:
+                name, generation, rest = protocol.decode_key_ref(
+                    request.body
+                )
+                bodies = protocol.decode_batch(rest)
+                pair = keys.lookup(name, generation)
+                if pair is None:
+                    # The parent reinstalls and retries on this status
+                    # — the worker never sees the keystore, only its
+                    # own cache.
+                    body = (
+                        f"shard has no key {name!r} generation "
+                        f"{generation} cached"
+                    ).encode()
+                    status = STATUS_KEY_NOT_FOUND
+                else:
+                    results = runner.run(
+                        KEYED_TO_BASE[request.opcode],
+                        bodies,
+                        keypair=pair,
+                    )
+                    body = protocol.encode_result_batch(results)
+                    status = STATUS_OK
             else:
-                results = runner.run(request.opcode, bodies)
-            body = protocol.encode_result_batch(results)
-            status = STATUS_OK
+                bodies = protocol.decode_batch(request.body)
+                if request.opcode == OP_PING:
+                    results = [
+                        (STATUS_OK, _ping_item(body, keys))
+                        for body in bodies
+                    ]
+                else:
+                    results = runner.run(request.opcode, bodies)
+                body = protocol.encode_result_batch(results)
+                status = STATUS_OK
         except Exception as exc:  # noqa: BLE001 - batch boundary
             body = f"{type(exc).__name__}: {exc}".encode()
             status = STATUS_INTERNAL_ERROR

@@ -13,6 +13,7 @@ FAST_EXAMPLES = [
     "secure_channel.py",
     "sampler_analysis.py",
     "kem_handshake.py",
+    "multi_tenant.py",
 ]
 SLOW_EXAMPLES = [
     "cycle_profile.py",

@@ -1,0 +1,420 @@
+"""The keystore subsystem: slots, derivation, LRU, and wire codecs.
+
+Unit-level coverage of :mod:`repro.keystore` plus the new
+key-addressed wire encodings in :mod:`repro.service.protocol` and the
+worker key-install codec — including truncation-at-every-offset fuzz
+in the :mod:`tests.test_serialize_properties` style, since key refs
+cross the same trust boundary as every other wire object.
+"""
+
+import pytest
+
+from repro import P1, P2, seeded_scheme
+from repro.keystore import (
+    DEFAULT_KEY_NAME,
+    KeyInfo,
+    KeyStore,
+    key_seed,
+)
+from repro.service import protocol
+from repro.service.executor import (
+    decode_worker_key,
+    encode_worker_key,
+    serving_seed,
+)
+from repro.service.protocol import (
+    GENERATION_CURRENT,
+    STATUS_BAD_REQUEST,
+    STATUS_KEY_NOT_FOUND,
+    STATUS_STALE_KEY_GENERATION,
+    ServiceError,
+    decode_key_ref,
+    encode_key_ref,
+    validate_key_name,
+)
+
+
+def _keypair(seed=77):
+    return seeded_scheme(P1, seed=seed).generate_keypair()
+
+
+def _store(seed=7, capacity=8, default=True, params=P1):
+    return KeyStore(
+        params,
+        seed=seed,
+        hot_capacity=capacity,
+        default_keypair=_keypair() if default else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+class TestKeySeed:
+    def test_deterministic(self):
+        assert key_seed(7, "tenant-a", 0) == key_seed(7, "tenant-a", 0)
+
+    def test_domain_separated_from_keygen_and_serving(self):
+        # The keystore derivation tree must not land on the base
+        # (keygen) stream or the serving stream for the same seed.
+        for seed in (0, 1, 7, 2015, 0xFFFFFFFF):
+            for name in ("a", "tenant-a", "x" * 64):
+                for generation in (0, 1, 2, 1000):
+                    derived = key_seed(seed, name, generation)
+                    assert derived != seed & 0xFFFFFFFF
+                    assert derived != serving_seed(seed)
+
+    def test_distinct_across_names_and_generations(self):
+        seeds = {
+            key_seed(7, name, generation)
+            for name in ("a", "b", "tenant-a", "tenant-b", "a.b-c_d")
+            for generation in range(8)
+        }
+        assert len(seeds) == 5 * 8
+
+    def test_generation_changes_stream(self):
+        assert key_seed(7, "t", 0) != key_seed(7, "t", 1)
+
+    def test_seed_changes_stream(self):
+        assert key_seed(7, "t", 0) != key_seed(8, "t", 0)
+
+
+# ----------------------------------------------------------------------
+# Key names
+# ----------------------------------------------------------------------
+class TestKeyNames:
+    @pytest.mark.parametrize(
+        "name", ["a", "tenant-a", "A.b_c-9", "x" * 64, "0"]
+    )
+    def test_valid(self, name):
+        assert validate_key_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["", "x" * 65, "with space", "sla/sh", "ünïcode", "a\x00b"]
+    )
+    def test_invalid(self, name):
+        with pytest.raises(ValueError):
+            validate_key_name(name)
+
+    def test_non_string(self):
+        with pytest.raises(ValueError):
+            validate_key_name(b"bytes")  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Key-ref codec (wire trust boundary)
+# ----------------------------------------------------------------------
+class TestKeyRefCodec:
+    def test_roundtrip(self):
+        ref = encode_key_ref("tenant-a", 3)
+        name, generation, rest = decode_key_ref(ref)
+        assert (name, generation, rest) == ("tenant-a", 3, b"")
+
+    def test_roundtrip_with_payload(self):
+        ref = encode_key_ref("t", GENERATION_CURRENT)
+        name, generation, rest = decode_key_ref(ref + b"payload")
+        assert (name, generation, rest) == (
+            "t",
+            GENERATION_CURRENT,
+            b"payload",
+        )
+
+    def test_truncation_at_every_offset(self):
+        ref = encode_key_ref("tenant-a", 5)
+        for cut in range(len(ref)):
+            with pytest.raises(ValueError):
+                decode_key_ref(ref[:cut])
+
+    def test_flipped_length_byte(self):
+        ref = bytearray(encode_key_ref("tenant-a", 5))
+        ref[0] = 200  # claims a 200-byte name
+        with pytest.raises(ValueError):
+            decode_key_ref(bytes(ref))
+
+    def test_empty_name_rejected_both_ways(self):
+        with pytest.raises(ValueError):
+            encode_key_ref("", 0)
+        # A forged zero-length name on the wire is rejected too.
+        with pytest.raises(ValueError):
+            decode_key_ref(b"\x00" + b"\x00\x00\x00\x00")
+
+    def test_invalid_name_bytes_rejected(self):
+        payload = bytes([2]) + b"\xff\xfe" + b"\x00\x00\x00\x00"
+        with pytest.raises(ValueError):
+            decode_key_ref(payload)
+
+    def test_generation_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_key_ref("t", -1)
+        with pytest.raises(ValueError):
+            encode_key_ref("t", 1 << 32)
+
+
+class TestWorkerKeyCodec:
+    def test_roundtrip(self):
+        from repro.core import serialize
+
+        pair = _keypair(5)
+        pub, prv = serialize.serialize_keypair(pair)
+        payload = encode_worker_key("tenant-a", 2, pub, prv)
+        name, generation, decoded = decode_worker_key(payload)
+        assert (name, generation) == ("tenant-a", 2)
+        assert decoded.public == pair.public
+        assert decoded.private == pair.private
+
+    def test_truncation_at_every_offset(self):
+        pair = _keypair(5)
+        from repro.core import serialize
+
+        pub, prv = serialize.serialize_keypair(pair)
+        payload = encode_worker_key("t", 1, pub, prv)
+        # Every strict prefix must fail loudly, never half-install.
+        for cut in range(0, len(payload), 97):
+            with pytest.raises(ValueError):
+                decode_worker_key(payload[:cut])
+        with pytest.raises(ValueError):
+            decode_worker_key(payload[:-1])
+        with pytest.raises(ValueError):
+            decode_worker_key(payload + b"\x00")
+
+    def test_current_sentinel_rejected(self):
+        pair = _keypair(5)
+        from repro.core import serialize
+
+        pub, prv = serialize.serialize_keypair(pair)
+        payload = encode_worker_key(
+            "t", GENERATION_CURRENT, pub, prv
+        )
+        with pytest.raises(ValueError):
+            decode_worker_key(payload)
+
+    def test_mixed_params_rejected(self):
+        from repro.core import serialize
+
+        pub, _ = serialize.serialize_keypair(_keypair(5))
+        _, prv2 = serialize.serialize_keypair(
+            seeded_scheme(P2, seed=5).generate_keypair()
+        )
+        with pytest.raises(ValueError):
+            decode_worker_key(encode_worker_key("t", 0, pub, prv2))
+
+
+# ----------------------------------------------------------------------
+# KeyStore lifecycle
+# ----------------------------------------------------------------------
+class TestKeyStoreLifecycle:
+    def test_create_info_list(self):
+        store = _store()
+        info = store.create("tenant-a")
+        assert info == KeyInfo("tenant-a", 0, "active", "P1", False)
+        assert store.info("tenant-a").generation == 0
+        names = [i.name for i in store.list()]
+        assert names == [DEFAULT_KEY_NAME, "tenant-a"]
+        assert "tenant-a" in store
+        assert len(store) == 2
+
+    def test_duplicate_create_rejected(self):
+        store = _store()
+        store.create("tenant-a")
+        with pytest.raises(ServiceError) as err:
+            store.create("tenant-a")
+        assert err.value.status == STATUS_BAD_REQUEST
+
+    def test_rotate_bumps_generation(self):
+        store = _store()
+        store.create("t")
+        assert store.rotate("t").generation == 1
+        assert store.rotate("t").generation == 2
+        assert store.info("t").generation == 2
+
+    def test_retire_then_not_found(self):
+        store = _store()
+        store.create("t")
+        assert store.retire("t").state == "retired"
+        for call in (
+            lambda: store.rotate("t"),
+            lambda: store.retire("t"),
+            lambda: store.materialize("t"),
+        ):
+            with pytest.raises(ServiceError) as err:
+                call()
+            assert err.value.status == STATUS_KEY_NOT_FOUND
+        # A retired name stays reserved (generations must not reset).
+        with pytest.raises(ServiceError):
+            store.create("t")
+
+    def test_unknown_key_not_found(self):
+        store = _store()
+        with pytest.raises(ServiceError) as err:
+            store.materialize("ghost")
+        assert err.value.status == STATUS_KEY_NOT_FOUND
+
+    def test_default_key_cannot_rotate_or_retire(self):
+        store = _store()
+        for call in (
+            lambda: store.rotate(DEFAULT_KEY_NAME),
+            lambda: store.retire(DEFAULT_KEY_NAME),
+        ):
+            with pytest.raises(ServiceError) as err:
+                call()
+            assert err.value.status == STATUS_BAD_REQUEST
+
+    def test_invalid_names_rejected_as_bad_request(self):
+        store = _store()
+        for name in ("", "with space", "x" * 65):
+            with pytest.raises(ServiceError) as err:
+                store.create(name)
+            assert err.value.status == STATUS_BAD_REQUEST
+
+    def test_store_without_default(self):
+        store = _store(default=False)
+        assert DEFAULT_KEY_NAME not in store
+        with pytest.raises(ServiceError) as err:
+            store.materialize(DEFAULT_KEY_NAME)
+        assert err.value.status == STATUS_KEY_NOT_FOUND
+        store.create("t")
+        assert [i.name for i in store.list()] == ["t"]
+
+    def test_default_keypair_params_checked(self):
+        with pytest.raises(ValueError):
+            KeyStore(P2, default_keypair=_keypair())
+
+    def test_hot_capacity_validated(self):
+        with pytest.raises(ValueError):
+            KeyStore(P1, hot_capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Generations and staleness
+# ----------------------------------------------------------------------
+class TestGenerations:
+    def test_current_sentinel_resolves(self):
+        store = _store()
+        store.create("t")
+        assert store.resolve_generation("t", GENERATION_CURRENT) == 0
+        store.rotate("t")
+        assert store.resolve_generation("t", GENERATION_CURRENT) == 1
+
+    def test_stale_generation_typed(self):
+        store = _store()
+        store.create("t")
+        store.rotate("t")
+        with pytest.raises(ServiceError) as err:
+            store.materialize("t", 0)
+        assert err.value.status == STATUS_STALE_KEY_GENERATION
+
+    def test_future_generation_also_stale(self):
+        store = _store()
+        store.create("t")
+        with pytest.raises(ServiceError) as err:
+            store.resolve_generation("t", 5)
+        assert err.value.status == STATUS_STALE_KEY_GENERATION
+
+    def test_default_generation_is_zero(self):
+        store = _store()
+        assert store.resolve_generation(DEFAULT_KEY_NAME, 0) == 0
+        assert (
+            store.resolve_generation(
+                DEFAULT_KEY_NAME, GENERATION_CURRENT
+            )
+            == 0
+        )
+        with pytest.raises(ServiceError):
+            store.resolve_generation(DEFAULT_KEY_NAME, 1)
+
+
+# ----------------------------------------------------------------------
+# Materialization and the hot LRU
+# ----------------------------------------------------------------------
+class TestMaterialization:
+    def test_deterministic_across_stores(self):
+        a, b = _store(seed=7), _store(seed=7)
+        a.create("t")
+        # Creation order and interleaved traffic must not matter.
+        b.create("other")
+        b.create("t")
+        b.materialize("other")
+        assert (
+            a.materialize("t").public_bytes
+            == b.materialize("t").public_bytes
+        )
+        assert (
+            a.materialize("t").private_bytes
+            == b.materialize("t").private_bytes
+        )
+
+    def test_different_seeds_differ(self):
+        a, b = _store(seed=7), _store(seed=8)
+        a.create("t")
+        b.create("t")
+        assert (
+            a.materialize("t").public_bytes
+            != b.materialize("t").public_bytes
+        )
+
+    def test_rotation_changes_material(self):
+        store = _store()
+        store.create("t")
+        before = store.materialize("t").public_bytes
+        store.rotate("t")
+        assert store.materialize("t").public_bytes != before
+
+    def test_default_material_is_the_constructor_keypair(self):
+        pair = _keypair()
+        store = KeyStore(P1, seed=7, default_keypair=pair)
+        material = store.materialize(DEFAULT_KEY_NAME)
+        assert material.keypair.public == pair.public
+        assert material.generation == 0
+
+    def test_eviction_and_regeneration(self):
+        store = _store(capacity=2)
+        for name in ("a", "b", "c"):
+            store.create(name)
+        first = store.materialize("a").public_bytes
+        store.materialize("b")
+        assert store.hot_names() == ["a", "b"]
+        store.materialize("c")  # evicts the LRU entry ("a")
+        assert store.hot_names() == ["b", "c"]
+        assert store.stats()["evictions"] == 1
+        assert not store.info("a").hot
+        # Regeneration after eviction is bit-identical.
+        assert store.materialize("a").public_bytes == first
+        assert store.hot_names() == ["c", "a"]
+
+    def test_lru_touch_order(self):
+        store = _store(capacity=2)
+        for name in ("a", "b"):
+            store.create(name)
+            store.materialize(name)
+        store.materialize("a")  # "b" is now least recently used
+        store.create("c")
+        store.materialize("c")
+        assert store.hot_names() == ["a", "c"]
+
+    def test_hot_hit_counters(self):
+        store = _store()
+        store.create("t")
+        store.materialize("t")
+        store.materialize("t")
+        stats = store.stats()
+        assert stats["materializations"] == 1
+        assert stats["hot_hits"] == 1
+
+    def test_evict_api(self):
+        store = _store()
+        store.create("t")
+        store.materialize("t")
+        assert store.evict("t") is True
+        assert store.evict("t") is False
+        assert store.info("t").state == "active"  # metadata survives
+
+    def test_stats_shape(self):
+        store = _store()
+        store.create("a")
+        store.create("b")
+        store.retire("b")
+        stats = store.stats()
+        assert stats["keys"] == 2
+        assert stats["active"] == 1
+        assert stats["retired"] == 1
+        assert stats["has_default"] is True

@@ -690,7 +690,7 @@ class TestServeCli:
                 timeout=60,
             )
             assert stats.returncode == 0, stats.stdout + stats.stderr
-            assert "per-op coalescing:" in stats.stdout
+            assert "per-op coalescing (default key):" in stats.stdout
             assert "executor: inline" in stats.stdout
             server.send_signal(signal.SIGTERM)
             out, _ = server.communicate(timeout=30)
