@@ -4,11 +4,16 @@ Two modes:
 
 **Benchmark** (default) — starts in-process servers and measures
 closed-loop keyed-encrypt throughput as traffic spreads across hot
-keys: a default-key baseline (the single pre-keystore coalescer
-window), then round-robin traffic over 1/2/4/8 named keys (one
-coalescer window per key), plus an eviction-pressure cell where 8 keys
-thrash a 2-slot hot cache.  Writes ``BENCH_keystore_routing.json``.
-Not collected by pytest (no ``test_`` prefix) — run it directly:
+keys: a default-key baseline, then round-robin traffic over
+1/2/4/8/16/32/64 named keys.  With cross-key fused windows every cell
+shares ONE coalescer window per op, so the sweep checks that ops/s
+stays flat and batch occupancy stays at ``max_batch`` no matter how
+many keys are hot (each cell records ``keys_per_window`` and
+``batch_occupancy`` from the server's fused stats).  An
+eviction-pressure cell (8 keys through a 2-slot hot cache) keeps the
+PR 5 thrash comparison point.  Writes
+``BENCH_keystore_routing.json``.  Not collected by pytest (no
+``test_`` prefix) — run it directly:
 
     PYTHONPATH=src python benchmarks/bench_keystore_routing.py
     PYTHONPATH=src python benchmarks/bench_keystore_routing.py --quick
@@ -85,6 +90,9 @@ async def _measure_cell(
             names = [f"bench-{i}" for i in range(keys)]
             for name in names:
                 await client.create_key(name)
+                # Materialize outside the timed loop: key generation
+                # is a one-time cost, not routing throughput.
+                await client.key_public_key(name)
 
             latencies: List[float] = []
             errors = 0
@@ -138,25 +146,25 @@ async def _measure_cell(
         "evictions": keystore["evictions"],
     }
     if keys:
-        per_key = stats["keys"]
-        batches = [
-            per_key[name]["encrypt"]["mean_batch_size"]
-            for name in names
-            if name in per_key and "encrypt" in per_key[name]
-        ]
-        row["mean_batch_size"] = (
-            sum(batches) / len(batches) if batches else 0.0
-        )
+        fused = stats["fused"].get("encrypt", {})
+        row["mean_batch_size"] = fused.get("mean_rows_per_window", 0.0)
+        row["keys_per_window"] = fused.get("keys_per_window", 0.0)
     else:
         row["mean_batch_size"] = stats["ops"]["encrypt"][
             "mean_batch_size"
         ]
+        row["keys_per_window"] = 1.0
+    row["batch_occupancy"] = (
+        row["mean_batch_size"] / max_batch if max_batch else 0.0
+    )
     label = f"{keys} key(s)" if keys else "default key"
     print(
         f"  {label:<12} hot {hot_capacity:>2}  conc {concurrency:>3}  "
         f"{row['ops_per_sec']:>8.0f} ops/s  "
         f"p50 {row['p50_ms']:>7.2f}ms  p99 {row['p99_ms']:>7.2f}ms  "
-        f"mean batch {row['mean_batch_size']:.1f}  "
+        f"mean batch {row['mean_batch_size']:.1f} "
+        f"({row['batch_occupancy']:.0%})  "
+        f"keys/window {row['keys_per_window']:.1f}  "
         f"evictions {row['evictions']}",
         flush=True,
     )
@@ -184,7 +192,7 @@ async def _run_bench(args) -> Dict:
             max_wait_ms=args.max_wait_ms,
         )
     )
-    # One window per key: the coalescer fragmentation cost.
+    # The key sweep: one FUSED window regardless of key count.
     for keys in key_counts:
         results.append(
             await _measure_cell(
@@ -199,8 +207,9 @@ async def _run_bench(args) -> Dict:
                 max_wait_ms=args.max_wait_ms,
             )
         )
-    # Eviction pressure: many keys through a tiny hot cache.
-    thrash_keys = max(key_counts)
+    # Eviction pressure: pinned at 8 keys / 2 hot slots so the cell
+    # stays comparable with the pre-fusion (PR 5) number.
+    thrash_keys = min(8, max(key_counts))
     if thrash_keys >= 4:
         results.append(
             await _measure_cell(
@@ -314,10 +323,11 @@ async def _run_smoke(args) -> int:
                 )
                 rotations.append((name, info["generation"]))
 
+        tasks = [worker(i) for i in range(args.concurrency)]
+        if args.rotate_every > 0:
+            tasks.append(rotator())
         started = time.perf_counter()
-        await asyncio.gather(
-            *(worker(i) for i in range(args.concurrency)), rotator()
-        )
+        await asyncio.gather(*tasks)
         wall = time.perf_counter() - started
 
         listing = await client.list_keys()
@@ -354,10 +364,19 @@ async def _run_smoke(args) -> int:
             f"{executor['key_installs']} key install(s), "
             f"{executor['key_refetches']} refetch(es)"
         )
+    fused = stats.get("fused", {}).get("encrypt", {})
+    if fused.get("windows"):
+        print(
+            f"fused encrypt: {int(fused['windows'])} window(s), "
+            f"mean rows {fused['mean_rows_per_window']:.1f}"
+            f"/{int(fused['max_batch'])}, "
+            f"keys/window {fused['keys_per_window']:.1f}, "
+            f"max keys {int(fused['max_keys_in_window'])}"
+        )
     if counters["ok"] == 0:
         print("error: no operation completed", file=sys.stderr)
         return 1
-    if len(rotations) == 0:
+    if args.rotate_every > 0 and len(rotations) == 0:
         print("error: no rotation landed mid-load", file=sys.stderr)
         return 1
     if counters["dropped"]:
@@ -366,6 +385,22 @@ async def _run_smoke(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_batch_fraction > 0:
+        mean_rows = fused.get("mean_rows_per_window", 0.0)
+        max_batch = fused.get("max_batch", 0)
+        floor = args.min_batch_fraction * max_batch
+        if not max_batch or mean_rows < floor:
+            print(
+                f"error: fused encrypt mean batch {mean_rows:.1f} < "
+                f"{args.min_batch_fraction:.2f} x max_batch "
+                f"{max_batch} — cross-key fusion is not filling "
+                f"windows",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"fusion floor OK: {mean_rows:.1f} >= {floor:.1f} rows/window"
+        )
     print("zero dropped ops — smoke OK")
     return 0
 
@@ -382,7 +417,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--keys-grid",
-        default="1,2,4,8",
+        default="1,2,4,8,16,32,64",
         help="comma-separated named-key counts (bench mode)",
     )
     parser.add_argument("--concurrency", type=int, default=32)
@@ -407,7 +442,20 @@ def main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=8470)
     parser.add_argument("--keys", type=int, default=8)
     parser.add_argument("--duration", type=float, default=6.0)
-    parser.add_argument("--rotate-every", type=float, default=1.0)
+    parser.add_argument(
+        "--rotate-every",
+        type=float,
+        default=1.0,
+        help="seconds between rotations in smoke mode; 0 disables the "
+        "rotator (and the rotations>0 requirement)",
+    )
+    parser.add_argument(
+        "--min-batch-fraction",
+        type=float,
+        default=0.0,
+        help="smoke mode: fail unless the fused encrypt window's mean "
+        "batch size is at least this fraction of max_batch (0 = off)",
+    )
     parser.add_argument("--connect-timeout", type=float, default=30.0)
     args = parser.parse_args(argv)
 

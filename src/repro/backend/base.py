@@ -145,6 +145,69 @@ class PolyBackend(ABC):
     def pointwise_sub_batch(self, a, b, params: ParameterSet):
         return [self.pointwise_sub(x, y, params) for x, y in self._zip_rows(a, b)]
 
+    # ------------------------------------------------------------------
+    # Per-row operand batched primitives (cross-key fused windows)
+    # ------------------------------------------------------------------
+    # A fused batch mixes items under different keys: the key operand is
+    # no longer one broadcast row but a small *key matrix* plus a
+    # per-item row index into it.  ``rows`` of length ``batch`` selects
+    # ``key_matrix[rows[i]]`` as item ``i``'s operand.  A one-row key
+    # matrix with all-zero indices degenerates to the broadcast path —
+    # same exact mod-q arithmetic, bit-identical results.
+
+    def gather_rows(self, matrix, indices: Sequence[int]):
+        """Rows of a native matrix selected by index, as a native matrix."""
+        bound = len(matrix)
+        out: List = []
+        for index in indices:
+            if not 0 <= index < bound:
+                raise ValueError(
+                    f"row index {index} out of range for a "
+                    f"{bound}-row matrix"
+                )
+            out.append(matrix[index])
+        return out
+
+    def pointwise_mul_rows(
+        self, a, key_matrix, rows: Sequence[int], params: ParameterSet
+    ):
+        """``a[i] * key_matrix[rows[i]]`` pointwise, for every item i."""
+        if len(a) != len(rows):
+            raise ValueError("row index count differs from batch size")
+        return self.pointwise_mul_batch(
+            a, self.gather_rows(key_matrix, rows), params
+        )
+
+    def pointwise_add_rows(
+        self, a, key_matrix, rows: Sequence[int], params: ParameterSet
+    ):
+        """``a[i] + key_matrix[rows[i]]`` pointwise, for every item i."""
+        if len(a) != len(rows):
+            raise ValueError("row index count differs from batch size")
+        return self.pointwise_add_batch(
+            a, self.gather_rows(key_matrix, rows), params
+        )
+
+    def pointwise_sub_rows(
+        self, a, key_matrix, rows: Sequence[int], params: ParameterSet
+    ):
+        """``a[i] - key_matrix[rows[i]]`` pointwise, for every item i."""
+        if len(a) != len(rows):
+            raise ValueError("row index count differs from batch size")
+        return self.pointwise_sub_batch(
+            a, self.gather_rows(key_matrix, rows), params
+        )
+
+    def ntt_multiply_rows(
+        self, a, key_matrix, rows: Sequence[int], params: ParameterSet
+    ):
+        """Negacyclic product of each ``a`` row with its selected key row."""
+        hat_a = self.ntt_forward_batch(a, params)
+        hat_k = self.ntt_forward_batch(key_matrix, params)
+        return self.ntt_inverse_batch(
+            self.pointwise_mul_rows(hat_a, hat_k, rows, params), params
+        )
+
     def ntt_multiply_batch(self, a, b, params: ParameterSet):
         hat_a = self.ntt_forward_batch(a, params)
         if is_single_row(b):

@@ -186,3 +186,54 @@ class NumpyBackend(PolyBackend):
         return self.ntt_inverse_batch(
             self.pointwise_mul_batch(hat_a, hat_b, params), params
         )
+
+    # ------------------------------------------------------------------
+    # Per-row operand arithmetic (cross-key fused windows)
+    # ------------------------------------------------------------------
+    def gather_rows(self, matrix, indices: Sequence[int]):
+        np = self.np
+        array = np.asarray(matrix, dtype=np.int64)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        index = np.asarray(indices, dtype=np.intp)
+        if index.size and (
+            index.min() < 0 or index.max() >= array.shape[0]
+        ):
+            raise ValueError(
+                f"row index out of range for a "
+                f"{array.shape[0]}-row matrix"
+            )
+        return array[index]
+
+    def _pointwise_rows(self, a, key_matrix, rows, params: ParameterSet, op):
+        if len(a) != len(rows):
+            raise ValueError("row index count differs from batch size")
+        np = self.np
+        keys = np.asarray(key_matrix, dtype=np.int64)
+        if keys.ndim == 1:
+            keys = keys.reshape(1, -1)
+        if keys.shape[0] == 1:
+            # One-key window: 1-D broadcast, exactly the single-key path
+            # — keeps the fused route bit- and shape-identical to the
+            # legacy per-key batches it replaced.
+            if any(r != 0 for r in rows):
+                raise ValueError(
+                    "row index out of range for a 1-row matrix"
+                )
+            return op(a, keys[0], params)
+        return op(a, self.gather_rows(keys, rows), params)
+
+    def pointwise_mul_rows(self, a, key_matrix, rows, params: ParameterSet):
+        return self._pointwise_rows(
+            a, key_matrix, rows, params, self.pointwise_mul_batch
+        )
+
+    def pointwise_add_rows(self, a, key_matrix, rows, params: ParameterSet):
+        return self._pointwise_rows(
+            a, key_matrix, rows, params, self.pointwise_add_batch
+        )
+
+    def pointwise_sub_rows(self, a, key_matrix, rows, params: ParameterSet):
+        return self._pointwise_rows(
+            a, key_matrix, rows, params, self.pointwise_sub_batch
+        )

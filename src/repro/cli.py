@@ -692,6 +692,20 @@ def render_stats(stats: dict) -> str:
             f"mean flush {op['mean_flush_ms']:>7.2f}ms  "
             f"max batch {int(op['max_batch_seen']):>4}"
         )
+    fused = stats.get("fused", {})
+    if any(op.get("windows") for op in fused.values()):
+        lines.append("fused coalescing (cross-key windows):")
+        for name, op in fused.items():
+            if not op.get("windows"):
+                continue
+            lines.append(
+                f"  {name:<12} windows {int(op['windows']):>6}  "
+                f"rows {int(op['fused_rows']):>8}  "
+                f"mean rows {op['mean_rows_per_window']:>6.1f}"
+                f"/{int(op['max_batch'])}  "
+                f"keys/window {op['keys_per_window']:>5.1f}  "
+                f"max keys {int(op['max_keys_in_window']):>4}"
+            )
     keys = stats.get("keys", {})
     if keys:
         lines.append("per-key coalescing:")
@@ -701,8 +715,7 @@ def render_stats(stats: dict) -> str:
                     f"  {_render_key_name(key_name):<20} "
                     f"{op_name:<12} gen {int(op['generation']):>3}  "
                     f"items {int(op['items']):>8}  "
-                    f"flushes {int(op['flushes']):>6}  "
-                    f"mean batch {op['mean_batch_size']:>6.1f}"
+                    f"windows {int(op['windows']):>6}"
                 )
     keystore = stats.get("keystore")
     if keystore:

@@ -117,6 +117,59 @@ class RlweKem:
             out.append((Encapsulation(ciphertext, tag), SharedSecret(key)))
         return out
 
+    def encapsulate_many_multi(
+        self,
+        publics: "Sequence[PublicKey]",
+        key_rows: "Sequence[int]",
+    ) -> "List[Tuple[Encapsulation, SharedSecret]]":
+        """Transport one fresh secret per row, under per-item keys.
+
+        The fused-window variant of :meth:`encapsulate_many`: item ``i``
+        encapsulates under ``publics[key_rows[i]]``, and the whole mixed
+        batch is encrypted through the scheme's multi-key batched path.
+        Secrets are drawn first in item order — exactly the randomness
+        order of :meth:`encapsulate_many` — so a one-key table with
+        all-zero rows is bit-identical to the single-key call.
+        """
+        secrets = [self._random_secret() for _ in key_rows]
+        ciphertexts = self.scheme.encrypt_batch_multi(
+            publics, key_rows, secrets
+        )
+        out: List[Tuple[Encapsulation, SharedSecret]] = []
+        for secret, ciphertext, row in zip(secrets, ciphertexts, key_rows):
+            key, tag = _derive(secret, publics[row])
+            out.append((Encapsulation(ciphertext, tag), SharedSecret(key)))
+        return out
+
+    def decapsulate_many_multi(
+        self,
+        privates: "Sequence[PrivateKey]",
+        publics: "Sequence[PublicKey]",
+        key_rows: "Sequence[int]",
+        encapsulations: "Sequence[Encapsulation]",
+    ) -> "List[Optional[SharedSecret]]":
+        """Decapsulate a mixed-key batch; failures come back as ``None``."""
+        if not encapsulations:
+            return []
+        if len(privates) != len(publics):
+            raise ValueError("private/public key table lengths differ")
+        secrets = self.scheme.decrypt_batch_multi(
+            privates,
+            key_rows,
+            [e.ciphertext for e in encapsulations],
+            length=SECRET_BYTES,
+        )
+        out: List[Optional[SharedSecret]] = []
+        for secret, encapsulation, row in zip(
+            secrets, encapsulations, key_rows
+        ):
+            key, tag = _derive(secret, publics[row])
+            if hmac.compare_digest(tag, encapsulation.tag):
+                out.append(SharedSecret(key))
+            else:
+                out.append(None)
+        return out
+
     def decapsulate_many(
         self,
         private: PrivateKey,

@@ -29,6 +29,8 @@ exceeds q/4 (failure probability analysed in
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
@@ -314,6 +316,176 @@ class RlweEncryptionScheme:
             params,
         )
         return be.rows(be.ntt_inverse_batch(combined, params))
+
+    # ------------------------------------------------------------------
+    # Multi-key batched API (cross-key fused windows)
+    # ------------------------------------------------------------------
+    #
+    # The ``_multi`` variants carry one small *key table* per call plus a
+    # per-item row index into it, so a single fused coalescer window can
+    # mix items under different keypairs while still running every NTT
+    # and pointwise op as one backend batch call.  Randomness is
+    # consumed in exactly the same block order as the single-key batch
+    # entry points, and a one-key table with all-zero rows degenerates
+    # to the broadcast path — bit-identical by exact mod-q arithmetic.
+
+    #: Per-flush key tables recur window after window (the coalescer
+    #: round-robins the same hot keys), so memoize the tuple-to-backend
+    #: matrix conversion.  Entries are keyed by the key objects'
+    #: *identities* — O(table) per lookup instead of hashing every
+    #: coefficient — and guarded by weakrefs: a hit only counts when
+    #: every id still names the same live object, so id reuse after GC
+    #: can never alias a stale matrix.  Key objects are immutable and
+    #: backend ops never mutate operands, so a cached matrix stays
+    #: valid for the life of its keys.  Bounded LRU: at the 64-entry
+    #: cap the worst case is a few MB of rows.
+    _KEY_MATRIX_CACHE: "OrderedDict" = OrderedDict()
+    _KEY_MATRIX_CACHE_MAX = 64
+
+    def _key_matrix(self, keys: tuple, attr: str):
+        cache = RlweEncryptionScheme._KEY_MATRIX_CACHE
+        cache_key = (self.backend.name, attr, tuple(map(id, keys)))
+        entry = cache.get(cache_key)
+        if entry is not None:
+            refs, matrix = entry
+            if all(ref() is key for ref, key in zip(refs, keys)):
+                cache.move_to_end(cache_key)
+                return matrix
+            del cache[cache_key]
+        matrix = self.backend.matrix(
+            [list(getattr(key, attr)) for key in keys]
+        )
+        cache[cache_key] = (
+            tuple(weakref.ref(key) for key in keys),
+            matrix,
+        )
+        while len(cache) > RlweEncryptionScheme._KEY_MATRIX_CACHE_MAX:
+            cache.popitem(last=False)
+        return matrix
+
+    def _check_key_rows(
+        self, keys: Sequence, key_rows: Sequence[int], batch: int
+    ) -> None:
+        if len(key_rows) != batch:
+            raise ValueError("key row count differs from batch size")
+        if not keys:
+            raise ValueError("key table must not be empty")
+        for row in key_rows:
+            if not 0 <= row < len(keys):
+                raise ValueError(
+                    f"key row {row} out of range for a "
+                    f"{len(keys)}-key table"
+                )
+
+    def encrypt_polynomial_batch_multi(
+        self,
+        publics: Sequence[PublicKey],
+        key_rows: Sequence[int],
+        message_polys: Sequence[Sequence[int]],
+    ) -> List[Ciphertext]:
+        """Encrypt a batch where item ``i`` uses ``publics[key_rows[i]]``."""
+        params = self.params
+        batch = len(message_polys)
+        if batch == 0:
+            return []
+        self._check_key_rows(publics, key_rows, batch)
+        for public in publics:
+            if public.params != params:
+                raise ValueError(
+                    "public key belongs to a different parameter set"
+                )
+        for poly in message_polys:
+            if len(poly) != params.n:
+                raise ValueError(
+                    f"message polynomial must have {params.n} coefficients"
+                )
+        be = self.backend
+        errors = self._sampler.sample_polynomial_block(3 * batch, params.n)
+        e1, e2, e3 = errors[0::3], errors[1::3], errors[2::3]
+        e3_plus_m = be.pointwise_add_batch(
+            be.matrix(e3), be.matrix(message_polys), params
+        )
+        transformed = be.ntt_forward_batch(
+            be.stack([be.matrix(e1), be.matrix(e2), e3_plus_m]), params
+        )
+        e1_hat = transformed[:batch]
+        e2_hat = transformed[batch : 2 * batch]
+        e3m_hat = transformed[2 * batch :]
+        key_table = tuple(publics)
+        a_matrix = self._key_matrix(key_table, "a_hat")
+        p_matrix = self._key_matrix(key_table, "p_hat")
+        c1 = be.pointwise_add_batch(
+            be.pointwise_mul_rows(e1_hat, a_matrix, key_rows, params),
+            e2_hat,
+            params,
+        )
+        c2 = be.pointwise_add_batch(
+            be.pointwise_mul_rows(e1_hat, p_matrix, key_rows, params),
+            e3m_hat,
+            params,
+        )
+        return [
+            Ciphertext(params, tuple(row1), tuple(row2))
+            for row1, row2 in zip(be.rows(c1), be.rows(c2))
+        ]
+
+    def decrypt_polynomial_batch_multi(
+        self,
+        privates: Sequence[PrivateKey],
+        key_rows: Sequence[int],
+        ciphertexts: Sequence[Ciphertext],
+    ) -> List[List[int]]:
+        """Decrypt a batch where item ``i`` uses ``privates[key_rows[i]]``."""
+        params = self.params
+        if not ciphertexts:
+            return []
+        self._check_key_rows(privates, key_rows, len(ciphertexts))
+        for private in privates:
+            if private.params != params:
+                raise ValueError(
+                    "private key belongs to a different parameter set"
+                )
+        for ct in ciphertexts:
+            if ct.params != params:
+                raise ValueError("ciphertext parameter set mismatch")
+        be = self.backend
+        c1 = be.matrix([ct.c1_hat for ct in ciphertexts])
+        c2 = be.matrix([ct.c2_hat for ct in ciphertexts])
+        r2_matrix = self._key_matrix(tuple(privates), "r2_hat")
+        combined = be.pointwise_add_batch(
+            be.pointwise_mul_rows(c1, r2_matrix, key_rows, params),
+            c2,
+            params,
+        )
+        return be.rows(be.ntt_inverse_batch(combined, params))
+
+    def encrypt_batch_multi(
+        self,
+        publics: Sequence[PublicKey],
+        key_rows: Sequence[int],
+        messages: Sequence[bytes],
+    ) -> List[Ciphertext]:
+        """Encrypt many byte messages with per-item public keys."""
+        return self.encrypt_polynomial_batch_multi(
+            publics,
+            key_rows,
+            encoding.encode_bytes_batch(messages, self.params),
+        )
+
+    def decrypt_batch_multi(
+        self,
+        privates: Sequence[PrivateKey],
+        key_rows: Sequence[int],
+        ciphertexts: Sequence[Ciphertext],
+        length: Optional[int] = None,
+    ) -> List[bytes]:
+        """Decrypt a batch to bytes with per-item private keys."""
+        return [
+            encoding.decode_bytes(noisy, self.params, length)
+            for noisy in self.decrypt_polynomial_batch_multi(
+                privates, key_rows, ciphertexts
+            )
+        ]
 
     def encrypt_batch(
         self, public: PublicKey, messages: Sequence[bytes]

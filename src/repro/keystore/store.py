@@ -212,6 +212,11 @@ class KeyStore:
         self.hot_capacity = hot_capacity
         self._slots: "OrderedDict[str, _Slot]" = OrderedDict()
         self._hot: "OrderedDict[str, KeyMaterial]" = OrderedDict()
+        #: name -> pin count.  A pinned name is exempt from LRU
+        #: eviction: a fused window pins its whole key table for the
+        #: duration of the flush, so an eviction racing the flush can
+        #: never regenerate a key under a running batch.
+        self._pins: Dict[str, int] = {}
         self._default: Optional[KeyMaterial] = None
         if default_keypair is not None:
             if default_keypair.public.params != params:
@@ -411,10 +416,45 @@ class KeyStore:
         material = self._generate(name, resolved)
         self._hot[name] = material
         self._hot.move_to_end(name)
-        while len(self._hot) > self.hot_capacity:
-            self._hot.popitem(last=False)
-            self.stats_counters["evictions"] += 1
+        self._shrink()
         return material
+
+    def _shrink(self) -> None:
+        """Evict unpinned LRU entries until within ``hot_capacity``.
+
+        Pinned names are skipped, so the hot set may transiently exceed
+        capacity while a wide fused window holds its key table; the
+        overshoot drains on :meth:`unpin`.
+        """
+        while len(self._hot) > self.hot_capacity:
+            victim = next(
+                (name for name in self._hot if name not in self._pins),
+                None,
+            )
+            if victim is None:
+                return
+            self._hot.pop(victim)
+            self.stats_counters["evictions"] += 1
+
+    # ------------------------------------------------------------------
+    # Flush pinning (fused windows)
+    # ------------------------------------------------------------------
+    def pin(self, name: str) -> None:
+        """Exempt ``name`` from eviction until the matching unpin."""
+        if name == DEFAULT_KEY_NAME:
+            return  # the default key is pinned by construction
+        self._pins[name] = self._pins.get(name, 0) + 1
+
+    def unpin(self, name: str) -> None:
+        """Release one pin; eviction pressure re-applies at zero pins."""
+        if name == DEFAULT_KEY_NAME:
+            return
+        count = self._pins.get(name, 0)
+        if count <= 1:
+            self._pins.pop(name, None)
+        else:
+            self._pins[name] = count - 1
+        self._shrink()
 
     def hot_names(self) -> List[str]:
         """Named keys currently materialized, least recently used first."""
@@ -432,5 +472,6 @@ class KeyStore:
             retired=len(self._slots) - active,
             hot=len(self._hot),
             hot_capacity=self.hot_capacity,
+            pinned=len(self._pins),
             has_default=self._default is not None,
         )

@@ -32,7 +32,7 @@ behind one transport-agnostic API with typed exceptions.
 """
 
 from repro.service.client import DeadlineExceeded, RlweServiceClient
-from repro.service.coalescer import KeyedBatcherGroup, MicroBatcher
+from repro.service.coalescer import FusedBatcherGroup, MicroBatcher
 from repro.service.executor import (
     Executor,
     InlineExecutor,
@@ -47,8 +47,8 @@ from repro.service.server import RlweService, RlweServiceServer
 __all__ = [
     "DeadlineExceeded",
     "Executor",
+    "FusedBatcherGroup",
     "InlineExecutor",
-    "KeyedBatcherGroup",
     "MicroBatcher",
     "OpRunner",
     "RlweService",

@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 _Window = List[Tuple[Any, asyncio.Future]]
 
-__all__ = ["MicroBatcher", "KeyedBatcherGroup"]
+__all__ = ["MicroBatcher", "FusedBatcherGroup"]
 
 
 class MicroBatcher:
@@ -205,38 +205,41 @@ class MicroBatcher:
         self.flush_pending()
 
 
-class KeyedBatcherGroup:
-    """One :class:`MicroBatcher` per key for a single operation.
+class FusedBatcherGroup:
+    """One *fused* :class:`MicroBatcher` per operation, across all keys.
 
-    The multi-tenant server batches *within* a key, never across keys:
-    items in one flushed window all compute under the same
-    ``(name, generation)``, so the window maps onto exactly one batched
-    backend call under one keypair.  Windows are keyed by
-    ``(name, generation)`` — a rotation does not disturb the old
-    generation's queued window (its flush fails with the stale-key
-    error when it resolves material), while new-generation arrivals
-    open a fresh window immediately.
+    The multi-tenant server batches across keys: one flushed window
+    mixes items pinned to different ``(name, generation)`` tags, and
+    the whole window maps onto one batched backend call whose key
+    operand is a small per-flush key matrix with per-item row indices
+    (:meth:`repro.backend.base.PolyBackend.pointwise_mul_rows`).  Mean
+    batch size therefore stays at ``max_batch`` no matter how many keys
+    are hot — the per-(key, op) window fragmentation this design
+    replaces collapsed to ``max_batch / hot_keys``.
+
+    Rotation semantics are per *row*, not per window: a rotation only
+    fails the stale-tagged rows of an in-flight window (they fail at
+    material resolution inside the flush), never the window itself.
 
     Parameters
     ----------
-    flush_factory:
-        ``flush_factory(name, generation) -> flush`` builds the flush
-        callable one key's batcher uses (same contract as
-        :class:`MicroBatcher`'s ``flush``).
+    flush:
+        ``flush(tags, bodies) -> results`` or an awaitable of results —
+        one result per body, in order, where ``tags[i]`` is item ``i``'s
+        ``(name, generation)`` pin.  Same exception contract as
+        :class:`MicroBatcher`'s ``flush``.
     max_batch / max_wait:
-        Shared window shape for every per-key batcher.
+        Window shape of the underlying :class:`MicroBatcher`.
     max_keys:
-        Upper bound on live per-key windows (>= 1).  A server can see
-        far more keys over its lifetime than are ever active at once;
-        beyond the bound the least recently used window is closed (its
-        queued items still flush and resolve normally) and recreated
-        on the key's next request, so idle keys cost nothing and the
-        ``stats`` response stays bounded.
+        Upper bound on per-key *stat* entries (>= 1).  The window
+        itself is shared, so idle keys cost nothing at all; this only
+        bounds the ``stats`` response, evicting the least recently
+        active name's counters.
     """
 
     def __init__(
         self,
-        flush_factory: Callable[[str, int], Callable],
+        flush: Callable[[List[Tuple[str, int]], List[Any]], Any],
         *,
         max_batch: int = 32,
         max_wait: float = 0.002,
@@ -244,82 +247,116 @@ class KeyedBatcherGroup:
     ):
         if max_keys < 1:
             raise ValueError(f"max_keys must be >= 1, got {max_keys}")
-        self._flush_factory = flush_factory
-        self.max_batch = max_batch
-        self.max_wait = max_wait
+        self._flush = flush
         self.max_keys = max_keys
-        self._batchers: "OrderedDict[Tuple[str, int], MicroBatcher]" = (
-            OrderedDict()
+        self._batcher = MicroBatcher(
+            self._flush_window, max_batch=max_batch, max_wait=max_wait
         )
-        #: Batchers closed by rotation/retire/LRU, kept only until
-        #: their in-flight flushes drain.
-        self._retiring: List[MicroBatcher] = []
+        self._per_key: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+        #: Fusion counters: windows flushed, rows carried, cumulative
+        #: distinct keys per window (for the keys_per_window mean), and
+        #: the widest key table any single window has carried.
+        self.fused_stats: Dict[str, float] = {
+            "windows": 0,
+            "fused_rows": 0,
+            "keys_seen": 0,
+            "max_keys_in_window": 0,
+        }
 
-    def _retire(self, batcher: MicroBatcher) -> None:
-        batcher.close()
-        self._retiring.append(batcher)
+    @property
+    def max_batch(self) -> int:
+        return self._batcher.max_batch
 
-    def batcher(self, name: str, generation: int) -> MicroBatcher:
-        """The (lazily created) window for ``(name, generation)``.
+    @property
+    def max_wait(self) -> float:
+        return self._batcher.max_wait
 
-        Creating a new generation's window closes the superseded ones
-        for the same name: their queued items flush now (and fail with
-        the stale-generation error at material resolution) instead of
-        waiting out their timers.
-        """
-        key = (name, generation)
-        batcher = self._batchers.get(key)
-        if batcher is None:
-            stale = [
-                other
-                for other in self._batchers
-                if other[0] == name and other[1] != generation
-            ]
-            for other in stale:
-                self._retire(self._batchers.pop(other))
-            self._retiring = [
-                b for b in self._retiring if b.inflight_flushes
-            ]
-            batcher = MicroBatcher(
-                self._flush_factory(name, generation),
-                max_batch=self.max_batch,
-                max_wait=self.max_wait,
-            )
-            self._batchers[key] = batcher
-            while len(self._batchers) > self.max_keys:
-                # Oldest-first eviction; the entry just added is the
-                # newest, so it is never the one dropped.
-                _, evicted = self._batchers.popitem(last=False)
-                self._retire(evicted)
-        else:
-            self._batchers.move_to_end(key)
-        return batcher
+    async def submit(self, name: str, generation: int, body: Any) -> Any:
+        """Queue one ``(name, generation)``-tagged item into the window."""
+        return await self._batcher.submit(((name, generation), body))
 
-    def discard(self, name: str) -> None:
-        """Close every window for ``name`` (retire/evict path)."""
-        for key in [k for k in self._batchers if k[0] == name]:
-            retired = self._batchers.pop(key)
-            retired.close()
-            self._retiring.append(retired)
+    def _flush_window(self, items: List[Any]):
+        tags = [tag for tag, _ in items]
+        bodies = [body for _, body in items]
+        names: "OrderedDict[str, int]" = OrderedDict()
+        for name, generation in tags:
+            names[name] = generation
+            entry = self._per_key.get(name)
+            if entry is None:
+                entry = {
+                    "items": 0,
+                    "windows": 0,
+                    "generation": generation,
+                }
+                self._per_key[name] = entry
+                while len(self._per_key) > self.max_keys:
+                    self._per_key.popitem(last=False)
+            self._per_key.move_to_end(name)
+            entry["items"] += 1
+            entry["generation"] = generation
+        for name in names:
+            entry = self._per_key.get(name)
+            if entry is not None:
+                entry["windows"] += 1
+        self.fused_stats["windows"] += 1
+        self.fused_stats["fused_rows"] += len(items)
+        self.fused_stats["keys_seen"] += len(names)
+        self.fused_stats["max_keys_in_window"] = max(
+            self.fused_stats["max_keys_in_window"], len(names)
+        )
+        return self._flush(tags, bodies)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def keys_per_window(self) -> float:
+        """Mean distinct keys per flushed window (0.0 before any)."""
+        windows = self.fused_stats["windows"]
+        return self.fused_stats["keys_seen"] / windows if windows else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self._batcher.mean_batch_size
+
+    @property
+    def mean_flush_ms(self) -> float:
+        return self._batcher.mean_flush_ms
+
+    @property
+    def inflight_flushes(self) -> int:
+        return self._batcher.inflight_flushes
+
+    def stats_fused(self) -> Dict[str, float]:
+        """The fusion counters of this op's shared window."""
+        return dict(
+            self.fused_stats,
+            max_batch=self.max_batch,
+            mean_rows_per_window=self.mean_batch_size,
+            keys_per_window=self.keys_per_window,
+            mean_flush_ms=self.mean_flush_ms,
+            inflight_flushes=self.inflight_flushes,
+        )
 
     def stats_by_key(self) -> Dict[str, Dict[str, float]]:
-        """Live per-key counters, keyed by name (current windows only)."""
-        out: Dict[str, Dict[str, float]] = {}
-        for (name, generation), batcher in self._batchers.items():
-            out[name] = dict(
-                batcher.stats,
-                generation=generation,
-                mean_batch_size=batcher.mean_batch_size,
-                mean_flush_ms=batcher.mean_flush_ms,
-                inflight_flushes=batcher.inflight_flushes,
+        """Per-key counters, keyed by name (LRU-bounded by max_keys)."""
+        return {
+            name: dict(
+                entry,
+                mean_batch_size=self.mean_batch_size,
             )
-        return out
+            for name, entry in self._per_key.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle (delegated to the shared window)
+    # ------------------------------------------------------------------
+    def flush_pending(self) -> None:
+        """Flush the shared window now (rotation/retire fail-fast)."""
+        self._batcher.flush_pending()
 
     def close(self) -> None:
-        for batcher in self._batchers.values():
-            batcher.close()
+        self._batcher.close()
 
     async def drain(self) -> None:
-        for batcher in list(self._batchers.values()) + self._retiring:
-            await batcher.drain()
-        self._retiring = []
+        await self._batcher.drain()

@@ -154,8 +154,50 @@ class OpRunner:
         bodies: Sequence[bytes],
         *,
         keypair: Optional[KeyPair] = None,
+        keypairs: Optional[Sequence[KeyPair]] = None,
     ) -> List[Tuple[int, bytes]]:
-        """Execute one batch; one ``(status, body)`` per input body."""
+        """Execute one batch; one ``(status, body)`` per input body.
+
+        ``keypair`` overrides the default key for the whole batch;
+        ``keypairs`` (mutually exclusive) pins item ``i`` to
+        ``keypairs[i]`` — the fused-window path, where one batch mixes
+        items under different keys.  A keypair vector that names only
+        one distinct pair collapses to the per-batch override, so fused
+        single-key windows stay bit-identical to the legacy path.
+        """
+        if keypairs is not None:
+            if keypair is not None:
+                raise ValueError("pass keypair or keypairs, not both")
+            if len(keypairs) != len(bodies):
+                raise ValueError(
+                    f"keypair vector of {len(keypairs)} entries for "
+                    f"{len(bodies)} bodies"
+                )
+            if not bodies:
+                return []
+            distinct: List[KeyPair] = []
+            index_of: Dict[int, int] = {}
+            rows: List[int] = []
+            for pair in keypairs:
+                row = index_of.get(id(pair))
+                if row is None:
+                    row = len(distinct)
+                    index_of[id(pair)] = row
+                    distinct.append(pair)
+                rows.append(row)
+            if len(distinct) > 1:
+                if opcode == OP_ENCRYPT:
+                    return self._encrypt_multi(bodies, distinct, rows)
+                if opcode == OP_DECRYPT:
+                    return self._decrypt_multi(bodies, distinct, rows)
+                if opcode == OP_ENCAPSULATE:
+                    return self._encapsulate_multi(bodies, distinct, rows)
+                if opcode == OP_DECAPSULATE:
+                    return self._decapsulate_multi(bodies, distinct, rows)
+                raise ValueError(
+                    f"opcode {opcode} is not a batchable operation"
+                )
+            keypair = distinct[0]
         pair = keypair if keypair is not None else self.keypair
         if opcode == OP_ENCRYPT:
             return self._encrypt(bodies, pair)
@@ -308,6 +350,167 @@ class OpRunner:
                     results[index] = (STATUS_OK, secret.key)
         return results  # type: ignore[return-value]
 
+    # ------------------------------------------------------------------
+    # Fused (per-item keypair) batch compute
+    # ------------------------------------------------------------------
+    def _encrypt_multi(
+        self,
+        bodies: Sequence[bytes],
+        pairs: Sequence[KeyPair],
+        rows: Sequence[int],
+    ) -> List[Tuple[int, bytes]]:
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        messages, slots, sub_rows = [], [], []
+        for index, body in enumerate(bodies):
+            if len(body) > params.message_bytes:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"message of {len(body)} bytes exceeds the "
+                    f"{params.message_bytes}-byte capacity of "
+                    f"{params.name}".encode(),
+                )
+            else:
+                messages.append(body)
+                slots.append(index)
+                sub_rows.append(rows[index])
+        if messages:
+            publics = [pair.public for pair in pairs]
+            if self.direct:
+                ciphertexts = [
+                    self.scheme.encrypt(publics[row], message)
+                    for row, message in zip(sub_rows, messages)
+                ]
+            else:
+                ciphertexts = self.scheme.encrypt_batch_multi(
+                    publics, sub_rows, messages
+                )
+            for index, ct in zip(slots, ciphertexts):
+                results[index] = (
+                    STATUS_OK,
+                    serialize.serialize_ciphertext(ct),
+                )
+        return results  # type: ignore[return-value]
+
+    def _decrypt_multi(
+        self,
+        bodies: Sequence[bytes],
+        pairs: Sequence[KeyPair],
+        rows: Sequence[int],
+    ) -> List[Tuple[int, bytes]]:
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        ciphertexts, slots, sub_rows = [], [], []
+        for index, body in enumerate(bodies):
+            try:
+                ct = serialize.deserialize_ciphertext(body)
+            except ValueError as exc:
+                results[index] = (STATUS_BAD_REQUEST, str(exc).encode())
+                continue
+            if ct.params != params:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"ciphertext is for {ct.params.name}, "
+                    f"this server runs {params.name}".encode(),
+                )
+                continue
+            ciphertexts.append(ct)
+            slots.append(index)
+            sub_rows.append(rows[index])
+        if ciphertexts:
+            privates = [pair.private for pair in pairs]
+            if self.direct:
+                plains = [
+                    self.scheme.decrypt(privates[row], ct)
+                    for row, ct in zip(sub_rows, ciphertexts)
+                ]
+            else:
+                plains = self.scheme.decrypt_batch_multi(
+                    privates, sub_rows, ciphertexts
+                )
+            for index, plain in zip(slots, plains):
+                results[index] = (STATUS_OK, plain)
+        return results  # type: ignore[return-value]
+
+    def _encapsulate_multi(
+        self,
+        bodies: Sequence[bytes],
+        pairs: Sequence[KeyPair],
+        rows: Sequence[int],
+    ) -> List[Tuple[int, bytes]]:
+        kem = self._require_kem()
+        publics = [pair.public for pair in pairs]
+        if self.direct:
+            out = [kem.encapsulate(publics[row]) for row in rows]
+        else:
+            out = kem.encapsulate_many_multi(publics, rows)
+        return [
+            (
+                STATUS_OK,
+                secret.key
+                + serialize.serialize_encapsulation(encapsulation),
+            )
+            for encapsulation, secret in out
+        ]
+
+    def _decapsulate_multi(
+        self,
+        bodies: Sequence[bytes],
+        pairs: Sequence[KeyPair],
+        rows: Sequence[int],
+    ) -> List[Tuple[int, bytes]]:
+        kem = self._require_kem()
+        params = self.scheme.params
+        results: List[Optional[Tuple[int, bytes]]] = [None] * len(bodies)
+        encapsulations, slots, sub_rows = [], [], []
+        for index, body in enumerate(bodies):
+            try:
+                encapsulation = serialize.deserialize_encapsulation(body)
+            except ValueError as exc:
+                results[index] = (STATUS_BAD_REQUEST, str(exc).encode())
+                continue
+            if encapsulation.ciphertext.params != params:
+                results[index] = (
+                    STATUS_BAD_REQUEST,
+                    f"encapsulation is for "
+                    f"{encapsulation.ciphertext.params.name}, "
+                    f"this server runs {params.name}".encode(),
+                )
+                continue
+            encapsulations.append(encapsulation)
+            slots.append(index)
+            sub_rows.append(rows[index])
+        if encapsulations:
+            publics = [pair.public for pair in pairs]
+            privates = [pair.private for pair in pairs]
+            if self.direct:
+                secrets = []
+                for row, encapsulation in zip(sub_rows, encapsulations):
+                    try:
+                        secrets.append(
+                            kem.decapsulate(
+                                privates[row],
+                                publics[row],
+                                encapsulation,
+                            )
+                        )
+                    except EncapsulationError:
+                        secrets.append(None)
+            else:
+                secrets = kem.decapsulate_many_multi(
+                    privates, publics, sub_rows, encapsulations
+                )
+            for index, secret in zip(slots, secrets):
+                if secret is None:
+                    results[index] = (
+                        STATUS_DECAPSULATION_FAILED,
+                        b"key confirmation failed (decryption failure "
+                        b"or tampered encapsulation)",
+                    )
+                else:
+                    results[index] = (STATUS_OK, secret.key)
+        return results  # type: ignore[return-value]
+
     def _require_kem(self) -> RlweKem:
         return require_kem(self.kem, self.scheme.params)
 
@@ -434,6 +637,10 @@ class Executor:
     attributes (in practice a
     :class:`~repro.keystore.KeyMaterial`).  ``None`` means the default
     key — the engine's startup keypair, exactly the pre-keystore path.
+    ``keys`` (mutually exclusive with ``key``) is the fused-window
+    form: one key context *per body*, so a single batch mixes items
+    under different named keys; ``key=k`` is shorthand for
+    ``keys=[k] * len(bodies)``.
     """
 
     kind = "abstract"
@@ -445,10 +652,24 @@ class Executor:
         """Tear the engine down; outstanding batches fail cleanly."""
 
     async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes], key=None
+        self, opcode: int, bodies: Sequence[bytes], key=None, keys=None
     ) -> List[BatchResult]:
         """Execute one coalesced batch; one result per body, in order."""
         raise NotImplementedError
+
+    @staticmethod
+    def _normalize_keys(bodies: Sequence[bytes], key, keys):
+        """Collapse the ``key``/``keys`` forms to one per-item vector."""
+        if key is not None and keys is not None:
+            raise ValueError("pass key or keys, not both")
+        if key is not None:
+            return [key] * len(bodies)
+        if keys is not None and len(keys) != len(bodies):
+            raise ValueError(
+                f"key vector of {len(keys)} entries for "
+                f"{len(bodies)} bodies"
+            )
+        return keys
 
     def stats(self) -> Dict:
         """Engine counters for the server's stats op."""
@@ -466,14 +687,20 @@ class InlineExecutor(Executor):
         self._items = 0
 
     async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes], key=None
+        self, opcode: int, bodies: Sequence[bytes], key=None, keys=None
     ) -> List[BatchResult]:
         self._batches += 1
         self._items += len(bodies)
-        keypair = key.keypair if key is not None else None
-        return results_to_batch(
-            self.runner.run(opcode, bodies, keypair=keypair)
-        )
+        keys = self._normalize_keys(bodies, key, keys)
+        if keys is not None:
+            return results_to_batch(
+                self.runner.run(
+                    opcode,
+                    bodies,
+                    keypairs=[material.keypair for material in keys],
+                )
+            )
+        return results_to_batch(self.runner.run(opcode, bodies))
 
     def stats(self) -> Dict:
         return {
@@ -856,8 +1083,60 @@ class WorkerPoolExecutor(Executor):
         worker.key_generations[key.name] = key.generation
         self._key_installs += 1
 
+    async def _install_keys(self, worker: _Worker, materials) -> None:
+        """Pin many named key generations in one IPC round trip."""
+        if not materials:
+            return
+        if len(materials) == 1:
+            await self._install_key(worker, materials[0])
+            return
+        body = protocol.encode_batch(
+            [
+                encode_worker_key(
+                    material.name,
+                    material.generation,
+                    material.public_bytes,
+                    material.private_bytes,
+                )
+                for material in materials
+            ]
+        )
+        response = await self._dispatch(
+            worker, protocol.OP_WORKER_SET_KEYS, body, 0
+        )
+        if response.status != STATUS_OK:
+            raise ServiceError(
+                STATUS_INTERNAL_ERROR,
+                f"worker {worker.index} rejected a "
+                f"{len(materials)}-key install: "
+                f"{response.body.decode(errors='replace')}",
+            )
+        for material in materials:
+            worker.key_generations[material.name] = material.generation
+        self._key_installs += len(materials)
+
+    @staticmethod
+    def _missing_refs(body: bytes, refs):
+        """The key refs a ``key_not_found`` response names.
+
+        The worker reports the exact misses as a batch container of
+        key refs; a legacy/human-text body falls back to "all of them".
+        """
+        try:
+            out = []
+            for part in protocol.decode_batch(body):
+                name, generation, rest = protocol.decode_key_ref(part)
+                if rest:
+                    raise ValueError("trailing bytes in a miss ref")
+                out.append((name, generation))
+            if out:
+                return out
+        except ValueError:
+            pass
+        return list(refs)
+
     async def run_batch(
-        self, opcode: int, bodies: Sequence[bytes], key=None
+        self, opcode: int, bodies: Sequence[bytes], key=None, keys=None
     ) -> List[BatchResult]:
         if self._closing:
             raise ServiceError(
@@ -867,42 +1146,73 @@ class WorkerPoolExecutor(Executor):
             raise ServiceError(
                 STATUS_INTERNAL_ERROR, "executor is not started"
             )
+        keys = self._normalize_keys(bodies, key, keys)
         worker = await self._await_worker()
-        if key is None:
+        if keys is None:
             response = await self._dispatch(
                 worker, opcode, protocol.encode_batch(bodies), len(bodies)
             )
         else:
+            # Fused window: dedupe the per-item key contexts into a
+            # small ref table (first-seen order) + per-item row indices.
             wire_opcode = protocol.BASE_TO_KEYED[opcode]
-            body = protocol.encode_key_ref(
-                key.name, key.generation
-            ) + protocol.encode_batch(bodies)
-            if worker.key_generations.get(key.name) != key.generation:
-                # Lazy pin: the shard gets the key on its first batch
-                # for it, not in a startup broadcast.
-                await self._install_key(worker, key)
+            distinct = []
+            index_of: Dict[Tuple[str, int], int] = {}
+            rows: List[int] = []
+            for material in keys:
+                ident = (material.name, material.generation)
+                row = index_of.get(ident)
+                if row is None:
+                    row = len(distinct)
+                    index_of[ident] = row
+                    distinct.append(material)
+                rows.append(row)
+            refs = [(m.name, m.generation) for m in distinct]
+            body = protocol.encode_fused_batch(refs, rows, bodies)
+            # Lazy pin: install every key of the window the shard does
+            # not hold, in one IPC round trip.
+            await self._install_keys(
+                worker,
+                [
+                    m
+                    for m in distinct
+                    if worker.key_generations.get(m.name) != m.generation
+                ],
+            )
             response = await self._dispatch(
                 worker, wire_opcode, body, len(bodies)
             )
             if response.status == protocol.STATUS_KEY_NOT_FOUND:
-                # The shard's own LRU dropped the key (or a respawn
-                # raced our view of its cache): refetch once.
-                worker.key_generations.pop(key.name, None)
+                # The shard's own LRU dropped key(s) of the window (or
+                # a respawn raced our view of its cache): one refetch
+                # round trip reinstalls every reported miss.
+                missing = self._missing_refs(response.body, refs)
+                for name, _generation in missing:
+                    worker.key_generations.pop(name, None)
                 self._key_refetches += 1
-                await self._install_key(worker, key)
+                by_ref = {
+                    (m.name, m.generation): m for m in distinct
+                }
+                await self._install_keys(
+                    worker,
+                    [by_ref[ref] for ref in missing if ref in by_ref],
+                )
                 response = await self._dispatch(
                     worker, wire_opcode, body, len(bodies)
                 )
                 if response.status == protocol.STATUS_KEY_NOT_FOUND:
                     # Evicted again between reinstall and dispatch
                     # (shard cache thrashing under more active keys
-                    # than it holds).  The key *exists* — report an
+                    # than it holds).  The keys *exist* — report an
                     # engine-side failure, never key_not_found.
-                    worker.key_generations.pop(key.name, None)
+                    still = self._missing_refs(response.body, refs)
+                    for name, _generation in still:
+                        worker.key_generations.pop(name, None)
+                    name, generation = still[0]
                     raise ServiceError(
                         STATUS_INTERNAL_ERROR,
                         f"worker {worker.index} key cache is "
-                        f"thrashing: {key.name!r}@{key.generation} "
+                        f"thrashing: {name!r}@{generation} "
                         f"evicted twice mid-batch",
                     )
         if response.status != STATUS_OK:

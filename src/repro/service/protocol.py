@@ -87,6 +87,12 @@ OP_WORKER_CONFIG = 0x40
 #: cache miss — instead of broadcasting every key at startup.
 OP_WORKER_SET_KEY = 0x41
 
+#: Worker-IPC-only opcode: install many named keys in one frame.  The
+#: fused-window executor uses it to pin every missing key of a flushed
+#: cross-key window in a single round trip; the body is an
+#: :func:`encode_batch` container of ``OP_WORKER_SET_KEY`` payloads.
+OP_WORKER_SET_KEYS = 0x42
+
 OPCODE_NAMES = {
     OP_PING: "ping",
     OP_GET_PUBLIC_KEY: "get_public_key",
@@ -106,6 +112,7 @@ OPCODE_NAMES = {
     OP_KEY_DECAPSULATE: "key_decapsulate",
     OP_WORKER_CONFIG: "worker_config",
     OP_WORKER_SET_KEY: "worker_set_key",
+    OP_WORKER_SET_KEYS: "worker_set_keys",
 }
 
 # Response statuses -----------------------------------------------------
@@ -472,6 +479,104 @@ def decode_result_batch(payload: bytes) -> "list[tuple[int, bytes]]":
             f"result container has {len(payload) - cursor} trailing bytes"
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Fused batch containers (cross-key worker IPC)
+# ----------------------------------------------------------------------
+# A *fused batch* ships one coalesced window whose items are pinned to
+# different named keys.  The container carries a small key-ref table (in
+# first-seen order), a per-item row index into that table, and the plain
+# batch container of bodies::
+#
+#     +------------------+----------------------------+
+#     | ref_count (u32)  | ref_count key refs         |
+#     +------------------+----------------------------+
+#     | row_count (u32)  | row_count row idx (u32)    |
+#     +------------------+----------------------------+
+#     | encode_batch(bodies)                          |
+#     +-----------------------------------------------+
+#
+# ``row_count`` must equal the body count, and every row index must be
+# < ref_count — a one-ref table with all-zero rows is exactly the old
+# single-key keyed batch, just spelled in the fused container.
+
+
+def encode_fused_batch(
+    refs: "Sequence[tuple[str, int]]",
+    rows: "Sequence[int]",
+    bodies: "Sequence[bytes]",
+    max_frame: int = IPC_MAX_FRAME_BYTES,
+) -> bytes:
+    """Pack one cross-key window: key-ref table + rows + bodies."""
+    if len(rows) != len(bodies):
+        raise ValueError(
+            f"fused batch has {len(rows)} rows for {len(bodies)} bodies"
+        )
+    if not refs:
+        raise ValueError("fused batch needs at least one key ref")
+    parts = [_COUNT.pack(len(refs))]
+    for name, generation in refs:
+        parts.append(encode_key_ref(name, generation))
+    parts.append(_COUNT.pack(len(rows)))
+    for row in rows:
+        if not 0 <= row < len(refs):
+            raise ValueError(
+                f"fused row {row} out of range for a "
+                f"{len(refs)}-ref table"
+            )
+        parts.append(_COUNT.pack(row))
+    parts.append(encode_batch(bodies, max_frame))
+    payload = b"".join(parts)
+    if len(payload) > max_frame - _ENVELOPE.size:
+        raise ValueError(
+            f"fused batch of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return payload
+
+
+def decode_fused_batch(
+    payload: bytes,
+) -> "tuple[list[tuple[str, int]], list[int], list[bytes]]":
+    """Strict inverse of :func:`encode_fused_batch`."""
+    if len(payload) < _COUNT.size:
+        raise ValueError("fused batch is shorter than its ref count")
+    (ref_count,) = _COUNT.unpack_from(payload)
+    if ref_count == 0:
+        raise ValueError("fused batch needs at least one key ref")
+    rest = payload[_COUNT.size :]
+    refs = []
+    for index in range(ref_count):
+        try:
+            name, generation, rest = decode_key_ref(rest)
+        except ValueError as exc:
+            raise ValueError(
+                f"fused batch key ref {index} is malformed: {exc}"
+            ) from None
+        refs.append((name, generation))
+    if len(rest) < _COUNT.size:
+        raise ValueError("fused batch truncated before its row count")
+    (row_count,) = _COUNT.unpack_from(rest)
+    cursor = _COUNT.size
+    if len(rest) - cursor < row_count * _COUNT.size:
+        raise ValueError("fused batch truncated inside its row table")
+    rows = []
+    for index in range(row_count):
+        (row,) = _COUNT.unpack_from(rest, cursor)
+        cursor += _COUNT.size
+        if row >= ref_count:
+            raise ValueError(
+                f"fused row {row} out of range for a "
+                f"{ref_count}-ref table"
+            )
+        rows.append(row)
+    bodies = decode_batch(rest[cursor:])
+    if len(bodies) != row_count:
+        raise ValueError(
+            f"fused batch has {row_count} rows for {len(bodies)} bodies"
+        )
+    return refs, rows, bodies
 
 
 # ----------------------------------------------------------------------

@@ -39,10 +39,11 @@ Operations
     rejects it.
 ``stats``
     Empty body.  Returns the server's live per-op batch/latency
-    counters (default key under ``ops``, named keys nested per key
-    under ``keys``), keystore lifecycle counters, and per-shard
-    executor counters as a JSON object, so a running server is
-    inspectable without restarting it (``rlwe-repro stats``).
+    counters (default key under ``ops``, cross-key fusion counters
+    under ``fused``, named keys nested per key under ``keys``),
+    keystore lifecycle counters, and per-shard executor counters as a
+    JSON object, so a running server is inspectable without
+    restarting it (``rlwe-repro stats``).
 
 Multi-tenant keys
 -----------------
@@ -54,11 +55,14 @@ their bodies carry a key ref (name + pinned generation) before the
 operation's normal payload, and ``key_get_public`` returns ``current
 generation (u32) || serialized public key``.  Requests pinned to a
 rotated-past generation fail with ``stale_key_generation``; unknown or
-retired names with ``key_not_found``.  Coalescing is per
-``(key, operation)`` — one flushed window computes under exactly one
-keypair — while the unprefixed opcodes keep serving the default key
-through the same batchers (and randomness streams) as before the
-keystore existed.
+retired names with ``key_not_found``.  Coalescing is *fused*: one
+window per operation carries items pinned to different keys, and the
+whole window computes as one batched backend call over a small
+per-flush key matrix (per-item row gather), so mean batch size stays
+at ``max_batch`` no matter how many keys are hot.  A rotation racing a
+queued window fails only its stale-tagged rows.  The unprefixed
+opcodes keep serving the default key through their own batchers (and
+randomness streams), bit-identical to before the keystore existed.
 
 Every parse failure of untrusted bytes surfaces as :exc:`ValueError`
 from the :mod:`repro.core.serialize` layer and maps to a
@@ -81,7 +85,7 @@ from repro.service import protocol
 
 if TYPE_CHECKING:  # runtime import is lazy; keystore imports service
     from repro.keystore import KeyStore
-from repro.service.coalescer import KeyedBatcherGroup, MicroBatcher
+from repro.service.coalescer import FusedBatcherGroup, MicroBatcher
 from repro.service.executor import (
     Executor,
     InlineExecutor,
@@ -195,34 +199,25 @@ class RlweService:
             name: batcher(opcode) for name, opcode in BATCHED_OPS.items()
         }
 
-        # Live windows track active keys, not all keys ever served:
-        # idle windows LRU out well above the hot-material budget so
-        # neither memory nor the stats payload grows with lifetime
-        # tenant count.
+        # Per-key *stat* entries track active keys, not all keys ever
+        # served: idle entries LRU out well above the hot-material
+        # budget so the stats payload never grows with lifetime tenant
+        # count.  The windows themselves are shared per op.
         window_cap = max(self.keystore.hot_capacity * 8, 64)
 
-        def keyed_group(opcode: int) -> KeyedBatcherGroup:
-            def make_flush(name: str, generation: int):
-                async def flush(bodies: List[bytes]):
-                    # Material resolves at flush time: a rotation that
-                    # landed while this window queued fails the whole
-                    # window with the stale-generation error.
-                    material = self.keystore.materialize(name, generation)
-                    return await self.executor.run_batch(
-                        opcode, bodies, key=material
-                    )
+        def fused_group(opcode: int) -> FusedBatcherGroup:
+            def flush(tags, bodies):
+                return self._run_fused(opcode, tags, bodies)
 
-                return flush
-
-            return KeyedBatcherGroup(
-                make_flush,
+            return FusedBatcherGroup(
+                flush,
                 max_batch=max_batch,
                 max_wait=max_wait,
                 max_keys=window_cap,
             )
 
-        self.key_batchers: Dict[str, KeyedBatcherGroup] = {
-            name: keyed_group(opcode)
+        self.key_batchers: Dict[str, FusedBatcherGroup] = {
+            name: fused_group(opcode)
             for name, opcode in BATCHED_OPS.items()
         }
 
@@ -318,15 +313,70 @@ class RlweService:
         except ValueError as exc:
             raise ServiceError(STATUS_BAD_REQUEST, str(exc)) from None
 
-    def _discard_key_windows(self, name: str) -> None:
-        """Flush ``name``'s queued windows now (rotate/retire path).
+    def _flush_key_windows(self) -> None:
+        """Flush every queued fused window now (rotate/retire path).
 
-        Their flushes re-resolve material and fail with the typed
-        stale/not-found error immediately, instead of the queued items
-        waiting out their window timers to learn the key moved on.
+        Material resolves per row inside the flush, so rows pinned to
+        the superseded generation fail with the typed stale/not-found
+        error immediately — without waiting out their window timers —
+        while every other row of the same window computes normally.
         """
         for group in self.key_batchers.values():
-            group.discard(name)
+            group.flush_pending()
+
+    async def _run_fused(self, opcode: int, tags, bodies):
+        """One flushed cross-key window, end to end.
+
+        Resolves material per distinct ``(name, generation)`` tag (a
+        stale or retired tag fails only its own rows), pins the
+        resolved keys for the duration of the flush so LRU eviction
+        cannot regenerate a key under the running batch, and runs the
+        surviving rows as one fused executor batch.
+        """
+        results: List = [None] * len(bodies)
+        materials: Dict = {}
+        failures: Dict = {}
+        pinned: List[str] = []
+        try:
+            for tag in tags:
+                if tag in materials or tag in failures:
+                    continue
+                name, generation = tag
+                # Pin before materializing: a window wider than the
+                # hot LRU would otherwise evict its own freshly
+                # materialized entries before they could be pinned.
+                self.keystore.pin(name)
+                try:
+                    material = self.keystore.materialize(name, generation)
+                except ServiceError as exc:
+                    failures[tag] = exc
+                    self.keystore.unpin(name)
+                    continue
+                materials[tag] = material
+                pinned.append(name)
+            live = [
+                index
+                for index, tag in enumerate(tags)
+                if tag in materials
+            ]
+            for index, tag in enumerate(tags):
+                if tag in failures:
+                    results[index] = failures[tag]
+            if live:
+                sub_bodies = [bodies[index] for index in live]
+                keys_vec = [materials[tags[index]] for index in live]
+                try:
+                    sub = await self.executor.run_batch(
+                        opcode, sub_bodies, keys=keys_vec
+                    )
+                except ServiceError as exc:
+                    sub = [exc] * len(live)
+                for index, result in zip(live, sub):
+                    results[index] = result
+        finally:
+            for name in pinned:
+                self.keystore.unpin(name)
+        return results
 
     async def _dispatch_keyed(self, opcode: int, body: bytes) -> bytes:
         """One ``OP_KEY_*`` crypto request: key ref + op payload."""
@@ -345,8 +395,9 @@ class RlweService:
         self.keystore.resolve_generation(name, generation)
         op_name = _OP_NAMES[KEYED_TO_BASE[opcode]]
         payload = self._VALIDATORS[op_name](self, payload)
-        group = self.key_batchers[op_name]
-        return await group.batcher(name, generation).submit(payload)
+        return await self.key_batchers[op_name].submit(
+            name, generation, payload
+        )
 
     async def dispatch(self, opcode: int, body: bytes) -> bytes:
         """Execute one operation body-to-body; raises ServiceError."""
@@ -381,11 +432,11 @@ class RlweService:
             return json.dumps(info.to_dict()).encode()
         if opcode == OP_ROTATE_KEY:
             info = self.keystore.rotate(self._decode_key_name(body))
-            self._discard_key_windows(info.name)
+            self._flush_key_windows()
             return json.dumps(info.to_dict()).encode()
         if opcode == OP_RETIRE_KEY:
             info = self.keystore.retire(self._decode_key_name(body))
-            self._discard_key_windows(info.name)
+            self._flush_key_windows()
             return json.dumps(info.to_dict()).encode()
         if opcode == OP_LIST_KEYS:
             if body:
@@ -434,9 +485,11 @@ class RlweService:
         """Per-op coalescing counters plus engine/keystore counters.
 
         ``ops`` holds the default key's counters (the pre-keystore
-        shape, unchanged); ``keys`` nests per-op counters under each
-        named key with live windows; ``keystore`` reports lifecycle
-        and hot-cache counters.
+        shape, unchanged); ``fused`` holds each op's cross-key window
+        counters (``windows``, ``fused_rows``, ``keys_per_window``,
+        ``mean_rows_per_window``); ``keys`` nests per-key counters
+        (items/windows/generation) under each recently active named
+        key; ``keystore`` reports lifecycle and hot-cache counters.
         """
         keys: Dict[str, Dict[str, Dict]] = {}
         for op_name, group in self.key_batchers.items():
@@ -451,6 +504,10 @@ class RlweService:
                     inflight_flushes=batcher.inflight_flushes,
                 )
                 for name, batcher in self.batchers.items()
+            },
+            "fused": {
+                name: group.stats_fused()
+                for name, group in self.key_batchers.items()
             },
             "keys": keys,
             "keystore": self.keystore.stats(),

@@ -17,13 +17,15 @@ per-shard parameter-set multiplexing.
 
 Named keys (the multi-tenant keystore) reach the shard lazily: the
 startup config carries only the *default* keypair, and
-``OP_WORKER_SET_KEY`` frames install named keys into a bounded
-shard-local LRU as traffic for them arrives.  A key-addressed batch
-(``OP_KEY_*``: a key ref followed by the batch container) that names a
-key the shard has not pinned — never installed, LRU-evicted, or wiped
-by a respawn — answers ``key_not_found``, which the parent executor
-treats as a cache miss: it reinstalls the key and retries, so rotated
-keys propagate on demand instead of by broadcast.
+``OP_WORKER_SET_KEY`` / ``OP_WORKER_SET_KEYS`` frames install named
+keys into a bounded shard-local LRU as traffic for them arrives.  A
+key-addressed batch (``OP_KEY_*``: a *fused batch* container — a key
+ref table, per-item row indices, and the bodies) may mix items under
+different keys; any refs the shard has not pinned — never installed,
+LRU-evicted, or wiped by a respawn — answer ``key_not_found`` with the
+exact missing refs in the body, which the parent executor treats as a
+cache miss: it reinstalls those keys in one round trip and retries, so
+rotated keys propagate on demand instead of by broadcast.
 
 A clean EOF on stdin is the shutdown signal (the parent closes our pipe
 on executor close); the worker drains nothing and exits 0.  ``OP_PING``
@@ -55,6 +57,7 @@ from repro.service.protocol import (
     OP_PING,
     OP_WORKER_CONFIG,
     OP_WORKER_SET_KEY,
+    OP_WORKER_SET_KEYS,
     STATUS_BAD_REQUEST,
     STATUS_INTERNAL_ERROR,
     STATUS_KEY_NOT_FOUND,
@@ -66,7 +69,9 @@ from repro.trng.xorshift import Xorshift128
 
 #: Named keys one shard keeps materialized; least recently used beyond
 #: this are dropped and refetched from the parent on the next batch.
-WORKER_KEY_CACHE_CAPACITY = 32
+#: Sized so one fused window's whole key table (at most ``max_batch``
+#: distinct refs, in practice far fewer) fits without self-eviction.
+WORKER_KEY_CACHE_CAPACITY = 128
 
 
 def _runner_from_config(payload: bytes) -> "tuple[OpRunner, str]":
@@ -176,26 +181,41 @@ def run_worker(stdin, stdout) -> int:
                 keys.install(name, generation, pair)
                 body = b""
                 status = STATUS_OK
+            elif request.opcode == OP_WORKER_SET_KEYS:
+                for item in protocol.decode_batch(request.body):
+                    name, generation, pair = decode_worker_key(item)
+                    keys.install(name, generation, pair)
+                body = b""
+                status = STATUS_OK
             elif request.opcode in KEYED_TO_BASE:
-                name, generation, rest = protocol.decode_key_ref(
+                refs, rows, bodies = protocol.decode_fused_batch(
                     request.body
                 )
-                bodies = protocol.decode_batch(rest)
-                pair = keys.lookup(name, generation)
-                if pair is None:
-                    # The parent reinstalls and retries on this status
-                    # — the worker never sees the keystore, only its
-                    # own cache.
-                    body = (
-                        f"shard has no key {name!r} generation "
-                        f"{generation} cached"
-                    ).encode()
+                table = []
+                missing = []
+                for name, generation in refs:
+                    pair = keys.lookup(name, generation)
+                    if pair is None:
+                        missing.append((name, generation))
+                    table.append(pair)
+                if missing:
+                    # The parent reinstalls the reported misses and
+                    # retries on this status — the worker never sees
+                    # the keystore, only its own cache.  The body is a
+                    # batch container of the exact missing refs, so
+                    # one refetch round trip covers the whole window.
+                    body = protocol.encode_batch(
+                        [
+                            protocol.encode_key_ref(name, generation)
+                            for name, generation in missing
+                        ]
+                    )
                     status = STATUS_KEY_NOT_FOUND
                 else:
                     results = runner.run(
                         KEYED_TO_BASE[request.opcode],
                         bodies,
-                        keypair=pair,
+                        keypairs=[table[row] for row in rows],
                     )
                     body = protocol.encode_result_batch(results)
                     status = STATUS_OK

@@ -116,6 +116,181 @@ class TestNttEquivalence:
                 assert got == expected, (backend.name, op)
 
 
+@pytest.mark.parametrize(
+    "params", ALL_PARAMS, ids=[p.name for p in ALL_PARAMS]
+)
+class TestPerRowOpsEquivalence:
+    """Fused-window per-row operand ops: gather == loop == broadcast.
+
+    The cross-key batcher hands every backend a small per-flush key
+    matrix plus per-item row indices.  The base-class loop fallback and
+    the NumPy fancy-index gather must agree bit-for-bit, and a one-row
+    matrix with all-zero indices must reproduce the broadcast
+    (single-key) path exactly — that degeneration is what keeps the
+    default-key path bit-identical to the pre-fusion service.
+    """
+
+    def test_rows_ops_match_loop_fallback(self, params):
+        rng = random.Random(0x5EED)
+        items = [random_poly(params, rng) for _ in range(6)]
+        keys = [random_poly(params, rng) for _ in range(3)]
+        rows = [0, 2, 1, 2, 0, 1]
+        reference = get_backend("python-reference")
+        for op, single in (
+            ("pointwise_mul_rows", "pointwise_mul"),
+            ("pointwise_add_rows", "pointwise_add"),
+            ("pointwise_sub_rows", "pointwise_sub"),
+        ):
+            expected = [
+                getattr(reference, single)(item, keys[row], params)
+                for item, row in zip(items, rows)
+            ]
+            for backend in backends():
+                got = backend.rows(
+                    getattr(backend, op)(
+                        backend.matrix(items),
+                        backend.matrix(keys),
+                        rows,
+                        params,
+                    )
+                )
+                assert got == expected, (backend.name, op)
+
+    def test_ntt_multiply_rows_matches_singles(self, params):
+        rng = random.Random(0xF00D)
+        items = [random_poly(params, rng) for _ in range(5)]
+        keys = [random_poly(params, rng) for _ in range(2)]
+        rows = [1, 0, 1, 1, 0]
+        reference = get_backend("python-reference")
+        expected = [
+            reference.ntt_multiply(item, keys[row], params)
+            for item, row in zip(items, rows)
+        ]
+        for backend in backends():
+            got = backend.rows(
+                backend.ntt_multiply_rows(
+                    backend.matrix(items),
+                    backend.matrix(keys),
+                    rows,
+                    params,
+                )
+            )
+            assert got == expected, backend.name
+
+    def test_one_row_matrix_degenerates_to_broadcast(self, params):
+        rng = random.Random(0xABCD)
+        items = [random_poly(params, rng) for _ in range(4)]
+        key = random_poly(params, rng)
+        for backend in backends():
+            broadcast = backend.rows(
+                backend.pointwise_mul_batch(
+                    backend.matrix(items), key, params
+                )
+            )
+            gathered = backend.rows(
+                backend.pointwise_mul_rows(
+                    backend.matrix(items),
+                    backend.matrix([key]),
+                    [0] * len(items),
+                    params,
+                )
+            )
+            assert gathered == broadcast, backend.name
+
+    def test_mixed_generations_of_same_name_are_distinct_rows(
+        self, params
+    ):
+        # Two generations of one key name are simply two different
+        # matrix rows — materialized from the keystore derivation, the
+        # fused result must equal encrypting against each generation's
+        # material individually.
+        from repro.keystore import KeyStore
+
+        if params not in (P1, P2):
+            pytest.skip("keystore sampling needs the paper's moduli")
+        store = KeyStore(params, seed=13)
+        store.create("t")
+        gen0 = store.materialize("t", 0)
+        store.rotate("t")
+        gen1 = store.materialize("t", 1)
+        keys = [
+            list(gen0.keypair.public.a_hat),
+            list(gen1.keypair.public.a_hat),
+        ]
+        rng = random.Random(0xDADA)
+        items = [random_poly(params, rng) for _ in range(4)]
+        rows = [0, 1, 0, 1]
+        reference = get_backend("python-reference")
+        expected = [
+            reference.pointwise_mul(item, keys[row], params)
+            for item, row in zip(items, rows)
+        ]
+        for backend in backends():
+            got = backend.rows(
+                backend.pointwise_mul_rows(
+                    backend.matrix(items),
+                    backend.matrix(keys),
+                    rows,
+                    params,
+                )
+            )
+            assert got == expected, backend.name
+
+    def test_out_of_range_row_rejected(self, params):
+        rng = random.Random(0xBEEF)
+        items = [random_poly(params, rng) for _ in range(2)]
+        keys = [random_poly(params, rng)]
+        for backend in backends():
+            for bad in ([0, 1], [-1, 0]):
+                with pytest.raises((ValueError, IndexError)):
+                    backend.pointwise_mul_rows(
+                        backend.matrix(items),
+                        backend.matrix(keys),
+                        bad,
+                        params,
+                    )
+
+    def test_row_count_must_match_items(self, params):
+        rng = random.Random(0xCAFE)
+        items = [random_poly(params, rng) for _ in range(3)]
+        keys = [random_poly(params, rng)]
+        for backend in backends():
+            with pytest.raises(ValueError):
+                backend.pointwise_mul_rows(
+                    backend.matrix(items),
+                    backend.matrix(keys),
+                    [0, 0],
+                    params,
+                )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_rows_gather_matches_loop(seed):
+    """NumPy gather vs explicit per-row singles, random shapes."""
+    rng = random.Random(seed)
+    n_keys = rng.randrange(1, 5)
+    n_items = rng.randrange(1, 9)
+    items = [random_poly(SMALL, rng) for _ in range(n_items)]
+    keys = [random_poly(SMALL, rng) for _ in range(n_keys)]
+    rows = [rng.randrange(n_keys) for _ in range(n_items)]
+    reference = get_backend("python-reference")
+    expected = [
+        reference.ntt_multiply(item, keys[row], SMALL)
+        for item, row in zip(items, rows)
+    ]
+    for backend in backends():
+        got = backend.rows(
+            backend.ntt_multiply_rows(
+                backend.matrix(items),
+                backend.matrix(keys),
+                rows,
+                SMALL,
+            )
+        )
+        assert got == expected, backend.name
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     values=st.lists(

@@ -164,3 +164,63 @@ class TestBenchBackendsCommand:
         for row in report["results"]:
             assert row["encrypt_msgs_per_sec"] > 0
             assert row["speedup_vs_single_python"] > 0
+
+
+class TestRenderStats:
+    def test_fused_section_rendered(self):
+        from repro.cli import render_stats
+
+        stats = {
+            "ops": {
+                "encrypt": {
+                    "items": 12,
+                    "flushes": 3,
+                    "mean_batch_size": 4.0,
+                    "mean_flush_ms": 1.5,
+                    "max_batch_seen": 8,
+                }
+            },
+            "fused": {
+                "encrypt": {
+                    "windows": 5,
+                    "fused_rows": 160,
+                    "keys_seen": 40,
+                    "max_keys_in_window": 16,
+                    "max_batch": 32,
+                    "mean_rows_per_window": 32.0,
+                    "keys_per_window": 8.0,
+                    "mean_flush_ms": 2.0,
+                    "inflight_flushes": 0,
+                },
+                "decrypt": {"windows": 0},
+            },
+            "keys": {
+                "tenant-a": {
+                    "encrypt": {
+                        "generation": 1,
+                        "items": 80,
+                        "windows": 5,
+                    }
+                }
+            },
+            "executor": {"kind": "inline", "batches": 8, "items": 172},
+        }
+        text = render_stats(stats)
+        assert "fused coalescing (cross-key windows):" in text
+        assert "keys/window   8.0" in text
+        assert "mean rows   32.0/32" in text
+        assert "max keys   16" in text
+        # Idle ops are omitted from the fused section entirely.
+        assert text.count("windows") >= 1
+        assert "decrypt" not in text
+        assert "tenant-a" in text and "gen   1" in text
+
+    def test_fused_section_hidden_when_idle(self):
+        from repro.cli import render_stats
+
+        stats = {
+            "ops": {},
+            "fused": {"encrypt": {"windows": 0}},
+            "executor": {"kind": "inline"},
+        }
+        assert "fused coalescing" not in render_stats(stats)

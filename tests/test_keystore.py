@@ -418,3 +418,68 @@ class TestMaterialization:
         assert stats["active"] == 1
         assert stats["retired"] == 1
         assert stats["has_default"] is True
+
+
+# ----------------------------------------------------------------------
+# Flush pinning: a running fused window owns its key matrix
+# ----------------------------------------------------------------------
+class TestFlushPinning:
+    def test_pin_blocks_eviction_unpin_reshrinks(self):
+        store = _store(capacity=2)
+        for name in ("a", "b", "c"):
+            store.create(name)
+        for name in ("a", "b", "c"):  # the server pins, then resolves
+            store.pin(name)
+            store.materialize(name)
+        # Under pins the hot set transiently exceeds capacity rather
+        # than regenerate a key under a running batch.
+        assert set(store.hot_names()) == {"a", "b", "c"}
+        assert store.stats()["pinned"] == 3
+        before = store.stats()["evictions"]
+        store.unpin("a")
+        # Releasing a pin re-applies the capacity bound immediately,
+        # and the freshly unpinned LRU entry is the victim.
+        assert store.hot_names() == ["b", "c"]
+        assert store.stats()["evictions"] == before + 1
+        store.unpin("b")
+        store.unpin("c")
+        assert store.stats()["pinned"] == 0
+
+    def test_pin_is_refcounted(self):
+        store = _store(capacity=1)
+        store.create("a")
+        store.create("b")
+        store.materialize("a")
+        store.pin("a")
+        store.pin("a")
+        store.unpin("a")
+        store.materialize("b")  # one pin still held: "a" survives
+        assert "a" in store.hot_names()
+        store.unpin("a")
+        store.materialize("b")
+        assert store.hot_names() == ["b"]
+
+    def test_pinned_material_is_not_regenerated(self):
+        store = _store(capacity=1)
+        store.create("a")
+        store.create("b")
+        first = store.materialize("a")
+        store.pin("a")
+        store.materialize("b")
+        # Same object, not a bit-identical regeneration: the pinned
+        # entry never left the hot set.
+        assert store.materialize("a") is first
+        store.unpin("a")
+
+    def test_default_key_pins_are_noops(self):
+        store = _store()
+        store.pin(DEFAULT_KEY_NAME)
+        assert store.stats()["pinned"] == 0
+        store.unpin(DEFAULT_KEY_NAME)  # must not raise or underflow
+        assert store.stats()["pinned"] == 0
+
+    def test_unpin_without_pin_is_harmless(self):
+        store = _store()
+        store.create("a")
+        store.unpin("a")
+        assert store.stats()["pinned"] == 0

@@ -242,6 +242,17 @@ class TestKeyedWireOps:
                     ] == 0
                     ks = stats["keystore"]
                     assert ks["keys"] == 2 and ks["has_default"]
+                    assert "pinned" in ks
+                    # Cross-key fusion counters, per op.
+                    fused = stats["fused"]["encrypt"]
+                    assert fused["fused_rows"] == 4
+                    assert fused["windows"] >= 1
+                    assert fused["keys_per_window"] >= 1.0
+                    assert fused["max_keys_in_window"] >= 1
+                    assert fused["max_batch"] == 32
+                    assert (
+                        stats["fused"]["encapsulate"]["fused_rows"] == 2
+                    )
             finally:
                 await server.close()
 
@@ -517,48 +528,77 @@ class TestEvictionUnderLoad:
 
 
 # ----------------------------------------------------------------------
-# Per-key window bookkeeping stays bounded
+# Fused windows: cross-key coalescing and bounded per-key bookkeeping
 # ----------------------------------------------------------------------
 class TestKeyedWindowBound:
-    def test_idle_windows_lru_out(self):
-        from repro.service.coalescer import KeyedBatcherGroup
+    def test_one_window_fuses_many_keys(self):
+        from repro.service.coalescer import FusedBatcherGroup
 
         async def main():
-            def factory(name, generation):
-                async def flush(bodies):
-                    return [name.encode() + b":" + b for b in bodies]
+            seen = []
 
-                return flush
+            async def flush(tags, bodies):
+                seen.append((list(tags), list(bodies)))
+                return [
+                    name.encode() + b":" + body
+                    for (name, _gen), body in zip(tags, bodies)
+                ]
 
-            group = KeyedBatcherGroup(
-                factory, max_batch=4, max_wait=0.005, max_keys=2
+            group = FusedBatcherGroup(
+                flush, max_batch=4, max_wait=0.05, max_keys=8
             )
-            # An eviction must never lose queued items: park a submit
-            # on "a", then touch two more keys to force "a" out.
-            pending = asyncio.ensure_future(
-                group.batcher("a", 0).submit(b"x")
+            # Four items under three different keys coalesce into ONE
+            # flushed window — the whole point of fusion.
+            results = await asyncio.gather(
+                group.submit("a", 0, b"w"),
+                group.submit("b", 0, b"x"),
+                group.submit("c", 3, b"y"),
+                group.submit("a", 0, b"z"),
             )
-            await asyncio.sleep(0)
-            results = [
-                await group.batcher(name, 0).submit(b"y")
-                for name in ("b", "c")
-            ]
-            assert results == [b"b:y", b"c:y"]
-            assert await pending == b"a:x"
+            assert results == [b"a:w", b"b:x", b"c:y", b"a:z"]
+            assert len(seen) == 1
+            tags, bodies = seen[0]
+            assert tags == [("a", 0), ("b", 0), ("c", 3), ("a", 0)]
+            fused = group.stats_fused()
+            assert fused["windows"] == 1
+            assert fused["fused_rows"] == 4
+            assert fused["keys_per_window"] == 3.0
+            assert fused["max_keys_in_window"] == 3
+            per_key = group.stats_by_key()
+            assert per_key["a"]["items"] == 2
+            assert per_key["a"]["windows"] == 1
+            assert per_key["c"]["generation"] == 3
+            await group.drain()
+
+        run(main())
+
+    def test_idle_key_stats_lru_out(self):
+        from repro.service.coalescer import FusedBatcherGroup
+
+        async def main():
+            async def flush(tags, bodies):
+                return list(bodies)
+
+            group = FusedBatcherGroup(
+                flush, max_batch=1, max_wait=0.005, max_keys=2
+            )
+            for name in ("a", "b", "c"):
+                assert await group.submit(name, 0, b"y") == b"y"
             live = group.stats_by_key()
+            # Only the stat entries are bounded; items never drop.
             assert len(live) <= 2
             assert "a" not in live
-            # The evicted key simply gets a fresh window on next use.
-            assert await group.batcher("a", 0).submit(b"z") == b"a:z"
+            assert await group.submit("a", 0, b"z") == b"z"
+            assert "a" in group.stats_by_key()
             await group.drain()
 
         run(main())
 
     def test_max_keys_validated(self):
-        from repro.service.coalescer import KeyedBatcherGroup
+        from repro.service.coalescer import FusedBatcherGroup
 
         with pytest.raises(ValueError):
-            KeyedBatcherGroup(lambda n, g: None, max_keys=0)
+            FusedBatcherGroup(lambda t, b: None, max_keys=0)
 
 
 # ----------------------------------------------------------------------
