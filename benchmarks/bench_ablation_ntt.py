@@ -7,9 +7,9 @@ Not a paper table per se, but the paper's engineering claims:
 * fusing the three encryption NTTs saves ~8.3% versus three runs.
 """
 
-import random
-
 import pytest
+
+from repro.trng.stream import DeterministicRng
 
 from repro.analysis.tables import render_table
 from repro.core.params import P1, P2
@@ -23,11 +23,8 @@ from repro.machine.machine import CortexM4
 
 
 def _polys(params, count):
-    rng = random.Random(7)
-    return [
-        [rng.randrange(params.q) for _ in range(params.n)]
-        for _ in range(count)
-    ]
+    rng = DeterministicRng(7)
+    return [rng.poly(params.n, params.q) for _ in range(count)]
 
 
 def _ablation_rows(params):

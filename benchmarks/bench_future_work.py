@@ -7,8 +7,6 @@
   multiplies) on the packed layout: ~20% off the Alg. 4 transform.
 """
 
-import random
-
 from repro.analysis.leakage import leakage_report, profile_sampler
 from repro.analysis.tables import render_table
 from repro.core.params import P1, P2
@@ -19,6 +17,7 @@ from repro.machine.machine import CortexM4
 from repro.sampler.constant_time import ConstantTimeCdtSampler
 from repro.sampler.pmat import ProbabilityMatrix
 from repro.trng.bitsource import PrngBitSource
+from repro.trng.stream import DeterministicRng
 from repro.trng.xorshift import Xorshift128
 
 
@@ -87,9 +86,9 @@ def test_constant_time_leakage_report(benchmark, paper_report):
 def test_simd_ntt_report(benchmark, paper_report):
     def run():
         rows = []
-        rng = random.Random(3)
+        rng = DeterministicRng(3)
         for params in (P1, P2):
-            a = [rng.randrange(params.q) for _ in range(params.n)]
+            a = rng.poly(params.n, params.q)
             _, packed = CortexM4().measure(ntt_forward_packed, a, params)
             _, simd = CortexM4().measure(ntt_forward_simd, a, params)
             _, simd_inv = CortexM4().measure(ntt_inverse_simd, a, params)
@@ -124,8 +123,8 @@ def test_wallclock_constant_time_sampler(benchmark):
 
 
 def test_wallclock_simd_ntt(benchmark):
-    rng = random.Random(4)
-    a = [rng.randrange(P1.q) for _ in range(P1.n)]
+    rng = DeterministicRng(4)
+    a = rng.poly(P1.n, P1.q)
 
     def run():
         return ntt_forward_simd(CortexM4(), a, P1)

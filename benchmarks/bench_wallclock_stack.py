@@ -34,13 +34,10 @@ def test_wallclock_ntt_multiply_p1(benchmark, random_polys):
 def test_ntt_vs_schoolbook_crossover_report(benchmark, paper_report):
     """NTT multiplication beats schoolbook already at small n in
     operation counts; show the modelled complexity ratio."""
-    import random
-
     from repro.core.params import custom_parameter_set
 
     def run():
         rows = []
-        rng = random.Random(1)
         for n, q in ((16, 97), (64, 257), (256, 7681)):
             params = (
                 P1 if (n, q) == (256, 7681) else custom_parameter_set(n, q, 11.31)

@@ -12,10 +12,11 @@ Each bench module does two things:
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Tuple
 
 import pytest
+
+from repro.trng.stream import DeterministicRng
 
 _REPORTS: List[Tuple[str, str]] = []
 
@@ -47,7 +48,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 @pytest.fixture(scope="session")
 def bench_rng():
-    return random.Random(0xBEEF)
+    return DeterministicRng(0xBEEF)
 
 
 @pytest.fixture(scope="session")
@@ -58,7 +59,6 @@ def random_polys(bench_rng) -> Dict[str, list]:
     out = {}
     for params in (P1, P2):
         out[params.name] = [
-            [bench_rng.randrange(params.q) for _ in range(params.n)]
-            for _ in range(3)
+            bench_rng.poly(params.n, params.q) for _ in range(3)
         ]
     return out

@@ -9,7 +9,6 @@ paper's layout with measured-versus-paper columns.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +37,7 @@ from repro.machine.machine import CortexM4
 from repro.sampler.ddg import level_profile
 from repro.sampler.pmat import ProbabilityMatrix
 from repro.trng.bitpool import BitPool
+from repro.trng.stream import DeterministicRng
 from repro.trng.trng import SimulatedTrng
 from repro.trng.xorshift import Xorshift128
 
@@ -50,8 +50,10 @@ def _machine_with_pool(seed: int) -> "tuple[CortexM4, BitPool]":
     return machine, BitPool(trng, machine=machine)
 
 
-def _random_poly(params: ParameterSet, rng: random.Random) -> List[int]:
-    return [rng.randrange(params.q) for _ in range(params.n)]
+def _random_poly(params: ParameterSet, rng: DeterministicRng) -> List[int]:
+    # Routed through repro.trng (RND001): `rlwe-repro tables --seed N`
+    # must regenerate bit-identical inputs on every machine.
+    return rng.poly(params.n, params.q)
 
 
 # ----------------------------------------------------------------------
@@ -74,7 +76,7 @@ def measure_major_operations(
     key = (params.name, seed)
     if key in _TABLE1_CACHE:
         return _TABLE1_CACHE[key]
-    rng = random.Random(seed)
+    rng = DeterministicRng(seed)
     a = _random_poly(params, rng)
     b = _random_poly(params, rng)
     c = _random_poly(params, rng)
@@ -153,12 +155,12 @@ def measure_scheme_operations(
     key = (params.name, seed)
     if key in _TABLE2_CACHE:
         return _TABLE2_CACHE[key]
-    rng = random.Random(seed)
+    rng = DeterministicRng(seed)
 
     machine, pool = _machine_with_pool(seed)
     pair, keygen = keygen_cycles(machine, params, pool)
 
-    message = [rng.randrange(2) for _ in range(params.n)]
+    message = rng.message_bits(params.n)
     machine, pool = _machine_with_pool(seed + 1)
     ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
 

@@ -89,7 +89,7 @@ def _expect_raises(exc_type, fn, *args) -> Optional[str]:
         fn(*args)
     except exc_type:
         return None
-    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+    except Exception as exc:  # lint: disable=EXC001(probe: any mismatch type is reported to the caller, never swallowed)
         return f"raised {type(exc).__name__} instead of {exc_type.__name__}"
     return f"raised nothing, expected {exc_type.__name__}"
 

@@ -320,6 +320,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "static invariant checks over the repo's own source "
+            "(randomness, constant-time, wire, IPC, asyncio, excepts)"
+        ),
+    )
+    from repro.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+
     sample = sub.add_parser("sample", help="draw Gaussian samples")
     sample.add_argument("--params", default="P1")
     sample.add_argument("--count", type=int, default=10000)
@@ -429,6 +440,12 @@ def _cmd_decrypt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
     from repro.analysis.stats import empirical_moments, centered
     from repro.sampler.lut_sampler import LutKnuthYaoSampler
@@ -457,23 +474,24 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    import random
-
     from repro.cyclemodel.scheme_cycles import (
         decrypt_cycles,
         encrypt_cycles,
         keygen_cycles,
     )
+    from repro.trng.stream import DeterministicRng
 
     params = get_parameter_set(args.params)
-    rng = random.Random(args.seed)
+    # Routed through repro.trng (RND001): the profiled message replays
+    # bit-identically under --seed, like every other draw in the run.
+    rng = DeterministicRng(args.seed)
 
     machine = CortexM4()
     pool = BitPool(SimulatedTrng(Xorshift128(args.seed), machine=machine), machine=machine)
     pair, keygen = keygen_cycles(machine, params, pool)
     print(keygen)
 
-    message = [rng.randrange(2) for _ in range(params.n)]
+    message = rng.message_bits(params.n)
     machine = CortexM4()
     pool = BitPool(SimulatedTrng(Xorshift128(args.seed + 1), machine=machine), machine=machine)
     ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
@@ -895,6 +913,7 @@ _COMMANDS = {
     "keygen": _cmd_keygen,
     "encrypt": _cmd_encrypt,
     "decrypt": _cmd_decrypt,
+    "lint": _cmd_lint,
     "sample": _cmd_sample,
     "profile": _cmd_profile,
     "bench-backends": _cmd_bench_backends,

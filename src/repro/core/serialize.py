@@ -17,6 +17,12 @@ sees may come from an untrusted network peer.  The contract is strict:
 * a serialized object deserialises to an equal object (round-trip), and
   deserialisation accepts *exactly* the bytes serialisation produced.
 
+The contract is machine-checked: ``rlwe-repro lint`` (WIRE001, see
+README "Developer tooling") flags any ``deserialize_*``/``peek_*``
+function here whose ``struct`` unpacks are not dominated by a length
+guard, whose parameter-set lookup can leak ``KeyError``, or which
+never enforces exact input length.
+
 Bit-packing runs through a vectorized NumPy fast path when NumPy is
 available (serialisation is the hot path of a batched server, where the
 polynomial arithmetic is already amortised); the pure-Python scalar

@@ -1,0 +1,27 @@
+"""Static enforcement of the repo's own invariants (``rlwe-repro lint``).
+
+The checkers and what they guard are documented in README's
+"Developer tooling" section; run ``rlwe-repro lint --list-checkers``
+for the live list.
+"""
+
+from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE
+from repro.lint.framework import (
+    Baseline,
+    Checker,
+    FileContext,
+    Finding,
+    LintReport,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "CHECKERS_BY_CODE",
+    "Baseline",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "run_lint",
+]

@@ -1,0 +1,641 @@
+"""The invariant checkers behind ``rlwe-repro lint``.
+
+Each checker guards one contract the repo's correctness or security
+story depends on; README's "Developer tooling" section documents the
+codes one line each.  All checkers are heuristic AST passes — they are
+deliberately strict where the contract is load-bearing and suppressible
+(``# lint: disable=CODE``) where a human has judged an exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import Checker, FileContext, Finding
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_len(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "len"
+        ):
+            return True
+    return False
+
+
+def _function_defs(
+    tree: ast.AST,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ----------------------------------------------------------------------
+# RND001 — randomness hygiene
+# ----------------------------------------------------------------------
+class RandomnessHygiene(Checker):
+    """Randomness flows through :mod:`repro.trng`, nowhere else.
+
+    ``--seed N`` promises bit-identical replay across runs, machines,
+    and transports; one stray ``random.random()`` (process-global,
+    hash-seeded) or ``os.urandom()`` (kernel entropy) silently breaks
+    that for everything downstream.  Only ``src/repro/trng/`` may talk
+    to an entropy source.
+    """
+
+    code = "RND001"
+    name = "randomness-hygiene"
+    description = (
+        "randomness outside repro.trng (random/secrets/os.urandom/"
+        "numpy.random) breaks seeded replay"
+    )
+
+    _BANNED_MODULES = {"random", "secrets"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package("trng"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} outside repro.trng; "
+                            f"draw from a seeded repro.trng stream "
+                            f"(e.g. trng.DeterministicRng) instead",
+                        )
+                    elif alias.name.startswith("numpy.random"):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "numpy.random outside repro.trng breaks "
+                            "seeded replay; use a repro.trng stream",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                root = module.split(".")[0]
+                if root in self._BANNED_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {module!r} outside repro.trng; "
+                        f"use a seeded repro.trng stream instead",
+                    )
+                elif module.startswith("numpy.random") or (
+                    module == "numpy"
+                    and any(a.name == "random" for a in node.names)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "numpy.random outside repro.trng breaks seeded "
+                        "replay; use a repro.trng stream",
+                    )
+                elif module == "os" and any(
+                    a.name == "urandom" for a in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.urandom outside repro.trng is unseedable "
+                        "kernel entropy; use a repro.trng stream",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted_name(node)
+                if dotted == "os.urandom":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.urandom outside repro.trng is unseedable "
+                        "kernel entropy; use a repro.trng stream",
+                    )
+                elif dotted in ("numpy.random", "np.random"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "numpy.random outside repro.trng breaks seeded "
+                        "replay; use a repro.trng stream",
+                    )
+
+
+# ----------------------------------------------------------------------
+# CT001 — constant-time discipline
+# ----------------------------------------------------------------------
+class ConstantTimeDiscipline(Checker):
+    """No secret-dependent control flow or table indexing.
+
+    The paper's central implementation concern: a function in
+    ``sampler/`` or ``core/`` that annotates its secrets with
+    ``# lint: secret(name, ...)`` on (or directly above) its ``def``
+    line must not branch on them (``if``/``while``/conditional
+    expressions) or use them as subscript indices — both leak through
+    timing and cache channels.  Taint propagates through assignments
+    within the function.
+    """
+
+    code = "CT001"
+    name = "constant-time"
+    description = (
+        "secret-dependent branch/loop/index in a function annotated "
+        "'# lint: secret(...)' leaks timing"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("sampler", "core"):
+            return
+        for func in _function_defs(ctx.tree):
+            secrets = ctx.secret_names_for(func)
+            if not secrets:
+                continue
+            yield from self._check_function(ctx, func, set(secrets))
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        tainted: Set[str],
+    ) -> Iterator[Finding]:
+        body_nodes = [
+            node
+            for stmt in func.body
+            for node in ast.walk(stmt)
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+        def references_secret(node: ast.AST) -> bool:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id in tainted:
+                    return True
+            return False
+
+        # Propagate taint through assignments to a fixpoint, so the
+        # order of statements cannot hide a derived secret.
+        changed = True
+        while changed:
+            changed = False
+            for node in body_nodes:
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign) and references_secret(
+                    node.value
+                ):
+                    targets = list(node.targets)
+                elif isinstance(node, ast.AugAssign) and (
+                    references_secret(node.value)
+                    or references_secret(node.target)
+                ):
+                    targets = [node.target]
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and references_secret(node.value)
+                ):
+                    targets = [node.target]
+                elif isinstance(node, (ast.For, ast.AsyncFor)) and (
+                    references_secret(node.iter)
+                ):
+                    targets = [node.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if (
+                            isinstance(sub, ast.Name)
+                            and sub.id not in tainted
+                        ):
+                            tainted.add(sub.id)
+                            changed = True
+
+        for node in body_nodes:
+            if isinstance(node, (ast.If, ast.While)) and references_secret(
+                node.test
+            ):
+                kind = "if" if isinstance(node, ast.If) else "while"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"secret-dependent `{kind}` (condition touches "
+                    f"{self._touched(node.test, tainted)}); constant-time "
+                    f"code must select by mask, not branch",
+                )
+            elif isinstance(node, ast.IfExp) and references_secret(node.test):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"secret-dependent conditional expression (touches "
+                    f"{self._touched(node.test, tainted)}); select by "
+                    f"arithmetic/mask instead",
+                )
+            elif isinstance(node, ast.Subscript) and references_secret(
+                node.slice
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"secret-dependent subscript (index touches "
+                    f"{self._touched(node.slice, tainted)}); table lookups "
+                    f"indexed by secrets leak through the cache",
+                )
+            elif isinstance(node, ast.comprehension):
+                for test in node.ifs:
+                    if references_secret(test):
+                        yield self.finding(
+                            ctx,
+                            test,
+                            "secret-dependent comprehension filter; "
+                            "constant-time code must not branch on secrets",
+                        )
+
+    @staticmethod
+    def _touched(node: ast.AST, tainted: Set[str]) -> str:
+        names = sorted(
+            {
+                sub.id
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Name) and sub.id in tainted
+            }
+        )
+        return ", ".join(repr(n) for n in names) or "a secret"
+
+
+# ----------------------------------------------------------------------
+# WIRE001 — wire strictness
+# ----------------------------------------------------------------------
+class WireStrictness(Checker):
+    """Deserializers parse strictly: ValueError only, exact length.
+
+    Applies to ``deserialize_*``/``decode_*``/``peek_*``/``parse_*``
+    functions in wire modules (``serialize.py``, ``protocol.py``).
+    Three rules:
+
+    * every ``struct.unpack``/``unpack_from`` must be dominated by a
+      length guard (an earlier ``if``/``while`` on ``len(...)``, a
+      ``*check_exact_length*``/``*parse_header*`` call, or a
+      ``try/except struct.error``) so truncated input cannot escape as
+      ``struct.error``;
+    * ``deserialize_*``/``decode_*``/``peek_*`` functions must consume
+      exactly their input: an exact-length helper, a trailing-bytes
+      comparison, an explicit remainder return (``data[cursor:]``), or
+      delegation to another strict parser;
+    * ``get_parameter_set`` lookups must convert ``KeyError`` to
+      ``ValueError`` via try/except.
+    """
+
+    code = "WIRE001"
+    name = "wire-strictness"
+    description = (
+        "deserializer may leak struct.error/KeyError or accept "
+        "trailing bytes; wire parsing must be exact and raise ValueError"
+    )
+
+    _WIRE_FILES = {"serialize.py", "protocol.py"}
+    _SCOPE_PREFIXES = ("deserialize_", "decode_", "peek_", "parse_")
+    _EXACTNESS_PREFIXES = ("deserialize_", "decode_", "peek_")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.filename not in self._WIRE_FILES:
+            return
+        for func in _function_defs(ctx.tree):
+            stripped = func.name.lstrip("_")
+            if not stripped.startswith(self._SCOPE_PREFIXES):
+                continue
+            yield from self._check_unpacks(ctx, func)
+            yield from self._check_parameter_lookup(ctx, func)
+            if stripped.startswith(self._EXACTNESS_PREFIXES):
+                yield from self._check_exactness(ctx, func)
+
+    # -- rule 1: guarded unpacks ---------------------------------------
+    def _check_unpacks(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        guard_lines: List[int] = []
+        for node in ast.walk(func):
+            if isinstance(node, (ast.If, ast.While)) and _mentions_len(
+                node.test
+            ):
+                guard_lines.append(node.lineno)
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func) or ""
+                if "check_exact_length" in dotted or "parse_header" in dotted:
+                    guard_lines.append(node.lineno)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func) or ""
+            if not dotted.endswith((".unpack", ".unpack_from")):
+                continue
+            if any(line <= node.lineno for line in guard_lines):
+                continue
+            if self._inside_struct_error_try(func, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted} is not dominated by a length guard; truncated "
+                f"input would escape as struct.error instead of ValueError",
+            )
+
+    @staticmethod
+    def _inside_struct_error_try(func: ast.AST, call: ast.Call) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            if not any(sub is call for sub in ast.walk(node)):
+                continue
+            for handler in node.handlers:
+                names: List[Optional[str]] = []
+                if handler.type is None:
+                    return True
+                if isinstance(handler.type, ast.Tuple):
+                    names = [_dotted_name(e) for e in handler.type.elts]
+                else:
+                    names = [_dotted_name(handler.type)]
+                if any(n in ("struct.error", "Exception") for n in names):
+                    return True
+        return False
+
+    # -- rule 2: exact-length discipline -------------------------------
+    def _check_exactness(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func) or ""
+                if "check_exact_length" in dotted:
+                    return
+                leaf = dotted.split(".")[-1].lstrip("_")
+                if dotted != "" and leaf.startswith(self._SCOPE_PREFIXES):
+                    return  # delegates to another strict parser
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.NotEq, ast.Eq)) for op in node.ops
+            ):
+                if _mentions_len(node):
+                    return  # trailing-bytes comparison
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if (
+                        isinstance(sub, ast.Subscript)
+                        and isinstance(sub.slice, ast.Slice)
+                        and sub.slice.upper is None
+                        and sub.slice.lower is not None
+                    ):
+                        return  # returns the unconsumed remainder
+        yield self.finding(
+            ctx,
+            func,
+            f"{func.name} never enforces exact input length: add a "
+            f"trailing-bytes check (or return the remainder explicitly) "
+            f"so surplus input is rejected",
+        )
+
+    # -- rule 3: parameter-set lookup ----------------------------------
+    def _check_parameter_lookup(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func) or ""
+            if dotted.split(".")[-1] != "get_parameter_set":
+                continue
+            if self._inside_keyerror_try(func, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "get_parameter_set may raise KeyError on an unknown "
+                "parameter-set name; wrap it and re-raise ValueError",
+            )
+
+    @staticmethod
+    def _inside_keyerror_try(func: ast.AST, call: ast.Call) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            if not any(sub is call for sub in ast.walk(node)):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    return True
+                elements = (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+                if any(
+                    _dotted_name(e) in ("KeyError", "Exception")
+                    for e in elements
+                ):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# IPC001 — pickle ban
+# ----------------------------------------------------------------------
+class PickleBan(Checker):
+    """No ``pickle``/``marshal`` anywhere near a transport.
+
+    The worker-IPC pipe and the public socket both speak the hardened
+    length-prefixed wire format; unpickling attacker-influenced bytes
+    is arbitrary code execution, so the importers never get a chance.
+    """
+
+    code = "IPC001"
+    name = "pickle-ban"
+    description = (
+        "pickle/marshal import in a transport package; IPC carries the "
+        "hardened wire format only"
+    )
+
+    _BANNED = {"pickle", "cPickle", "marshal", "shelve", "dill"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("service", "api"):
+            return
+        for node in ast.walk(ctx.tree):
+            names: List[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [(node.module or "").split(".")[0]]
+            for name in names:
+                if name in self._BANNED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of {name!r} in a transport package; the "
+                        f"IPC pipe and socket carry only the hardened "
+                        f"wire format (repro.core.serialize / "
+                        f"repro.service.protocol)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# ASY001 — asyncio hygiene
+# ----------------------------------------------------------------------
+class AsyncioHygiene(Checker):
+    """No blocking calls on the event loop.
+
+    One ``time.sleep`` inside an ``async def`` stalls every connection
+    and every coalescer window the process is serving.  Flags known
+    blocking calls — ``time.sleep``, ``open``, blocking ``subprocess``
+    helpers, ``socket.create_connection``, ``os.system`` and the
+    repo's own ``*_blocking`` frame I/O — inside ``async def`` bodies
+    in ``service/`` and ``api/`` (nested synchronous ``def``s are
+    exempt: they run off-loop via executors or in worker processes).
+    """
+
+    code = "ASY001"
+    name = "asyncio-hygiene"
+    description = (
+        "blocking call (time.sleep/open/subprocess/*_blocking) inside "
+        "async def stalls the event loop"
+    )
+
+    _BLOCKING = {
+        "time.sleep",
+        "open",
+        "os.system",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("service", "api"):
+            return
+        for func in _function_defs(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            yield from self._check_async_body(ctx, func)
+
+    def _check_async_body(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                continue  # sync helpers run off-loop by construction
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue  # visited separately as its own async def
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted in self._BLOCKING:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"blocking call {dotted}() inside async def "
+                        f"{func.name!r} stalls the event loop; await an "
+                        f"async equivalent or move it off-loop",
+                    )
+                elif dotted is not None and dotted.split(".")[-1].endswith(
+                    "_blocking"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() is the synchronous frame-I/O path; "
+                        f"inside async def {func.name!r} use the awaitable "
+                        f"read_frame/write_frame instead",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# EXC001 — broad-except audit
+# ----------------------------------------------------------------------
+class BroadExceptAudit(Checker):
+    """Every ``except Exception`` must say why.
+
+    A broad except at the wrong layer swallows protocol violations and
+    corrupt state; the legitimate ones (failure boundaries that convert
+    anything into an error response) must carry an inline
+    ``# lint: disable=EXC001(reason)`` so the judgement is recorded at
+    the site.  Handlers that re-raise bare (``except BaseException:
+    cleanup(); raise``) are exempt — they propagate, not swallow.
+    """
+
+    code = "EXC001"
+    name = "broad-except"
+    description = (
+        "broad `except Exception` that neither re-raises nor carries an "
+        "inline '# lint: disable=EXC001(reason)' annotation"
+    )
+    require_reason = True
+
+    _BROAD = {"Exception", "BaseException"}
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._reraises(node):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; catch concrete exceptions, or "
+                    "annotate `# lint: disable=EXC001(reason)`",
+                )
+                continue
+            elements = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            broad = [
+                name
+                for name in (_dotted_name(e) for e in elements)
+                if name in self._BROAD
+            ]
+            if broad:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"broad `except {broad[0]}`: narrow it, or record "
+                    f"the boundary judgement inline with "
+                    f"`# lint: disable=EXC001(reason)`",
+                )
+
+
+#: Every registered checker, in documentation order.
+ALL_CHECKERS: Tuple[Checker, ...] = (
+    RandomnessHygiene(),
+    ConstantTimeDiscipline(),
+    WireStrictness(),
+    PickleBan(),
+    AsyncioHygiene(),
+    BroadExceptAudit(),
+)
+
+CHECKERS_BY_CODE: Dict[str, Checker] = {c.code: c for c in ALL_CHECKERS}

@@ -1,0 +1,167 @@
+"""Command-line front end: ``rlwe-repro lint`` / ``python -m repro.lint``.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE
+from repro.lint.framework import Baseline, run_lint
+
+#: The committed baseline of grandfathered findings, looked up in the
+#: working directory when ``--baseline`` is not given.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Default lint surface when no paths are given.
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint "
+            f"(default: {' '.join(DEFAULT_PATHS)} where present)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline JSON of grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "grandfather every current finding into the baseline file "
+            "and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list every checker code with its one-line contract",
+    )
+
+
+def _resolve_paths(raw: Sequence[str]) -> List[str]:
+    if raw:
+        missing = [p for p in raw if not Path(p).exists()]
+        if missing:
+            raise SystemExit(f"error: no such path: {', '.join(missing)}")
+        return list(raw)
+    found = [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    if not found:
+        raise SystemExit(
+            "error: no paths given and none of "
+            f"{', '.join(DEFAULT_PATHS)} exist here"
+        )
+    return found
+
+
+def _resolve_select(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    codes = [c.strip().upper() for c in raw.split(",") if c.strip()]
+    unknown = [c for c in codes if c not in CHECKERS_BY_CODE]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown checker code(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(CHECKERS_BY_CODE))}"
+        )
+    if not codes:
+        raise SystemExit("error: --select lists no codes")
+    return codes
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_checkers:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.code}  {checker.name:<20} {checker.description}")
+        return 0
+
+    paths = _resolve_paths(args.paths)
+    select = _resolve_select(args.select)
+
+    baseline: Optional[Baseline] = None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if not args.no_baseline:
+        if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+            baseline_path = Path(DEFAULT_BASELINE)
+        if baseline_path is not None and not args.write_baseline:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+                raise SystemExit(f"error: bad baseline {baseline_path}: {exc}")
+
+    report = run_lint(paths, ALL_CHECKERS, select=select, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        Baseline.from_findings(report.findings).dump(target)
+        print(
+            f"wrote {len(report.findings)} grandfathered finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in "
+            f"{report.checked_files} file(s)"
+        )
+        extras = []
+        if report.suppressed:
+            extras.append(f"{len(report.suppressed)} suppressed inline")
+        if report.baselined:
+            extras.append(f"{len(report.baselined)} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary)
+    return 1 if report.findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rlwe-repro lint",
+        description=(
+            "AST-based invariant checker for the repo's crypto, "
+            "randomness, wire, and concurrency contracts"
+        ),
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,415 @@
+"""The `rlwe-repro lint` framework: files, findings, and suppression.
+
+The repo's safety story rests on invariants that ordinary tests cannot
+watch continuously — "all randomness flows through :mod:`repro.trng`",
+"no pickle ever touches an IPC pipe", "deserializers consume exactly
+their input".  This package turns those conventions into an AST-based
+static-analysis pass over the repo's own source.
+
+This module is the machinery; the individual rules live in
+:mod:`repro.lint.checkers`.  Three pieces matter to checker authors:
+
+* :class:`Finding` — one diagnostic: code, path, line, column, message.
+* :class:`FileContext` — one parsed file: source, AST, comment
+  directives, and package-location helpers (``in_package``).
+* suppression — a finding is silenced by an inline
+  ``# lint: disable=CODE`` comment on its line (codes whose checker
+  sets ``require_reason`` additionally need ``CODE(reason text)``), or
+  by an entry in a committed JSON *baseline* file that grandfathers
+  pre-existing findings by ``(code, path, message)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Finding code used when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "LNT999"
+
+_CODE_RE = re.compile(r"[A-Z]{2,8}[0-9]{3}")
+_DIRECTIVE_RE = re.compile(r"#\s*lint:\s*(.+)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    code: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "Finding":
+        return cls(
+            code=str(obj["code"]),
+            path=str(obj["path"]),
+            line=int(obj["line"]),  # type: ignore[arg-type]
+            column=int(obj["column"]),  # type: ignore[arg-type]
+            message=str(obj["message"]),
+        )
+
+
+@dataclass(frozen=True)
+class Disable:
+    """One inline ``disable=`` entry: the code plus its optional reason."""
+
+    code: str
+    reason: Optional[str]
+
+
+def _split_disable_list(text: str) -> List[Disable]:
+    """Parse ``CODE1,CODE2(reason, with commas),CODE3`` into entries."""
+    entries: List[Disable] = []
+    cursor = 0
+    length = len(text)
+    while cursor < length:
+        match = _CODE_RE.match(text, cursor)
+        if match is None:
+            # Skip separators/whitespace; stop on anything unparseable.
+            if text[cursor] in ", \t":
+                cursor += 1
+                continue
+            break
+        code = match.group(0)
+        cursor = match.end()
+        reason: Optional[str] = None
+        if cursor < length and text[cursor] == "(":
+            close = text.find(")", cursor)
+            if close == -1:
+                reason = text[cursor + 1 :].strip() or None
+                cursor = length
+            else:
+                reason = text[cursor + 1 : close].strip() or None
+                cursor = close + 1
+        entries.append(Disable(code, reason))
+    return entries
+
+
+def parse_directives(
+    source: str,
+) -> "tuple[Dict[int, List[Disable]], Dict[int, List[str]]]":
+    """Extract per-line lint directives from a file's comments.
+
+    Returns ``(disables, secrets)``: line number -> the ``disable=``
+    entries on that line, and line number -> the names declared secret
+    by a ``secret(a, b)`` annotation on that line.
+    """
+    disables: Dict[int, List[Disable]] = {}
+    secrets: Dict[int, List[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (number, "#" + line.split("#", 1)[1])
+            for number, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for line_number, comment in comments:
+        match = _DIRECTIVE_RE.search(comment)
+        if match is None:
+            continue
+        body = match.group(1).strip()
+        if body.startswith("disable="):
+            entries = _split_disable_list(body[len("disable=") :])
+            if entries:
+                disables.setdefault(line_number, []).extend(entries)
+        elif body.startswith("secret(") and body.endswith(")"):
+            names = [
+                name.strip()
+                for name in body[len("secret(") : -1].split(",")
+                if name.strip()
+            ]
+            if names:
+                secrets.setdefault(line_number, []).extend(names)
+    return disables, secrets
+
+
+class FileContext:
+    """One file under analysis: source, AST, and directive maps."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.disables, self.secrets = parse_directives(source)
+        self.parts: Tuple[str, ...] = self._package_parts(path)
+
+    @staticmethod
+    def _package_parts(path: str) -> Tuple[str, ...]:
+        """Path components below the ``repro`` package, if any.
+
+        ``src/repro/service/protocol.py`` -> ``('service', 'protocol.py')``
+        so checkers can scope themselves to subpackages regardless of
+        where the tree is checked out.  Files outside a ``repro``
+        directory (benchmarks, fixtures) keep their plain components.
+        """
+        parts = Path(path).parts
+        for index, part in enumerate(parts):
+            if part == "repro":
+                return tuple(parts[index + 1 :])
+        return tuple(parts)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the file sits under one of the given subpackages."""
+        return bool(self.parts) and self.parts[0] in packages
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.path
+
+    def secret_names_for(self, node: ast.AST) -> List[str]:
+        """Names declared secret for a function definition node.
+
+        The ``# lint: secret(...)`` annotation attaches on the ``def``
+        line itself or on the line directly above it (above any
+        decorators).
+        """
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return []
+        candidate_lines = {node.lineno, node.lineno - 1}
+        for decorator in node.decorator_list:
+            candidate_lines.add(decorator.lineno - 1)
+        names: List[str] = []
+        for line in sorted(candidate_lines):
+            names.extend(self.secrets.get(line, []))
+        return names
+
+
+class Checker:
+    """Base class: one rule, one code, one ``check`` generator."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: When True, an inline disable must carry a ``(reason)`` to count.
+    require_reason: bool = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# Baseline (grandfathered findings)
+# ----------------------------------------------------------------------
+class Baseline:
+    """A committed set of grandfathered findings.
+
+    Entries match on ``(code, path, message)`` — line numbers shift too
+    easily to key on.  One entry suppresses every current finding it
+    matches, so a baseline can only shrink the enforced surface, never
+    misattribute a new finding to an old line.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()):
+        self.entries = set(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"{path}: not a version-{cls.VERSION} lint baseline"
+            )
+        entries = set()
+        for entry in data.get("findings", []):
+            entries.add(
+                (str(entry["code"]), str(entry["path"]), str(entry["message"]))
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls((f.code, f.path, f.message) for f in findings)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "findings": [
+                {"code": code, "path": file_path, "message": message}
+                for code, file_path, message in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def contains(self, finding: Finding) -> bool:
+        return (finding.code, finding.path, finding.message) in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# The pass
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    select: Optional[List[str]] = None
+    paths: List[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "tool": "rlwe-repro lint",
+            "paths": list(self.paths),
+            "select": self.select,
+            "checked_files": self.checked_files,
+            "findings": [f.to_json() for f in self.findings],
+            "counts": self.counts,
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in candidate.parts
+            ):
+                continue
+            yield candidate
+
+
+def _normalize(path: Path) -> str:
+    """Stable posix-style path for findings and baselines."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _is_suppressed(finding: Finding, ctx: FileContext, checker: Checker) -> bool:
+    for disable in ctx.disables.get(finding.line, []):
+        if disable.code != finding.code:
+            continue
+        if checker.require_reason and not disable.reason:
+            continue
+        return True
+    return False
+
+
+def lint_file(
+    path: Path,
+    checkers: Sequence[Checker],
+    display_path: Optional[str] = None,
+) -> "tuple[Optional[FileContext], List[tuple[Finding, Checker]], Optional[Finding]]":
+    """Run the checkers over one file.
+
+    Returns ``(context, findings_with_checker, parse_error)``;
+    suppression and baselining are the caller's concern so
+    ``--write-baseline`` can see the raw set.
+    """
+    shown = display_path if display_path is not None else _normalize(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, [], Finding(
+            PARSE_ERROR_CODE, shown, 1, 1, f"unreadable: {exc}"
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, [], Finding(
+            PARSE_ERROR_CODE,
+            shown,
+            exc.lineno or 1,
+            (exc.offset or 0) + 1,
+            f"syntax error: {exc.msg}",
+        )
+    ctx = FileContext(shown, source, tree)
+    produced: List[Tuple[Finding, Checker]] = []
+    for checker in checkers:
+        for finding in checker.check(ctx):
+            produced.append((finding, checker))
+    return ctx, produced, None
+
+
+def run_lint(
+    paths: Sequence[str],
+    checkers: Sequence[Checker],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` with the given checkers."""
+    if select is not None:
+        wanted = set(select)
+        checkers = [c for c in checkers if c.code in wanted]
+    report = LintReport(
+        select=sorted(select) if select is not None else None,
+        paths=[str(p) for p in paths],
+    )
+    for path in iter_python_files(paths):
+        report.checked_files += 1
+        ctx, produced, parse_error = lint_file(path, checkers)
+        if parse_error is not None:
+            report.findings.append(parse_error)
+            continue
+        for finding, checker in produced:
+            if ctx is not None and _is_suppressed(finding, ctx, checker):
+                report.suppressed.append(finding)
+            elif baseline is not None and baseline.contains(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return report

@@ -15,6 +15,14 @@ both halves of the trade-off: the timing variance collapses to zero
 (see :mod:`repro.analysis.leakage`) while the average cost rises well
 above Alg. 2's 28.5 cycles/sample — exactly why the paper shipped the
 fast variant and deferred constant time to future work.
+
+The constant-time promise is machine-checked: ``rlwe-repro lint``
+(CT001, see README "Developer tooling") taints the names declared by
+the ``# lint: secret(...)`` annotations below and flags any
+secret-dependent branch, loop, or table index.  The Knuth-Yao samplers
+carry no such annotations on purpose — their walk is secret-dependent
+by design (the leak :mod:`repro.analysis.leakage` quantifies), and
+they promise no constant-time behaviour.
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ class ConstantTimeCdtSampler:
             self.machine.alu(self._words_per_entry)
             self.machine.alu(2)
 
+    # lint: secret(u)
     def sample_magnitude(self) -> int:
         """Full-table scan: time independent of the result."""
         # Draw the wide uniform in fixed-size chunks (register pools
@@ -93,9 +102,10 @@ class ConstantTimeCdtSampler:
             self._charge_entry()
             # Branchless: result += (u >= entry), computed via the
             # subtraction borrow on hardware; Python mirrors the value.
-            result += 1 if u >= entry else 0
+            result += 1 if u >= entry else 0  # lint: disable=CT001(borrow-bit accumulate on hardware; Python only mirrors the selected value)
         return result
 
+    # lint: secret(row, sign)
     def sample(self) -> int:
         """One sample in [0, q): constant-time magnitude plus sign.
 
@@ -107,11 +117,12 @@ class ConstantTimeCdtSampler:
         if self.machine is not None:
             self.machine.alu(3)  # rsb; mask; select — no branch
         negated = (self.q - row) % self.q
-        return negated if sign else row
+        return negated if sign else row  # lint: disable=CT001(mask-select on hardware; both arms are computed before the select)
 
+    # lint: secret(value)
     def sample_centered(self) -> int:
         value = self.sample()
-        return value if value <= self.q // 2 else value - self.q
+        return value if value <= self.q // 2 else value - self.q  # lint: disable=CT001(mask-select on hardware; both arms are computed before the select)
 
     def sample_polynomial(self, n: int) -> List[int]:
         return [self.sample() for _ in range(n)]

@@ -212,7 +212,7 @@ class RlweServiceClient:
             self._reader_task.cancel()
             try:
                 await self._reader_task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            except (asyncio.CancelledError, Exception):  # lint: disable=EXC001(teardown: the cancelled reader's own failure must not abort close)
                 pass
         finally:
             # The socket must close even if reader teardown misbehaves.
@@ -253,7 +253,7 @@ class RlweServiceClient:
                     )
         except asyncio.CancelledError:
             raise
-        except Exception as exc:  # noqa: BLE001 - connection boundary
+        except Exception as exc:  # lint: disable=EXC001(connection boundary: any reader failure must fail every pending future)
             self._fail_pending(exc)
 
     async def request(self, opcode: int, body: bytes = b"") -> bytes:

@@ -118,7 +118,7 @@ class MicroBatcher:
         started = time.perf_counter()
         try:
             outcome = self._flush(items)
-        except Exception as exc:
+        except Exception as exc:  # lint: disable=EXC001(flush boundary: any compute failure must fan out to every waiter's future)
             self.stats["flush_seconds"] += time.perf_counter() - started
             self._fail(window, exc)
             return
@@ -140,7 +140,7 @@ class MicroBatcher:
     ) -> None:
         try:
             results = await outcome
-        except Exception as exc:
+        except Exception as exc:  # lint: disable=EXC001(flush boundary: any compute failure must fan out to every waiter's future)
             self._fail(window, exc)
             return
         finally:

@@ -24,7 +24,10 @@ frames whose bodies are :func:`~repro.service.protocol.encode_batch`
 containers of :mod:`repro.core.serialize` objects.  No pickle crosses a
 process boundary, so a compromised worker cannot feed the parent
 arbitrary object graphs, and the parent↔worker contract is exactly as
-strict as the public socket.
+strict as the public socket.  That ban is machine-checked:
+``rlwe-repro lint`` (IPC001, see README "Developer tooling") fails CI
+on any ``pickle``/``marshal`` import in the transport packages, and
+ASY001 keeps blocking calls off the event loop these engines share.
 
 Both engines share :class:`OpRunner`, the body-in/body-out compute core
 (deserialize → batched backend call → serialize, with per-item error
@@ -955,7 +958,7 @@ class WorkerPoolExecutor(Executor):
                 worker.reader_task.cancel()
                 try:
                     await worker.reader_task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                except (asyncio.CancelledError, Exception):  # lint: disable=EXC001(teardown: the cancelled reader's own failure must not abort close)
                     pass
 
     # ------------------------------------------------------------------
@@ -1245,7 +1248,11 @@ class WorkerPoolExecutor(Executor):
                     future.set_result(response)
         except asyncio.CancelledError:
             raise
-        except Exception:  # noqa: BLE001 - pipe boundary
+        except (OSError, ValueError):
+            # Pipe boundary: a dying worker tears the stream (OSError)
+            # or truncates/corrupts a frame (ValueError from
+            # read_frame/decode_response); either way the exit path
+            # below respawns the shard.
             pass
         finally:
             self._on_worker_exit(worker)
@@ -1288,7 +1295,7 @@ class WorkerPoolExecutor(Executor):
         while not self._closing:
             try:
                 replacement = await self._spawn(index)
-            except Exception as exc:  # noqa: BLE001 - keep the pool up
+            except Exception as exc:  # lint: disable=EXC001(supervisor: any spawn failure is logged and retried, the pool must stay up)
                 attempt += 1
                 print(
                     f"worker {index} respawn attempt {attempt} "

@@ -379,7 +379,11 @@ def decode_key_ref(data: bytes) -> "tuple[str, int, bytes]":
 # per-item status byte so one failed item never poisons its batch.
 # Both follow the serialize-layer contract: strict parsing, exact
 # length, ValueError on anything malformed — the IPC pipe carries the
-# same hardened encoding as the public socket, never pickle.
+# same hardened encoding as the public socket, never pickle.  Both
+# halves of that sentence are machine-checked: WIRE001 audits every
+# decode_* function in this module and IPC001 bans pickle/marshal from
+# the transport packages (`rlwe-repro lint`, README "Developer
+# tooling").
 
 _COUNT = struct.Struct("!I")
 _ITEM_LEN = struct.Struct("!I")

@@ -474,7 +474,7 @@ class RlweService:
             return Response(
                 request.request_id, exc.status, str(exc).encode()
             )
-        except Exception as exc:  # noqa: BLE001 - boundary
+        except Exception as exc:  # lint: disable=EXC001(response boundary: handle() never raises, every failure becomes a status frame)
             return Response(
                 request.request_id,
                 STATUS_INTERNAL_ERROR,

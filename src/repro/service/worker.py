@@ -230,7 +230,7 @@ def run_worker(stdin, stdout) -> int:
                     results = runner.run(request.opcode, bodies)
                 body = protocol.encode_result_batch(results)
                 status = STATUS_OK
-        except Exception as exc:  # noqa: BLE001 - batch boundary
+        except Exception as exc:  # lint: disable=EXC001(batch boundary: any per-batch failure becomes an INTERNAL_ERROR response, the pipe stays up)
             body = f"{type(exc).__name__}: {exc}".encode()
             status = STATUS_INTERNAL_ERROR
         protocol.write_frame_blocking(

@@ -2,6 +2,7 @@
 
 from repro.trng.bitpool import BitPool
 from repro.trng.drbg import HashDrbgBitSource
+from repro.trng.stream import DeterministicRng
 from repro.trng.bitsource import (
     BitSource,
     PrngBitSource,
@@ -18,6 +19,7 @@ from repro.trng.xorshift import Xorshift128
 
 __all__ = [
     "BitPool",
+    "DeterministicRng",
     "HashDrbgBitSource",
     "BitSource",
     "PrngBitSource",

@@ -1,0 +1,73 @@
+"""A stdlib-``random`` replacement backed by the repo's seeded stream.
+
+``rlwe-repro lint`` (RND001) bans ``random``/``secrets``/``os.urandom``
+outside this package: anything drawn from them is invisible to
+``--seed`` replay.  Code that needs generic test vectors — random
+polynomials, message bits, benchmark inputs — uses
+:class:`DeterministicRng` instead, which draws every value from one
+:class:`~repro.trng.xorshift.Xorshift128` bit stream and is therefore
+bit-identical for a given seed on every machine, Python version, and
+transport.
+
+The draw discipline mirrors the samplers' (LSB-first bits out of 32-bit
+words via :class:`~repro.trng.bitsource.PrngBitSource`) with rejection
+sampling for :meth:`randrange`, so the stream position depends only on
+the sequence of requests — never on hash seeds or platform word size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+class DeterministicRng:
+    """Seeded, replayable utility randomness for everything non-crypto.
+
+    Not a drop-in ``random.Random`` (different stream, smaller API);
+    the point is that every consumer in the repo shares one auditable
+    notion of seeded randomness.
+    """
+
+    def __init__(self, seed: int):
+        self._bits = PrngBitSource(Xorshift128(seed))
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._bits.bits_consumed
+
+    def randbit(self) -> int:
+        """One uniform bit."""
+        return self._bits.bit()
+
+    def randbits(self, width: int) -> int:
+        """``width`` uniform bits, first-drawn bit at the LSB."""
+        return self._bits.bits(width)
+
+    def randrange(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` by rejection sampling."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        if bound == 1:
+            return 0
+        width = (bound - 1).bit_length()
+        while True:
+            value = self._bits.bits(width)
+            if value < bound:
+                return value
+
+    def randbytes(self, count: int) -> bytes:
+        """``count`` uniform bytes."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return bytes(self._bits.bits(8) for _ in range(count))
+
+    def poly(self, n: int, q: int) -> List[int]:
+        """A uniform polynomial: ``n`` coefficients in ``[0, q)``."""
+        return [self.randrange(q) for _ in range(n)]
+
+    def message_bits(self, n: int) -> List[int]:
+        """``n`` uniform bits as a list (an NTRU-style bit message)."""
+        return [self._bits.bit() for _ in range(n)]

@@ -1,0 +1,30 @@
+"""EXC001 fixture: broad excepts with and without justification."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # line 7: EXC001 (no annotation)
+        return None
+
+
+def swallow_reasonless(fn):
+    try:
+        return fn()
+    except Exception:  # lint: disable=EXC001
+        return None  # line 14-ish: still EXC001 (disable has no reason)
+
+
+def cleanup_and_reraise(fn, resource):
+    try:
+        return fn()
+    except BaseException:
+        resource.close()
+        raise  # re-raises bare: exempt, no finding
+
+
+def justified(fn):
+    try:
+        return fn()
+    except Exception:  # lint: disable=EXC001(fixture: demonstrates a justified boundary)
+        return None

@@ -1,0 +1,25 @@
+"""WIRE001 fixture: a deserializer violating every strictness rule."""
+
+import struct
+
+PARAMETER_SETS = {"P1": object()}
+
+
+def get_parameter_set(name):
+    return PARAMETER_SETS[name]
+
+
+def decode_loose_header(payload):
+    # line 13: WIRE001 (unpack with no length guard -> struct.error)
+    count, kind = struct.unpack_from("!IB", payload)
+    # line 15: WIRE001 (KeyError escapes on an unknown name)
+    params = get_parameter_set(payload[5:7].decode(errors="replace"))
+    # No trailing-bytes check either: surplus input is accepted.
+    return count, kind, params
+
+
+def decode_strict_header(payload):
+    if len(payload) != 5:
+        raise ValueError(f"expected exactly 5 bytes, got {len(payload)}")
+    count, kind = struct.unpack_from("!IB", payload)
+    return count, kind

@@ -1,0 +1,18 @@
+"""CT001 fixture: secret-dependent control flow and indexing."""
+
+
+# lint: secret(secret_bits)
+def leaky_sample(secret_bits, table):
+    if secret_bits & 1:  # line 6: CT001 (secret-dependent if)
+        return 0
+    derived = secret_bits >> 1
+    while derived:  # line 9: CT001 (taint propagated through assignment)
+        derived >>= 1
+    return table[secret_bits]  # line 11: CT001 (secret-indexed lookup)
+
+
+def honest_walk(public_value, table):
+    # No annotation: data-dependent by design, CT001 stays silent.
+    if public_value & 1:
+        return table[public_value]
+    return 0

@@ -1,0 +1,19 @@
+"""ASY001 fixture: blocking calls on the event loop."""
+
+import time
+
+
+def write_frame_blocking(stream, frame):
+    stream.write(frame)
+
+
+async def handler(stream, frame):
+    time.sleep(0.5)  # line 11: ASY001 (blocking sleep in async def)
+    write_frame_blocking(stream, frame)  # line 12: ASY001 (sync frame I/O)
+
+    def off_loop_helper(path):
+        # Sync helper: runs via an executor, exempt by design.
+        with open(path, "rb") as f:
+            return f.read()
+
+    return off_loop_helper

@@ -1,0 +1,9 @@
+"""IPC001 fixture: pickle on the IPC pipe."""
+
+import pickle  # line 3: IPC001
+
+from marshal import dumps  # line 5: IPC001
+
+
+def ship(obj, pipe):
+    pipe.write(pickle.dumps(obj) + dumps(obj))

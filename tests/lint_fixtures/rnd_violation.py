@@ -1,0 +1,11 @@
+"""RND001 fixture: every banned randomness source, one per line."""
+
+import random  # line 3: RND001 (stdlib random)
+import os
+
+from secrets import token_bytes  # line 6: RND001 (secrets)
+
+
+def draw():
+    noise = os.urandom(8)  # line 10: RND001 (kernel entropy)
+    return random.random(), token_bytes(4), noise

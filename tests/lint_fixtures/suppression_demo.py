@@ -1,0 +1,9 @@
+"""Suppression-mechanics fixture: inline disables silence findings."""
+
+import random  # lint: disable=RND001(fixture: inline suppression demo)
+
+import secrets  # line 5: RND001 (not suppressed)
+
+
+def draw():
+    return random.random(), secrets.token_bytes(2)

@@ -1,0 +1,329 @@
+"""Tests for ``rlwe-repro lint``: checkers, suppression, baseline, CLI.
+
+The seeded-violation fixtures under ``tests/lint_fixtures/`` each
+trip exactly one checker; the package-scoped checkers (CT001, WIRE001,
+IPC001, ASY001) live under a ``repro/<subpackage>/`` layout because
+scoping keys on the path components after the ``repro`` directory.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_CHECKERS,
+    CHECKERS_BY_CODE,
+    Baseline,
+    Finding,
+    run_lint,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.framework import PARSE_ERROR_CODE, parse_directives
+
+TESTS_DIR = Path(__file__).resolve().parent
+FIXTURES = TESTS_DIR / "lint_fixtures"
+REPO_ROOT = TESTS_DIR.parent
+
+# Every seeded violation: fixture -> [(code, line), ...] in file order.
+EXPECTED = {
+    "rnd_violation.py": [
+        ("RND001", 3),
+        ("RND001", 6),
+        ("RND001", 10),
+    ],
+    "repro/sampler/ct_violation.py": [
+        ("CT001", 6),
+        ("CT001", 9),
+        ("CT001", 11),
+    ],
+    "repro/core/serialize.py": [
+        ("WIRE001", 12),
+        ("WIRE001", 14),
+        ("WIRE001", 16),
+    ],
+    "repro/service/ipc_violation.py": [
+        ("IPC001", 3),
+        ("IPC001", 5),
+    ],
+    "repro/service/asy_violation.py": [
+        ("ASY001", 11),
+        ("ASY001", 12),
+    ],
+    "exc_violation.py": [
+        ("EXC001", 7),
+        ("EXC001", 14),
+    ],
+}
+
+
+def lint(*paths, select=None, baseline=None):
+    return run_lint(
+        [str(p) for p in paths], ALL_CHECKERS, select=select, baseline=baseline
+    )
+
+
+def run_cli(capsys, *argv):
+    """Run the lint CLI, returning (exit_code, stdout)."""
+    code = lint_main([str(a) for a in argv])
+    return code, capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Seeded-violation fixtures: each checker fires with the right
+# code, path, and line — checked through the ``--json`` CLI surface.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture", sorted(EXPECTED))
+def test_fixture_findings_via_json_cli(capsys, fixture):
+    code, out = run_cli(
+        capsys, "--json", "--no-baseline", FIXTURES / fixture
+    )
+    assert code == 1, f"{fixture}: seeded violations must fail the lint"
+    report = json.loads(out)
+    got = [(f["code"], f["line"]) for f in report["findings"]]
+    assert got == EXPECTED[fixture]
+    for f in report["findings"]:
+        assert f["path"].replace("\\", "/").endswith(
+            f"lint_fixtures/{fixture}"
+        )
+        assert f["column"] >= 1
+        assert f["message"]
+
+
+def test_whole_fixture_tree():
+    report = lint(FIXTURES)
+    got = {}
+    for f in report.findings:
+        key = f.path.replace("\\", "/").split("lint_fixtures/")[1]
+        got.setdefault(key, []).append((f.code, f.line))
+    # suppression_demo's unsuppressed finding rides along in a tree run.
+    assert got.pop("suppression_demo.py") == [("RND001", 5)]
+    assert got == EXPECTED
+
+
+def test_every_checker_has_a_fixture():
+    exercised = {code for pairs in EXPECTED.values() for code, _ in pairs}
+    assert exercised == set(CHECKERS_BY_CODE)
+
+
+def test_clean_function_in_fixture_stays_clean():
+    # honest_walk (unannotated) and decode_strict_header must not fire.
+    report = lint(FIXTURES / "repro" / "sampler" / "ct_violation.py")
+    assert all(f.line <= 11 for f in report.findings)
+    report = lint(FIXTURES / "repro" / "core" / "serialize.py")
+    assert all(f.line <= 18 for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# Suppression mechanics
+# ----------------------------------------------------------------------
+def test_inline_disable_suppresses_finding():
+    report = lint(FIXTURES / "suppression_demo.py")
+    assert [(f.code, f.line) for f in report.findings] == [("RND001", 5)]
+    assert [(f.code, f.line) for f in report.suppressed] == [("RND001", 3)]
+
+
+def test_exc001_disable_requires_reason():
+    report = lint(FIXTURES / "exc_violation.py")
+    lines = [f.line for f in report.findings]
+    assert 14 in lines, "reasonless disable must not silence EXC001"
+    assert 29 not in lines, "disable with a reason must silence EXC001"
+    assert [f.line for f in report.suppressed] == [29]
+
+
+def test_bare_reraise_is_exempt():
+    report = lint(FIXTURES / "exc_violation.py")
+    assert all(f.line != 21 for f in report.findings)
+
+
+def test_directive_parser():
+    disables, secrets = parse_directives(
+        "x = 1  # lint: disable=AAA111,BBB222(the reason, with comma)\n"
+        "# lint: secret(alpha, beta)\n"
+        "def f(alpha, beta):\n"
+        "    pass\n"
+    )
+    assert [d.code for d in disables[1]] == ["AAA111", "BBB222"]
+    assert not disables[1][0].reason
+    assert disables[1][1].reason == "the reason, with comma"
+    assert secrets[2] == ["alpha", "beta"]
+
+
+# ----------------------------------------------------------------------
+# Baseline grandfathering
+# ----------------------------------------------------------------------
+def test_baseline_grandfathers_known_findings(tmp_path):
+    first = lint(FIXTURES / "exc_violation.py")
+    assert first.findings
+    baseline = Baseline.from_findings(first.findings)
+
+    second = lint(FIXTURES / "exc_violation.py", baseline=baseline)
+    assert second.findings == []
+    assert len(second.baselined) == len(first.findings)
+
+
+def test_baseline_does_not_swallow_new_findings():
+    baseline = Baseline.from_findings(
+        lint(FIXTURES / "exc_violation.py").findings
+    )
+    report = lint(FIXTURES / "rnd_violation.py", baseline=baseline)
+    assert [(f.code, f.line) for f in report.findings] == EXPECTED[
+        "rnd_violation.py"
+    ]
+
+
+def test_baseline_file_round_trip(tmp_path):
+    findings = lint(FIXTURES / "rnd_violation.py").findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).dump(path)
+
+    data = json.loads(path.read_text())
+    assert data["version"] == Baseline.VERSION
+    assert len(data["findings"]) == len(findings)
+
+    loaded = Baseline.load(path)
+    assert all(loaded.contains(f) for f in findings)
+
+
+def test_baseline_rejects_wrong_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_cli_write_then_use_baseline(capsys, tmp_path):
+    target = tmp_path / "grandfathered.json"
+    code, _ = run_cli(
+        capsys,
+        "--write-baseline",
+        "--baseline",
+        target,
+        FIXTURES / "exc_violation.py",
+    )
+    assert code == 0
+    assert target.is_file()
+
+    code, out = run_cli(
+        capsys,
+        "--json",
+        "--baseline",
+        target,
+        FIXTURES / "exc_violation.py",
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["findings"] == []
+    assert report["baselined"] == len(EXPECTED["exc_violation.py"])
+
+
+# ----------------------------------------------------------------------
+# --select filtering
+# ----------------------------------------------------------------------
+def test_select_filters_to_requested_codes():
+    report = lint(FIXTURES, select=["RND001"])
+    assert report.findings
+    assert {f.code for f in report.findings} == {"RND001"}
+
+
+def test_select_via_cli(capsys):
+    code, out = run_cli(
+        capsys,
+        "--json",
+        "--no-baseline",
+        "--select",
+        "ipc001,ASY001",
+        FIXTURES,
+    )
+    assert code == 1
+    report = json.loads(out)
+    assert {f["code"] for f in report["findings"]} == {"IPC001", "ASY001"}
+    assert report["select"] == ["ASY001", "IPC001"]
+
+
+def test_select_unknown_code_is_usage_error(capsys):
+    with pytest.raises(SystemExit):
+        lint_main(["--select", "NOPE999", str(FIXTURES)])
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# --json schema round-trip
+# ----------------------------------------------------------------------
+def test_finding_json_round_trip():
+    for finding in lint(FIXTURES).findings:
+        clone = Finding.from_json(finding.to_json())
+        assert clone == finding
+
+
+def test_report_json_schema(capsys):
+    code, out = run_cli(capsys, "--json", "--no-baseline", FIXTURES)
+    assert code == 1
+    report = json.loads(out)
+    for key in (
+        "version",
+        "tool",
+        "paths",
+        "select",
+        "checked_files",
+        "findings",
+        "counts",
+        "suppressed",
+        "baselined",
+    ):
+        assert key in report
+    assert report["version"] == 1
+    assert report["checked_files"] == 7
+    assert sum(report["counts"].values()) == len(report["findings"])
+    for f in report["findings"]:
+        assert set(f) == {"code", "path", "line", "column", "message"}
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+def test_cli_exit_zero_on_clean_file(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    code, out = run_cli(capsys, "--no-baseline", clean)
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_missing_path_is_usage_error(capsys):
+    with pytest.raises(SystemExit):
+        lint_main(["definitely/not/a/path"])
+    capsys.readouterr()
+
+
+def test_cli_list_checkers(capsys):
+    code, out = run_cli(capsys, "--list-checkers")
+    assert code == 0
+    for checker_code in CHECKERS_BY_CODE:
+        assert checker_code in out
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    report = lint(bad)
+    assert [f.code for f in report.findings] == [PARSE_ERROR_CODE]
+    assert report.findings[0].line == 1
+
+
+def test_lint_subcommand_is_registered():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["lint", "--list-checkers"])
+    assert args.command == "lint"
+
+
+# ----------------------------------------------------------------------
+# The merged tree itself must be clean: the gate the CI job enforces.
+# ----------------------------------------------------------------------
+def test_repo_tree_is_lint_clean():
+    report = lint(REPO_ROOT / "src", REPO_ROOT / "benchmarks")
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"lint regressions:\n{rendered}"
+    assert report.checked_files >= 100
