@@ -42,7 +42,7 @@ import time
 from typing import Dict, List
 
 from repro import __version__, get_parameter_set, seeded_scheme
-from repro.backend import available_backends
+from repro.backend import available_backends, skipped_backends_report
 from repro.service.loadgen import connect_with_retry, percentile
 from repro.service.protocol import (
     STATUS_STALE_KEY_GENERATION,
@@ -242,6 +242,7 @@ async def _run_bench(args) -> Dict:
         "version": __version__,
         "params": args.params,
         "backend": args.backend,
+        "skipped_backends": skipped_backends_report(),
         "cpus": os.cpu_count(),
         "max_batch": args.max_batch,
         "max_wait_ms": args.max_wait_ms,

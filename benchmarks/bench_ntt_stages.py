@@ -1,0 +1,301 @@
+"""Per-stage NTT kernel profile + multicore utilization benchmark.
+
+Profiles the compiled kernel tier the way the multicore NTT studies
+plot their kernels: wall time per transform phase (bit-reversal, each
+butterfly stage ``m = 2 .. n``, the final reduction pass, the inverse
+scale multiply) measured *inside* the C library with a monotonic
+clock, plus Python-side pointwise-op timing, plus a thread-scaling
+sweep (1/2/4/8 threads) with per-thread utilization.  Not collected by
+pytest (no ``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_ntt_stages.py
+    PYTHONPATH=src python benchmarks/bench_ntt_stages.py \\
+        --params P1,P2 --rows 256 --threads 1,2,4,8
+
+Writes ``BENCH_ntt_stages.json``.  The report also records the
+single-message encrypt time of every usable backend tier and the
+compiled-over-numpy speedup (the PR's headline number), the host CPU
+count (utilization on a 1-CPU runner is expected to be flat), and a
+``skipped_backends`` map naming every unusable tier with a
+human-readable reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.backend import (
+    available_backends,
+    get_backend,
+    skipped_backends_report,
+)
+from repro.core.params import PARAMETER_SETS
+from repro.core.scheme import RlweEncryptionScheme
+from repro.trng.bitsource import PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+DEFAULT_OUTPUT = "BENCH_ntt_stages.json"
+
+#: The encrypt-speedup target pinned by this PR (compiled over numpy,
+#: one message per call).
+TARGET_COMPILED_SPEEDUP = 5.0
+
+
+def _deterministic_rows(np, rows: int, params):
+    """A reproducible (rows, n) operand batch, no wall-clock entropy."""
+    bits = PrngBitSource(Xorshift128(2015))
+    flat = [bits.bits(31) % params.q for _ in range(rows * params.n)]
+    return np.asarray(flat, dtype=np.int64).reshape(rows, params.n)
+
+
+def profile_stages(backend, params, rows: int, repeats: int):
+    """Mean per-stage seconds over ``repeats`` profiled transforms."""
+    np = backend.np
+    matrix = _deterministic_rows(np, rows, params)
+    totals: dict = {}
+    for direction in ("forward", "inverse"):
+        inverse = direction == "inverse"
+        acc = {}
+        for _ in range(repeats):
+            _, stage_seconds = backend.ntt_batch_profiled(
+                matrix, params, inverse=inverse
+            )
+            for stage, seconds in stage_seconds.items():
+                acc[stage] = acc.get(stage, 0.0) + seconds
+        totals[direction] = {
+            stage: seconds / repeats for stage, seconds in acc.items()
+        }
+    return totals
+
+
+def profile_pointwise(backend, params, rows: int, repeats: int):
+    """Python-side wall seconds per batched pointwise op."""
+    np = backend.np
+    a = _deterministic_rows(np, rows, params)
+    b = _deterministic_rows(np, rows, params)
+    out = {}
+    for op_name in ("pointwise_mul_batch",
+                    "pointwise_add_batch",
+                    "pointwise_sub_batch"):
+        op = getattr(backend, op_name)
+        op(a, b, params)  # warm tables
+        started = time.perf_counter()
+        for _ in range(repeats):
+            op(a, b, params)
+        out[op_name] = (time.perf_counter() - started) / repeats
+    return out
+
+
+def thread_sweep(backend, params, rows: int, threads, repeats: int):
+    """Batched forward NTT across thread counts; utilization vs 1."""
+    kernel = backend._kernel
+    np = backend.np
+    matrix = _deterministic_rows(np, rows, params)
+    results = []
+    base_seconds = None
+    for count in threads:
+        work = matrix.copy()
+        kernel.ntt_batch(work, params, inverse=False, threads=count)
+        best = float("inf")
+        for _ in range(repeats):
+            work = matrix.copy()
+            started = time.perf_counter()
+            kernel.ntt_batch(work, params, inverse=False, threads=count)
+            best = min(best, time.perf_counter() - started)
+        if base_seconds is None:
+            base_seconds = best
+        speedup = base_seconds / best if best else 0.0
+        results.append(
+            {
+                "threads": count,
+                "seconds": best,
+                "speedup_vs_1": speedup,
+                "utilization": speedup / count,
+            }
+        )
+    return results
+
+
+def encrypt_ms(backend_name: str, params, repeats: int) -> float:
+    """Best-of-repeats single-message encrypt milliseconds."""
+    scheme = RlweEncryptionScheme(
+        params,
+        bits=PrngBitSource(Xorshift128(2015)),
+        backend=get_backend(backend_name),
+    )
+    keypair = scheme.generate_keypair()
+    message = bytes(range(params.message_bytes))
+    scheme.encrypt(keypair.public, message)  # warm caches/tables
+    iters = 50
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(iters):
+            scheme.encrypt(keypair.public, message)
+        best = min(best, (time.perf_counter() - started) / iters)
+    return best * 1e3
+
+
+def run_stage_bench(
+    params_names, rows: int, threads, repeats: int, encrypt_repeats: int
+):
+    usable = available_backends()
+    report = {
+        "benchmark": "ntt_stages",
+        "cpus": os.cpu_count(),
+        "rows": rows,
+        "repeats": repeats,
+        "target_compiled_speedup": TARGET_COMPILED_SPEEDUP,
+        "skipped_backends": skipped_backends_report(),
+        "results": {},
+        "encrypt_ms": {},
+        "encrypt_speedups": {},
+    }
+    compiled_ok = usable.get("compiled", False)
+    for name in params_names:
+        params = PARAMETER_SETS[name]
+        entry = {}
+        if compiled_ok:
+            backend = get_backend("compiled")
+            if backend._kernel.supports(params):
+                entry["stages"] = profile_stages(
+                    backend, params, rows, repeats
+                )
+                entry["pointwise"] = profile_pointwise(
+                    backend, params, rows, repeats
+                )
+                entry["thread_sweep"] = thread_sweep(
+                    backend, params, rows, threads, repeats
+                )
+            else:
+                entry["skipped"] = (
+                    f"q = {params.q} outside the compiled kernel's range"
+                )
+        else:
+            entry["skipped"] = report["skipped_backends"].get(
+                "compiled", "compiled backend unavailable"
+            )
+        report["results"][name] = entry
+
+        per_backend = {}
+        for backend_name in ("python-reference", "numpy", "compiled"):
+            if usable.get(backend_name, False):
+                per_backend[backend_name] = encrypt_ms(
+                    backend_name, params, encrypt_repeats
+                )
+        report["encrypt_ms"][name] = per_backend
+        if "numpy" in per_backend and "compiled" in per_backend:
+            report["encrypt_speedups"][name] = {
+                "compiled_vs_numpy": (
+                    per_backend["numpy"] / per_backend["compiled"]
+                ),
+                "numpy_vs_reference": (
+                    per_backend.get("python-reference", 0.0)
+                    / per_backend["numpy"]
+                    if "python-reference" in per_backend
+                    else None
+                ),
+            }
+    return report
+
+
+def render(report) -> str:
+    lines = [
+        f"NTT stage profile — cpus={report['cpus']}, "
+        f"rows={report['rows']}"
+    ]
+    for name, reason in report["skipped_backends"].items():
+        lines.append(f"skipped {name}: {reason}")
+    for params_name, entry in report["results"].items():
+        if "skipped" in entry:
+            lines.append(f"[{params_name}] skipped: {entry['skipped']}")
+            continue
+        forward = entry["stages"]["forward"]
+        total = sum(forward.values())
+        lines.append(f"[{params_name}] forward NTT, per-stage share:")
+        for stage, seconds in forward.items():
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"  {stage:<12} {seconds * 1e6:9.1f} us  {share:6.1%}"
+            )
+        for row in entry["thread_sweep"]:
+            lines.append(
+                f"  threads={row['threads']}: {row['seconds'] * 1e3:.3f} ms"
+                f"  speedup {row['speedup_vs_1']:.2f}x"
+                f"  utilization {row['utilization']:.0%}"
+            )
+    for params_name, per_backend in report["encrypt_ms"].items():
+        parts = ", ".join(
+            f"{backend}={ms:.3f} ms" for backend, ms in per_backend.items()
+        )
+        lines.append(f"[{params_name}] encrypt: {parts}")
+        speedups = report["encrypt_speedups"].get(params_name)
+        if speedups:
+            lines.append(
+                f"[{params_name}] compiled vs numpy: "
+                f"{speedups['compiled_vs_numpy']:.2f}x "
+                f"(target >= {report['target_compiled_speedup']:.1f}x)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-stage NTT kernel profile (JSON-emitting)"
+    )
+    parser.add_argument("--params", default="P1,P2")
+    parser.add_argument("--rows", type=int, default=256)
+    parser.add_argument("--threads", default="1,2,4,8")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--encrypt-repeats", type=int, default=5)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check-target",
+        action="store_true",
+        help="exit non-zero if compiled misses the encrypt-speedup "
+        "target on every measured parameter set",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    report = run_stage_bench(
+        params_names=[
+            p.strip() for p in args.params.split(",") if p.strip()
+        ],
+        rows=args.rows,
+        threads=[int(t) for t in args.threads.split(",") if t.strip()],
+        repeats=args.repeats,
+        encrypt_repeats=args.encrypt_repeats,
+    )
+    report["wall_seconds"] = time.time() - started
+
+    print(render(report))
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"\nwrote {args.out}")
+
+    if args.check_target:
+        speedups = [
+            entry["compiled_vs_numpy"]
+            for entry in report["encrypt_speedups"].values()
+        ]
+        if not speedups:
+            print("no compiled/numpy pair measured; target not checked")
+            return 1
+        best = max(speedups)
+        if best < TARGET_COMPILED_SPEEDUP:
+            print(
+                f"FAIL: best compiled speedup {best:.2f}x < "
+                f"{TARGET_COMPILED_SPEEDUP:.1f}x target"
+            )
+            return 1
+        print(f"target met: {best:.2f}x >= {TARGET_COMPILED_SPEEDUP:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

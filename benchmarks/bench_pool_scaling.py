@@ -32,7 +32,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro import __version__, get_parameter_set, seeded_scheme
-from repro.backend import available_backends
+from repro.backend import available_backends, skipped_backends_report
 from repro.numpy_support import get_numpy
 from repro.service.executor import pool_executor_for, serving_seed
 from repro.service.loadgen import run_load
@@ -248,6 +248,7 @@ def main(argv=None) -> int:
         "cpus": cpus,
         "params": args.params,
         "backend": backend,
+        "skipped_backends": skipped_backends_report(),
         "max_batch": args.max_batch,
         "max_wait_ms": args.max_wait_ms,
         "results": results,

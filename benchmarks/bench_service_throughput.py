@@ -29,7 +29,7 @@ import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro import __version__, get_parameter_set, seeded_scheme
-from repro.backend import available_backends
+from repro.backend import available_backends, skipped_backends_report
 from repro.numpy_support import get_numpy
 from repro.service.loadgen import run_load
 from repro.service.server import start_server
@@ -233,6 +233,7 @@ def main(argv=None) -> int:
         "numpy": getattr(np, "__version__", None) if np else None,
         "params": args.params,
         "backend": backend,
+        "skipped_backends": skipped_backends_report(),
         "results": results,
         "speedups": speedups,
         "wall_seconds": time.time() - started,

@@ -17,6 +17,11 @@ Registered backends
 ``numpy``
     Vectorized ``int64`` engine with 2-D batched transforms; requires
     the optional NumPy dependency (``pip install repro-rlwe[numpy]``).
+``compiled``
+    C kernel tier (lazy-reduction NTT butterflies, C Knuth-Yao
+    sampling, multicore batched rows); requires NumPy + cffi + a C
+    compiler on PATH (``pip install repro-rlwe[accel]``), and can be
+    disabled with ``REPRO_NO_ACCEL=1``.
 
 The legacy kernel names ``"reference"`` and ``"packed"`` (the old
 ``implementation=`` / ``ntt=`` strings) are accepted as aliases.
@@ -45,8 +50,10 @@ __all__ = [
     "PolyBackend",
     "PurePythonBackend",
     "BackendUnavailable",
+    "availability_report",
     "available_backends",
     "backend_names",
+    "skipped_backends_report",
     "get_backend",
     "register_backend",
     "resolve_backend",
@@ -75,13 +82,46 @@ def _make_numpy_backend() -> PolyBackend:
     return NumpyBackend()
 
 
+def _make_compiled_backend() -> PolyBackend:
+    from repro.backend.compiled_backend import CompiledBackend
+
+    return CompiledBackend()
+
+
+def _compiled_available() -> bool:
+    return _compiled_unavailable_reason() is None
+
+
+def _numpy_unavailable_reason() -> Optional[str]:
+    if have_numpy():
+        return None
+    return "NumPy is not installed (pip install repro-rlwe[numpy])"
+
+
+def _compiled_unavailable_reason() -> Optional[str]:
+    reason = _numpy_unavailable_reason()
+    if reason is not None:
+        return reason
+    from repro.ntt.kernel_c import accel_unavailable_reason
+
+    return accel_unavailable_reason()
+
+
 _FACTORIES: Dict[str, Callable[[], PolyBackend]] = {
     "python-reference": lambda: PurePythonBackend("reference"),
     "python-packed": lambda: PurePythonBackend("packed"),
     "numpy": _make_numpy_backend,
+    "compiled": _make_compiled_backend,
 }
 _AVAILABILITY: Dict[str, Callable[[], bool]] = {
     "numpy": have_numpy,
+    "compiled": _compiled_available,
+}
+#: Optional probes explaining *why* a backend is unusable (used by the
+#: benchmark artifacts' ``skipped_backends`` records).
+_REASON_PROBES: Dict[str, Callable[[], Optional[str]]] = {
+    "numpy": _numpy_unavailable_reason,
+    "compiled": _compiled_unavailable_reason,
 }
 _INSTANCES: Dict[str, PolyBackend] = {}
 
@@ -90,11 +130,19 @@ def register_backend(
     name: str,
     factory: Callable[[], PolyBackend],
     available: Optional[Callable[[], bool]] = None,
+    reason: Optional[Callable[[], Optional[str]]] = None,
 ) -> None:
-    """Register (or replace) a backend factory under ``name``."""
+    """Register (or replace) a backend factory under ``name``.
+
+    ``available`` probes usability; ``reason`` (optional) returns a
+    human-readable explanation when the backend is unusable, surfaced
+    in benchmark ``skipped_backends`` records.
+    """
     _FACTORIES[name] = factory
     if available is not None:
         _AVAILABILITY[name] = available
+    if reason is not None:
+        _REASON_PROBES[name] = reason
     _INSTANCES.pop(name, None)
 
 
@@ -108,6 +156,41 @@ def available_backends() -> Dict[str, bool]:
     return {
         name: _AVAILABILITY.get(name, lambda: True)()
         for name in backend_names()
+    }
+
+
+def availability_report() -> Dict[str, Dict[str, Optional[str]]]:
+    """Availability plus a human-readable reason per backend.
+
+    Returns ``{name: {"available": bool, "reason": None | str}}``;
+    ``reason`` is ``None`` for usable backends, otherwise a sentence
+    explaining why the tier is skipped (e.g. a missing optional
+    dependency).  Benchmark artifacts embed this so their
+    ``skipped_backends`` records distinguish "slower" from "not
+    installed".
+    """
+    report: Dict[str, Dict[str, Optional[str]]] = {}
+    for name, usable in available_backends().items():
+        reason: Optional[str] = None
+        if not usable:
+            probe = _REASON_PROBES.get(name)
+            reason = probe() if probe is not None else None
+            if reason is None:
+                reason = "unavailable (no reason reported)"
+        report[name] = {"available": usable, "reason": reason}
+    return report
+
+
+def skipped_backends_report() -> Dict[str, str]:
+    """``{name: reason}`` for every currently unusable backend.
+
+    The canonical value for a benchmark artifact's
+    ``skipped_backends`` field.
+    """
+    return {
+        name: entry["reason"] or "unavailable (no reason reported)"
+        for name, entry in availability_report().items()
+        if not entry["available"]
     }
 
 
@@ -130,10 +213,15 @@ def get_backend(name: Optional[str] = None) -> PolyBackend:
             f"unknown backend {name!r}; choose from {backend_names()}"
         )
     if not _AVAILABILITY.get(key, lambda: True)():
+        probe = _REASON_PROBES.get(key)
+        reason = probe() if probe is not None else None
+        if reason is None:
+            reason = (
+                "install the optional dependency, e.g. "
+                "'pip install repro-rlwe[numpy]'"
+            )
         raise BackendUnavailable(
-            f"backend {key!r} is not available here "
-            "(install the optional dependency, e.g. "
-            "'pip install repro-rlwe[numpy]')"
+            f"backend {key!r} is not available here ({reason})"
         )
     # NumPy availability can change under REPRO_FORCE_NO_NUMPY, so only
     # cache instances after a successful construction.

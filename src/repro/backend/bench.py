@@ -17,7 +17,11 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro import __version__, seeded_scheme
-from repro.backend import available_backends, get_backend
+from repro.backend import (
+    available_backends,
+    get_backend,
+    skipped_backends_report,
+)
 from repro.core.params import get_parameter_set
 from repro.numpy_support import get_numpy
 
@@ -58,7 +62,12 @@ def run_throughput_bench(
                 f"unknown backend(s) {unknown}; "
                 f"choose from {sorted(usable)}"
             )
-    skipped = [name for name in names if not usable.get(name, False)]
+    reasons = skipped_backends_report()
+    skipped = {
+        name: reasons.get(name, "unavailable (no reason reported)")
+        for name in names
+        if not usable.get(name, False)
+    }
     names = [name for name in names if usable.get(name, False)]
 
     np = get_numpy()
@@ -156,8 +165,6 @@ def render_report(report: Dict) -> str:
         )
     if report["skipped_backends"]:
         lines.append("")
-        lines.append(
-            "skipped (unavailable): "
-            + ", ".join(report["skipped_backends"])
-        )
+        for name, reason in sorted(report["skipped_backends"].items()):
+            lines.append(f"skipped {name}: {reason}")
     return "\n".join(lines)

@@ -1,0 +1,312 @@
+"""The compiled backend tier: C kernels behind the PolyBackend protocol.
+
+:class:`CompiledBackend` extends the NumPy engine — same native
+``(batch, n)`` int64 storage, same matrix plumbing — but routes every
+hot loop through the C library of :mod:`repro.ntt.kernel_c`:
+
+* scalar and batched forward/inverse negacyclic NTTs (lazy-reduction
+  butterflies over Shoup-form twiddle tables, multicore row sharding);
+* pointwise mul/add/sub, batched and broadcast;
+* the ``*_rows`` key-table gather ops that fused cross-key windows use;
+* Knuth-Yao error sampling via :meth:`make_sampler` (engaged by the
+  scheme layer), which is where the single-message encrypt speedup
+  comes from — the sampler dominates the scalar path.
+
+Parameter sets the kernel cannot handle (``q >= 2^30``) transparently
+fall back to the inherited NumPy implementations, so the backend is a
+strict superset: every op, every parameter set, bit-identical results
+(enforced by ``tests/test_backend_equivalence.py`` and
+``tests/test_compiled_backend.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.core.params import ParameterSet
+from repro.ntt.compiled import OP_ADD, OP_MUL, OP_SUB, CompiledKernel
+
+
+class CompiledBackend(NumpyBackend):
+    """Compiled multicore kernel tier (requires cffi + a C compiler)."""
+
+    name = "compiled"
+
+    def __init__(self, threads: Optional[int] = None):
+        super().__init__()
+        self._kernel = CompiledKernel(threads=threads)
+
+    @property
+    def threads(self) -> int:
+        return self._kernel.threads
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def _transform_batch(self, matrix, params: ParameterSet, inverse: bool):
+        if not self._kernel.supports(params):
+            if inverse:
+                return super().ntt_inverse_batch(matrix, params)
+            return super().ntt_forward_batch(matrix, params)
+        # _as_batch returns a fresh (% q) C-contiguous array, so the
+        # in-place kernel never aliases caller storage.
+        array, _ = self._as_batch(matrix, params)
+        array = self.np.ascontiguousarray(array)
+        return self._kernel.ntt_batch(array, params, inverse=inverse)
+
+    def ntt_forward_batch(self, matrix, params: ParameterSet):
+        return self._transform_batch(matrix, params, inverse=False)
+
+    def ntt_inverse_batch(self, matrix, params: ParameterSet):
+        return self._transform_batch(matrix, params, inverse=True)
+
+    def _transform_single(self, a, params: ParameterSet, inverse: bool):
+        """1-D C-kernel transform; ``None`` falls back to the 2-D path."""
+        np = self.np
+        array = np.asarray(a, dtype=np.int64)
+        if array.ndim != 1:
+            return None
+        if array.shape[0] != params.n:
+            raise ValueError(
+                f"expected {params.n} coefficients, got shape {array.shape}"
+            )
+        array = np.ascontiguousarray(array % params.q)
+        t = self._kernel.tables(params)
+        self._kernel._ntt_call(
+            t, self._kernel._data_ptr(array), 1, inverse
+        )
+        return array.tolist()
+
+    def ntt_forward(self, a: Sequence[int], params: ParameterSet) -> List[int]:
+        if not self._kernel.supports(params):
+            return super().ntt_forward(a, params)
+        result = self._transform_single(a, params, inverse=False)
+        if result is None:
+            return super().ntt_forward(a, params)
+        return result
+
+    def ntt_inverse(
+        self, a_hat: Sequence[int], params: ParameterSet
+    ) -> List[int]:
+        if not self._kernel.supports(params):
+            return super().ntt_inverse(a_hat, params)
+        result = self._transform_single(a_hat, params, inverse=True)
+        if result is None:
+            return super().ntt_inverse(a_hat, params)
+        return result
+
+    # ------------------------------------------------------------------
+    # Pointwise arithmetic
+    # ------------------------------------------------------------------
+    def _pointwise_compiled(self, a, b, params: ParameterSet, op: int):
+        np = self.np
+        left, _ = self._as_batch(a, params)
+        right = np.asarray(b, dtype=np.int64)
+        if right.ndim == 2 and left.shape[0] != right.shape[0]:
+            if right.shape[0] != 1 and left.shape[0] != 1:
+                raise ValueError("batch sizes differ")
+        if (
+            right.ndim == 2
+            and right.shape[0] != 1
+            and left.shape[0] == 1
+        ):
+            # One-row left against a full right batch: the inherited
+            # NumPy broadcast handles this rare shape.
+            return None
+        if right.shape[-1] != params.n:
+            raise ValueError(
+                f"expected operand length {params.n}, "
+                f"got {right.shape[-1]}"
+            )
+        left = np.ascontiguousarray(left)
+        right = np.ascontiguousarray(right)
+        return self._kernel.pointwise(op, left, right, params)
+
+    def _pointwise_dispatch(self, a, b, params: ParameterSet, op, fallback):
+        if not self._kernel.supports(params):
+            return fallback(a, b, params)
+        result = self._pointwise_compiled(a, b, params, op)
+        if result is None:
+            return fallback(a, b, params)
+        return result
+
+    def _scalar_pointwise(self, a, b, params: ParameterSet, op: int):
+        """1-row C pointwise op; ``None`` falls back to the NumPy path.
+
+        ``reduce_exact`` on the C side matches Python ``%`` for any
+        int64, so operands go in unreduced — no mod passes in Python.
+        """
+        np = self.np
+        left = np.ascontiguousarray(a, dtype=np.int64)
+        right = np.ascontiguousarray(b, dtype=np.int64)
+        if (
+            left.ndim != 1
+            or right.ndim != 1
+            or left.shape[0] != params.n
+        ):
+            return None
+        kernel = self._kernel
+        out = np.empty_like(left)
+        kernel.lib.repro_pointwise(
+            op,
+            kernel.ffi.cast("const int64_t *", kernel.ffi.from_buffer(left)),
+            kernel.ffi.cast("const int64_t *", kernel.ffi.from_buffer(right)),
+            kernel._data_ptr(out),
+            1,
+            params.n,
+            0,
+            params.q,
+        )
+        return out.tolist()
+
+    def _scalar_dispatch(self, a, b, params: ParameterSet, op, fallback):
+        self._check_lengths(a, b)
+        if self._kernel.supports(params):
+            result = self._scalar_pointwise(a, b, params, op)
+            if result is not None:
+                return result
+        return fallback(a, b, params)
+
+    def pointwise_mul(self, a, b, params: ParameterSet) -> List[int]:
+        return self._scalar_dispatch(
+            a, b, params, OP_MUL, super().pointwise_mul
+        )
+
+    def pointwise_add(self, a, b, params: ParameterSet) -> List[int]:
+        return self._scalar_dispatch(
+            a, b, params, OP_ADD, super().pointwise_add
+        )
+
+    def pointwise_sub(self, a, b, params: ParameterSet) -> List[int]:
+        return self._scalar_dispatch(
+            a, b, params, OP_SUB, super().pointwise_sub
+        )
+
+    def pointwise_mul_batch(self, a, b, params: ParameterSet):
+        return self._pointwise_dispatch(
+            a, b, params, OP_MUL, super().pointwise_mul_batch
+        )
+
+    def pointwise_add_batch(self, a, b, params: ParameterSet):
+        return self._pointwise_dispatch(
+            a, b, params, OP_ADD, super().pointwise_add_batch
+        )
+
+    def pointwise_sub_batch(self, a, b, params: ParameterSet):
+        return self._pointwise_dispatch(
+            a, b, params, OP_SUB, super().pointwise_sub_batch
+        )
+
+    # ------------------------------------------------------------------
+    # Per-row operand arithmetic (cross-key fused windows)
+    # ------------------------------------------------------------------
+    def _pointwise_rows(self, a, key_matrix, rows, params: ParameterSet, op):
+        opcode = {
+            "pointwise_mul_batch": OP_MUL,
+            "pointwise_add_batch": OP_ADD,
+            "pointwise_sub_batch": OP_SUB,
+        }.get(getattr(op, "__name__", ""))
+        if opcode is None or not self._kernel.supports(params):
+            return super()._pointwise_rows(a, key_matrix, rows, params, op)
+        if len(a) != len(rows):
+            raise ValueError("row index count differs from batch size")
+        np = self.np
+        keys = np.asarray(key_matrix, dtype=np.int64)
+        if keys.ndim == 1:
+            keys = keys.reshape(1, -1)
+        if keys.shape[0] == 1:
+            # One-key window degenerates to the broadcast path — same
+            # arithmetic, and the same strict index check as NumPy.
+            if any(r != 0 for r in rows):
+                raise ValueError(
+                    "row index out of range for a 1-row matrix"
+                )
+            return self._pointwise_dispatch(
+                a, keys[0], params, opcode, op
+            )
+        index = np.asarray(rows, dtype=np.int64)
+        if index.size and (
+            index.min() < 0 or index.max() >= keys.shape[0]
+        ):
+            raise ValueError(
+                f"row index out of range for a {keys.shape[0]}-row matrix"
+            )
+        left, _ = self._as_batch(a, params)
+        if keys.shape[1] != params.n:
+            raise ValueError(
+                f"expected key rows of length {params.n}, "
+                f"got {keys.shape[1]}"
+            )
+        left = np.ascontiguousarray(left)
+        keys = np.ascontiguousarray(keys)
+        return self._kernel.pointwise_gather(
+            opcode, left, keys, index, params
+        )
+
+    # ------------------------------------------------------------------
+    # Fused scalar encrypt
+    # ------------------------------------------------------------------
+    def encrypt_polynomial_core(
+        self, a_hat, p_hat, e_polys, message_poly, params: ParameterSet
+    ):
+        """Fused scalar encrypt: batched NTT + in-array pointwise chain.
+
+        Computes ``(a_hat*NTT(e1)+NTT(e2), p_hat*NTT(e1)+NTT(e3+m))``
+        without the per-op list round trips of the generic pipeline —
+        one 3-row NTT call and four 1-row pointwise calls, arrays
+        throughout.  Bit-identical to the generic sequence (every step
+        reduces exactly as the scalar ops do).  Returns ``None`` when
+        the kernel lacks support so the caller runs the generic path.
+        """
+        if not self._kernel.supports(params):
+            return None
+        np = self.np
+        q = params.q
+        e1, e2, e3 = e_polys
+        try:
+            batch = np.empty((3, params.n), dtype=np.int64)
+            batch[0] = e1
+            batch[1] = e2
+            batch[2] = e3
+            msg = np.asarray(message_poly, dtype=np.int64)
+            a = np.ascontiguousarray(a_hat, dtype=np.int64)
+            p = np.ascontiguousarray(p_hat, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            # Beyond-int64 coefficients: the arbitrary-precision
+            # generic path handles them.
+            return None
+        batch %= q
+        batch[2] = (batch[2] + msg % q) % q
+        kernel = self._kernel
+        kernel.ntt_batch(batch, params, inverse=False)
+        e1_hat = batch[0:1]
+        c1 = kernel.pointwise(OP_MUL, e1_hat, a, params)
+        c1 = kernel.pointwise(OP_ADD, c1, batch[1], params)
+        c2 = kernel.pointwise(OP_MUL, e1_hat, p, params)
+        c2 = kernel.pointwise(OP_ADD, c2, batch[2], params)
+        return c1[0].tolist(), c2[0].tolist()
+
+    # ------------------------------------------------------------------
+    # Profiling + sampling hooks
+    # ------------------------------------------------------------------
+    def ntt_batch_profiled(self, matrix, params: ParameterSet, inverse=False):
+        """Transform + per-stage seconds (see CompiledKernel)."""
+        array, _ = self._as_batch(matrix, params)
+        array = self.np.ascontiguousarray(array)
+        return self._kernel.ntt_batch_profiled(array, params, inverse)
+
+    def make_sampler(self, pmat, q: int, bits, use_lut2: bool = True):
+        """A Knuth-Yao sampler running its hot loops in the C kernel.
+
+        The scheme layer calls this instead of constructing
+        ``LutKnuthYaoSampler`` directly; the returned sampler is
+        bit-identical (same bit-stream consumption, same outputs) and
+        silently degrades to the pure-Python paths for bit sources the
+        kernel cannot mirror.
+        """
+        from repro.sampler.accel import AccelLutKnuthYaoSampler
+
+        return AccelLutKnuthYaoSampler(
+            pmat, q, bits, use_lut2=use_lut2, kernel=self._kernel
+        )

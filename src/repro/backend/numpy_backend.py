@@ -51,6 +51,18 @@ class _ArrayTables:
         self.final_scale = np.asarray(tables.final_scale, dtype=np.int64)
 
 
+#: Module-level table cache: the arrays are pure functions of (n, q)
+#: and read-only, so every backend instance in the process (the FO-KEM
+#: constructs schemes per encapsulation; workers build their own
+#: backend) shares one set instead of repacking per instance.
+_ARRAY_TABLE_CACHE: Dict[Tuple[int, int], _ArrayTables] = {}
+
+
+def array_table_cache_info() -> Dict[str, int]:
+    """Observability hook for the ablation bench: cached entry count."""
+    return {"entries": len(_ARRAY_TABLE_CACHE)}
+
+
 class NumpyBackend(PolyBackend):
     """The throughput backend: batched transforms as array programs."""
 
@@ -58,16 +70,17 @@ class NumpyBackend(PolyBackend):
 
     def __init__(self):
         self.np = require_numpy()
-        self._tables: Dict[Tuple[int, int], _ArrayTables] = {}
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
     def _array_tables(self, params: ParameterSet) -> _ArrayTables:
         key = (params.n, params.q)
-        if key not in self._tables:
-            self._tables[key] = _ArrayTables(self.np, params)
-        return self._tables[key]
+        entry = _ARRAY_TABLE_CACHE.get(key)
+        if entry is None:
+            entry = _ArrayTables(self.np, params)
+            _ARRAY_TABLE_CACHE[key] = entry
+        return entry
 
     def _as_batch(self, data, params: ParameterSet):
         """Coerce rows/array to an int64 (batch, n) array mod q."""
@@ -101,7 +114,16 @@ class NumpyBackend(PolyBackend):
     # Transforms
     # ------------------------------------------------------------------
     def _run_stages(self, array, stages, params: ParameterSet):
-        """Run the butterfly network in place on a (batch, n) array."""
+        """Run the butterfly network in place on a (batch, n) array.
+
+        Reduction is deferred: only the twiddle product is taken mod q
+        inside a stage, so values drift into (-(s+1)q, (s+2)q) after s
+        stages — bounded by ~13q for every supported n, keeping every
+        product below 2^32, far inside int64.  Callers apply the final
+        ``% q`` (the inverse path's scale multiply already does), so
+        results are bit-identical to the fully-reduced network at 2 of
+        4 array passes per stage.
+        """
         np = self.np
         q = params.q
         n = params.n
@@ -111,15 +133,15 @@ class NumpyBackend(PolyBackend):
             view = array.reshape(batch, n // m, m)
             u = view[:, :, :half].copy()
             t = view[:, :, half:] * twiddles % q
-            view[:, :, :half] = (u + t) % q
-            view[:, :, half:] = (u - t) % q
+            view[:, :, :half] = u + t
+            view[:, :, half:] = u - t
         return array
 
     def ntt_forward_batch(self, matrix, params: ParameterSet):
         tables = self._array_tables(params)
         array, _ = self._as_batch(matrix, params)
         array = array[:, tables.permutation]
-        return self._run_stages(array, tables.forward_stages, params)
+        return self._run_stages(array, tables.forward_stages, params) % params.q
 
     def ntt_inverse_batch(self, matrix, params: ParameterSet):
         tables = self._array_tables(params)
@@ -128,15 +150,52 @@ class NumpyBackend(PolyBackend):
         array = self._run_stages(array, tables.inverse_stages, params)
         return array * tables.final_scale % params.q
 
+    def _transform_1d(self, a, params: ParameterSet, inverse: bool):
+        """Single-row transform without the 2-D wrap/unwrap round trip.
+
+        Returns ``None`` for non-1-D input (the caller falls back to the
+        batch path, preserving its coercion/error semantics).
+        """
+        np = self.np
+        array = np.asarray(a, dtype=np.int64)
+        if array.ndim != 1:
+            return None
+        if array.shape[0] != params.n:
+            raise ValueError(
+                f"expected shape (batch, {params.n}), got {array.shape}"
+            )
+        tables = self._array_tables(params)
+        q = params.q
+        n = params.n
+        array = array % q
+        array = array[tables.permutation]
+        stages = tables.inverse_stages if inverse else tables.forward_stages
+        for m, twiddles in stages:
+            half = m // 2
+            view = array.reshape(n // m, m)
+            u = view[:, :half].copy()
+            t = view[:, half:] * twiddles % q
+            view[:, :half] = u + t
+            view[:, half:] = u - t
+        if inverse:
+            return (array * tables.final_scale % q).tolist()
+        return (array % q).tolist()
+
     def ntt_forward(
         self, a: Sequence[int], params: ParameterSet
     ) -> List[int]:
-        return self.ntt_forward_batch(a, params)[0].tolist()
+        result = self._transform_1d(a, params, inverse=False)
+        if result is None:
+            return self.ntt_forward_batch(a, params)[0].tolist()
+        return result
 
     def ntt_inverse(
         self, a_hat: Sequence[int], params: ParameterSet
     ) -> List[int]:
-        return self.ntt_inverse_batch(a_hat, params)[0].tolist()
+        result = self._transform_1d(a_hat, params, inverse=True)
+        if result is None:
+            return self.ntt_inverse_batch(a_hat, params)[0].tolist()
+        return result
 
     # ------------------------------------------------------------------
     # Pointwise arithmetic
@@ -161,17 +220,44 @@ class NumpyBackend(PolyBackend):
     def pointwise_sub_batch(self, a, b, params: ParameterSet):
         return self._pointwise(a, b, params, lambda x, y: x - y)[0]
 
+    def _pointwise_1d(self, a, b, params: ParameterSet, op):
+        """Scalar-path pointwise op without the 2-D round trip.
+
+        Returns ``None`` when either operand is not 1-D (fall back to
+        the batch path's broadcast/validation semantics).
+        """
+        np = self.np
+        left = np.asarray(a, dtype=np.int64)
+        right = np.asarray(b, dtype=np.int64)
+        if (
+            left.ndim != 1
+            or right.ndim != 1
+            or left.shape[0] != params.n
+        ):
+            return None
+        q = params.q
+        return (op(left % q, right % q) % q).tolist()
+
     def pointwise_mul(self, a, b, params: ParameterSet) -> List[int]:
         self._check_lengths(a, b)
-        return self.pointwise_mul_batch(a, b, params)[0].tolist()
+        result = self._pointwise_1d(a, b, params, lambda x, y: x * y)
+        if result is None:
+            return self.pointwise_mul_batch(a, b, params)[0].tolist()
+        return result
 
     def pointwise_add(self, a, b, params: ParameterSet) -> List[int]:
         self._check_lengths(a, b)
-        return self.pointwise_add_batch(a, b, params)[0].tolist()
+        result = self._pointwise_1d(a, b, params, lambda x, y: x + y)
+        if result is None:
+            return self.pointwise_add_batch(a, b, params)[0].tolist()
+        return result
 
     def pointwise_sub(self, a, b, params: ParameterSet) -> List[int]:
         self._check_lengths(a, b)
-        return self.pointwise_sub_batch(a, b, params)[0].tolist()
+        result = self._pointwise_1d(a, b, params, lambda x, y: x - y)
+        if result is None:
+            return self.pointwise_sub_batch(a, b, params)[0].tolist()
+        return result
 
     @staticmethod
     def _check_lengths(a, b) -> None:

@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help=(
                 "compute backend (python-reference, python-packed, "
-                "numpy); default honours REPRO_BACKEND"
+                "numpy, compiled); default honours REPRO_BACKEND"
             ),
         )
 

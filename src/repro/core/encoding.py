@@ -79,13 +79,26 @@ def decode_bits(poly: Sequence[int], params: ParameterSet) -> List[int]:
 
 
 def encode_bytes(message: bytes, params: ParameterSet) -> List[int]:
-    """Encode up to ``params.message_bytes`` bytes into a polynomial."""
+    """Encode up to ``params.message_bytes`` bytes into a polynomial.
+
+    Bit-identical on both paths: the NumPy route (when available) is
+    just ``bits_from_bytes`` + ``encode_bits`` as two array ops — this
+    sits on the scalar encrypt hot path.
+    """
     if len(message) > params.message_bytes:
         raise ValueError(
             f"message of {len(message)} bytes exceeds the "
             f"{params.message_bytes}-byte capacity of {params.name}"
         )
-    return encode_bits(bits_from_bytes(message), params)
+    np = get_numpy()
+    if np is None:
+        return encode_bits(bits_from_bytes(message), params)
+    bits = np.unpackbits(
+        np.frombuffer(message, dtype=np.uint8), bitorder="little"
+    )
+    poly = np.zeros(params.n, dtype=np.int64)
+    poly[: bits.size] = bits.astype(np.int64) * params.half_q
+    return poly.tolist()
 
 
 def encode_bytes_batch(
@@ -121,11 +134,32 @@ def encode_bytes_batch(
     return bits.astype(np.int64) * params.half_q
 
 
+def _decode_bytes_numpy(np, poly, params: ParameterSet):
+    """Vectorized threshold decode; ``None`` falls back to scalar."""
+    try:
+        array = np.asarray(poly, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        # Coefficients beyond int64 (or exotic objects): the arbitrary-
+        # precision scalar path handles them.
+        return None
+    if array.ndim != 1:
+        return None
+    if array.shape[0] != params.n:
+        raise ValueError(f"expected {params.n} coefficients")
+    q = params.q
+    c = array % q
+    bits = ((c > q // 4) & (c <= 3 * q // 4)).astype(np.uint8)
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
 def decode_bytes(
     poly: Sequence[int], params: ParameterSet, length: Optional[int] = None
 ) -> bytes:
     """Decode a polynomial to bytes; ``length`` trims zero padding."""
-    data = bytes_from_bits(decode_bits(poly, params))
+    np = get_numpy()
+    data = _decode_bytes_numpy(np, poly, params) if np is not None else None
+    if data is None:
+        data = bytes_from_bits(decode_bits(poly, params))
     if length is not None:
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")

@@ -117,9 +117,17 @@ class RlweEncryptionScheme:
             bits = PrngBitSource(Xorshift128())
         self.bits = bits
         self.backend = resolve_backend(backend if backend is not None else ntt)
-        self._sampler = LutKnuthYaoSampler(
-            ProbabilityMatrix.for_params(params), params.q, bits
-        )
+        # Backends may provide an accelerated (bit-identical) sampler —
+        # the compiled tier runs the Knuth-Yao loops in C.
+        make_sampler = getattr(self.backend, "make_sampler", None)
+        if make_sampler is None:
+            self._sampler = LutKnuthYaoSampler(
+                ProbabilityMatrix.for_params(params), params.q, bits
+            )
+        else:
+            self._sampler = make_sampler(
+                ProbabilityMatrix.for_params(params), params.q, bits
+            )
 
     def _forward(self, poly: Sequence[int], params: ParameterSet) -> List[int]:
         return self.backend.ntt_forward(poly, params)
@@ -184,9 +192,19 @@ class RlweEncryptionScheme:
         if len(message_poly) != params.n:
             raise ValueError(f"message polynomial must have {params.n} coefficients")
         be = self.backend
-        e1 = self.sample_error_polynomial()
-        e2 = self.sample_error_polynomial()
-        e3 = self.sample_error_polynomial()
+        # One fused draw: identical bit stream to three sequential
+        # sample_error_polynomial() calls on every sampler.
+        e_polys = self._sampler.sample_polynomials(params.n, 3)
+        fused = getattr(be, "encrypt_polynomial_core", None)
+        if fused is not None:
+            result = fused(
+                public.a_hat, public.p_hat, e_polys,
+                list(message_poly), params,
+            )
+            if result is not None:
+                c1_hat, c2_hat = result
+                return Ciphertext(params, tuple(c1_hat), tuple(c2_hat))
+        e1, e2, e3 = e_polys
         e3_plus_m = be.pointwise_add(e3, list(message_poly), params)
         e1_hat = self._forward(e1, params)
         e2_hat = self._forward(e2, params)

@@ -6,7 +6,8 @@ decimation-in-time butterflies then produce output in natural order.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 
 def bit_reverse_index(index: int, bits: int) -> int:
@@ -20,12 +21,23 @@ def bit_reverse_index(index: int, bits: int) -> int:
     return result
 
 
+@lru_cache(maxsize=None)
+def _bit_reverse_table_cached(n: int) -> Tuple[int, ...]:
+    """The permutation as an immutable (safely shareable) tuple."""
+    bits = n.bit_length() - 1
+    return tuple(bit_reverse_index(i, bits) for i in range(n))
+
+
 def bit_reverse_table(n: int) -> List[int]:
-    """Return the full bit-reversal permutation for a power-of-two ``n``."""
+    """Return the full bit-reversal permutation for a power-of-two ``n``.
+
+    The permutation is cached per ``n`` (every transform of every
+    backend consults it); the returned list is a fresh copy so callers
+    may mutate it freely.
+    """
     if n <= 0 or n & (n - 1):
         raise ValueError(f"n = {n} is not a power of two")
-    bits = n.bit_length() - 1
-    return [bit_reverse_index(i, bits) for i in range(n)]
+    return list(_bit_reverse_table_cached(n))
 
 
 def bit_reverse_copy(values: Sequence[int]) -> List[int]:

@@ -1,0 +1,277 @@
+"""Compiled negacyclic NTT kernel: tables, batch drivers, profiling.
+
+:class:`CompiledKernel` is the Python face of the C library built by
+:mod:`repro.ntt.kernel_c`.  It owns, per parameter set, the packed
+constant tables the C side consumes:
+
+* the bit-reversal permutation as swap pairs (the permutation is an
+  involution, so a swap list reproduces the gather exactly);
+* flattened per-stage twiddle vectors with their Shoup precomputations
+  ``w' = floor(w * 2^32 / q)`` — the "precomputed twiddle factors in a
+  lookup table" of Section III-C, in the form the lazy butterfly needs;
+* the INTT scaling vector ``n^-1 * psi^-j`` (with precomputations),
+  fused into the inverse transform's final stage.
+
+Batched transforms optionally shard rows across a thread pool: the C
+calls release the GIL, so plain Python threads scale across cores
+without any IPC.  The profiled entry points return per-stage wall times
+(bit-reversal, each butterfly stage, final reduction, inverse scale)
+measured inside the C library with a monotonic clock — the same
+kernel-time decomposition the multicore NTT studies plot.
+
+The kernel supports any NTT-friendly parameter set with ``q < 2^30``
+(the lazy representation keeps values below ``4q < 2^32``); callers
+fall back to another backend beyond that.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import ParameterSet
+from repro.ntt.bitrev import bit_reverse_table
+from repro.ntt.kernel_c import default_threads, load_kernel
+from repro.ntt.roots import ntt_tables
+from repro.numpy_support import require_numpy
+
+#: Largest modulus the lazy-reduction kernel supports (values < 4q must
+#: fit the 32-bit Shoup operand range).
+MAX_KERNEL_Q = 1 << 30
+
+#: Operation codes shared with the C side.
+OP_MUL, OP_ADD, OP_SUB = 0, 1, 2
+
+#: Minimum rows per thread before a batch is sharded: below this the
+#: submit/join overhead outweighs the parallel butterfly work.
+MIN_ROWS_PER_THREAD = 8
+
+
+def _shoup(values, q: int):
+    """floor(w << 32 / q) for every table entry (exact, Python ints)."""
+    return [(int(w) << 32) // q for w in values]
+
+
+class _KernelTables:
+    """Per-parameter-set constants packed for the C kernel."""
+
+    def __init__(self, np, ffi, params: ParameterSet):
+        tables = ntt_tables(params)
+        n, q = params.n, params.q
+        perm = bit_reverse_table(n)
+        swap_i = [i for i in range(n) if i < perm[i]]
+        swap_j = [perm[i] for i in swap_i]
+        self.swap_i = np.asarray(swap_i, dtype=np.int32)
+        self.swap_j = np.asarray(swap_j, dtype=np.int32)
+
+        fwd = [w for stage in tables.forward_twiddles for w in stage]
+        inv = [w for stage in tables.inverse_twiddles for w in stage]
+        self.fwd_tw = np.asarray(fwd, dtype=np.uint64)
+        self.fwd_twpr = np.asarray(_shoup(fwd, q), dtype=np.uint64)
+        self.inv_tw = np.asarray(inv, dtype=np.uint64)
+        self.inv_twpr = np.asarray(_shoup(inv, q), dtype=np.uint64)
+        scale = list(tables.final_scale)
+        self.scale = np.asarray(scale, dtype=np.uint64)
+        self.scalepr = np.asarray(_shoup(scale, q), dtype=np.uint64)
+
+        self.stages = tables.stage_count
+        self.n = n
+        self.q = q
+        # Pre-cast pointers (the arrays above own the memory and live as
+        # long as this table object does).
+        cast = ffi.cast
+        self.p_swap_i = cast("const int32_t *", ffi.from_buffer(self.swap_i))
+        self.p_swap_j = cast("const int32_t *", ffi.from_buffer(self.swap_j))
+        self.p_fwd_tw = cast("const uint64_t *", ffi.from_buffer(self.fwd_tw))
+        self.p_fwd_twpr = cast(
+            "const uint64_t *", ffi.from_buffer(self.fwd_twpr)
+        )
+        self.p_inv_tw = cast("const uint64_t *", ffi.from_buffer(self.inv_tw))
+        self.p_inv_twpr = cast(
+            "const uint64_t *", ffi.from_buffer(self.inv_twpr)
+        )
+        self.p_scale = cast("const uint64_t *", ffi.from_buffer(self.scale))
+        self.p_scalepr = cast(
+            "const uint64_t *", ffi.from_buffer(self.scalepr)
+        )
+        self.nswaps = len(swap_i)
+
+
+#: Tables are pure functions of (n, q) — share them across every kernel
+#: and backend instance in the process.
+_TABLE_CACHE: Dict[Tuple[int, int], _KernelTables] = {}
+
+#: One shared pool; sized lazily to the largest thread request seen.
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def _thread_pool(threads: int) -> ThreadPoolExecutor:
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE < threads:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-ntt"
+        )
+        _POOL_SIZE = threads
+    return _POOL
+
+
+class CompiledKernel:
+    """Batched NTT/pointwise/sampling driver over the C library."""
+
+    def __init__(self, threads: Optional[int] = None):
+        self.ffi, self.lib = load_kernel()
+        self.np = require_numpy()
+        self.threads = threads if threads and threads > 0 else default_threads()
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def supports(self, params: ParameterSet) -> bool:
+        return params.ntt_friendly and params.q < MAX_KERNEL_Q
+
+    def tables(self, params: ParameterSet) -> _KernelTables:
+        key = (params.n, params.q)
+        entry = _TABLE_CACHE.get(key)
+        if entry is None:
+            entry = _KernelTables(self.np, self.ffi, params)
+            _TABLE_CACHE[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def _data_ptr(self, array):
+        return self.ffi.cast(
+            "int64_t *", self.ffi.from_buffer(array, require_writable=True)
+        )
+
+    def _ntt_call(
+        self,
+        t: _KernelTables,
+        ptr,
+        nrows: int,
+        inverse: bool,
+        stage_seconds=None,
+    ) -> None:
+        if inverse:
+            tw, twpr = t.p_inv_tw, t.p_inv_twpr
+            scale, scalepr = t.p_scale, t.p_scalepr
+        else:
+            tw, twpr = t.p_fwd_tw, t.p_fwd_twpr
+            scale = scalepr = self.ffi.NULL
+        self.lib.repro_ntt_rows(
+            ptr,
+            nrows,
+            t.n,
+            t.stages,
+            t.q,
+            t.p_swap_i,
+            t.p_swap_j,
+            t.nswaps,
+            tw,
+            twpr,
+            scale,
+            scalepr,
+            stage_seconds if stage_seconds is not None else self.ffi.NULL,
+        )
+
+    def ntt_batch(
+        self, array, params: ParameterSet, inverse: bool, threads: int = 0
+    ):
+        """Transform a C-contiguous int64 (batch, n) array in place."""
+        t = self.tables(params)
+        nrows = array.shape[0]
+        if nrows == 0:
+            return array
+        threads = threads or self.threads
+        use = min(threads, max(1, nrows // MIN_ROWS_PER_THREAD))
+        if use <= 1:
+            self._ntt_call(t, self._data_ptr(array), nrows, inverse)
+            return array
+        base_ptr = self._data_ptr(array)
+        chunk = (nrows + use - 1) // use
+        pool = _thread_pool(use)
+        futures = []
+        for start in range(0, nrows, chunk):
+            rows = min(chunk, nrows - start)
+            ptr = base_ptr + start * t.n
+            futures.append(
+                pool.submit(self._ntt_call, t, ptr, rows, inverse)
+            )
+        for future in futures:
+            future.result()
+        return array
+
+    def ntt_batch_profiled(
+        self, array, params: ParameterSet, inverse: bool
+    ):
+        """Single-threaded transform returning per-stage seconds.
+
+        Returns ``(array, stage_times)`` where ``stage_times`` maps
+        ``"bitrev"``, ``"stage_m2"``..``"stage_m{n}"``, ``"reduce"``,
+        and ``"scale"`` to seconds spent in that phase.
+        """
+        t = self.tables(params)
+        nrows = array.shape[0]
+        buf = self.ffi.new("double[]", t.stages + 3)
+        if nrows:
+            self._ntt_call(
+                t, self._data_ptr(array), nrows, inverse, stage_seconds=buf
+            )
+        times = {"bitrev": buf[0]}
+        for s in range(t.stages):
+            times[f"stage_m{2 << s}"] = buf[1 + s]
+        times["reduce"] = buf[t.stages + 1]
+        times["scale"] = buf[t.stages + 2]
+        return array, times
+
+    # ------------------------------------------------------------------
+    # Pointwise
+    # ------------------------------------------------------------------
+    def pointwise(self, op: int, a, b, params: ParameterSet):
+        """Row-wise ``a (op) b`` with optional single-row broadcast."""
+        np = self.np
+        nrows, n = a.shape
+        out = np.empty_like(a)
+        b_stride = 0 if b.ndim == 1 or b.shape[0] == 1 else n
+        self.lib.repro_pointwise(
+            op,
+            self.ffi.cast("const int64_t *", self.ffi.from_buffer(a)),
+            self.ffi.cast("const int64_t *", self.ffi.from_buffer(b)),
+            self._data_ptr(out),
+            nrows,
+            n,
+            b_stride,
+            params.q,
+        )
+        return out
+
+    def pointwise_gather(
+        self, op: int, a, keys, rows, params: ParameterSet
+    ):
+        """``a[i] (op) keys[rows[i]]`` — fused cross-key windows."""
+        np = self.np
+        nrows, n = a.shape
+        out = np.empty_like(a)
+        row_idx = np.ascontiguousarray(rows, dtype=np.int64)
+        self.lib.repro_pointwise_gather(
+            op,
+            self.ffi.cast("const int64_t *", self.ffi.from_buffer(a)),
+            self.ffi.cast("const int64_t *", self.ffi.from_buffer(keys)),
+            self.ffi.cast(
+                "const int64_t *", self.ffi.from_buffer(row_idx)
+            ),
+            nrows,
+            n,
+            self._data_ptr(out),
+            params.q,
+        )
+        return out
+
+
+def kernel_table_cache_info() -> Dict[str, int]:
+    """Observability hook for tests/benches: cached table count."""
+    return {"entries": len(_TABLE_CACHE)}

@@ -1,0 +1,193 @@
+"""Compiled-kernel Knuth-Yao sampler (the compiled backend's hot path).
+
+Profiling the serving stack shows single-message encrypt is dominated
+not by the NTT but by discrete Gaussian sampling — three error
+polynomials per message, each coefficient a DDG walk drawing PRNG bits
+one at a time.  :class:`AccelLutKnuthYaoSampler` keeps the exact
+semantics of :class:`~repro.sampler.lut_sampler.LutKnuthYaoSampler`
+(Alg. 2, LUT1/LUT2/scan, same phased block order) but runs the whole
+loop — PRNG word generation, bit shifting, table lookups, DDG scans,
+sign application — inside the C kernel of :mod:`repro.ntt.kernel_c`.
+
+Bit-exactness contract: the C side mirrors ``PrngBitSource`` over
+``Xorshift128`` (32-bit words shifted out LSB-first), so for a given
+seed every sample, every counter, and the post-call PRNG/bit-register
+state are identical to the pure-Python sampler.  The accelerated paths
+therefore engage only when the bit source is *exactly* a
+``PrngBitSource`` over *exactly* a ``Xorshift128`` (subclasses could
+override anything); any other source — queue sources in tests, the
+cycle-model BitPool — falls back to the inherited Python
+implementations transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import BitSource, PrngBitSource
+from repro.trng.xorshift import Xorshift128
+
+
+class _PackedTables:
+    """Per-(matrix, q) sampler constants packed for the C kernel."""
+
+    def __init__(self, kernel, pmat: ProbabilityMatrix, q: int, luts):
+        ffi = kernel.ffi
+        # LUT bytes: low 7 bits row-or-distance, MSB failure flag.
+        self.lut1 = ffi.new("uint8_t[]", list(luts.lut1))
+        self.lut2 = ffi.new(
+            "uint8_t[]", list(luts.lut2) if luts.lut2 else [0]
+        )
+        # Per-column descending set-row lists, flattened with a prefix-
+        # offset vector — the scan walk's O(1) column lookup (mirrors
+        # KnuthYaoSampler._set_rows_by_column).
+        col_off = [0]
+        set_rows = []
+        for col in range(pmat.columns):
+            set_rows.extend(
+                row
+                for row in range(pmat.rows - 1, -1, -1)
+                if pmat.bit(row, col)
+            )
+            col_off.append(len(set_rows))
+        self.col_off = ffi.new("int32_t[]", col_off)
+        self.set_rows = ffi.new(
+            "int32_t[]", set_rows if set_rows else [0]
+        )
+        self.columns = pmat.columns
+        self.q = q
+
+
+#: Packed tables per (matrix identity, q) — matrices are themselves
+#: module-cached per parameter set, and the FO-KEM constructs a scheme
+#: (hence a sampler) per encapsulation, so packing must not repeat.
+_PACKED_CACHE: Dict[Tuple[int, int], Tuple[ProbabilityMatrix, _PackedTables]] = {}
+
+
+def _packed_tables(kernel, pmat: ProbabilityMatrix, q: int, luts):
+    key = (id(pmat), q)
+    entry = _PACKED_CACHE.get(key)
+    if entry is None or entry[0] is not pmat:
+        entry = (pmat, _PackedTables(kernel, pmat, q, luts))
+        _PACKED_CACHE[key] = entry
+    return entry[1]
+
+
+class AccelLutKnuthYaoSampler(LutKnuthYaoSampler):
+    """LUT Knuth-Yao sampler whose bulk paths run in the C kernel."""
+
+    def __init__(
+        self,
+        pmat: ProbabilityMatrix,
+        q: int,
+        bits: BitSource,
+        use_lut2: bool = True,
+        kernel=None,
+    ):
+        super().__init__(pmat, q, bits, use_lut2=use_lut2)
+        if kernel is None:
+            from repro.ntt.compiled import CompiledKernel
+
+            kernel = CompiledKernel()
+        self._kernel = kernel
+        packed = _packed_tables(kernel, pmat, q, self.luts)
+        self._packed = packed
+        ffi = kernel.ffi
+        struct = ffi.new("repro_ky_tables *")
+        struct.lut1 = packed.lut1
+        struct.lut2 = packed.lut2
+        struct.use_lut2 = 1 if self.use_lut2 else 0
+        struct.col_off = packed.col_off
+        struct.set_rows = packed.set_rows
+        struct.columns = packed.columns
+        struct.q = q
+        self._ctables = struct
+
+    def _eligible(self) -> bool:
+        # Exact types only: a subclass could change the bit stream the C
+        # mirror reproduces, silently breaking seeded determinism.
+        bits = self.bits
+        return type(bits) is PrngBitSource and type(bits._prng) is Xorshift128
+
+    def _run_kernel(self, count: int, block: bool):
+        """Draw ``count`` samples in C, syncing PRNG/register state."""
+        kernel = self._kernel
+        np, ffi, lib = kernel.np, kernel.ffi, kernel.lib
+        out = np.empty(count, dtype=np.int64)
+        if count == 0:
+            return out
+        bits = self.bits
+        prng = bits._prng
+        state = ffi.new("repro_bits *")
+        state.x, state.y = prng._x, prng._y
+        state.z, state.w = prng._z, prng._w
+        state.reg = bits._register
+        state.avail = bits._available
+        state.bits_consumed = bits.bits_consumed
+        state.words_fetched = bits.words_fetched
+        counters = ffi.new("int64_t[3]")
+        out_ptr = ffi.cast(
+            "int64_t *", ffi.from_buffer(out, require_writable=True)
+        )
+        if block:
+            scratch_idx = ffi.new("int64_t[]", count)
+            scratch_d = ffi.new("int64_t[]", count)
+            lib.repro_ky_sample_block(
+                self._ctables,
+                state,
+                out_ptr,
+                count,
+                scratch_idx,
+                scratch_d,
+                counters,
+            )
+        else:
+            lib.repro_ky_sample_scalar(
+                self._ctables, state, out_ptr, count, counters
+            )
+        prng._x, prng._y = int(state.x), int(state.y)
+        prng._z, prng._w = int(state.z), int(state.w)
+        bits._register = int(state.reg)
+        bits._available = int(state.avail)
+        bits.bits_consumed = int(state.bits_consumed)
+        bits.words_fetched = int(state.words_fetched)
+        self.lut1_hits += int(counters[0])
+        self.lut2_hits += int(counters[1])
+        self.scan_fallbacks += int(counters[2])
+        return out
+
+    # ------------------------------------------------------------------
+    # Accelerated entry points (sequential per-sample bit order)
+    # ------------------------------------------------------------------
+    def sample(self) -> int:
+        if not self._eligible():
+            return super().sample()
+        return int(self._run_kernel(1, block=False)[0])
+
+    def sample_polynomial(self, n: int):
+        if not self._eligible():
+            return super().sample_polynomial(n)
+        return self._run_kernel(n, block=False).tolist()
+
+    def sample_polynomials(self, n: int, count: int):
+        if n < 0 or count < 0:
+            raise ValueError("n and count must be non-negative")
+        if not self._eligible():
+            return super().sample_polynomials(n, count)
+        # Scalar order is sequential per sample, so count polynomials
+        # fuse into one n*count draw with an identical bit stream —
+        # one PRNG state sync instead of count.
+        flat = self._run_kernel(n * count, block=False)
+        return [flat[i * n : (i + 1) * n].tolist() for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Accelerated block path (phased bit order)
+    # ------------------------------------------------------------------
+    def sample_block(self, count: int):
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not self._eligible():
+            return super().sample_block(count)
+        return self._run_kernel(count, block=True)

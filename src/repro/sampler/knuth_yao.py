@@ -104,3 +104,14 @@ class KnuthYaoSampler:
     def sample_polynomial(self, n: int) -> List[int]:
         """n independent samples in [0, q) — one error polynomial."""
         return [self.sample() for _ in range(n)]
+
+    def sample_polynomials(self, n: int, count: int) -> List[List[int]]:
+        """``count`` error polynomials, sequential per-sample bit order.
+
+        Consumes exactly the bit stream of ``count`` sequential
+        :meth:`sample_polynomial` calls; accelerated subclasses fuse the
+        draws into one kernel call under the same equivalence.
+        """
+        if n < 0 or count < 0:
+            raise ValueError("n and count must be non-negative")
+        return [self.sample_polynomial(n) for _ in range(count)]

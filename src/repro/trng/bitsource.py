@@ -122,6 +122,32 @@ class PrngBitSource(BitSource):
         self._available -= 1
         return value
 
+    def bits(self, count: int) -> int:
+        """Bulk register extraction, one mask per word instead of per bit.
+
+        Consumes exactly the stream of ``count`` sequential :meth:`bit`
+        calls: the low ``count`` bits of the register (refilled from the
+        PRNG as it drains), first-consumed bit at the LSB.  This is the
+        samplers' hot path — every LUT index is a ``bits(8)``/``bits(5)``
+        draw.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        value = 0
+        position = 0
+        while position < count:
+            if self._available == 0:
+                self._register = self._prng.next_u32()
+                self._available = 32
+                self.words_fetched += 1
+            take = min(self._available, count - position)
+            value |= (self._register & ((1 << take) - 1)) << position
+            self._register >>= take
+            self._available -= take
+            position += take
+        self.bits_consumed += count
+        return value
+
     # ------------------------------------------------------------------
     # Bulk extraction
     # ------------------------------------------------------------------

@@ -1,0 +1,319 @@
+"""Compiled-tier specifics: availability, fallback, sampler identity.
+
+``tests/test_backend_equivalence.py`` already sweeps the compiled
+backend through every cross-backend op-identity check (it enumerates
+``available_backends()``).  This module pins what is unique to the
+compiled tier:
+
+* availability probing and the ``REPRO_NO_ACCEL`` kill switch, with
+  human-readable reasons in ``availability_report()`` /
+  ``skipped_backends_report()``;
+* warning-only fallback when ``REPRO_BACKEND=compiled`` cannot run;
+* transparent per-parameter-set fallback for moduli outside the
+  kernel's ``q < 2^30`` range;
+* the C Knuth-Yao sampler: outputs, counters, and post-call PRNG /
+  bit-register state bit-identical to the pure-Python sampler, in both
+  sequential and phased block order, and Python fallback for bit
+  sources the C mirror cannot reproduce;
+* the fused scalar-encrypt path and multi-threaded batched transforms.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import (
+    BackendUnavailable,
+    availability_report,
+    available_backends,
+    get_backend,
+    skipped_backends_report,
+)
+from repro.core.params import P1, P2, custom_parameter_set
+from repro.core.scheme import RlweEncryptionScheme
+from repro.sampler.lut_sampler import LutKnuthYaoSampler
+from repro.sampler.pmat import ProbabilityMatrix
+from repro.trng.bitsource import PrngBitSource, QueueBitSource
+from repro.trng.xorshift import Xorshift128
+
+pytestmark = pytest.mark.skipif(
+    not available_backends().get("compiled", False),
+    reason="compiled backend unavailable here",
+)
+
+#: NTT-friendly (q = 1 mod 2n for n = 64) prime above the kernel's
+#: 2^30 modulus ceiling — exercises the per-parameter-set fallback.
+BIG_Q = custom_parameter_set(64, 1073750017, 11.31, name="BIGQ")
+
+
+def random_poly(params, rng):
+    return [rng.randrange(params.q) for _ in range(params.n)]
+
+
+class TestAvailability:
+    def test_reports_shape(self):
+        report = availability_report()
+        assert report["compiled"]["available"] is True
+        assert report["compiled"]["reason"] is None
+        assert "compiled" not in skipped_backends_report()
+
+    def test_no_accel_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_ACCEL", "1")
+        assert available_backends()["compiled"] is False
+        report = availability_report()
+        assert report["compiled"]["available"] is False
+        assert "REPRO_NO_ACCEL" in report["compiled"]["reason"]
+        assert "REPRO_NO_ACCEL" in skipped_backends_report()["compiled"]
+        with pytest.raises(BackendUnavailable, match="REPRO_NO_ACCEL"):
+            get_backend("compiled")
+
+    def test_env_default_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_ACCEL", "1")
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = get_backend(None)
+        assert backend.name == "python-reference"
+
+    def test_kernel_unavailable_reason_mentions_install_hint(
+        self, monkeypatch
+    ):
+        from repro.ntt.kernel_c import accel_unavailable_reason
+
+        assert accel_unavailable_reason() is None
+        monkeypatch.setenv("REPRO_NO_ACCEL", "1")
+        assert "REPRO_NO_ACCEL" in accel_unavailable_reason()
+
+
+class TestUnsupportedModulusFallback:
+    def test_big_q_not_supported_but_identical(self):
+        compiled = get_backend("compiled")
+        reference = get_backend("python-reference")
+        assert not compiled._kernel.supports(BIG_Q)
+        rng = random.Random(0xF00)
+        for _ in range(3):
+            poly = random_poly(BIG_Q, rng)
+            assert compiled.ntt_forward(poly, BIG_Q) == (
+                reference.ntt_forward(poly, BIG_Q)
+            )
+            assert compiled.ntt_inverse(poly, BIG_Q) == (
+                reference.ntt_inverse(poly, BIG_Q)
+            )
+            other = random_poly(BIG_Q, rng)
+            for op in ("pointwise_mul", "pointwise_add", "pointwise_sub"):
+                assert getattr(compiled, op)(poly, other, BIG_Q) == (
+                    getattr(reference, op)(poly, other, BIG_Q)
+                )
+
+    def test_big_q_batch_ops_match_numpy(self):
+        compiled = get_backend("compiled")
+        numpy_backend = get_backend("numpy")
+        rng = random.Random(0xF01)
+        matrix = [random_poly(BIG_Q, rng) for _ in range(4)]
+        np = compiled.np
+        assert np.array_equal(
+            compiled.ntt_forward_batch(matrix, BIG_Q),
+            numpy_backend.ntt_forward_batch(matrix, BIG_Q),
+        )
+        assert np.array_equal(
+            compiled.ntt_inverse_batch(matrix, BIG_Q),
+            numpy_backend.ntt_inverse_batch(matrix, BIG_Q),
+        )
+
+
+@pytest.mark.parametrize("params", [P1, P2], ids=["P1", "P2"])
+class TestSamplerIdentity:
+    def _pair(self, params, use_lut2=True, seed=77):
+        pmat = ProbabilityMatrix.for_params(params)
+        compiled = get_backend("compiled")
+        accel = compiled.make_sampler(
+            pmat, params.q, PrngBitSource(Xorshift128(seed)),
+            use_lut2=use_lut2,
+        )
+        pure = LutKnuthYaoSampler(
+            pmat, params.q, PrngBitSource(Xorshift128(seed)),
+            use_lut2=use_lut2,
+        )
+        return accel, pure
+
+    @staticmethod
+    def _state(sampler):
+        bits = sampler.bits
+        prng = bits._prng
+        return (
+            prng._x, prng._y, prng._z, prng._w,
+            bits._register, bits._available,
+            bits.bits_consumed, bits.words_fetched,
+            sampler.lut1_hits, sampler.lut2_hits, sampler.scan_fallbacks,
+        )
+
+    def test_scalar_and_polynomial_identity(self, params):
+        accel, pure = self._pair(params)
+        for _ in range(64):
+            assert accel.sample() == pure.sample()
+        assert self._state(accel) == self._state(pure)
+        assert accel.sample_polynomial(params.n) == (
+            pure.sample_polynomial(params.n)
+        )
+        assert self._state(accel) == self._state(pure)
+
+    def test_fused_polynomials_identity(self, params):
+        accel, pure = self._pair(params, seed=91)
+        fused = accel.sample_polynomials(params.n, 3)
+        sequential = [pure.sample_polynomial(params.n) for _ in range(3)]
+        assert fused == sequential
+        assert self._state(accel) == self._state(pure)
+
+    def test_block_identity(self, params):
+        accel, pure = self._pair(params, seed=13)
+        got = accel.sample_block(3 * params.n)
+        expected = pure.sample_block(3 * params.n)
+        assert list(got) == list(expected)
+        assert self._state(accel) == self._state(pure)
+
+    def test_no_lut2_identity(self, params):
+        accel, pure = self._pair(params, use_lut2=False, seed=29)
+        assert accel.sample_polynomial(params.n) == (
+            pure.sample_polynomial(params.n)
+        )
+        assert accel.lut2_hits == 0
+        assert self._state(accel) == self._state(pure)
+
+    def test_interleaved_python_and_c_calls(self, params):
+        # State syncs both ways, so alternating accelerated and
+        # inherited draws must track the pure sampler exactly.
+        accel, pure = self._pair(params, seed=31)
+        for round_no in range(4):
+            if round_no % 2:
+                assert accel.sample() == pure.sample()
+            else:
+                assert accel.sample_polynomial(16) == (
+                    pure.sample_polynomial(16)
+                )
+            # Inherited scalar path on the accel instance.
+            assert LutKnuthYaoSampler.sample(accel) == pure.sample()
+        assert self._state(accel) == self._state(pure)
+
+    def test_queue_source_falls_back_to_python(self, params):
+        # A non-PRNG source cannot be mirrored in C; the accel sampler
+        # must transparently use the inherited Python paths.
+        pmat = ProbabilityMatrix.for_params(params)
+        stream = [1, 0] * 4096
+        compiled = get_backend("compiled")
+        accel = compiled.make_sampler(
+            pmat, params.q, QueueBitSource(stream)
+        )
+        pure = LutKnuthYaoSampler(pmat, params.q, QueueBitSource(stream))
+        assert not accel._eligible()
+        for _ in range(8):
+            assert accel.sample() == pure.sample()
+        assert accel.bits.bits_consumed == pure.bits.bits_consumed
+
+
+class TestFusedEncrypt:
+    def test_fused_matches_generic_pipeline(self):
+        compiled = get_backend("compiled")
+        reference = get_backend("python-reference")
+        for params in (P1, P2):
+            msg = bytes(range(params.message_bytes))
+            ciphertexts = {}
+            for backend in (reference, compiled):
+                scheme = RlweEncryptionScheme(
+                    params,
+                    bits=PrngBitSource(Xorshift128(2015)),
+                    backend=backend,
+                )
+                keypair = scheme.generate_keypair()
+                ct = scheme.encrypt(keypair.public, msg)
+                assert scheme.decrypt(
+                    keypair.private, ct, length=len(msg)
+                ) == msg
+                ciphertexts[backend.name] = (ct.c1_hat, ct.c2_hat)
+            assert ciphertexts["compiled"] == (
+                ciphertexts["python-reference"]
+            )
+
+    def test_fused_core_direct(self):
+        compiled = get_backend("compiled")
+        reference = get_backend("python-reference")
+        rng = random.Random(0xE14)
+        for params in (P1, P2):
+            a_hat = random_poly(params, rng)
+            p_hat = random_poly(params, rng)
+            e_polys = [random_poly(params, rng) for _ in range(3)]
+            msg = [rng.randrange(2) * params.half_q
+                   for _ in range(params.n)]
+            c1, c2 = compiled.encrypt_polynomial_core(
+                a_hat, p_hat, e_polys, msg, params
+            )
+            e1, e2, e3 = e_polys
+            e3m = reference.pointwise_add(e3, msg, params)
+            e1_hat = reference.ntt_forward(e1, params)
+            expected_c1 = reference.pointwise_add(
+                reference.pointwise_mul(a_hat, e1_hat, params),
+                reference.ntt_forward(e2, params),
+                params,
+            )
+            expected_c2 = reference.pointwise_add(
+                reference.pointwise_mul(p_hat, e1_hat, params),
+                reference.ntt_forward(e3m, params),
+                params,
+            )
+            assert c1 == expected_c1
+            assert c2 == expected_c2
+
+    def test_fused_core_unsupported_modulus_returns_none(self):
+        compiled = get_backend("compiled")
+        rng = random.Random(5)
+        e_polys = [random_poly(BIG_Q, rng) for _ in range(3)]
+        assert compiled.encrypt_polynomial_core(
+            random_poly(BIG_Q, rng), random_poly(BIG_Q, rng),
+            e_polys, [0] * BIG_Q.n, BIG_Q,
+        ) is None
+
+
+class TestThreads:
+    def test_multithreaded_batch_identical(self):
+        from repro.backend.compiled_backend import CompiledBackend
+
+        single = CompiledBackend(threads=1)
+        multi = CompiledBackend(threads=4)
+        assert multi.threads == 4
+        np = single.np
+        rng = random.Random(0x7EAD)
+        for params in (P1, P2):
+            matrix = [random_poly(params, rng) for _ in range(33)]
+            assert np.array_equal(
+                single.ntt_forward_batch(matrix, params),
+                multi.ntt_forward_batch(matrix, params),
+            )
+            assert np.array_equal(
+                single.ntt_inverse_batch(matrix, params),
+                multi.ntt_inverse_batch(matrix, params),
+            )
+
+    def test_thread_override_env(self, monkeypatch):
+        from repro.ntt.kernel_c import THREADS_ENV, default_threads
+
+        monkeypatch.setenv(THREADS_ENV, "3")
+        assert default_threads() == 3
+
+
+class TestProfiledTransform:
+    def test_profiled_matches_plain_and_reports_stages(self):
+        compiled = get_backend("compiled")
+        np = compiled.np
+        rng = random.Random(0x57A6)
+        for params in (P1, P2):
+            matrix = [random_poly(params, rng) for _ in range(4)]
+            plain = compiled.ntt_forward_batch(matrix, params)
+            profiled, stage_seconds = compiled.ntt_batch_profiled(
+                matrix, params, inverse=False
+            )
+            assert np.array_equal(plain, profiled)
+            assert "bitrev" in stage_seconds
+            assert "reduce" in stage_seconds
+            assert "scale" in stage_seconds
+            stages = params.n.bit_length() - 1
+            stage_keys = [k for k in stage_seconds if k.startswith("stage_m")]
+            assert len(stage_keys) == stages
+            assert all(v >= 0.0 for v in stage_seconds.values())
