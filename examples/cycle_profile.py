@@ -8,7 +8,6 @@ breakdown the paper's optimizations target.
     python examples/cycle_profile.py [P1|P2]
 """
 
-import random
 import sys
 
 from repro.analysis.tables import render_table
@@ -21,6 +20,7 @@ from repro.cyclemodel.scheme_cycles import (
 from repro.machine.footprint import operation_footprints
 from repro.machine.machine import CortexM4
 from repro.trng.bitpool import BitPool
+from repro.trng.stream import DeterministicRng
 from repro.trng.trng import SimulatedTrng
 from repro.trng.xorshift import Xorshift128
 
@@ -50,8 +50,7 @@ def main():
     machine, pool = pooled_machine(1)
     pair, keygen = keygen_cycles(machine, params, pool)
 
-    rng = random.Random(42)
-    message = [rng.randrange(2) for _ in range(params.n)]
+    message = DeterministicRng(42).message_bits(params.n)
     machine, pool = pooled_machine(2)
     ct, encrypt = encrypt_cycles(machine, params, pair.public, message, pool)
 

@@ -8,8 +8,6 @@ and working RAM — the trade-offs an embedded deployment weighs.
     python examples/parameter_exploration.py
 """
 
-import random
-
 from repro.analysis.security import estimate_security
 from repro.analysis.tables import render_table
 from repro.core.failures import estimate
@@ -18,6 +16,7 @@ from repro.cyclemodel.scheme_cycles import encrypt_cycles, keygen_cycles
 from repro.machine.footprint import encryption_footprint
 from repro.machine.machine import CortexM4
 from repro.trng.bitpool import BitPool
+from repro.trng.stream import DeterministicRng
 from repro.trng.trng import SimulatedTrng
 from repro.trng.xorshift import Xorshift128
 
@@ -37,8 +36,7 @@ def modelled_encrypt_cycles(params, seed=3):
         SimulatedTrng(Xorshift128(seed), machine=machine), machine=machine
     )
     pair, _ = keygen_cycles(machine, params, pool)
-    rng = random.Random(seed)
-    message = [rng.randrange(2) for _ in range(params.n)]
+    message = DeterministicRng(seed).message_bits(params.n)
     machine2 = CortexM4()
     pool2 = BitPool(
         SimulatedTrng(Xorshift128(seed + 1), machine=machine2),

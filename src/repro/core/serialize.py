@@ -304,3 +304,22 @@ def serialize_keypair(pair: KeyPair) -> "tuple[bytes, bytes]":
     return serialize_public_key(pair.public), serialize_private_key(
         pair.private
     )
+
+
+def deserialize_keypair(
+    public_bytes: bytes, private_bytes: bytes
+) -> KeyPair:
+    """Strict inverse of :func:`serialize_keypair`.
+
+    Both halves parse under the full strict contract, and must name the
+    same parameter set — a mixed pair is rejected here rather than
+    failing obscurely at first use.
+    """
+    public = deserialize_public_key(public_bytes)
+    private = deserialize_private_key(private_bytes)
+    if public.params.name != private.params.name:
+        raise ValueError(
+            f"keypair halves disagree on parameters: public is "
+            f"{public.params.name}, private is {private.params.name}"
+        )
+    return KeyPair(public, private)

@@ -13,6 +13,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.framework import Checker, FileContext, Finding
+from repro.lint.project import ALL_PROJECT_CHECKERS
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -628,7 +629,365 @@ class BroadExceptAudit(Checker):
                 )
 
 
-#: Every registered checker, in documentation order.
+# ----------------------------------------------------------------------
+# CONC001 — asyncio shared-state audit
+# ----------------------------------------------------------------------
+class SharedStateAudit(Checker):
+    """Shared mutable state is mutated only by its owning class.
+
+    The server, coalescer, executor, and keystore all keep per-instance
+    containers (windows, job tables, key caches) that concurrent tasks
+    observe between awaits.  Two rules in ``service``/``api``/
+    ``keystore`` modules:
+
+    * a container attribute initialized in one class's ``__init__``
+      (``self.x = {}`` / ``[]`` / ``set()`` / ``OrderedDict()`` ...)
+      must not be mutated through another object's reference
+      (``worker.jobs[id] = ...`` outside ``_Worker``) — route the
+      mutation through a method of the owning class so the invariantic
+      state has one writer;
+    * a *synchronous* ``with`` on a lock-ish object must not span an
+      ``await``: the lock blocks the whole event loop for the duration
+      of the suspension.  (``async with lock:`` across an await is the
+      point of an asyncio lock and stays legal.)
+    """
+
+    code = "CONC001"
+    name = "shared-state"
+    description = (
+        "shared container mutated outside its owning class, or a "
+        "sync `with lock:` held across an await"
+    )
+
+    _CONTAINER_CTORS = {
+        "dict",
+        "list",
+        "set",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+    }
+    _MUTATORS = {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("service", "api", "keystore"):
+            return
+        owners = self._container_owners(ctx.tree)
+        if owners:
+            yield from self._check_foreign_mutations(ctx, owners)
+        yield from self._check_sync_locks(ctx)
+
+    # -- rule 1: one writer per shared container -----------------------
+    def _container_owners(self, tree: ast.AST) -> Dict[str, Set[str]]:
+        """Container attribute name -> class names initializing it."""
+        owners: Dict[str, Set[str]] = {}
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for node in ast.walk(cls):
+                target: Optional[ast.AST] = None
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    target, value = node.target, node.value
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+                    pass
+                elif (
+                    isinstance(value, ast.Call)
+                    and (_dotted_name(value.func) or "").split(".")[-1]
+                    in self._CONTAINER_CTORS
+                ):
+                    pass
+                else:
+                    continue
+                owners.setdefault(target.attr, set()).add(cls.name)
+        return owners
+
+    def _check_foreign_mutations(
+        self, ctx: FileContext, owners: Dict[str, Set[str]]
+    ) -> Iterator[Finding]:
+        classes = [
+            node for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+
+        def enclosing_classes(node: ast.AST) -> Set[str]:
+            return {
+                cls.name
+                for cls in classes
+                if cls.lineno
+                <= getattr(node, "lineno", 0)
+                <= (cls.end_lineno or cls.lineno)
+            }
+
+        def foreign_target(node: ast.AST) -> Optional[ast.Attribute]:
+            """``name.attr`` with a tracked attr on a non-self name."""
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id not in ("self", "cls")
+                and node.attr in owners
+            ):
+                return node
+            return None
+
+        def leaf_targets(target: ast.AST) -> "Iterator[ast.AST]":
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    yield from leaf_targets(element)
+            elif isinstance(target, ast.Starred):
+                yield from leaf_targets(target.value)
+            else:
+                yield target
+
+        for node in ast.walk(ctx.tree):
+            attr: Optional[ast.Attribute] = None
+            how = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    for leaf in leaf_targets(target):
+                        if isinstance(leaf, ast.Subscript):
+                            attr = foreign_target(leaf.value)
+                            how = "item assignment on"
+                        else:
+                            attr = foreign_target(leaf)
+                            how = "rebinding of"
+                        if attr is not None:
+                            break
+                    if attr is not None:
+                        break
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._MUTATORS
+                ):
+                    attr = foreign_target(node.func.value)
+                    how = f".{node.func.attr}() on"
+            if attr is None:
+                continue
+            owning = owners[attr.attr]
+            if owning & enclosing_classes(node):
+                continue  # the owning class mutating its own kind
+            yield self.finding(
+                ctx,
+                node,
+                f"{how} shared container "
+                f"{attr.value.id}.{attr.attr} outside its owning class "  # type: ignore[union-attr]
+                f"({', '.join(sorted(owning))}); route the mutation "
+                f"through a method of the owner",
+            )
+
+    # -- rule 2: no sync lock across an await --------------------------
+    def _check_sync_locks(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _function_defs(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.With):
+                    continue
+                lockish = [
+                    item
+                    for item in node.items
+                    if "lock" in (
+                        (_dotted_name(item.context_expr) or "")
+                        .split(".")[-1]
+                        .lower()
+                    )
+                    or (
+                        isinstance(item.context_expr, ast.Call)
+                        and "lock"
+                        in (
+                            (_dotted_name(item.context_expr.func) or "")
+                            .split(".")[-1]
+                            .lower()
+                        )
+                    )
+                ]
+                if not lockish:
+                    continue
+                if any(
+                    isinstance(sub, ast.Await)
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "synchronous `with <lock>` spans an await: the "
+                        "lock blocks the event loop across the "
+                        "suspension; use `async with` on an asyncio.Lock",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RES001 — resource lifecycle
+# ----------------------------------------------------------------------
+class ResourceLifecycle(Checker):
+    """Sockets, writers, and subprocess pipes close on every path.
+
+    In ``service``/``api`` modules, a call that acquires an OS-backed
+    resource (``asyncio.open_connection``, ``create_subprocess_*``,
+    ``subprocess.Popen``, ``socket.socket``/``create_connection``,
+    bare ``open``) whose result is bound to local names must either sit
+    in a ``with``/``async with`` item, or the enclosing function must
+    close/kill one of the bound names inside a ``try``'s ``finally`` or
+    exception handler — the ``writer.close(); raise`` construction-
+    failure guard the client and executor use.  An acquisition with no
+    cleanup on the error path leaks the fd when construction fails.
+    """
+
+    code = "RES001"
+    name = "resource-lifecycle"
+    description = (
+        "socket/subprocess/file acquired without a finally/except "
+        "close on the bound name (or a with-statement)"
+    )
+
+    _ACQUIRERS = {
+        "open_connection",
+        "create_subprocess_exec",
+        "create_subprocess_shell",
+        "create_connection",
+        "Popen",
+        "socket",
+        "open",
+    }
+    _CLOSERS = {
+        "close",
+        "close_nowait",
+        "wait_closed",
+        "kill",
+        "terminate",
+        "release",
+        "shutdown",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("service", "api"):
+            return
+        for func in _function_defs(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _is_acquirer(self, call: ast.Call) -> bool:
+        dotted = _dotted_name(call.func) or ""
+        leaf = dotted.split(".")[-1]
+        if leaf not in self._ACQUIRERS:
+            return False
+        # `socket` must be the module's constructor, not a local name.
+        if leaf == "socket" and dotted != "socket.socket":
+            return False
+        return True
+
+    def _check_function(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        in_with: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        in_with.add(id(sub))
+        guarded_names = self._guarded_names(func)
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            # Unwrap `await ...` and `await asyncio.wait_for(...)`.
+            if isinstance(value, ast.Await):
+                value = value.value
+            if (
+                isinstance(value, ast.Call)
+                and (_dotted_name(value.func) or "").split(".")[-1]
+                == "wait_for"
+                and value.args
+            ):
+                value = value.args[0]
+            if not isinstance(value, ast.Call) or not self._is_acquirer(value):
+                continue
+            if id(value) in in_with:
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            names: Set[str] = set()
+            only_names = True
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+                    elif isinstance(sub, ast.Attribute):
+                        only_names = False
+            if not names or not only_names:
+                # Bound to an attribute: lifecycle owned by the object's
+                # own close(); out of scope for this local-path rule.
+                continue
+            if names & guarded_names:
+                continue
+            dotted = _dotted_name(value.func) or "?"
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted}() result bound to "
+                f"{', '.join(sorted(names))} is never closed in a "
+                f"finally/except guard; a construction failure after "
+                f"this line leaks the resource",
+            )
+
+    def _guarded_names(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Set[str]:
+        """Names that some try/finally or except handler closes."""
+        guarded: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            cleanup_nodes: List[ast.AST] = list(node.finalbody)
+            cleanup_nodes.extend(node.handlers)
+            for cleanup in cleanup_nodes:
+                for sub in ast.walk(cleanup):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in self._CLOSERS
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        guarded.add(sub.func.value.id)
+        return guarded
+
+
+#: Every registered checker, in documentation order.  The project-wide
+#: checkers (WIRE002/WIRE003/ERR002) ride in the same registry: the
+#: framework routes them through the shared cross-module index.
 ALL_CHECKERS: Tuple[Checker, ...] = (
     RandomnessHygiene(),
     ConstantTimeDiscipline(),
@@ -636,6 +995,8 @@ ALL_CHECKERS: Tuple[Checker, ...] = (
     PickleBan(),
     AsyncioHygiene(),
     BroadExceptAudit(),
-)
+    SharedStateAudit(),
+    ResourceLifecycle(),
+) + ALL_PROJECT_CHECKERS
 
 CHECKERS_BY_CODE: Dict[str, Checker] = {c.code: c for c in ALL_CHECKERS}

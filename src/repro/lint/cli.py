@@ -19,7 +19,7 @@ from repro.lint.framework import Baseline, run_lint
 DEFAULT_BASELINE = "lint-baseline.json"
 
 #: Default lint surface when no paths are given.
-DEFAULT_PATHS = ("src", "benchmarks")
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +67,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-checkers",
         action="store_true",
         help="list every checker code with its one-line contract",
+    )
+    parser.add_argument(
+        "--contract",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the machine-readable wire-contract JSON "
+            "(opcode -> name/dispatch/client/worker coverage) built "
+            "from the same parse; CI diffs it against the committed "
+            "wire-contract.json to catch protocol drift"
+        ),
     )
 
 
@@ -121,6 +132,18 @@ def run(args: argparse.Namespace) -> int:
                 raise SystemExit(f"error: bad baseline {baseline_path}: {exc}")
 
     report = run_lint(paths, ALL_CHECKERS, select=select, baseline=baseline)
+
+    if args.contract:
+        from repro.lint.project import build_contract
+
+        try:
+            contract = build_contract(report.contexts)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        Path(args.contract).write_text(
+            json.dumps(contract, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     if args.write_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE)

@@ -79,7 +79,13 @@ class Disable:
 
 
 def _split_disable_list(text: str) -> List[Disable]:
-    """Parse ``CODE1,CODE2(reason, with commas),CODE3`` into entries."""
+    """Parse ``CODE1,CODE2(reason, with commas),CODE3`` into entries.
+
+    A reason attaches to the code it follows and is shared backward
+    through the comma group: ``A,B(reason)`` disables both codes with
+    the same recorded reason, so one judgement can cover the several
+    checkers that fire on one line.
+    """
     entries: List[Disable] = []
     cursor = 0
     length = len(text)
@@ -103,6 +109,12 @@ def _split_disable_list(text: str) -> List[Disable]:
                 reason = text[cursor + 1 : close].strip() or None
                 cursor = close + 1
         entries.append(Disable(code, reason))
+    # Share a trailing group reason backward over reason-less codes.
+    for index in range(len(entries) - 2, -1, -1):
+        if entries[index].reason is None and entries[index + 1].reason:
+            entries[index] = Disable(
+                entries[index].code, entries[index + 1].reason
+            )
     return entries
 
 
@@ -153,13 +165,53 @@ def parse_directives(
 class FileContext:
     """One file under analysis: source, AST, and directive maps."""
 
+    #: Statement kinds a trailing directive can ride on: *simple*
+    #: statements only, so a comment inside a compound body never
+    #: leaks its directive onto the ``if``/``def`` header line.
+    _SIMPLE_STMTS = (
+        ast.Expr,
+        ast.Assign,
+        ast.AugAssign,
+        ast.AnnAssign,
+        ast.Return,
+        ast.Raise,
+        ast.Assert,
+        ast.Delete,
+        ast.Import,
+        ast.ImportFrom,
+    )
+
     def __init__(self, path: str, source: str, tree: ast.Module):
         self.path = path
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
         self.disables, self.secrets = parse_directives(source)
+        self._attach_continuation_directives()
         self.parts: Tuple[str, ...] = self._package_parts(path)
+
+    def _attach_continuation_directives(self) -> None:
+        """Anchor directives on continued lines to their statement.
+
+        Findings anchor on a statement's *first* line, but a trailing
+        ``# lint: disable=...`` comment on a statement continued with a
+        backslash or spread over a multi-line call lands on a later
+        physical line.  Re-register such directives on the statement's
+        first line so the suppression and the finding meet.
+        """
+        if not self.disables:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, self._SIMPLE_STMTS):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None or end <= node.lineno:
+                continue
+            for line in range(node.lineno + 1, end + 1):
+                for entry in self.disables.get(line, []):
+                    anchored = self.disables.setdefault(node.lineno, [])
+                    if entry not in anchored:
+                        anchored.append(entry)
 
     @staticmethod
     def _package_parts(path: str) -> Tuple[str, ...]:
@@ -210,6 +262,10 @@ class Checker:
     description: str = ""
     #: When True, an inline disable must carry a ``(reason)`` to count.
     require_reason: bool = False
+    #: Project-wide checkers (see :mod:`repro.lint.project`) set this
+    #: True; they are fed the whole parsed tree at once instead of one
+    #: file at a time.
+    is_project: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -291,6 +347,9 @@ class LintReport:
     checked_files: int = 0
     select: Optional[List[str]] = None
     paths: List[str] = field(default_factory=list)
+    #: Every successfully parsed file, for consumers that post-process
+    #: the same parse (the wire-contract emitter).  Not serialized.
+    contexts: List[FileContext] = field(default_factory=list)
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -390,26 +449,49 @@ def run_lint(
     select: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
 ) -> LintReport:
-    """Lint every python file under ``paths`` with the given checkers."""
+    """Lint every python file under ``paths`` with the given checkers.
+
+    Per-file checkers see one :class:`FileContext` at a time; checkers
+    with ``is_project`` set run once afterwards over every parsed file
+    (the cross-module pass in :mod:`repro.lint.project`).  Suppression
+    and baselining apply identically to both kinds.
+    """
     if select is not None:
         wanted = set(select)
         checkers = [c for c in checkers if c.code in wanted]
+    file_checkers = [c for c in checkers if not c.is_project]
+    project_checkers = [c for c in checkers if c.is_project]
     report = LintReport(
         select=sorted(select) if select is not None else None,
         paths=[str(p) for p in paths],
     )
+
+    def record(finding: Finding, ctx: Optional[FileContext], checker: Checker) -> None:
+        if ctx is not None and _is_suppressed(finding, ctx, checker):
+            report.suppressed.append(finding)
+        elif baseline is not None and baseline.contains(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+
     for path in iter_python_files(paths):
         report.checked_files += 1
-        ctx, produced, parse_error = lint_file(path, checkers)
+        ctx, produced, parse_error = lint_file(path, file_checkers)
         if parse_error is not None:
             report.findings.append(parse_error)
             continue
+        if ctx is not None:
+            report.contexts.append(ctx)
         for finding, checker in produced:
-            if ctx is not None and _is_suppressed(finding, ctx, checker):
-                report.suppressed.append(finding)
-            elif baseline is not None and baseline.contains(finding):
-                report.baselined.append(finding)
-            else:
-                report.findings.append(finding)
+            record(finding, ctx, checker)
+
+    if project_checkers and report.contexts:
+        # One shared index: the whole tree is parsed exactly once.
+        index = project_checkers[0].build_index(report.contexts)
+        by_path = {ctx.path: ctx for ctx in report.contexts}
+        for checker in project_checkers:
+            for finding in checker.check_project(index):
+                record(finding, by_path.get(finding.path), checker)
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
     return report

@@ -1,0 +1,748 @@
+"""The project-wide lint pass: the wire contract is *closed*.
+
+Per-file checkers (:mod:`repro.lint.checkers`) can prove local facts —
+"this deserializer guards its unpacks" — but the invariants most likely
+to rot span modules: every opcode in ``service/protocol.py`` needs a
+dispatch branch in ``server.py``, a client method in ``client.py``, a
+display name in ``OPCODE_NAMES``, and (for worker-IPC opcodes) a branch
+in ``worker.py``; every status the service emits needs a typed branch
+in ``api/errors.py``.  This module parses nothing itself — it receives
+every :class:`~repro.lint.framework.FileContext` the single lint parse
+produced, builds a :class:`ProjectIndex` of the protocol constant
+tables and their cross-module references, and runs the three
+cross-module checkers (WIRE002, WIRE003, ERR002) against it.
+
+A *protocol root* is any directory layout containing a
+``service/protocol.py`` below a ``repro`` package directory; the index
+resolves its sibling modules (``server.py``, ``client.py``,
+``worker.py``, ``api/errors.py``, ``core/serialize.py``) relative to
+the same root, so the real tree and seeded fixture trees under
+``tests/lint_fixtures/`` index independently in one run.  A checker
+skips any requirement whose resolving module is absent from the linted
+file set — it proves absence only where it can see.
+
+The same index feeds :func:`build_contract`, the machine-readable
+``wire-contract.json`` artifact (``rlwe-repro lint --contract``) that
+maps every opcode to its name, dispatch, client surface, and worker
+coverage — the ground-truth schema a future routing gateway validates
+against, drift-gated in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import Checker, FileContext, Finding
+
+#: Contract artifact schema version.
+CONTRACT_VERSION = 1
+
+#: Opcode constants with this prefix are worker-IPC-only: they must be
+#: handled in ``worker.py`` and must *not* grow a public client method.
+_WORKER_PREFIX = "OP_WORKER_"
+
+
+def _const_int(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class WireModule:
+    """Struct-format facts of one wire module (WIRE003's subject)."""
+
+    ctx: FileContext
+    #: Module-level ``_NAME = struct.Struct("fmt")`` table.
+    struct_formats: Dict[str, str] = field(default_factory=dict)
+    #: Function name -> ordered formats packed / unpacked in its body.
+    pack_seqs: Dict[str, List[str]] = field(default_factory=dict)
+    unpack_seqs: Dict[str, List[str]] = field(default_factory=dict)
+    #: Function name -> (def node line, has a length guard anywhere).
+    functions: Dict[str, Tuple[int, bool]] = field(default_factory=dict)
+
+
+@dataclass
+class ProtocolRoot:
+    """One ``service/protocol.py`` and its resolved sibling modules."""
+
+    protocol: FileContext
+    server: Optional[FileContext] = None
+    client: Optional[FileContext] = None
+    worker: Optional[FileContext] = None
+    errors: Optional[FileContext] = None
+    #: Every sibling under ``service/`` or ``keystore/`` (status
+    #: emission surface for ERR002), protocol.py included.
+    emitters: List[FileContext] = field(default_factory=list)
+
+    # -- extracted from protocol.py ------------------------------------
+    #: ``OP_X`` -> (value, definition line).
+    opcodes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: ``STATUS_X`` -> (value, definition line).
+    statuses: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: ``OPCODE_NAMES`` entries: (opcode constant name or None,
+    #: literal value or None, display name, key line).
+    opcode_names: List[Tuple[Optional[str], Optional[int], Optional[str], int]] = field(
+        default_factory=list
+    )
+    opcode_names_line: Optional[int] = None
+    #: ``KEYED_TO_BASE``: keyed opcode constant -> base constant.
+    keyed_to_base: Dict[str, str] = field(default_factory=dict)
+
+    # -- extracted from the siblings -----------------------------------
+    #: Opcode constants compared against in the server dispatch.
+    server_dispatch: Set[str] = field(default_factory=set)
+    #: True when the server dispatches ``opcode in KEYED_TO_BASE``.
+    server_keyed_membership: bool = False
+    #: Opcode constant -> client method names issuing it.
+    client_methods: Dict[str, List[str]] = field(default_factory=dict)
+    #: Opcode constants referenced anywhere in worker.py.
+    worker_refs: Set[str] = field(default_factory=set)
+    #: ``STATUS_X`` compared inside ``error_from_status`` -> line.
+    classified_statuses: Dict[str, int] = field(default_factory=dict)
+    #: ``STATUS_X`` referenced by any service/keystore module.
+    emitted_statuses: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ProjectIndex:
+    """Everything the cross-module checkers need, built in one sweep."""
+
+    roots: List[ProtocolRoot] = field(default_factory=list)
+    wire_modules: List[WireModule] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Index construction
+# ----------------------------------------------------------------------
+def _root_prefix(ctx: FileContext) -> str:
+    """The path prefix above a context's ``repro``-relative parts."""
+    suffix = "/".join(ctx.parts)
+    path = ctx.path.replace("\\", "/")
+    if path.endswith(suffix):
+        return path[: len(path) - len(suffix)]
+    return path
+
+
+def _extract_protocol_tables(root: ProtocolRoot) -> None:
+    tree = root.protocol.tree
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = _const_int(node.value)
+        if value is not None:
+            if target.id.startswith("OP_"):
+                root.opcodes[target.id] = (value, node.lineno)
+            elif (
+                target.id.startswith("STATUS_")
+                and target.id != "STATUS_NAMES"
+            ):
+                root.statuses[target.id] = (value, node.lineno)
+            continue
+        if target.id == "OPCODE_NAMES" and isinstance(node.value, ast.Dict):
+            root.opcode_names_line = node.lineno
+            for key, val in zip(node.value.keys, node.value.values):
+                display = (
+                    val.value
+                    if isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                    else None
+                )
+                if isinstance(key, ast.Name):
+                    root.opcode_names.append(
+                        (key.id, None, display, key.lineno)
+                    )
+                elif key is not None and _const_int(key) is not None:
+                    root.opcode_names.append(
+                        (None, _const_int(key), display, key.lineno)
+                    )
+        elif target.id == "KEYED_TO_BASE" and isinstance(node.value, ast.Dict):
+            for key, val in zip(node.value.keys, node.value.values):
+                if isinstance(key, ast.Name) and isinstance(val, ast.Name):
+                    root.keyed_to_base[key.id] = val.id
+
+
+def _extract_server_dispatch(root: ProtocolRoot) -> None:
+    assert root.server is not None
+    for node in ast.walk(root.server.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for operand in operands:
+                if isinstance(operand, ast.Name) and operand.id.startswith(
+                    "OP_"
+                ):
+                    root.server_dispatch.add(operand.id)
+        if any(isinstance(op, ast.In) for op in node.ops):
+            for operand in node.comparators:
+                if _dotted(operand) in ("KEYED_TO_BASE", "BASE_TO_KEYED"):
+                    root.server_keyed_membership = True
+
+
+def _extract_client_methods(root: ProtocolRoot) -> None:
+    assert root.client is not None
+    for func in ast.walk(root.client.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func) or ""
+            if dotted.split(".")[-1] != "request" or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id.startswith("OP_"):
+                root.client_methods.setdefault(first.id, []).append(
+                    func.name
+                )
+
+
+def _extract_worker_refs(root: ProtocolRoot) -> None:
+    assert root.worker is not None
+    for node in ast.walk(root.worker.tree):
+        if isinstance(node, ast.Name) and node.id.startswith("OP_"):
+            root.worker_refs.add(node.id)
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, ast.In) for op in node.ops
+        ):
+            for operand in node.comparators:
+                if _dotted(operand) == "KEYED_TO_BASE":
+                    root.worker_refs.update(root.keyed_to_base)
+
+
+def _extract_error_branches(root: ProtocolRoot) -> None:
+    assert root.errors is not None
+    for func in ast.walk(root.errors.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name != "error_from_status":
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, ast.Eq) for op in node.ops):
+                continue
+            for operand in [node.left, *node.comparators]:
+                if (
+                    isinstance(operand, ast.Name)
+                    and operand.id.startswith("STATUS_")
+                    and operand.id != "STATUS_NAMES"
+                ):
+                    root.classified_statuses.setdefault(
+                        operand.id, operand.lineno
+                    )
+
+
+def _extract_emitted_statuses(root: ProtocolRoot) -> None:
+    for ctx in root.emitters:
+        if ctx is root.protocol:
+            continue  # definitions and STATUS_NAMES, not emission
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Name)
+                and node.id.startswith("STATUS_")
+                and node.id != "STATUS_NAMES"
+            ):
+                root.emitted_statuses.add(node.id)
+
+
+_WIRE_FILES = {"serialize.py", "protocol.py"}
+
+
+def _extract_wire_module(ctx: FileContext) -> WireModule:
+    module = WireModule(ctx)
+    for node in ctx.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and _dotted(node.value.func) == "struct.Struct"
+            and node.value.args
+            and isinstance(node.value.args[0], ast.Constant)
+            and isinstance(node.value.args[0].value, str)
+        ):
+            module.struct_formats[node.targets[0].id] = node.value.args[
+                0
+            ].value
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # ``ast.walk`` is breadth-first; the mirror-order comparison
+        # needs the *source* order of the pack/unpack calls.
+        packs: List[Tuple[int, int, str]] = []
+        unpacks: List[Tuple[int, int, str]] = []
+        guarded = False
+        for node in ast.walk(func):
+            if isinstance(node, (ast.If, ast.While)):
+                for sub in ast.walk(node.test):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "len"
+                    ):
+                        guarded = True
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func) or ""
+            leaf = dotted.split(".")[-1]
+            if "check_exact_length" in dotted or "parse_header" in dotted:
+                guarded = True
+            fmt: Optional[str] = None
+            if dotted.startswith("struct.") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    fmt = first.value
+            elif "." in dotted:
+                owner = dotted.rsplit(".", 1)[0]
+                fmt = module.struct_formats.get(owner)
+            if fmt is None:
+                continue
+            position = (node.lineno, node.col_offset)
+            if leaf in ("pack", "pack_into"):
+                packs.append((*position, fmt))
+            elif leaf in ("unpack", "unpack_from"):
+                unpacks.append((*position, fmt))
+        module.functions[func.name] = (func.lineno, guarded)
+        module.pack_seqs[func.name] = [fmt for _, _, fmt in sorted(packs)]
+        module.unpack_seqs[func.name] = [
+            fmt for _, _, fmt in sorted(unpacks)
+        ]
+    return module
+
+
+def build_index(contexts: Sequence[FileContext]) -> ProjectIndex:
+    """One sweep over the already-parsed tree; no file is re-read."""
+    index = ProjectIndex()
+    anchors = [
+        ctx for ctx in contexts if ctx.parts == ("service", "protocol.py")
+    ]
+    for anchor in anchors:
+        prefix = _root_prefix(anchor)
+        root = ProtocolRoot(protocol=anchor)
+        for ctx in contexts:
+            if ctx is anchor or _root_prefix(ctx) != prefix:
+                continue
+            if ctx.parts == ("service", "server.py"):
+                root.server = ctx
+            elif ctx.parts == ("service", "client.py"):
+                root.client = ctx
+            elif ctx.parts == ("service", "worker.py"):
+                root.worker = ctx
+            elif ctx.parts == ("api", "errors.py"):
+                root.errors = ctx
+            if ctx.in_package("service", "keystore"):
+                root.emitters.append(ctx)
+        _extract_protocol_tables(root)
+        if root.server is not None:
+            _extract_server_dispatch(root)
+        if root.client is not None:
+            _extract_client_methods(root)
+        if root.worker is not None:
+            _extract_worker_refs(root)
+        if root.errors is not None:
+            _extract_error_branches(root)
+        _extract_emitted_statuses(root)
+        index.roots.append(root)
+    for ctx in contexts:
+        if ctx.filename in _WIRE_FILES and ctx.in_package(
+            "core", "service"
+        ):
+            index.wire_modules.append(_extract_wire_module(ctx))
+    return index
+
+
+# ----------------------------------------------------------------------
+# Project checkers
+# ----------------------------------------------------------------------
+class ProjectChecker(Checker):
+    """Base of the cross-module checkers: fed the whole-tree index."""
+
+    is_project = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    #: ``run_lint`` builds the shared index through any registered
+    #: project checker, so the framework never imports this module.
+    @staticmethod
+    def build_index(contexts: Sequence[FileContext]) -> ProjectIndex:
+        return build_index(contexts)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _at(
+        self, ctx: FileContext, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code, path=ctx.path, line=line, column=1, message=message
+        )
+
+
+class ProtocolSurface(ProjectChecker):
+    """WIRE002 — the opcode surface is closed on every layer.
+
+    Every public ``OP_*`` constant must appear in ``OPCODE_NAMES``, be
+    dispatched by ``server.py`` (directly or through the
+    ``KEYED_TO_BASE`` membership branch), and be issued by at least one
+    client method; every ``OP_WORKER_*`` constant must appear in
+    ``OPCODE_NAMES`` and be handled by ``worker.py`` — and must *not*
+    have a public client method.  Phantoms (an ``OPCODE_NAMES`` entry,
+    dispatch branch, or client call naming no defined constant) flag
+    too, so a deleted opcode cannot leave dead surface behind.
+    """
+
+    code = "WIRE002"
+    name = "protocol-surface"
+    description = (
+        "opcode missing from OPCODE_NAMES / server dispatch / client "
+        "methods / worker loop (or a phantom entry naming no opcode)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for root in index.roots:
+            yield from self._check_root(root)
+
+    def _check_root(self, root: ProtocolRoot) -> Iterator[Finding]:
+        ctx = root.protocol
+        named = {
+            entry[0] for entry in root.opcode_names if entry[0] is not None
+        }
+        named_values = {
+            entry[1] for entry in root.opcode_names if entry[1] is not None
+        }
+        values = {name: value for name, (value, _) in root.opcodes.items()}
+        for name, (value, line) in sorted(
+            root.opcodes.items(), key=lambda kv: kv[1][0]
+        ):
+            if name not in named and value not in named_values:
+                yield self._at(
+                    ctx,
+                    line,
+                    f"opcode {name} (= {value}) has no OPCODE_NAMES entry; "
+                    f"stats and error rendering would show a bare number",
+                )
+            worker_only = name.startswith(_WORKER_PREFIX)
+            if worker_only:
+                if (
+                    root.worker is not None
+                    and name not in root.worker_refs
+                ):
+                    yield self._at(
+                        ctx,
+                        line,
+                        f"worker-IPC opcode {name} (= {value}) is never "
+                        f"handled in worker.py",
+                    )
+                if root.client is not None and name in root.client_methods:
+                    methods = ", ".join(sorted(set(root.client_methods[name])))
+                    yield self._at(
+                        ctx,
+                        line,
+                        f"worker-IPC opcode {name} must not be issued by a "
+                        f"public client method (found: {methods})",
+                    )
+                continue
+            if root.server is not None:
+                dispatched = name in root.server_dispatch or (
+                    root.server_keyed_membership
+                    and name in root.keyed_to_base
+                )
+                if not dispatched:
+                    yield self._at(
+                        ctx,
+                        line,
+                        f"opcode {name} (= {value}) has no dispatch branch "
+                        f"in server.py; requests would be rejected as "
+                        f"bad_request",
+                    )
+            if (
+                root.client is not None
+                and name not in root.client_methods
+            ):
+                yield self._at(
+                    ctx,
+                    line,
+                    f"opcode {name} (= {value}) has no client method "
+                    f"issuing it in client.py",
+                )
+        # Phantoms: consuming tables naming no defined constant.
+        for cname, cvalue, _display, line in root.opcode_names:
+            if cname is not None and cname not in root.opcodes:
+                yield self._at(
+                    ctx,
+                    line,
+                    f"phantom OPCODE_NAMES entry {cname}: no such opcode "
+                    f"constant is defined",
+                )
+            elif cvalue is not None and cvalue not in values.values():
+                yield self._at(
+                    ctx,
+                    line,
+                    f"phantom OPCODE_NAMES entry {cvalue}: no opcode "
+                    f"constant has this value",
+                )
+        if root.server is not None:
+            for name in sorted(root.server_dispatch - set(root.opcodes)):
+                yield self._at(
+                    root.server,
+                    1,
+                    f"server dispatches {name}, which protocol.py does "
+                    f"not define",
+                )
+        if root.client is not None:
+            for name in sorted(set(root.client_methods) - set(root.opcodes)):
+                methods = ", ".join(sorted(set(root.client_methods[name])))
+                yield self._at(
+                    root.client,
+                    1,
+                    f"client method(s) {methods} issue {name}, which "
+                    f"protocol.py does not define",
+                )
+
+
+class SerializerSymmetry(ProjectChecker):
+    """WIRE003 — every serializer has a strict mirror image.
+
+    In the wire modules (``core/serialize.py``, ``service/protocol.py``)
+    the ``serialize_``/``deserialize_``, ``encode_``/``decode_`` and
+    ``pack_``/``unpack_`` families must come in pairs, and a
+    deserializer must consume the same struct formats its serializer
+    packs, in the same order (the serializer may pack extra leading
+    material — the frame length prefix — that a lower layer consumes).
+    A deserializer that unpacks anything must also carry a length guard;
+    the per-unpack domination rules stay with WIRE001.
+    """
+
+    code = "WIRE003"
+    name = "serializer-symmetry"
+    description = (
+        "serialize/encode/pack function without a mirror deserializer, "
+        "or a pair whose struct formats disagree in content or order"
+    )
+
+    _PAIRS = (
+        ("serialize_", "deserialize_"),
+        ("encode_", "decode_"),
+        ("pack_", "unpack_"),
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for module in index.wire_modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: WireModule) -> Iterator[Finding]:
+        ctx = module.ctx
+        names = set(module.functions)
+
+        def mirror(name: str, fwd: str, back: str) -> str:
+            stripped = name.lstrip("_")
+            prefix = name[: len(name) - len(stripped)]
+            return prefix + back + stripped[len(fwd) :]
+
+        for name in sorted(names):
+            stripped = name.lstrip("_")
+            for fwd, back in self._PAIRS:
+                if stripped.startswith(fwd):
+                    partner = mirror(name, fwd, back)
+                    if partner not in names:
+                        line, _ = module.functions[name]
+                        yield self._at(
+                            ctx,
+                            line,
+                            f"{name} has no mirror {partner}; every wire "
+                            f"encoding must round-trip",
+                        )
+                        continue
+                    yield from self._check_pair(module, name, partner)
+                elif stripped.startswith(back):
+                    partner = mirror(name, back, fwd)
+                    if partner not in names:
+                        line, _ = module.functions[name]
+                        yield self._at(
+                            ctx,
+                            line,
+                            f"{name} has no mirror {partner}; a decoder "
+                            f"for bytes nothing produces is dead wire "
+                            f"surface",
+                        )
+
+    def _check_pair(
+        self, module: WireModule, serializer: str, deserializer: str
+    ) -> Iterator[Finding]:
+        packs = module.pack_seqs[serializer]
+        unpacks = module.unpack_seqs[deserializer]
+        line, guarded = module.functions[deserializer]
+        # Order-preserving containment: every unpacked format must
+        # appear in the serializer's pack sequence, in the same order.
+        cursor = 0
+        for fmt in unpacks:
+            while cursor < len(packs) and packs[cursor] != fmt:
+                cursor += 1
+            if cursor == len(packs):
+                yield self._at(
+                    module.ctx,
+                    line,
+                    f"{deserializer} unpacks {fmt!r} out of order with "
+                    f"(or absent from) the formats {serializer} packs "
+                    f"({packs!r})",
+                )
+                return
+            cursor += 1
+        if unpacks and not guarded:
+            yield self._at(
+                module.ctx,
+                line,
+                f"{deserializer} unpacks struct data without any length "
+                f"guard; truncated input must raise ValueError",
+            )
+
+
+class StatusClassification(ProjectChecker):
+    """ERR002 — every emitted status reaches a typed error branch.
+
+    A ``STATUS_*`` the service layer can put on the wire must be
+    classified by an ``== STATUS_X`` branch in
+    ``api/errors.error_from_status`` (``STATUS_OK`` exempt — it is not
+    an error), and every classifying branch must correspond to a status
+    some service/keystore module actually emits: dead branches hide
+    protocol drift exactly like missing ones.
+    """
+
+    code = "ERR002"
+    name = "status-classification"
+    description = (
+        "service-emitted STATUS_* never classified by error_from_status, "
+        "or a classifier branch for a status nothing emits"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for root in index.roots:
+            if root.errors is None or not root.statuses:
+                continue
+            yield from self._check_root(root)
+
+    def _check_root(self, root: ProtocolRoot) -> Iterator[Finding]:
+        emitted = root.emitted_statuses & set(root.statuses)
+        for name in sorted(emitted - set(root.classified_statuses)):
+            if name == "STATUS_OK":
+                continue
+            value, line = root.statuses[name]
+            yield self._at(
+                root.protocol,
+                line,
+                f"status {name} (= {value}) is emitted by the service "
+                f"but error_from_status never classifies it; callers "
+                f"would see an untyped RemoteError",
+            )
+        for name, line in sorted(root.classified_statuses.items()):
+            if name in root.statuses and name not in emitted:
+                yield self._at(
+                    root.errors,
+                    line,
+                    f"error_from_status classifies {name}, but no "
+                    f"service or keystore module emits it; dead branch",
+                )
+
+
+ALL_PROJECT_CHECKERS: Tuple[ProjectChecker, ...] = (
+    ProtocolSurface(),
+    SerializerSymmetry(),
+    StatusClassification(),
+)
+
+
+# ----------------------------------------------------------------------
+# The wire-contract artifact
+# ----------------------------------------------------------------------
+def build_contract(contexts: Sequence[FileContext]) -> Dict[str, object]:
+    """The machine-readable protocol surface, from one parsed tree.
+
+    Deterministic by construction: derived purely from the AST tables,
+    ordered by opcode/status value, no file paths or line numbers — so
+    the committed ``wire-contract.json`` only changes when the protocol
+    surface itself does, which is exactly what the CI drift gate wants
+    to detect.
+    """
+    index = build_index(contexts)
+    roots = [
+        root
+        for root in index.roots
+        if "tests/" not in root.protocol.path.replace("\\", "/")
+    ]
+    if not roots:
+        raise ValueError(
+            "no service/protocol.py found under the linted paths; "
+            "cannot build a wire contract"
+        )
+    if len(roots) > 1:
+        paths = ", ".join(sorted(r.protocol.path for r in roots))
+        raise ValueError(
+            f"multiple protocol roots found ({paths}); lint one tree "
+            f"to build its wire contract"
+        )
+    root = roots[0]
+    display = {}
+    for cname, cvalue, name, _line in root.opcode_names:
+        if cname is not None:
+            display[cname] = name
+    opcodes = []
+    for const, (value, _line) in sorted(
+        root.opcodes.items(), key=lambda kv: kv[1][0]
+    ):
+        worker_only = const.startswith(_WORKER_PREFIX)
+        dispatched = const in root.server_dispatch or (
+            root.server_keyed_membership and const in root.keyed_to_base
+        )
+        opcodes.append(
+            {
+                "opcode": value,
+                "constant": const,
+                "name": display.get(const),
+                "keyed_base": root.keyed_to_base.get(const),
+                "worker_only": worker_only,
+                "server_dispatch": bool(dispatched and not worker_only),
+                "client_methods": sorted(
+                    set(root.client_methods.get(const, []))
+                ),
+                "worker_handled": const in root.worker_refs,
+            }
+        )
+    statuses = []
+    for const, (value, _line) in sorted(
+        root.statuses.items(), key=lambda kv: kv[1][0]
+    ):
+        statuses.append(
+            {
+                "status": value,
+                "constant": const,
+                "emitted": const in root.emitted_statuses,
+                "classified": const in root.classified_statuses,
+            }
+        )
+    return {
+        "version": CONTRACT_VERSION,
+        "tool": "rlwe-repro lint --contract",
+        "opcodes": opcodes,
+        "statuses": statuses,
+    }

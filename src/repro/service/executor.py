@@ -739,6 +739,27 @@ class _Worker:
     def pid(self) -> int:
         return self.proc.pid
 
+    # The job table and key-generation view are mutated only through
+    # these methods, so the shared state has exactly one writer class
+    # (machine-checked: CONC001, `rlwe-repro lint`).
+
+    def register_job(self, job_id: int, future: asyncio.Future) -> None:
+        self.jobs[job_id] = future
+
+    def forget_job(self, job_id: int) -> None:
+        self.jobs.pop(job_id, None)
+
+    def take_jobs(self) -> Dict[int, asyncio.Future]:
+        """Detach and return every in-flight job (worker death path)."""
+        jobs, self.jobs = dict(self.jobs), {}
+        return jobs
+
+    def pin_key(self, name: str, generation: int) -> None:
+        self.key_generations[name] = generation
+
+    def drop_key(self, name: str) -> None:
+        self.key_generations.pop(name, None)
+
 
 class WorkerPoolExecutor(Executor):
     """Shard coalesced batches across a pool of worker processes.
@@ -1014,7 +1035,7 @@ class WorkerPoolExecutor(Executor):
         if self._next_job_id == protocol.RESERVED_REQUEST_ID:
             self._next_job_id = 0
         future = loop.create_future()
-        worker.jobs[job_id] = future
+        worker.register_job(job_id, future)
         worker.outstanding_items += items
         try:
             try:
@@ -1062,7 +1083,7 @@ class WorkerPoolExecutor(Executor):
                     f"respawning",
                 ) from None
         finally:
-            worker.jobs.pop(job_id, None)
+            worker.forget_job(job_id)
             worker.outstanding_items -= items
         worker.jobs_done += 1
         worker.items_done += items
@@ -1083,7 +1104,7 @@ class WorkerPoolExecutor(Executor):
                 f"{key.name!r}@{key.generation}: "
                 f"{response.body.decode(errors='replace')}",
             )
-        worker.key_generations[key.name] = key.generation
+        worker.pin_key(key.name, key.generation)
         self._key_installs += 1
 
     async def _install_keys(self, worker: _Worker, materials) -> None:
@@ -1115,7 +1136,7 @@ class WorkerPoolExecutor(Executor):
                 f"{response.body.decode(errors='replace')}",
             )
         for material in materials:
-            worker.key_generations[material.name] = material.generation
+            worker.pin_key(material.name, material.generation)
         self._key_installs += len(materials)
 
     @staticmethod
@@ -1191,7 +1212,7 @@ class WorkerPoolExecutor(Executor):
                 # round trip reinstalls every reported miss.
                 missing = self._missing_refs(response.body, refs)
                 for name, _generation in missing:
-                    worker.key_generations.pop(name, None)
+                    worker.drop_key(name)
                 self._key_refetches += 1
                 by_ref = {
                     (m.name, m.generation): m for m in distinct
@@ -1210,7 +1231,7 @@ class WorkerPoolExecutor(Executor):
                     # engine-side failure, never key_not_found.
                     still = self._missing_refs(response.body, refs)
                     for name, _generation in still:
-                        worker.key_generations.pop(name, None)
+                        worker.drop_key(name)
                     name, generation = still[0]
                     raise ServiceError(
                         STATUS_INTERNAL_ERROR,
@@ -1258,7 +1279,7 @@ class WorkerPoolExecutor(Executor):
             self._on_worker_exit(worker)
 
     def _fail_jobs(self, worker: _Worker, exc: ServiceError) -> None:
-        jobs, worker.jobs = dict(worker.jobs), {}
+        jobs = worker.take_jobs()
         for future in jobs.values():
             if not future.done():
                 future.set_exception(exc)

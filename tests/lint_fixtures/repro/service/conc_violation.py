@@ -1,0 +1,33 @@
+"""CONC001 fixture: foreign container mutation, sync lock over await."""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.jobs = {}
+        self.lock = threading.Lock()
+
+
+class Pool:
+    def __init__(self):
+        self.workers = []
+
+    def steal(self, worker, job_id, future):
+        # line 19: CONC001 (item assignment outside the owning class)
+        worker.jobs[job_id] = future
+
+    def flush(self, worker):
+        # line 23: CONC001 (mutator call outside the owning class)
+        worker.jobs.clear()
+
+    async def drain(self, worker):
+        # line 27: CONC001 (sync lock held across an await)
+        with worker.lock:
+            await asyncio.sleep(0)
+
+    def local_is_fine(self):
+        jobs = {}
+        jobs["local"] = object()
+        return jobs

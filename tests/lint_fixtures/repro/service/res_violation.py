@@ -1,0 +1,20 @@
+"""RES001 fixture: an acquired connection with no error-path close."""
+
+import asyncio
+
+
+async def fragile_connect(host, port):
+    # line 8: RES001 (no finally/except close on reader/writer)
+    reader, writer = await asyncio.open_connection(host, port)
+    await writer.drain()
+    return reader, writer
+
+
+async def careful_connect(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await writer.drain()
+    except OSError:
+        writer.close()
+        raise
+    return reader, writer

@@ -1,0 +1,25 @@
+"""Error half of the wire_surface fixture.
+
+Never classifies STATUS_OVERLOADED (which server.py emits) and keeps a
+dead branch for STATUS_UNUSED (which nothing emits).
+"""
+
+
+class RemoteError(Exception):
+    pass
+
+
+class BadRequest(RemoteError):
+    pass
+
+
+class Unused(RemoteError):
+    pass
+
+
+def error_from_status(status, detail):
+    if status == STATUS_BAD_REQUEST:
+        return BadRequest(detail)
+    if status == STATUS_UNUSED:  # line 23: ERR002 (dead branch)
+        return Unused(detail)
+    return RemoteError(status, detail)

@@ -1,0 +1,30 @@
+"""Client half of the wire_surface fixture.
+
+Issues a worker-IPC opcode (forbidden) and a phantom opcode (line 1
+of this file flags); never issues OP_GHOST.
+"""
+
+
+class Client:
+    async def request(self, opcode, body=b""):
+        raise NotImplementedError
+
+    async def ping(self):
+        return await self.request(OP_PING)
+
+    async def echo(self, body):
+        return await self.request(OP_ECHO, body)
+
+    async def orphan(self, body):
+        return await self.request(OP_ORPHAN, body)
+
+    async def missing_dispatch(self, body):
+        return await self.request(OP_MISSING_DISPATCH, body)
+
+    async def poke_worker(self):
+        # WIRE002: worker-IPC opcodes have no public client surface.
+        return await self.request(OP_WORKER_LEAKED)
+
+    async def legacy(self):
+        # WIRE002: protocol.py defines no OP_RETIRED.
+        return await self.request(OP_RETIRED)

@@ -1,0 +1,58 @@
+"""WIRE002/WIRE003/ERR002 fixture: a protocol surface with seeded holes.
+
+This tree (protocol/server/client/worker/errors) indexes as its own
+protocol root; every hole below is pinned by line in test_lint.py.
+"""
+
+import struct
+
+OP_PING = 0
+OP_ECHO = 1
+OP_GHOST = 2  # line 11: WIRE002 (no client method issues it)
+OP_ORPHAN = 3  # line 12: WIRE002 (missing from OPCODE_NAMES)
+OP_MISSING_DISPATCH = 4  # line 13: WIRE002 (no server dispatch branch)
+OP_WORKER_LOST = 0x40  # line 14: WIRE002 (never handled in worker.py)
+OP_WORKER_LEAKED = 0x41  # line 15: WIRE002 (client method issues it)
+
+OPCODE_NAMES = {
+    OP_PING: "ping",
+    OP_ECHO: "echo",
+    OP_GHOST: "ghost",
+    OP_MISSING_DISPATCH: "missing_dispatch",
+    OP_WORKER_LOST: "worker_lost",
+    OP_WORKER_LEAKED: "worker_leaked",
+    OP_PHANTOM: "phantom",  # line 24: WIRE002 (no such opcode constant)
+}
+
+STATUS_OK = 0
+STATUS_BAD_REQUEST = 1
+STATUS_OVERLOADED = 2  # line 29: ERR002 (emitted, never classified)
+STATUS_UNUSED = 3
+
+
+def serialize_note(note):
+    # def line 33: WIRE003 (no mirror deserialize_note)
+    return struct.pack("!I", len(note)) + note
+
+
+def encode_frame(kind, value):
+    return struct.pack("!IB", value, kind)
+
+
+def decode_frame(payload):
+    # def line 42: WIRE003 (unpacks '!B', absent from encode_frame's '!IB')
+    if len(payload) != 5:
+        raise ValueError(f"expected exactly 5 bytes, got {len(payload)}")
+    (kind,) = struct.unpack("!B", payload[4:])
+    (value,) = struct.unpack("!I", payload[:4])
+    return kind, value
+
+
+def pack_item(item):
+    return struct.pack("!I", item)
+
+
+def unpack_item(payload):
+    # def line 55: WIRE003 (unpacks struct data without a length guard)
+    (item,) = struct.unpack("!I", payload)
+    return item

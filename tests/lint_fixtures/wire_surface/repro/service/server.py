@@ -1,0 +1,20 @@
+"""Server half of the wire_surface fixture: dispatch with seeded holes.
+
+Dispatches a phantom opcode (line 1 of this file flags) and omits
+OP_MISSING_DISPATCH entirely.
+"""
+
+
+class Server:
+    async def dispatch(self, opcode, body):
+        if opcode == OP_PING:
+            return self._respond(STATUS_OK, b"pong")
+        if opcode == OP_ECHO:
+            return self._respond(STATUS_OK, body)
+        if opcode == OP_GHOST:
+            return self._respond(STATUS_OK, self._ghost(body))
+        if opcode == OP_ORPHAN:
+            return self._respond(STATUS_OK, self._orphan(body))
+        if opcode == OP_STALE:  # WIRE002: protocol.py defines no OP_STALE
+            return self._respond(STATUS_OVERLOADED, b"")
+        return self._respond(STATUS_BAD_REQUEST, b"")

@@ -1,0 +1,14 @@
+"""Worker half of the wire_surface fixture.
+
+Handles OP_WORKER_LEAKED and OP_PING but never OP_WORKER_LOST — the
+hole WIRE002 pins at the constant's definition line in protocol.py.
+"""
+
+
+def main_loop(channel):
+    while True:
+        opcode, body = channel.recv()
+        if opcode == OP_WORKER_LEAKED:
+            channel.send(handle_leaked(body))
+        elif opcode == OP_PING:
+            channel.send(b"pong")

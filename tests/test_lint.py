@@ -1,12 +1,18 @@
 """Tests for ``rlwe-repro lint``: checkers, suppression, baseline, CLI.
 
-The seeded-violation fixtures under ``tests/lint_fixtures/`` each
-trip exactly one checker; the package-scoped checkers (CT001, WIRE001,
-IPC001, ASY001) live under a ``repro/<subpackage>/`` layout because
-scoping keys on the path components after the ``repro`` directory.
+The seeded-violation fixtures under ``tests/lint_fixtures/`` pin each
+checker by (code, path, line); the package-scoped checkers (CT001,
+WIRE001, IPC001, ASY001, CONC001, RES001) live under a
+``repro/<subpackage>/`` layout because scoping keys on the path
+components after the ``repro`` directory.  The cross-module checkers
+(WIRE002, WIRE003, ERR002) are exercised by the seeded protocol tree
+under ``wire_surface/`` — a complete protocol root with one hole per
+rule — and by scratch copies of the *real* service tree with one
+dispatch/classifier branch deleted.
 """
 
 import json
+import shutil
 from pathlib import Path
 
 import pytest
@@ -39,8 +45,10 @@ EXPECTED = {
     ],
     "repro/core/serialize.py": [
         ("WIRE001", 12),
+        ("WIRE003", 12),
         ("WIRE001", 14),
         ("WIRE001", 16),
+        ("WIRE003", 21),
     ],
     "repro/service/ipc_violation.py": [
         ("IPC001", 3),
@@ -50,9 +58,44 @@ EXPECTED = {
         ("ASY001", 11),
         ("ASY001", 12),
     ],
+    "repro/service/conc_violation.py": [
+        ("CONC001", 19),
+        ("CONC001", 23),
+        ("CONC001", 27),
+    ],
+    "repro/service/res_violation.py": [
+        ("RES001", 8),
+    ],
     "exc_violation.py": [
         ("EXC001", 7),
         ("EXC001", 14),
+    ],
+}
+
+# The seeded protocol tree: cross-module holes pinned per file.  These
+# only reproduce in a whole-tree run — the project checkers resolve
+# protocol.py's siblings, so single-file runs skip the absent layers.
+WIRE_SURFACE_EXPECTED = {
+    "wire_surface/repro/api/errors.py": [
+        ("ERR002", 23),
+    ],
+    "wire_surface/repro/service/client.py": [
+        ("WIRE002", 1),
+    ],
+    "wire_surface/repro/service/protocol.py": [
+        ("WIRE002", 11),
+        ("WIRE002", 12),
+        ("WIRE002", 13),
+        ("WIRE002", 14),
+        ("WIRE002", 15),
+        ("WIRE002", 24),
+        ("ERR002", 29),
+        ("WIRE003", 33),
+        ("WIRE003", 42),
+        ("WIRE003", 55),
+    ],
+    "wire_surface/repro/service/server.py": [
+        ("WIRE002", 1),
     ],
 }
 
@@ -98,11 +141,28 @@ def test_whole_fixture_tree():
         got.setdefault(key, []).append((f.code, f.line))
     # suppression_demo's unsuppressed finding rides along in a tree run.
     assert got.pop("suppression_demo.py") == [("RND001", 5)]
-    assert got == EXPECTED
+    assert got == {**EXPECTED, **WIRE_SURFACE_EXPECTED}
+
+
+def test_wire_surface_tree_via_json_cli(capsys):
+    code, out = run_cli(
+        capsys, "--json", "--no-baseline", FIXTURES / "wire_surface"
+    )
+    assert code == 1
+    got = {}
+    for f in json.loads(out)["findings"]:
+        key = f["path"].replace("\\", "/").split("lint_fixtures/")[1]
+        got.setdefault(key, []).append((f["code"], f["line"]))
+    assert got == WIRE_SURFACE_EXPECTED
 
 
 def test_every_checker_has_a_fixture():
-    exercised = {code for pairs in EXPECTED.values() for code, _ in pairs}
+    exercised = {
+        code
+        for expected in (EXPECTED, WIRE_SURFACE_EXPECTED)
+        for pairs in expected.values()
+        for code, _ in pairs
+    }
     assert exercised == set(CHECKERS_BY_CODE)
 
 
@@ -111,7 +171,14 @@ def test_clean_function_in_fixture_stays_clean():
     report = lint(FIXTURES / "repro" / "sampler" / "ct_violation.py")
     assert all(f.line <= 11 for f in report.findings)
     report = lint(FIXTURES / "repro" / "core" / "serialize.py")
-    assert all(f.line <= 18 for f in report.findings)
+    assert all(
+        f.line <= 18 for f in report.findings if f.code == "WIRE001"
+    )
+    # careful_connect (guarded) and local mutation must not fire.
+    report = lint(FIXTURES / "repro" / "service" / "res_violation.py")
+    assert all(f.line <= 10 for f in report.findings)
+    report = lint(FIXTURES / "repro" / "service" / "conc_violation.py")
+    assert all(f.line <= 28 for f in report.findings)
 
 
 # ----------------------------------------------------------------------
@@ -144,9 +211,32 @@ def test_directive_parser():
         "    pass\n"
     )
     assert [d.code for d in disables[1]] == ["AAA111", "BBB222"]
-    assert not disables[1][0].reason
+    # A trailing group reason covers every reasonless code before it.
+    assert disables[1][0].reason == "the reason, with comma"
     assert disables[1][1].reason == "the reason, with comma"
     assert secrets[2] == ["alpha", "beta"]
+
+
+def test_directive_reason_does_not_leak_forward():
+    disables, _ = parse_directives(
+        "x = 1  # lint: disable=AAA111(only this one),BBB222\n"
+    )
+    assert disables[1][0].reason == "only this one"
+    assert disables[1][1].reason is None
+
+
+def test_directive_on_continuation_line_attaches_to_statement(tmp_path):
+    target = tmp_path / "continuation.py"
+    target.write_text(
+        "import os\n"
+        "\n"
+        "value = os.urandom(\n"
+        "    16\n"
+        ")  # lint: disable=RND001(demo entropy; suppression anchor test)\n"
+    )
+    report = lint(target)
+    assert report.findings == []
+    assert [(f.code, f.line) for f in report.suppressed] == [("RND001", 3)]
 
 
 # ----------------------------------------------------------------------
@@ -273,7 +363,7 @@ def test_report_json_schema(capsys):
     ):
         assert key in report
     assert report["version"] == 1
-    assert report["checked_files"] == 7
+    assert report["checked_files"] == 14
     assert sum(report["counts"].values()) == len(report["findings"])
     for f in report["findings"]:
         assert set(f) == {"code", "path", "line", "column", "message"}
@@ -320,10 +410,116 @@ def test_lint_subcommand_is_registered():
 
 
 # ----------------------------------------------------------------------
+# Scratch copies of the real service tree: deleting one dispatch or
+# classifier branch must flag — the drift the project pass exists for.
+# ----------------------------------------------------------------------
+SERVICE_PACKAGES = ("service", "api", "keystore")
+
+
+def copy_service_tree(tmp_path):
+    """Copy the real protocol surface into a scratch ``repro`` tree."""
+    scratch = tmp_path / "repro"
+    for package in SERVICE_PACKAGES:
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro" / package, scratch / package
+        )
+    return scratch
+
+
+def test_scratch_copy_of_real_service_tree_is_clean(tmp_path):
+    report = lint(copy_service_tree(tmp_path))
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"scratch tree not clean:\n{rendered}"
+
+
+def test_deleting_a_dispatch_branch_fires_wire002(tmp_path):
+    scratch = copy_service_tree(tmp_path)
+    server = scratch / "service" / "server.py"
+    text = server.read_text()
+    assert "== OP_STATS" in text
+    server.write_text(text.replace("== OP_STATS", "== OP_PING"))
+    report = lint(scratch)
+    assert any(
+        f.code == "WIRE002"
+        and "OP_STATS" in f.message
+        and "dispatch" in f.message
+        for f in report.findings
+    ), [f.render() for f in report.findings]
+
+
+def test_deleting_a_classifier_branch_fires_err002(tmp_path):
+    scratch = copy_service_tree(tmp_path)
+    errors = scratch / "api" / "errors.py"
+    text = errors.read_text()
+    assert "== STATUS_KEY_NOT_FOUND" in text
+    errors.write_text(
+        text.replace("== STATUS_KEY_NOT_FOUND", "== STATUS_BAD_REQUEST")
+    )
+    report = lint(scratch)
+    assert any(
+        f.code == "ERR002" and "STATUS_KEY_NOT_FOUND" in f.message
+        for f in report.findings
+    ), [f.render() for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# The wire-contract artifact
+# ----------------------------------------------------------------------
+def test_contract_regenerates_byte_identical(capsys, tmp_path):
+    target = tmp_path / "contract.json"
+    code, _ = run_cli(
+        capsys, "--no-baseline", "--contract", target, REPO_ROOT / "src"
+    )
+    assert code == 0
+    committed = REPO_ROOT / "wire-contract.json"
+    assert target.read_text() == committed.read_text(), (
+        "wire-contract.json drifted: regenerate with "
+        "`rlwe-repro lint --contract wire-contract.json`"
+    )
+
+
+def test_contract_proves_the_surface_is_closed():
+    contract = json.loads((REPO_ROOT / "wire-contract.json").read_text())
+    assert contract["version"] == 1
+    assert len(contract["opcodes"]) >= 19
+    for entry in contract["opcodes"]:
+        assert entry["name"], entry
+        if entry["worker_only"]:
+            assert entry["worker_handled"], entry
+            assert entry["client_methods"] == [], entry
+        else:
+            assert entry["server_dispatch"], entry
+            assert entry["client_methods"], entry
+    for entry in contract["statuses"]:
+        assert entry["emitted"], entry
+        if entry["constant"] != "STATUS_OK":
+            assert entry["classified"], entry
+
+
+def test_contract_refuses_ambiguous_roots(capsys, tmp_path):
+    # Fixture trees live under tests/ and are excluded: linting only
+    # them leaves no root to build a contract from.
+    with pytest.raises(SystemExit):
+        lint_main(
+            [
+                "--no-baseline",
+                "--contract",
+                str(tmp_path / "contract.json"),
+                str(FIXTURES),
+            ]
+        )
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
 # The merged tree itself must be clean: the gate the CI job enforces.
 # ----------------------------------------------------------------------
 def test_repo_tree_is_lint_clean():
-    report = lint(REPO_ROOT / "src", REPO_ROOT / "benchmarks")
+    report = lint(
+        REPO_ROOT / "src",
+        REPO_ROOT / "benchmarks",
+        REPO_ROOT / "examples",
+    )
     rendered = "\n".join(f.render() for f in report.findings)
     assert report.findings == [], f"lint regressions:\n{rendered}"
     assert report.checked_files >= 100
