@@ -1,0 +1,195 @@
+"""CI perf-regression gate over run-table artifacts.
+
+Compares a freshly-generated ``BENCH_runtable.json`` against the
+committed baseline and fails (exit 1) when any matched cell regressed
+in throughput by more than ``--threshold`` (default 20%).
+
+CI runners and the machine that produced the committed baseline are
+different hardware, so raw ops/s are not comparable.  The default mode
+therefore *normalizes*: it computes the fresh/baseline throughput
+ratio per cell, divides every ratio by the median ratio (which cancels
+the overall machine-speed factor), and flags cells whose normalized
+ratio falls below ``1 - threshold`` — i.e. cells that got slower
+*relative to the rest of the grid*.  A uniform slowdown (slower
+hardware) passes; a lopsided one (a regression in one configuration)
+fails.  ``--absolute`` skips the normalization for same-machine
+comparisons.
+
+Cells are matched by their full factor tuple (params, backend, engine,
+workers, keys, hot capacity, concurrency); cells present in only one
+artifact are reported but not gated.  Any fresh cell with driver
+errors or an invalid ``/metrics`` scrape fails the gate outright.
+
+    PYTHONPATH=src python benchmarks/runner.py --smoke --out /tmp/fresh.json
+    PYTHONPATH=src python benchmarks/compare.py \\
+        --baseline BENCH_runtable.json --fresh /tmp/fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Tuple
+
+FACTOR_KEYS = (
+    "params",
+    "backend",
+    "engine",
+    "workers",
+    "keys",
+    "hot_capacity",
+    "concurrency",
+)
+
+
+def load_cells(path: str) -> Dict[Tuple, Dict]:
+    """Index one artifact's cells by factor tuple."""
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("benchmark") != "runtable":
+        raise SystemExit(
+            f"error: {path} is not a runtable artifact "
+            f"(benchmark={report.get('benchmark')!r})"
+        )
+    cells = {}
+    for cell in report.get("cells", []):
+        key = tuple(cell[k] for k in FACTOR_KEYS)
+        if key in cells:
+            raise SystemExit(f"error: {path} has duplicate cell {key}")
+        cells[key] = cell
+    if not cells:
+        raise SystemExit(f"error: {path} has no cells")
+    return cells
+
+
+def describe(key: Tuple) -> str:
+    return " ".join(f"{name}={value}" for name, value in zip(FACTOR_KEYS, key))
+
+
+def gate(
+    baseline: Dict[Tuple, Dict],
+    fresh: Dict[Tuple, Dict],
+    *,
+    threshold: float,
+    absolute: bool,
+) -> int:
+    failures: List[str] = []
+
+    for key, cell in sorted(fresh.items()):
+        if cell.get("errors"):
+            failures.append(
+                f"{describe(key)}: {cell['errors']} driver error(s)"
+            )
+        if not cell.get("scrape_valid", True):
+            failures.append(f"{describe(key)}: /metrics scrape invalid")
+
+    matched = sorted(set(baseline) & set(fresh))
+    only_baseline = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    for key in only_baseline:
+        print(f"note: baseline-only cell (not gated): {describe(key)}")
+    for key in only_fresh:
+        print(f"note: fresh-only cell (not gated): {describe(key)}")
+    if not matched:
+        print("error: no cells in common; nothing to gate", file=sys.stderr)
+        return 1
+
+    ratios = {}
+    for key in matched:
+        base_ops = baseline[key]["ops_per_sec"]
+        fresh_ops = fresh[key]["ops_per_sec"]
+        if base_ops <= 0:
+            print(
+                f"note: zero-throughput baseline cell skipped: "
+                f"{describe(key)}"
+            )
+            continue
+        ratios[key] = fresh_ops / base_ops
+    if not ratios:
+        print("error: no comparable cells", file=sys.stderr)
+        return 1
+
+    median_ratio = statistics.median(ratios.values())
+    scale = 1.0 if absolute else median_ratio
+    if scale <= 0:
+        print(
+            f"error: non-positive median ratio {median_ratio:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    mode = "absolute" if absolute else f"median-normalized (x{median_ratio:.3f})"
+    print(
+        f"comparing {len(ratios)} cell(s), threshold {threshold:.0%}, "
+        f"{mode}"
+    )
+
+    floor = 1.0 - threshold
+    for key in sorted(ratios):
+        ratio = ratios[key]
+        normalized = ratio / scale
+        marker = "OK "
+        if normalized < floor:
+            marker = "REG"
+            failures.append(
+                f"{describe(key)}: throughput "
+                f"{baseline[key]['ops_per_sec']:.0f} -> "
+                f"{fresh[key]['ops_per_sec']:.0f} ops/s "
+                f"(normalized ratio {normalized:.2f} < {floor:.2f})"
+            )
+        print(
+            f"  [{marker}] {describe(key)}  "
+            f"{baseline[key]['ops_per_sec']:>8.0f} -> "
+            f"{fresh[key]['ops_per_sec']:>8.0f} ops/s  "
+            f"ratio {ratio:.2f}  normalized {normalized:.2f}"
+        )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s)", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nPASS: no cell regressed beyond the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="perf-regression gate over runtable artifacts"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_runtable.json",
+        help="committed baseline artifact",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly-generated artifact"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated per-cell throughput regression (0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw ratios without median normalization "
+        "(same-machine artifacts only)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        raise SystemExit(
+            f"error: --threshold must be in (0, 1), got {args.threshold}"
+        )
+    return gate(
+        load_cells(args.baseline),
+        load_cells(args.fresh),
+        threshold=args.threshold,
+        absolute=args.absolute,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

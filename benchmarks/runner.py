@@ -1,0 +1,466 @@
+"""Run-table experiment runner over the ``/metrics`` surface.
+
+muBench-style methodology: expand a factor grid — engine x backend x
+params x named-key count x hot-LRU capacity x client concurrency —
+into a run table, execute every cell against a fresh in-process server
+with a live Prometheus listener attached, and record both the driver's
+own measurements (ops/s, exact percentiles) and the numbers scraped
+from ``/metrics`` (validated round-trip, instrumentation cross-check:
+the scraped request counter must equal the driver's completed count).
+Writes ``BENCH_runtable.json`` plus a flat ``BENCH_runtable.csv`` for
+spreadsheet/pandas consumption, and ``benchmarks/compare.py`` gates a
+fresh artifact against the committed baseline in CI.  Not collected by
+pytest (no ``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/runner.py --smoke
+    PYTHONPATH=src python benchmarks/runner.py \\
+        --engines inline,pool:2 --keys-grid 0,8 --concurrency 16,64
+
+``--smoke`` shrinks the grid to a seconds-long CI-sized table (inline
+engine, one backend, two key counts) — the artifact the CI
+metrics-smoke job feeds to ``compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import csv
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import __version__, get_parameter_set, seeded_scheme
+from repro.backend import available_backends, skipped_backends_report
+from repro.metrics import (
+    MetricsHttpServer,
+    parse_exposition,
+    scrape,
+    validate_families,
+)
+from repro.service.executor import pool_executor_for, serving_seed
+from repro.service.loadgen import (
+    connect_with_retry,
+    histogram_summary,
+    latency_summary,
+)
+from repro.service.protocol import ServiceError
+from repro.service.server import start_server
+
+DEFAULT_OUTPUT = "BENCH_runtable.json"
+PAYLOAD = b"runtable-experiment-payload"
+
+#: Columns of the flat CSV, in order.
+CSV_COLUMNS = (
+    "params",
+    "backend",
+    "engine",
+    "workers",
+    "keys",
+    "hot_capacity",
+    "concurrency",
+    "requests",
+    "completed",
+    "errors",
+    "ops_per_sec",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "hist_p50_ms",
+    "hist_p95_ms",
+    "hist_p99_ms",
+    "mean_batch_size",
+    "scraped_requests",
+    "scrape_families",
+    "scrape_valid",
+)
+
+
+def parse_engine_factor(engine: str) -> Tuple[str, int]:
+    """``"inline"`` -> ("inline", 0); ``"pool:N"`` -> ("pool", N)."""
+    engine = engine.strip()
+    if engine == "inline":
+        return "inline", 0
+    kind, _, workers_text = engine.partition(":")
+    if kind != "pool":
+        raise SystemExit(
+            f"error: unknown engine {engine!r}; use inline or pool[:N]"
+        )
+    workers = int(workers_text) if workers_text else (os.cpu_count() or 1)
+    if workers < 1:
+        raise SystemExit(f"error: pool workers must be >= 1: {engine!r}")
+    return "pool", workers
+
+
+def expand_run_table(
+    params_list: List[str],
+    backends: List[str],
+    engines: List[Tuple[str, int]],
+    keys_grid: List[int],
+    hot_grid: List[int],
+    concurrency_grid: List[int],
+) -> List[Dict]:
+    """The full factor cross-product, one dict per cell."""
+    table = []
+    for params in params_list:
+        for backend in backends:
+            for engine, workers in engines:
+                for keys in keys_grid:
+                    for hot in hot_grid:
+                        for concurrency in concurrency_grid:
+                            table.append(
+                                {
+                                    "params": params,
+                                    "backend": backend,
+                                    "engine": engine,
+                                    "workers": workers,
+                                    "keys": keys,
+                                    "hot_capacity": hot,
+                                    "concurrency": concurrency,
+                                }
+                            )
+    return table
+
+
+def cell_id(cell: Dict) -> Tuple:
+    """The factor tuple compare.py matches baseline cells by."""
+    return (
+        cell["params"],
+        cell["backend"],
+        cell["engine"],
+        cell["workers"],
+        cell["keys"],
+        cell["hot_capacity"],
+        cell["concurrency"],
+    )
+
+
+def _scrape_summary(text: str, op: str) -> Dict:
+    """Validate one exposition and pull the cross-check numbers."""
+    families = parse_exposition(text)
+    problems = validate_families(families, require_naming=True)
+    requests_ok = 0
+    requests_family = families.get("repro_requests_total")
+    if requests_family is not None:
+        for sample in requests_family.samples:
+            if (
+                sample.labels.get("op") == op
+                and sample.labels.get("status") == "ok"
+            ):
+                requests_ok += int(sample.value)
+    return {
+        "scraped_requests": requests_ok,
+        "scrape_families": len(families),
+        "scrape_valid": not problems,
+        "scrape_problems": problems,
+    }
+
+
+async def run_cell(
+    cell: Dict,
+    *,
+    seed: int,
+    requests: int,
+    max_batch: int,
+    max_wait_ms: float,
+) -> Dict:
+    """Execute one run-table cell and return its result row."""
+    params = get_parameter_set(cell["params"])
+    scheme = seeded_scheme(params, serving_seed(seed), backend=cell["backend"])
+    executor = None
+    keypair = None
+    if cell["engine"] == "pool":
+        keypair = seeded_scheme(
+            params, seed, backend=cell["backend"]
+        ).generate_keypair()
+        executor = pool_executor_for(
+            scheme,
+            keypair,
+            seed=serving_seed(seed),
+            workers=cell["workers"],
+            backend=cell["backend"],
+        )
+    server = await start_server(
+        scheme,
+        max_batch=max_batch,
+        max_wait=max_wait_ms / 1e3,
+        keypair=keypair,
+        executor=executor,
+        keystore_seed=seed,
+        hot_keys=cell["hot_capacity"],
+    )
+    metrics_server = MetricsHttpServer(server.service.metrics.registry)
+    await metrics_server.start()
+    try:
+        client = await connect_with_retry("127.0.0.1", server.port, 10.0)
+        try:
+            names = [f"cell-{i}" for i in range(cell["keys"])]
+            for name in names:
+                await client.create_key(name)
+                # Materialize outside the timed loop: key generation
+                # is a one-time cost, not routing throughput.
+                await client.key_public_key(name)
+
+            latencies: List[float] = []
+            errors = 0
+            counter = {"next": 0}
+
+            async def one() -> None:
+                nonlocal errors
+                index = counter["next"]
+                counter["next"] += 1
+                started = time.perf_counter()
+                try:
+                    if names:
+                        await client.key_encrypt(
+                            names[index % len(names)], 0, PAYLOAD
+                        )
+                    else:
+                        await client.encrypt(PAYLOAD)
+                except (ServiceError, ConnectionError, OSError):
+                    errors += 1
+                else:
+                    latencies.append(time.perf_counter() - started)
+
+            async def worker(count: int) -> None:
+                for _ in range(count):
+                    await one()
+
+            concurrency = cell["concurrency"]
+            per_worker = [requests // concurrency] * concurrency
+            for i in range(requests % concurrency):
+                per_worker[i] += 1
+            wall_start = time.perf_counter()
+            await asyncio.gather(*(worker(n) for n in per_worker))
+            wall = time.perf_counter() - wall_start
+
+            exposition = await scrape("127.0.0.1", metrics_server.port)
+            stats = server.service.stats()
+        finally:
+            await client.close()
+    finally:
+        await metrics_server.close()
+        await server.close()
+
+    op = "key_encrypt" if cell["keys"] else "encrypt"
+    if cell["keys"]:
+        fused = stats["fused"].get("encrypt", {})
+        mean_batch = fused.get("mean_rows_per_window", 0.0)
+    else:
+        mean_batch = stats["ops"]["encrypt"]["mean_batch_size"]
+    exact = latency_summary(latencies)
+    hist = histogram_summary(latencies)
+    row = dict(
+        cell,
+        requests=requests,
+        completed=len(latencies),
+        errors=errors,
+        wall_seconds=wall,
+        ops_per_sec=len(latencies) / wall if wall > 0 else 0.0,
+        p50_ms=exact["p50"],
+        p95_ms=exact["p95"],
+        p99_ms=exact["p99"],
+        hist_p50_ms=hist["p50"],
+        hist_p95_ms=hist["p95"],
+        hist_p99_ms=hist["p99"],
+        mean_batch_size=mean_batch,
+        **_scrape_summary(exposition, op),
+    )
+    return row
+
+
+async def run_table(table: List[Dict], args) -> List[Dict]:
+    rows = []
+    for index, cell in enumerate(table):
+        row = await run_cell(
+            cell,
+            seed=args.seed,
+            requests=max(args.min_requests, cell["concurrency"] * args.requests_factor),
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+        rows.append(row)
+        check = "scrape OK" if row["scrape_valid"] else "SCRAPE INVALID"
+        engine = (
+            f"pool:{row['workers']}"
+            if row["engine"] == "pool"
+            else "inline"
+        )
+        print(
+            f"  [{index + 1}/{len(table)}] {row['params']} "
+            f"{row['backend']:<16} {engine:<8} keys {row['keys']:>2} "
+            f"hot {row['hot_capacity']:>2} conc {row['concurrency']:>3}  "
+            f"{row['ops_per_sec']:>8.0f} ops/s  "
+            f"p50 {row['p50_ms']:>7.2f}ms  p99 {row['p99_ms']:>7.2f}ms  "
+            f"batch {row['mean_batch_size']:>5.1f}  {check}",
+            flush=True,
+        )
+    return rows
+
+
+def write_csv(path: str, rows: List[Dict]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(CSV_COLUMNS)
+        for row in rows:
+            writer.writerow([row[column] for column in CSV_COLUMNS])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run-table experiment runner (scrapes /metrics per cell)"
+    )
+    parser.add_argument("--params", default="P1", help="comma-separated")
+    parser.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated; default: numpy when available, else "
+        "python-reference",
+    )
+    parser.add_argument(
+        "--engines",
+        default="inline",
+        help="comma-separated engine factors: inline, pool[:N]",
+    )
+    parser.add_argument(
+        "--keys-grid",
+        default="0,8",
+        help="comma-separated named-key counts (0 = default key)",
+    )
+    parser.add_argument(
+        "--hot-grid",
+        default="8",
+        help="comma-separated hot-LRU capacities",
+    )
+    parser.add_argument("--concurrency", default="16,64")
+    parser.add_argument(
+        "--requests-factor",
+        type=int,
+        default=8,
+        help="requests per cell = max(min-requests, concurrency * factor)",
+    )
+    parser.add_argument("--min-requests", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--out", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--csv",
+        default=None,
+        help="CSV output path (default: --out with a .csv suffix)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long CI grid: inline engine, one backend, "
+        "keys 0/4, concurrency 16",
+    )
+    args = parser.parse_args(argv)
+
+    default_backend = (
+        "numpy"
+        if available_backends().get("numpy")
+        else "python-reference"
+    )
+    if args.smoke:
+        params_list = ["P1"]
+        backends = [default_backend]
+        engines = [("inline", 0)]
+        keys_grid = [0, 4]
+        hot_grid = [8]
+        concurrency_grid = [16]
+        args.requests_factor = min(args.requests_factor, 6)
+        args.min_requests = min(args.min_requests, 64)
+    else:
+        params_list = [p.strip() for p in args.params.split(",") if p.strip()]
+        backends = (
+            [b.strip() for b in args.backends.split(",") if b.strip()]
+            if args.backends
+            else [default_backend]
+        )
+        engines = [
+            parse_engine_factor(e)
+            for e in args.engines.split(",")
+            if e.strip()
+        ]
+        keys_grid = [int(k) for k in args.keys_grid.split(",") if k.strip()]
+        hot_grid = [int(h) for h in args.hot_grid.split(",") if h.strip()]
+        concurrency_grid = [
+            int(c) for c in args.concurrency.split(",") if c.strip()
+        ]
+
+    table = expand_run_table(
+        params_list, backends, engines, keys_grid, hot_grid, concurrency_grid
+    )
+    print(
+        f"run table: {len(table)} cell(s) "
+        f"({len(params_list)} params x {len(backends)} backend(s) x "
+        f"{len(engines)} engine(s) x {len(keys_grid)} key count(s) x "
+        f"{len(hot_grid)} hot cap(s) x {len(concurrency_grid)} "
+        f"concurrency level(s))",
+        flush=True,
+    )
+    started = time.time()
+    rows = asyncio.run(run_table(table, args))
+
+    invalid = [row for row in rows if not row["scrape_valid"]]
+    for row in invalid:
+        for problem in row["scrape_problems"]:
+            print(
+                f"error: scrape invalid for {cell_id(row)}: {problem}",
+                file=sys.stderr,
+            )
+    mismatched = [
+        row for row in rows if row["scraped_requests"] != row["completed"]
+    ]
+    for row in mismatched:
+        print(
+            f"error: {cell_id(row)} scraped "
+            f"{row['scraped_requests']} ok-requests but the driver "
+            f"completed {row['completed']}",
+            file=sys.stderr,
+        )
+
+    report = {
+        "benchmark": "runtable",
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "seed": args.seed,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "smoke": args.smoke,
+        "factors": {
+            "params": params_list,
+            "backends": backends,
+            "engines": [
+                e if w == 0 else f"{e}:{w}" for e, w in engines
+            ],
+            "keys": keys_grid,
+            "hot_capacity": hot_grid,
+            "concurrency": concurrency_grid,
+        },
+        "skipped_backends": skipped_backends_report(),
+        "cells": rows,
+        "wall_seconds": time.time() - started,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    csv_path = args.csv
+    if csv_path is None:
+        csv_path = (
+            args.out[: -len(".json")] + ".csv"
+            if args.out.endswith(".json")
+            else args.out + ".csv"
+        )
+    write_csv(csv_path, rows)
+    print(f"\nwrote {args.out} and {csv_path}")
+    if invalid or mismatched:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

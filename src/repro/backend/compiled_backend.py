@@ -36,6 +36,9 @@ class CompiledBackend(NumpyBackend):
     def __init__(self, threads: Optional[int] = None):
         super().__init__()
         self._kernel = CompiledKernel(threads=threads)
+        self._stage_profiling = False
+        self._stage_totals = {"forward": {}, "inverse": {}}
+        self._stage_batches = {"forward": 0, "inverse": 0}
 
     @property
     def threads(self) -> int:
@@ -53,6 +56,12 @@ class CompiledBackend(NumpyBackend):
         # in-place kernel never aliases caller storage.
         array, _ = self._as_batch(matrix, params)
         array = self.np.ascontiguousarray(array)
+        if self._stage_profiling:
+            array, stage_times = self._kernel.ntt_batch_profiled(
+                array, params, inverse
+            )
+            self._accumulate_stages(inverse, stage_times)
+            return array
         return self._kernel.ntt_batch(array, params, inverse=inverse)
 
     def ntt_forward_batch(self, matrix, params: ParameterSet):
@@ -295,6 +304,40 @@ class CompiledBackend(NumpyBackend):
         array, _ = self._as_batch(matrix, params)
         array = self.np.ascontiguousarray(array)
         return self._kernel.ntt_batch_profiled(array, params, inverse)
+
+    def enable_stage_profiling(self, enabled: bool = True) -> None:
+        """Route batch transforms through the profiled kernel entry.
+
+        When enabled, every kernel-handled batch transform accumulates
+        per-stage wall seconds into :meth:`stage_totals` (the shape the
+        metrics collector consumes).  Off by default: the profiled
+        entry point makes one extra C call per stage, so the hot path
+        only pays for it when the serve CLI asks.
+        """
+        self._stage_profiling = bool(enabled)
+
+    def stage_totals(self) -> dict:
+        """Accumulated per-stage seconds and batch counts by direction.
+
+        Returns ``{"stages": {"forward": {stage: seconds, ...},
+        "inverse": {...}}, "batches": {"forward": n, "inverse": n}}``.
+        Empty until :meth:`enable_stage_profiling` is switched on and a
+        kernel-handled transform runs.
+        """
+        return {
+            "stages": {
+                direction: dict(totals)
+                for direction, totals in self._stage_totals.items()
+            },
+            "batches": dict(self._stage_batches),
+        }
+
+    def _accumulate_stages(self, inverse: bool, stage_times) -> None:
+        direction = "inverse" if inverse else "forward"
+        totals = self._stage_totals[direction]
+        for stage, seconds in stage_times.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+        self._stage_batches[direction] += 1
 
     def make_sampler(self, pmat, q: int, bits, use_lut2: bool = True):
         """A Knuth-Yao sampler running its hot loops in the C kernel.

@@ -32,6 +32,11 @@ Subcommands
     (default key plus per-key nesting), keystore counters, and
     executor-shard counters (the wire ``stats`` op); ``--json`` prints
     the raw JSON.
+``metrics``
+    Scrape a server started with ``serve --metrics-port`` and print
+    the Prometheus text exposition (``--validate`` round-trips it
+    through the parser and the naming contract; ``--json`` prints the
+    parsed families).
 ``smoke``
     The cross-transport equivalence check: opens
     :class:`~repro.api.RlweSession` instances on each listed engine
@@ -191,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
             "seeds)"
         ),
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve a Prometheus /metrics HTTP listener on this "
+            "port (0 picks a free port; on the same --host); also "
+            "enables the compiled backend's per-stage NTT profiling"
+        ),
+    )
     add_backend_flag(serve)
 
     keys = sub.add_parser(
@@ -248,6 +263,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--json", action="store_true", help="print raw JSON instead"
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help=(
+            "scrape a running server's Prometheus /metrics listener "
+            "(see serve --metrics-port)"
+        ),
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument(
+        "--port",
+        type=int,
+        required=True,
+        help="the --metrics-port the server printed at startup",
+    )
+    metrics.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="seconds before the scrape gives up",
+    )
+    metrics.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "round-trip the exposition through the parser and check "
+            "types, HELP lines, histogram invariants, and the "
+            "repro_* naming contract; non-zero exit on any problem"
+        ),
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the parsed families as JSON instead of raw text",
     )
 
     loadgen = sub.add_parser(
@@ -617,6 +667,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             keystore_seed=base_seed,
             hot_keys=args.hot_keys,
         )
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.metrics import MetricsHttpServer
+
+            # Scrapes are cheap; the per-stage kernel profile is the
+            # one instrument with hot-path cost, so it rides the same
+            # opt-in instead of a flag of its own.
+            enable_stages = getattr(
+                scheme.backend, "enable_stage_profiling", None
+            )
+            if enable_stages is not None:
+                enable_stages()
+            metrics_server = MetricsHttpServer(
+                server.service.metrics.registry,
+                host=args.host,
+                port=args.metrics_port,
+            )
+            await metrics_server.start()
+            print(
+                f"metrics on http://{args.host}:{metrics_server.port}"
+                f"/metrics",
+                flush=True,
+            )
         mode = (
             "direct single-message path (batching off)"
             if args.max_batch == 1
@@ -643,6 +716,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             await stop.wait()
         finally:
+            if metrics_server is not None:
+                await metrics_server.close()
             await server.close()
             stats = server.service.stats()
             ops = stats["ops"]
@@ -847,6 +922,70 @@ def _cmd_keys(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.metrics import (
+        ScrapeError,
+        parse_exposition,
+        scrape,
+        validate_families,
+    )
+
+    try:
+        text = asyncio.run(
+            scrape(args.host, args.port, timeout=args.timeout)
+        )
+    except ScrapeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not (args.validate or args.json):
+        sys.stdout.write(text)
+        return 0
+    try:
+        families = parse_exposition(text)
+    except ValueError as exc:
+        print(f"error: unparseable exposition: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": family.name,
+                        "type": family.kind,
+                        "help": family.documentation,
+                        "samples": [
+                            {
+                                "name": sample.name,
+                                "labels": sample.labels,
+                                "value": sample.value,
+                            }
+                            for sample in family.samples
+                        ],
+                    }
+                    for family in families.values()
+                ],
+                indent=2,
+            )
+        )
+    if args.validate:
+        problems = validate_families(families, require_naming=True)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        samples = sum(
+            len(family.samples) for family in families.values()
+        )
+        print(
+            f"exposition OK: {len(families)} families, "
+            f"{samples} samples, naming contract satisfied"
+        )
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -920,6 +1059,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "keys": _cmd_keys,
     "loadgen": _cmd_loadgen,
+    "metrics": _cmd_metrics,
     "stats": _cmd_stats,
     "smoke": _cmd_smoke,
 }

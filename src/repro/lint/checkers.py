@@ -985,6 +985,56 @@ class ResourceLifecycle(Checker):
         return guarded
 
 
+# ----------------------------------------------------------------------
+# OBS001 — metric naming contract
+# ----------------------------------------------------------------------
+class MetricNamingContract(Checker):
+    """Registered metric names follow the observability contract.
+
+    Dashboards, the CI smoke job's required-family assertions, and the
+    run-table comparison tooling all address metrics by name; a
+    one-off name (wrong prefix, counter without ``_total``, histogram
+    without a unit suffix) silently escapes every query written
+    against the convention.  The registry enforces the contract at
+    runtime (``strict_names``), but only on code paths that execute —
+    this pass catches the string literal at rest, using the same
+    :func:`repro.metrics.naming.metric_name_error` rules, so a
+    misnamed metric fails the lint gate before it fails a scrape.
+    """
+
+    code = "OBS001"
+    name = "metric-naming"
+    description = (
+        "metric name literal violates the repro_* naming contract "
+        "(prefix, charset, or kind-specific unit suffix)"
+    )
+
+    _KINDS = {"counter", "gauge", "histogram"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from repro.metrics.naming import metric_name_error
+
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._KINDS
+            ):
+                continue
+            # Registry calls carry (name, documentation, ...); a
+            # single-argument call with a matching attribute name is
+            # some other API (e.g. collections.Counter(iterable)).
+            if len(node.args) < 2 or not (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            error = metric_name_error(node.args[0].value, node.func.attr)
+            if error:
+                yield self.finding(ctx, node, error)
+
+
 #: Every registered checker, in documentation order.  The project-wide
 #: checkers (WIRE002/WIRE003/ERR002) ride in the same registry: the
 #: framework routes them through the shared cross-module index.
@@ -997,6 +1047,7 @@ ALL_CHECKERS: Tuple[Checker, ...] = (
     BroadExceptAudit(),
     SharedStateAudit(),
     ResourceLifecycle(),
+    MetricNamingContract(),
 ) + ALL_PROJECT_CHECKERS
 
 CHECKERS_BY_CODE: Dict[str, Checker] = {c.code: c for c in ALL_CHECKERS}

@@ -1,0 +1,81 @@
+"""Dependency-free metrics: registry, exposition, HTTP, instruments.
+
+The observability layer the ROADMAP's "experiment harness +
+observability" item calls for, modeled on the muBench experiment
+methodology: instruments funnel into one
+:class:`~repro.metrics.registry.MetricsRegistry`, a tiny asyncio HTTP
+listener (:mod:`repro.metrics.http`) exposes it at ``/metrics`` in the
+Prometheus text format, and the run-table benchmark runner
+(``benchmarks/runner.py``) scrapes it per cell.  The naming contract
+(:mod:`repro.metrics.naming`) is shared with the ``OBS001`` lint
+checker, and :mod:`repro.metrics.parse` is the consumer-side
+round-trip validator the acceptance gate runs against a live scrape.
+"""
+
+from repro.metrics.naming import (
+    COUNTER_SUFFIX,
+    HISTOGRAM_SUFFIXES,
+    METRIC_NAME_PATTERN,
+    metric_name_error,
+    validate_metric_name,
+)
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.metrics.parse import (
+    ExpositionParseError,
+    ParsedFamily,
+    Sample,
+    parse_exposition,
+    validate_exposition,
+    validate_families,
+)
+from repro.metrics.http import (
+    CONTENT_TYPE,
+    MetricsHttpServer,
+    ScrapeError,
+    scrape,
+)
+from repro.metrics.instruments import (
+    OVERFLOW_KEY_LABEL,
+    REQUIRED_FAMILIES,
+    WINDOW_ROW_BUCKETS,
+    BatcherObserver,
+    FusedObserver,
+    ServiceMetrics,
+)
+
+__all__ = [
+    "COUNTER_SUFFIX",
+    "HISTOGRAM_SUFFIXES",
+    "METRIC_NAME_PATTERN",
+    "metric_name_error",
+    "validate_metric_name",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ExpositionParseError",
+    "ParsedFamily",
+    "Sample",
+    "parse_exposition",
+    "validate_exposition",
+    "validate_families",
+    "CONTENT_TYPE",
+    "MetricsHttpServer",
+    "ScrapeError",
+    "scrape",
+    "OVERFLOW_KEY_LABEL",
+    "REQUIRED_FAMILIES",
+    "WINDOW_ROW_BUCKETS",
+    "BatcherObserver",
+    "FusedObserver",
+    "ServiceMetrics",
+]

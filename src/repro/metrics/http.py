@@ -1,0 +1,199 @@
+"""A tiny asyncio HTTP listener for ``/metrics``, plus its scraper.
+
+The service's wire protocol is a compact binary framing; Prometheus
+speaks HTTP.  Rather than grow the binary protocol a new opcode (the
+wire-contract artifact pins that surface closed), the server opens a
+*second*, read-only listener that speaks just enough HTTP/1.1 to serve
+``GET /metrics`` with ``Connection: close`` semantics — no keep-alive,
+no chunking, no dependencies.  ``scrape()`` is the matching client,
+used by the ``rlwe-repro metrics`` CLI and the run-table benchmark
+runner.
+
+Routes: ``/metrics`` (the exposition), ``/healthz`` (liveness probe
+for CI smoke jobs); anything else is 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "MetricsHttpServer", "ScrapeError", "scrape"]
+
+#: The exposition-format content type Prometheus expects.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Header lines a request may send before we stop reading (sanity
+#: bound; a scraper sends a handful).
+_MAX_HEADER_LINES = 128
+
+#: Longest request head line we accept.
+_MAX_LINE_BYTES = 8192
+
+
+class ScrapeError(RuntimeError):
+    """A scrape failed: connect, HTTP status, or malformed response."""
+
+
+class MetricsHttpServer:
+    """Serve one registry's exposition over HTTP.
+
+    Binds lazily in :meth:`start` (``port=0`` picks a free port, read
+    it back from :attr:`port`); :meth:`close` stops accepting and
+    waits for the listener to go away.  Request handling is
+    per-connection, one request, ``Connection: close`` — the simplest
+    contract that every HTTP client (including Prometheus itself)
+    speaks.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("metrics server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "MetricsHttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, body = await self._respond(reader)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n"
+                f"\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> "tuple[str, str]":
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+        except asyncio.TimeoutError:
+            return "408 Request Timeout", "request timeout\n"
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return "400 Bad Request", "malformed request line\n"
+        method, path = parts[0], parts[1]
+        # Drain (and ignore) the header block; a bounded loop so
+        # garbage can't pin the handler.
+        for _ in range(_MAX_HEADER_LINES):
+            try:
+                header = await asyncio.wait_for(
+                    reader.readline(), timeout=5.0
+                )
+            except asyncio.TimeoutError:
+                break
+            if header in (b"\r\n", b"\n", b""):
+                break
+            if len(header) > _MAX_LINE_BYTES:
+                return "431 Request Header Fields Too Large", "no\n"
+        if method != "GET":
+            return "405 Method Not Allowed", f"{method} not allowed\n"
+        path = path.split("?", 1)[0]
+        if path in ("/metrics", "/metrics/"):
+            return "200 OK", self.registry.expose()
+        if path == "/healthz":
+            return "200 OK", "ok\n"
+        return "404 Not Found", f"no route {path}\n"
+
+
+async def scrape(
+    host: str,
+    port: int,
+    *,
+    path: str = "/metrics",
+    timeout: float = 5.0,
+) -> str:
+    """Fetch one exposition over HTTP; returns the body text.
+
+    Raises :class:`ScrapeError` on connection failure, a non-200
+    status, or an unframeable response.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise ScrapeError(
+            f"cannot connect to http://{host}:{port}{path}: {exc}"
+        ) from None
+    try:
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(request.encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    head, separator, body = raw.partition(b"\r\n\r\n")
+    if not separator:
+        raise ScrapeError(
+            f"unframeable HTTP response from {host}:{port} "
+            f"({len(raw)} bytes, no header/body separator)"
+        )
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    status_parts = status_line.split()
+    if len(status_parts) < 2 or status_parts[1] != "200":
+        raise ScrapeError(
+            f"scrape of http://{host}:{port}{path} failed: {status_line}"
+        )
+    return body.decode("utf-8")

@@ -1,0 +1,531 @@
+"""Service instrumentation: every stack layer funnels into one registry.
+
+:class:`ServiceMetrics` owns the metric catalog for the whole server
+process and splits the work two ways:
+
+* **hot-path observers** — the coalescer calls tiny observer hooks at
+  window flush / completion time (items, window occupancy, flush
+  latency, in-flight high-water), and the server times each request
+  around dispatch.  These instruments are *the* source of truth: the
+  legacy ``stats()`` wire view's per-op section is re-derived from
+  them (:meth:`ServiceMetrics.ops_stats`), byte-identical to the
+  pre-registry counter dicts.
+* **scrape-time collectors** — executor shards, keystore lifecycle,
+  and compiled-NTT stage totals already keep their own counters;
+  collectors mirror them into registry instruments when a scrape
+  happens, so those layers stay free of metrics plumbing.
+
+Per-key label cardinality is bounded: after ``max_key_labels``
+distinct key names, further keys aggregate under the ``~other`` label
+value — a scrape's size must not grow with lifetime tenant count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "ServiceMetrics",
+    "BatcherObserver",
+    "FusedObserver",
+    "OVERFLOW_KEY_LABEL",
+    "REQUIRED_FAMILIES",
+    "WINDOW_ROW_BUCKETS",
+]
+
+#: Histogram buckets for window occupancy, in rows.
+WINDOW_ROW_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Label value that aggregates keys beyond the cardinality bound.
+OVERFLOW_KEY_LABEL = "~other"
+
+#: Families every instrumented server exposes from startup — the CI
+#: metrics-smoke job asserts each of these appears in a scrape.
+REQUIRED_FAMILIES = (
+    "repro_build_info",
+    "repro_requests_total",
+    "repro_request_seconds",
+    "repro_coalescer_items_total",
+    "repro_coalescer_flushes_total",
+    "repro_coalescer_window_rows",
+    "repro_coalescer_flush_seconds",
+    "repro_coalescer_inflight_flushes",
+    "repro_fused_windows_total",
+    "repro_fused_rows_total",
+    "repro_key_rows_total",
+    "repro_executor_workers",
+    "repro_executor_jobs_total",
+    "repro_keystore_keys",
+    "repro_keystore_materializations_total",
+)
+
+
+class BatcherObserver:
+    """Hot-path hooks one :class:`MicroBatcher` calls for one op."""
+
+    __slots__ = (
+        "_items",
+        "_flushes",
+        "_window_rows",
+        "_flush_seconds",
+        "_inflight",
+        "_max_inflight",
+        "_max_batch",
+    )
+
+    def __init__(self, metrics: "ServiceMetrics", op: str):
+        self._items = metrics.coalescer_items.labels(op)
+        self._flushes = metrics.coalescer_flushes.labels(op)
+        self._window_rows = metrics.coalescer_window_rows.labels(op)
+        self._flush_seconds = metrics.coalescer_flush_seconds.labels(op)
+        self._inflight = metrics.coalescer_inflight.labels(op)
+        self._max_inflight = metrics.coalescer_max_inflight.labels(op)
+        self._max_batch = metrics.coalescer_max_batch.labels(op)
+
+    def window_flushed(self, rows: int) -> None:
+        """A window left the queue with ``rows`` items."""
+        self._items.inc(rows)
+        self._flushes.inc()
+        self._window_rows.observe(rows)
+        self._max_batch.set_max(rows)
+
+    def flush_finished(self, rows: int, seconds: float) -> None:
+        """A flush (sync or async) completed after ``seconds``."""
+        self._flush_seconds.observe(seconds)
+
+    def inflight_changed(self, current: int) -> None:
+        """The number of in-flight async flushes changed."""
+        self._inflight.set(current)
+        self._max_inflight.set_max(current)
+
+
+class FusedObserver:
+    """Hot-path hooks one :class:`FusedBatcherGroup` calls for one op."""
+
+    __slots__ = ("_metrics", "_op", "_windows", "_rows", "_window_keys", "_max_keys")
+
+    def __init__(self, metrics: "ServiceMetrics", op: str):
+        self._metrics = metrics
+        self._op = op
+        self._windows = metrics.fused_windows.labels(op)
+        self._rows = metrics.fused_rows.labels(op)
+        self._window_keys = metrics.fused_window_keys.labels(op)
+        self._max_keys = metrics.fused_max_keys.labels(op)
+
+    def window_flushed(self, rows_by_key: "Dict[str, int]") -> None:
+        """A fused window flushed carrying ``rows_by_key`` rows."""
+        rows = sum(rows_by_key.values())
+        self._windows.inc()
+        self._rows.inc(rows)
+        self._window_keys.inc(len(rows_by_key))
+        self._max_keys.set_max(len(rows_by_key))
+        for key, key_rows in rows_by_key.items():
+            self._metrics.key_rows.labels(
+                self._op, self._metrics.key_label(key)
+            ).inc(key_rows)
+
+
+class ServiceMetrics:
+    """The server's metric catalog over one :class:`MetricsRegistry`."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        max_key_labels: int = 64,
+    ):
+        if max_key_labels < 1:
+            raise ValueError(
+                f"max_key_labels must be >= 1, got {max_key_labels}"
+            )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_key_labels = max_key_labels
+        self._key_labels: "set[str]" = set()
+        registry = self.registry
+
+        # Request layer ------------------------------------------------
+        self.build_info = registry.gauge(
+            "repro_build_info",
+            "Constant 1, labelled with the serving version, parameter "
+            "set, and backend.",
+            ("version", "params", "backend"),
+        )
+        self.requests = registry.counter(
+            "repro_requests_total",
+            "Service requests handled, by operation and response status.",
+            ("op", "status"),
+        )
+        self.request_seconds = registry.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency (dispatch to response), by "
+            "operation.",
+            ("op",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.key_requests = registry.counter(
+            "repro_key_requests_total",
+            "Key-addressed crypto requests, by operation and key "
+            "(bounded cardinality; overflow keys aggregate under "
+            "'~other').",
+            ("op", "key"),
+        )
+        self.key_request_seconds = registry.histogram(
+            "repro_key_request_seconds",
+            "Key-addressed request latency from queue to response, by "
+            "operation and key.",
+            ("op", "key"),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+
+        # Coalescer ----------------------------------------------------
+        self.coalescer_items = registry.counter(
+            "repro_coalescer_items_total",
+            "Items flushed through each operation's coalescer window.",
+            ("op",),
+        )
+        self.coalescer_flushes = registry.counter(
+            "repro_coalescer_flushes_total",
+            "Windows flushed per operation.",
+            ("op",),
+        )
+        self.coalescer_window_rows = registry.histogram(
+            "repro_coalescer_window_rows",
+            "Window occupancy (items per flushed window) per operation.",
+            ("op",),
+            buckets=WINDOW_ROW_BUCKETS,
+        )
+        self.coalescer_flush_seconds = registry.histogram(
+            "repro_coalescer_flush_seconds",
+            "Flush latency (window handoff to batch completion) per "
+            "operation.",
+            ("op",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.coalescer_inflight = registry.gauge(
+            "repro_coalescer_inflight_flushes",
+            "Async flushes currently in flight per operation.",
+            ("op",),
+        )
+        self.coalescer_max_inflight = registry.gauge(
+            "repro_coalescer_max_inflight_flushes",
+            "High-water mark of concurrently in-flight flushes per "
+            "operation.",
+            ("op",),
+        )
+        self.coalescer_max_batch = registry.gauge(
+            "repro_coalescer_max_batch_rows",
+            "Largest window (rows) any flush of this operation has "
+            "carried.",
+            ("op",),
+        )
+
+        # Cross-key fusion ---------------------------------------------
+        self.fused_windows = registry.counter(
+            "repro_fused_windows_total",
+            "Fused cross-key windows flushed per operation.",
+            ("op",),
+        )
+        self.fused_rows = registry.counter(
+            "repro_fused_rows_total",
+            "Rows carried by fused cross-key windows per operation.",
+            ("op",),
+        )
+        self.fused_window_keys = registry.counter(
+            "repro_fused_window_keys_total",
+            "Cumulative distinct keys over all fused windows per "
+            "operation (divide by repro_fused_windows_total for the "
+            "keys-per-window mean).",
+            ("op",),
+        )
+        self.fused_max_keys = registry.gauge(
+            "repro_fused_max_keys_in_window",
+            "Widest per-flush key table any fused window has carried.",
+            ("op",),
+        )
+        self.key_rows = registry.counter(
+            "repro_key_rows_total",
+            "Rows served per key and operation through fused windows.",
+            ("op", "key"),
+        )
+
+        # Executor mirrors ---------------------------------------------
+        self.executor_workers = registry.gauge(
+            "repro_executor_workers",
+            "Configured executor worker processes (0 = inline engine).",
+        )
+        self.executor_alive = registry.gauge(
+            "repro_executor_alive_workers",
+            "Worker processes currently alive.",
+        )
+        self.executor_respawns = registry.counter(
+            "repro_executor_respawns_total",
+            "Worker processes respawned after a crash or stall.",
+        )
+        self.executor_key_installs = registry.counter(
+            "repro_executor_key_installs_total",
+            "Named-key materials installed into worker shards.",
+        )
+        self.executor_key_refetches = registry.counter(
+            "repro_executor_key_refetches_total",
+            "Worker cache misses that forced a key re-install.",
+        )
+        self.executor_jobs = registry.counter(
+            "repro_executor_jobs_total",
+            "Batch jobs completed, by shard ('inline' for the inline "
+            "engine).",
+            ("shard",),
+        )
+        self.executor_items = registry.counter(
+            "repro_executor_items_total",
+            "Items computed, by shard ('inline' for the inline engine).",
+            ("shard",),
+        )
+        self.executor_outstanding = registry.gauge(
+            "repro_executor_outstanding_items",
+            "Items currently dispatched to a shard and not yet "
+            "completed.",
+            ("shard",),
+        )
+        self.executor_cached_keys = registry.gauge(
+            "repro_executor_cached_keys",
+            "Named keys currently cached in a worker shard.",
+            ("shard",),
+        )
+
+        # Keystore mirrors ---------------------------------------------
+        self.keystore_keys = registry.gauge(
+            "repro_keystore_keys", "Key slots (active + retired)."
+        )
+        self.keystore_active = registry.gauge(
+            "repro_keystore_active_keys", "Key slots in the active state."
+        )
+        self.keystore_retired = registry.gauge(
+            "repro_keystore_retired_keys", "Key slots retired."
+        )
+        self.keystore_hot = registry.gauge(
+            "repro_keystore_hot_keys",
+            "Named keys currently materialized in the hot LRU.",
+        )
+        self.keystore_hot_capacity = registry.gauge(
+            "repro_keystore_hot_capacity", "Hot LRU capacity."
+        )
+        self.keystore_pinned = registry.gauge(
+            "repro_keystore_pinned_keys",
+            "Keys pinned against eviction by in-flight fused windows.",
+        )
+        self.keystore_created = registry.counter(
+            "repro_keystore_created_total", "Keys created."
+        )
+        self.keystore_rotated = registry.counter(
+            "repro_keystore_rotated_total", "Key rotations."
+        )
+        self.keystore_retired_ops = registry.counter(
+            "repro_keystore_retired_total", "Key retirements."
+        )
+        self.keystore_materializations = registry.counter(
+            "repro_keystore_materializations_total",
+            "Key materializations (cold generations from derived "
+            "seeds).",
+        )
+        self.keystore_hot_hits = registry.counter(
+            "repro_keystore_hot_hits_total",
+            "Materialization requests served from the hot LRU.",
+        )
+        self.keystore_evictions = registry.counter(
+            "repro_keystore_evictions_total",
+            "Hot-LRU evictions of materialized key material.",
+        )
+
+        # Compiled NTT stage profile -----------------------------------
+        self.ntt_stage_seconds = registry.counter(
+            "repro_ntt_stage_seconds_total",
+            "Cumulative in-kernel seconds per NTT stage (bitrev, "
+            "stage_m*, reduce, scale) and transform direction; "
+            "populated when the compiled backend's stage profiling is "
+            "enabled.",
+            ("direction", "stage"),
+        )
+        self.ntt_profiled_batches = registry.counter(
+            "repro_ntt_profiled_batches_total",
+            "Batched transforms measured by the in-kernel stage "
+            "profiler, by direction.",
+            ("direction",),
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path observers
+    # ------------------------------------------------------------------
+    def batcher_observer(self, op: str) -> BatcherObserver:
+        """The per-op observer a :class:`MicroBatcher` calls."""
+        return BatcherObserver(self, op)
+
+    def fused_observer(self, op: str) -> FusedObserver:
+        """The per-op observer a :class:`FusedBatcherGroup` calls."""
+        return FusedObserver(self, op)
+
+    def key_label(self, key: str) -> str:
+        """``key`` as a label value, within the cardinality bound."""
+        if key in self._key_labels:
+            return key
+        if len(self._key_labels) >= self.max_key_labels:
+            return OVERFLOW_KEY_LABEL
+        self._key_labels.add(key)
+        return key
+
+    def observe_request(
+        self, op: str, status: str, seconds: float
+    ) -> None:
+        """One handled request: count by status, time by op."""
+        self.requests.labels(op, status).inc()
+        self.request_seconds.labels(op).observe(seconds)
+
+    def observe_keyed_request(
+        self, op: str, key: str, seconds: float
+    ) -> None:
+        """One key-addressed request, from queue entry to response."""
+        label = self.key_label(key)
+        self.key_requests.labels(op, label).inc()
+        self.key_request_seconds.labels(op, label).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # The legacy stats() view, derived from the registry
+    # ------------------------------------------------------------------
+    def ops_stats(self, op_names: Iterable[str]) -> Dict[str, Dict]:
+        """The ``stats()["ops"]`` section, from registry instruments.
+
+        Shape and values are pinned byte-stable against the
+        pre-registry per-batcher counter dicts: same keys, same order,
+        same int/float types, same arithmetic.
+        """
+        out: Dict[str, Dict] = {}
+        for op in op_names:
+            items = self.coalescer_items.labels(op).value
+            flushes = self.coalescer_flushes.labels(op).value
+            flush_seconds = self.coalescer_flush_seconds.labels(op).sum
+            out[op] = {
+                "items": items,
+                "flushes": flushes,
+                "max_batch_seen": int(
+                    self.coalescer_max_batch.labels(op).value
+                ),
+                "flush_seconds": flush_seconds,
+                "inflight_max": int(
+                    self.coalescer_max_inflight.labels(op).value
+                ),
+                "mean_batch_size": items / flushes if flushes else 0.0,
+                "mean_flush_ms": (
+                    flush_seconds / flushes * 1e3 if flushes else 0.0
+                ),
+                "inflight_flushes": int(
+                    self.coalescer_inflight.labels(op).value
+                ),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Scrape-time collectors
+    # ------------------------------------------------------------------
+    def register_build_info(
+        self, version: str, params: str, backend: str
+    ) -> None:
+        self.build_info.labels(version, params, backend).set(1)
+
+    def register_executor(self, executor) -> None:
+        """Mirror ``executor.stats()`` into the registry per scrape."""
+
+        def collect() -> None:
+            stats = executor.stats()
+            self.executor_workers.set(stats.get("workers", 0))
+            self.executor_alive.set(
+                stats.get("alive", stats.get("workers", 0))
+            )
+            self.executor_respawns.set_floor(stats.get("respawns", 0))
+            self.executor_key_installs.set_floor(
+                stats.get("key_installs", 0)
+            )
+            self.executor_key_refetches.set_floor(
+                stats.get("key_refetches", 0)
+            )
+            shards = stats.get("shards")
+            if shards is None:
+                self.executor_jobs.labels("inline").set_floor(
+                    stats.get("batches", 0)
+                )
+                self.executor_items.labels("inline").set_floor(
+                    stats.get("items", 0)
+                )
+                return
+            for shard in shards:
+                label = str(shard["index"])
+                self.executor_jobs.labels(label).set_floor(shard["jobs"])
+                self.executor_items.labels(label).set_floor(
+                    shard["items"]
+                )
+                self.executor_outstanding.labels(label).set(
+                    shard["outstanding_items"]
+                )
+                self.executor_cached_keys.labels(label).set(
+                    shard["cached_keys"]
+                )
+
+        self.registry.register_collector(collect)
+
+    def register_keystore(self, keystore) -> None:
+        """Mirror ``keystore.stats()`` into the registry per scrape."""
+
+        def collect() -> None:
+            stats = keystore.stats()
+            self.keystore_keys.set(stats["keys"])
+            self.keystore_active.set(stats["active"])
+            self.keystore_retired.set(stats["retired"])
+            self.keystore_hot.set(stats["hot"])
+            self.keystore_hot_capacity.set(stats["hot_capacity"])
+            self.keystore_pinned.set(stats["pinned"])
+            self.keystore_created.set_floor(stats["created"])
+            self.keystore_rotated.set_floor(stats["rotated"])
+            self.keystore_retired_ops.set_floor(stats["retired"])
+            self.keystore_materializations.set_floor(
+                stats["materializations"]
+            )
+            self.keystore_hot_hits.set_floor(stats["hot_hits"])
+            self.keystore_evictions.set_floor(stats["evictions"])
+
+        self.registry.register_collector(collect)
+
+    def register_ntt_backend(self, backend) -> None:
+        """Mirror compiled-NTT stage totals, when the backend has them.
+
+        A no-op for backends without ``stage_totals()`` (python,
+        numpy): the stage families stay registered but empty, so the
+        scrape shape is engine-independent.
+        """
+        totals_fn = getattr(backend, "stage_totals", None)
+        if totals_fn is None:
+            return
+
+        def collect() -> None:
+            totals = totals_fn()
+            for direction, stages in totals.get("stages", {}).items():
+                for stage, seconds in stages.items():
+                    self.ntt_stage_seconds.labels(
+                        direction, stage
+                    ).set_floor(seconds)
+            for direction, batches in totals.get("batches", {}).items():
+                self.ntt_profiled_batches.labels(direction).set_floor(
+                    batches
+                )
+
+        self.registry.register_collector(collect)
+
+    def preregister_ops(self, op_names: Sequence[str]) -> None:
+        """Create the per-op children now, so a startup scrape already
+        shows every batchable operation at zero."""
+        for op in op_names:
+            self.batcher_observer(op)
+            self.fused_observer(op)
+            self.request_seconds.labels(op)

@@ -1,0 +1,125 @@
+"""Metric-name conventions, shared by the runtime and the OBS001 lint.
+
+One module owns the naming contract so the registry (which rejects a
+bad name at registration time), the exposition validator (which flags
+one arriving over HTTP), and the ``OBS001`` AST checker (which flags
+one at review time) can never drift apart:
+
+* every metric name matches ``repro_[a-z0-9_]+`` — one namespace
+  prefix for the whole reproduction, lowercase, no dots;
+* counters end in ``_total`` (and nothing else does);
+* histograms end in a unit suffix — ``_seconds``, ``_bytes``, or
+  ``_rows`` (batch/window occupancy is measured in rows);
+* gauges are current values and carry no required suffix, but they
+  must not claim the counter's ``_total``.
+
+``_rows`` extends the classic Prometheus unit set because the
+coalescer's central observable — window occupancy — is a row count,
+not a duration or a size in bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+__all__ = [
+    "METRIC_NAME_PATTERN",
+    "COUNTER_SUFFIX",
+    "HISTOGRAM_SUFFIXES",
+    "METRIC_KINDS",
+    "metric_name_error",
+    "validate_metric_name",
+    "label_name_error",
+    "validate_label_name",
+]
+
+#: The documented shape of every metric name (full match).
+METRIC_NAME_PATTERN = "repro_[a-z0-9_]+"
+_METRIC_NAME_RE = re.compile(f"^{METRIC_NAME_PATTERN}$")
+
+#: Monotonic counters end in ``_total``; nothing else may.
+COUNTER_SUFFIX = "_total"
+
+#: Histograms measure one of these units.
+HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_rows")
+
+#: The metric kinds the registry knows how to expose.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+_LABEL_NAME_RE = re.compile("^[a-z][a-z0-9_]*$")
+
+#: Label names the exposition format reserves for its own samples.
+_RESERVED_LABELS = frozenset({"le"})
+
+
+def metric_name_error(name: str, kind: str) -> Optional[str]:
+    """The convention violation in ``name`` for a ``kind`` metric.
+
+    Returns ``None`` when the name is clean, else one human-readable
+    sentence (the OBS001 finding message and the registry's
+    registration error share it).
+    """
+    if not _METRIC_NAME_RE.match(name):
+        return (
+            f"metric name {name!r} must match {METRIC_NAME_PATTERN} "
+            f"(repro_ namespace prefix, lowercase, underscores only)"
+        )
+    if kind == "counter":
+        if not name.endswith(COUNTER_SUFFIX):
+            return (
+                f"counter {name!r} must end in '{COUNTER_SUFFIX}' "
+                f"(monotonic totals carry the unit suffix)"
+            )
+    elif kind == "histogram":
+        if not name.endswith(HISTOGRAM_SUFFIXES):
+            allowed = "/".join(HISTOGRAM_SUFFIXES)
+            return (
+                f"histogram {name!r} must end in a unit suffix "
+                f"({allowed})"
+            )
+        if name.endswith(COUNTER_SUFFIX):
+            return (
+                f"histogram {name!r} must not end in "
+                f"'{COUNTER_SUFFIX}' (reserved for counters)"
+            )
+    elif kind == "gauge":
+        if name.endswith(COUNTER_SUFFIX):
+            return (
+                f"gauge {name!r} must not end in '{COUNTER_SUFFIX}' "
+                f"(reserved for counters; gauges are current values)"
+            )
+    else:
+        return f"unknown metric kind {kind!r}; expected {METRIC_KINDS}"
+    return None
+
+
+def validate_metric_name(name: str, kind: str) -> str:
+    """``name``, or raise :class:`ValueError` with the convention error."""
+    error = metric_name_error(name, kind)
+    if error is not None:
+        raise ValueError(error)
+    return name
+
+
+def label_name_error(name: str) -> Optional[str]:
+    """The convention violation in label ``name``, or ``None``."""
+    if not _LABEL_NAME_RE.match(name):
+        return (
+            f"label name {name!r} must match [a-z][a-z0-9_]* "
+            f"(lowercase, starts with a letter)"
+        )
+    if name in _RESERVED_LABELS:
+        return (
+            f"label name {name!r} is reserved by the exposition "
+            f"format (histogram bucket bounds)"
+        )
+    return None
+
+
+def validate_label_name(name: str) -> str:
+    """``name``, or raise :class:`ValueError` with the convention error."""
+    error = label_name_error(name)
+    if error is not None:
+        raise ValueError(error)
+    return name

@@ -1,0 +1,366 @@
+"""Round-trip parser and validator for the text exposition format.
+
+The acceptance gate for the whole metrics layer is phrased from the
+*consumer* side: a scrape of a live ``--metrics-port`` server must
+parse back into families where every family is typed, HELP'd, and
+clean against the naming contract, and every histogram's buckets are
+cumulative and end in ``+Inf``.  This module is that consumer: a
+small, strict parser for the subset of the Prometheus 0.0.4 text
+format the registry emits (plus escaped label values and help text),
+and a validator that turns a parsed scrape into a list of problems.
+
+The parser is deliberately independent of the registry's writer —
+it re-derives structure from the text alone — so the round-trip test
+(`expose -> parse -> validate`) actually checks the wire bytes, not a
+shared in-memory representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.naming import METRIC_KINDS, metric_name_error
+
+__all__ = [
+    "ExpositionParseError",
+    "Sample",
+    "ParsedFamily",
+    "parse_exposition",
+    "validate_families",
+    "validate_exposition",
+]
+
+#: TYPE values the parser accepts (the emitter uses the first three).
+_KNOWN_KINDS = set(METRIC_KINDS) | {"summary", "untyped"}
+
+#: Sample-name suffixes that attach to a histogram family.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ExpositionParseError(ValueError):
+    """The scrape is not valid exposition text (with line context)."""
+
+
+@dataclass
+class Sample:
+    """One sample line: name, parsed labels, float value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family reassembled from HELP/TYPE/sample lines."""
+
+    name: str
+    kind: Optional[str] = None
+    documentation: Optional[str] = None
+    samples: List[Sample] = field(default_factory=list)
+
+
+def _unescape_help(text: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            nxt = text[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _parse_labels(line: str, start: int, lineno: int) -> Tuple[Dict[str, str], int]:
+    """Parse ``{name="value",...}`` starting at ``line[start] == '{'``.
+
+    Returns (labels, index just past the closing brace).  Handles the
+    three label-value escapes (backslash, quote, newline) and rejects
+    anything else the emitter could not have produced.
+    """
+    labels: Dict[str, str] = {}
+    index = start + 1
+    length = len(line)
+    while True:
+        if index >= length:
+            raise ExpositionParseError(
+                f"line {lineno}: unterminated label set"
+            )
+        if line[index] == "}":
+            return labels, index + 1
+        equals = line.find("=", index)
+        if equals == -1:
+            raise ExpositionParseError(
+                f"line {lineno}: label without '=' near {line[index:]!r}"
+            )
+        name = line[index:equals]
+        if not name:
+            raise ExpositionParseError(
+                f"line {lineno}: empty label name"
+            )
+        if equals + 1 >= length or line[equals + 1] != '"':
+            raise ExpositionParseError(
+                f"line {lineno}: label {name!r} value is not quoted"
+            )
+        value_chars: List[str] = []
+        index = equals + 2
+        while True:
+            if index >= length:
+                raise ExpositionParseError(
+                    f"line {lineno}: unterminated value for label {name!r}"
+                )
+            char = line[index]
+            if char == "\\":
+                if index + 1 >= length:
+                    raise ExpositionParseError(
+                        f"line {lineno}: dangling backslash in label "
+                        f"{name!r}"
+                    )
+                escaped = line[index + 1]
+                if escaped == "\\":
+                    value_chars.append("\\")
+                elif escaped == '"':
+                    value_chars.append('"')
+                elif escaped == "n":
+                    value_chars.append("\n")
+                else:
+                    raise ExpositionParseError(
+                        f"line {lineno}: unknown escape "
+                        f"'\\{escaped}' in label {name!r}"
+                    )
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            value_chars.append(char)
+            index += 1
+        labels[name] = "".join(value_chars)
+        if index < length and line[index] == ",":
+            index += 1
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionParseError(
+            f"line {lineno}: {token!r} is not a sample value"
+        ) from None
+
+
+def _family_for_sample(
+    families: "Dict[str, ParsedFamily]", sample_name: str
+) -> ParsedFamily:
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.kind == "histogram":
+                return base
+    # A sample with no declared family: keep it, and let the
+    # validator flag the missing TYPE/HELP.
+    family = ParsedFamily(name=sample_name)
+    families[sample_name] = family
+    return family
+
+
+def parse_exposition(text: str) -> "Dict[str, ParsedFamily]":
+    """Parse exposition text into families keyed by metric name."""
+    families: Dict[str, ParsedFamily] = {}
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, documentation = rest.partition(" ")
+            if not name:
+                raise ExpositionParseError(
+                    f"line {lineno}: HELP without a metric name"
+                )
+            family = families.setdefault(name, ParsedFamily(name=name))
+            family.documentation = _unescape_help(documentation)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in _KNOWN_KINDS:
+                raise ExpositionParseError(
+                    f"line {lineno}: unknown TYPE {kind!r} for {name!r}"
+                )
+            family = families.setdefault(name, ParsedFamily(name=name))
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            sample_name = line[:brace]
+            labels, index = _parse_labels(line, brace, lineno)
+            value_token = line[index:].strip()
+        else:
+            if space == -1:
+                raise ExpositionParseError(
+                    f"line {lineno}: sample without a value: {line!r}"
+                )
+            sample_name = line[:space]
+            labels = {}
+            value_token = line[space:].strip()
+        # A timestamp after the value is legal 0.0.4; the emitter
+        # never writes one, so reject the ambiguity loudly.
+        if " " in value_token:
+            raise ExpositionParseError(
+                f"line {lineno}: trailing token after value: "
+                f"{value_token!r}"
+            )
+        if not sample_name:
+            raise ExpositionParseError(
+                f"line {lineno}: sample without a metric name"
+            )
+        value = _parse_value(value_token, lineno)
+        family = _family_for_sample(families, sample_name)
+        family.samples.append(Sample(sample_name, labels, value))
+    return families
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def _histogram_groups(
+    family: ParsedFamily,
+) -> "Dict[Tuple[Tuple[str, str], ...], Dict[str, List[Sample]]]":
+    """Histogram samples grouped by their non-``le`` label set."""
+    groups: Dict[Tuple[Tuple[str, str], ...], Dict[str, List[Sample]]] = {}
+    for sample in family.samples:
+        key = tuple(
+            sorted(
+                (name, value)
+                for name, value in sample.labels.items()
+                if name != "le"
+            )
+        )
+        group = groups.setdefault(
+            key, {"bucket": [], "sum": [], "count": []}
+        )
+        for part in ("bucket", "sum", "count"):
+            if sample.name == f"{family.name}_{part}":
+                group[part].append(sample)
+                break
+    return groups
+
+
+def _validate_histogram(family: ParsedFamily, problems: List[str]) -> None:
+    for key, group in _histogram_groups(family).items():
+        where = (
+            f"{family.name}{{{', '.join(f'{n}={v!r}' for n, v in key)}}}"
+            if key
+            else family.name
+        )
+        buckets = group["bucket"]
+        if not buckets:
+            problems.append(f"{where}: histogram has no _bucket samples")
+            continue
+        bounds: List[Tuple[float, float]] = []
+        inf_count: Optional[float] = None
+        for sample in buckets:
+            le = sample.labels.get("le")
+            if le is None:
+                problems.append(
+                    f"{where}: _bucket sample without an le label"
+                )
+                continue
+            bound = float(le)
+            bounds.append((bound, sample.value))
+            if le == "+Inf":
+                inf_count = sample.value
+        if inf_count is None:
+            problems.append(f"{where}: no le=\"+Inf\" bucket")
+        ordered = sorted(bounds, key=lambda pair: pair[0])
+        if [b for b, _ in bounds] != [b for b, _ in ordered]:
+            problems.append(f"{where}: buckets are not sorted by le")
+        counts = [count for _, count in ordered]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            problems.append(
+                f"{where}: bucket counts are not cumulative "
+                f"(must be non-decreasing in le)"
+            )
+        if len(group["count"]) != 1:
+            problems.append(
+                f"{where}: expected exactly one _count sample, "
+                f"got {len(group['count'])}"
+            )
+        elif inf_count is not None and (
+            group["count"][0].value != inf_count
+        ):
+            problems.append(
+                f"{where}: _count {group['count'][0].value} != "
+                f"+Inf bucket {inf_count}"
+            )
+        if len(group["sum"]) != 1:
+            problems.append(
+                f"{where}: expected exactly one _sum sample, "
+                f"got {len(group['sum'])}"
+            )
+
+
+def validate_families(
+    families: "Dict[str, ParsedFamily]",
+    *,
+    require_naming: bool = False,
+) -> List[str]:
+    """Every problem in a parsed scrape, as human-readable strings.
+
+    Checks that every family is typed and HELP'd, counter samples are
+    non-negative, histogram buckets are cumulative with ``+Inf`` /
+    ``_sum`` / ``_count``, and — with ``require_naming`` — that every
+    family name passes the OBS001 naming contract.
+    """
+    problems: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family.kind is None:
+            problems.append(f"{name}: family has no # TYPE line")
+        if not family.documentation:
+            problems.append(f"{name}: family has no # HELP line")
+        if require_naming and family.kind in METRIC_KINDS:
+            error = metric_name_error(name, family.kind)
+            if error is not None:
+                problems.append(error)
+        if family.kind == "counter":
+            for sample in family.samples:
+                if sample.value < 0:
+                    problems.append(
+                        f"{name}: counter sample is negative "
+                        f"({sample.value})"
+                    )
+        elif family.kind == "histogram":
+            _validate_histogram(family, problems)
+    return problems
+
+
+def validate_exposition(
+    text: str, *, require_naming: bool = False
+) -> "Dict[str, ParsedFamily]":
+    """Parse and validate; raise with every problem, else families."""
+    families = parse_exposition(text)
+    problems = validate_families(families, require_naming=require_naming)
+    if problems:
+        raise ExpositionParseError(
+            "invalid exposition:\n  " + "\n  ".join(problems)
+        )
+    return families

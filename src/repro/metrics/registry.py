@@ -1,0 +1,578 @@
+"""A dependency-free Prometheus-style metrics registry.
+
+Three instrument kinds — :class:`Counter` (monotonic), :class:`Gauge`
+(current value), :class:`Histogram` (configurable buckets, cumulative
+exposition) — with label support and text-format exposition per the
+Prometheus 0.0.4 format: ``# HELP`` / ``# TYPE`` headers, escaped help
+text and label values, ``_bucket{le=...}`` cumulative counts ending in
+``+Inf``, plus ``_sum`` and ``_count`` samples.
+
+Design constraints, in order:
+
+* **stdlib only** — the container bakes no prometheus_client; the
+  registry is the whole client.
+* **thread-safe** — executor shards and their reader threads update
+  counters concurrently with event-loop scrapes; one registry
+  :class:`threading.RLock` serializes every update and snapshot.
+* **exact integer arithmetic** — a counter incremented with ints stays
+  an int, so the server's legacy ``stats()`` view (derived from these
+  instruments) renders byte-identically to the pre-registry counter
+  dicts.
+* **deterministic output** — families sort by name and children by
+  label values, so two scrapes of identical state are byte-identical
+  (the round-trip tests diff them directly).
+
+Collector callbacks (:meth:`MetricsRegistry.register_collector`) run
+at scrape time, mirroring externally-owned counters — executor shard
+stats, keystore lifecycle counters, compiled-NTT stage totals — into
+registry instruments without hot-path hooks in those layers.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.naming import validate_label_name, validate_metric_name
+
+__all__ = [
+    "MetricError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+]
+
+#: Default histogram buckets for request/flush latencies, in seconds:
+#: 0.5 ms to 10 s, roughly geometric, matching the service's observed
+#: range from in-process microbenchmarks to pool round-trips.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class MetricError(ValueError):
+    """Invalid registration or use of a metric."""
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value: backslash, double-quote, newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value: "int | float") -> str:
+    """Render a sample value: ints bare, floats via ``repr``."""
+    if isinstance(value, bool):  # bools are ints; refuse the ambiguity
+        raise MetricError("sample values must be int or float, not bool")
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _label_pairs(
+    labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...]
+) -> str:
+    return ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+
+
+class _Child:
+    """One labelled time series; updates hold the registry lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+
+
+class CounterValue(_Child):
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.RLock):
+        super().__init__(lock)
+        self._value: "int | float" = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counters only go up; inc({amount}) is negative"
+            )
+        with self._lock:
+            self._value += amount
+
+    def set_floor(self, value: "int | float") -> None:
+        """Raise the count to ``value`` if larger (collector mirrors).
+
+        Mirroring an externally-owned monotonic counter into the
+        registry at scrape time must never move it backwards — e.g. a
+        respawned worker restarts its local counts while the mirror
+        keeps the high-water total.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> "int | float":
+        with self._lock:
+            return self._value
+
+
+class GaugeValue(_Child):
+    """A value that can go up and down."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.RLock):
+        super().__init__(lock)
+        self._value: "int | float" = 0
+
+    def set(self, value: "int | float") -> None:
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: "int | float") -> None:
+        """Keep the high-water mark of ``value`` seen so far."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: "int | float" = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> "int | float":
+        with self._lock:
+            return self._value
+
+
+class HistogramValue(_Child):
+    """Observations bucketed by upper bound (exposed cumulatively)."""
+
+    __slots__ = ("_uppers", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.RLock, uppers: Tuple[float, ...]):
+        super().__init__(lock)
+        self._uppers = uppers
+        self._counts = [0] * len(uppers)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: "int | float") -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, upper in enumerate(self._uppers):
+                if value <= upper:
+                    self._counts[index] += 1
+                    return
+            # Larger than every finite bound: only the implicit +Inf
+            # bucket (== _count) holds it.
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """(per-bucket counts (non-cumulative), sum, count), atomically."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Assumes non-negative observations (bucket lower edge 0).
+        Observations beyond the last finite bound clamp to that bound —
+        a deliberate under-estimate rather than a fabricated +Inf.
+        Monotonic in ``q``, which is what the loadgen percentile
+        report relies on (p99 >= p95 >= p50).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        counts, _, total = self.snapshot()
+        if total == 0:
+            return 0.0
+        target = q * total
+        lower = 0.0
+        cumulative = 0
+        for upper, count in zip(self._uppers, counts):
+            if count:
+                cumulative += count
+                if cumulative >= target:
+                    inside = max(target - (cumulative - count), 0.0)
+                    return lower + (upper - lower) * inside / count
+            lower = upper
+        return self._uppers[-1] if self._uppers else 0.0
+
+
+class MetricFamily:
+    """One named metric and its labelled children."""
+
+    kind = "untyped"
+    _child_factory: Callable[..., _Child]
+
+    def __init__(
+        self,
+        name: str,
+        documentation: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+    ):
+        if not documentation:
+            raise MetricError(
+                f"metric {name!r} needs non-empty documentation "
+                f"(the # HELP line)"
+            )
+        for labelname in labelnames:
+            try:
+                validate_label_name(labelname)
+            except ValueError as exc:
+                raise MetricError(str(exc)) from None
+        self.name = name
+        self.documentation = documentation
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+
+    def _new_child(self) -> _Child:
+        raise NotImplementedError
+
+    def labels(self, *labelvalues: str) -> _Child:
+        """The child for these label values (created on first use)."""
+        values = tuple(str(value) for value in labelvalues)
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes {len(self.labelnames)} label "
+                f"value(s) {self.labelnames}, got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._new_child()
+                self._children[values] = child
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], _Child]]:
+        """(labelvalues, child) pairs, sorted for deterministic output."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _require_unlabelled(self) -> _Child:
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                f"call .labels(...) first"
+            )
+        return self.labels()
+
+
+class Counter(MetricFamily):
+    kind = "counter"
+
+    def _new_child(self) -> CounterValue:
+        return CounterValue(self._lock)
+
+    def labels(self, *labelvalues: str) -> CounterValue:
+        return super().labels(*labelvalues)  # type: ignore[return-value]
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        self._require_unlabelled().inc(amount)  # type: ignore[attr-defined]
+
+    def set_floor(self, value: "int | float") -> None:
+        self._require_unlabelled().set_floor(value)  # type: ignore[attr-defined]
+
+    @property
+    def value(self) -> "int | float":
+        return self._require_unlabelled().value  # type: ignore[attr-defined]
+
+
+class Gauge(MetricFamily):
+    kind = "gauge"
+
+    def _new_child(self) -> GaugeValue:
+        return GaugeValue(self._lock)
+
+    def labels(self, *labelvalues: str) -> GaugeValue:
+        return super().labels(*labelvalues)  # type: ignore[return-value]
+
+    def set(self, value: "int | float") -> None:
+        self._require_unlabelled().set(value)  # type: ignore[attr-defined]
+
+    def set_max(self, value: "int | float") -> None:
+        self._require_unlabelled().set_max(value)  # type: ignore[attr-defined]
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        self._require_unlabelled().inc(amount)  # type: ignore[attr-defined]
+
+    def dec(self, amount: "int | float" = 1) -> None:
+        self._require_unlabelled().dec(amount)  # type: ignore[attr-defined]
+
+    @property
+    def value(self) -> "int | float":
+        return self._require_unlabelled().value  # type: ignore[attr-defined]
+
+
+class Histogram(MetricFamily):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        documentation: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        uppers = tuple(float(upper) for upper in buckets)
+        if not uppers:
+            raise MetricError(f"{name!r} needs at least one bucket")
+        if any(not math.isfinite(upper) for upper in uppers):
+            raise MetricError(
+                f"{name!r} buckets must be finite; +Inf is implicit"
+            )
+        if list(uppers) != sorted(set(uppers)):
+            raise MetricError(
+                f"{name!r} buckets must be strictly increasing: {uppers}"
+            )
+        self.buckets = uppers
+        super().__init__(name, documentation, labelnames, lock)
+
+    def _new_child(self) -> HistogramValue:
+        return HistogramValue(self._lock, self.buckets)
+
+    def labels(self, *labelvalues: str) -> HistogramValue:
+        return super().labels(*labelvalues)  # type: ignore[return-value]
+
+    def observe(self, value: "int | float") -> None:
+        self._require_unlabelled().observe(value)  # type: ignore[attr-defined]
+
+    def quantile(self, q: float) -> float:
+        return self._require_unlabelled().quantile(q)  # type: ignore[attr-defined]
+
+    @property
+    def sum(self) -> float:
+        return self._require_unlabelled().sum  # type: ignore[attr-defined]
+
+    @property
+    def count(self) -> int:
+        return self._require_unlabelled().count  # type: ignore[attr-defined]
+
+
+class MetricsRegistry:
+    """Registration, collection, and text-format exposition.
+
+    ``strict_names=True`` (the default) enforces the repo's naming
+    contract (:mod:`repro.metrics.naming`) at registration time;
+    tests exercising the exposition format itself may relax it.
+    """
+
+    def __init__(self, *, strict_names: bool = True):
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+        self.strict_names = strict_names
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, family: MetricFamily) -> MetricFamily:
+        with self._lock:
+            if family.name in self._families:
+                raise MetricError(
+                    f"metric {family.name!r} is already registered"
+                )
+            self._families[family.name] = family
+            return family
+
+    def _checked_name(self, name: str, kind: str) -> str:
+        if not self.strict_names:
+            return name
+        try:
+            return validate_metric_name(name, kind)
+        except ValueError as exc:
+            raise MetricError(str(exc)) from None
+
+    def counter(
+        self,
+        name: str,
+        documentation: str,
+        labelnames: Sequence[str] = (),
+    ) -> Counter:
+        return self._register(  # type: ignore[return-value]
+            Counter(
+                self._checked_name(name, "counter"),
+                documentation,
+                labelnames,
+                self._lock,
+            )
+        )
+
+    def gauge(
+        self,
+        name: str,
+        documentation: str,
+        labelnames: Sequence[str] = (),
+    ) -> Gauge:
+        return self._register(  # type: ignore[return-value]
+            Gauge(
+                self._checked_name(name, "gauge"),
+                documentation,
+                labelnames,
+                self._lock,
+            )
+        )
+
+    def histogram(
+        self,
+        name: str,
+        documentation: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(
+                self._checked_name(name, "histogram"),
+                documentation,
+                labelnames,
+                self._lock,
+                buckets,
+            )
+        )
+
+    def get(self, name: str) -> MetricFamily:
+        """The registered family, or :class:`KeyError`."""
+        with self._lock:
+            return self._families[name]
+
+    def families(self) -> List[MetricFamily]:
+        """Registered families sorted by name."""
+        with self._lock:
+            return [
+                self._families[name] for name in sorted(self._families)
+            ]
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Run ``collector()`` before every exposition.
+
+        Collectors mirror externally-owned counters (executor shards,
+        keystore lifecycle, NTT stage totals) into registry
+        instruments, so scrapes see live values without hot-path
+        hooks in those layers.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def run_collectors(self) -> None:
+        with self._lock:
+            for collector in list(self._collectors):
+                collector()
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def expose(self) -> str:
+        """The Prometheus 0.0.4 text exposition of every family.
+
+        Registered families appear even before their first sample
+        (HELP/TYPE headers only), so a scrape taken at startup already
+        names the whole catalog.  An empty registry exposes an empty
+        string.
+        """
+        self.run_collectors()
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                lines.append(
+                    f"# HELP {name} {escape_help(family.documentation)}"
+                )
+                lines.append(f"# TYPE {name} {family.kind}")
+                if isinstance(family, Histogram):
+                    self._expose_histogram(family, lines)
+                else:
+                    for labelvalues, child in family.children():
+                        label_str = (
+                            "{"
+                            + _label_pairs(family.labelnames, labelvalues)
+                            + "}"
+                            if family.labelnames
+                            else ""
+                        )
+                        lines.append(
+                            f"{name}{label_str} "
+                            f"{format_value(child.value)}"  # type: ignore[attr-defined]
+                        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _expose_histogram(
+        self, family: Histogram, lines: List[str]
+    ) -> None:
+        name = family.name
+        for labelvalues, child in family.children():
+            counts, total_sum, total_count = child.snapshot()  # type: ignore[attr-defined]
+            base = _label_pairs(family.labelnames, labelvalues)
+            prefix = base + "," if base else ""
+            cumulative = 0
+            for upper, count in zip(family.buckets, counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{{prefix}le="{format_value(upper)}"}}'
+                    f" {cumulative}"
+                )
+            lines.append(
+                f'{name}_bucket{{{prefix}le="+Inf"}} {total_count}'
+            )
+            label_str = "{" + base + "}" if base else ""
+            lines.append(
+                f"{name}_sum{label_str} {format_value(total_sum)}"
+            )
+            lines.append(f"{name}_count{label_str} {total_count}")

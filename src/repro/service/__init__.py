@@ -40,7 +40,7 @@ from repro.service.executor import (
     WorkerPoolExecutor,
     pool_executor_for,
 )
-from repro.service.loadgen import run_load
+from repro.service.loadgen import latency_summary, run_load
 from repro.service.protocol import ServiceError
 from repro.service.server import RlweService, RlweServiceServer
 
@@ -56,6 +56,7 @@ __all__ = [
     "RlweServiceServer",
     "ServiceError",
     "WorkerPoolExecutor",
+    "latency_summary",
     "pool_executor_for",
     "run_load",
 ]

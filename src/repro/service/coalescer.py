@@ -62,6 +62,17 @@ class MicroBatcher:
         Flush a partial window this many seconds after its first item
         arrived.  ``0`` still yields to the event loop once, so
         already-concurrent requests coalesce.
+    observer:
+        Optional metrics hook (duck-typed like
+        :class:`repro.metrics.BatcherObserver`):
+        ``window_flushed(rows)`` as a window leaves the queue,
+        ``flush_finished(rows, seconds)`` when its flush completes
+        (sync or async; ``seconds`` is the exact value added to
+        ``stats["flush_seconds"]``, so a registry-derived view stays
+        bit-identical to these counters), and
+        ``inflight_changed(current)`` when the number of in-flight
+        async flushes moves.  ``None`` keeps the batcher
+        metrics-free.
     """
 
     def __init__(
@@ -70,12 +81,14 @@ class MicroBatcher:
         *,
         max_batch: int = 32,
         max_wait: float = 0.002,
+        observer=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
         self._flush = flush
+        self._observer = observer
         self.max_batch = max_batch
         self.max_wait = max_wait
         self._window: _Window = []
@@ -115,11 +128,13 @@ class MicroBatcher:
         self.stats["max_batch_seen"] = max(
             self.stats["max_batch_seen"], len(items)
         )
+        if self._observer is not None:
+            self._observer.window_flushed(len(items))
         started = time.perf_counter()
         try:
             outcome = self._flush(items)
         except Exception as exc:  # lint: disable=EXC001(flush boundary: any compute failure must fan out to every waiter's future)
-            self.stats["flush_seconds"] += time.perf_counter() - started
+            self._account_flush(len(items), time.perf_counter() - started)
             self._fail(window, exc)
             return
         if inspect.isawaitable(outcome):
@@ -127,13 +142,32 @@ class MicroBatcher:
                 self._finish_async(window, outcome, started)
             )
             self._inflight.add(task)
-            task.add_done_callback(self._inflight.discard)
+            task.add_done_callback(self._on_inflight_done)
             self.stats["inflight_max"] = max(
                 self.stats["inflight_max"], len(self._inflight)
             )
+            if self._observer is not None:
+                self._observer.inflight_changed(len(self._inflight))
         else:
-            self.stats["flush_seconds"] += time.perf_counter() - started
+            self._account_flush(len(items), time.perf_counter() - started)
             self._deliver(window, outcome)
+
+    def _account_flush(self, rows: int, elapsed: float) -> None:
+        """Add one flush's wall time to the counters and the observer.
+
+        One ``perf_counter`` delta feeds both sinks, so a metrics
+        histogram's ``_sum`` accumulates the exact floats
+        ``stats["flush_seconds"]`` does — the byte-stability the
+        registry-derived ``stats()`` view pins.
+        """
+        self.stats["flush_seconds"] += elapsed
+        if self._observer is not None:
+            self._observer.flush_finished(rows, elapsed)
+
+    def _on_inflight_done(self, task: "asyncio.Task") -> None:
+        self._inflight.discard(task)
+        if self._observer is not None:
+            self._observer.inflight_changed(len(self._inflight))
 
     async def _finish_async(
         self, window: _Window, outcome, started: float
@@ -144,7 +178,9 @@ class MicroBatcher:
             self._fail(window, exc)
             return
         finally:
-            self.stats["flush_seconds"] += time.perf_counter() - started
+            self._account_flush(
+                len(window), time.perf_counter() - started
+            )
         self._deliver(window, results)
 
     def _fail(self, window: _Window, exc: Exception) -> None:
@@ -235,6 +271,13 @@ class FusedBatcherGroup:
         itself is shared, so idle keys cost nothing at all; this only
         bounds the ``stats`` response, evicting the least recently
         active name's counters.
+    observer:
+        Optional metrics hook (duck-typed like
+        :class:`repro.metrics.FusedObserver`):
+        ``window_flushed(rows_by_key)`` per flushed window, where
+        ``rows_by_key`` maps each distinct key name in the window to
+        its row count.  Independent of the underlying batcher's own
+        observer, which this class does not set.
     """
 
     def __init__(
@@ -244,10 +287,12 @@ class FusedBatcherGroup:
         max_batch: int = 32,
         max_wait: float = 0.002,
         max_keys: int = 1024,
+        observer=None,
     ):
         if max_keys < 1:
             raise ValueError(f"max_keys must be >= 1, got {max_keys}")
         self._flush = flush
+        self._observer = observer
         self.max_keys = max_keys
         self._batcher = MicroBatcher(
             self._flush_window, max_batch=max_batch, max_wait=max_wait
@@ -304,6 +349,11 @@ class FusedBatcherGroup:
         self.fused_stats["max_keys_in_window"] = max(
             self.fused_stats["max_keys_in_window"], len(names)
         )
+        if self._observer is not None:
+            rows_by_key: Dict[str, int] = {}
+            for name, _ in tags:
+                rows_by_key[name] = rows_by_key.get(name, 0) + 1
+            self._observer.window_flushed(rows_by_key)
         return self._flush(tags, bodies)
 
     # ------------------------------------------------------------------

@@ -9,16 +9,26 @@ measurement, where a server slower than the offered rate shows
 unbounded queueing.
 
 Both modes record per-request latency and report ops/s plus
-mean/p50/p90/p99/max milliseconds, as a plain dict that the CLI renders
-and ``benchmarks/bench_service_throughput.py`` dumps to JSON.
+mean/p50/p90/p95/p99/max milliseconds, as a plain dict that the CLI
+renders and ``benchmarks/bench_service_throughput.py`` dumps to JSON.
+The same latencies also feed a :class:`~repro.metrics.registry.Histogram`
+with the service's standard latency buckets; its interpolated
+p50/p95/p99 land in the result under ``latency_hist_ms`` — the numbers
+a Prometheus dashboard would derive from ``repro_request_seconds``, so
+a loadgen run and a ``/metrics`` scrape can be compared like-for-like.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence
 
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramValue,
+)
 from repro.service.client import RlweServiceClient
 from repro.service.protocol import ServiceError
 
@@ -41,17 +51,47 @@ def percentile(sorted_values: Sequence[float], p: float) -> float:
     return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
 
 
-def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+def latency_summary(latencies: List[float]) -> Dict[str, float]:
+    """Exact nearest-rank percentiles of raw latencies, in ms."""
     if not latencies:
-        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
     ordered = sorted(latencies)
     to_ms = 1e3
     return {
         "mean": sum(ordered) / len(ordered) * to_ms,
         "p50": percentile(ordered, 50) * to_ms,
         "p90": percentile(ordered, 90) * to_ms,
+        "p95": percentile(ordered, 95) * to_ms,
         "p99": percentile(ordered, 99) * to_ms,
         "max": ordered[-1] * to_ms,
+    }
+
+
+#: Back-compat alias; ``latency_summary`` is the public name.
+_latency_summary = latency_summary
+
+
+def histogram_summary(latencies: List[float]) -> Dict[str, float]:
+    """Bucket-interpolated p50/p95/p99 in ms, as a dashboard would
+    derive them from the server's ``repro_request_seconds`` histogram
+    (same :data:`DEFAULT_LATENCY_BUCKETS`)."""
+    histogram = HistogramValue(
+        threading.RLock(), tuple(DEFAULT_LATENCY_BUCKETS)
+    )
+    for value in latencies:
+        histogram.observe(value)
+    to_ms = 1e3
+    return {
+        "p50": histogram.quantile(0.50) * to_ms,
+        "p95": histogram.quantile(0.95) * to_ms,
+        "p99": histogram.quantile(0.99) * to_ms,
     }
 
 
@@ -167,7 +207,8 @@ async def run_load(
         "errors": errors,
         "wall_seconds": wall,
         "ops_per_sec": completed / wall if wall > 0 else 0.0,
-        "latency_ms": _latency_summary(latencies),
+        "latency_ms": latency_summary(latencies),
+        "latency_hist_ms": histogram_summary(latencies),
     }
     if mode == "open":
         result["offered_rate"] = rate
@@ -188,9 +229,17 @@ def render_result(result: Dict) -> str:
             else ""
         ),
         f"  latency ms  mean {latency['mean']:.2f}  p50 {latency['p50']:.2f}"
-        f"  p90 {latency['p90']:.2f}  p99 {latency['p99']:.2f}"
-        f"  max {latency['max']:.2f}",
+        f"  p90 {latency['p90']:.2f}  p95 {latency['p95']:.2f}"
+        f"  p99 {latency['p99']:.2f}  max {latency['max']:.2f}",
         f"  concurrency {result['concurrency']} over "
         f"{result['connections']} connection(s)",
     ]
+    histogram = result.get("latency_hist_ms")
+    if histogram:
+        lines.insert(
+            3,
+            f"  hist ms     p50 {histogram['p50']:.2f}  "
+            f"p95 {histogram['p95']:.2f}  p99 {histogram['p99']:.2f}"
+            f"  (bucket-interpolated)",
+        )
     return "\n".join(lines)

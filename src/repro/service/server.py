@@ -74,6 +74,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import time
 from typing import Dict, List, Optional
 
 from typing import TYPE_CHECKING
@@ -81,6 +82,7 @@ from typing import TYPE_CHECKING
 from repro.core.kem import SECRET_BYTES, RlweKem
 from repro.core.scheme import KeyPair, RlweEncryptionScheme
 from repro.core import serialize
+from repro.metrics import ServiceMetrics
 from repro.service import protocol
 
 if TYPE_CHECKING:  # runtime import is lazy; keystore imports service
@@ -150,8 +152,13 @@ class RlweService:
         keystore: Optional[KeyStore] = None,
         keystore_seed: int = 0,
         hot_keys: int = 8,
+        metrics: Optional[ServiceMetrics] = None,
     ):
         self.scheme = scheme
+        #: Every layer's instruments funnel into this registry; the
+        #: ``/metrics`` listener and the STATS opcode are two views of
+        #: it (``stats()['ops']`` is re-derived from the registry).
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.keypair = keypair if keypair is not None else scheme.generate_keypair()
         self.kem = (
             RlweKem(scheme)
@@ -187,16 +194,20 @@ class RlweService:
             self.keypair.public
         )
 
-        def batcher(opcode: int) -> MicroBatcher:
+        def batcher(name: str, opcode: int) -> MicroBatcher:
             async def flush(bodies: List[bytes]):
                 return await self.executor.run_batch(opcode, bodies)
 
             return MicroBatcher(
-                flush, max_batch=max_batch, max_wait=max_wait
+                flush,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                observer=self.metrics.batcher_observer(name),
             )
 
         self.batchers: Dict[str, MicroBatcher] = {
-            name: batcher(opcode) for name, opcode in BATCHED_OPS.items()
+            name: batcher(name, opcode)
+            for name, opcode in BATCHED_OPS.items()
         }
 
         # Per-key *stat* entries track active keys, not all keys ever
@@ -205,7 +216,7 @@ class RlweService:
         # count.  The windows themselves are shared per op.
         window_cap = max(self.keystore.hot_capacity * 8, 64)
 
-        def fused_group(opcode: int) -> FusedBatcherGroup:
+        def fused_group(name: str, opcode: int) -> FusedBatcherGroup:
             def flush(tags, bodies):
                 return self._run_fused(opcode, tags, bodies)
 
@@ -214,12 +225,27 @@ class RlweService:
                 max_batch=max_batch,
                 max_wait=max_wait,
                 max_keys=window_cap,
+                observer=self.metrics.fused_observer(name),
             )
 
         self.key_batchers: Dict[str, FusedBatcherGroup] = {
-            name: fused_group(opcode)
+            name: fused_group(name, opcode)
             for name, opcode in BATCHED_OPS.items()
         }
+
+        # Scrape-time mirrors: the executor, keystore, and (when the
+        # compiled backend's stage profiler is enabled) per-stage NTT
+        # timings surface through the same registry without hot-path
+        # hooks in those layers.
+        self.metrics.preregister_ops(tuple(BATCHED_OPS))
+        self.metrics.register_executor(self.executor)
+        self.metrics.register_keystore(self.keystore)
+        self.metrics.register_ntt_backend(scheme.backend)
+        from repro import __version__
+
+        self.metrics.register_build_info(
+            __version__, scheme.params.name, scheme.backend.name
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -395,9 +421,14 @@ class RlweService:
         self.keystore.resolve_generation(name, generation)
         op_name = _OP_NAMES[KEYED_TO_BASE[opcode]]
         payload = self._VALIDATORS[op_name](self, payload)
-        return await self.key_batchers[op_name].submit(
+        queued = time.perf_counter()
+        result = await self.key_batchers[op_name].submit(
             name, generation, payload
         )
+        self.metrics.observe_keyed_request(
+            op_name, name, time.perf_counter() - queued
+        )
+        return result
 
     async def dispatch(self, opcode: int, body: bytes) -> bytes:
         """Execute one operation body-to-body; raises ServiceError."""
@@ -467,19 +498,30 @@ class RlweService:
 
     async def handle(self, request: Request) -> Response:
         """One request to one response; never raises."""
+        started = time.perf_counter()
         try:
             body = await self.dispatch(request.opcode, request.body)
-            return Response(request.request_id, STATUS_OK, body)
+            response = Response(request.request_id, STATUS_OK, body)
         except ServiceError as exc:
-            return Response(
+            response = Response(
                 request.request_id, exc.status, str(exc).encode()
             )
         except Exception as exc:  # lint: disable=EXC001(response boundary: handle() never raises, every failure becomes a status frame)
-            return Response(
+            response = Response(
                 request.request_id,
                 STATUS_INTERNAL_ERROR,
                 f"{type(exc).__name__}: {exc}".encode(),
             )
+        self.metrics.observe_request(
+            protocol.OPCODE_NAMES.get(
+                request.opcode, f"opcode-{request.opcode}"
+            ),
+            protocol.STATUS_NAMES.get(
+                response.status, f"status-{response.status}"
+            ),
+            time.perf_counter() - started,
+        )
+        return response
 
     def stats(self) -> Dict:
         """Per-op coalescing counters plus engine/keystore counters.
@@ -495,16 +537,13 @@ class RlweService:
         for op_name, group in self.key_batchers.items():
             for key_name, counters in group.stats_by_key().items():
                 keys.setdefault(key_name, {})[op_name] = counters
+        # ``ops`` is *derived from the metrics registry*, not read from
+        # the batchers — the registry is the single source of truth and
+        # this wire view is pinned byte-stable against the old
+        # batcher-dict shape (tests diff the JSON against counters the
+        # batchers still keep for standalone use).
         return {
-            "ops": {
-                name: dict(
-                    batcher.stats,
-                    mean_batch_size=batcher.mean_batch_size,
-                    mean_flush_ms=batcher.mean_flush_ms,
-                    inflight_flushes=batcher.inflight_flushes,
-                )
-                for name, batcher in self.batchers.items()
-            },
+            "ops": self.metrics.ops_stats(tuple(self.batchers)),
             "fused": {
                 name: group.stats_fused()
                 for name, group in self.key_batchers.items()
@@ -646,6 +685,7 @@ async def start_server(
     keystore: Optional[KeyStore] = None,
     keystore_seed: int = 0,
     hot_keys: int = 8,
+    metrics: Optional[ServiceMetrics] = None,
 ) -> RlweServiceServer:
     """Build and start a server in one call; caller closes it."""
     service = RlweService(
@@ -657,6 +697,7 @@ async def start_server(
         keystore=keystore,
         keystore_seed=keystore_seed,
         hot_keys=hot_keys,
+        metrics=metrics,
     )
     server = RlweServiceServer(service, host=host, port=port)
     await server.start()

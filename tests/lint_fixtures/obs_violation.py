@@ -1,0 +1,20 @@
+"""OBS001 fixture: metric-name contract violations, one per call.
+
+A stand-in registry object keeps the fixture import-free; OBS001 keys
+on the ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+shape with a string-literal name, not on the receiver's type.
+"""
+
+
+def register(registry):
+    registry.counter("requests_total", "missing the repro_ prefix")
+    registry.counter("repro_requests", "counter without _total")
+    registry.histogram("repro_latency_ms", "not a known unit suffix")
+    registry.gauge("repro_Hot-Keys", "uppercase and dash in the name")
+    registry.gauge("repro_evictions_total", "gauge posing as a counter")
+    # Clean registrations must not fire (and neither must unrelated
+    # two-argument calls whose first argument is not a name literal).
+    registry.counter("repro_requests_total", "clean counter")
+    registry.histogram("repro_window_rows", "clean histogram")
+    registry.gauge("repro_active_keys", "clean gauge")
+    registry.counter(registry, "not a string literal")

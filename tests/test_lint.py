@@ -70,6 +70,13 @@ EXPECTED = {
         ("EXC001", 7),
         ("EXC001", 14),
     ],
+    "obs_violation.py": [
+        ("OBS001", 10),
+        ("OBS001", 11),
+        ("OBS001", 12),
+        ("OBS001", 13),
+        ("OBS001", 14),
+    ],
 }
 
 # The seeded protocol tree: cross-module holes pinned per file.  These
@@ -363,7 +370,7 @@ def test_report_json_schema(capsys):
     ):
         assert key in report
     assert report["version"] == 1
-    assert report["checked_files"] == 14
+    assert report["checked_files"] == 15
     assert sum(report["counts"].values()) == len(report["findings"])
     for f in report["findings"]:
         assert set(f) == {"code", "path", "line", "column", "message"}

@@ -1,0 +1,364 @@
+"""The metrics subsystem: registry semantics and the text format.
+
+Covers the instrument behaviors the service instrumentation leans on
+(exact integer counters, ``set_floor`` mirrors, high-water gauges,
+histogram bucketing and interpolated quantiles), the Prometheus 0.0.4
+exposition edge cases (label/HELP escaping, bucket cumulativity and
+``+Inf``, the empty registry), the naming contract, thread safety
+under concurrent updates, and the consumer-side parser/validator the
+acceptance gate round-trips a live scrape through.
+"""
+
+import threading
+
+import pytest
+
+from repro.metrics import (
+    MetricError,
+    MetricsRegistry,
+    metric_name_error,
+    parse_exposition,
+    validate_exposition,
+    validate_families,
+)
+from repro.metrics.naming import label_name_error
+from repro.metrics.parse import ExpositionParseError
+from repro.metrics.registry import format_value
+
+
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_integer_arithmetic_stays_exact(self):
+        counter = registry().counter("repro_items_total", "items")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert isinstance(counter.value, int)
+
+    def test_negative_increment_rejected(self):
+        counter = registry().counter("repro_items_total", "items")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_set_floor_is_monotonic(self):
+        counter = registry().counter("repro_jobs_total", "jobs")
+        counter.set_floor(10)
+        counter.set_floor(7)  # a respawned worker reset its local count
+        assert counter.value == 10
+        counter.set_floor(12)
+        assert counter.value == 12
+
+    def test_labelled_counter_requires_labels(self):
+        counter = registry().counter("repro_ops_total", "ops", ("op",))
+        with pytest.raises(MetricError):
+            counter.inc()
+        counter.labels("encrypt").inc()
+        assert counter.labels("encrypt").value == 1
+
+    def test_label_value_count_enforced(self):
+        counter = registry().counter("repro_ops_total", "ops", ("op",))
+        with pytest.raises(MetricError):
+            counter.labels("a", "b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = registry().gauge("repro_inflight", "inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_set_max_keeps_high_water(self):
+        gauge = registry().gauge("repro_peak", "peak")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_first_fitting_bucket(self):
+        histogram = registry().histogram(
+            "repro_window_rows", "rows", buckets=(1, 2, 4)
+        )
+        for value in (1, 2, 2, 3, 100):
+            histogram.observe(value)
+        counts, total_sum, count = histogram.labels().snapshot()
+        assert counts == [1, 2, 1]  # 100 lives only in implicit +Inf
+        assert count == 5
+        assert total_sum == pytest.approx(108.0)
+
+    def test_buckets_must_be_increasing_finite_nonempty(self):
+        reg = registry()
+        with pytest.raises(MetricError):
+            reg.histogram("repro_a_seconds", "x", buckets=())
+        with pytest.raises(MetricError):
+            reg.histogram("repro_b_seconds", "x", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram("repro_c_seconds", "x", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram(
+                "repro_d_seconds", "x", buckets=(1.0, float("inf"))
+            )
+
+    def test_quantile_is_monotonic_and_clamped(self):
+        histogram = registry().histogram(
+            "repro_lat_seconds", "x", buckets=(0.001, 0.01, 0.1)
+        )
+        for _ in range(90):
+            histogram.observe(0.005)
+        for _ in range(10):
+            histogram.observe(5.0)  # beyond the last finite bound
+        quantiles = [
+            histogram.quantile(q) for q in (0.0, 0.5, 0.9, 0.95, 1.0)
+        ]
+        assert quantiles == sorted(quantiles)
+        # +Inf-region observations clamp to the last finite bound.
+        assert histogram.quantile(1.0) == 0.1
+        with pytest.raises(MetricError):
+            histogram.quantile(1.5)
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        histogram = registry().histogram("repro_lat_seconds", "x")
+        assert histogram.quantile(0.99) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Registration and naming
+# ----------------------------------------------------------------------
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        reg = registry()
+        reg.counter("repro_items_total", "items")
+        with pytest.raises(MetricError):
+            reg.counter("repro_items_total", "items again")
+
+    def test_documentation_required(self):
+        with pytest.raises(MetricError):
+            registry().counter("repro_items_total", "")
+
+    @pytest.mark.parametrize(
+        "kind,name",
+        [
+            ("counter", "items_total"),  # missing prefix
+            ("counter", "repro_items"),  # missing _total
+            ("gauge", "repro_items_total"),  # gauge posing as counter
+            ("histogram", "repro_latency"),  # no unit suffix
+            ("histogram", "repro_rows_total"),  # counter suffix
+            ("counter", "repro_Items_total"),  # charset
+        ],
+    )
+    def test_naming_contract_enforced(self, kind, name):
+        reg = registry()
+        assert metric_name_error(name, kind) is not None
+        with pytest.raises(MetricError):
+            getattr(reg, kind)(name, "doc")
+
+    def test_strict_names_can_be_relaxed(self):
+        reg = MetricsRegistry(strict_names=False)
+        counter = reg.counter("whatever_name", "free-form")
+        counter.inc()
+        assert "whatever_name 1" in reg.expose()
+
+    def test_bad_label_name_rejected(self):
+        reg = registry()
+        with pytest.raises(MetricError):
+            reg.counter("repro_x_total", "x", ("BadLabel",))
+        with pytest.raises(MetricError):
+            reg.histogram("repro_x_seconds", "x", ("le",))
+        assert label_name_error("le") is not None
+        assert label_name_error("op") is None
+
+
+# ----------------------------------------------------------------------
+# Exposition format
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_empty_registry_exposes_empty_string(self):
+        assert registry().expose() == ""
+
+    def test_childless_family_still_emits_help_and_type(self):
+        reg = registry()
+        reg.counter("repro_items_total", "items handled")
+        text = reg.expose()
+        assert "# HELP repro_items_total items handled\n" in text
+        assert "# TYPE repro_items_total counter\n" in text
+
+    def test_two_scrapes_of_identical_state_are_byte_identical(self):
+        reg = registry()
+        counter = reg.counter("repro_ops_total", "ops", ("op", "status"))
+        counter.labels("encrypt", "ok").inc(3)
+        counter.labels("decrypt", "ok").inc(1)
+        reg.histogram("repro_lat_seconds", "lat").observe(0.01)
+        assert reg.expose() == reg.expose()
+
+    def test_label_escaping_round_trips(self):
+        reg = registry()
+        gauge = reg.gauge("repro_weird", "weird labels", ("key",))
+        hostile = 'back\\slash "quoted"\nnewline'
+        gauge.labels(hostile).set(7)
+        text = reg.expose()
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        families = parse_exposition(text)
+        (sample,) = families["repro_weird"].samples
+        assert sample.labels["key"] == hostile
+        assert sample.value == 7
+
+    def test_help_escaping_round_trips(self):
+        reg = registry()
+        reg.counter("repro_x_total", "line one\nline two \\ slash")
+        families = parse_exposition(reg.expose())
+        assert (
+            families["repro_x_total"].documentation
+            == "line one\nline two \\ slash"
+        )
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        reg = registry()
+        histogram = reg.histogram(
+            "repro_rows", "rows", ("op",), buckets=(1, 2, 4)
+        )
+        child = histogram.labels("encrypt")
+        for value in (1, 2, 2, 8):
+            child.observe(value)
+        text = reg.expose()
+        assert (
+            'repro_rows_bucket{op="encrypt",le="1.0"} 1\n'
+            'repro_rows_bucket{op="encrypt",le="2.0"} 3\n'
+            'repro_rows_bucket{op="encrypt",le="4.0"} 3\n'
+            'repro_rows_bucket{op="encrypt",le="+Inf"} 4\n'
+            'repro_rows_sum{op="encrypt"} 13.0\n'
+            'repro_rows_count{op="encrypt"} 4\n'
+        ) in text
+        assert validate_exposition(text) is not None
+
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(2.5) == "2.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+        with pytest.raises(MetricError):
+            format_value(True)
+
+    def test_collectors_run_before_exposition(self):
+        reg = registry()
+        gauge = reg.gauge("repro_mirrored", "mirror")
+        source = {"value": 0}
+        reg.register_collector(lambda: gauge.set(source["value"]))
+        source["value"] = 11
+        assert "repro_mirrored 11" in reg.expose()
+
+
+# ----------------------------------------------------------------------
+# Thread safety
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_updates_stay_exact(self):
+        reg = registry()
+        counter = reg.counter("repro_hits_total", "hits", ("worker",))
+        histogram = reg.histogram("repro_lat_seconds", "lat")
+        threads = 8
+        per_thread = 2000
+
+        def pound(index: int) -> None:
+            child = counter.labels(str(index % 2))
+            for _ in range(per_thread):
+                child.inc()
+                histogram.observe(0.001)
+
+        workers = [
+            threading.Thread(target=pound, args=(i,))
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        # Scrape while the writers hammer: must never crash or tear.
+        for _ in range(20):
+            parse_exposition(reg.expose())
+        for worker in workers:
+            worker.join()
+        total = sum(
+            child.value for _, child in counter.children()
+        )
+        assert total == threads * per_thread
+        assert histogram.count == threads * per_thread
+
+
+# ----------------------------------------------------------------------
+# Parser / validator
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ExpositionParseError):
+            parse_exposition('m{a="bad\\t"} 1\n')
+
+    def test_trailing_token_rejected(self):
+        with pytest.raises(ExpositionParseError):
+            parse_exposition("m 1 1700000000\n")  # timestamps unsupported
+
+    def test_unterminated_labels_rejected(self):
+        with pytest.raises(ExpositionParseError):
+            parse_exposition('m{a="x" 1\n')
+
+    def test_validator_requires_type_and_help(self):
+        problems = validate_families(parse_exposition("m 1\n"))
+        assert any("TYPE" in p for p in problems)
+        assert any("HELP" in p for p in problems)
+
+    def test_validator_flags_negative_counter(self):
+        text = (
+            "# HELP repro_x_total x\n"
+            "# TYPE repro_x_total counter\n"
+            "repro_x_total -1\n"
+        )
+        problems = validate_families(parse_exposition(text))
+        assert any("negative" in p for p in problems)
+
+    def test_validator_flags_histogram_without_inf(self):
+        text = (
+            "# HELP repro_x_seconds x\n"
+            "# TYPE repro_x_seconds histogram\n"
+            'repro_x_seconds_bucket{le="1"} 1\n'
+            "repro_x_seconds_sum 0.5\n"
+            "repro_x_seconds_count 1\n"
+        )
+        problems = validate_families(parse_exposition(text))
+        assert any("+Inf" in p for p in problems)
+
+    def test_validator_flags_non_cumulative_buckets(self):
+        text = (
+            "# HELP repro_x_seconds x\n"
+            "# TYPE repro_x_seconds histogram\n"
+            'repro_x_seconds_bucket{le="1"} 5\n'
+            'repro_x_seconds_bucket{le="2"} 3\n'
+            'repro_x_seconds_bucket{le="+Inf"} 5\n'
+            "repro_x_seconds_sum 1.0\n"
+            "repro_x_seconds_count 5\n"
+        )
+        problems = validate_families(parse_exposition(text))
+        assert any("cumulative" in p or "decreas" in p for p in problems)
+
+    def test_validator_naming_is_opt_in(self):
+        text = "# HELP foo x\n# TYPE foo gauge\nfoo 1\n"
+        families = parse_exposition(text)
+        assert validate_families(families) == []
+        problems = validate_families(families, require_naming=True)
+        assert any("repro_" in p for p in problems)
+
+    def test_registry_round_trip_is_clean(self):
+        reg = registry()
+        counter = reg.counter("repro_ops_total", "ops", ("op",))
+        counter.labels("encrypt").inc(5)
+        reg.histogram("repro_lat_seconds", "lat", ("op",)).labels(
+            "encrypt"
+        ).observe(0.02)
+        reg.gauge("repro_keys", "keys").set(3)
+        families = parse_exposition(reg.expose())
+        assert validate_families(families, require_naming=True) == []

@@ -1,0 +1,270 @@
+"""Live-service metrics: scrape round trip, legacy view, CLI.
+
+End-to-end checks for the observability tentpole: a real server plus a
+real ``/metrics`` listener on loopback port 0, scraped over HTTP and
+validated against the full naming contract; the binary ``STATS``
+opcode pinned byte-stable against the pre-metrics nested-dict shape;
+and the ``rlwe-repro metrics`` scrape command.  asyncio tests are
+driven through ``asyncio.run`` (no pytest-asyncio dependency).
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import P1, seeded_scheme
+from repro.cli import main as cli_main
+from repro.metrics import (
+    MetricsHttpServer,
+    parse_exposition,
+    scrape,
+    validate_families,
+)
+from repro.metrics.http import CONTENT_TYPE, ScrapeError
+from repro.metrics.instruments import REQUIRED_FAMILIES
+from repro.service.client import RlweServiceClient
+from repro.service.server import start_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def scheme():
+    return seeded_scheme(P1, seed=1234)
+
+
+async def _serve_and_scrape(drive):
+    """Start server + metrics listener, run ``drive(client)``, scrape."""
+    server = await start_server(scheme(), port=0)
+    metrics_http = MetricsHttpServer(
+        server.service.metrics.registry, port=0
+    )
+    await metrics_http.start()
+    try:
+        client = await RlweServiceClient.connect(port=server.port)
+        try:
+            result = await drive(client)
+        finally:
+            await client.close()
+        text = await scrape("127.0.0.1", metrics_http.port)
+        return server.service, result, text
+    finally:
+        await metrics_http.close()
+        await server.close()
+
+
+class TestLiveScrape:
+    def test_scrape_is_complete_valid_and_consistent(self):
+        async def drive(client):
+            payload = b"metrics-integration"
+            for _ in range(10):
+                await client.encrypt(payload)
+            await client.create_key("tenant-a")
+            for _ in range(5):
+                await client.key_encrypt("tenant-a", 0, payload)
+            return await client.stats()
+
+        service, stats, text = run(_serve_and_scrape(drive))
+        families = parse_exposition(text)
+
+        # Every family scrapes typed, HELP'd, and naming-contract clean.
+        assert validate_families(families, require_naming=True) == []
+        missing = [f for f in REQUIRED_FAMILIES if f not in families]
+        assert missing == []
+
+        # The scraped request counters agree with the driver's count.
+        requests = families["repro_requests_total"]
+        ok = {
+            sample.labels["op"]: sample.value
+            for sample in requests.samples
+            if sample.labels["status"] == "ok"
+        }
+        assert ok["encrypt"] == 10
+        assert ok["key_encrypt"] == 5
+        assert ok["create_key"] == 1
+        assert ok["stats"] >= 1
+
+        # The legacy STATS view and the registry derive from one source.
+        assert stats["ops"]["encrypt"]["items"] == 10
+        items = {
+            sample.labels["op"]: sample.value
+            for sample in families["repro_coalescer_items_total"].samples
+        }
+        assert items["encrypt"] == 10
+
+    def test_stats_ops_view_matches_pre_metrics_shape_exactly(self):
+        async def drive(client):
+            for _ in range(7):
+                await client.encrypt(b"byte-stability")
+            return await client.stats()
+
+        service, stats, _ = run(_serve_and_scrape(drive))
+        legacy = {
+            name: dict(
+                batcher.stats,
+                mean_batch_size=batcher.mean_batch_size,
+                mean_flush_ms=batcher.mean_flush_ms,
+                inflight_flushes=batcher.inflight_flushes,
+            )
+            for name, batcher in service.batchers.items()
+        }
+        # Byte-stable: same keys, same order, same float values.
+        assert json.dumps(stats["ops"]) == json.dumps(legacy)
+
+
+class TestHttpEndpoint:
+    def test_routes_and_content_type(self):
+        async def go():
+            from repro.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.counter("repro_pings_total", "pings").inc()
+            listener = MetricsHttpServer(registry, port=0)
+            await listener.start()
+            try:
+                base = f"http://127.0.0.1:{listener.port}"
+
+                def fetch(path, method="GET"):
+                    request = urllib.request.Request(
+                        base + path, method=method
+                    )
+                    try:
+                        with urllib.request.urlopen(request) as response:
+                            return (
+                                response.status,
+                                response.headers.get("Content-Type"),
+                                response.read().decode(),
+                            )
+                    except urllib.error.HTTPError as error:
+                        return error.code, None, ""
+
+                loop = asyncio.get_running_loop()
+                results = {}
+                for name, path, method in (
+                    ("metrics", "/metrics", "GET"),
+                    ("health", "/healthz", "GET"),
+                    ("missing", "/nope", "GET"),
+                    ("post", "/metrics", "POST"),
+                ):
+                    results[name] = await loop.run_in_executor(
+                        None, fetch, path, method
+                    )
+                return results
+            finally:
+                await listener.close()
+
+        results = run(go())
+        status, content_type, body = results["metrics"]
+        assert status == 200
+        assert content_type == CONTENT_TYPE
+        assert "repro_pings_total 1" in body
+        assert results["health"][0] == 200
+        assert results["missing"][0] == 404
+        assert results["post"][0] == 405
+
+    def test_scrape_failure_raises_scrape_error(self):
+        async def go():
+            # Grab a port that is certainly closed by the time we dial.
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(ScrapeError):
+                await scrape("127.0.0.1", port, timeout=1.0)
+
+        run(go())
+
+
+class TestMetricsCli:
+    def _with_listener(self, argv_tail, capsys):
+        # The CLI spins its own event loop, so the server and listener
+        # must keep serving on a loop that runs concurrently with the
+        # CLI invocation: park that loop on a background thread.
+        holder = {}
+
+        async def setup():
+            server = await start_server(scheme(), port=0)
+            listener = MetricsHttpServer(
+                server.service.metrics.registry, port=0
+            )
+            await listener.start()
+            client = await RlweServiceClient.connect(port=server.port)
+            await client.encrypt(b"cli-scrape")
+            await client.close()
+            holder["server"] = server
+            holder["listener"] = listener
+            return listener.port
+
+        async def teardown():
+            await holder["listener"].close()
+            await holder["server"].close()
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            port = asyncio.run_coroutine_threadsafe(
+                setup(), loop
+            ).result(timeout=30)
+            code = cli_main(
+                ["metrics", "--port", str(port)] + argv_tail
+            )
+            captured = capsys.readouterr()
+            asyncio.run_coroutine_threadsafe(teardown(), loop).result(
+                timeout=30
+            )
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            loop.close()
+        return code, captured
+
+    def test_validate_passes_on_live_server(self, capsys):
+        code, captured = self._with_listener(["--validate"], capsys)
+        assert code == 0
+        assert "exposition OK" in captured.out
+        assert "naming contract satisfied" in captured.out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        code, captured = self._with_listener(["--json"], capsys)
+        assert code == 0
+        families = json.loads(captured.out)
+        by_name = {family["name"]: family for family in families}
+        assert "repro_requests_total" in by_name
+        assert by_name["repro_requests_total"]["type"] == "counter"
+        sample_ops = {
+            sample["labels"]["op"]
+            for sample in by_name["repro_requests_total"]["samples"]
+        }
+        assert "encrypt" in sample_ops
+
+    def test_raw_output_is_the_exposition(self, capsys):
+        code, captured = self._with_listener([], capsys)
+        assert code == 0
+        parse_exposition(captured.out)
+        assert "# TYPE repro_requests_total counter" in captured.out
+
+    def test_unreachable_target_exits_nonzero(self, capsys):
+        async def free_port():
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            return port
+
+        port = run(free_port())
+        code = cli_main(
+            ["metrics", "--port", str(port), "--timeout", "1.0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
